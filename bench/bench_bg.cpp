@@ -1,0 +1,84 @@
+// E15 -- cost of the Borowsky-Gafni simulation: wall time and safe-
+// agreement pressure as simulator count, simulated count, and rounds grow;
+// plus the raw SafeAgreement object's latencies.
+#include <benchmark/benchmark.h>
+
+#include "bg/safe_agreement.hpp"
+#include "bg/simulation.hpp"
+
+namespace {
+
+using namespace wfc;
+
+void BM_SafeAgreementSolo(benchmark::State& state) {
+  for (auto _ : state) {
+    bg::SafeAgreement<int> sa(static_cast<int>(state.range(0)));
+    sa.propose(0, 7);
+    auto v = sa.try_resolve();
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SafeAgreementSolo)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_SafeAgreementSequentialContenders(benchmark::State& state) {
+  const int procs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    bg::SafeAgreement<int> sa(procs);
+    for (int p = 0; p < procs; ++p) sa.propose(p, p);
+    auto v = sa.try_resolve();
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations() * procs);
+}
+BENCHMARK(BM_SafeAgreementSequentialContenders)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_BgSimulation(benchmark::State& state) {
+  bg::BgConfig config;
+  config.n_simulators = static_cast<int>(state.range(0));
+  config.n_simulated = static_cast<int>(state.range(1));
+  config.rounds = static_cast<int>(state.range(2));
+  bool legal = true;
+  int blocked = 0;
+  for (auto _ : state) {
+    bg::BgOutcome out = run_bg_simulation(config);
+    legal = legal && out.legal();
+    blocked = out.blocked;
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["legal"] = legal ? 1 : 0;
+  state.counters["blocked"] = blocked;
+}
+BENCHMARK(BM_BgSimulation)
+    ->Args({1, 3, 2})
+    ->Args({2, 3, 2})
+    ->Args({3, 3, 2})
+    ->Args({2, 4, 2})
+    ->Args({2, 3, 4})
+    ->Args({4, 6, 2})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BgSimulationWithCrash(benchmark::State& state) {
+  bg::BgConfig config;
+  config.n_simulators = 2;
+  config.n_simulated = 3;
+  config.rounds = 2;
+  config.crash_in_sa = {static_cast<int>(state.range(0)), -1};
+  config.patience = 300;
+  int blocked = 0;
+  bool legal = true;
+  for (auto _ : state) {
+    bg::BgOutcome out = run_bg_simulation(config);
+    blocked = out.blocked;
+    legal = legal && out.legal();
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["blocked"] = blocked;
+  state.counters["legal"] = legal ? 1 : 0;
+}
+BENCHMARK(BM_BgSimulationWithCrash)->Arg(1)->Arg(2)->Arg(4)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,139 @@
+// E6 / E7 -- Theorem 5.1 and Lemma 2.1 quantitatively: the minimal level k
+// admitting a (color-and-)carrier-preserving simplicial map onto a target
+// subdivision, and the cost of finding it, as the target gets finer.
+#include <benchmark/benchmark.h>
+
+#include "convergence/approximation.hpp"
+#include "convergence/convergence.hpp"
+#include "tasks/decision_protocol.hpp"
+#include "topology/geometry.hpp"
+#include "topology/subdivision.hpp"
+
+namespace {
+
+using namespace wfc;
+
+void BM_ChromaticApproximation(benchmark::State& state) {
+  const int n_plus_1 = static_cast<int>(state.range(0));
+  const int target_depth = static_cast<int>(state.range(1));
+  topo::ChromaticComplex base = topo::base_simplex(n_plus_1);
+  topo::ChromaticComplex target = topo::iterated_sds(base, target_depth);
+  conv::ApproximationOptions opts;
+  opts.max_level = target_depth + 2;
+  int level = -1;
+  double checks = 0;
+  for (auto _ : state) {
+    conv::ApproximationResult r =
+        conv::chromatic_approximation(target, base, opts);
+    level = r.level;
+    checks = static_cast<double>(r.star_checks);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["min_level"] = level;
+  state.counters["star_checks"] = checks;
+  state.counters["target_facets"] = static_cast<double>(target.num_facets());
+}
+BENCHMARK(BM_ChromaticApproximation)
+    ->Args({2, 1})
+    ->Args({2, 2})
+    ->Args({2, 3})
+    ->Args({3, 1})
+    ->Args({3, 2})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BarycentricApproximation(benchmark::State& state) {
+  const int n_plus_1 = static_cast<int>(state.range(0));
+  topo::ChromaticComplex base = topo::base_simplex(n_plus_1);
+  topo::ChromaticComplex target = topo::standard_chromatic_subdivision(base);
+  conv::ApproximationOptions opts;
+  opts.max_level = 6;
+  int level = -1;
+  for (auto _ : state) {
+    conv::ApproximationResult r =
+        conv::barycentric_approximation(target, base, opts);
+    level = r.level;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["min_level"] = level;
+}
+BENCHMARK(BM_BarycentricApproximation)->Arg(2)->Arg(3)->Unit(
+    benchmark::kMillisecond);
+
+// Convergence-compiled simplex agreement vs search-based solving: the two
+// routes to the same protocol (Cor 5.2 vs Prop 3.1 search).
+void BM_SimplexAgreementViaConvergence(benchmark::State& state) {
+  const int n_plus_1 = static_cast<int>(state.range(0));
+  const int depth = static_cast<int>(state.range(1));
+  topo::ChromaticComplex target =
+      topo::iterated_sds(topo::base_simplex(n_plus_1), depth);
+  int level = -1;
+  for (auto _ : state) {
+    task::SimplexAgreementTask t(n_plus_1, target);
+    conv::ApproximationOptions opts;
+    opts.max_level = depth + 2;
+    task::SolveResult r = conv::solve_simplex_agreement_by_convergence(t, opts);
+    level = r.level;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["level"] = level;
+}
+BENCHMARK(BM_SimplexAgreementViaConvergence)
+    ->Args({2, 1})
+    ->Args({2, 2})
+    ->Args({3, 1})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SimplexAgreementViaSearch(benchmark::State& state) {
+  const int n_plus_1 = static_cast<int>(state.range(0));
+  const int depth = static_cast<int>(state.range(1));
+  topo::ChromaticComplex target =
+      topo::iterated_sds(topo::base_simplex(n_plus_1), depth);
+  int level = -1;
+  for (auto _ : state) {
+    task::SimplexAgreementTask t(n_plus_1, target);
+    task::SolveResult r = task::solve(t, depth + 1);
+    level = r.level;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["level"] = level;
+}
+BENCHMARK(BM_SimplexAgreementViaSearch)
+    ->Args({2, 1})
+    ->Args({2, 2})
+    ->Args({3, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// Mesh shrinkage: why chromatic approximation reaches targets in
+// depth-many levels while barycentric needs more.  The counter reports
+// mesh(level)/mesh(level-1): SDS contracts faster than Bsd's n/(n+1).
+void BM_MeshShrinkage(benchmark::State& state) {
+  const int n_plus_1 = static_cast<int>(state.range(0));
+  const bool chromatic = state.range(1) != 0;
+  const int level = static_cast<int>(state.range(2));
+  topo::ChromaticComplex base = topo::base_simplex(n_plus_1);
+  double ratio = 0, mesh = 0;
+  for (auto _ : state) {
+    topo::ChromaticComplex prev = chromatic
+                                      ? topo::iterated_sds(base, level - 1)
+                                      : topo::iterated_bsd(base, level - 1);
+    topo::ChromaticComplex cur = chromatic ? topo::iterated_sds(base, level)
+                                           : topo::iterated_bsd(base, level);
+    mesh = topo::mesh_diameter(cur);
+    ratio = mesh / topo::mesh_diameter(prev);
+    benchmark::DoNotOptimize(cur);
+  }
+  state.counters["mesh"] = mesh;
+  state.counters["shrink_ratio"] = ratio;
+}
+BENCHMARK(BM_MeshShrinkage)
+    ->Args({2, 1, 2})
+    ->Args({2, 0, 2})
+    ->Args({3, 1, 2})
+    ->Args({3, 0, 2})
+    ->Args({3, 1, 3})
+    ->Args({3, 0, 3})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

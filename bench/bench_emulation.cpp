@@ -1,0 +1,138 @@
+// E5 -- the cost structure of the §4 / Figure 2 emulation.
+//
+// Regenerates the "memories consumed" series: IIS memories used to emulate
+// a k-shot atomic-snapshot protocol, as a function of processor count,
+// shots, and adversary.  Counters report total rounds, rounds per emulated
+// operation, and the spread between the fastest and slowest emulator --
+// the nonblocking (not wait-free) signature the paper points out.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "emulation/emulator.hpp"
+#include "emulation/history.hpp"
+#include "emulation/iis_in_snapshot.hpp"
+
+namespace {
+
+using namespace wfc;
+
+enum AdversaryKind { kSync = 0, kSeq = 1, kRot = 2, kRand = 3 };
+
+std::unique_ptr<rt::Adversary> make_adversary(int kind, std::uint64_t seed) {
+  switch (kind) {
+    case kSync:
+      return std::make_unique<rt::SynchronousAdversary>();
+    case kSeq:
+      return std::make_unique<rt::SequentialAdversary>();
+    case kRot:
+      return std::make_unique<rt::RotatingAdversary>();
+    default:
+      return std::make_unique<rt::RandomAdversary>(seed);
+  }
+}
+
+void BM_EmulationSimulated(benchmark::State& state) {
+  const int procs = static_cast<int>(state.range(0));
+  const int shots = static_cast<int>(state.range(1));
+  const int kind = static_cast<int>(state.range(2));
+  const int max_rounds = 128 + 32 * procs * shots;
+
+  double rounds = 0, min_steps = 0, max_steps = 0;
+  bool valid = true;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    emu::FullInfoClient client(shots);
+    auto adv = make_adversary(kind, seed++);
+    emu::EmulationResult res = emu::run_emulation_simulated(
+        procs, *adv, max_rounds, client.init(), client.on_scan());
+    valid = valid && emu::check_history(res).ok();
+    rounds = res.rounds_used;
+    min_steps = *std::min_element(res.iis_steps.begin(), res.iis_steps.end());
+    max_steps = *std::max_element(res.iis_steps.begin(), res.iis_steps.end());
+    benchmark::DoNotOptimize(res);
+  }
+  state.counters["rounds"] = rounds;
+  state.counters["rounds_per_op"] = rounds / (2.0 * shots);
+  state.counters["steps_min"] = min_steps;
+  state.counters["steps_max"] = max_steps;
+  state.counters["history_valid"] = valid ? 1 : 0;
+}
+BENCHMARK(BM_EmulationSimulated)
+    ->ArgsProduct({{2, 3, 4, 6}, {1, 2, 4}, {kSync, kSeq, kRot, kRand}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_EmulationThreads(benchmark::State& state) {
+  const int procs = static_cast<int>(state.range(0));
+  const int shots = static_cast<int>(state.range(1));
+  const int max_rounds = 256 + 64 * procs * shots;
+  double rounds = 0;
+  bool valid = true;
+  for (auto _ : state) {
+    emu::FullInfoClient client(shots);
+    emu::EmulationResult res = emu::run_emulation_threads(
+        procs, max_rounds, client.init(), client.on_scan());
+    valid = valid && emu::check_history(res).ok();
+    rounds = res.rounds_used;
+    benchmark::DoNotOptimize(res);
+  }
+  state.counters["rounds"] = rounds;
+  state.counters["history_valid"] = valid ? 1 : 0;
+}
+BENCHMARK(BM_EmulationThreads)
+    ->ArgsProduct({{2, 3, 4}, {1, 2}})
+    ->Unit(benchmark::kMillisecond);
+
+// Direct simulated atomic-snapshot model as the baseline the emulation is
+// measured against: operations consumed by the same client protocol.
+void BM_DirectSnapshotModel(benchmark::State& state) {
+  const int procs = static_cast<int>(state.range(0));
+  const int shots = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    std::function<int(int)> init = [](int p) { return p; };
+    std::function<rt::Step<int>(int, int, const rt::MemoryView<int>&)>
+        on_scan = [&](int, int k, const rt::MemoryView<int>&) {
+          if (k >= shots) return rt::Step<int>::halt();
+          return rt::Step<int>::cont(0);
+        };
+    rt::SnapshotRunStats stats = rt::run_snapshot_model<int>(
+        procs, rt::fair_schedule(procs, 2 * shots), init, on_scan);
+    benchmark::DoNotOptimize(stats);
+  }
+  state.counters["ops_per_proc"] = 2.0 * shots;
+}
+BENCHMARK(BM_DirectSnapshotModel)
+    ->ArgsProduct({{2, 3, 4, 6}, {1, 2, 4}})
+    ->Unit(benchmark::kMicrosecond);
+
+// E16: the reverse emulation -- IIS protocols inside the snapshot model.
+// Counter `ops_per_round` = snapshot-model appearances per IIS round per
+// processor (theoretical cap: 2(n+1)).
+void BM_ReverseEmulation(benchmark::State& state) {
+  const int procs = static_cast<int>(state.range(0));
+  const int rounds = static_cast<int>(state.range(1));
+  std::function<int(int)> init = [](int p) { return p; };
+  std::function<rt::Step<int>(int, int, const rt::IisSnapshot<int>&)> on_view =
+      [&](int, int round, const rt::IisSnapshot<int>&) {
+        return round + 1 < rounds ? rt::Step<int>::cont(0)
+                                  : rt::Step<int>::halt();
+      };
+  double worst_ops = 0;
+  for (auto _ : state) {
+    emu::ReverseEmulationStats stats = emu::run_iis_in_snapshot_model<int>(
+        procs, emu::reverse_emulation_schedule(procs, rounds), init, on_view);
+    for (int ops : stats.ops_taken) {
+      worst_ops = std::max(worst_ops, static_cast<double>(ops));
+    }
+    benchmark::DoNotOptimize(stats);
+  }
+  state.counters["ops_per_round"] = worst_ops / rounds;
+  state.counters["cap_per_round"] = 2.0 * (procs + 1);
+}
+BENCHMARK(BM_ReverseEmulation)
+    ->ArgsProduct({{2, 3, 4, 6}, {1, 2, 4}})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,156 @@
+// E9 -- the register substrate on real hardware: latency/throughput of the
+// SWMR register, the wait-free atomic snapshot object (Figure 1's
+// SnapshotRead), and the Borowsky-Gafni one-shot immediate snapshot.
+//
+// Note: measurement hosts may be single-core; the threaded series then
+// reflects preemptive interleaving rather than true parallelism, which is
+// the honest setting for an asynchronous-model substrate anyway.
+#include <benchmark/benchmark.h>
+
+#include <barrier>
+#include <thread>
+
+#include "registers/atomic_snapshot.hpp"
+#include "registers/immediate_snapshot.hpp"
+#include "registers/swmr_register.hpp"
+
+namespace {
+
+using namespace wfc;
+
+void BM_SwmrWrite(benchmark::State& state) {
+  reg::SwmrRegister<int> r;
+  int v = 0;
+  for (auto _ : state) {
+    r.write(v++);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SwmrWrite);
+
+void BM_SwmrRead(benchmark::State& state) {
+  reg::SwmrRegister<int> r;
+  r.write(7);
+  for (auto _ : state) {
+    auto v = r.read();
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SwmrRead);
+
+void BM_SwmrReadUnderWriter(benchmark::State& state) {
+  static reg::SwmrRegister<int>* r = nullptr;
+  static std::thread* writer = nullptr;
+  static std::atomic<bool>* stop = nullptr;
+  if (state.thread_index() == 0) {
+    r = new reg::SwmrRegister<int>();
+    stop = new std::atomic<bool>(false);
+    writer = new std::thread([&] {
+      int v = 0;
+      while (!stop->load(std::memory_order_acquire)) r->write(v++);
+    });
+  }
+  for (auto _ : state) {
+    auto v = r->read();
+    benchmark::DoNotOptimize(v);
+  }
+  if (state.thread_index() == 0) {
+    stop->store(true, std::memory_order_release);
+    writer->join();
+    delete writer;
+    delete r;
+    delete stop;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SwmrReadUnderWriter)->Threads(1)->Threads(2);
+
+void BM_AtomicSnapshotScan(benchmark::State& state) {
+  const int procs = static_cast<int>(state.range(0));
+  reg::AtomicSnapshot<int> snap(procs);
+  for (int p = 0; p < procs; ++p) snap.update(p, p);
+  for (auto _ : state) {
+    auto view = snap.scan();
+    benchmark::DoNotOptimize(view);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AtomicSnapshotScan)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_AtomicSnapshotUpdate(benchmark::State& state) {
+  const int procs = static_cast<int>(state.range(0));
+  reg::AtomicSnapshot<int> snap(procs);
+  int v = 0;
+  for (auto _ : state) {
+    snap.update(0, v++);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AtomicSnapshotUpdate)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_AtomicSnapshotContended(benchmark::State& state) {
+  // Each benchmark thread is a processor doing update+scan (Figure 1 body).
+  static reg::AtomicSnapshot<int>* snap = nullptr;
+  if (state.thread_index() == 0) {
+    snap = new reg::AtomicSnapshot<int>(state.threads());
+  }
+  int v = 0;
+  for (auto _ : state) {
+    snap->update(state.thread_index(), v++);
+    auto view = snap->scan();
+    benchmark::DoNotOptimize(view);
+  }
+  if (state.thread_index() == 0) delete snap;
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AtomicSnapshotContended)->Threads(2)->Threads(4)->UseRealTime();
+
+void BM_ImmediateSnapshotSolo(benchmark::State& state) {
+  const int procs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    reg::ImmediateSnapshot<int> is(procs);
+    auto out = is.write_read(0, 1);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ImmediateSnapshotSolo)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_ImmediateSnapshotFullHouse(benchmark::State& state) {
+  // All processors arrive (sequentially here; the levels loop still runs).
+  const int procs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    reg::ImmediateSnapshot<int> is(procs);
+    for (int p = 0; p < procs; ++p) {
+      auto out = is.write_read(p, p);
+      benchmark::DoNotOptimize(out);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * procs);
+}
+BENCHMARK(BM_ImmediateSnapshotFullHouse)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ImmediateSnapshotThreads(benchmark::State& state) {
+  const int procs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    reg::ImmediateSnapshot<int> is(procs);
+    std::barrier sync(procs);
+    std::vector<std::thread> threads;
+    for (int p = 0; p < procs; ++p) {
+      threads.emplace_back([&, p] {
+        sync.arrive_and_wait();
+        auto out = is.write_read(p, p);
+        benchmark::DoNotOptimize(out);
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  state.SetItemsProcessed(state.iterations() * procs);
+}
+BENCHMARK(BM_ImmediateSnapshotThreads)->Arg(2)->Arg(4)->Unit(
+    benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// E8 -- the Sperner engine behind the (n+1, n)-set-consensus impossibility:
+// panchromatic-facet counting over SDS^b(s^n) for random Sperner labelings.
+// Counters confirm the parity invariant (all counts odd) at every size the
+// bench touches, i.e. the impossibility holds at every level measured.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "topology/sperner.hpp"
+#include "topology/subdivision.hpp"
+
+namespace {
+
+using namespace wfc;
+
+void BM_SpernerCount(benchmark::State& state) {
+  const int n_plus_1 = static_cast<int>(state.range(0));
+  const int b = static_cast<int>(state.range(1));
+  topo::ChromaticComplex sds =
+      topo::iterated_sds(topo::base_simplex(n_plus_1), b);
+  Rng rng(42);
+  bool all_odd = true;
+  std::uint64_t last = 0;
+  for (auto _ : state) {
+    topo::Labeling lab = topo::random_sperner_labeling(sds, rng);
+    last = topo::count_panchromatic(sds, lab);
+    all_odd = all_odd && (last % 2 == 1);
+    benchmark::DoNotOptimize(last);
+  }
+  state.counters["facets"] = static_cast<double>(sds.num_facets());
+  state.counters["all_odd"] = all_odd ? 1 : 0;
+  state.counters["last_count"] = static_cast<double>(last);
+}
+BENCHMARK(BM_SpernerCount)
+    ->ArgsProduct({{2, 3}, {1, 2, 3}})
+    ->Args({4, 1})
+    ->Args({4, 2})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_MinCarrierLabeling(benchmark::State& state) {
+  const int n_plus_1 = static_cast<int>(state.range(0));
+  const int b = static_cast<int>(state.range(1));
+  topo::ChromaticComplex sds =
+      topo::iterated_sds(topo::base_simplex(n_plus_1), b);
+  std::uint64_t count = 0;
+  for (auto _ : state) {
+    topo::Labeling lab = topo::min_carrier_labeling(sds);
+    count = topo::count_panchromatic(sds, lab);
+    benchmark::DoNotOptimize(count);
+  }
+  // "Adopt the smallest id you saw" has exactly one panchromatic simplex.
+  state.counters["panchromatic"] = static_cast<double>(count);
+}
+BENCHMARK(BM_MinCarrierLabeling)
+    ->ArgsProduct({{2, 3, 4}, {1, 2}})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+// The paper's main result, §4 / Figure 2: running an atomic-snapshot
+// protocol (Figure 1) on top of iterated immediate snapshot memories.
+//
+// This demo:
+//   1. runs the k-shot full-information protocol through the emulator under
+//      several adversaries and validates the resulting history against the
+//      atomic-snapshot specification (Prop 4.1 / Cor 4.1);
+//   2. shows the cost structure: memories consumed per emulated operation,
+//      including the sequential-adversary case where the fastest emulator
+//      races ahead and slower ones retry (the emulation is nonblocking, not
+//      wait-free -- the paper's closing remark of §4);
+//   3. repeats the run on real threads over register-based one-shot
+//      immediate snapshot objects.
+//
+// Build & run: ./build/examples/emulation_demo
+#include <cstdio>
+
+#include "core/wfc.hpp"
+
+namespace {
+
+void report(const char* label, const wfc::emu::EmulationResult& res) {
+  using namespace wfc;
+  emu::HistoryReport rep = emu::check_history(res);
+  int ops = 0;
+  for (const auto& log : res.ops) ops += static_cast<int>(log.size());
+  std::printf("  %-12s rounds=%3d  ops=%2d  steps/proc=[", label,
+              res.rounds_used, ops);
+  for (std::size_t p = 0; p < res.iis_steps.size(); ++p) {
+    std::printf("%s%d", p ? " " : "", res.iis_steps[p]);
+  }
+  std::printf("]  history: %s%s%s\n", rep.ok() ? "VALID" : "INVALID ",
+              rep.ok() ? "" : rep.violation.c_str(), "");
+}
+
+}  // namespace
+
+int main() {
+  using namespace wfc;
+  constexpr int kProcs = 3;
+  constexpr int kShots = 2;
+  const int max_rounds = 64 + 16 * kProcs * kShots;
+
+  std::printf("== Figure 2: k-shot atomic snapshot emulated in IIS ==\n");
+  std::printf("   (n+1 = %d processors, k = %d write/scan rounds each)\n\n",
+              kProcs, kShots);
+
+  std::printf("Simulated IIS executions:\n");
+  {
+    emu::FullInfoClient client(kShots);
+    rt::SynchronousAdversary adv;
+    report("synchronous", emu::run_emulation_simulated(
+                              kProcs, adv, max_rounds, client.init(),
+                              client.on_scan()));
+  }
+  {
+    emu::FullInfoClient client(kShots);
+    rt::SequentialAdversary adv;
+    report("sequential", emu::run_emulation_simulated(
+                             kProcs, adv, max_rounds, client.init(),
+                             client.on_scan()));
+  }
+  {
+    emu::FullInfoClient client(kShots);
+    rt::RotatingAdversary adv;
+    report("rotating", emu::run_emulation_simulated(kProcs, adv, max_rounds,
+                                                    client.init(),
+                                                    client.on_scan()));
+  }
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    emu::FullInfoClient client(kShots);
+    rt::RandomAdversary adv(seed);
+    char label[32];
+    std::snprintf(label, sizeof label, "random#%llu",
+                  static_cast<unsigned long long>(seed));
+    report(label, emu::run_emulation_simulated(kProcs, adv, max_rounds,
+                                               client.init(),
+                                               client.on_scan()));
+  }
+
+  std::printf("\nThe sequential rows show the §4 caveat: the emulation is\n"
+              "nonblocking, not wait-free -- the first processor completes\n"
+              "an operation every memory while the last one retries, and\n"
+              "only progresses freely once faster ones halt (Lemma 3.1\n"
+              "boundedness is what makes the whole run finite).\n\n");
+
+  std::printf("Real threads over register-based immediate snapshots:\n");
+  bool all_valid = true;
+  for (int trial = 0; trial < 5; ++trial) {
+    emu::FullInfoClient client(kShots);
+    emu::EmulationResult res = emu::run_emulation_threads(
+        kProcs, max_rounds, client.init(), client.on_scan());
+    emu::HistoryReport rep = emu::check_history(res);
+    all_valid = all_valid && rep.ok();
+    std::printf("  trial %d: rounds=%d history=%s\n", trial, res.rounds_used,
+                rep.ok() ? "VALID" : rep.violation.c_str());
+  }
+  return all_valid ? 0 : 1;
+}

@@ -1,0 +1,126 @@
+// wfc_cli -- decide wait-free solvability from the command line.
+//
+// Usage:
+//   wfc_cli consensus <procs> <values> [max_level]
+//   wfc_cli set-consensus <procs> <k> [max_level]
+//   wfc_cli renaming <procs> <names> [max_level]
+//   wfc_cli approx <procs> <grid> [max_level]
+//   wfc_cli simplex-agreement <procs> <target_depth> [max_level]
+//   wfc_cli resilient-consensus <procs> <t> [max_level]
+//   wfc_cli resilient-set-consensus <procs> <k>:<t> [max_level]   (e.g. 2:1)
+//
+// Prints the characterization verdict, and for solvable tasks also runs the
+// synthesized protocol once on real threads as a liveness check.  The
+// resilient-* forms answer the t-resilient question for colorless tasks via
+// the BG reduction.
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "core/wfc.hpp"
+
+namespace {
+
+using namespace wfc;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: wfc_cli <task> <args...> [max_level]\n"
+               "  consensus <procs> <values>\n"
+               "  set-consensus <procs> <k>\n"
+               "  renaming <procs> <names>\n"
+               "  approx <procs> <grid>\n"
+               "  simplex-agreement <procs> <target_depth>\n");
+  return 2;
+}
+
+std::unique_ptr<task::Task> make_task(const std::string& name, int a, int b) {
+  if (name == "consensus") return std::make_unique<task::ConsensusTask>(a, b);
+  if (name == "set-consensus") {
+    return std::make_unique<task::KSetConsensusTask>(a, b);
+  }
+  if (name == "renaming") return std::make_unique<task::RenamingTask>(a, b);
+  if (name == "approx") {
+    return std::make_unique<task::ApproxAgreementTask>(a, b);
+  }
+  if (name == "simplex-agreement") {
+    return std::make_unique<task::SimplexAgreementTask>(
+        a, topo::iterated_sds(topo::base_simplex(a), b));
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int resilient_command(const std::string& name, int procs, const char* arg,
+                      int max_level) {
+  using namespace wfc::task;
+  ColorlessSpec spec;
+  int t = 0;
+  if (name == "resilient-consensus") {
+    spec = colorless_consensus(2);
+    t = std::atoi(arg);
+  } else {
+    const std::string kt = arg;
+    const auto colon = kt.find(':');
+    if (colon == std::string::npos) return usage();
+    const int k = std::atoi(kt.substr(0, colon).c_str());
+    t = std::atoi(kt.substr(colon + 1).c_str());
+    spec = colorless_set_consensus(k, procs);
+  }
+  ResilienceVerdict v = decide_t_resilient(spec, procs, t, max_level);
+  const char* status =
+      v.status == Solvability::kSolvable
+          ? "SOLVABLE"
+          : v.status == Solvability::kUnsolvable ? "UNSOLVABLE" : "UNKNOWN";
+  std::printf("%s with %d processors tolerating %d failures: %s",
+              spec.name.c_str(), procs, t, status);
+  if (v.status == Solvability::kSolvable) {
+    std::printf(" (wait-free witness at level %d for %d processors)",
+                v.wait_free_level, t + 1);
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int main(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const std::string name = argv[1];
+  const int a = std::atoi(argv[2]);
+  const int b = std::atoi(argv[3]);
+  const int max_level = argc > 4 ? std::atoi(argv[4]) : 2;
+
+  if (name.rfind("resilient-", 0) == 0) {
+    return resilient_command(name, a, argv[3], max_level);
+  }
+
+  std::unique_ptr<task::Task> t;
+  try {
+    t = make_task(name, a, b);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "invalid parameters: %s\n", e.what());
+    return 2;
+  }
+  if (!t) return usage();
+
+  CharacterizeOptions opts;
+  opts.max_level = max_level;
+  CharacterizationReport rep = characterize(*t, opts);
+  std::printf("%s\n", rep.summary(t->name()).c_str());
+
+  if (rep.status == task::Solvability::kSolvable) {
+    task::SolveResult solved = task::solve(*t, max_level);
+    task::DecisionProtocol protocol(*t, std::move(solved));
+    const topo::Simplex& facet = t->input().facets().front();
+    task::RunOutcome out = protocol.run_threads(facet);
+    std::printf("live run on %zu threads: ", facet.size());
+    for (std::size_t i = 0; i < out.decisions.size(); ++i) {
+      std::printf("%s%s", i ? ", " : "",
+                  t->output().vertex(out.decisions[i]).key.c_str());
+    }
+    std::printf("  [%s]\n", out.valid ? "valid" : "INVALID");
+    return out.valid ? 0 : 1;
+  }
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Safe agreement -- the coordination primitive of the Borowsky-Gafni
+// simulation ([7]'s t-resilient reduction, the construction this paper's
+// techniques seeded; §1 and §6 point to the resiliency follow-ups [10,11]).
+//
+// Semantics: processors propose values; all resolutions return the SAME
+// proposed value (agreement + validity), and the object is wait-free
+// EXCEPT for a bounded "unsafe window" inside propose(): a processor that
+// crashes between announcing its proposal and publishing its commit/defer
+// decision may leave the object forever unresolved.  Resolution is
+// therefore a NON-BLOCKING query (try_resolve), and the BG simulation
+// charges each crashed simulator at most one permanently-blocked object.
+//
+// Construction (two-level, on an atomic snapshot object):
+//   propose(i, v):  post (v, LEVEL_RAISED); scan;
+//                   post (v, saw LEVEL_COMMITTED ? LEVEL_DEFERRED
+//                                                : LEVEL_COMMITTED)
+//   try_resolve():  scan; if anyone is at LEVEL_RAISED -> unresolved;
+//                   else decide the value of the smallest id at
+//                   LEVEL_COMMITTED (one must exist).
+//
+// Agreement: once no one is RAISED, the COMMITTED set is frozen (DEFERRED
+// and COMMITTED are terminal), so all resolvers pick the same minimum.
+// Non-emptiness: the first proposer to finish its scan cannot have seen a
+// COMMITTED entry, so it commits.
+#pragma once
+
+#include <optional>
+
+#include "registers/atomic_snapshot.hpp"
+
+namespace wfc::bg {
+
+template <typename V>
+class SafeAgreement {
+ public:
+  explicit SafeAgreement(int n_procs)
+      : mem_(n_procs),
+        entered_(static_cast<std::size_t>(n_procs), 0),
+        pending_(static_cast<std::size_t>(n_procs)) {}
+
+  [[nodiscard]] int n_procs() const noexcept { return mem_.n_procs(); }
+
+  /// Full proposal; the unsafe window lies between the two updates.
+  void propose(int i, V value) {
+    propose_enter(i, value);
+    propose_finish(i);
+  }
+
+  /// First half: announce the proposal (enters the unsafe window).  Exposed
+  /// separately so tests and the simulation's crash injection can model a
+  /// processor failing INSIDE the window.
+  void propose_enter(int i, V value) {
+    check(i);
+    WFC_REQUIRE(!entered_[static_cast<std::size_t>(i)],
+                "SafeAgreement: propose called twice");
+    entered_[static_cast<std::size_t>(i)] = true;
+    pending_[static_cast<std::size_t>(i)] = value;
+    mem_.update(i, Cell{std::move(value), kRaised});
+  }
+
+  /// Second half: leave the unsafe window by committing or deferring.
+  void propose_finish(int i) {
+    check(i);
+    WFC_REQUIRE(entered_[static_cast<std::size_t>(i)],
+                "SafeAgreement: finish before enter");
+    const auto view = mem_.scan();
+    bool saw_committed = false;
+    for (const auto& cell : view) {
+      if (cell.has_value() && cell->level == kCommitted) saw_committed = true;
+    }
+    mem_.update(i, Cell{pending_[static_cast<std::size_t>(i)],
+                        saw_committed ? kDeferred : kCommitted});
+  }
+
+  /// Non-blocking resolution: the agreed value, or nullopt while some
+  /// proposer is still (or forever) inside the unsafe window -- or before
+  /// anyone proposed.
+  [[nodiscard]] std::optional<V> try_resolve() const {
+    const auto view = mem_.scan();
+    std::optional<V> committed;
+    bool any = false;
+    for (const auto& cell : view) {
+      if (!cell.has_value()) continue;
+      any = true;
+      if (cell->level == kRaised) return std::nullopt;
+      if (cell->level == kCommitted && !committed.has_value()) {
+        committed = cell->value;  // smallest id wins (scan is id-ordered)
+      }
+    }
+    if (!any) return std::nullopt;
+    WFC_CHECK(committed.has_value(),
+              "SafeAgreement: settled object with no committed proposal");
+    return committed;
+  }
+
+ private:
+  static constexpr int kRaised = 1;
+  static constexpr int kCommitted = 2;
+  static constexpr int kDeferred = 3;
+
+  struct Cell {
+    V value{};
+    int level = 0;
+  };
+
+  void check(int i) const {
+    WFC_REQUIRE(i >= 0 && i < n_procs(), "SafeAgreement: bad id");
+  }
+
+  reg::AtomicSnapshot<Cell> mem_;
+  // Writer-local bookkeeping (each index touched by one thread only).
+  std::vector<char> entered_;  // char, not bool: distinct threads touch distinct indices
+  std::vector<V> pending_;
+};
+
+}  // namespace wfc::bg

@@ -1,0 +1,242 @@
+#include "bg/simulation.hpp"
+
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "bg/safe_agreement.hpp"
+#include "common/assert.hpp"
+#include "registers/atomic_snapshot.hpp"
+
+namespace wfc::bg {
+
+namespace {
+
+/// A simulator's published knowledge: per simulated processor, the writes
+/// it knows were performed (with values) and the views it knows resolved.
+struct Board {
+  // performed[j] = values of writes 0..performed[j].size()-1
+  std::vector<std::vector<int>> performed;
+  // resolved[j] = agreed views for rounds 0..resolved[j].size()-1
+  std::vector<std::vector<SimView>> resolved;
+};
+
+/// Thread-safe intern table turning agreed views into write values for the
+/// next round (full-information encoding).
+class ViewEncoder {
+ public:
+  int encode(const SimView& view) {
+    std::scoped_lock lock(mu_);
+    auto [it, inserted] =
+        index_.emplace(view, static_cast<int>(index_.size()) + 10'000);
+    return it->second;
+  }
+
+ private:
+  std::mutex mu_;
+  std::map<SimView, int> index_;
+};
+
+}  // namespace
+
+BgOutcome run_bg_simulation(const BgConfig& config) {
+  const int S = config.n_simulators;
+  const int M = config.n_simulated;
+  const int K = config.rounds;
+  WFC_REQUIRE(S >= 1 && S <= 16, "bg: simulator count out of range");
+  WFC_REQUIRE(M >= 1 && M <= 16, "bg: simulated count out of range");
+  WFC_REQUIRE(K >= 1, "bg: rounds must be positive");
+  WFC_REQUIRE(config.crash_in_sa.empty() ||
+                  config.crash_in_sa.size() == static_cast<std::size_t>(S),
+              "bg: crash_in_sa must be empty or one entry per simulator");
+
+  reg::AtomicSnapshot<Board> boards(S);
+  std::vector<std::unique_ptr<SafeAgreement<SimView>>> agreements;
+  agreements.reserve(static_cast<std::size_t>(M * K));
+  for (int i = 0; i < M * K; ++i) {
+    agreements.push_back(std::make_unique<SafeAgreement<SimView>>(S));
+  }
+  auto sa_for = [&](int j, int t) -> SafeAgreement<SimView>& {
+    return *agreements[static_cast<std::size_t>(j * K + t)];
+  };
+  ViewEncoder encoder;
+
+  auto simulator = [&](int s) {
+    const int crash_at = config.crash_in_sa.empty()
+                             ? -1
+                             : config.crash_in_sa[static_cast<std::size_t>(s)];
+    int sa_started = 0;
+    Board board;
+    board.performed.resize(static_cast<std::size_t>(M));
+    board.resolved.resize(static_cast<std::size_t>(M));
+    std::vector<std::vector<char>> proposed(
+        static_cast<std::size_t>(M),
+        std::vector<char>(static_cast<std::size_t>(K), 0));
+
+    auto merge_knowledge = [&] {
+      const auto view = boards.scan();
+      for (const auto& cell : view) {
+        if (!cell.has_value()) continue;
+        const Board& other = *cell;
+        for (int j = 0; j < M; ++j) {
+          const auto uj = static_cast<std::size_t>(j);
+          if (other.performed[uj].size() > board.performed[uj].size()) {
+            board.performed[uj] = other.performed[uj];
+          }
+          if (other.resolved[uj].size() > board.resolved[uj].size()) {
+            board.resolved[uj] = other.resolved[uj];
+          }
+        }
+      }
+    };
+
+    auto derive_view = [&]() -> SimView {
+      // Freshest performed write per cell, from an atomic scan of boards.
+      const auto view = boards.scan();
+      SimView out(static_cast<std::size_t>(M));
+      for (const auto& cell : view) {
+        if (!cell.has_value()) continue;
+        const Board& other = *cell;
+        for (int j = 0; j < M; ++j) {
+          const auto uj = static_cast<std::size_t>(j);
+          if (other.performed[uj].empty()) continue;
+          const int t = static_cast<int>(other.performed[uj].size()) - 1;
+          if (!out[uj].has_value() || out[uj]->first < t) {
+            out[uj] = std::make_pair(t, other.performed[uj].back());
+          }
+        }
+      }
+      return out;
+    };
+
+    int idle_sweeps = 0;
+    for (;;) {
+      bool progress = false;
+      bool all_done = true;
+      merge_knowledge();
+      for (int j = 0; j < M; ++j) {
+        const auto uj = static_cast<std::size_t>(j);
+        const int t = static_cast<int>(board.resolved[uj].size());
+        if (t == K) continue;
+        all_done = false;
+        SafeAgreement<SimView>& sa = sa_for(j, t);
+
+        // Adopt a resolution if one exists.
+        if (auto agreed = sa.try_resolve()) {
+          board.resolved[uj].push_back(std::move(*agreed));
+          boards.update(s, board);
+          progress = true;
+          continue;
+        }
+        if (proposed[uj][static_cast<std::size_t>(t)]) continue;
+
+        // Perform the (deterministic) write of round t if still missing.
+        if (static_cast<int>(board.performed[uj].size()) <= t) {
+          WFC_CHECK(static_cast<int>(board.performed[uj].size()) == t,
+                    "bg: write gap in simulated history");
+          const int value =
+              t == 0 ? j : encoder.encode(board.resolved[uj][
+                               static_cast<std::size_t>(t - 1)]);
+          board.performed[uj].push_back(value);
+          boards.update(s, board);
+        }
+
+        // Propose the snapshot view for (j, t).
+        SimView proposal = derive_view();
+        // Self-inclusion: our board already carries (j, t)'s write, and the
+        // scan above includes our own board.
+        WFC_CHECK(proposal[uj].has_value() && proposal[uj]->first >= t,
+                  "bg: proposal missing the simulated processor's own write");
+        proposed[uj][static_cast<std::size_t>(t)] = 1;
+        ++sa_started;
+        if (crash_at >= 0 && sa_started == crash_at) {
+          sa.propose_enter(s, std::move(proposal));
+          return;  // crash inside the unsafe window
+        }
+        sa.propose(s, std::move(proposal));
+        if (auto agreed = sa.try_resolve()) {
+          board.resolved[uj].push_back(std::move(*agreed));
+          boards.update(s, board);
+        }
+        progress = true;
+      }
+      if (all_done) return;
+      if (progress) {
+        idle_sweeps = 0;
+      } else if (++idle_sweeps >= config.patience) {
+        return;  // remaining processors are blocked by crashed simulators
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(S));
+  for (int s = 0; s < S; ++s) threads.emplace_back(simulator, s);
+  for (auto& t : threads) t.join();
+
+  // Collect the agreed execution from the safe-agreement objects.
+  BgOutcome out;
+  out.rounds_completed.assign(static_cast<std::size_t>(M), 0);
+  out.views.resize(static_cast<std::size_t>(M));
+  out.write_values.resize(static_cast<std::size_t>(M));
+  for (int j = 0; j < M; ++j) {
+    const auto uj = static_cast<std::size_t>(j);
+    for (int t = 0; t < K; ++t) {
+      auto agreed = sa_for(j, t).try_resolve();
+      if (!agreed.has_value()) break;
+      if (t == 0) out.write_values[uj].push_back(j);
+      out.views[uj].push_back(std::move(*agreed));
+      ++out.rounds_completed[uj];
+      if (t + 1 < K) {
+        out.write_values[uj].push_back(
+            encoder.encode(out.views[uj].back()));
+      }
+    }
+    if (out.rounds_completed[uj] < K) ++out.blocked;
+  }
+
+  // Legality checks.
+  out.views_comparable = true;
+  out.self_inclusive = true;
+  out.per_writer_monotone = true;
+  std::vector<const SimView*> all;
+  for (const auto& per : out.views) {
+    for (const auto& v : per) all.push_back(&v);
+  }
+  auto le = [&](const SimView& a, const SimView& b) {
+    for (std::size_t c = 0; c < a.size(); ++c) {
+      const int ta = a[c].has_value() ? a[c]->first : -1;
+      const int tb = b[c].has_value() ? b[c]->first : -1;
+      if (ta > tb) return false;
+    }
+    return true;
+  };
+  for (std::size_t x = 0; x < all.size(); ++x) {
+    for (std::size_t y = x + 1; y < all.size(); ++y) {
+      if (!le(*all[x], *all[y]) && !le(*all[y], *all[x])) {
+        out.views_comparable = false;
+      }
+    }
+  }
+  for (int j = 0; j < M; ++j) {
+    const auto uj = static_cast<std::size_t>(j);
+    for (int t = 0; t < out.rounds_completed[uj]; ++t) {
+      const SimView& v = out.views[uj][static_cast<std::size_t>(t)];
+      const auto& own = v[uj];
+      if (!own.has_value() || own->first < t) out.self_inclusive = false;
+      if (own.has_value() && own->first == t &&
+          own->second != out.write_values[uj][static_cast<std::size_t>(t)]) {
+        out.self_inclusive = false;  // wrong value for the own write
+      }
+      if (t > 0 &&
+          !le(out.views[uj][static_cast<std::size_t>(t - 1)], v)) {
+        out.per_writer_monotone = false;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace wfc::bg

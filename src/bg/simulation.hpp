@@ -1,0 +1,76 @@
+// The Borowsky-Gafni simulation: a set of S wait-free SIMULATORS jointly
+// executes the k-shot full-information atomic-snapshot protocol (Figure 1)
+// of M SIMULATED processors, such that
+//
+//   * every resolved simulated step is agreed by all simulators (they see
+//     one common simulated execution),
+//   * the simulated execution is a legal atomic-snapshot execution (views
+//     totally ordered, self-inclusive, per-writer monotone), and
+//   * a crashed simulator permanently blocks AT MOST ONE simulated
+//     processor (the one whose safe-agreement window it died in).
+//
+// This reduction is how wait-free impossibilities lift to t-resilient ones
+// (e.g. 1-resilient consensus for 3 processors from wait-free consensus
+// for 2): the paper's §1 credits exactly this machinery ([7]) and its §6
+// points at the resiliency generalizations [10, 11] built on it.
+//
+// Mechanics per simulated step (j, t):
+//   * the write of round t is DETERMINISTIC (full information: the value is
+//     round 0's input or the encoding of the agreed view of round t-1), so
+//     simulators just mark it performed on their shared "board";
+//   * the snapshot of round t is timing-dependent, so each simulator scans
+//     the boards, derives the simulated memory (freshest performed write
+//     per cell) and PROPOSES it to the step's SafeAgreement object; the
+//     agreed proposal becomes THE view of (j, t).
+// Because every proposal is derived from an atomic scan of one shared
+// object, any two resolved views are comparable -- that is the legality
+// argument, and the harness re-verifies it on every run.
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/color_set.hpp"
+
+namespace wfc::bg {
+
+/// A simulated memory view: per simulated cell, (round, value) of the
+/// freshest write observed, or nullopt.
+using SimView = std::vector<std::optional<std::pair<int, int>>>;
+
+struct BgConfig {
+  int n_simulators = 2;
+  int n_simulated = 3;
+  int rounds = 2;  // k of the simulated Figure 1 protocol
+  /// Per simulator: crash inside the unsafe window of its c-th safe
+  /// agreement proposal (1-based); -1 = run to completion.
+  std::vector<int> crash_in_sa;
+  /// Consecutive no-progress sweeps (with yields) before a live simulator
+  /// concludes the remaining processors are blocked by crashes.
+  int patience = 600;
+};
+
+struct BgOutcome {
+  /// Resolved rounds per simulated processor (== rounds when completed).
+  std::vector<int> rounds_completed;
+  /// views[j][t] = agreed view of P_j's t-th snapshot (resolved ones only).
+  std::vector<std::vector<SimView>> views;
+  /// Simulated write values, write_value[j][t] (determined ones only).
+  std::vector<std::vector<int>> write_values;
+
+  // Legality checks, filled by the harness:
+  bool views_comparable = false;      // total order across ALL views
+  bool self_inclusive = false;        // view (j,t) contains write (j,t)
+  bool per_writer_monotone = false;   // per j, views grow with t
+  int blocked = 0;                    // simulated procs that never finished
+
+  [[nodiscard]] bool legal() const noexcept {
+    return views_comparable && self_inclusive && per_writer_monotone;
+  }
+};
+
+/// Runs the simulation on real threads (one per simulator).
+BgOutcome run_bg_simulation(const BgConfig& config);
+
+}  // namespace wfc::bg

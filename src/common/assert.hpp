@@ -1,0 +1,48 @@
+// Checked preconditions and internal invariants for the wfc library.
+//
+// Two macro families, following the error-handling split recommended by the
+// C++ Core Guidelines (I.5/I.6, E.x):
+//
+//   WFC_REQUIRE(cond, msg)  -- precondition on a *public* API.  Violations
+//                              are caller bugs and throw std::invalid_argument
+//                              so tests and callers can observe them.
+//   WFC_CHECK(cond, msg)    -- internal invariant / postcondition.  Violations
+//                              are library bugs and throw std::logic_error.
+//
+// Both are always on: this library's workloads are combinatorial, and a
+// silently corrupted complex is far more expensive than the branch.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace wfc::detail {
+
+[[noreturn]] inline void require_failed(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "WFC_REQUIRE failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "WFC_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace wfc::detail
+
+#define WFC_REQUIRE(cond, msg)                                          \
+  do {                                                                  \
+    if (!(cond)) ::wfc::detail::require_failed(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#define WFC_CHECK(cond, msg)                                            \
+  do {                                                                  \
+    if (!(cond)) ::wfc::detail::check_failed(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)

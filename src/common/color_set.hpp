@@ -1,0 +1,153 @@
+// ColorSet: a set of processor colors (ids) 0..31 as a bitmask.
+//
+// Colors identify both processors and the vertices of the base simplex s^n
+// (the paper identifies processor ids with simplex corners, §3.1).  All
+// carrier bookkeeping in the topology layer is done with ColorSets, so the
+// operations here are the hot path of complex generation.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <initializer_list>
+#include <string>
+
+#include "common/assert.hpp"
+
+namespace wfc {
+
+/// Processor / vertex color.  Valid range: [0, kMaxColors).
+using Color = int;
+
+/// Upper bound on distinct colors (processors) supported by ColorSet.
+inline constexpr int kMaxColors = 32;
+
+/// An immutable-style value type holding a set of colors as a 32-bit mask.
+class ColorSet {
+ public:
+  constexpr ColorSet() noexcept = default;
+
+  constexpr explicit ColorSet(std::uint32_t mask) noexcept : mask_(mask) {}
+
+  ColorSet(std::initializer_list<Color> colors) {
+    for (Color c : colors) *this = with(c);
+  }
+
+  /// The set {0, 1, ..., n_colors-1}.
+  static ColorSet full(int n_colors) {
+    WFC_REQUIRE(n_colors >= 0 && n_colors <= kMaxColors, "color count");
+    return n_colors == kMaxColors
+               ? ColorSet(~std::uint32_t{0})
+               : ColorSet((std::uint32_t{1} << n_colors) - 1);
+  }
+
+  static ColorSet single(Color c) {
+    WFC_REQUIRE(c >= 0 && c < kMaxColors, "color out of range");
+    return ColorSet(std::uint32_t{1} << c);
+  }
+
+  [[nodiscard]] constexpr std::uint32_t mask() const noexcept { return mask_; }
+  [[nodiscard]] constexpr bool empty() const noexcept { return mask_ == 0; }
+  [[nodiscard]] constexpr int size() const noexcept {
+    return std::popcount(mask_);
+  }
+
+  [[nodiscard]] bool contains(Color c) const {
+    WFC_REQUIRE(c >= 0 && c < kMaxColors, "color out of range");
+    return (mask_ >> c) & 1u;
+  }
+
+  [[nodiscard]] ColorSet with(Color c) const {
+    WFC_REQUIRE(c >= 0 && c < kMaxColors, "color out of range");
+    return ColorSet(mask_ | (std::uint32_t{1} << c));
+  }
+
+  [[nodiscard]] ColorSet without(Color c) const {
+    WFC_REQUIRE(c >= 0 && c < kMaxColors, "color out of range");
+    return ColorSet(mask_ & ~(std::uint32_t{1} << c));
+  }
+
+  [[nodiscard]] constexpr ColorSet unite(ColorSet o) const noexcept {
+    return ColorSet(mask_ | o.mask_);
+  }
+  [[nodiscard]] constexpr ColorSet intersect(ColorSet o) const noexcept {
+    return ColorSet(mask_ & o.mask_);
+  }
+  [[nodiscard]] constexpr ColorSet minus(ColorSet o) const noexcept {
+    return ColorSet(mask_ & ~o.mask_);
+  }
+  [[nodiscard]] constexpr bool subset_of(ColorSet o) const noexcept {
+    return (mask_ & ~o.mask_) == 0;
+  }
+
+  /// Smallest color in the set; requires non-empty.
+  [[nodiscard]] Color min() const {
+    WFC_REQUIRE(!empty(), "min of empty ColorSet");
+    return std::countr_zero(mask_);
+  }
+
+  constexpr bool operator==(const ColorSet&) const noexcept = default;
+  constexpr auto operator<=>(const ColorSet&) const noexcept = default;
+
+  /// Iterates set bits in increasing color order.
+  class iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = Color;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const Color*;
+    using reference = Color;
+
+    constexpr iterator() noexcept = default;
+    constexpr explicit iterator(std::uint32_t rest) noexcept : rest_(rest) {}
+    constexpr Color operator*() const noexcept {
+      return std::countr_zero(rest_);
+    }
+    constexpr iterator& operator++() noexcept {
+      rest_ &= rest_ - 1;
+      return *this;
+    }
+    constexpr iterator operator++(int) noexcept {
+      iterator tmp = *this;
+      ++*this;
+      return tmp;
+    }
+    constexpr bool operator==(const iterator&) const noexcept = default;
+
+   private:
+    std::uint32_t rest_ = 0;
+  };
+
+  [[nodiscard]] constexpr iterator begin() const noexcept {
+    return iterator(mask_);
+  }
+  [[nodiscard]] constexpr iterator end() const noexcept { return iterator(0); }
+
+  [[nodiscard]] std::string to_string() const {
+    std::string s = "{";
+    bool first = true;
+    for (Color c : *this) {
+      if (!first) s += ",";
+      s += std::to_string(c);
+      first = false;
+    }
+    return s + "}";
+  }
+
+ private:
+  std::uint32_t mask_ = 0;
+};
+
+/// Enumerates all non-empty subsets of `universe`, invoking `fn(ColorSet)`.
+template <typename Fn>
+void for_each_nonempty_subset(ColorSet universe, Fn&& fn) {
+  const std::uint32_t u = universe.mask();
+  // Standard sub-mask walk: visits each subset of u exactly once.
+  for (std::uint32_t sub = u;; sub = (sub - 1) & u) {
+    if (sub != 0) fn(ColorSet(sub));
+    if (sub == 0) break;
+  }
+}
+
+}  // namespace wfc

@@ -1,0 +1,149 @@
+#include "common/linalg.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/assert.hpp"
+
+namespace wfc::linalg {
+
+bool solve(Matrix a, std::vector<double> b, std::vector<double>& x,
+           double eps) {
+  WFC_REQUIRE(a.rows() == a.cols(), "solve: matrix must be square");
+  WFC_REQUIRE(b.size() == a.rows(), "solve: rhs size mismatch");
+  const std::size_t n = a.rows();
+  // Forward elimination with partial pivoting.
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a.at(r, col)) > std::abs(a.at(pivot, col))) pivot = r;
+    }
+    if (std::abs(a.at(pivot, col)) < eps) return false;
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a.at(col, c), a.at(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a.at(r, col) / a.at(col, col);
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a.at(r, c) -= f * a.at(col, c);
+      b[r] -= f * b[col];
+    }
+  }
+  // Back substitution.
+  x.assign(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) acc -= a.at(i, c) * x[c];
+    x[i] = acc / a.at(i, i);
+  }
+  return true;
+}
+
+double determinant(Matrix a) {
+  WFC_REQUIRE(a.rows() == a.cols(), "determinant: matrix must be square");
+  const std::size_t n = a.rows();
+  double det = 1.0;
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a.at(r, col)) > std::abs(a.at(pivot, col))) pivot = r;
+    }
+    if (a.at(pivot, col) == 0.0) return 0.0;
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a.at(col, c), a.at(pivot, c));
+      det = -det;
+    }
+    det *= a.at(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a.at(r, col) / a.at(col, col);
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a.at(r, c) -= f * a.at(col, c);
+    }
+  }
+  return det;
+}
+
+bool barycentric_coords(const std::vector<std::vector<double>>& verts,
+                        const std::vector<double>& p, std::vector<double>& out,
+                        double eps) {
+  WFC_REQUIRE(!verts.empty(), "barycentric_coords: no vertices");
+  const std::size_t k = verts.size();       // number of simplex vertices
+  const std::size_t d = verts[0].size();    // ambient dimension
+  WFC_REQUIRE(p.size() == d, "barycentric_coords: point dimension mismatch");
+  for (const auto& v : verts)
+    WFC_REQUIRE(v.size() == d, "barycentric_coords: vertex dimension mismatch");
+
+  if (k == 1) {
+    // Zero-dimensional simplex: the point must coincide with the vertex.
+    double dist2 = 0.0;
+    for (std::size_t i = 0; i < d; ++i) {
+      const double diff = p[i] - verts[0][i];
+      dist2 += diff * diff;
+    }
+    out.assign(1, 1.0);
+    return dist2 < 1e-14;
+  }
+
+  // Solve the (possibly overdetermined) system V^T lambda = p together with
+  // sum(lambda) = 1 via normal equations: M lambda = rhs where
+  // M = A^T A, A is the (d+1) x k matrix [V^T ; 1...1].
+  Matrix m(k, k);
+  std::vector<double> rhs(k, 0.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      double acc = 1.0;  // contribution of the sum-to-1 row
+      for (std::size_t r = 0; r < d; ++r) acc += verts[i][r] * verts[j][r];
+      m.at(i, j) = acc;
+    }
+    double acc = 1.0;
+    for (std::size_t r = 0; r < d; ++r) acc += verts[i][r] * p[r];
+    rhs[i] = acc;
+  }
+  if (!solve(std::move(m), std::move(rhs), out, eps)) return false;
+
+  // Residual check: lambda is only meaningful if p lies in the affine hull.
+  double res2 = 0.0;
+  for (std::size_t r = 0; r < d; ++r) {
+    double acc = -p[r];
+    for (std::size_t i = 0; i < k; ++i) acc += out[i] * verts[i][r];
+    res2 += acc * acc;
+  }
+  double sum = -1.0;
+  for (std::size_t i = 0; i < k; ++i) sum += out[i];
+  res2 += sum * sum;
+  return res2 < 1e-12;
+}
+
+bool coords_nonnegative(const std::vector<double>& coords, double tol) {
+  for (double c : coords) {
+    if (c < -tol) return false;
+  }
+  return true;
+}
+
+double simplex_volume(const std::vector<std::vector<double>>& verts) {
+  WFC_REQUIRE(!verts.empty(), "simplex_volume: no vertices");
+  const std::size_t k = verts.size() - 1;  // simplex dimension
+  if (k == 0) return 1.0;                  // convention: a point has volume 1
+  const std::size_t d = verts[0].size();
+  // Gram determinant: vol = sqrt(det G) / k!, with
+  // G_ij = (v_i - v_0) . (v_j - v_0).  Works in any ambient dimension.
+  Matrix g(k, k);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      double acc = 0.0;
+      for (std::size_t r = 0; r < d; ++r) {
+        acc += (verts[i + 1][r] - verts[0][r]) * (verts[j + 1][r] - verts[0][r]);
+      }
+      g.at(i, j) = acc;
+    }
+  }
+  double det = determinant(std::move(g));
+  if (det < 0.0) det = 0.0;  // numerical noise on degenerate simplices
+  double fact = 1.0;
+  for (std::size_t i = 2; i <= k; ++i) fact *= static_cast<double>(i);
+  return std::sqrt(det) / fact;
+}
+
+}  // namespace wfc::linalg

@@ -1,0 +1,59 @@
+// Small dense linear algebra for geometric embeddings: barycentric point
+// location, affine solves, and simplex volume.  Dimensions here are tiny
+// (the number of processors, <= 8 in every experiment), so a plain
+// partial-pivot Gaussian elimination is the right tool.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace wfc::linalg {
+
+/// Dense row-major matrix of doubles.  Minimal: exactly what the geometry
+/// code needs, nothing more.
+class Matrix {
+ public:
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+ private:
+  std::size_t rows_, cols_;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b with partial pivoting.  Returns false if A is singular
+/// (pivot below `eps`), in which case `x` is unspecified.
+bool solve(Matrix a, std::vector<double> b, std::vector<double>& x,
+           double eps = 1e-12);
+
+/// Determinant via LU decomposition with partial pivoting.
+double determinant(Matrix a);
+
+/// Barycentric coordinates of point `p` with respect to the affine simplex
+/// whose vertices are `verts` (each a coordinate vector of equal length,
+/// with verts.size() - 1 == the simplex dimension).  Works when the point's
+/// ambient space has dimension >= simplex dimension: the system is solved in
+/// least-squares-free exact form by augmenting with the "sum to 1" row.
+/// Returns false if the simplex is degenerate.
+bool barycentric_coords(const std::vector<std::vector<double>>& verts,
+                        const std::vector<double>& p, std::vector<double>& out,
+                        double eps = 1e-12);
+
+/// True if all coordinates are >= -tol (point inside or on the boundary).
+bool coords_nonnegative(const std::vector<double>& coords, double tol = 1e-9);
+
+/// Unsigned volume (Lebesgue measure within the simplex's affine hull
+/// scaled by standard k-volume) of the simplex with the given vertices.
+/// For a full-dimensional simplex in R^d with d+1 vertices this is
+/// |det(v1-v0, ..., vd-v0)| / d!.
+double simplex_volume(const std::vector<std::vector<double>>& verts);
+
+}  // namespace wfc::linalg

@@ -1,0 +1,204 @@
+#include "convergence/approximation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/linalg.hpp"
+#include "common/rng.hpp"
+#include "topology/subdivision.hpp"
+
+namespace wfc::conv {
+
+namespace {
+
+using topo::ChromaticComplex;
+using topo::Simplex;
+using topo::VertexId;
+
+/// Pre-extracted facet vertex coordinates of a complex.
+std::vector<std::vector<std::vector<double>>> facet_coords(
+    const ChromaticComplex& c) {
+  std::vector<std::vector<std::vector<double>>> out;
+  out.reserve(c.num_facets());
+  for (const Simplex& f : c.facets()) {
+    std::vector<std::vector<double>> verts;
+    verts.reserve(f.size());
+    for (VertexId v : f) verts.push_back(c.vertex(v).coords);
+    out.push_back(std::move(verts));
+  }
+  return out;
+}
+
+bool in_hull(const std::vector<std::vector<double>>& tau,
+             const std::vector<double>& point, double tol) {
+  std::vector<double> coords;
+  if (!linalg::barycentric_coords(tau, point, coords)) return false;
+  return linalg::coords_nonnegative(coords, tol);
+}
+
+/// Deterministic interior sample points of the simplex spanned by `verts`:
+/// the barycenter, points pulled toward each vertex, pairwise-edge-biased
+/// points, and a few seeded pseudorandom ones.  All strictly interior.
+std::vector<std::vector<double>> interior_samples(
+    const std::vector<std::vector<double>>& verts) {
+  const std::size_t k = verts.size();
+  const std::size_t d = verts[0].size();
+  std::vector<std::vector<double>> weights;
+  // Barycenter.
+  weights.emplace_back(k, 1.0);
+  // Pulled toward each vertex (weight 4 vs 1).
+  for (std::size_t i = 0; i < k; ++i) {
+    std::vector<double> w(k, 1.0);
+    w[i] = 4.0;
+    weights.push_back(std::move(w));
+    // And strongly (weight 16): probes the corner region of the facet.
+    std::vector<double> w2(k, 1.0);
+    w2[i] = 16.0;
+    weights.push_back(std::move(w2));
+  }
+  // Edge-biased.
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i + 1; j < k; ++j) {
+      std::vector<double> w(k, 0.5);
+      w[i] = 3.0;
+      w[j] = 3.0;
+      weights.push_back(std::move(w));
+    }
+  }
+  // Seeded pseudorandom interior points.
+  Rng rng(0xC0FFEEu + 31 * k);
+  for (int r = 0; r < 8; ++r) {
+    std::vector<double> w(k);
+    for (double& x : w) x = 0.05 + rng.unit();
+    weights.push_back(std::move(w));
+  }
+
+  std::vector<std::vector<double>> out;
+  out.reserve(weights.size());
+  for (const auto& w : weights) {
+    double sum = 0.0;
+    for (double x : w) sum += x;
+    std::vector<double> p(d, 0.0);
+    for (std::size_t i = 0; i < k; ++i) {
+      for (std::size_t c = 0; c < d; ++c) p[c] += (w[i] / sum) * verts[i][c];
+    }
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+ApproximationResult approximate(const ChromaticComplex& target,
+                                const ChromaticComplex& base, bool chromatic,
+                                const ApproximationOptions& options) {
+  WFC_REQUIRE(base.num_facets() == 1,
+              "approximation: base must be a single simplex");
+  WFC_REQUIRE(target.dimension() == base.dimension(),
+              "approximation: dimension mismatch");
+  ApproximationResult result;
+  const auto tcoords = facet_coords(target);
+
+  for (int k = 1; k <= options.max_level; ++k) {
+    ChromaticComplex source = chromatic ? topo::iterated_sds(base, k)
+                                        : topo::iterated_bsd(base, k);
+    const auto scoords = facet_coords(source);
+
+    // For each source facet sigma: the target vertices w such that w lies
+    // in EVERY target facet that (detectably) meets sigma's interior --
+    // i.e. the candidates for which interior(sigma) is inside star(w).
+    // Missing a sliver intersection only ever ADDS candidates; the exact
+    // simpliciality verification below catches any resulting bad map and
+    // escalates the level.
+    std::vector<std::vector<bool>> facet_ok(
+        source.num_facets(),
+        std::vector<bool>(target.num_vertices(), true));
+    for (std::uint32_t si = 0; si < source.num_facets(); ++si) {
+      for (const auto& x : interior_samples(scoords[si])) {
+        for (std::uint32_t ti = 0; ti < target.num_facets(); ++ti) {
+          ++result.star_checks;
+          if (!in_hull(tcoords[ti], x, options.tol)) continue;
+          // Every sample-containing target facet must contain w: rule out
+          // all vertices outside tau.
+          std::vector<bool> in_tau(target.num_vertices(), false);
+          for (VertexId w : target.facets()[ti]) in_tau[w] = true;
+          for (VertexId w = 0; w < target.num_vertices(); ++w) {
+            if (!in_tau[w]) facet_ok[si][w] = false;
+          }
+        }
+      }
+    }
+
+    std::vector<VertexId> image(source.num_vertices(), topo::kNoVertex);
+    bool all_assigned = true;
+    for (VertexId v = 0; v < source.num_vertices() && all_assigned; ++v) {
+      const auto& sd = source.vertex(v);
+      // Candidate = allowed by every incident facet's coverage set, correct
+      // color (chromatic) and carrier; among those, prefer the nearest.
+      double best_dist = 0.0;
+      for (VertexId w = 0; w < target.num_vertices(); ++w) {
+        const auto& td = target.vertex(w);
+        if (chromatic && td.color != sd.color) continue;
+        if (!td.carrier.subset_of(sd.carrier)) continue;
+        bool ok = true;
+        for (std::uint32_t si : source.facets_containing(v)) {
+          if (!facet_ok[si][w]) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) continue;
+        double dist = 0.0;
+        for (std::size_t c = 0; c < sd.coords.size(); ++c) {
+          const double diff = sd.coords[c] - td.coords[c];
+          dist += diff * diff;
+        }
+        if (image[v] == topo::kNoVertex || dist < best_dist) {
+          image[v] = w;
+          best_dist = dist;
+        }
+      }
+      if (image[v] == topo::kNoVertex) all_assigned = false;
+    }
+    if (!all_assigned) continue;
+
+    ApproximationResult attempt;
+    attempt.found = true;
+    attempt.level = k;
+    attempt.source = std::move(source);
+    attempt.image = std::move(image);
+    attempt.star_checks = result.star_checks;
+    // Exact verification; sampling may have overestimated the candidate
+    // sets, in which case we refine further.
+    if (verify_approximation(attempt, target, chromatic)) return attempt;
+  }
+  return result;
+}
+
+}  // namespace
+
+ApproximationResult chromatic_approximation(
+    const ChromaticComplex& target, const ChromaticComplex& base,
+    const ApproximationOptions& options) {
+  return approximate(target, base, /*chromatic=*/true, options);
+}
+
+ApproximationResult barycentric_approximation(
+    const ChromaticComplex& target, const ChromaticComplex& base,
+    const ApproximationOptions& options) {
+  return approximate(target, base, /*chromatic=*/false, options);
+}
+
+bool verify_approximation(const ApproximationResult& result,
+                          const ChromaticComplex& target, bool chromatic) {
+  if (!result.found) return false;
+  topo::SimplicialMap map(result.source, target);
+  for (VertexId v = 0; v < result.source.num_vertices(); ++v) {
+    if (result.image[v] == topo::kNoVertex) return false;
+    map.set(v, result.image[v]);
+  }
+  if (!map.is_simplicial()) return false;
+  if (!map.is_carrier_monotone()) return false;
+  if (chromatic && !map.is_color_preserving()) return false;
+  return true;
+}
+
+}  // namespace wfc::conv

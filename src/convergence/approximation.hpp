@@ -1,0 +1,64 @@
+// Simplicial approximation (paper §5, Lemma 2.1 / Lemma 5.3 / Theorem 5.1)
+// made executable.
+//
+// Given a target subdivision A of s^n, we search for the smallest k such
+// that the STAR CONDITION can be satisfied level-k-subdivision-wide: assign
+// to each vertex v of SDS^k(s^n) (or Bsd^k) a target vertex w with
+//     hull(star(v)) subset hull(star(w)),
+// plus carrier monotonicity, plus (chromatic variant) color equality.  The
+// classical simplicial approximation theorem guarantees such assignments
+// exist for all large enough k, and the star condition alone implies the
+// resulting vertex map is simplicial -- which we nevertheless re-verify.
+//
+// This is the paper's §5 reorganization in code: instead of the geometric
+// arguments of [12], Lemma 2.1 (existence for Bsd^k) plus the convergence
+// construction give the chromatic statement for SDS^k.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "topology/complex.hpp"
+#include "topology/simplicial_map.hpp"
+
+namespace wfc::conv {
+
+struct ApproximationResult {
+  bool found = false;
+  int level = -1;  // the k that worked
+  /// The source complex SDS^level(base) (or Bsd^level(base)).
+  topo::ChromaticComplex source;
+  /// image[v] = target vertex for source vertex v.
+  std::vector<topo::VertexId> image;
+  std::uint64_t star_checks = 0;  // work counter for the benchmarks
+
+  ApproximationResult() : source(1) {}
+};
+
+struct ApproximationOptions {
+  int max_level = 4;
+  double tol = 1e-9;
+};
+
+/// Theorem 5.1: a color- and carrier-preserving simplicial map
+/// SDS^k(base) -> target, for the smallest k <= max_level that admits one
+/// via the star condition.  `target` must be a chromatic subdivision of the
+/// same base simplex, embedded in the same barycentric frame.
+ApproximationResult chromatic_approximation(
+    const topo::ChromaticComplex& target, const topo::ChromaticComplex& base,
+    const ApproximationOptions& options = {});
+
+/// Lemma 2.1: a carrier-preserving (not color-preserving) simplicial map
+/// Bsd^k(base) -> target.
+ApproximationResult barycentric_approximation(
+    const topo::ChromaticComplex& target, const topo::ChromaticComplex& base,
+    const ApproximationOptions& options = {});
+
+/// Checks an ApproximationResult against `target`: simplicial,
+/// carrier-monotone, and (if `chromatic`) color-preserving.
+bool verify_approximation(const ApproximationResult& result,
+                          const topo::ChromaticComplex& target,
+                          bool chromatic);
+
+}  // namespace wfc::conv

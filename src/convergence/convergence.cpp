@@ -1,0 +1,77 @@
+#include "convergence/convergence.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "protocol/sds_chain.hpp"
+#include "topology/subdivision.hpp"
+
+namespace wfc::conv {
+
+task::SolveResult solve_simplex_agreement_by_convergence(
+    const task::SimplexAgreementTask& task,
+    const ApproximationOptions& options) {
+  const int n_plus_1 = task.input().n_colors();
+  // The approximation needs an embedded base; the task's input complex is
+  // the same abstract simplex but carries no coordinates.
+  const topo::ChromaticComplex base = topo::base_simplex(n_plus_1);
+  ApproximationResult approx =
+      chromatic_approximation(task.output(), base, options);
+  if (!approx.found) {
+    throw std::runtime_error(
+        "convergence: no approximation level <= max_level admits a star-"
+        "condition map; raise max_level");
+  }
+
+  task::SolveResult result;
+  result.status = task::Solvability::kSolvable;
+  result.level = approx.level;
+  result.chain =
+      std::make_shared<proto::SdsChain>(task.input(), approx.level);
+  result.decision = approx.image;
+
+  // The chain was rebuilt from the task's (coordinate-free) input; the
+  // construction is deterministic, so vertex ids and keys must agree with
+  // the approximation's source complex.
+  const auto& top = result.chain->top();
+  WFC_CHECK(top.num_vertices() == approx.source.num_vertices(),
+            "convergence: chain/source vertex count mismatch");
+  for (topo::VertexId v = 0; v < top.num_vertices(); ++v) {
+    WFC_CHECK(top.vertex(v).key == approx.source.vertex(v).key,
+              "convergence: chain/source key mismatch");
+  }
+  return result;
+}
+
+std::vector<topo::VertexId> sds_to_bsd_map(const topo::ChromaticComplex& sds,
+                                           const topo::ChromaticComplex& bsd) {
+  std::vector<topo::VertexId> image(sds.num_vertices(), topo::kNoVertex);
+  for (topo::VertexId v = 0; v < sds.num_vertices(); ++v) {
+    // SDS keys are "<color>@id,id,..."; the matching Bsd barycenter vertex
+    // has key "b@[id id ...]".
+    const std::string& key = sds.vertex(v).key;
+    const auto at = key.find('@');
+    WFC_REQUIRE(at != std::string::npos,
+                "sds_to_bsd_map: source is not an SDS complex");
+    std::ostringstream bkey;
+    bkey << "b@[";
+    bool first = true;
+    std::size_t pos = at + 1;
+    while (pos < key.size()) {
+      std::size_t comma = key.find(',', pos);
+      if (comma == std::string::npos) comma = key.size();
+      if (!first) bkey << ' ';
+      bkey << key.substr(pos, comma - pos);
+      first = false;
+      pos = comma + 1;
+    }
+    bkey << ']';
+    const topo::VertexId w = bsd.find_vertex(bkey.str());
+    WFC_CHECK(w != topo::kNoVertex,
+              "sds_to_bsd_map: no barycenter vertex for " + key);
+    image[v] = w;
+  }
+  return image;
+}
+
+}  // namespace wfc::conv

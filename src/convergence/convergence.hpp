@@ -1,0 +1,41 @@
+// §5 of the paper, operational: solving chromatic simplex agreement (CSASS)
+// by compiling a convergence map, with no backtracking search.
+//
+// Pipeline (the paper's proof of Theorem 5.1 / Corollary 5.2, run forward):
+//   1. chromatic_approximation finds k and a color+carrier-preserving
+//      simplicial map phi : SDS^k(s^n) -> A (star condition);
+//   2. the decision protocol runs k rounds of iterated immediate snapshot,
+//      locates its local state as a vertex of SDS^k(s^n) (Lemma 3.3), and
+//      outputs phi(vertex);
+//   3. simpliciality of phi makes the outputs of any execution a simplex of
+//      A; carrier monotonicity keeps it inside the participants' face --
+//      exactly the CSASS specification.
+//
+// Also provided: the canonical carrier-preserving simplicial map
+// SDS(C) -> Bsd(C) ("the obvious map" in the paper's Lemma 5.3 proof),
+// sending (P_i, sigma) to the barycenter vertex of sigma.
+#pragma once
+
+#include "convergence/approximation.hpp"
+#include "tasks/canonical.hpp"
+#include "tasks/solvability.hpp"
+
+namespace wfc::conv {
+
+/// Builds a kSolvable SolveResult for `task` (chromatic simplex agreement on
+/// its target subdivision) by convergence-map compilation.  Throws
+/// std::runtime_error if no approximation level <= options.max_level works.
+/// The result can be executed with task::DecisionProtocol.
+task::SolveResult solve_simplex_agreement_by_convergence(
+    const task::SimplexAgreementTask& task,
+    const ApproximationOptions& options = {});
+
+/// The canonical carrier-preserving simplicial map SDS(C) -> Bsd(C):
+/// (P_i, sigma) -> barycenter(sigma).  Returns the image vector indexed by
+/// vertices of `sds`; requires `sds` == standard_chromatic_subdivision(c)
+/// and `bsd` == barycentric_subdivision(c) for the same complex c (matched
+/// by vertex keys).
+std::vector<topo::VertexId> sds_to_bsd_map(const topo::ChromaticComplex& sds,
+                                           const topo::ChromaticComplex& bsd);
+
+}  // namespace wfc::conv

@@ -1,0 +1,88 @@
+#include "core/characterization.hpp"
+
+#include <sstream>
+
+#include "tasks/two_proc.hpp"
+#include "topology/simplicial_map.hpp"
+
+namespace wfc {
+
+std::string CharacterizationReport::summary(
+    const std::string& task_name) const {
+  std::ostringstream os;
+  os << task_name << ": ";
+  switch (status) {
+    case task::Solvability::kSolvable:
+      os << "wait-free SOLVABLE at level b=" << level
+         << " (map simplicial=" << (map_simplicial ? "yes" : "NO")
+         << ", color-preserving=" << (map_color_preserving ? "yes" : "NO");
+      if (executions_validated > 0) {
+        os << ", " << executions_validated << " executions validated";
+      }
+      os << ")";
+      break;
+    case task::Solvability::kUnsolvable:
+      os << "wait-free UNSOLVABLE at every level tried";
+      break;
+    case task::Solvability::kUnknown:
+      os << "UNKNOWN (node budget exhausted)";
+      break;
+  }
+  os << " [" << nodes_explored << " search nodes]";
+  if (two_proc_checked) {
+    os << (two_proc_agrees ? " [2-proc criterion agrees]"
+                           : " [2-PROC CRITERION DISAGREES -- BUG]");
+  }
+  return os.str();
+}
+
+CharacterizationReport characterize(const task::Task& task,
+                                    const CharacterizeOptions& options) {
+  CharacterizationReport report;
+  task::SolveResult result =
+      task::solve(task, options.max_level, options.solve);
+  report.status = result.status;
+  report.nodes_explored = result.nodes_explored;
+
+  // Independent oracle for 2-processor tasks: the connectivity criterion
+  // must agree with the search wherever the search gave a definite answer.
+  if (task.input().n_colors() == 2 &&
+      report.status != task::Solvability::kUnknown) {
+    report.two_proc_checked = true;
+    const task::TwoProcVerdict fast = task::decide_two_processors(task);
+    if (report.status == task::Solvability::kSolvable) {
+      report.two_proc_agrees =
+          fast.solvable && fast.level_lower_bound <= result.level;
+    } else {
+      report.two_proc_agrees =
+          !fast.solvable || fast.level_lower_bound > options.max_level;
+    }
+  }
+
+  if (result.status != task::Solvability::kSolvable) return report;
+
+  report.level = result.level;
+
+  // Cross-check the witness against the theorem's statement.
+  const topo::ChromaticComplex& top = result.chain->top();
+  topo::SimplicialMap map(top, task.output());
+  for (topo::VertexId v = 0; v < top.num_vertices(); ++v) {
+    map.set(v, result.decision[v]);
+  }
+  report.map_simplicial = map.is_simplicial();
+  report.map_color_preserving = map.is_color_preserving();
+
+  if (options.validate_runs) {
+    task::DecisionProtocol proto(task, std::move(result));
+    std::size_t executions = 0;
+    task.input().for_each_face([&](const topo::Simplex& face) {
+      executions += proto.validate_exhaustively(face);
+    });
+    report.executions_validated = executions;
+  }
+  return report;
+}
+
+const char* version() { return "wfc 1.0.0 (Borowsky-Gafni PODC'97)"; }
+
+}  // namespace wfc

@@ -1,0 +1,58 @@
+// The Characterization facade: the paper's main theorem as a library entry
+// point.
+//
+//   Task T is wait-free solvable in read/write shared memory
+//     <=>  T is wait-free solvable in the IIS model            (§4 emulation)
+//     <=>  exists b, a color-preserving simplicial map
+//          SDS^b(I) -> O respecting Delta                      (Prop 3.1)
+//
+// characterize() runs the per-level decision procedure and reports what it
+// finds, including cross-checks that the witness map is what the theorem
+// promises (simplicial, color-preserving, Delta-respecting on all faces)
+// and, on request, exhaustive execution of the compiled protocol.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "tasks/decision_protocol.hpp"
+#include "tasks/solvability.hpp"
+
+namespace wfc {
+
+struct CharacterizationReport {
+  task::Solvability status = task::Solvability::kUnknown;
+  int level = -1;                  // witness level b (solvable only)
+  std::uint64_t nodes_explored = 0;
+  // Witness map cross-checks (solvable only).
+  bool map_simplicial = false;
+  bool map_color_preserving = false;
+  // Exhaustive run results (solvable + validate_runs only).
+  std::size_t executions_validated = 0;
+  // For 2-processor tasks the independent connectivity criterion
+  // (tasks/two_proc.hpp) is also evaluated; `two_proc_checked` says it ran
+  // and `two_proc_agrees` that it reached the same verdict.  A disagreement
+  // would be a library bug and is also surfaced via the summary.
+  bool two_proc_checked = false;
+  bool two_proc_agrees = false;
+
+  [[nodiscard]] std::string summary(const std::string& task_name) const;
+};
+
+struct CharacterizeOptions {
+  int max_level = 2;
+  task::SolveOptions solve;
+  /// Also compile and run the decision protocol on every IIS execution of
+  /// every input facet (exhaustive behavioural validation of the witness).
+  bool validate_runs = true;
+};
+
+/// Decides wait-free solvability of `task` up to SDS level max_level and
+/// cross-checks any witness found.
+CharacterizationReport characterize(const task::Task& task,
+                                    const CharacterizeOptions& options = {});
+
+/// Library version string.
+const char* version();
+
+}  // namespace wfc

@@ -1,0 +1,50 @@
+// Umbrella header: the public API of the wait-free characterization
+// library.  Include this to get every subsystem:
+//
+//   topology    -- chromatic complexes, SDS/Bsd subdivisions, Sperner
+//   registers   -- SWMR registers, atomic & immediate snapshot objects
+//   runtime     -- IIS / snapshot-model executors, adversaries
+//   protocol    -- protocol complexes, SdsChain (Lemmas 3.2/3.3)
+//   tasks       -- tasks, the Prop 3.1 solvability checker, runnable maps
+//   emulation   -- the §4 Figure 2 emulation + history checker
+//   convergence -- §5 simplicial approximation and convergence protocols
+//   core        -- the Characterization facade below
+#pragma once
+
+#include "bg/safe_agreement.hpp"
+#include "bg/simulation.hpp"
+#include "common/color_set.hpp"
+#include "common/rng.hpp"
+#include "convergence/approximation.hpp"
+#include "convergence/convergence.hpp"
+#include "core/characterization.hpp"
+#include "emulation/emulator.hpp"
+#include "emulation/figure1.hpp"
+#include "emulation/iis_in_snapshot.hpp"
+#include "emulation/history.hpp"
+#include "protocol/protocol_complex.hpp"
+#include "protocol/sds_chain.hpp"
+#include "registers/atomic_snapshot.hpp"
+#include "registers/immediate_from_snapshot.hpp"
+#include "registers/immediate_snapshot.hpp"
+#include "registers/swmr_register.hpp"
+#include "runtime/adversary.hpp"
+#include "runtime/sim_iis.hpp"
+#include "runtime/sim_is.hpp"
+#include "runtime/sim_snapshot.hpp"
+#include "runtime/thread_iis.hpp"
+#include "tasks/canonical.hpp"
+#include "tasks/decision_protocol.hpp"
+#include "tasks/extraction.hpp"
+#include "tasks/map_io.hpp"
+#include "tasks/solvability.hpp"
+#include "tasks/renaming_protocol.hpp"
+#include "tasks/resilience.hpp"
+#include "tasks/two_proc.hpp"
+#include "topology/complex.hpp"
+#include "topology/geometry.hpp"
+#include "topology/io.hpp"
+#include "topology/simplicial_map.hpp"
+#include "topology/sperner.hpp"
+#include "topology/structure.hpp"
+#include "topology/subdivision.hpp"

@@ -1,0 +1,212 @@
+#include "emulation/emulator.hpp"
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "runtime/thread_iis.hpp"
+
+namespace wfc::emu {
+
+EmulatorCore::EmulatorCore(int id, int n_procs, std::function<int(int)> init,
+                           OnScan on_scan)
+    : id_(id), n_procs_(n_procs), init_(std::move(init)),
+      on_scan_(std::move(on_scan)) {
+  WFC_REQUIRE(id >= 0 && id < n_procs, "EmulatorCore: bad id");
+}
+
+Tuple EmulatorCore::target() const {
+  if (phase_ == Phase::kWrite) return Tuple{id_, sq_, false, value_};
+  return Tuple{id_, sq_, true, 0};
+}
+
+std::vector<std::optional<std::pair<int, int>>> EmulatorCore::extract_view(
+    const TupleSet& inter) const {
+  // Per cell, the non-placeholder tuple with the highest seq (Figure 2's
+  // SnapshotRead epilogue).
+  std::vector<std::optional<std::pair<int, int>>> view(
+      static_cast<std::size_t>(n_procs_));
+  for (const Tuple& t : inter.tuples()) {
+    if (t.placeholder) continue;
+    auto& cell = view[static_cast<std::size_t>(t.id)];
+    if (!cell.has_value() || cell->first < t.seq) {
+      cell = std::make_pair(t.seq, t.value);
+    }
+  }
+  return view;
+}
+
+TupleSet EmulatorCore::initial_submission() {
+  WFC_REQUIRE(!started_, "EmulatorCore: initial_submission called twice");
+  started_ = true;
+  value_ = init_(id_);
+  phase_ = Phase::kWrite;
+  sq_ = 1;
+  op_start_round_ = 0;
+  return TupleSet({target()});
+}
+
+std::optional<TupleSet> EmulatorCore::on_round(
+    int round, const std::vector<std::pair<int, TupleSet>>& received) {
+  WFC_REQUIRE(started_, "EmulatorCore: on_round before initial_submission");
+  WFC_REQUIRE(!received.empty(), "EmulatorCore: empty round output");
+
+  // \S and [S over the sets this emulator received (its own included).
+  TupleSet inter = received.front().second;
+  TupleSet uni = received.front().second;
+  for (std::size_t i = 1; i < received.size(); ++i) {
+    inter = inter.intersect(received[i].second);
+    uni = uni.unite(received[i].second);
+  }
+
+  const Tuple t = target();
+  if (!inter.contains(t)) {
+    return uni;  // overtaken; resubmit the union and retry
+  }
+
+  // Operation complete at memory `round`.
+  EmulatedOp op;
+  op.proc = id_;
+  op.seq = sq_;
+  op.start_round = op_start_round_;
+  op.end_round = round;
+  op_start_round_ = round + 1;
+
+  if (phase_ == Phase::kWrite) {
+    op.is_write = true;
+    op.value = value_;
+    log_.push_back(std::move(op));
+    phase_ = Phase::kRead;
+    return uni.with(target());
+  }
+
+  op.is_write = false;
+  op.view = extract_view(inter);
+  rt::MemoryView<int> values(op.view.size());
+  for (std::size_t c = 0; c < op.view.size(); ++c) {
+    if (op.view[c].has_value()) values[c] = op.view[c]->second;
+  }
+  const int completed_sq = sq_;
+  log_.push_back(std::move(op));
+
+  rt::Step<int> step = on_scan_(id_, completed_sq, values);
+  if (step.kind == rt::Step<int>::Kind::kHalt) return std::nullopt;
+  phase_ = Phase::kWrite;
+  ++sq_;
+  value_ = step.next;
+  return uni.with(target());
+}
+
+namespace {
+
+EmulationResult collect(std::vector<EmulatorCore>& cores, int rounds_used,
+                        std::vector<int> iis_steps) {
+  EmulationResult out;
+  out.rounds_used = rounds_used;
+  out.iis_steps = std::move(iis_steps);
+  out.ops.reserve(cores.size());
+  for (const EmulatorCore& core : cores) out.ops.push_back(core.log());
+  return out;
+}
+
+}  // namespace
+
+EmulationResult run_emulation_simulated(int n_procs, rt::Adversary& adversary,
+                                        int max_rounds,
+                                        const std::function<int(int)>& init,
+                                        const EmulatorCore::OnScan& on_scan) {
+  std::vector<EmulatorCore> cores;
+  cores.reserve(static_cast<std::size_t>(n_procs));
+  for (int p = 0; p < n_procs; ++p) {
+    cores.emplace_back(p, n_procs, init, on_scan);
+  }
+  std::function<TupleSet(int)> iis_init = [&](int p) {
+    return cores[static_cast<std::size_t>(p)].initial_submission();
+  };
+  std::function<rt::Step<TupleSet>(int, int, const rt::IisSnapshot<TupleSet>&)>
+      iis_view = [&](int p, int round, const rt::IisSnapshot<TupleSet>& snap) {
+        auto next =
+            cores[static_cast<std::size_t>(p)].on_round(round, snap);
+        if (!next.has_value()) return rt::Step<TupleSet>::halt();
+        return rt::Step<TupleSet>::cont(std::move(*next));
+      };
+  rt::IisRunStats stats =
+      rt::run_iis<TupleSet>(n_procs, adversary, max_rounds, iis_init, iis_view);
+  return collect(cores, stats.rounds_executed, stats.rounds_taken);
+}
+
+EmulationResult run_emulation_threads(int n_procs, int max_rounds,
+                                      const std::function<int(int)>& init,
+                                      const EmulatorCore::OnScan& on_scan) {
+  std::vector<EmulatorCore> cores;
+  cores.reserve(static_cast<std::size_t>(n_procs));
+  for (int p = 0; p < n_procs; ++p) {
+    cores.emplace_back(p, n_procs, init, on_scan);
+  }
+  std::function<TupleSet(int)> iis_init = [&](int p) {
+    return cores[static_cast<std::size_t>(p)].initial_submission();
+  };
+  std::function<rt::Step<TupleSet>(int, int, const rt::IisSnapshot<TupleSet>&)>
+      iis_view = [&](int p, int round, const rt::IisSnapshot<TupleSet>& snap) {
+        auto next =
+            cores[static_cast<std::size_t>(p)].on_round(round, snap);
+        if (!next.has_value()) return rt::Step<TupleSet>::halt();
+        return rt::Step<TupleSet>::cont(std::move(*next));
+      };
+  std::vector<int> steps =
+      rt::run_iis_threads<TupleSet>(n_procs, max_rounds, iis_init, iis_view);
+  int rounds_used = 0;
+  for (int s : steps) rounds_used = std::max(rounds_used, s);
+  return collect(cores, rounds_used, std::move(steps));
+}
+
+// ---------------------------------------------------------------------------
+// FullInfoClient
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Shared, thread-safe intern table for full-information views.
+class ViewIntern {
+ public:
+  int intern(const rt::MemoryView<int>& view) {
+    std::vector<int> key;
+    key.reserve(view.size());
+    for (const auto& cell : view) key.push_back(cell.value_or(-1));
+    std::scoped_lock lock(mu_);
+    auto [it, inserted] = index_.emplace(std::move(key),
+                                         static_cast<int>(index_.size()) + 1000);
+    return it->second;
+  }
+
+ private:
+  std::mutex mu_;
+  std::map<std::vector<int>, int> index_;
+};
+
+}  // namespace
+
+struct FullInfoClientState {
+  int shots;
+  ViewIntern intern;
+};
+
+FullInfoClient::FullInfoClient(int shots) : shots_(shots) {
+  WFC_REQUIRE(shots >= 1, "FullInfoClient: shots must be >= 1");
+}
+
+std::function<int(int)> FullInfoClient::init() const {
+  return [](int p) { return p; };
+}
+
+EmulatorCore::OnScan FullInfoClient::on_scan() {
+  auto state = std::make_shared<FullInfoClientState>();
+  state->shots = shots_;
+  return [state](int /*p*/, int k, const rt::MemoryView<int>& view) {
+    const int encoded = state->intern.intern(view);
+    if (k >= state->shots) return rt::Step<int>::halt();
+    return rt::Step<int>::cont(encoded);
+  };
+}
+
+}  // namespace wfc::emu

@@ -1,0 +1,132 @@
+// The paper's main construction (§4, Figure 2): emulating the k-shot SWMR
+// atomic snapshot protocol (Figure 1) in the iterated immediate snapshot
+// model.
+//
+// Emulator P^s_i carries a set of tuples through consecutive one-shot
+// immediate snapshot memories M_j.  To emulate P_i's sq-th write of `val` it
+// submits (its union so far) ∪ {(i, sq, val)} and re-submits the union of
+// what it receives until (i, sq, val) is in the INTERSECTION of the sets it
+// receives -- at which point every processor it can see has adopted the
+// tuple, so the write has happened.  SnapshotReads work the same way with
+// the placeholder tuple (i, sq, ?), and the returned view takes, per cell,
+// the highest-seq non-placeholder tuple in the intersection.
+//
+// The emulation is NONBLOCKING, not wait-free (paper, end of §4): a single
+// operation can be overtaken arbitrarily often while some other emulator
+// makes progress.  Because Figure 1 protocols are k-shot (bounded -- Lemma
+// 3.1), every emulator nevertheless finishes: overtakers eventually halt.
+//
+// Client protocols use the same (init, on_scan) shape as the direct
+// simulated atomic-snapshot model (runtime/sim_snapshot.hpp), so identical
+// client code runs in both worlds -- that is what the correctness
+// experiments compare.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "emulation/tuple.hpp"
+#include "runtime/adversary.hpp"
+#include "runtime/sim_iis.hpp"
+#include "runtime/sim_snapshot.hpp"
+
+namespace wfc::emu {
+
+/// One completed emulated operation, for history checking.
+struct EmulatedOp {
+  int proc = 0;
+  int seq = 0;           // Figure 1's sq
+  bool is_write = false;
+  int value = 0;         // written value (writes only)
+  /// Snapshot view (snapshots only): per cell, (writer seq, value) of the
+  /// latest write observed, or nullopt if the cell was still empty.
+  std::vector<std::optional<std::pair<int, int>>> view;
+  int start_round = 0;  // index of the first IIS memory used by this op
+  int end_round = 0;    // index of the IIS memory where it completed
+};
+
+/// Per-emulator state machine.  Drive it with initial_submission() once and
+/// then on_round() per IIS round; a nullopt return means the emulated
+/// processor has decided and left.
+class EmulatorCore {
+ public:
+  using OnScan =
+      std::function<rt::Step<int>(int, int, const rt::MemoryView<int>&)>;
+
+  /// n_procs: emulated processors (cells).  init/on_scan: the Figure 1
+  /// client protocol of this processor.
+  EmulatorCore(int id, int n_procs, std::function<int(int)> init,
+               OnScan on_scan);
+
+  /// The set submitted to M_0: {(i, 1, init(i))}.
+  [[nodiscard]] TupleSet initial_submission();
+
+  /// Processes the output of the IIS round `round` (the (proc, set) pairs
+  /// this emulator received).  Returns the next submission, or nullopt when
+  /// the client protocol halted.
+  std::optional<TupleSet> on_round(
+      int round, const std::vector<std::pair<int, TupleSet>>& received);
+
+  [[nodiscard]] const std::vector<EmulatedOp>& log() const noexcept {
+    return log_;
+  }
+  [[nodiscard]] int id() const noexcept { return id_; }
+
+ private:
+  enum class Phase { kWrite, kRead };
+
+  [[nodiscard]] Tuple target() const;
+  std::vector<std::optional<std::pair<int, int>>> extract_view(
+      const TupleSet& inter) const;
+
+  int id_;
+  int n_procs_;
+  std::function<int(int)> init_;
+  OnScan on_scan_;
+
+  Phase phase_ = Phase::kWrite;
+  int sq_ = 1;
+  int value_ = 0;
+  int op_start_round_ = 0;
+  bool started_ = false;
+  std::vector<EmulatedOp> log_;
+};
+
+struct EmulationResult {
+  /// Per emulated processor: its completed operation log.
+  std::vector<std::vector<EmulatedOp>> ops;
+  /// IIS memories consumed in total (max over processors of last round + 1).
+  int rounds_used = 0;
+  /// Per processor, number of WriteReads (IIS steps) it performed.
+  std::vector<int> iis_steps;
+};
+
+/// Runs the emulation in the simulated IIS model under `adversary`.
+/// Throws std::logic_error if some emulator is still running after
+/// max_rounds (pick max_rounds generously; see the starvation note above).
+EmulationResult run_emulation_simulated(
+    int n_procs, rt::Adversary& adversary, int max_rounds,
+    const std::function<int(int)>& init, const EmulatorCore::OnScan& on_scan);
+
+/// Runs the emulation on real threads over register-based one-shot
+/// immediate snapshots.
+EmulationResult run_emulation_threads(int n_procs, int max_rounds,
+                                      const std::function<int(int)>& init,
+                                      const EmulatorCore::OnScan& on_scan);
+
+/// Convenience client: the Figure 1 k-shot full-information protocol with
+/// interned views -- each processor writes its id, then writes an interned
+/// encoding of each snapshot it takes, halting after `shots` snapshots.
+/// Returns (init, on_scan) closures over a shared intern table.
+struct FullInfoClient {
+  explicit FullInfoClient(int shots);
+
+  std::function<int(int)> init() const;
+  EmulatorCore::OnScan on_scan();
+
+ private:
+  int shots_;
+};
+
+}  // namespace wfc::emu

@@ -1,0 +1,76 @@
+#include "emulation/figure1.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "registers/atomic_snapshot.hpp"
+
+namespace wfc::emu {
+
+EmulationResult run_figure1_threads(int n_procs,
+                                    const std::function<int(int)>& init,
+                                    const EmulatorCore::OnScan& on_scan) {
+  WFC_REQUIRE(n_procs >= 1 && n_procs <= kMaxColors,
+              "run_figure1_threads: bad n_procs");
+
+  struct Cell {
+    int seq = 0;
+    int value = 0;
+  };
+  reg::AtomicSnapshot<Cell> mem(n_procs);
+  std::atomic<int> clock{0};
+
+  EmulationResult result;
+  result.ops.resize(static_cast<std::size_t>(n_procs));
+  result.iis_steps.assign(static_cast<std::size_t>(n_procs), 0);
+
+  auto body = [&](int p) {
+    auto& log = result.ops[static_cast<std::size_t>(p)];
+    int value = init(p);
+    for (int sq = 1;; ++sq) {
+      // Write C_p.
+      EmulatedOp write_op;
+      write_op.proc = p;
+      write_op.seq = sq;
+      write_op.is_write = true;
+      write_op.value = value;
+      write_op.start_round = clock.fetch_add(1, std::memory_order_acq_rel);
+      mem.update(p, Cell{sq, value});
+      write_op.end_round = clock.fetch_add(1, std::memory_order_acq_rel);
+      log.push_back(std::move(write_op));
+
+      // SnapshotRead C_0..C_n.
+      EmulatedOp snap_op;
+      snap_op.proc = p;
+      snap_op.seq = sq;
+      snap_op.start_round = clock.fetch_add(1, std::memory_order_acq_rel);
+      const auto view = mem.scan();
+      snap_op.end_round = clock.fetch_add(1, std::memory_order_acq_rel);
+      snap_op.view.resize(static_cast<std::size_t>(n_procs));
+      rt::MemoryView<int> values(static_cast<std::size_t>(n_procs));
+      for (int q = 0; q < n_procs; ++q) {
+        const auto& cell = view[static_cast<std::size_t>(q)];
+        if (cell.has_value()) {
+          snap_op.view[static_cast<std::size_t>(q)] =
+              std::make_pair(cell->seq, cell->value);
+          values[static_cast<std::size_t>(q)] = cell->value;
+        }
+      }
+      log.push_back(std::move(snap_op));
+      result.iis_steps[static_cast<std::size_t>(p)] += 2;
+
+      rt::Step<int> step = on_scan(p, sq, values);
+      if (step.kind == rt::Step<int>::Kind::kHalt) return;
+      value = step.next;
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n_procs));
+  for (int p = 0; p < n_procs; ++p) threads.emplace_back(body, p);
+  for (auto& t : threads) t.join();
+  result.rounds_used = clock.load(std::memory_order_acquire);
+  return result;
+}
+
+}  // namespace wfc::emu

@@ -1,0 +1,28 @@
+// Figure 1 run NATIVELY: the k-shot SWMR atomic snapshot protocol executed
+// by real threads against the wait-free atomic snapshot object of
+// registers/atomic_snapshot.hpp.
+//
+// The run produces the same EmulatedOp history format as the §4 emulation,
+// timestamped with a global logical clock, so emu::check_history validates
+// both stacks with one checker:
+//
+//     Figure 1 on AtomicSnapshot (native)    --+
+//                                               +-- same checker, same spec
+//     Figure 1 via Figure 2 on IIS (emulated) --+
+//
+// That cross-validation is the operational form of Proposition 4.1: the
+// emulation implements the same object the native run uses.
+#pragma once
+
+#include "emulation/emulator.hpp"
+
+namespace wfc::emu {
+
+/// Runs every processor's Figure 1 client (same (init, on_scan) shape as
+/// the emulator) on its own thread against a shared AtomicSnapshot.
+/// start/end "rounds" in the returned ops are logical-clock timestamps.
+EmulationResult run_figure1_threads(int n_procs,
+                                    const std::function<int(int)>& init,
+                                    const EmulatorCore::OnScan& on_scan);
+
+}  // namespace wfc::emu

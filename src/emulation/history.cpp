@@ -1,0 +1,147 @@
+#include "emulation/history.hpp"
+
+#include <map>
+#include <sstream>
+
+namespace wfc::emu {
+
+namespace {
+
+std::string describe(const EmulatedOp& op) {
+  std::ostringstream os;
+  os << "P" << op.proc << (op.is_write ? " write" : " snap") << " sq="
+     << op.seq << " rounds[" << op.start_round << "," << op.end_round << "]";
+  return os.str();
+}
+
+}  // namespace
+
+HistoryReport check_history(const EmulationResult& result) {
+  HistoryReport rep;
+  rep.well_formed = true;
+  rep.self_inclusion = true;
+  rep.per_writer_monotone = true;
+  rep.views_totally_ordered = true;
+  rep.fresh = true;
+  rep.values_faithful = true;
+
+  auto fail = [&](bool& flag, const std::string& what) {
+    if (rep.violation.empty()) rep.violation = what;
+    flag = false;
+  };
+
+  const int n = static_cast<int>(result.ops.size());
+
+  // (1) well-formedness + collect writes and snapshots.
+  std::map<std::pair<int, int>, int> written_value;  // (proc, seq) -> value
+  std::map<std::pair<int, int>, int> write_end;      // (proc, seq) -> round
+  struct Snap {
+    const EmulatedOp* op;
+  };
+  std::vector<Snap> snaps;
+  for (int p = 0; p < n; ++p) {
+    const auto& log = result.ops[static_cast<std::size_t>(p)];
+    int expect_seq = 1;
+    bool expect_write = true;
+    int prev_end = -1;
+    for (const EmulatedOp& op : log) {
+      if (op.proc != p) fail(rep.well_formed, "foreign op in log of P" + std::to_string(p));
+      if (op.is_write != expect_write || op.seq != expect_seq) {
+        fail(rep.well_formed, "out-of-order op: " + describe(op));
+      }
+      if (op.start_round <= prev_end && prev_end >= 0) {
+        fail(rep.well_formed, "overlapping ops: " + describe(op));
+      }
+      if (op.end_round < op.start_round) {
+        fail(rep.well_formed, "negative duration: " + describe(op));
+      }
+      prev_end = op.end_round;
+      if (op.is_write) {
+        written_value[{p, op.seq}] = op.value;
+        write_end[{p, op.seq}] = op.end_round;
+        expect_write = false;
+      } else {
+        snaps.push_back(Snap{&op});
+        expect_write = true;
+        ++expect_seq;
+      }
+    }
+  }
+
+  // (2) self-inclusion, (6) faithfulness.
+  for (const Snap& s : snaps) {
+    const EmulatedOp& op = *s.op;
+    const auto& own = op.view[static_cast<std::size_t>(op.proc)];
+    if (!own.has_value() || own->first < op.seq) {
+      fail(rep.self_inclusion, "missing own write: " + describe(op));
+    }
+    for (std::size_t c = 0; c < op.view.size(); ++c) {
+      if (!op.view[c].has_value()) continue;
+      const auto [seq, value] = *op.view[c];
+      auto it = written_value.find({static_cast<int>(c), seq});
+      if (it == written_value.end() || it->second != value) {
+        fail(rep.values_faithful, "ghost value: " + describe(op));
+      }
+    }
+  }
+
+  // (3) per-writer monotonicity within each processor's snapshot sequence.
+  for (int p = 0; p < n; ++p) {
+    const EmulatedOp* prev = nullptr;
+    for (const EmulatedOp& op : result.ops[static_cast<std::size_t>(p)]) {
+      if (op.is_write) continue;
+      if (prev != nullptr) {
+        for (std::size_t c = 0; c < op.view.size(); ++c) {
+          const int before =
+              prev->view[c].has_value() ? prev->view[c]->first : 0;
+          const int after = op.view[c].has_value() ? op.view[c]->first : 0;
+          if (after < before) {
+            fail(rep.per_writer_monotone, "view went backwards: " + describe(op));
+          }
+        }
+      }
+      prev = &op;
+    }
+  }
+
+  // (4) total order on views (componentwise by seq).
+  for (std::size_t a = 0; a < snaps.size(); ++a) {
+    for (std::size_t b = a + 1; b < snaps.size(); ++b) {
+      const auto& va = snaps[a].op->view;
+      const auto& vb = snaps[b].op->view;
+      bool a_le_b = true, b_le_a = true;
+      for (std::size_t c = 0; c < va.size(); ++c) {
+        const int sa = va[c].has_value() ? va[c]->first : 0;
+        const int sb = vb[c].has_value() ? vb[c]->first : 0;
+        if (sa > sb) a_le_b = false;
+        if (sb > sa) b_le_a = false;
+      }
+      if (!a_le_b && !b_le_a) {
+        fail(rep.views_totally_ordered,
+             "incomparable views: " + describe(*snaps[a].op) + " vs " +
+                 describe(*snaps[b].op));
+      }
+    }
+  }
+
+  // (5) freshness: snapshot started after write (i, m) ended => sees
+  // seq >= m for cell i.
+  for (const Snap& s : snaps) {
+    const EmulatedOp& op = *s.op;
+    for (const auto& [key, end_round] : write_end) {
+      const auto [writer, m] = key;
+      if (op.start_round > end_round) {
+        const auto& cell = op.view[static_cast<std::size_t>(writer)];
+        const int seen = cell.has_value() ? cell->first : 0;
+        if (seen < m) {
+          fail(rep.fresh, "stale read of P" + std::to_string(writer) +
+                              " by " + describe(op));
+        }
+      }
+    }
+  }
+
+  return rep;
+}
+
+}  // namespace wfc::emu

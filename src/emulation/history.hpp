@@ -1,0 +1,48 @@
+// Correctness checker for emulated atomic-snapshot histories
+// (Proposition 4.1 / Claim 4.1 / Corollary 4.1 in machine-checkable form).
+//
+// Given the per-processor logs of completed emulated operations, the
+// emulation is a correct atomic snapshot memory iff:
+//   (1) well-formedness: each processor alternates write_1, snap_1,
+//       write_2, snap_2, ... with increasing seq;
+//   (2) self-inclusion: P_i's snap_q sees its own write_q (the freshest
+//       value only P_i itself can have written);
+//   (3) per-writer monotonicity: in consecutive snapshots of one processor,
+//       observed seqs per cell never decrease;
+//   (4) total order: all views, across all processors, are componentwise
+//       comparable by seq -- the containment property the paper proves via
+//       the \S-containment argument;
+//   (5) freshness (Corollary 4.1): a snapshot that STARTED after P_i's m-th
+//       Write procedure TERMINATED observes C_i at seq >= m;
+//   (6) value faithfulness: every observed (seq, value) pair was actually
+//       written by that processor.
+// For single-writer snapshot memory these conditions are equivalent to
+// linearizability of the whole history.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "emulation/emulator.hpp"
+
+namespace wfc::emu {
+
+struct HistoryReport {
+  bool well_formed = false;
+  bool self_inclusion = false;
+  bool per_writer_monotone = false;
+  bool views_totally_ordered = false;
+  bool fresh = false;
+  bool values_faithful = false;
+  std::string violation;  // description of the first violation found
+
+  [[nodiscard]] bool ok() const noexcept {
+    return well_formed && self_inclusion && per_writer_monotone &&
+           views_totally_ordered && fresh && values_faithful;
+  }
+};
+
+/// Checks the full history of an emulation run.
+HistoryReport check_history(const EmulationResult& result);
+
+}  // namespace wfc::emu

@@ -1,0 +1,12 @@
+#include "emulation/iis_in_snapshot.hpp"
+
+namespace wfc::emu {
+
+std::vector<Color> reverse_emulation_schedule(int n_procs, int max_rounds) {
+  WFC_REQUIRE(n_procs >= 1, "reverse_emulation_schedule: n_procs");
+  WFC_REQUIRE(max_rounds >= 0, "reverse_emulation_schedule: max_rounds");
+  // One IIS round costs at most n+1 descents of (write, scan).
+  return rt::fair_schedule(n_procs, 2 * max_rounds * (n_procs + 1));
+}
+
+}  // namespace wfc::emu

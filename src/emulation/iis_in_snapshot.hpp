@@ -1,0 +1,141 @@
+// The reverse emulation (§3.5's "obvious" direction): running an iterated
+// immediate snapshot protocol INSIDE the SWMR atomic-snapshot model.
+//
+// Together with Figure 2 (emulation/emulator.hpp -- the paper's main
+// result, AS-in-IIS) this closes the equivalence circle operationally:
+// any IIS protocol runs in atomic-snapshot memory and vice versa, so the
+// two models solve exactly the same wait-free tasks.
+//
+// Construction: each one-shot memory M_r is realized by the Borowsky-Gafni
+// descending-levels algorithm [8].  Because the snapshot model gives each
+// processor a single cell, the cell holds the processor's full PER-ROUND
+// history (round -> (level, value)): M_r's register state is the round-r
+// projection of the cells, and a processor that already moved past M_r has
+// its final M_r record frozen in place -- exactly the persistence the IIS
+// model gives earlier memories.
+//
+// Wait-freedom: one IIS round costs at most n+1 level descents, each one
+// write + one snapshot, so a b-round protocol finishes within
+// 2 * b * (n+1) appearances per processor on ANY schedule.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "runtime/sim_iis.hpp"
+#include "runtime/sim_snapshot.hpp"
+
+namespace wfc::emu {
+
+struct ReverseEmulationStats {
+  /// Snapshot-model appearances (writes + scans) consumed per processor.
+  std::vector<int> ops_taken;
+  /// IIS rounds (WriteReads) each processor completed.
+  std::vector<int> rounds_completed;
+};
+
+/// Runs the IIS protocol (same (init, on_view) shape as rt::run_iis) in the
+/// simulated atomic-snapshot model under `schedule`.  Throws
+/// std::logic_error if the schedule ends before every processor halts;
+/// 2 * max_rounds * (n+1) appearances per processor always suffice.
+template <typename Value>
+ReverseEmulationStats run_iis_in_snapshot_model(
+    int n_procs, const std::vector<Color>& schedule,
+    const std::function<Value(int)>& init,
+    const std::function<rt::Step<Value>(int, int,
+                                        const rt::IisSnapshot<Value>&)>&
+        on_view);
+
+/// Convenience: a fair schedule long enough for any b-round IIS protocol.
+std::vector<Color> reverse_emulation_schedule(int n_procs, int max_rounds);
+
+// ---------------------------------------------------------------------------
+// Implementation.
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+template <typename Value>
+struct RoundRecord {
+  int level = 0;  // current level in M_round's descent
+  Value value{};
+};
+
+/// A processor's cell: its record for every round it has touched.
+template <typename Value>
+using CellHistory = std::vector<RoundRecord<Value>>;  // index = round
+
+}  // namespace detail
+
+template <typename Value>
+ReverseEmulationStats run_iis_in_snapshot_model(
+    int n_procs, const std::vector<Color>& schedule,
+    const std::function<Value(int)>& init,
+    const std::function<rt::Step<Value>(int, int,
+                                        const rt::IisSnapshot<Value>&)>&
+        on_view) {
+  using Record = detail::RoundRecord<Value>;
+  using Cell = detail::CellHistory<Value>;
+
+  // Per-processor simulation state (driven by the snapshot-model callbacks).
+  struct Sim {
+    int round = 0;
+    int level = 0;
+    Value value{};
+    Cell history;
+  };
+  std::vector<Sim> sims(static_cast<std::size_t>(n_procs));
+
+  ReverseEmulationStats stats;
+  stats.rounds_completed.assign(static_cast<std::size_t>(n_procs), 0);
+
+  std::function<Cell(int)> cell_init = [&](int p) {
+    Sim& sim = sims[static_cast<std::size_t>(p)];
+    sim.round = 0;
+    sim.level = n_procs;  // n+1 in paper terms (levels n+1 .. 1)
+    sim.value = init(p);
+    sim.history.push_back(Record{sim.level, sim.value});
+    return sim.history;
+  };
+
+  std::function<rt::Step<Cell>(int, int, const rt::MemoryView<Cell>&)>
+      on_scan = [&](int p, int /*k*/, const rt::MemoryView<Cell>& view) {
+        Sim& sim = sims[static_cast<std::size_t>(p)];
+        // Collect the round-r projection: who is at level <= mine in M_r?
+        rt::IisSnapshot<Value> seen;
+        for (int j = 0; j < n_procs; ++j) {
+          const auto& cell = view[static_cast<std::size_t>(j)];
+          if (!cell.has_value()) continue;
+          const Cell& hist = *cell;
+          if (static_cast<int>(hist.size()) <= sim.round) continue;
+          const Record& rec = hist[static_cast<std::size_t>(sim.round)];
+          if (rec.level <= sim.level) seen.emplace_back(j, rec.value);
+        }
+        if (static_cast<int>(seen.size()) >= sim.level) {
+          // M_round's WriteRead is complete; hand the view to the protocol.
+          ++stats.rounds_completed[static_cast<std::size_t>(p)];
+          rt::Step<Value> step = on_view(p, sim.round, seen);
+          if (step.kind == rt::Step<Value>::Kind::kHalt) {
+            return rt::Step<Cell>::halt();
+          }
+          ++sim.round;
+          sim.level = n_procs;
+          sim.value = std::move(step.next);
+          sim.history.push_back(Record{sim.level, sim.value});
+        } else {
+          // Descend one level and re-announce.
+          --sim.level;
+          WFC_CHECK(sim.level >= 1,
+                    "reverse emulation: descended below level 1");
+          sim.history[static_cast<std::size_t>(sim.round)].level = sim.level;
+        }
+        return rt::Step<Cell>::cont(sim.history);
+      };
+
+  rt::SnapshotRunStats run =
+      rt::run_snapshot_model<Cell>(n_procs, schedule, cell_init, on_scan);
+  stats.ops_taken = std::move(run.ops_taken);
+  return stats;
+}
+
+}  // namespace wfc::emu

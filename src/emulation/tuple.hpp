@@ -1,0 +1,102 @@
+// Tuples and tuple sets for the §4 emulation (Figure 2).
+//
+// A tuple (id, seq, val) says "P_id wrote val in its seq-th write of the
+// emulated protocol"; (id, seq, ⊥) is the placeholder announcing P_id's
+// seq-th SnapshotRead.  Emulators ship SETS of tuples through the iterated
+// immediate snapshot memories and act on the union / intersection of the
+// sets they receive.
+#pragma once
+
+#include <algorithm>
+#include <compare>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace wfc::emu {
+
+struct Tuple {
+  int id = 0;
+  int seq = 0;
+  bool placeholder = false;  // true: this is (id, seq, ?)
+  int value = 0;             // meaningful only when !placeholder
+
+  friend auto operator<=>(const Tuple&, const Tuple&) = default;
+};
+
+/// A set of tuples, kept sorted and duplicate-free.
+class TupleSet {
+ public:
+  TupleSet() = default;
+  explicit TupleSet(std::vector<Tuple> tuples) : data_(std::move(tuples)) {
+    normalize();
+  }
+
+  [[nodiscard]] bool contains(const Tuple& t) const {
+    return std::binary_search(data_.begin(), data_.end(), t);
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] const std::vector<Tuple>& tuples() const noexcept {
+    return data_;
+  }
+
+  /// this ∪ {t}.
+  [[nodiscard]] TupleSet with(const Tuple& t) const {
+    TupleSet out = *this;
+    auto it = std::lower_bound(out.data_.begin(), out.data_.end(), t);
+    if (it == out.data_.end() || *it != t) out.data_.insert(it, t);
+    return out;
+  }
+
+  [[nodiscard]] TupleSet unite(const TupleSet& o) const {
+    TupleSet out;
+    out.data_.reserve(data_.size() + o.data_.size());
+    std::set_union(data_.begin(), data_.end(), o.data_.begin(), o.data_.end(),
+                   std::back_inserter(out.data_));
+    return out;
+  }
+
+  [[nodiscard]] TupleSet intersect(const TupleSet& o) const {
+    TupleSet out;
+    std::set_intersection(data_.begin(), data_.end(), o.data_.begin(),
+                          o.data_.end(), std::back_inserter(out.data_));
+    return out;
+  }
+
+  [[nodiscard]] bool subset_of(const TupleSet& o) const {
+    return std::includes(o.data_.begin(), o.data_.end(), data_.begin(),
+                         data_.end());
+  }
+
+  friend bool operator==(const TupleSet&, const TupleSet&) = default;
+
+ private:
+  void normalize() {
+    std::sort(data_.begin(), data_.end());
+    data_.erase(std::unique(data_.begin(), data_.end()), data_.end());
+  }
+
+  std::vector<Tuple> data_;
+};
+
+/// Union over a collection of tuple sets ([S in the paper's notation).
+template <typename Iter>
+TupleSet union_of(Iter first, Iter last) {
+  TupleSet out;
+  for (Iter it = first; it != last; ++it) out = out.unite(*it);
+  return out;
+}
+
+/// Intersection over a NON-EMPTY collection (\S in the paper's notation).
+template <typename Iter>
+TupleSet intersection_of(Iter first, Iter last) {
+  WFC_REQUIRE(first != last, "intersection_of: empty collection");
+  TupleSet out = *first;
+  for (Iter it = std::next(first); it != last; ++it) out = out.intersect(*it);
+  return out;
+}
+
+}  // namespace wfc::emu

@@ -1,0 +1,290 @@
+#include "protocol/protocol_complex.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "runtime/sim_iis.hpp"
+#include "runtime/sim_snapshot.hpp"
+
+namespace wfc::proto {
+
+namespace {
+
+using topo::ChromaticComplex;
+using topo::Simplex;
+using topo::VertexId;
+
+/// Interning table for full-information views.  A view is either a base
+/// view (an input vertex) or (color, sorted list of child view ids); two
+/// local states are equal iff their recursive content is equal, which the
+/// table guarantees by hashing the flattened key.
+class ViewTable {
+ public:
+  explicit ViewTable(const ChromaticComplex& input) : input_(&input) {}
+
+  /// Base view of input vertex v.
+  int base(VertexId v) {
+    std::string key = "base:" + std::to_string(v);
+    auto [it, inserted] = index_.emplace(std::move(key), next_id());
+    if (inserted) {
+      rows_.push_back(Row{input_->vertex(v).color,
+                          ColorSet::single(input_->vertex(v).color),
+                          Simplex{v}});
+    }
+    return it->second;
+  }
+
+  /// Composite view: processor of color `c` saw `seen` = (color, view id),
+  /// id-sorted.
+  int composite(Color c, const std::vector<std::pair<int, int>>& seen) {
+    std::ostringstream os;
+    os << "view:" << c << ':';
+    for (const auto& [col, vid] : seen) os << col << '=' << vid << ';';
+    auto [it, inserted] = index_.emplace(os.str(), next_id());
+    if (inserted) {
+      Row row;
+      row.color = c;
+      for (const auto& [col, vid] : seen) {
+        const Row& child = rows_[static_cast<std::size_t>(vid)];
+        row.colors_seen = row.colors_seen.unite(child.colors_seen);
+        row.inputs_seen.insert(row.inputs_seen.end(),
+                               child.inputs_seen.begin(),
+                               child.inputs_seen.end());
+      }
+      row.inputs_seen = topo::make_simplex(std::move(row.inputs_seen));
+      rows_.push_back(std::move(row));
+    }
+    return it->second;
+  }
+
+  [[nodiscard]] Color color(int id) const {
+    return rows_[static_cast<std::size_t>(id)].color;
+  }
+  [[nodiscard]] ColorSet colors_seen(int id) const {
+    return rows_[static_cast<std::size_t>(id)].colors_seen;
+  }
+  [[nodiscard]] const Simplex& inputs_seen(int id) const {
+    return rows_[static_cast<std::size_t>(id)].inputs_seen;
+  }
+
+ private:
+  struct Row {
+    Color color = 0;
+    ColorSet colors_seen;
+    Simplex inputs_seen;
+  };
+
+  int next_id() { return static_cast<int>(rows_.size()); }
+
+  const ChromaticComplex* input_;
+  std::map<std::string, int> index_;
+  std::vector<Row> rows_;
+};
+
+/// Enumerates all `rounds`-round full-participation IIS executions over each
+/// facet of `input`, reporting each execution's final views through `emit`.
+/// emit(final_view_ids_by_position, colors_by_position).
+void enumerate_final_views(
+    const ChromaticComplex& input, int rounds, ViewTable& views,
+    const std::function<void(const std::vector<int>&, const std::vector<Color>&)>&
+        emit) {
+  WFC_REQUIRE(rounds >= 1, "protocol complex: need at least one round");
+  for (const Simplex& facet : input.facets()) {
+    const int n_active = static_cast<int>(facet.size());
+    std::vector<Color> colors(facet.size());
+    for (std::size_t pos = 0; pos < facet.size(); ++pos) {
+      colors[pos] = input.vertex(facet[pos]).color;
+    }
+    std::vector<int> final_views(facet.size(), -1);
+
+    std::function<int(int)> init = [&](int pos) {
+      return views.base(facet[static_cast<std::size_t>(pos)]);
+    };
+    std::function<rt::Step<int>(int, int, const rt::IisSnapshot<int>&)>
+        on_view = [&](int pos, int round, const rt::IisSnapshot<int>& snap) {
+          std::vector<std::pair<int, int>> seen;
+          seen.reserve(snap.size());
+          for (const auto& [q, vid] : snap) {
+            seen.emplace_back(colors[static_cast<std::size_t>(q)], vid);
+          }
+          std::sort(seen.begin(), seen.end());
+          const int id = views.composite(colors[static_cast<std::size_t>(pos)],
+                                         seen);
+          if (round + 1 == rounds) {
+            final_views[static_cast<std::size_t>(pos)] = id;
+            return rt::Step<int>::halt();
+          }
+          return rt::Step<int>::cont(id);
+        };
+
+    rt::for_each_iis_execution<int>(
+        n_active, rounds, init, on_view,
+        [&](const std::vector<rt::Partition>&) { emit(final_views, colors); });
+  }
+}
+
+}  // namespace
+
+ChromaticComplex build_iis_protocol_complex(const ChromaticComplex& input,
+                                            int rounds) {
+  ViewTable views(input);
+  ChromaticComplex out(input.n_colors());
+  enumerate_final_views(
+      input, rounds, views,
+      [&](const std::vector<int>& finals, const std::vector<Color>&) {
+        Simplex facet;
+        facet.reserve(finals.size());
+        for (int vid : finals) {
+          WFC_CHECK(vid >= 0, "protocol complex: missing final view");
+          facet.push_back(out.intern_vertex(
+              views.color(vid), "v" + std::to_string(vid),
+              views.colors_seen(vid), {}, views.inputs_seen(vid)));
+        }
+        out.add_facet(topo::make_simplex(std::move(facet)));
+      });
+  return out;
+}
+
+ChromaticComplex build_snapshot_protocol_complex(int n_procs, int shots) {
+  WFC_REQUIRE(n_procs >= 1 && n_procs <= 4,
+              "snapshot protocol complex: n_procs too large to enumerate");
+  WFC_REQUIRE(shots >= 1, "snapshot protocol complex: shots must be >= 1");
+
+  // Interned full-information states for the atomic-snapshot model.
+  // Base state of p: "p".  After a scan: (p, cell contents as state ids).
+  struct Row {
+    Color color;
+    ColorSet colors_seen;
+  };
+  std::map<std::string, int> index;
+  std::vector<Row> rows;
+  auto intern = [&](Color p, const std::string& key, ColorSet seen) {
+    auto [it, inserted] = index.emplace(key, static_cast<int>(rows.size()));
+    if (inserted) rows.push_back(Row{p, seen});
+    return it->second;
+  };
+
+  ChromaticComplex out(n_procs);
+  rt::for_each_interleaving(n_procs, 2 * shots, [&](const std::vector<Color>&
+                                                        sched) {
+    std::vector<int> final_state(static_cast<std::size_t>(n_procs), -1);
+    std::function<int(int)> init = [&](int p) {
+      return intern(p, "in:" + std::to_string(p), ColorSet::single(p));
+    };
+    std::function<rt::Step<int>(int, int, const rt::MemoryView<int>&)> on_scan =
+        [&](int p, int k, const rt::MemoryView<int>& view) {
+          std::ostringstream os;
+          os << "st:" << p << ':';
+          ColorSet seen = ColorSet::single(p);
+          for (std::size_t q = 0; q < view.size(); ++q) {
+            if (view[q].has_value()) {
+              os << q << '=' << *view[q] << ';';
+              seen = seen.unite(rows[static_cast<std::size_t>(*view[q])]
+                                    .colors_seen);
+            }
+          }
+          const int id = intern(p, os.str(), seen);
+          if (k == shots) {
+            final_state[static_cast<std::size_t>(p)] = id;
+            return rt::Step<int>::halt();
+          }
+          return rt::Step<int>::cont(id);
+        };
+    rt::run_snapshot_model<int>(n_procs, sched, init, on_scan);
+
+    Simplex facet;
+    for (int p = 0; p < n_procs; ++p) {
+      const int sid = final_state[static_cast<std::size_t>(p)];
+      WFC_CHECK(sid >= 0, "snapshot complex: processor did not finish");
+      facet.push_back(out.intern_vertex(rows[static_cast<std::size_t>(sid)].color,
+                                        "s" + std::to_string(sid),
+                                        rows[static_cast<std::size_t>(sid)]
+                                            .colors_seen));
+    }
+    out.add_facet(topo::make_simplex(std::move(facet)));
+  });
+  return out;
+}
+
+IsomorphismReport verify_iis_complex_is_sds(const ChromaticComplex& input,
+                                            int rounds) {
+  IsomorphismReport rep;
+  SdsChain chain(input, rounds);
+
+  // Replay all executions, tracking (view id, SDS vertex id) side by side.
+  // Value = (protocol view id, vertex id in chain.level(round)).
+  using Pair = std::pair<int, VertexId>;
+  ViewTable views(input);
+  std::map<int, VertexId> corr;
+  bool consistent = true;
+  std::set<Simplex> proto_facets;  // as sorted sets of SDS vertex ids
+  std::set<int> final_view_ids;
+
+  for (const Simplex& facet : input.facets()) {
+    const int n_active = static_cast<int>(facet.size());
+    std::vector<Color> colors(facet.size());
+    for (std::size_t pos = 0; pos < facet.size(); ++pos) {
+      colors[pos] = input.vertex(facet[pos]).color;
+    }
+    std::vector<Pair> finals(facet.size(), {-1, topo::kNoVertex});
+
+    std::function<Pair(int)> init = [&](int pos) {
+      const VertexId iv = facet[static_cast<std::size_t>(pos)];
+      return Pair{views.base(iv), iv};
+    };
+    std::function<rt::Step<Pair>(int, int, const rt::IisSnapshot<Pair>&)>
+        on_view = [&](int pos, int round, const rt::IisSnapshot<Pair>& snap) {
+          std::vector<std::pair<int, int>> seen_views;
+          Simplex seen_sds;
+          for (const auto& [q, pr] : snap) {
+            seen_views.emplace_back(colors[static_cast<std::size_t>(q)],
+                                    pr.first);
+            seen_sds.push_back(pr.second);
+          }
+          std::sort(seen_views.begin(), seen_views.end());
+          const Color c = colors[static_cast<std::size_t>(pos)];
+          const int vid = views.composite(c, seen_views);
+          const VertexId sid =
+              chain.locate(round + 1, c, topo::make_simplex(seen_sds));
+          auto [it, inserted] = corr.emplace(vid, sid);
+          if (!inserted && it->second != sid) consistent = false;
+          if (round + 1 == rounds) {
+            finals[static_cast<std::size_t>(pos)] = {vid, sid};
+            return rt::Step<Pair>::halt();
+          }
+          return rt::Step<Pair>::cont({vid, sid});
+        };
+
+    rt::for_each_iis_execution<Pair>(
+        n_active, rounds, init, on_view,
+        [&](const std::vector<rt::Partition>&) {
+          Simplex f;
+          for (const auto& [vid, sid] : finals) {
+            final_view_ids.insert(vid);
+            f.push_back(sid);
+          }
+          proto_facets.insert(topo::make_simplex(std::move(f)));
+        });
+  }
+
+  // Injectivity: distinct views must land on distinct SDS vertices.
+  std::set<VertexId> images;
+  for (int vid : final_view_ids) images.insert(corr.at(vid));
+
+  const ChromaticComplex& sds = chain.top();
+  rep.protocol_vertices = final_view_ids.size();
+  rep.sds_vertices = sds.num_vertices();
+  rep.protocol_facets = proto_facets.size();
+  rep.sds_facets = sds.num_facets();
+  rep.vertex_bijection = consistent &&
+                         images.size() == final_view_ids.size() &&
+                         final_view_ids.size() == sds.num_vertices();
+
+  std::set<Simplex> sds_facets(sds.facets().begin(), sds.facets().end());
+  rep.facets_match = proto_facets == sds_facets;
+  return rep;
+}
+
+}  // namespace wfc::proto

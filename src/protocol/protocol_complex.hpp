@@ -1,0 +1,51 @@
+// Protocol complexes built from actual executions (paper §3.1, §3.6).
+//
+// These generators are deliberately independent of the combinatorial SDS
+// construction in topology/subdivision.hpp: they enumerate executions with
+// the runtime's executors and intern (processor, local state) pairs as
+// vertices, with one simplex per execution.  Comparing the result against
+// SDS^b(I) is the machine-checked content of Lemmas 3.2 and 3.3 (E1/E2).
+#pragma once
+
+#include "protocol/sds_chain.hpp"
+#include "topology/complex.hpp"
+#include "topology/simplicial_map.hpp"
+
+namespace wfc::proto {
+
+/// The b-round full-information IIS protocol complex over `input`:
+/// enumerate all executions in which every processor takes exactly b
+/// WriteReads; vertices are (color, final view content); a set of vertices
+/// is a simplex iff co-produced by one execution.  Views are interned by
+/// content, so identical local states arising from different executions
+/// collapse -- exactly the paper's definition.
+topo::ChromaticComplex build_iis_protocol_complex(
+    const topo::ChromaticComplex& input, int rounds);
+
+/// The k-shot SWMR atomic-snapshot full-information protocol complex over
+/// n_procs processors with inputs = processor ids (Figure 1 semantics):
+/// enumerate all interleavings of 2k appearances per processor.  Grows very
+/// fast; keep n_procs <= 3 and k <= 2.
+topo::ChromaticComplex build_snapshot_protocol_complex(int n_procs, int shots);
+
+struct IsomorphismReport {
+  bool vertex_bijection = false;
+  bool facets_match = false;
+  std::size_t protocol_vertices = 0;
+  std::size_t sds_vertices = 0;
+  std::size_t protocol_facets = 0;
+  std::size_t sds_facets = 0;
+
+  [[nodiscard]] bool ok() const noexcept {
+    return vertex_bijection && facets_match;
+  }
+};
+
+/// Machine check of Lemma 3.3 (and 3.2 for rounds == 1): the execution-
+/// derived IIS protocol complex is isomorphic to SDS^rounds(input), via the
+/// canonical correspondence "view seen at round r" -> "SDS vertex".
+/// The isomorphism is rebuilt by replaying executions against an SdsChain.
+IsomorphismReport verify_iis_complex_is_sds(
+    const topo::ChromaticComplex& input, int rounds);
+
+}  // namespace wfc::proto

@@ -1,0 +1,33 @@
+#include "protocol/sds_chain.hpp"
+
+namespace wfc::proto {
+
+SdsChain::SdsChain(topo::ChromaticComplex input, int depth) {
+  WFC_REQUIRE(depth >= 0, "SdsChain: negative depth");
+  levels_.reserve(static_cast<std::size_t>(depth) + 1);
+  levels_.push_back(std::move(input));
+  for (int r = 1; r <= depth; ++r) {
+    levels_.push_back(topo::standard_chromatic_subdivision(levels_.back()));
+  }
+}
+
+const topo::ChromaticComplex& SdsChain::level(int r) const {
+  WFC_REQUIRE(r >= 0 && r < static_cast<int>(levels_.size()),
+              "SdsChain::level: out of range");
+  return levels_[static_cast<std::size_t>(r)];
+}
+
+topo::VertexId SdsChain::locate(int r, Color c,
+                                const topo::Simplex& seen) const {
+  WFC_REQUIRE(r >= 1 && r < static_cast<int>(levels_.size()),
+              "SdsChain::locate: level out of range");
+  const topo::VertexId v =
+      levels_[static_cast<std::size_t>(r)].find_vertex(
+          topo::sds_vertex_key(c, seen));
+  WFC_CHECK(v != topo::kNoVertex,
+            "SdsChain::locate: live view is not a vertex of SDS^r -- "
+            "Lemma 3.2 violation");
+  return v;
+}
+
+}  // namespace wfc::proto

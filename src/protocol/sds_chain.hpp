@@ -1,0 +1,49 @@
+// SdsChain: the tower I, SDS(I), SDS^2(I), ..., SDS^b(I) with vertex
+// location for live executions.
+//
+// A processor running the full-information IIS protocol can always name its
+// own vertex: at round r it holds a set of (color, vertex-at-level-r) pairs
+// -- its immediate snapshot -- and its level-(r+1) vertex is the interned
+// SDS vertex (own color, that set).  This is the operational content of
+// Lemma 3.3: local states after r rounds ARE vertices of SDS^r(I).  The
+// solvability checker compiles decision maps against the top level, and the
+// runtime looks itself up here to decide.
+#pragma once
+
+#include <vector>
+
+#include "topology/complex.hpp"
+#include "topology/subdivision.hpp"
+
+namespace wfc::proto {
+
+class SdsChain {
+ public:
+  /// Builds levels 0..depth; level r is SDS^r(input).
+  SdsChain(topo::ChromaticComplex input, int depth);
+
+  [[nodiscard]] int depth() const noexcept {
+    return static_cast<int>(levels_.size()) - 1;
+  }
+
+  /// Level r complex; r = 0 is the input complex.
+  [[nodiscard]] const topo::ChromaticComplex& level(int r) const;
+
+  /// Top level, SDS^depth(input).
+  [[nodiscard]] const topo::ChromaticComplex& top() const {
+    return level(depth());
+  }
+
+  /// The vertex of level `r` (r >= 1) for a processor of color `c` whose
+  /// round-(r-1) immediate snapshot contained exactly the level-(r-1)
+  /// vertices `seen` (canonical simplex).  Throws std::logic_error if no
+  /// such vertex exists -- i.e. if `seen` is not a legal view, which would
+  /// contradict Lemma 3.2.
+  [[nodiscard]] topo::VertexId locate(int r, Color c,
+                                      const topo::Simplex& seen) const;
+
+ private:
+  std::vector<topo::ChromaticComplex> levels_;
+};
+
+}  // namespace wfc::proto

@@ -1,0 +1,121 @@
+// Wait-free SWMR atomic snapshot object (paper §3.1, model of [1] = Afek,
+// Attiya, Dolev, Gafni, Merritt, Shavit 1990).
+//
+// Each of the n+1 processors owns one component; update(i, v) writes P_i's
+// component, scan() returns an atomic view of all components.
+//
+// Algorithm (the classic unbounded-sequence-number construction):
+//   * every update embeds the result of a scan in the written register;
+//   * scan() repeatedly double-collects; if two consecutive collects are
+//     identical (no sequence number moved) the collect is a valid snapshot;
+//   * otherwise, if some register moved TWICE since the scan began, its
+//     second write started after our scan started, so its embedded scan is
+//     linearizable inside our interval -- borrow it.
+// Each scan terminates after at most n+2 collects: with n+1 writers, after
+// n+2 unsuccessful double collects some writer moved twice (pigeonhole).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "registers/swmr_register.hpp"
+
+namespace wfc::reg {
+
+template <typename T>
+class AtomicSnapshot {
+ public:
+  /// A snapshot view: component i is nullopt until P_i's first update.
+  using View = std::vector<std::optional<T>>;
+
+  explicit AtomicSnapshot(int n_procs) : regs_(static_cast<std::size_t>(n_procs)) {
+    WFC_REQUIRE(n_procs >= 1, "AtomicSnapshot: need at least one processor");
+  }
+
+  [[nodiscard]] int n_procs() const noexcept {
+    return static_cast<int>(regs_.size());
+  }
+
+  /// P_i replaces its component with `value`.  Wait-free; embeds a scan.
+  void update(int i, T value) {
+    check_proc(i);
+    Cell cell;
+    cell.value = std::move(value);
+    cell.embedded = scan();
+    regs_[static_cast<std::size_t>(i)].write(std::move(cell));
+  }
+
+  /// Returns an atomic view of all components.  Wait-free.
+  [[nodiscard]] View scan() const {
+    int collects = 0;
+    return scan_counting(collects);
+  }
+
+  /// scan() variant reporting how many collects the wait-freedom argument
+  /// consumed: with n+1 writers at most n+2 collects happen before either a
+  /// clean double collect or a double mover (pigeonhole) -- tests assert
+  /// the bound.
+  [[nodiscard]] View scan_counting(int& collects) const {
+    const std::size_t n = regs_.size();
+    std::vector<std::uint64_t> first(n, 0);
+    std::vector<std::uint64_t> prev(n, 0);
+    std::vector<std::optional<Cell>> cells(n);
+    collect(cells, prev);
+    collects = 1;
+    first = prev;
+    for (;;) {
+      std::vector<std::optional<Cell>> cells2(n);
+      std::vector<std::uint64_t> seqs2(n, 0);
+      collect(cells2, seqs2);
+      ++collects;
+      if (seqs2 == prev) {
+        // Clean double collect: the repeated collect is a snapshot.
+        View out(n);
+        for (std::size_t j = 0; j < n; ++j) {
+          if (cells2[j].has_value()) out[j] = cells2[j]->value;
+        }
+        return out;
+      }
+      for (std::size_t j = 0; j < n; ++j) {
+        if (seqs2[j] >= first[j] + 2) {
+          // P_j wrote at least twice during our scan; its latest embedded
+          // scan began after our scan began.  Borrow it.
+          return cells2[j]->embedded;
+        }
+      }
+      prev = seqs2;
+      cells = std::move(cells2);
+    }
+  }
+
+  /// Total writes to component i (for tests/benchmarks).
+  [[nodiscard]] std::size_t write_count(int i) const {
+    check_proc(i);
+    return regs_[static_cast<std::size_t>(i)].write_count();
+  }
+
+ private:
+  struct Cell {
+    T value;
+    View embedded;
+  };
+
+  void check_proc(int i) const {
+    WFC_REQUIRE(i >= 0 && i < n_procs(), "AtomicSnapshot: bad processor id");
+  }
+
+  void collect(std::vector<std::optional<Cell>>& cells,
+               std::vector<std::uint64_t>& seqs) const {
+    for (std::size_t j = 0; j < regs_.size(); ++j) {
+      std::optional<Cell> c;
+      seqs[j] = regs_[j].read_versioned(c);
+      cells[j] = std::move(c);
+    }
+  }
+
+  std::vector<SwmrRegister<Cell>> regs_;
+};
+
+}  // namespace wfc::reg

@@ -1,0 +1,20 @@
+#include "runtime/adversary.hpp"
+
+#include "common/assert.hpp"
+
+namespace wfc::rt {
+
+void validate_partition(const Partition& p, ColorSet active) {
+  ColorSet seen;
+  for (ColorSet block : p) {
+    WFC_CHECK(!block.empty(), "adversary produced an empty block");
+    WFC_CHECK(block.intersect(seen).empty(),
+              "adversary produced overlapping blocks");
+    WFC_CHECK(block.subset_of(active),
+              "adversary scheduled an inactive processor");
+    seen = seen.unite(block);
+  }
+  WFC_CHECK(seen == active, "adversary did not schedule every active processor");
+}
+
+}  // namespace wfc::rt

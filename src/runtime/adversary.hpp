@@ -1,0 +1,150 @@
+// Scheduling adversaries for the iterated immediate snapshot model.
+//
+// A full-information IIS execution is an infinite sequence of ordered
+// partitions of the processor set (paper §3.5).  An Adversary produces, for
+// each memory M_r, the ordered partition of the processors still active in
+// that round.  Processors in earlier blocks see less; processors in the same
+// block see each other (they "WriteRead together").
+//
+// The asynchronous adversary of the real shared-memory model is simulated:
+// we cannot summon a malicious OS scheduler on demand, so we provide
+// enumeration (all schedules, small instances), randomized schedules, and
+// the canonical deterministic extremes -- which together exercise every code
+// path the paper's arguments depend on.  Real-thread executions (see
+// thread_iis.hpp) complement these with genuine preemption.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/color_set.hpp"
+#include "common/rng.hpp"
+
+namespace wfc::rt {
+
+/// An ordered partition of a set of processors, earliest block first.
+using Partition = std::vector<ColorSet>;
+
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+
+  /// Produces the ordered partition of `active` used by memory M_round.
+  /// Must return non-empty disjoint blocks whose union is `active`.
+  virtual Partition partition(int round, ColorSet active) = 0;
+};
+
+/// All active processors in one block: the fully synchronous schedule.
+/// Every processor sees everyone -- the "largest views" corner of SDS.
+class SynchronousAdversary final : public Adversary {
+ public:
+  Partition partition(int /*round*/, ColorSet active) override {
+    return {active};
+  }
+};
+
+/// Each processor alone in its own block, in increasing id order: the fully
+/// sequential schedule -- the "smallest views" corner of SDS.
+class SequentialAdversary final : public Adversary {
+ public:
+  Partition partition(int /*round*/, ColorSet active) override {
+    Partition p;
+    for (Color c : active) p.push_back(ColorSet::single(c));
+    return p;
+  }
+};
+
+/// Sequential, but the order rotates by one position each round; stresses
+/// asymmetric progress (every processor is periodically "slowest").
+class RotatingAdversary final : public Adversary {
+ public:
+  Partition partition(int round, ColorSet active) override {
+    std::vector<Color> order(active.begin(), active.end());
+    if (order.empty()) return {};
+    const std::size_t shift =
+        static_cast<std::size_t>(round) % order.size();
+    std::rotate(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(shift),
+                order.end());
+    Partition p;
+    for (Color c : order) p.push_back(ColorSet::single(c));
+    return p;
+  }
+};
+
+/// Delays one chosen victim maximally: every round the victim sits alone in
+/// the LAST block (sees everyone, is seen by no one mid-round), the rest run
+/// synchronously ahead of it.  The harshest schedule for the victim's
+/// progress in the Figure 2 emulation.
+class LateAdversary final : public Adversary {
+ public:
+  explicit LateAdversary(Color victim) : victim_(victim) {}
+
+  Partition partition(int /*round*/, ColorSet active) override {
+    if (!active.contains(victim_) || active.size() == 1) return {active};
+    return {active.without(victim_), ColorSet::single(victim_)};
+  }
+
+ private:
+  Color victim_;
+};
+
+/// Uniformly random ordered partition each round.
+class RandomAdversary final : public Adversary {
+ public:
+  explicit RandomAdversary(std::uint64_t seed) : rng_(seed) {}
+
+  Partition partition(int /*round*/, ColorSet active) override {
+    std::vector<Color> order(active.begin(), active.end());
+    rng_.shuffle(order);
+    Partition p;
+    std::size_t i = 0;
+    while (i < order.size()) {
+      // Random block size among the remaining processors.
+      const std::size_t len =
+          1 + static_cast<std::size_t>(rng_.below(order.size() - i));
+      ColorSet block;
+      for (std::size_t k = 0; k < len; ++k) block = block.with(order[i + k]);
+      p.push_back(block);
+      i += len;
+    }
+    return p;
+  }
+
+ private:
+  Rng rng_;
+};
+
+/// Replays an explicit list of partitions; used by the exhaustive
+/// enumerator and by regression tests for specific executions.  If a listed
+/// partition mentions processors no longer active they are dropped; rounds
+/// beyond the list fall back to synchronous.
+class FixedAdversary final : public Adversary {
+ public:
+  explicit FixedAdversary(std::vector<Partition> rounds)
+      : rounds_(std::move(rounds)) {}
+
+  Partition partition(int round, ColorSet active) override {
+    if (static_cast<std::size_t>(round) >= rounds_.size()) return {active};
+    Partition out;
+    for (ColorSet block : rounds_[static_cast<std::size_t>(round)]) {
+      ColorSet trimmed = block.intersect(active);
+      if (!trimmed.empty()) out.push_back(trimmed);
+    }
+    // Anyone the fixed schedule forgot goes in a final block.
+    ColorSet mentioned;
+    for (ColorSet b : out) mentioned = mentioned.unite(b);
+    ColorSet rest = active.minus(mentioned);
+    if (!rest.empty()) out.push_back(rest);
+    return out;
+  }
+
+ private:
+  std::vector<Partition> rounds_;
+};
+
+/// Validates the adversary contract; throws std::logic_error on violation.
+/// Executors call this on every partition they consume.
+void validate_partition(const Partition& p, ColorSet active);
+
+}  // namespace wfc::rt

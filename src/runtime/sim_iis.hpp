@@ -1,0 +1,171 @@
+// Deterministic simulated executor for the iterated immediate snapshot
+// model, plus exhaustive enumeration of all IIS executions of bounded depth.
+//
+// The executor realizes the §3.5 full-information semantics directly: in
+// round r the adversary picks an ordered partition (B_1, ..., B_m) of the
+// active processors; every P_i in B_j submits its value and receives the
+// snapshot S_i = all (id, value) pairs from B_1 u ... u B_j -- exactly the
+// one-shot immediate snapshot outputs realized by that partition.
+//
+// Protocols are expressed as two callables:
+//   init(proc)                  -> Value submitted to M_0
+//   on_view(proc, round, snap)  -> Step: Continue{next value} or Halt
+// A processor that Halts stops appearing in later rounds (its decision, if
+// any, is the protocol's business -- typically recorded in the closure).
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "runtime/adversary.hpp"
+#include "topology/ordered_partition.hpp"
+
+namespace wfc::rt {
+
+/// The (id, value) pairs a processor receives from one WriteRead, id-sorted.
+template <typename Value>
+using IisSnapshot = std::vector<std::pair<int, Value>>;
+
+template <typename Value>
+struct Step {
+  enum class Kind { kContinue, kHalt };
+  Kind kind = Kind::kHalt;
+  Value next{};
+
+  static Step cont(Value v) {
+    return Step{Kind::kContinue, std::move(v)};
+  }
+  static Step halt() { return Step{}; }
+};
+
+struct IisRunStats {
+  int rounds_executed = 0;            // memories consumed
+  std::vector<int> rounds_taken;      // per processor, WriteReads performed
+  std::vector<Partition> schedule;    // the partitions actually used
+};
+
+/// Runs at most `max_rounds` rounds (memories M_0 .. M_{max_rounds-1}).
+/// Stops early when every processor has halted.  Throws std::logic_error if
+/// some processor is still active after max_rounds (protocols are bounded;
+/// see Lemma 3.1).
+template <typename Value>
+IisRunStats run_iis(
+    int n_procs, Adversary& adversary, int max_rounds,
+    const std::function<Value(int)>& init,
+    const std::function<Step<Value>(int, int, const IisSnapshot<Value>&)>&
+        on_view) {
+  WFC_REQUIRE(n_procs >= 1 && n_procs <= kMaxColors, "run_iis: bad n_procs");
+  WFC_REQUIRE(max_rounds >= 0, "run_iis: negative max_rounds");
+
+  IisRunStats stats;
+  stats.rounds_taken.assign(static_cast<std::size_t>(n_procs), 0);
+  std::vector<Value> value(static_cast<std::size_t>(n_procs));
+  ColorSet active = ColorSet::full(n_procs);
+  for (Color p : active) value[static_cast<std::size_t>(p)] = init(p);
+
+  for (int round = 0; round < max_rounds && !active.empty(); ++round) {
+    Partition part = adversary.partition(round, active);
+    validate_partition(part, active);
+    stats.schedule.push_back(part);
+    ++stats.rounds_executed;
+
+    // One-shot immediate snapshot semantics: prefix views.
+    IisSnapshot<Value> written;
+    ColorSet halted;
+    for (ColorSet block : part) {
+      for (Color p : block) {
+        written.emplace_back(p, value[static_cast<std::size_t>(p)]);
+      }
+      std::sort(written.begin(), written.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      for (Color p : block) {
+        ++stats.rounds_taken[static_cast<std::size_t>(p)];
+        Step<Value> step = on_view(p, round, written);
+        if (step.kind == Step<Value>::Kind::kContinue) {
+          value[static_cast<std::size_t>(p)] = std::move(step.next);
+        } else {
+          halted = halted.with(p);
+        }
+      }
+    }
+    active = active.minus(halted);
+  }
+  WFC_CHECK(active.empty(),
+            "run_iis: processors still running after max_rounds");
+  return stats;
+}
+
+/// Enumerates ALL IIS executions of depth <= max_rounds for a deterministic
+/// protocol, invoking `at_end(stats)` for each complete execution (all
+/// processors halted or max_rounds reached).  Cost is
+/// prod_r Fubini(|active_r|); keep n_procs <= 3-4 and max_rounds small.
+template <typename Value>
+void for_each_iis_execution(
+    int n_procs, int max_rounds, const std::function<Value(int)>& init,
+    const std::function<Step<Value>(int, int, const IisSnapshot<Value>&)>&
+        on_view,
+    const std::function<void(const std::vector<Partition>&)>& at_end) {
+  WFC_REQUIRE(n_procs >= 1 && n_procs <= kMaxColors,
+              "for_each_iis_execution: bad n_procs");
+
+  struct Frame {
+    std::vector<Value> value;
+    ColorSet active;
+  };
+
+  std::vector<Partition> schedule;
+
+  // Recursive DFS over ordered partitions of the active set per round.
+  auto rec = [&](auto&& self, const Frame& frame, int round) -> void {
+    if (frame.active.empty() || round == max_rounds) {
+      at_end(schedule);
+      return;
+    }
+    std::vector<Color> procs(frame.active.begin(), frame.active.end());
+    topo::for_each_ordered_partition(
+        static_cast<int>(procs.size()),
+        [&](const topo::OrderedPartition& op) {
+          Partition part;
+          part.reserve(op.size());
+          for (const std::vector<int>& block : op) {
+            ColorSet b;
+            for (int pos : block) b = b.with(procs[static_cast<std::size_t>(pos)]);
+            part.push_back(b);
+          }
+          // Apply this round.
+          Frame next = frame;
+          IisSnapshot<Value> written;
+          for (ColorSet block : part) {
+            for (Color p : block) {
+              written.emplace_back(p, next.value[static_cast<std::size_t>(p)]);
+            }
+            std::sort(written.begin(), written.end(),
+                      [](const auto& a, const auto& b) {
+                        return a.first < b.first;
+                      });
+            for (Color p : block) {
+              Step<Value> step = on_view(p, round, written);
+              if (step.kind == Step<Value>::Kind::kContinue) {
+                next.value[static_cast<std::size_t>(p)] = std::move(step.next);
+              } else {
+                next.active = next.active.without(p);
+              }
+            }
+          }
+          schedule.push_back(std::move(part));
+          self(self, next, round + 1);
+          schedule.pop_back();
+        });
+  };
+
+  Frame root;
+  root.value.resize(static_cast<std::size_t>(n_procs));
+  root.active = ColorSet::full(n_procs);
+  for (Color p : root.active) root.value[static_cast<std::size_t>(p)] = init(p);
+  rec(rec, root, 0);
+}
+
+}  // namespace wfc::rt

@@ -1,0 +1,21 @@
+#include "runtime/sim_is.hpp"
+
+#include "runtime/adversary.hpp"
+
+namespace wfc::rt {
+
+BlockSchedule random_block_schedule(int n_procs, int rounds, Rng& rng) {
+  WFC_REQUIRE(n_procs >= 1 && n_procs <= kMaxColors,
+              "random_block_schedule: n_procs");
+  WFC_REQUIRE(rounds >= 0, "random_block_schedule: rounds");
+  RandomAdversary adversary(rng.next());
+  BlockSchedule out;
+  for (int r = 0; r < rounds; ++r) {
+    for (ColorSet block : adversary.partition(r, ColorSet::full(n_procs))) {
+      out.push_back(block);
+    }
+  }
+  return out;
+}
+
+}  // namespace wfc::rt

@@ -1,0 +1,87 @@
+// The (non-iterated) immediate snapshot model of §3.4: the restriction of
+// the atomic-snapshot model to executions where each maximal run of writes
+// is followed by a maximal run of snapshots by the same processors.  An
+// execution is a sequence of CONCURRENCY CLASSES (sets of processors); the
+// members of a class write together and then all snapshot the same memory
+// state, so the class condenses to a single WriteRead.
+//
+// This sits between the two models the paper connects:
+//   * restricting every processor to ONE WriteRead gives the one-shot
+//     object (and its protocol complex, SDS -- Lemma 3.2);
+//   * chaining fresh memories per step gives the iterated model of §3.5.
+// [8] showed the atomic snapshot model simulates this one; tests here check
+// the structural signature: same-class views are EQUAL, across classes
+// views are ordered by containment.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/color_set.hpp"
+#include "common/rng.hpp"
+#include "runtime/sim_iis.hpp"
+#include "runtime/sim_snapshot.hpp"
+
+namespace wfc::rt {
+
+/// A schedule for the IS model: one ColorSet per concurrency class, in
+/// order.  Processors may appear in any number of classes (multi-shot).
+using BlockSchedule = std::vector<ColorSet>;
+
+struct IsRunStats {
+  std::vector<int> steps_taken;  // WriteReads per processor
+};
+
+/// Replays `schedule`.  on_step(p, k, view) runs after P_p's k-th WriteRead
+/// (k >= 1) with the memory view (cells unwritten so far are nullopt);
+/// Continue supplies the value of P_p's next write, Halt retires it (later
+/// appearances are skipped).  Throws std::logic_error if the schedule ends
+/// with someone still active.
+template <typename Value>
+IsRunStats run_is_model(
+    int n_procs, const BlockSchedule& schedule,
+    const std::function<Value(int)>& init,
+    const std::function<Step<Value>(int, int, const MemoryView<Value>&)>&
+        on_step) {
+  WFC_REQUIRE(n_procs >= 1 && n_procs <= kMaxColors, "run_is_model: n_procs");
+  MemoryView<Value> cells(static_cast<std::size_t>(n_procs));
+  std::vector<Value> pending(static_cast<std::size_t>(n_procs));
+  std::vector<int> steps(static_cast<std::size_t>(n_procs), 0);
+  ColorSet active = ColorSet::full(n_procs);
+  for (Color p : active) pending[static_cast<std::size_t>(p)] = init(p);
+
+  IsRunStats stats;
+  stats.steps_taken.assign(static_cast<std::size_t>(n_procs), 0);
+  for (ColorSet block : schedule) {
+    ColorSet live = block.intersect(active);
+    if (live.empty()) continue;
+    // Maximal run of writes...
+    for (Color p : live) {
+      cells[static_cast<std::size_t>(p)] = pending[static_cast<std::size_t>(p)];
+    }
+    // ...followed by a maximal run of snapshots by the same processors.
+    const MemoryView<Value> view = cells;
+    for (Color p : live) {
+      const auto up = static_cast<std::size_t>(p);
+      ++steps[up];
+      ++stats.steps_taken[up];
+      Step<Value> step = on_step(p, steps[up], view);
+      if (step.kind == Step<Value>::Kind::kHalt) {
+        active = active.without(p);
+      } else {
+        pending[up] = std::move(step.next);
+      }
+    }
+  }
+  WFC_CHECK(active.empty(), "run_is_model: schedule ended with active procs");
+  return stats;
+}
+
+/// A fair block schedule: `rounds` repetitions of an ordered partition per
+/// round drawn from `rng` (each round every processor appears exactly once,
+/// like an IIS round but on the shared memory).
+BlockSchedule random_block_schedule(int n_procs, int rounds, Rng& rng);
+
+}  // namespace wfc::rt

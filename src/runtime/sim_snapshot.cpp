@@ -1,0 +1,42 @@
+#include "runtime/sim_snapshot.hpp"
+
+namespace wfc::rt {
+
+std::vector<Color> fair_schedule(int n_procs, int appearances) {
+  WFC_REQUIRE(n_procs >= 1, "fair_schedule: bad n_procs");
+  WFC_REQUIRE(appearances >= 0, "fair_schedule: negative appearances");
+  std::vector<Color> out;
+  out.reserve(static_cast<std::size_t>(n_procs) *
+              static_cast<std::size_t>(appearances));
+  for (int round = 0; round < appearances; ++round) {
+    for (Color p = 0; p < n_procs; ++p) out.push_back(p);
+  }
+  return out;
+}
+
+void for_each_interleaving(
+    int n_procs, int ops_per_proc,
+    const std::function<void(const std::vector<Color>&)>& fn) {
+  WFC_REQUIRE(n_procs >= 1 && n_procs <= 8, "for_each_interleaving: n_procs");
+  WFC_REQUIRE(ops_per_proc >= 0 && n_procs * ops_per_proc <= 24,
+              "for_each_interleaving: instance too large to enumerate");
+  std::vector<int> remaining(static_cast<std::size_t>(n_procs), ops_per_proc);
+  std::vector<Color> seq;
+  auto rec = [&](auto&& self) -> void {
+    bool any = false;
+    for (Color p = 0; p < n_procs; ++p) {
+      if (remaining[static_cast<std::size_t>(p)] > 0) {
+        any = true;
+        --remaining[static_cast<std::size_t>(p)];
+        seq.push_back(p);
+        self(self);
+        seq.pop_back();
+        ++remaining[static_cast<std::size_t>(p)];
+      }
+    }
+    if (!any) fn(seq);
+  };
+  rec(rec);
+}
+
+}  // namespace wfc::rt

@@ -1,0 +1,92 @@
+// Simulated SWMR atomic snapshot memory model (paper §3.1) with explicit
+// operation schedules, plus exhaustive enumeration of interleavings.
+//
+// An execution of the full-information protocol is a sequence of processor
+// ids; a processor's 1st, 3rd, 5th ... appearances are writes of its cell,
+// its 2nd, 4th, ... appearances are atomic snapshots of all cells (Figure 1).
+// Because writes and snapshots are atomic, simulation is sequential replay.
+//
+// Protocol shape:
+//   init(p)              -> first value P_p writes
+//   on_scan(p, k, view)  -> after P_p's k-th snapshot (k >= 1):
+//                           Continue{next value to write} or Halt.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/color_set.hpp"
+#include "runtime/sim_iis.hpp"
+
+namespace wfc::rt {
+
+template <typename Value>
+using MemoryView = std::vector<std::optional<Value>>;
+
+struct SnapshotRunStats {
+  std::vector<int> ops_taken;   // appearances per processor
+  std::vector<Color> schedule;  // the id sequence actually consumed
+};
+
+/// Replays `schedule` (a sequence of processor ids).  Appearances of halted
+/// processors are skipped.  Throws std::logic_error if a processor is still
+/// active when the schedule ends -- callers must supply enough appearances
+/// (use `fair_schedule` or enumeration helpers below).
+template <typename Value>
+SnapshotRunStats run_snapshot_model(
+    int n_procs, const std::vector<Color>& schedule,
+    const std::function<Value(int)>& init,
+    const std::function<Step<Value>(int, int, const MemoryView<Value>&)>&
+        on_scan) {
+  WFC_REQUIRE(n_procs >= 1 && n_procs <= kMaxColors,
+              "run_snapshot_model: bad n_procs");
+
+  MemoryView<Value> cells(static_cast<std::size_t>(n_procs));
+  std::vector<Value> pending(static_cast<std::size_t>(n_procs));
+  std::vector<int> appearances(static_cast<std::size_t>(n_procs), 0);
+  std::vector<int> scans_done(static_cast<std::size_t>(n_procs), 0);
+  std::vector<bool> halted(static_cast<std::size_t>(n_procs), false);
+  ColorSet active = ColorSet::full(n_procs);
+  for (Color p : active) pending[static_cast<std::size_t>(p)] = init(p);
+
+  SnapshotRunStats stats;
+  stats.ops_taken.assign(static_cast<std::size_t>(n_procs), 0);
+
+  for (Color p : schedule) {
+    WFC_REQUIRE(p >= 0 && p < n_procs, "run_snapshot_model: bad id in schedule");
+    const auto up = static_cast<std::size_t>(p);
+    if (halted[up]) continue;
+    stats.schedule.push_back(p);
+    ++appearances[up];
+    ++stats.ops_taken[up];
+    if (appearances[up] % 2 == 1) {
+      cells[up] = pending[up];  // write
+    } else {
+      ++scans_done[up];  // atomic snapshot
+      Step<Value> step = on_scan(p, scans_done[up], cells);
+      if (step.kind == Step<Value>::Kind::kHalt) {
+        halted[up] = true;
+        active = active.without(p);
+      } else {
+        pending[up] = std::move(step.next);
+      }
+    }
+  }
+  WFC_CHECK(active.empty(),
+            "run_snapshot_model: schedule exhausted with active processors");
+  return stats;
+}
+
+/// A round-robin schedule giving each processor `appearances` turns --
+/// enough for any protocol halting within appearances/2 scans.
+std::vector<Color> fair_schedule(int n_procs, int appearances);
+
+/// Enumerates every interleaving of exactly `ops_per_proc` appearances per
+/// processor (C(total; ops, ops, ...) sequences) and invokes
+/// fn(const std::vector<Color>&).  Keep n_procs * ops_per_proc small.
+void for_each_interleaving(int n_procs, int ops_per_proc,
+                           const std::function<void(const std::vector<Color>&)>& fn);
+
+}  // namespace wfc::rt

@@ -1,0 +1,67 @@
+// Real-thread executor for the iterated immediate snapshot model.
+//
+// Runs the same (init, on_view) protocol shape as sim_iis.hpp, but each
+// processor is a std::thread and every WriteRead goes through a genuine
+// register-based one-shot immediate snapshot (registers/immediate_snapshot.hpp).
+// The schedule is whatever the OS provides; properties proven for all
+// schedules must hold here too, which is exactly what the integration tests
+// assert.
+#pragma once
+
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "registers/immediate_snapshot.hpp"
+#include "runtime/sim_iis.hpp"
+
+namespace wfc::rt {
+
+/// Runs every processor to halt or max_rounds on its own thread.  on_view
+/// must be safe to call concurrently for distinct `proc` arguments.
+/// Returns per-processor WriteRead counts.
+template <typename Value>
+std::vector<int> run_iis_threads(
+    int n_procs, int max_rounds, const std::function<Value(int)>& init,
+    const std::function<Step<Value>(int, int, const IisSnapshot<Value>&)>&
+        on_view) {
+  WFC_REQUIRE(n_procs >= 1 && n_procs <= kMaxColors,
+              "run_iis_threads: bad n_procs");
+  WFC_REQUIRE(max_rounds >= 1, "run_iis_threads: need at least one round");
+
+  reg::IteratedMemory<Value> memories(n_procs,
+                                      static_cast<std::size_t>(max_rounds));
+  std::vector<int> rounds_taken(static_cast<std::size_t>(n_procs), 0);
+  // char, not bool: vector<bool> packs bits, so distinct threads writing
+  // distinct indices would race on the shared word.
+  std::vector<char> halted(static_cast<std::size_t>(n_procs), 0);
+
+  auto body = [&](int p) {
+    Value value = init(p);
+    for (int round = 0; round < max_rounds; ++round) {
+      auto out = memories.write_read(static_cast<std::size_t>(round), p,
+                                     std::move(value));
+      ++rounds_taken[static_cast<std::size_t>(p)];
+      Step<Value> step = on_view(p, round, out);
+      if (step.kind == Step<Value>::Kind::kHalt) {
+        halted[static_cast<std::size_t>(p)] = 1;
+        return;
+      }
+      value = std::move(step.next);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n_procs));
+  for (int p = 0; p < n_procs; ++p) threads.emplace_back(body, p);
+  for (auto& t : threads) t.join();
+
+  for (int p = 0; p < n_procs; ++p) {
+    WFC_CHECK(halted[static_cast<std::size_t>(p)],
+              "run_iis_threads: processor ran out of rounds before halting");
+  }
+  return rounds_taken;
+}
+
+}  // namespace wfc::rt

@@ -1,0 +1,194 @@
+// Canonical task instances from the paper and its surrounding literature:
+//
+//  * ConsensusTask        -- binary (or m-ary) consensus; FLP-impossible
+//                            wait-free, the paper's motivating example [2].
+//  * KSetConsensusTask    -- (n+1, k) set consensus (§3.2, [4]); solvable
+//                            iff k >= n+1; the k = n case is the
+//                            Sperner-lemma impossibility (E8).
+//  * RenamingTask         -- M-renaming; represented as a plain task (note:
+//                            with ids as inputs the task has the trivial
+//                            identity solution for M >= n+1; the classic
+//                            lower bound applies to rank-symmetric
+//                            protocols, which Delta alone cannot express).
+//  * SimplexAgreementTask -- the paper's §5 chromatic simplex agreement on a
+//                            target subdivision A(s^n): outputs must form a
+//                            simplex of A inside the carrier of the
+//                            participants.  Solvable at level b iff there is
+//                            a color-and-carrier-preserving simplicial map
+//                            SDS^b(s^n) -> A (Theorem 5.1 existence).
+//  * IdentityTask         -- decide your own input; solvable with b = 0.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "tasks/task.hpp"
+
+namespace wfc::task {
+
+/// m-ary consensus over n_procs processors: every processor starts with a
+/// value in {0..m-1}; all decided values are equal and equal to some
+/// participant's input.
+class ConsensusTask final : public Task {
+ public:
+  ConsensusTask(int n_procs, int n_values);
+
+  [[nodiscard]] const topo::ChromaticComplex& input() const override {
+    return input_;
+  }
+  [[nodiscard]] const topo::ChromaticComplex& output() const override {
+    return output_;
+  }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] bool allows(const topo::Simplex& in,
+                            const topo::Simplex& out) const override;
+
+  [[nodiscard]] int input_value(topo::VertexId v) const {
+    return in_value_.at(v);
+  }
+  [[nodiscard]] int output_value(topo::VertexId v) const {
+    return out_value_.at(v);
+  }
+
+ private:
+  int n_procs_, n_values_;
+  topo::ChromaticComplex input_;
+  topo::ChromaticComplex output_;
+  std::vector<int> in_value_, out_value_;
+};
+
+/// (n_procs, k) set consensus with ids as inputs (§3.2): every processor
+/// decides a participating processor's id; at most k distinct ids decided.
+class KSetConsensusTask final : public Task {
+ public:
+  KSetConsensusTask(int n_procs, int k);
+
+  [[nodiscard]] const topo::ChromaticComplex& input() const override {
+    return input_;
+  }
+  [[nodiscard]] const topo::ChromaticComplex& output() const override {
+    return output_;
+  }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] bool allows(const topo::Simplex& in,
+                            const topo::Simplex& out) const override;
+
+  [[nodiscard]] int k() const noexcept { return k_; }
+  [[nodiscard]] int decided_id(topo::VertexId v) const {
+    return out_id_.at(v);
+  }
+
+ private:
+  int n_procs_, k_;
+  topo::ChromaticComplex input_;
+  topo::ChromaticComplex output_;
+  std::vector<int> out_id_;
+};
+
+/// M-renaming: processors decide pairwise distinct names in {0..M-1}.
+class RenamingTask final : public Task {
+ public:
+  RenamingTask(int n_procs, int n_names);
+
+  [[nodiscard]] const topo::ChromaticComplex& input() const override {
+    return input_;
+  }
+  [[nodiscard]] const topo::ChromaticComplex& output() const override {
+    return output_;
+  }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] bool allows(const topo::Simplex& in,
+                            const topo::Simplex& out) const override;
+
+  [[nodiscard]] int decided_name(topo::VertexId v) const {
+    return out_name_.at(v);
+  }
+
+ private:
+  int n_procs_, n_names_;
+  topo::ChromaticComplex input_;
+  topo::ChromaticComplex output_;
+  std::vector<int> out_name_;
+};
+
+/// Chromatic simplex agreement over a target chromatic subdivision A of
+/// s^n (CSASS, §5): processor i starts at corner i; outputs must form a
+/// simplex of A with carrier(W, A) inside the participants' face.
+class SimplexAgreementTask final : public Task {
+ public:
+  /// `target` must be a chromatic subdivision of s^{n_procs-1} whose
+  /// vertices carry carriers (e.g. produced by iterated_sds).
+  SimplexAgreementTask(int n_procs, topo::ChromaticComplex target);
+
+  [[nodiscard]] const topo::ChromaticComplex& input() const override {
+    return input_;
+  }
+  [[nodiscard]] const topo::ChromaticComplex& output() const override {
+    return output_;
+  }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] bool allows(const topo::Simplex& in,
+                            const topo::Simplex& out) const override;
+
+ private:
+  int n_procs_;
+  topo::ChromaticComplex input_;
+  topo::ChromaticComplex output_;
+};
+
+/// Approximate agreement on the integer grid {0..m}: every processor starts
+/// at an endpoint (0 or m) and must decide a grid value inside the range of
+/// the participating inputs, with all decided values within distance 1 of
+/// each other.  Wait-free solvable for every m -- but the minimal level
+/// grows: one IIS round subdivides an edge 3-fold, so two processors need
+/// b = ceil(log3 m) rounds.  This is the library's clean "level growth"
+/// family (the paper's b is task-dependent and unbounded).
+class ApproxAgreementTask final : public Task {
+ public:
+  ApproxAgreementTask(int n_procs, int grid);
+
+  [[nodiscard]] const topo::ChromaticComplex& input() const override {
+    return input_;
+  }
+  [[nodiscard]] const topo::ChromaticComplex& output() const override {
+    return output_;
+  }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] bool allows(const topo::Simplex& in,
+                            const topo::Simplex& out) const override;
+
+  [[nodiscard]] int grid() const noexcept { return grid_; }
+  [[nodiscard]] int input_value(topo::VertexId v) const {
+    return in_value_.at(v);
+  }
+  [[nodiscard]] int output_value(topo::VertexId v) const {
+    return out_value_.at(v);
+  }
+
+ private:
+  int n_procs_, grid_;
+  topo::ChromaticComplex input_;
+  topo::ChromaticComplex output_;
+  std::vector<int> in_value_, out_value_;
+};
+
+/// Decide your own input value (any input complex); the trivial task.
+class IdentityTask final : public Task {
+ public:
+  explicit IdentityTask(topo::ChromaticComplex input);
+
+  [[nodiscard]] const topo::ChromaticComplex& input() const override {
+    return input_;
+  }
+  [[nodiscard]] const topo::ChromaticComplex& output() const override {
+    return input_;  // outputs mirror inputs
+  }
+  [[nodiscard]] std::string name() const override { return "identity"; }
+  [[nodiscard]] bool allows(const topo::Simplex& in,
+                            const topo::Simplex& out) const override;
+
+ private:
+  topo::ChromaticComplex input_;
+};
+
+}  // namespace wfc::task

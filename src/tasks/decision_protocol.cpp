@@ -1,0 +1,177 @@
+#include "tasks/decision_protocol.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "runtime/sim_iis.hpp"
+#include "runtime/thread_iis.hpp"
+
+namespace wfc::task {
+
+namespace {
+
+using topo::Simplex;
+using topo::VertexId;
+
+}  // namespace
+
+DecisionProtocol::DecisionProtocol(const Task& task, SolveResult result)
+    : task_(&task), result_(std::move(result)) {
+  WFC_REQUIRE(result_.status == Solvability::kSolvable,
+              "DecisionProtocol: result is not solvable");
+  WFC_REQUIRE(result_.chain != nullptr, "DecisionProtocol: missing chain");
+  WFC_REQUIRE(result_.decision.size() == result_.chain->top().num_vertices(),
+              "DecisionProtocol: decision size mismatch");
+}
+
+RunOutcome DecisionProtocol::finish(
+    const Simplex& input_facet,
+    const std::vector<VertexId>& final_vertices) const {
+  RunOutcome out;
+  out.input_facet = input_facet;
+  out.decisions.reserve(final_vertices.size());
+  for (VertexId v : final_vertices) {
+    WFC_CHECK(v != topo::kNoVertex, "DecisionProtocol: processor undecided");
+    out.decisions.push_back(result_.decision[v]);
+  }
+  Simplex decided = topo::make_simplex(out.decisions);
+  out.valid = task_->output().contains_simplex(decided) &&
+              task_->allows(input_facet, decided);
+  if (decided.size() == 1 && !task_->output().contains_simplex(decided)) {
+    // A single vertex is always a simplex of O; contains_simplex only fails
+    // if the vertex id is foreign, which would be a library bug.
+    out.valid = false;
+  }
+  return out;
+}
+
+RunOutcome DecisionProtocol::run_simulated(const Simplex& input_facet,
+                                           rt::Adversary& adversary) const {
+  const auto& chain = *result_.chain;
+  const auto& input = task_->input();
+  WFC_REQUIRE(input.contains_simplex(input_facet),
+              "run_simulated: not an input simplex");
+  const int b = chain.depth();
+  const int n_active = static_cast<int>(input_facet.size());
+  std::vector<Color> colors(input_facet.size());
+  for (std::size_t i = 0; i < input_facet.size(); ++i) {
+    colors[i] = input.vertex(input_facet[i]).color;
+  }
+  std::vector<VertexId> finals(input_facet.size(), topo::kNoVertex);
+
+  if (b == 0) {
+    // Level-0 maps decide directly on the input vertex.
+    return finish(input_facet, std::vector<VertexId>(input_facet.begin(),
+                                                     input_facet.end()));
+  }
+
+  // Value carried through the IIS rounds: current vertex id at the current
+  // level of the chain.
+  std::function<VertexId(int)> init = [&](int pos) {
+    return input_facet[static_cast<std::size_t>(pos)];
+  };
+  std::function<rt::Step<VertexId>(int, int, const rt::IisSnapshot<VertexId>&)>
+      on_view = [&](int pos, int round, const rt::IisSnapshot<VertexId>& snap) {
+        Simplex seen;
+        seen.reserve(snap.size());
+        for (const auto& [q, vid] : snap) seen.push_back(vid);
+        const VertexId next = chain.locate(
+            round + 1, colors[static_cast<std::size_t>(pos)],
+            topo::make_simplex(std::move(seen)));
+        if (round + 1 == b) {
+          finals[static_cast<std::size_t>(pos)] = next;
+          return rt::Step<VertexId>::halt();
+        }
+        return rt::Step<VertexId>::cont(next);
+      };
+  rt::run_iis<VertexId>(n_active, adversary, b, init, on_view);
+  return finish(input_facet, finals);
+}
+
+RunOutcome DecisionProtocol::run_threads(const Simplex& input_facet) const {
+  const auto& chain = *result_.chain;
+  const auto& input = task_->input();
+  WFC_REQUIRE(input.contains_simplex(input_facet),
+              "run_threads: not an input simplex");
+  const int b = chain.depth();
+  if (b == 0) {
+    return finish(input_facet, std::vector<VertexId>(input_facet.begin(),
+                                                     input_facet.end()));
+  }
+  const int n_active = static_cast<int>(input_facet.size());
+  std::vector<Color> colors(input_facet.size());
+  for (std::size_t i = 0; i < input_facet.size(); ++i) {
+    colors[i] = input.vertex(input_facet[i]).color;
+  }
+  std::vector<VertexId> finals(input_facet.size(), topo::kNoVertex);
+
+  std::function<VertexId(int)> init = [&](int pos) {
+    return input_facet[static_cast<std::size_t>(pos)];
+  };
+  std::function<rt::Step<VertexId>(int, int, const rt::IisSnapshot<VertexId>&)>
+      on_view = [&](int pos, int round, const rt::IisSnapshot<VertexId>& snap) {
+        Simplex seen;
+        seen.reserve(snap.size());
+        for (const auto& [q, vid] : snap) seen.push_back(vid);
+        const VertexId next = chain.locate(
+            round + 1, colors[static_cast<std::size_t>(pos)],
+            topo::make_simplex(std::move(seen)));
+        if (round + 1 == b) {
+          finals[static_cast<std::size_t>(pos)] = next;
+          return rt::Step<VertexId>::halt();
+        }
+        return rt::Step<VertexId>::cont(next);
+      };
+  rt::run_iis_threads<VertexId>(n_active, b, init, on_view);
+  return finish(input_facet, finals);
+}
+
+std::size_t DecisionProtocol::validate_exhaustively(
+    const Simplex& input_facet) const {
+  const auto& chain = *result_.chain;
+  const auto& input = task_->input();
+  WFC_REQUIRE(input.contains_simplex(input_facet),
+              "validate_exhaustively: not an input simplex");
+  const int b = chain.depth();
+  if (b == 0) {
+    RunOutcome out = finish(input_facet, std::vector<VertexId>(
+                                             input_facet.begin(),
+                                             input_facet.end()));
+    WFC_CHECK(out.valid, "decision map invalid at level 0");
+    return 1;
+  }
+  const int n_active = static_cast<int>(input_facet.size());
+  std::vector<Color> colors(input_facet.size());
+  for (std::size_t i = 0; i < input_facet.size(); ++i) {
+    colors[i] = input.vertex(input_facet[i]).color;
+  }
+  std::vector<VertexId> finals(input_facet.size(), topo::kNoVertex);
+  std::size_t executions = 0;
+
+  std::function<VertexId(int)> init = [&](int pos) {
+    return input_facet[static_cast<std::size_t>(pos)];
+  };
+  std::function<rt::Step<VertexId>(int, int, const rt::IisSnapshot<VertexId>&)>
+      on_view = [&](int pos, int round, const rt::IisSnapshot<VertexId>& snap) {
+        Simplex seen;
+        seen.reserve(snap.size());
+        for (const auto& [q, vid] : snap) seen.push_back(vid);
+        const VertexId next = chain.locate(
+            round + 1, colors[static_cast<std::size_t>(pos)],
+            topo::make_simplex(std::move(seen)));
+        if (round + 1 == b) {
+          finals[static_cast<std::size_t>(pos)] = next;
+          return rt::Step<VertexId>::halt();
+        }
+        return rt::Step<VertexId>::cont(next);
+      };
+  rt::for_each_iis_execution<VertexId>(
+      n_active, b, init, on_view, [&](const std::vector<rt::Partition>&) {
+        ++executions;
+        RunOutcome out = finish(input_facet, finals);
+        WFC_CHECK(out.valid, "decision map produced a disallowed tuple");
+      });
+  return executions;
+}
+
+}  // namespace wfc::task

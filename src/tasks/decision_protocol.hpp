@@ -1,0 +1,59 @@
+// Executable decision maps: the constructive half of the characterization.
+//
+// A kSolvable SolveResult is a simplicial map delta_b : SDS^b(I) -> O.  This
+// module turns it into a running protocol: each processor performs b rounds
+// of full-information iterated immediate snapshot, locates its local state
+// as a vertex of SDS^b(I) (SdsChain::locate -- the operational Lemma 3.3),
+// and decides delta_b(vertex).  Proposition 3.1 guarantees the decided
+// tuple is allowed; the runners below double-check it at runtime.
+//
+// Runners exist for the simulated executor (any adversary, deterministic)
+// and for real threads over register-based immediate snapshots.
+#pragma once
+
+#include <vector>
+
+#include "runtime/adversary.hpp"
+#include "tasks/solvability.hpp"
+
+namespace wfc::task {
+
+struct RunOutcome {
+  /// decision[pos] = output vertex decided by the processor at position
+  /// `pos` of the chosen input facet.
+  std::vector<topo::VertexId> decisions;
+  /// The input facet the run was started with.
+  topo::Simplex input_facet;
+  bool valid = false;  // task.allows(input_facet, decisions as simplex)
+};
+
+class DecisionProtocol {
+ public:
+  /// `result` must be kSolvable (with its chain).  The task reference must
+  /// outlive the protocol.
+  DecisionProtocol(const Task& task, SolveResult result);
+
+  [[nodiscard]] int level() const noexcept { return result_.level; }
+
+  /// Runs the protocol for the participants of `input_facet` (a facet or
+  /// face of task.input()) under `adversary` in the simulated IIS model.
+  RunOutcome run_simulated(const topo::Simplex& input_facet,
+                           rt::Adversary& adversary) const;
+
+  /// Runs on real threads over register-based immediate snapshots.
+  RunOutcome run_threads(const topo::Simplex& input_facet) const;
+
+  /// Runs over EVERY IIS execution of the participants of `input_facet`,
+  /// returning the number of executions and failing (std::logic_error) on
+  /// the first invalid decision tuple.  Exhaustive validation of the map.
+  std::size_t validate_exhaustively(const topo::Simplex& input_facet) const;
+
+ private:
+  RunOutcome finish(const topo::Simplex& input_facet,
+                    const std::vector<topo::VertexId>& final_vertices) const;
+
+  const Task* task_;
+  SolveResult result_;
+};
+
+}  // namespace wfc::task

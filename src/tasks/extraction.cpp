@@ -1,0 +1,129 @@
+#include "tasks/extraction.hpp"
+
+#include <algorithm>
+
+#include "runtime/sim_iis.hpp"
+
+namespace wfc::task {
+
+namespace {
+
+using topo::ChromaticComplex;
+using topo::kNoVertex;
+using topo::Simplex;
+using topo::VertexId;
+
+}  // namespace
+
+ExtractionReport extract_decision_map(const Task& task, int level,
+                                      const ExtractionProtocol& protocol) {
+  WFC_REQUIRE(level >= 1, "extract_decision_map: need at least one round");
+  WFC_REQUIRE(protocol.init && protocol.step && protocol.decide,
+              "extract_decision_map: protocol callbacks must be set");
+  ExtractionReport report;
+  auto chain = std::make_shared<proto::SdsChain>(task.input(), level);
+  const ChromaticComplex& top = chain->top();
+  const ChromaticComplex& input = task.input();
+  const ChromaticComplex& output = task.output();
+
+  std::vector<VertexId> decision(top.num_vertices(), kNoVertex);
+  report.deterministic = true;
+
+  auto fail = [&](bool& flag, const std::string& what) {
+    if (report.violation.empty()) report.violation = what;
+    flag = false;
+  };
+
+  // Replay every execution of every input facet, tracking (protocol state,
+  // chain vertex) side by side.
+  using Pair = std::pair<int, VertexId>;
+  for (const Simplex& facet : input.facets()) {
+    const int n_active = static_cast<int>(facet.size());
+    std::vector<Color> colors(facet.size());
+    for (std::size_t pos = 0; pos < facet.size(); ++pos) {
+      colors[pos] = input.vertex(facet[pos]).color;
+    }
+    std::function<Pair(int)> init = [&](int pos) {
+      const VertexId iv = facet[static_cast<std::size_t>(pos)];
+      return Pair{protocol.init(colors[static_cast<std::size_t>(pos)], iv), iv};
+    };
+    std::function<rt::Step<Pair>(int, int, const rt::IisSnapshot<Pair>&)>
+        on_view = [&](int pos, int round, const rt::IisSnapshot<Pair>& snap) {
+          const Color c = colors[static_cast<std::size_t>(pos)];
+          rt::IisSnapshot<int> states;
+          Simplex seen;
+          states.reserve(snap.size());
+          for (const auto& [q, pr] : snap) {
+            states.emplace_back(colors[static_cast<std::size_t>(q)], pr.first);
+            seen.push_back(pr.second);
+          }
+          std::sort(states.begin(), states.end());
+          const int next_state = protocol.step(c, round, states);
+          const VertexId next_vertex =
+              chain->locate(round + 1, c, topo::make_simplex(std::move(seen)));
+          if (round + 1 == level) {
+            const VertexId decided = protocol.decide(c, next_state);
+            WFC_REQUIRE(decided < output.num_vertices(),
+                        "extract_decision_map: decide() returned a foreign "
+                        "vertex");
+            if (decision[next_vertex] == kNoVertex) {
+              decision[next_vertex] = decided;
+            } else if (decision[next_vertex] != decided) {
+              fail(report.deterministic,
+                   "vertex " + top.vertex(next_vertex).key +
+                       " decided two different outputs");
+            }
+            return rt::Step<Pair>::halt();
+          }
+          return rt::Step<Pair>::cont({next_state, next_vertex});
+        };
+    rt::for_each_iis_execution<Pair>(n_active, level, init, on_view,
+                                     [](const std::vector<rt::Partition>&) {});
+  }
+
+  // Totality: every vertex of SDS^level(I) is reachable by some execution,
+  // so every slot must be filled.
+  report.total = std::find(decision.begin(), decision.end(), kNoVertex) ==
+                 decision.end();
+  if (!report.total) fail(report.total, "some vertex never decided");
+
+  // Color preservation.
+  report.color_preserving = true;
+  for (VertexId v = 0; v < top.num_vertices() && report.total; ++v) {
+    if (output.vertex(decision[v]).color != top.vertex(v).color) {
+      fail(report.color_preserving,
+           "decision changes color at " + top.vertex(v).key);
+    }
+  }
+
+  // Simpliciality + Delta on every face.
+  report.simplicial = true;
+  report.delta_respecting = true;
+  if (report.total) {
+    top.for_each_face([&](const Simplex& face) {
+      Simplex image;
+      image.reserve(face.size());
+      for (VertexId v : face) image.push_back(decision[v]);
+      image = topo::make_simplex(std::move(image));
+      if (!output.contains_simplex(image)) {
+        fail(report.simplicial,
+             "image of " + topo::to_string(face) + " is not a simplex of O");
+        return;
+      }
+      if (!task.allows(top.base_carrier_of(face), image)) {
+        fail(report.delta_respecting,
+             "image of " + topo::to_string(face) + " violates Delta");
+      }
+    });
+  }
+
+  if (report.ok()) {
+    report.result.status = Solvability::kSolvable;
+    report.result.level = level;
+    report.result.decision = std::move(decision);
+    report.result.chain = std::move(chain);
+  }
+  return report;
+}
+
+}  // namespace wfc::task

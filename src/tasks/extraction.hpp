@@ -1,0 +1,59 @@
+// Decision-map extraction: the inverse direction of Proposition 3.1.
+//
+// The solvability checker goes map -> protocol.  This module goes
+// protocol -> map: given a deterministic full-information IIS protocol
+// that decides after exactly `level` WriteReads, replay it over EVERY
+// execution, record which output vertex each SDS^level(I) vertex decides,
+// and check the paper's conditions on the recorded map:
+//   * totality      -- every reachable vertex decides;
+//   * simpliciality -- executions' joint decisions are simplices of O;
+//   * color preservation;
+//   * Delta respect -- decisions allowed for each face's carrier.
+// A hand-written algorithm passing extract_decision_map() is thereby
+// PROVEN correct on all schedules (for the given finite input complex),
+// and the returned SolveResult can be executed like any searched witness.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "runtime/sim_iis.hpp"
+#include "tasks/solvability.hpp"
+
+namespace wfc::task {
+
+/// A protocol under extraction: carries an opaque integer state; deciding
+/// means returning a vertex of task.output().
+struct ExtractionProtocol {
+  /// Initial state of the processor owning input vertex `v` (of color c).
+  std::function<int(Color c, topo::VertexId v)> init;
+  /// State transition after one WriteRead; `snap` pairs are (color, state).
+  std::function<int(Color c, int round,
+                    const rt::IisSnapshot<int>& snap)> step;
+  /// Final decision from the state after `level` rounds.
+  std::function<topo::VertexId(Color c, int state)> decide;
+};
+
+struct ExtractionReport {
+  bool total = false;
+  bool deterministic = false;  // same vertex never decides two ways
+  bool color_preserving = false;
+  bool simplicial = false;
+  bool delta_respecting = false;
+  std::string violation;
+
+  /// The extracted witness (valid when ok()).
+  SolveResult result;
+
+  [[nodiscard]] bool ok() const noexcept {
+    return total && deterministic && color_preserving && simplicial &&
+           delta_respecting;
+  }
+};
+
+/// Replays `protocol` over every `level`-round IIS execution of every facet
+/// of task.input() and validates the induced decision map.
+ExtractionReport extract_decision_map(const Task& task, int level,
+                                      const ExtractionProtocol& protocol);
+
+}  // namespace wfc::task

@@ -1,0 +1,106 @@
+#include "tasks/map_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "topology/simplicial_map.hpp"
+
+namespace wfc::task {
+
+std::uint64_t complex_fingerprint(const topo::ChromaticComplex& c) {
+  // FNV-1a over a canonical rendering.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](const std::string& s) {
+    for (unsigned char ch : s) {
+      h ^= ch;
+      h *= 0x100000001b3ull;
+    }
+  };
+  mix("colors:" + std::to_string(c.n_colors()));
+  for (topo::VertexId v = 0; v < c.num_vertices(); ++v) {
+    const auto& d = c.vertex(v);
+    mix("v:" + std::to_string(d.color) + ":" + d.key + ":" +
+        std::to_string(d.carrier.mask()));
+  }
+  for (const topo::Simplex& f : c.facets()) {
+    mix("f:" + topo::to_string(f));
+  }
+  return h;
+}
+
+void write_solve_result(std::ostream& os, const Task& task,
+                        const SolveResult& result) {
+  WFC_REQUIRE(result.status == Solvability::kSolvable,
+              "write_solve_result: result is not solvable");
+  WFC_REQUIRE(result.chain != nullptr, "write_solve_result: missing chain");
+  os << "wfc-decision-map 1\n";
+  os << "task " << complex_fingerprint(task.input()) << ' '
+     << complex_fingerprint(task.output()) << "\n";
+  os << "level " << result.level << "\n";
+  os << "decision";
+  for (topo::VertexId w : result.decision) os << ' ' << w;
+  os << "\n";
+}
+
+SolveResult read_solve_result(std::istream& is, const Task& task) {
+  std::string line;
+  WFC_REQUIRE(std::getline(is, line) && line == "wfc-decision-map 1",
+              "read_solve_result: bad header");
+  WFC_REQUIRE(std::getline(is, line) && line.rfind("task ", 0) == 0,
+              "read_solve_result: missing task line");
+  {
+    std::istringstream ls(line.substr(5));
+    std::uint64_t in_fp = 0, out_fp = 0;
+    ls >> in_fp >> out_fp;
+    WFC_REQUIRE(in_fp == complex_fingerprint(task.input()) &&
+                    out_fp == complex_fingerprint(task.output()),
+                "read_solve_result: map was saved for a different task");
+  }
+  WFC_REQUIRE(std::getline(is, line) && line.rfind("level ", 0) == 0,
+              "read_solve_result: missing level line");
+  const int level = std::stoi(line.substr(6));
+  WFC_REQUIRE(level >= 0, "read_solve_result: negative level");
+
+  SolveResult result;
+  result.status = Solvability::kSolvable;
+  result.level = level;
+  result.chain = std::make_shared<proto::SdsChain>(task.input(), level);
+
+  WFC_REQUIRE(std::getline(is, line) && line.rfind("decision", 0) == 0,
+              "read_solve_result: missing decision line");
+  {
+    std::istringstream ls(line.substr(8));
+    topo::VertexId w;
+    while (ls >> w) result.decision.push_back(w);
+  }
+  const topo::ChromaticComplex& top = result.chain->top();
+  WFC_REQUIRE(result.decision.size() == top.num_vertices(),
+              "read_solve_result: decision size mismatch");
+  for (topo::VertexId w : result.decision) {
+    WFC_REQUIRE(w < task.output().num_vertices(),
+                "read_solve_result: decision references a foreign vertex");
+  }
+
+  // Re-validate the witness before handing it out.
+  topo::SimplicialMap map(top, task.output());
+  for (topo::VertexId v = 0; v < top.num_vertices(); ++v) {
+    map.set(v, result.decision[v]);
+  }
+  WFC_REQUIRE(map.is_simplicial() && map.is_color_preserving(),
+              "read_solve_result: stored map fails validation");
+  return result;
+}
+
+std::string solve_result_to_text(const Task& task, const SolveResult& result) {
+  std::ostringstream os;
+  write_solve_result(os, task, result);
+  return os.str();
+}
+
+SolveResult solve_result_from_text(const std::string& text, const Task& task) {
+  std::istringstream is(text);
+  return read_solve_result(is, task);
+}
+
+}  // namespace wfc::task

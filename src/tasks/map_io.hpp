@@ -1,0 +1,33 @@
+// Persistence for solved decision maps: a witness found by the (possibly
+// expensive) Prop 3.1 search can be saved and later reloaded and executed
+// without re-searching.  The chain is NOT serialized -- it is rebuilt
+// deterministically from the task's input complex -- so the format is just
+// (level, decision vector) plus fingerprints of the input/output complexes
+// that reject loading a map against the wrong task.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tasks/solvability.hpp"
+
+namespace wfc::task {
+
+/// Serializes a kSolvable result.
+void write_solve_result(std::ostream& os, const Task& task,
+                        const SolveResult& result);
+
+/// Reloads a result for `task`; throws std::invalid_argument on malformed
+/// input or a task fingerprint mismatch.  The returned result is kSolvable
+/// with a freshly built chain and is re-validated (simplicial + color) on
+/// load.
+SolveResult read_solve_result(std::istream& is, const Task& task);
+
+std::string solve_result_to_text(const Task& task, const SolveResult& result);
+SolveResult solve_result_from_text(const std::string& text, const Task& task);
+
+/// A stable fingerprint of a complex (vertex keys, colors, facets) used to
+/// bind saved maps to their task.
+std::uint64_t complex_fingerprint(const topo::ChromaticComplex& c);
+
+}  // namespace wfc::task

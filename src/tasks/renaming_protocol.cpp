@@ -1,0 +1,114 @@
+#include "tasks/renaming_protocol.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/assert.hpp"
+#include "registers/immediate_snapshot.hpp"
+#include "runtime/thread_iis.hpp"
+
+namespace wfc::task {
+
+int snapshot_renaming_name(int id, const std::vector<int>& view_ids) {
+  WFC_REQUIRE(!view_ids.empty(), "snapshot_renaming_name: empty view");
+  WFC_REQUIRE(std::is_sorted(view_ids.begin(), view_ids.end()),
+              "snapshot_renaming_name: view must be sorted");
+  const auto it = std::find(view_ids.begin(), view_ids.end(), id);
+  WFC_REQUIRE(it != view_ids.end(),
+              "snapshot_renaming_name: view must contain self");
+  const int size = static_cast<int>(view_ids.size());
+  const int rank = static_cast<int>(it - view_ids.begin());
+  return size * (size - 1) / 2 + rank;
+}
+
+namespace {
+
+RenamingRun finish(std::vector<int> names) {
+  RenamingRun run;
+  run.names = std::move(names);
+  std::set<int> distinct(run.names.begin(), run.names.end());
+  run.distinct = distinct.size() == run.names.size();
+  run.max_name = *std::max_element(run.names.begin(), run.names.end());
+  return run;
+}
+
+}  // namespace
+
+RenamingRun run_snapshot_renaming(const std::vector<Color>& participants,
+                                  rt::Adversary& adversary) {
+  WFC_REQUIRE(!participants.empty(), "run_snapshot_renaming: no participants");
+  const int n = static_cast<int>(participants.size());
+  std::vector<int> names(participants.size(), -1);
+  std::function<int(int)> init = [&](int pos) {
+    return participants[static_cast<std::size_t>(pos)];
+  };
+  std::function<rt::Step<int>(int, int, const rt::IisSnapshot<int>&)> on_view =
+      [&](int pos, int, const rt::IisSnapshot<int>& snap) {
+        std::vector<int> view_ids;
+        view_ids.reserve(snap.size());
+        for (const auto& [q, id] : snap) view_ids.push_back(id);
+        std::sort(view_ids.begin(), view_ids.end());
+        names[static_cast<std::size_t>(pos)] = snapshot_renaming_name(
+            participants[static_cast<std::size_t>(pos)], view_ids);
+        return rt::Step<int>::halt();
+      };
+  rt::run_iis<int>(n, adversary, 1, init, on_view);
+  return finish(std::move(names));
+}
+
+RenamingRun run_snapshot_renaming_threads(
+    const std::vector<Color>& participants) {
+  WFC_REQUIRE(!participants.empty(),
+              "run_snapshot_renaming_threads: no participants");
+  const int n = static_cast<int>(participants.size());
+  reg::ImmediateSnapshot<int> object(n);
+  std::vector<int> names(participants.size(), -1);
+  std::vector<std::thread> threads;
+  threads.reserve(participants.size());
+  for (int pos = 0; pos < n; ++pos) {
+    threads.emplace_back([&, pos] {
+      auto out = object.write_read(
+          pos, participants[static_cast<std::size_t>(pos)]);
+      std::vector<int> view_ids;
+      view_ids.reserve(out.size());
+      for (const auto& [q, id] : out) view_ids.push_back(id);
+      std::sort(view_ids.begin(), view_ids.end());
+      names[static_cast<std::size_t>(pos)] = snapshot_renaming_name(
+          participants[static_cast<std::size_t>(pos)], view_ids);
+    });
+  }
+  for (auto& t : threads) t.join();
+  return finish(std::move(names));
+}
+
+std::size_t validate_snapshot_renaming(int n_procs) {
+  WFC_REQUIRE(n_procs >= 1 && n_procs <= 6,
+              "validate_snapshot_renaming: instance too large");
+  std::vector<int> names(static_cast<std::size_t>(n_procs), -1);
+  std::size_t executions = 0;
+  std::function<int(int)> init = [](int p) { return p; };
+  std::function<rt::Step<int>(int, int, const rt::IisSnapshot<int>&)> on_view =
+      [&](int pos, int, const rt::IisSnapshot<int>& snap) {
+        std::vector<int> view_ids;
+        for (const auto& [q, id] : snap) view_ids.push_back(id);
+        std::sort(view_ids.begin(), view_ids.end());
+        names[static_cast<std::size_t>(pos)] =
+            snapshot_renaming_name(pos, view_ids);
+        return rt::Step<int>::halt();
+      };
+  rt::for_each_iis_execution<int>(
+      n_procs, 1, init, on_view, [&](const std::vector<rt::Partition>&) {
+        ++executions;
+        std::set<int> distinct(names.begin(), names.end());
+        WFC_CHECK(distinct.size() == names.size(),
+                  "snapshot renaming produced a name collision");
+        const int bound = n_procs * (n_procs + 1) / 2;
+        for (int name : names) {
+          WFC_CHECK(name >= 0 && name < bound,
+                    "snapshot renaming exceeded the adaptive bound");
+        }
+      });
+  return executions;
+}
+
+}  // namespace wfc::task

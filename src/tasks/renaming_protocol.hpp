@@ -1,0 +1,51 @@
+// Renaming from one immediate snapshot -- the algorithmic side of the
+// paper's reference [8] ("Immediate Atomic Snapshots and Fast Renaming").
+//
+// After a single one-shot immediate snapshot, processor P_i holds S_i.  The
+// §3.5 properties make the following name assignment collision-free:
+//
+//     name(i, S_i) = |S_i| (|S_i| - 1) / 2  +  rank of i within S_i
+//
+// Why: processors in the same block have EQUAL views (so distinct ranks),
+// and processors in different blocks have views of distinct sizes (prefix
+// unions grow strictly), so the triangular offsets separate them.  With p
+// participants every view has size <= p, giving the ADAPTIVE bound
+// name < p(p+1)/2 -- independent of the namespace the ids came from.
+//
+// This is one immediate snapshot, i.e. ONE round of the IIS model: a
+// level-"b=1" protocol in the characterization's terms (not the optimal
+// 2p-1 renaming, which needs the full iterated machinery; see DESIGN.md).
+#pragma once
+
+#include <vector>
+
+#include "runtime/adversary.hpp"
+#include "runtime/sim_iis.hpp"
+
+namespace wfc::task {
+
+/// The name assigned to processor `id` with immediate-snapshot view
+/// `view_ids` (the participant ids it saw, itself included, sorted).
+int snapshot_renaming_name(int id, const std::vector<int>& view_ids);
+
+struct RenamingRun {
+  std::vector<int> names;  // per position in the participating set
+  bool distinct = false;
+  int max_name = -1;
+};
+
+/// Runs the protocol once for `participants` (processor ids) under the
+/// adversary, in the simulated IIS model.
+RenamingRun run_snapshot_renaming(const std::vector<Color>& participants,
+                                  rt::Adversary& adversary);
+
+/// Runs the protocol on real threads over a register-based immediate
+/// snapshot object.
+RenamingRun run_snapshot_renaming_threads(const std::vector<Color>& participants);
+
+/// Exhaustively checks distinctness and the adaptive bound over EVERY
+/// one-round IIS execution of `n_procs` processors; returns the number of
+/// executions checked, throwing std::logic_error on any violation.
+std::size_t validate_snapshot_renaming(int n_procs);
+
+}  // namespace wfc::task

@@ -1,0 +1,203 @@
+#include "tasks/resilience.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace wfc::task {
+
+namespace {
+
+using topo::Simplex;
+using topo::VertexId;
+
+/// Enumerates all assignments a in values^n.
+template <typename Fn>
+void for_each_value_assignment(int n, const std::vector<int>& values,
+                               Fn&& fn) {
+  std::vector<std::size_t> idx(static_cast<std::size_t>(n), 0);
+  for (;;) {
+    std::vector<int> a(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      a[static_cast<std::size_t>(i)] = values[idx[static_cast<std::size_t>(i)]];
+    }
+    fn(a);
+    int i = 0;
+    while (i < n) {
+      if (++idx[static_cast<std::size_t>(i)] < values.size()) break;
+      idx[static_cast<std::size_t>(i)] = 0;
+      ++i;
+    }
+    if (i == n) return;
+  }
+}
+
+}  // namespace
+
+ColorlessSpec colorless_consensus(int n_values) {
+  WFC_REQUIRE(n_values >= 1, "colorless consensus: need values");
+  ColorlessSpec spec;
+  spec.name = "colorless-consensus(m=" + std::to_string(n_values) + ")";
+  for (int v = 0; v < n_values; ++v) {
+    spec.input_values.push_back(v);
+    spec.output_values.push_back(v);
+  }
+  spec.allowed = [](const std::set<int>& in, const std::set<int>& out) {
+    if (out.empty()) return true;
+    if (out.size() > 1) return false;
+    return in.count(*out.begin()) > 0;
+  };
+  return spec;
+}
+
+ColorlessSpec colorless_set_consensus(int k, int n_values) {
+  WFC_REQUIRE(k >= 1, "colorless set consensus: bad k");
+  ColorlessSpec spec;
+  spec.name = "colorless-" + std::to_string(k) + "-set-consensus(m=" +
+              std::to_string(n_values) + ")";
+  for (int v = 0; v < n_values; ++v) {
+    spec.input_values.push_back(v);
+    spec.output_values.push_back(v);
+  }
+  spec.allowed = [k](const std::set<int>& in, const std::set<int>& out) {
+    if (static_cast<int>(out.size()) > k) return false;
+    return std::all_of(out.begin(), out.end(),
+                       [&](int v) { return in.count(v) > 0; });
+  };
+  return spec;
+}
+
+ColorlessSpec colorless_approx_agreement(int grid) {
+  WFC_REQUIRE(grid >= 1, "colorless approx agreement: bad grid");
+  ColorlessSpec spec;
+  spec.name = "colorless-approx-agreement(m=" + std::to_string(grid) + ")";
+  spec.input_values = {0, grid};
+  for (int g = 0; g <= grid; ++g) spec.output_values.push_back(g);
+  spec.allowed = [](const std::set<int>& in, const std::set<int>& out) {
+    if (out.empty()) return true;
+    const int in_lo = *in.begin(), in_hi = *in.rbegin();
+    const int out_lo = *out.begin(), out_hi = *out.rbegin();
+    return out_lo >= in_lo && out_hi <= in_hi && out_hi - out_lo <= 1;
+  };
+  return spec;
+}
+
+ProjectedColorlessTask::ProjectedColorlessTask(ColorlessSpec spec, int n_procs,
+                                               bool distinct_inputs)
+    : spec_(std::move(spec)), n_procs_(n_procs), input_(n_procs),
+      output_(n_procs) {
+  WFC_REQUIRE(n_procs >= 1 && n_procs <= kMaxColors,
+              "projected colorless task: bad n_procs");
+  WFC_REQUIRE(!spec_.input_values.empty() && !spec_.output_values.empty(),
+              "projected colorless task: empty value domain");
+  WFC_REQUIRE(static_cast<bool>(spec_.allowed),
+              "projected colorless task: missing predicate");
+  WFC_REQUIRE(!distinct_inputs ||
+                  spec_.input_values.size() >= static_cast<std::size_t>(n_procs),
+              "projected colorless task: not enough values for distinct "
+              "inputs");
+
+  std::vector<std::vector<VertexId>> in_v(static_cast<std::size_t>(n_procs));
+  std::vector<std::vector<VertexId>> out_v(static_cast<std::size_t>(n_procs));
+  for (Color p = 0; p < n_procs; ++p) {
+    const std::vector<int> my_inputs =
+        distinct_inputs
+            ? std::vector<int>{spec_.input_values[static_cast<std::size_t>(p)]}
+            : spec_.input_values;
+    for (int v : my_inputs) {
+      in_v[static_cast<std::size_t>(p)].push_back(input_.add_vertex(
+          p, "P" + std::to_string(p) + "=" + std::to_string(v),
+          ColorSet::single(p)));
+      in_value_.push_back(v);
+    }
+    for (int v : spec_.output_values) {
+      out_v[static_cast<std::size_t>(p)].push_back(output_.add_vertex(
+          p, "P" + std::to_string(p) + "->" + std::to_string(v),
+          ColorSet::single(p)));
+      out_value_.push_back(v);
+    }
+  }
+  if (distinct_inputs) {
+    Simplex f;
+    for (Color p = 0; p < n_procs; ++p) {
+      f.push_back(in_v[static_cast<std::size_t>(p)][0]);
+    }
+    input_.add_facet(topo::make_simplex(std::move(f)));
+  } else {
+    for_each_value_assignment(
+        n_procs, spec_.input_values, [&](const std::vector<int>& a) {
+          Simplex f;
+          for (Color p = 0; p < n_procs; ++p) {
+            const auto& values = spec_.input_values;
+            const auto pos = static_cast<std::size_t>(
+                std::find(values.begin(), values.end(),
+                          a[static_cast<std::size_t>(p)]) -
+                values.begin());
+            f.push_back(in_v[static_cast<std::size_t>(p)][pos]);
+          }
+          input_.add_facet(topo::make_simplex(std::move(f)));
+        });
+  }
+  for_each_value_assignment(
+      n_procs, spec_.output_values, [&](const std::vector<int>& a) {
+        std::set<int> values(a.begin(), a.end());
+        // A facet exists if the tuple is allowed for SOME input set: use the
+        // full input-value set (most permissive); per-input filtering is
+        // allows()'s job.
+        std::set<int> all_in(spec_.input_values.begin(),
+                             spec_.input_values.end());
+        if (!spec_.allowed(all_in, values)) return;
+        Simplex f;
+        for (Color p = 0; p < n_procs; ++p) {
+          const auto& domain = spec_.output_values;
+          const auto pos = static_cast<std::size_t>(
+              std::find(domain.begin(), domain.end(),
+                        a[static_cast<std::size_t>(p)]) -
+              domain.begin());
+          f.push_back(out_v[static_cast<std::size_t>(p)][pos]);
+        }
+        output_.add_facet(topo::make_simplex(std::move(f)));
+      });
+}
+
+std::string ProjectedColorlessTask::name() const {
+  return spec_.name + "@" + std::to_string(n_procs_) + "procs";
+}
+
+bool ProjectedColorlessTask::allows(const Simplex& in,
+                                    const Simplex& out) const {
+  std::set<int> in_values, out_values;
+  for (VertexId v : in) in_values.insert(in_value_[v]);
+  for (VertexId v : out) out_values.insert(out_value_[v]);
+  return spec_.allowed(in_values, out_values);
+}
+
+ResilienceVerdict decide_t_resilient(const ColorlessSpec& spec, int n_procs,
+                                     int t, int max_level,
+                                     const SolveOptions& options) {
+  WFC_REQUIRE(n_procs >= 1, "decide_t_resilient: bad n_procs");
+  WFC_REQUIRE(t >= 0 && t + 1 <= n_procs, "decide_t_resilient: bad t");
+  // The BG reduction: (n_procs, t)-resilient solvability of a colorless
+  // task == wait-free solvability by t+1 processors.
+  ResilienceVerdict verdict;
+
+  // Cheap refutation attempt first: the distinct-inputs restriction.
+  if (spec.input_values.size() >= static_cast<std::size_t>(t + 1)) {
+    ProjectedColorlessTask restricted(spec, t + 1, /*distinct_inputs=*/true);
+    SolveResult r = solve(restricted, max_level, options);
+    verdict.nodes_explored += r.nodes_explored;
+    if (r.status == Solvability::kUnsolvable) {
+      verdict.status = Solvability::kUnsolvable;
+      return verdict;
+    }
+  }
+
+  ProjectedColorlessTask projected(spec, t + 1);
+  SolveResult r = solve(projected, max_level, options);
+  verdict.status = r.status;
+  verdict.wait_free_level = r.level;
+  verdict.nodes_explored += r.nodes_explored;
+  return verdict;
+}
+
+}  // namespace wfc::task

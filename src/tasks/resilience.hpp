@@ -1,0 +1,99 @@
+// t-resilient solvability for COLORLESS tasks via the BG reduction -- the
+// extension the paper's §1 and §6 advertise ("our techniques can be
+// extended to characterize models that are more complex than the
+// wait-free"; worked out in [10, 11] on top of [7]'s simulation).
+//
+// A task is COLORLESS when Delta depends only on the SETS of input and
+// output values, not on which processor holds which (consensus, k-set
+// consensus, approximate agreement -- but not renaming).  For such tasks
+// the BG simulation gives the classical reduction:
+//
+//   T is solvable by n+1 processors tolerating t failures
+//     <=>  T is wait-free solvable by t+1 processors.
+//
+//   =>  : t+1 simulators BG-simulate the (n+1)-processor t-resilient
+//         protocol; at most t simulated processors block (one per crashed
+//         simulator -- see bg/simulation.hpp, machine-checked), so some
+//         simulated processor decides, and colorlessness lets every
+//         simulator adopt any decided value.
+//   <= : n+1 processors run the (t+1)-processor protocol by "colorless
+//         emulation": everyone proposes its input, the first t+1 positions
+//         drive, stragglers adopt (validity is value-based, so adoption is
+//         legal).
+//
+// decide_t_resilient() therefore projects the task to t+1 processors and
+// invokes the wait-free Prop 3.1 checker -- the characterization reused as
+// the engine for a stronger model.
+#pragma once
+
+#include <functional>
+#include <set>
+#include <string>
+
+#include "tasks/solvability.hpp"
+
+namespace wfc::task {
+
+/// A colorless task over a fixed finite value domain: `allowed(in, out)`
+/// with `in` the set of participating input values and `out` the set of
+/// decided values.  Must be monotone-closed in `out` (subsets of allowed
+/// output sets are allowed) for the projection to be a well-formed Task.
+struct ColorlessSpec {
+  std::string name;
+  std::vector<int> input_values;   // each processor may hold any of these
+  std::vector<int> output_values;  // decision domain
+  std::function<bool(const std::set<int>&, const std::set<int>&)> allowed;
+};
+
+/// Canonical colorless specs.
+ColorlessSpec colorless_consensus(int n_values);
+ColorlessSpec colorless_set_consensus(int k, int n_values);
+ColorlessSpec colorless_approx_agreement(int grid);
+
+/// The m-processor instantiation of a colorless spec as a Task (every
+/// processor may hold every input value; outputs are value-labeled).
+class ProjectedColorlessTask final : public Task {
+ public:
+  /// `distinct_inputs`: restrict the input complex to the single assignment
+  /// "processor i holds input_values[i]" (requires enough values).  The
+  /// restricted task is implied by the general one, so UNSOLVABLE verdicts
+  /// on it refute the general task too -- at a fraction of the search cost.
+  ProjectedColorlessTask(ColorlessSpec spec, int n_procs,
+                         bool distinct_inputs = false);
+
+  [[nodiscard]] const topo::ChromaticComplex& input() const override {
+    return input_;
+  }
+  [[nodiscard]] const topo::ChromaticComplex& output() const override {
+    return output_;
+  }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] bool allows(const topo::Simplex& in,
+                            const topo::Simplex& out) const override;
+
+ private:
+  ColorlessSpec spec_;
+  int n_procs_;
+  topo::ChromaticComplex input_;
+  topo::ChromaticComplex output_;
+  std::vector<int> in_value_, out_value_;
+};
+
+struct ResilienceVerdict {
+  Solvability status = Solvability::kUnknown;
+  int wait_free_level = -1;  // witness level of the (t+1)-processor instance
+  std::uint64_t nodes_explored = 0;
+};
+
+/// Decides whether the colorless task is solvable by `n_procs` processors
+/// tolerating `t` crash failures, by the BG reduction to the wait-free
+/// (t+1)-processor question.  Requires 1 <= t+1 <= n_procs.
+///
+/// Strategy: first try the cheap distinct-inputs instance (when the value
+/// domain allows) -- if IT is unsolvable, so is the task.  Otherwise decide
+/// the general instance.  kUnknown means some level exhausted the budget.
+ResilienceVerdict decide_t_resilient(const ColorlessSpec& spec, int n_procs,
+                                     int t, int max_level,
+                                     const SolveOptions& options = {});
+
+}  // namespace wfc::task

@@ -1,0 +1,57 @@
+// The Proposition 3.1 decision procedure: a bounded-input task T is
+// wait-free solvable in the IIS model at level b iff there is a
+// color-preserving simplicial map delta_b : SDS^b(I) -> O with
+// delta_b(s) in Delta(carrier(s, I)) for EVERY simplex s.
+//
+// The search is exact backtracking over the vertices of SDS^b(I):
+//   * candidates(v) = output vertices of v's color allowed for v's carrier;
+//   * a constraint per face of SDS^b(I): the (partial) image must be a
+//     simplex of O allowed for the face's carrier.  Because Delta is
+//     face-closed (see task.hpp), partial-assignment pruning is sound, so
+//     kUnsolvable answers are genuine impossibility proofs for that level.
+//
+// By the paper's main theorem (the §4 emulation plus [8]), "solvable at some
+// level b" is equivalent to wait-free solvability in read/write shared
+// memory, making this the effective (per-level) form of the
+// characterization.  (Full solvability is undecidable for >= 3 processors
+// [9]: the per-level search cannot be escaped, hence `max_level` and the
+// node budget, and the kUnknown verdict.)
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "protocol/sds_chain.hpp"
+#include "tasks/task.hpp"
+
+namespace wfc::task {
+
+enum class Solvability { kSolvable, kUnsolvable, kUnknown };
+
+struct SolveResult {
+  Solvability status = Solvability::kUnknown;
+  int level = -1;  // the b at which a map was found (status == kSolvable)
+  /// decision[v] = output vertex for vertex v of SDS^level(I).
+  std::vector<topo::VertexId> decision;
+  /// The chain I, SDS(I), ..., SDS^level(I); present when solvable so the
+  /// decision can be executed (see decision_protocol.hpp).
+  std::shared_ptr<const proto::SdsChain> chain;
+  std::uint64_t nodes_explored = 0;
+};
+
+struct SolveOptions {
+  std::uint64_t node_budget = 50'000'000;  // backtracking nodes per level
+};
+
+/// Decides level-b solvability exactly (within the node budget).
+SolveResult solve_at_level(const Task& task, int level,
+                           const SolveOptions& options = {});
+
+/// Tries levels 0..max_level in order; returns the first solvable level, or
+/// kUnsolvable if every level was exhaustively refuted, or kUnknown if some
+/// level ran out of budget.
+SolveResult solve(const Task& task, int max_level,
+                  const SolveOptions& options = {});
+
+}  // namespace wfc::task

@@ -1,0 +1,47 @@
+// Tasks as input/output chromatic complexes plus the relation Delta
+// (paper §3.2): for each input simplex (a participating set with inputs),
+// the output tuples that may be decided.
+//
+// `allows(in, out)` must be FACE-CLOSED in `out` for fixed `in`: if an
+// output tuple is allowed, so is every sub-tuple.  This matches the paper's
+// solvability definition (a partial output tuple must extend to an allowed
+// one; we represent Delta directly by its face closure) and is what makes
+// partial-assignment pruning in the solvability search sound.
+#pragma once
+
+#include <string>
+
+#include "topology/complex.hpp"
+
+namespace wfc::task {
+
+class Task {
+ public:
+  virtual ~Task() = default;
+
+  [[nodiscard]] virtual const topo::ChromaticComplex& input() const = 0;
+  [[nodiscard]] virtual const topo::ChromaticComplex& output() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// True iff the output simplex `out` (vertex ids of output()) is allowed
+  /// when the participating input simplex is `in` (vertex ids of input()).
+  /// Callers guarantee colors(out) subset colors(in); implementations check
+  /// the value constraints.
+  [[nodiscard]] virtual bool allows(const topo::Simplex& in,
+                                    const topo::Simplex& out) const = 0;
+
+  /// Convenience: the output vertex of color `c` carrying `value`, or
+  /// kNoVertex.  Default implementation scans; tasks with value labels
+  /// override nothing (they expose values via vertex keys).
+  [[nodiscard]] topo::VertexId output_vertex(Color c,
+                                             const std::string& key) const {
+    for (topo::VertexId v = 0; v < output().num_vertices(); ++v) {
+      if (output().vertex(v).color == c && output().vertex(v).key == key) {
+        return v;
+      }
+    }
+    return topo::kNoVertex;
+  }
+};
+
+}  // namespace wfc::task

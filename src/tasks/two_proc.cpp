@@ -1,0 +1,134 @@
+#include "tasks/two_proc.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+#include "common/assert.hpp"
+
+namespace wfc::task {
+
+namespace {
+
+using topo::ChromaticComplex;
+using topo::kNoVertex;
+using topo::Simplex;
+using topo::VertexId;
+
+/// Shortest path length (in edges) between a and b in the Delta(e)-allowed
+/// output graph; -1 if disconnected or an endpoint is not allowed.
+int allowed_path_length(const Task& task, const Simplex& edge, VertexId a,
+                        VertexId b) {
+  const ChromaticComplex& out = task.output();
+  if (!task.allows(edge, {a}) || !task.allows(edge, {b})) return -1;
+  if (a == b) return 0;
+  std::vector<int> dist(out.num_vertices(), -1);
+  std::queue<VertexId> queue;
+  dist[a] = 0;
+  queue.push(a);
+  while (!queue.empty()) {
+    const VertexId cur = queue.front();
+    queue.pop();
+    // Neighbours of cur in the allowed graph: scan facets containing cur.
+    for (std::uint32_t fi : out.facets_containing(cur)) {
+      for (VertexId nxt : out.facets()[fi]) {
+        if (nxt == cur || dist[nxt] >= 0) continue;
+        if (!out.contains_simplex(topo::make_simplex({cur, nxt}))) continue;
+        if (!task.allows(edge, topo::make_simplex({cur, nxt}))) continue;
+        dist[nxt] = dist[cur] + 1;
+        if (nxt == b) return dist[nxt];
+        queue.push(nxt);
+      }
+    }
+  }
+  return -1;
+}
+
+int level_for_path(int length) {
+  // A color-alternating walk of any odd length >= `length` exists once the
+  // path does; SDS^b(s^1) is a path of 3^b edges, so b = ceil(log3 length).
+  int level = 0;
+  for (int reach = 1; reach < length; reach *= 3) ++level;
+  return level;
+}
+
+}  // namespace
+
+TwoProcVerdict decide_two_processors(const Task& task) {
+  const ChromaticComplex& in = task.input();
+  const ChromaticComplex& out = task.output();
+  WFC_REQUIRE(in.n_colors() == 2,
+              "decide_two_processors: task is not a 2-processor task");
+
+  // Solo decision candidates per input vertex.
+  std::vector<std::vector<VertexId>> solo(in.num_vertices());
+  for (VertexId u = 0; u < in.num_vertices(); ++u) {
+    for (VertexId w = 0; w < out.num_vertices(); ++w) {
+      if (out.vertex(w).color != in.vertex(u).color) continue;
+      if (task.allows({u}, {w})) solo[u].push_back(w);
+    }
+    if (solo[u].empty()) return {};  // some solo run cannot decide at all
+  }
+
+  // Memoized per-edge path lengths: (edge index, w0, w1) -> length.
+  std::map<std::tuple<std::size_t, VertexId, VertexId>, int> memo;
+  const auto& edges = in.facets();
+  auto path_length = [&](std::size_t ei, VertexId w0, VertexId w1) {
+    auto key = std::make_tuple(ei, std::min(w0, w1), std::max(w0, w1));
+    auto it = memo.find(key);
+    if (it == memo.end()) {
+      it = memo.emplace(key, allowed_path_length(task, edges[ei], w0, w1))
+               .first;
+    }
+    return it->second;
+  };
+
+  // Backtracking over solo assignments, minimizing the worst path length.
+  TwoProcVerdict best;
+  int best_worst = -1;
+  std::vector<VertexId> pick(in.num_vertices(), kNoVertex);
+
+  // Edges indexed by the input vertex assigned LAST (largest id), so each
+  // constraint is checked as soon as both endpoints are chosen.
+  std::vector<std::vector<std::size_t>> edges_by_last(in.num_vertices());
+  for (std::size_t ei = 0; ei < edges.size(); ++ei) {
+    if (edges[ei].size() == 2) {
+      edges_by_last[std::max(edges[ei][0], edges[ei][1])].push_back(ei);
+    }
+  }
+
+  auto rec = [&](auto&& self, VertexId u, int worst) -> void {
+    if (u == in.num_vertices()) {
+      if (best_worst < 0 || worst < best_worst) {
+        best_worst = worst;
+        best.solvable = true;
+        best.solo_decision = pick;
+        best.level_lower_bound = level_for_path(worst);
+      }
+      return;
+    }
+    for (VertexId w : solo[u]) {
+      pick[u] = w;
+      int new_worst = worst;
+      bool ok = true;
+      for (std::size_t ei : edges_by_last[u]) {
+        const Simplex& e = edges[ei];
+        const VertexId other = e[0] == u ? e[1] : e[0];
+        const int len = path_length(ei, pick[other], w);
+        if (len < 0) {
+          ok = false;
+          break;
+        }
+        new_worst = std::max(new_worst, len);
+      }
+      if (ok && (best_worst < 0 || new_worst < best_worst)) {
+        self(self, u + 1, new_worst);
+      }
+      pick[u] = kNoVertex;
+    }
+  };
+  rec(rec, 0, 0);
+  return best;
+}
+
+}  // namespace wfc::task

@@ -1,0 +1,39 @@
+// The classical 2-processor special case of the characterization, decided
+// by graph connectivity instead of subdivision search.
+//
+// For n+1 = 2 the protocol complex SDS^b(I) of an input edge is a path, so
+// Proposition 3.1 collapses to a connectivity statement (this is the
+// topological reading of FLP [2] / Biran-Moran-Zaks [3] for two
+// processors):
+//
+//   T = (I, O, Delta) is wait-free solvable iff there is a choice of a solo
+//   decision d(u) in Delta({u}) for every input vertex u such that for
+//   every input edge {u0, u1}, d(u0) and d(u1) lie in the same connected
+//   component of the graph of Delta({u0,u1})-allowed output edges.
+//
+// (=> : contract the decision map on the path.  <= : a path in the allowed
+//  graph IS a simplicial map from a fine-enough subdivided edge, since a
+//  subdivided edge is a path -- take b with 3^b >= path length.)
+//
+// decide_two_processors() evaluates this directly and doubles as an
+// independent oracle against the general search in the test suite.
+#pragma once
+
+#include "tasks/task.hpp"
+
+namespace wfc::task {
+
+struct TwoProcVerdict {
+  bool solvable = false;
+  /// When solvable: the witness solo decision per input vertex.
+  std::vector<topo::VertexId> solo_decision;
+  /// A lower bound on the level needed: ceil(log3(longest path length))
+  /// over the connecting paths chosen by the witness.
+  int level_lower_bound = 0;
+};
+
+/// Requires task.input().n_colors() == 2.  Exact (enumerates solo decision
+/// combinations with memoized per-edge connectivity).
+TwoProcVerdict decide_two_processors(const Task& task);
+
+}  // namespace wfc::task

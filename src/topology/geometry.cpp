@@ -1,0 +1,150 @@
+#include "topology/geometry.hpp"
+
+#include <cmath>
+
+#include "common/linalg.hpp"
+
+namespace wfc::topo {
+
+namespace {
+
+std::vector<std::vector<double>> facet_vertex_coords(const ChromaticComplex& c,
+                                                     const Simplex& f) {
+  std::vector<std::vector<double>> out;
+  out.reserve(f.size());
+  for (VertexId v : f) {
+    const auto& coords = c.vertex(v).coords;
+    WFC_REQUIRE(!coords.empty(), "facet_vertex_coords: complex not embedded");
+    out.push_back(coords);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<PointLocation> locate_point(const ChromaticComplex& c,
+                                          const std::vector<double>& point,
+                                          double tol) {
+  for (std::uint32_t fi = 0; fi < c.num_facets(); ++fi) {
+    const Simplex& f = c.facets()[fi];
+    std::vector<double> coords;
+    if (!linalg::barycentric_coords(facet_vertex_coords(c, f), point, coords)) {
+      continue;  // degenerate or point outside the affine hull
+    }
+    if (linalg::coords_nonnegative(coords, tol)) {
+      return PointLocation{fi, std::move(coords)};
+    }
+  }
+  return std::nullopt;
+}
+
+double total_facet_volume(const ChromaticComplex& c) {
+  double total = 0.0;
+  for (const Simplex& f : c.facets()) {
+    total += linalg::simplex_volume(facet_vertex_coords(c, f));
+  }
+  return total;
+}
+
+double mesh_diameter(const ChromaticComplex& c) {
+  double worst = 0.0;
+  for (const Simplex& f : c.facets()) {
+    for (std::size_t a = 0; a < f.size(); ++a) {
+      for (std::size_t b = a + 1; b < f.size(); ++b) {
+        const auto& pa = c.vertex(f[a]).coords;
+        const auto& pb = c.vertex(f[b]).coords;
+        WFC_REQUIRE(!pa.empty() && pa.size() == pb.size(),
+                    "mesh_diameter: complex not embedded");
+        double d2 = 0.0;
+        for (std::size_t i = 0; i < pa.size(); ++i) {
+          const double diff = pa[i] - pb[i];
+          d2 += diff * diff;
+        }
+        worst = std::max(worst, d2);
+      }
+    }
+  }
+  return std::sqrt(worst);
+}
+
+std::vector<double> random_point_in_facet(const ChromaticComplex& c,
+                                          std::uint32_t facet, Rng& rng) {
+  WFC_REQUIRE(facet < c.num_facets(), "random_point_in_facet: bad facet");
+  const Simplex& f = c.facets()[facet];
+  // Uniform barycentric weights via normalized exponentials.
+  std::vector<double> w(f.size());
+  double sum = 0.0;
+  for (double& x : w) {
+    x = -std::log(1.0 - rng.unit());
+    sum += x;
+  }
+  const auto& first = c.vertex(f[0]).coords;
+  std::vector<double> out(first.size(), 0.0);
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    const auto& coords = c.vertex(f[i]).coords;
+    for (std::size_t d = 0; d < out.size(); ++d) {
+      out[d] += (w[i] / sum) * coords[d];
+    }
+  }
+  return out;
+}
+
+SubdivisionReport check_subdivision(const ChromaticComplex& sub,
+                                    const ChromaticComplex& base, int samples,
+                                    std::uint64_t seed) {
+  WFC_REQUIRE(samples > 0, "check_subdivision: samples must be positive");
+  SubdivisionReport rep;
+
+  const double base_vol = total_facet_volume(base);
+  const double sub_vol = total_facet_volume(sub);
+  rep.volume_ratio = base_vol > 0 ? sub_vol / base_vol : 0.0;
+  rep.volume_matches = std::abs(rep.volume_ratio - 1.0) < 1e-7;
+
+  // carrier(v) must be exactly the support of v's barycentric coordinates:
+  // a vertex carried by face F has zero weight outside F.
+  rep.carriers_match_support = true;
+  for (VertexId v = 0; v < sub.num_vertices(); ++v) {
+    const VertexData& d = sub.vertex(v);
+    ColorSet support;
+    for (std::size_t i = 0; i < d.coords.size(); ++i) {
+      if (d.coords[i] > 1e-12) support = support.with(static_cast<Color>(i));
+    }
+    if (support != d.carrier) {
+      rep.carriers_match_support = false;
+      break;
+    }
+  }
+
+  // Sampling: draw points in base facets; each must be covered, and no point
+  // may be strictly interior to two sub-facets.
+  Rng rng(seed);
+  rep.covers_samples = true;
+  rep.interiors_disjoint = true;
+  rep.samples_tested = samples;
+  for (int s = 0; s < samples; ++s) {
+    const auto base_facet =
+        static_cast<std::uint32_t>(rng.below(base.num_facets()));
+    const std::vector<double> p = random_point_in_facet(base, base_facet, rng);
+    int strictly_inside = 0;
+    bool covered = false;
+    for (std::uint32_t fi = 0; fi < sub.num_facets(); ++fi) {
+      const Simplex& f = sub.facets()[fi];
+      std::vector<std::vector<double>> verts;
+      verts.reserve(f.size());
+      for (VertexId v : f) verts.push_back(sub.vertex(v).coords);
+      std::vector<double> coords;
+      if (!linalg::barycentric_coords(verts, p, coords)) continue;
+      if (linalg::coords_nonnegative(coords, 1e-9)) covered = true;
+      bool strict = true;
+      for (double x : coords) {
+        if (x < 1e-7) strict = false;
+      }
+      if (strict) ++strictly_inside;
+    }
+    if (!covered) rep.covers_samples = false;
+    if (strictly_inside > 1) rep.interiors_disjoint = false;
+  }
+  return rep;
+}
+
+}  // namespace wfc::topo

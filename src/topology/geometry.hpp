@@ -1,0 +1,67 @@
+// Geometric realization utilities: point location inside an embedded
+// complex and numerical validation that a complex really is a subdivision
+// (paper §2, conditions 1-2 of the definition).
+//
+// Coordinates throughout are barycentric with respect to the base simplex
+// s^n: every embedded vertex has n+1 coordinates that are non-negative and
+// sum to 1.  This makes "the convex hull of B equals A" checkable with
+// volume accounting and sampling, with no exact arithmetic needed at the
+// scales this library runs (dimension <= 7).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "topology/complex.hpp"
+
+namespace wfc::topo {
+
+struct PointLocation {
+  std::uint32_t facet = 0;             // index into complex.facets()
+  std::vector<double> facet_coords;    // barycentric w.r.t. that facet
+};
+
+/// Finds a facet whose convex hull contains `point` (barycentric coords
+/// w.r.t. the base simplex).  Returns nullopt if no facet contains it.
+/// `tol` bounds how far outside a face a coordinate may dip.
+std::optional<PointLocation> locate_point(const ChromaticComplex& c,
+                                          const std::vector<double>& point,
+                                          double tol = 1e-9);
+
+/// Total n-dimensional volume of all facets (n = c.dimension()).
+double total_facet_volume(const ChromaticComplex& c);
+
+/// Mesh of the complex: the largest Euclidean diameter of any facet
+/// (max vertex-pair distance).  Simplicial approximation levels are
+/// governed by how fast iterated subdivision drives this to zero: SDS
+/// shrinks the mesh geometrically, Bsd only by n/(n+1) per level.
+double mesh_diameter(const ChromaticComplex& c);
+
+/// Draws a uniform random point in the convex hull of the given facet.
+std::vector<double> random_point_in_facet(const ChromaticComplex& c,
+                                          std::uint32_t facet, Rng& rng);
+
+struct SubdivisionReport {
+  bool volume_matches = false;       // sum of sub-facet volumes == base volume
+  bool covers_samples = false;       // every sampled base point is located
+  bool interiors_disjoint = false;   // no sample strictly inside 2 facets
+  bool carriers_match_support = false;  // carrier(v) == support(coords(v))
+  double volume_ratio = 0.0;
+  int samples_tested = 0;
+
+  [[nodiscard]] bool ok() const noexcept {
+    return volume_matches && covers_samples && interiors_disjoint &&
+           carriers_match_support;
+  }
+};
+
+/// Numerically validates that `sub` is a geometric subdivision of `base`
+/// (both embedded in the same barycentric coordinate system).
+SubdivisionReport check_subdivision(const ChromaticComplex& sub,
+                                    const ChromaticComplex& base,
+                                    int samples = 512,
+                                    std::uint64_t seed = 1);
+
+}  // namespace wfc::topo

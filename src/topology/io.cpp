@@ -1,0 +1,203 @@
+#include "topology/io.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace wfc::topo {
+
+namespace {
+
+std::string percent_encode(const std::string& s) {
+  std::ostringstream os;
+  for (unsigned char ch : s) {
+    if (std::isalnum(ch) || ch == '-' || ch == '_' || ch == '.' || ch == '@' ||
+        ch == ',' || ch == '[' || ch == ']' || ch == '=' || ch == ':' ||
+        ch == '~' || ch == '>') {
+      os << ch;
+    } else {
+      os << '%' << std::hex << std::uppercase << std::setw(2)
+         << std::setfill('0') << static_cast<int>(ch) << std::dec;
+    }
+  }
+  return os.str();
+}
+
+std::string percent_decode(const std::string& s) {
+  std::string out;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size()) {
+      out += static_cast<char>(std::stoi(s.substr(i + 1, 2), nullptr, 16));
+      i += 2;
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_complex(std::ostream& os, const ChromaticComplex& c) {
+  os << "wfc-complex 1\n";
+  os << "colors " << c.n_colors() << "\n";
+  os << std::setprecision(17);
+  for (VertexId v = 0; v < c.num_vertices(); ++v) {
+    const VertexData& d = c.vertex(v);
+    os << "vertex " << d.color << ' ' << d.carrier.mask() << ' '
+       << percent_encode(d.key);
+    if (!d.base_carrier.empty() &&
+        !(d.base_carrier.size() == 1 && d.base_carrier[0] == v)) {
+      os << " bc";
+      for (VertexId b : d.base_carrier) os << ' ' << b;
+    }
+    if (!d.coords.empty()) {
+      os << " at";
+      for (double x : d.coords) os << ' ' << x;
+    }
+    os << "\n";
+  }
+  for (const Simplex& f : c.facets()) {
+    os << "facet";
+    for (VertexId v : f) os << ' ' << v;
+    os << "\n";
+  }
+}
+
+ChromaticComplex read_complex(std::istream& is) {
+  std::string line;
+  WFC_REQUIRE(std::getline(is, line) && line == "wfc-complex 1",
+              "read_complex: bad header");
+  WFC_REQUIRE(std::getline(is, line) && line.rfind("colors ", 0) == 0,
+              "read_complex: missing colors line");
+  const int n_colors = std::stoi(line.substr(7));
+  ChromaticComplex c(n_colors);
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string kind;
+    ls >> kind;
+    if (kind == "vertex") {
+      int color = 0;
+      std::uint32_t carrier_mask = 0;
+      std::string key;
+      ls >> color >> carrier_mask >> key;
+      WFC_REQUIRE(static_cast<bool>(ls), "read_complex: malformed vertex");
+      Simplex base_carrier;
+      std::vector<double> coords;
+      std::string tag;
+      while (ls >> tag) {
+        if (tag == "bc") {
+          VertexId b;
+          while (ls >> b) base_carrier.push_back(b);
+          // `at` may follow; recover from the failed extraction.
+          ls.clear();
+        } else if (tag == "at") {
+          double x;
+          while (ls >> x) coords.push_back(x);
+          ls.clear();
+        } else {
+          WFC_REQUIRE(false, "read_complex: unknown vertex tag " + tag);
+        }
+      }
+      c.add_vertex(color, percent_decode(key), ColorSet(carrier_mask),
+                   std::move(coords),
+                   base_carrier.empty()
+                       ? std::nullopt
+                       : std::optional<Simplex>(std::move(base_carrier)));
+    } else if (kind == "facet") {
+      Simplex f;
+      VertexId v;
+      while (ls >> v) f.push_back(v);
+      WFC_REQUIRE(!f.empty(), "read_complex: empty facet");
+      c.add_facet(make_simplex(std::move(f)));
+    } else {
+      WFC_REQUIRE(false, "read_complex: unknown line kind " + kind);
+    }
+  }
+  return c;
+}
+
+std::string to_text(const ChromaticComplex& c) {
+  std::ostringstream os;
+  write_complex(os, c);
+  return os.str();
+}
+
+ChromaticComplex from_text(const std::string& text) {
+  std::istringstream is(text);
+  return read_complex(is);
+}
+
+namespace {
+
+/// Projects barycentric coordinates over s^2 to 2-D canvas points: an
+/// equilateral triangle with corner 0 bottom-left, 1 bottom-right, 2 top.
+std::pair<double, double> project(const std::vector<double>& bary,
+                                  double size) {
+  WFC_REQUIRE(bary.size() == 3, "render_svg: needs 3 barycentric coords");
+  const double margin = 0.06 * size;
+  const double w = size - 2 * margin;
+  const double h = w * std::sqrt(3.0) / 2.0;
+  const double x0 = margin, y0 = margin + h;           // corner 0
+  const double x1 = margin + w, y1 = margin + h;       // corner 1
+  const double x2 = margin + w / 2.0, y2 = margin;     // corner 2
+  return {bary[0] * x0 + bary[1] * x1 + bary[2] * x2,
+          bary[0] * y0 + bary[1] * y1 + bary[2] * y2};
+}
+
+const char* palette(Color c) {
+  static const char* kColors[] = {"#d62728", "#1f77b4", "#2ca02c", "#9467bd",
+                                  "#ff7f0e", "#8c564b", "#e377c2", "#7f7f7f"};
+  return kColors[static_cast<std::size_t>(c) % 8];
+}
+
+}  // namespace
+
+std::string render_svg(const ChromaticComplex& c, const SvgOptions& options) {
+  WFC_REQUIRE(c.dimension() <= 2, "render_svg: only 2-dimensional complexes");
+  std::ostringstream os;
+  os << std::setprecision(7);
+  os << "<svg xmlns='http://www.w3.org/2000/svg' width='" << options.size
+     << "' height='" << options.size << "'>\n";
+
+  std::vector<std::pair<double, double>> pts(c.num_vertices());
+  for (VertexId v = 0; v < c.num_vertices(); ++v) {
+    pts[v] = project(c.vertex(v).coords, options.size);
+  }
+
+  // Facets (triangles) as translucent fills.
+  for (const Simplex& f : c.facets()) {
+    if (f.size() != 3) continue;
+    os << "<polygon points='";
+    for (VertexId v : f) os << pts[v].first << ',' << pts[v].second << ' ';
+    os << "' fill='#f2efe9' stroke='none'/>\n";
+  }
+  // Edges.
+  c.for_each_face([&](const Simplex& s) {
+    if (s.size() != 2) return;
+    os << "<line x1='" << pts[s[0]].first << "' y1='" << pts[s[0]].second
+       << "' x2='" << pts[s[1]].first << "' y2='" << pts[s[1]].second
+       << "' stroke='#555' stroke-width='1'/>\n";
+  });
+  // Vertices, colored by chromatic color (or caller override).
+  for (VertexId v = 0; v < c.num_vertices(); ++v) {
+    const std::string fill =
+        v < options.vertex_fill.size() && !options.vertex_fill[v].empty()
+            ? options.vertex_fill[v]
+            : palette(c.vertex(v).color);
+    os << "<circle cx='" << pts[v].first << "' cy='" << pts[v].second
+       << "' r='" << options.vertex_radius << "' fill='" << fill
+       << "' stroke='#222' stroke-width='0.75'/>\n";
+    if (options.label_vertices) {
+      os << "<text x='" << pts[v].first + 6 << "' y='" << pts[v].second - 6
+         << "' font-size='10' fill='#333'>" << c.vertex(v).key << "</text>\n";
+    }
+  }
+  os << "</svg>\n";
+  return os.str();
+}
+
+}  // namespace wfc::topo

@@ -1,0 +1,45 @@
+// Serialization of chromatic complexes: a line-oriented text format with
+// exact round-tripping, and SVG rendering of 2-dimensional embedded
+// complexes (the pictures of SDS^b(s^2) the literature draws by hand).
+//
+// Text format:
+//   wfc-complex 1
+//   colors <n>
+//   vertex <color> <carrier-mask> <key> [bc <id>...] [at <coord>...]
+//   facet <id> <id> ...
+// Keys are percent-encoded so arbitrary key strings survive whitespace.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "topology/complex.hpp"
+#include "topology/simplicial_map.hpp"
+
+namespace wfc::topo {
+
+/// Writes `c` to `os` in the wfc-complex text format.
+void write_complex(std::ostream& os, const ChromaticComplex& c);
+
+/// Parses a complex; throws std::invalid_argument on malformed input.
+ChromaticComplex read_complex(std::istream& is);
+
+/// Convenience round-trip through strings.
+std::string to_text(const ChromaticComplex& c);
+ChromaticComplex from_text(const std::string& text);
+
+struct SvgOptions {
+  double size = 640.0;          // canvas edge in px
+  double vertex_radius = 4.0;
+  bool label_vertices = false;
+  /// Optional per-vertex fill override keyed by vertex id; empty = default
+  /// color-by-chromatic-color palette.
+  std::vector<std::string> vertex_fill;
+};
+
+/// Renders a 2-dimensional embedded complex (barycentric coordinates over
+/// s^2) as an SVG drawing: filled facets, edges, colored vertices.
+/// Requires every vertex to carry 3 coordinates.
+std::string render_svg(const ChromaticComplex& c, const SvgOptions& options = {});
+
+}  // namespace wfc::topo

@@ -1,0 +1,3 @@
+// fubini() lives in subdivision.cpp alongside its only in-library user; this
+// translation unit exists so the header is self-checking at build time.
+#include "topology/ordered_partition.hpp"

@@ -1,0 +1,68 @@
+// Ordered partitions of a finite set.
+//
+// An execution of a one-shot immediate snapshot is exactly an ordered
+// partition of the participating set (paper §3.4-3.5): each block is a set
+// of processors that WriteRead together.  The facets of the standard
+// chromatic subdivision SDS(s^n) are in bijection with the ordered
+// partitions of {0..n} (Lemma 3.2), so this enumeration is the common core
+// of both the topology layer and the scheduler.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace wfc::topo {
+
+/// An ordered partition of positions {0..k-1}: a sequence of disjoint,
+/// non-empty blocks whose union is the whole set.
+using OrderedPartition = std::vector<std::vector<int>>;
+
+namespace detail {
+
+template <typename Fn>
+void ordered_partitions_rec(std::uint32_t remaining, OrderedPartition& acc,
+                            Fn& fn) {
+  if (remaining == 0) {
+    const OrderedPartition& done = acc;
+    fn(done);
+    return;
+  }
+  // Enumerate every non-empty subset of `remaining` as the next block.
+  for (std::uint32_t sub = remaining;; sub = (sub - 1) & remaining) {
+    if (sub != 0) {
+      std::vector<int> block;
+      for (std::uint32_t m = sub; m != 0; m &= m - 1) {
+        block.push_back(std::countr_zero(m));
+      }
+      acc.push_back(std::move(block));
+      ordered_partitions_rec(remaining & ~sub, acc, fn);
+      acc.pop_back();
+    }
+    if (sub == 0) break;
+  }
+}
+
+}  // namespace detail
+
+/// Invokes fn(const OrderedPartition&) once per ordered partition of
+/// {0..k-1}.  There are Fubini(k) of them (1, 1, 3, 13, 75, 541, ...).
+template <typename Fn>
+void for_each_ordered_partition(int k, Fn&& fn) {
+  WFC_REQUIRE(k >= 0 && k <= 20, "for_each_ordered_partition: k out of range");
+  if (k == 0) {
+    const OrderedPartition empty;
+    fn(empty);
+    return;
+  }
+  OrderedPartition acc;
+  const std::uint32_t all = (k == 32) ? ~0u : ((1u << k) - 1);
+  detail::ordered_partitions_rec(all, acc, fn);
+}
+
+/// Fubini number (number of ordered partitions of a k-set).
+std::uint64_t fubini(int k);
+
+}  // namespace wfc::topo

@@ -1,0 +1,94 @@
+#include "topology/simplicial_map.hpp"
+
+#include <algorithm>
+
+namespace wfc::topo {
+
+SimplicialMap::SimplicialMap(const ChromaticComplex& from,
+                             const ChromaticComplex& to)
+    : from_(&from), to_(&to), image_(from.num_vertices(), kNoVertex) {}
+
+void SimplicialMap::set(VertexId v, VertexId image) {
+  WFC_REQUIRE(v < from_->num_vertices(), "SimplicialMap::set: bad source");
+  WFC_REQUIRE(image < to_->num_vertices(), "SimplicialMap::set: bad image");
+  image_[v] = image;
+}
+
+VertexId SimplicialMap::at(VertexId v) const {
+  WFC_REQUIRE(v < from_->num_vertices(), "SimplicialMap::at: bad source");
+  return image_[v];
+}
+
+bool SimplicialMap::is_total() const noexcept {
+  return std::find(image_.begin(), image_.end(), kNoVertex) == image_.end();
+}
+
+Simplex SimplicialMap::image_of(const Simplex& s) const {
+  Simplex out;
+  out.reserve(s.size());
+  for (VertexId v : s) {
+    WFC_REQUIRE(image_[v] != kNoVertex, "image_of: map not defined on vertex");
+    out.push_back(image_[v]);
+  }
+  return make_simplex(std::move(out));
+}
+
+bool SimplicialMap::is_simplicial() const {
+  if (!is_total()) return false;
+  for (const Simplex& f : from_->facets()) {
+    if (!to_->contains_simplex(image_of(f))) return false;
+  }
+  return true;
+}
+
+bool SimplicialMap::is_color_preserving() const {
+  for (VertexId v = 0; v < from_->num_vertices(); ++v) {
+    if (image_[v] == kNoVertex) return false;
+    if (from_->vertex(v).color != to_->vertex(image_[v]).color) return false;
+  }
+  return true;
+}
+
+bool SimplicialMap::is_dimension_preserving() const {
+  if (!is_total()) return false;
+  for (const Simplex& f : from_->facets()) {
+    if (image_of(f).size() != f.size()) return false;
+  }
+  return true;
+}
+
+bool SimplicialMap::is_carrier_monotone() const {
+  for (VertexId v = 0; v < from_->num_vertices(); ++v) {
+    if (image_[v] == kNoVertex) return false;
+    if (!to_->vertex(image_[v]).carrier.subset_of(from_->vertex(v).carrier)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SimplicialMap::is_carrier_preserving_strict() const {
+  for (VertexId v = 0; v < from_->num_vertices(); ++v) {
+    if (image_[v] == kNoVertex) return false;
+    if (to_->vertex(image_[v]).carrier != from_->vertex(v).carrier) {
+      return false;
+    }
+  }
+  return true;
+}
+
+SimplicialMap compose(const SimplicialMap& f, const SimplicialMap& g) {
+  WFC_REQUIRE(&f.to() == &g.from(),
+              "compose: codomain of f must be the domain of g");
+  SimplicialMap out(f.from(), g.to());
+  for (VertexId v = 0; v < f.from().num_vertices(); ++v) {
+    const VertexId mid = f.at(v);
+    WFC_REQUIRE(mid != kNoVertex, "compose: f is partial");
+    const VertexId img = g.at(mid);
+    WFC_REQUIRE(img != kNoVertex, "compose: g is partial");
+    out.set(v, img);
+  }
+  return out;
+}
+
+}  // namespace wfc::topo

@@ -1,0 +1,58 @@
+// Vertex maps between complexes and the predicates of §2: simplicial,
+// color-preserving, dimension-preserving, and carrier-preserving maps.
+//
+// A decision function of a wait-free protocol *is* such a map (paper §3.6,
+// Proposition 3.1), so this type is the bridge between topology and
+// computation: the solvability checker produces a SimplicialMap, and the
+// runtime executes one.
+#pragma once
+
+#include <vector>
+
+#include "topology/complex.hpp"
+
+namespace wfc::topo {
+
+class SimplicialMap {
+ public:
+  /// Creates an unassigned map; every vertex starts at kNoVertex.
+  SimplicialMap(const ChromaticComplex& from, const ChromaticComplex& to);
+
+  [[nodiscard]] const ChromaticComplex& from() const noexcept { return *from_; }
+  [[nodiscard]] const ChromaticComplex& to() const noexcept { return *to_; }
+
+  void set(VertexId v, VertexId image);
+  [[nodiscard]] VertexId at(VertexId v) const;
+  [[nodiscard]] bool is_total() const noexcept;
+
+  /// Image of a simplex, in canonical (sorted, deduplicated) form.
+  [[nodiscard]] Simplex image_of(const Simplex& s) const;
+
+  /// Every facet of `from` maps to a simplex of `to`.  Requires totality.
+  [[nodiscard]] bool is_simplicial() const;
+
+  /// X(v) == X(phi(v)) for all v.
+  [[nodiscard]] bool is_color_preserving() const;
+
+  /// |phi(s)| == |s| for every facet (no collapsing).
+  [[nodiscard]] bool is_dimension_preserving() const;
+
+  /// carrier(phi(v)) is a subset of carrier(v) for all v.  This is the
+  /// operative form of the paper's carrier preservation for maps between
+  /// subdivisions of the same base: the image vertex may not leave the face
+  /// that carries the source vertex.
+  [[nodiscard]] bool is_carrier_monotone() const;
+
+  /// carrier(phi(v)) == carrier(v) for all v (the strict §2 definition).
+  [[nodiscard]] bool is_carrier_preserving_strict() const;
+
+ private:
+  const ChromaticComplex* from_;
+  const ChromaticComplex* to_;
+  std::vector<VertexId> image_;
+};
+
+/// Composition g after f; requires f.to() and g.from() to be the same object.
+SimplicialMap compose(const SimplicialMap& f, const SimplicialMap& g);
+
+}  // namespace wfc::topo

@@ -1,0 +1,53 @@
+#include "topology/sperner.hpp"
+
+namespace wfc::topo {
+
+bool is_sperner_labeling(const ChromaticComplex& c, const Labeling& label) {
+  if (label.size() != c.num_vertices()) return false;
+  for (VertexId v = 0; v < c.num_vertices(); ++v) {
+    const Color l = label[v];
+    if (l < 0 || l >= c.n_colors()) return false;
+    if (!c.vertex(v).carrier.contains(l)) return false;
+  }
+  return true;
+}
+
+std::uint64_t count_panchromatic(const ChromaticComplex& c,
+                                 const Labeling& label) {
+  WFC_REQUIRE(label.size() == c.num_vertices(),
+              "count_panchromatic: labeling size mismatch");
+  const ColorSet all = c.all_colors();
+  std::uint64_t count = 0;
+  for (const Simplex& f : c.facets()) {
+    ColorSet seen;
+    for (VertexId v : f) seen = seen.with(label[v]);
+    if (seen == all) ++count;
+  }
+  return count;
+}
+
+Labeling random_sperner_labeling(const ChromaticComplex& c, Rng& rng) {
+  Labeling out(c.num_vertices(), 0);
+  for (VertexId v = 0; v < c.num_vertices(); ++v) {
+    const ColorSet carrier = c.vertex(v).carrier;
+    WFC_REQUIRE(!carrier.empty(), "random_sperner_labeling: empty carrier");
+    std::vector<Color> options;
+    for (Color col : carrier) options.push_back(col);
+    out[v] = options[rng.below(options.size())];
+  }
+  return out;
+}
+
+Labeling min_carrier_labeling(const ChromaticComplex& c) {
+  Labeling out(c.num_vertices(), 0);
+  for (VertexId v = 0; v < c.num_vertices(); ++v) {
+    out[v] = c.vertex(v).carrier.min();
+  }
+  return out;
+}
+
+bool sperner_parity_holds(const ChromaticComplex& c, const Labeling& label) {
+  return count_panchromatic(c, label) % 2 == 1;
+}
+
+}  // namespace wfc::topo

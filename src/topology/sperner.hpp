@@ -1,0 +1,42 @@
+// Sperner-lemma machinery (used by §5's no-holes reasoning and by the
+// (n+1, n)-set-consensus impossibility witness in the evaluation).
+//
+// A Sperner labeling of a subdivided simplex assigns each vertex a color
+// drawn from its carrier.  Sperner's lemma: the number of panchromatic
+// facets is odd -- in particular nonzero.  A wait-free protocol deciding
+// (n+1, n)-set consensus would induce a Sperner labeling of SDS^b(s^n) with
+// no panchromatic facet (every processor adopts a participating processor's
+// id, at most n distinct), a contradiction.  The impossibility therefore
+// holds for *every* level b, which is what bench_sperner demonstrates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "topology/complex.hpp"
+
+namespace wfc::topo {
+
+/// label[v] is the color assigned to vertex v.
+using Labeling = std::vector<Color>;
+
+/// True iff label[v] is in carrier(v) for every vertex.
+bool is_sperner_labeling(const ChromaticComplex& c, const Labeling& label);
+
+/// Number of facets whose label multiset covers all base colors.
+std::uint64_t count_panchromatic(const ChromaticComplex& c,
+                                 const Labeling& label);
+
+/// A uniformly random Sperner labeling.
+Labeling random_sperner_labeling(const ChromaticComplex& c, Rng& rng);
+
+/// The labeling induced by "adopt the smallest color you saw": label each
+/// vertex by the minimum color of its carrier.  Always Sperner.
+Labeling min_carrier_labeling(const ChromaticComplex& c);
+
+/// Sperner's lemma checked exhaustively on `c`: returns true iff the
+/// panchromatic count of `label` is odd.
+bool sperner_parity_holds(const ChromaticComplex& c, const Labeling& label);
+
+}  // namespace wfc::topo

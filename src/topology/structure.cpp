@@ -1,0 +1,171 @@
+#include "topology/structure.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+namespace wfc::topo {
+
+namespace {
+
+/// Copies the vertices used by `facets` of `c` into a fresh complex and adds
+/// the facets; preserves colors/keys/carriers/coords.
+ChromaticComplex subcomplex_from_facets(const ChromaticComplex& c,
+                                        const std::vector<Simplex>& facets) {
+  ChromaticComplex out(c.n_colors());
+  std::vector<VertexId> remap(c.num_vertices(), kNoVertex);
+  for (const Simplex& f : facets) {
+    Simplex mapped;
+    mapped.reserve(f.size());
+    for (VertexId v : f) {
+      if (remap[v] == kNoVertex) {
+        const VertexData& d = c.vertex(v);
+        remap[v] =
+            out.add_vertex(d.color, d.key, d.carrier, d.coords, d.base_carrier);
+      }
+      mapped.push_back(remap[v]);
+    }
+    out.add_facet(make_simplex(std::move(mapped)));
+  }
+  return out;
+}
+
+}  // namespace
+
+ChromaticComplex closed_star(const ChromaticComplex& c, const Simplex& s) {
+  WFC_REQUIRE(!s.empty(), "closed_star: empty simplex");
+  std::vector<Simplex> kept;
+  for (const Simplex& f : c.facets()) {
+    if (std::includes(f.begin(), f.end(), s.begin(), s.end())) kept.push_back(f);
+  }
+  WFC_REQUIRE(!kept.empty(), "closed_star: simplex not in complex");
+  return subcomplex_from_facets(c, kept);
+}
+
+ChromaticComplex link(const ChromaticComplex& c, const Simplex& s) {
+  WFC_REQUIRE(!s.empty(), "link: empty simplex");
+  std::vector<Simplex> kept;
+  for (const Simplex& f : c.facets()) {
+    if (!std::includes(f.begin(), f.end(), s.begin(), s.end())) continue;
+    Simplex rest;
+    std::set_difference(f.begin(), f.end(), s.begin(), s.end(),
+                        std::back_inserter(rest));
+    if (!rest.empty()) kept.push_back(std::move(rest));
+  }
+  WFC_REQUIRE(!kept.empty(), "link: simplex not in complex or is a facet");
+  return subcomplex_from_facets(c, kept);
+}
+
+PseudomanifoldReport check_pseudomanifold(const ChromaticComplex& c) {
+  PseudomanifoldReport rep;
+  rep.pure = c.is_pure();
+  if (!rep.pure) return rep;
+  const int n = c.dimension();
+  const ColorSet all = c.all_colors();
+
+  // Count, for every ridge ((n-1)-face), how many facets contain it.
+  std::map<Simplex, int> ridge_count;
+  for (const Simplex& f : c.facets()) {
+    for (std::size_t drop = 0; drop < f.size(); ++drop) {
+      Simplex ridge;
+      ridge.reserve(f.size() - 1);
+      for (std::size_t i = 0; i < f.size(); ++i) {
+        if (i != drop) ridge.push_back(f[i]);
+      }
+      ++ridge_count[ridge];
+    }
+  }
+
+  rep.ridge_degree_ok = true;
+  rep.boundary_matches_carrier = true;
+  for (const auto& [ridge, count] : ridge_count) {
+    if (count != 1 && count != 2) {
+      rep.ridge_degree_ok = false;
+      continue;
+    }
+    const ColorSet carrier = c.carrier_of(ridge);
+    if (count == 2) {
+      ++rep.interior_ridges;
+    } else {
+      ++rep.boundary_ridges;
+      // A degree-1 ridge must lie on the geometric boundary: its carrier is
+      // a proper face (at most n of the n+1 base colors).
+      if (carrier == all && n + 1 == c.n_colors()) {
+        rep.boundary_matches_carrier = false;
+      }
+    }
+  }
+  return rep;
+}
+
+int num_connected_components(const ChromaticComplex& c) {
+  const std::size_t n = c.num_vertices();
+  std::vector<std::size_t> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const Simplex& f : c.facets()) {
+    for (std::size_t i = 1; i < f.size(); ++i) {
+      parent[find(f[i])] = find(f[0]);
+    }
+  }
+  int components = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (find(v) == v) ++components;
+  }
+  return components;
+}
+
+ChromaticComplex boundary_complex(const ChromaticComplex& c) {
+  WFC_REQUIRE(c.is_pure(), "boundary_complex: complex must be pure");
+  std::map<Simplex, int> ridge_count;
+  for (const Simplex& f : c.facets()) {
+    for (std::size_t drop = 0; drop < f.size(); ++drop) {
+      Simplex ridge;
+      ridge.reserve(f.size() - 1);
+      for (std::size_t i = 0; i < f.size(); ++i) {
+        if (i != drop) ridge.push_back(f[i]);
+      }
+      ++ridge_count[ridge];
+    }
+  }
+  std::vector<Simplex> boundary;
+  for (const auto& [ridge, count] : ridge_count) {
+    if (count == 1) boundary.push_back(ridge);
+  }
+  WFC_REQUIRE(!boundary.empty(), "boundary_complex: complex is closed");
+  return subcomplex_from_facets(c, boundary);
+}
+
+ChromaticComplex drop_facet(const ChromaticComplex& c, std::size_t index) {
+  WFC_REQUIRE(index < c.num_facets(), "drop_facet: index out of range");
+  std::vector<Simplex> kept;
+  kept.reserve(c.num_facets() - 1);
+  for (std::size_t i = 0; i < c.num_facets(); ++i) {
+    if (i != index) kept.push_back(c.facets()[i]);
+  }
+  WFC_REQUIRE(!kept.empty(), "drop_facet: complex would become empty");
+  return subcomplex_from_facets(c, kept);
+}
+
+bool link_is_cycle(const ChromaticComplex& c, VertexId v) {
+  const ChromaticComplex lk = link(c, Simplex{v});
+  if (lk.dimension() != 1 || !lk.is_pure()) return false;
+  // A cycle: connected, and every vertex has degree exactly 2.
+  std::vector<int> degree(lk.num_vertices(), 0);
+  for (const Simplex& e : lk.facets()) {
+    ++degree[e[0]];
+    ++degree[e[1]];
+  }
+  for (int d : degree) {
+    if (d != 2) return false;
+  }
+  return num_connected_components(lk) == 1;
+}
+
+}  // namespace wfc::topo

@@ -1,0 +1,58 @@
+// Structural queries from §2: star, link, boundary, pseudomanifold and
+// connectivity checks.  These back the paper's Lemma 2.2 ("a subdivided
+// simplex is a nice structure") with machine-checkable surrogates:
+//   * a subdivided n-simplex is a pseudomanifold-with-boundary: each
+//     (n-1)-face lies in exactly 2 facets (interior) or 1 (boundary, i.e.
+//     carrier of dimension n-1);
+//   * it is connected and has Euler characteristic 1 (contractible);
+//   * links of interior vertices in dimension 2 are cycles.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/complex.hpp"
+
+namespace wfc::topo {
+
+/// Subcomplex of facets containing `s` (the closed star).
+ChromaticComplex closed_star(const ChromaticComplex& c, const Simplex& s);
+
+/// Link of `s`: for each facet containing s, the face facet \ s.
+ChromaticComplex link(const ChromaticComplex& c, const Simplex& s);
+
+struct PseudomanifoldReport {
+  bool pure = false;
+  bool ridge_degree_ok = false;  // every (n-1)-face in 1 or 2 facets
+  bool boundary_matches_carrier = false;  // degree-1 ridges have proper carrier
+  std::size_t interior_ridges = 0;
+  std::size_t boundary_ridges = 0;
+
+  [[nodiscard]] bool ok() const noexcept {
+    return pure && ridge_degree_ok && boundary_matches_carrier;
+  }
+};
+
+/// Checks that a subdivision of s^n is a pseudomanifold with the expected
+/// boundary: interior ridges (full carrier) in exactly two facets, boundary
+/// ridges (carrier of size n) in exactly one.
+PseudomanifoldReport check_pseudomanifold(const ChromaticComplex& c);
+
+/// Number of connected components (via shared vertices).
+int num_connected_components(const ChromaticComplex& c);
+
+/// True if the 1-skeleton of link(v) is a single cycle -- the expected link
+/// of an interior vertex of a subdivided 2-simplex.
+bool link_is_cycle(const ChromaticComplex& c, VertexId v);
+
+/// The boundary complex of a pure n-dimensional pseudomanifold-with-
+/// boundary: the (n-1)-faces contained in exactly one facet (§2's
+/// boundary(A(s^n)), an (n-1)-sphere for subdivided simplices).
+ChromaticComplex boundary_complex(const ChromaticComplex& c);
+
+/// A copy of `c` without facet `index` (its proper faces survive through
+/// neighbouring facets).  Used to build "punctured" targets whose hole
+/// makes agreement tasks unsolvable -- the complement of Lemma 2.2.
+ChromaticComplex drop_facet(const ChromaticComplex& c, std::size_t index);
+
+}  // namespace wfc::topo

@@ -1,0 +1,211 @@
+// Safe agreement and the Borowsky-Gafni simulation.
+#include <gtest/gtest.h>
+
+#include <barrier>
+#include <set>
+#include <thread>
+
+#include "bg/safe_agreement.hpp"
+#include "bg/simulation.hpp"
+
+namespace wfc::bg {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SafeAgreement.
+// ---------------------------------------------------------------------------
+
+TEST(SafeAgreement, UnresolvedBeforeAnyProposal) {
+  SafeAgreement<int> sa(3);
+  EXPECT_FALSE(sa.try_resolve().has_value());
+}
+
+TEST(SafeAgreement, SoloProposeResolvesToOwnValue) {
+  SafeAgreement<int> sa(3);
+  sa.propose(1, 42);
+  auto v = sa.try_resolve();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(SafeAgreement, SequentialProposalsKeepFirstDecision) {
+  SafeAgreement<int> sa(3);
+  sa.propose(2, 7);
+  ASSERT_EQ(sa.try_resolve(), 7);
+  sa.propose(0, 9);  // later proposal must defer
+  EXPECT_EQ(sa.try_resolve(), 7);
+}
+
+TEST(SafeAgreement, UnsafeWindowBlocksResolution) {
+  SafeAgreement<int> sa(2);
+  sa.propose_enter(0, 5);  // enters the window and "crashes"
+  EXPECT_FALSE(sa.try_resolve().has_value());
+  sa.propose(1, 6);
+  // Processor 0 is still RAISED forever: the object stays unresolved.
+  EXPECT_FALSE(sa.try_resolve().has_value());
+  // If 0 finally finishes, resolution unblocks (validity: one of 5, 6).
+  sa.propose_finish(0);
+  auto v = sa.try_resolve();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_TRUE(*v == 5 || *v == 6);
+}
+
+TEST(SafeAgreement, DoubleProposeRejected) {
+  SafeAgreement<int> sa(2);
+  sa.propose(0, 1);
+  EXPECT_THROW(sa.propose(0, 2), std::invalid_argument);
+  EXPECT_THROW(sa.propose_finish(1), std::invalid_argument);
+}
+
+TEST(SafeAgreement, ConcurrentAgreementAndValidity) {
+  for (int trial = 0; trial < 100; ++trial) {
+    constexpr int kProcs = 4;
+    SafeAgreement<int> sa(kProcs);
+    std::barrier sync(kProcs);
+    std::vector<std::thread> threads;
+    for (int p = 0; p < kProcs; ++p) {
+      threads.emplace_back([&, p] {
+        sync.arrive_and_wait();
+        sa.propose(p, 100 + p);
+      });
+    }
+    for (auto& t : threads) t.join();
+    auto v = sa.try_resolve();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_GE(*v, 100);
+    EXPECT_LT(*v, 100 + kProcs);
+    // All resolvers agree (resolve repeatedly; value is stable).
+    for (int i = 0; i < 5; ++i) EXPECT_EQ(sa.try_resolve(), v);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BG simulation, crash-free.
+// ---------------------------------------------------------------------------
+
+TEST(BgSimulation, CrashFreeCompletesEverySimulatedProcessor) {
+  for (int trial = 0; trial < 10; ++trial) {
+    BgConfig config;
+    config.n_simulators = 2;
+    config.n_simulated = 3;
+    config.rounds = 2;
+    BgOutcome out = run_bg_simulation(config);
+    EXPECT_EQ(out.blocked, 0);
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_EQ(out.rounds_completed[static_cast<std::size_t>(j)], 2);
+    }
+    EXPECT_TRUE(out.legal()) << "comparable=" << out.views_comparable
+                             << " self=" << out.self_inclusive
+                             << " monotone=" << out.per_writer_monotone;
+  }
+}
+
+TEST(BgSimulation, MoreSimulatorsThanSimulated) {
+  BgConfig config;
+  config.n_simulators = 4;
+  config.n_simulated = 2;
+  config.rounds = 3;
+  BgOutcome out = run_bg_simulation(config);
+  EXPECT_EQ(out.blocked, 0);
+  EXPECT_TRUE(out.legal());
+}
+
+TEST(BgSimulation, SingleSimulatorRunsSequentially) {
+  BgConfig config;
+  config.n_simulators = 1;
+  config.n_simulated = 4;
+  config.rounds = 2;
+  BgOutcome out = run_bg_simulation(config);
+  EXPECT_EQ(out.blocked, 0);
+  EXPECT_TRUE(out.legal());
+}
+
+TEST(BgSimulation, ViewsFormLegalFullInformationExecution) {
+  BgConfig config;
+  config.n_simulators = 3;
+  config.n_simulated = 3;
+  config.rounds = 3;
+  BgOutcome out = run_bg_simulation(config);
+  ASSERT_EQ(out.blocked, 0);
+  ASSERT_TRUE(out.legal());
+  // Round-0 views contain only round-0 writes with the id values.
+  for (int j = 0; j < 3; ++j) {
+    const SimView& v0 = out.views[static_cast<std::size_t>(j)][0];
+    for (int c = 0; c < 3; ++c) {
+      const auto& cell = v0[static_cast<std::size_t>(c)];
+      if (cell.has_value() && cell->first == 0) {
+        EXPECT_EQ(cell->second, c);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BG simulation with crash injection: at most one simulated processor
+// blocked per crashed simulator.
+// ---------------------------------------------------------------------------
+
+TEST(BgSimulation, OneCrashBlocksAtMostOneSimulatedProcessor) {
+  for (int crash_point : {1, 2, 3, 4}) {
+    BgConfig config;
+    config.n_simulators = 2;
+    config.n_simulated = 3;
+    config.rounds = 2;
+    config.crash_in_sa = {crash_point, -1};
+    config.patience = 400;
+    BgOutcome out = run_bg_simulation(config);
+    EXPECT_LE(out.blocked, 1) << "crash_point=" << crash_point;
+    // The resolved prefix is still a legal execution.
+    EXPECT_TRUE(out.legal()) << "crash_point=" << crash_point;
+    // At least n_simulated - 1 processors finished everything.
+    int done = 0;
+    for (int j = 0; j < 3; ++j) {
+      if (out.rounds_completed[static_cast<std::size_t>(j)] == 2) ++done;
+    }
+    EXPECT_GE(done, 2) << "crash_point=" << crash_point;
+  }
+}
+
+TEST(BgSimulation, TwoCrashesBlockAtMostTwo) {
+  BgConfig config;
+  config.n_simulators = 3;
+  config.n_simulated = 4;
+  config.rounds = 2;
+  config.crash_in_sa = {1, 3, -1};
+  config.patience = 400;
+  BgOutcome out = run_bg_simulation(config);
+  EXPECT_LE(out.blocked, 2);
+  EXPECT_TRUE(out.legal());
+  int done = 0;
+  for (int j = 0; j < 4; ++j) {
+    if (out.rounds_completed[static_cast<std::size_t>(j)] == 2) ++done;
+  }
+  EXPECT_GE(done, 2);
+}
+
+TEST(BgSimulation, AllSimulatorsCrashingStallsButStaysLegal) {
+  BgConfig config;
+  config.n_simulators = 2;
+  config.n_simulated = 2;
+  config.rounds = 2;
+  config.crash_in_sa = {1, 1};
+  config.patience = 50;
+  BgOutcome out = run_bg_simulation(config);
+  // Nothing resolved (both died in their first window) -- and the empty
+  // execution is trivially legal.
+  EXPECT_TRUE(out.legal());
+  EXPECT_EQ(out.blocked, 2);
+}
+
+TEST(BgSimulation, ValidatesConfig) {
+  BgConfig config;
+  config.n_simulators = 2;
+  config.crash_in_sa = {1};  // wrong arity
+  EXPECT_THROW((void)run_bg_simulation(config), std::invalid_argument);
+  BgConfig bad_rounds;
+  bad_rounds.rounds = 0;
+  EXPECT_THROW((void)run_bg_simulation(bad_rounds), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wfc::bg

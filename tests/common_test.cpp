@@ -1,0 +1,263 @@
+// Unit tests for the common substrate: ColorSet, Rng, and linear algebra.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/assert.hpp"
+#include "common/color_set.hpp"
+#include "common/linalg.hpp"
+#include "common/rng.hpp"
+
+namespace wfc {
+namespace {
+
+TEST(ColorSet, EmptyAndSingle) {
+  ColorSet empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.size(), 0);
+
+  ColorSet s = ColorSet::single(5);
+  EXPECT_EQ(s.size(), 1);
+  EXPECT_TRUE(s.contains(5));
+  EXPECT_FALSE(s.contains(4));
+}
+
+TEST(ColorSet, FullSet) {
+  ColorSet f = ColorSet::full(4);
+  EXPECT_EQ(f.size(), 4);
+  for (Color c = 0; c < 4; ++c) EXPECT_TRUE(f.contains(c));
+  EXPECT_FALSE(f.contains(4));
+  EXPECT_EQ(ColorSet::full(kMaxColors).size(), kMaxColors);
+}
+
+TEST(ColorSet, WithWithout) {
+  ColorSet s;
+  s = s.with(2).with(7).with(2);
+  EXPECT_EQ(s.size(), 2);
+  s = s.without(2);
+  EXPECT_EQ(s.size(), 1);
+  EXPECT_TRUE(s.contains(7));
+  // Removing an absent color is a no-op.
+  EXPECT_EQ(s.without(3), s);
+}
+
+TEST(ColorSet, SetAlgebra) {
+  ColorSet a{0, 1, 2};
+  ColorSet b{2, 3};
+  EXPECT_EQ(a.unite(b), (ColorSet{0, 1, 2, 3}));
+  EXPECT_EQ(a.intersect(b), ColorSet{2});
+  EXPECT_EQ(a.minus(b), (ColorSet{0, 1}));
+  EXPECT_TRUE((ColorSet{1, 2}).subset_of(a));
+  EXPECT_FALSE(b.subset_of(a));
+  EXPECT_TRUE(ColorSet().subset_of(a));
+}
+
+TEST(ColorSet, IterationInOrder) {
+  ColorSet s{9, 1, 4};
+  std::vector<Color> got(s.begin(), s.end());
+  EXPECT_EQ(got, (std::vector<Color>{1, 4, 9}));
+  EXPECT_EQ(s.min(), 1);
+}
+
+TEST(ColorSet, ToString) {
+  EXPECT_EQ((ColorSet{2, 0}).to_string(), "{0,2}");
+  EXPECT_EQ(ColorSet().to_string(), "{}");
+}
+
+TEST(ColorSet, RangeChecks) {
+  EXPECT_THROW(ColorSet::single(-1), std::invalid_argument);
+  EXPECT_THROW(ColorSet::single(32), std::invalid_argument);
+  EXPECT_THROW((void)ColorSet().min(), std::invalid_argument);
+}
+
+TEST(ColorSet, SubsetEnumerationCount) {
+  int count = 0;
+  for_each_nonempty_subset(ColorSet::full(5), [&](ColorSet s) {
+    EXPECT_FALSE(s.empty());
+    EXPECT_TRUE(s.subset_of(ColorSet::full(5)));
+    ++count;
+  });
+  EXPECT_EQ(count, 31);  // 2^5 - 1
+}
+
+TEST(ColorSet, SubsetEnumerationDistinct) {
+  std::set<std::uint32_t> seen;
+  for_each_nonempty_subset(ColorSet{1, 3, 6}, [&](ColorSet s) {
+    EXPECT_TRUE(seen.insert(s.mask()).second);
+  });
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(13), 13u);
+  }
+  EXPECT_THROW(rng.below(0), std::invalid_argument);
+}
+
+TEST(Rng, BetweenCoversRange) {
+  Rng rng(3);
+  std::set<int> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.between(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UnitInHalfOpenInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6};
+  auto orig = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Linalg, SolveIdentity) {
+  linalg::Matrix a(2, 2);
+  a.at(0, 0) = 1;
+  a.at(1, 1) = 1;
+  std::vector<double> x;
+  ASSERT_TRUE(linalg::solve(a, {3.0, -2.0}, x));
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], -2.0, 1e-12);
+}
+
+TEST(Linalg, SolveGeneral) {
+  // 2x + y = 5; x - y = 1  =>  x = 2, y = 1.
+  linalg::Matrix a(2, 2);
+  a.at(0, 0) = 2;
+  a.at(0, 1) = 1;
+  a.at(1, 0) = 1;
+  a.at(1, 1) = -1;
+  std::vector<double> x;
+  ASSERT_TRUE(linalg::solve(a, {5.0, 1.0}, x));
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(Linalg, SolveSingular) {
+  linalg::Matrix a(2, 2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 2;
+  a.at(1, 1) = 4;
+  std::vector<double> x;
+  EXPECT_FALSE(linalg::solve(a, {1.0, 2.0}, x));
+}
+
+TEST(Linalg, SolveNeedsPivoting) {
+  // Zero on the diagonal forces a row swap.
+  linalg::Matrix a(2, 2);
+  a.at(0, 0) = 0;
+  a.at(0, 1) = 1;
+  a.at(1, 0) = 1;
+  a.at(1, 1) = 0;
+  std::vector<double> x;
+  ASSERT_TRUE(linalg::solve(a, {7.0, 9.0}, x));
+  EXPECT_NEAR(x[0], 9.0, 1e-12);
+  EXPECT_NEAR(x[1], 7.0, 1e-12);
+}
+
+TEST(Linalg, Determinant) {
+  linalg::Matrix a(3, 3);
+  // Diagonal 2, 3, 4 -> det 24.
+  a.at(0, 0) = 2;
+  a.at(1, 1) = 3;
+  a.at(2, 2) = 4;
+  EXPECT_NEAR(linalg::determinant(a), 24.0, 1e-9);
+  // Swap two rows -> sign flips.
+  linalg::Matrix b(2, 2);
+  b.at(0, 1) = 1;
+  b.at(1, 0) = 1;
+  EXPECT_NEAR(linalg::determinant(b), -1.0, 1e-12);
+}
+
+TEST(Linalg, BarycentricInsideTriangle) {
+  // Unit barycentric frame in R^3.
+  std::vector<std::vector<double>> verts = {
+      {1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+  std::vector<double> out;
+  ASSERT_TRUE(linalg::barycentric_coords(verts, {0.2, 0.3, 0.5}, out));
+  EXPECT_NEAR(out[0], 0.2, 1e-9);
+  EXPECT_NEAR(out[1], 0.3, 1e-9);
+  EXPECT_NEAR(out[2], 0.5, 1e-9);
+  EXPECT_TRUE(linalg::coords_nonnegative(out));
+}
+
+TEST(Linalg, BarycentricOutside) {
+  std::vector<std::vector<double>> verts = {
+      {1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+  std::vector<double> out;
+  ASSERT_TRUE(linalg::barycentric_coords(verts, {1.5, -0.25, -0.25}, out));
+  EXPECT_FALSE(linalg::coords_nonnegative(out));
+}
+
+TEST(Linalg, BarycentricSubSimplexInAmbient) {
+  // An edge inside the 2-simplex coordinate frame: point on the edge.
+  std::vector<std::vector<double>> verts = {{1, 0, 0}, {0, 1, 0}};
+  std::vector<double> out;
+  ASSERT_TRUE(linalg::barycentric_coords(verts, {0.75, 0.25, 0.0}, out));
+  EXPECT_NEAR(out[0], 0.75, 1e-9);
+  EXPECT_NEAR(out[1], 0.25, 1e-9);
+}
+
+TEST(Linalg, BarycentricOffAffineHullRejected) {
+  std::vector<std::vector<double>> verts = {{1, 0, 0}, {0, 1, 0}};
+  std::vector<double> out;
+  // This point has weight on the third corner: not in the edge's hull.
+  EXPECT_FALSE(linalg::barycentric_coords(verts, {0.4, 0.3, 0.3}, out));
+}
+
+TEST(Linalg, BarycentricPointSimplex) {
+  std::vector<std::vector<double>> verts = {{0.5, 0.5, 0.0}};
+  std::vector<double> out;
+  EXPECT_TRUE(linalg::barycentric_coords(verts, {0.5, 0.5, 0.0}, out));
+  EXPECT_FALSE(linalg::barycentric_coords(verts, {0.4, 0.6, 0.0}, out));
+}
+
+TEST(Linalg, SimplexVolumeTriangle) {
+  // Right triangle with legs 1,1 in R^2: area 0.5.
+  std::vector<std::vector<double>> verts = {{0, 0}, {1, 0}, {0, 1}};
+  EXPECT_NEAR(linalg::simplex_volume(verts), 0.5, 1e-12);
+}
+
+TEST(Linalg, SimplexVolumeEmbedded) {
+  // The same unit segment measured in a 3-dimensional ambient space.
+  std::vector<std::vector<double>> verts = {{0, 0, 0}, {1, 0, 0}};
+  EXPECT_NEAR(linalg::simplex_volume(verts), 1.0, 1e-12);
+  std::vector<std::vector<double>> diag = {{0, 0, 0}, {1, 1, 0}};
+  EXPECT_NEAR(linalg::simplex_volume(diag), std::sqrt(2.0), 1e-12);
+}
+
+TEST(Linalg, SimplexVolumeDegenerate) {
+  std::vector<std::vector<double>> verts = {{0, 0}, {1, 1}, {2, 2}};
+  EXPECT_NEAR(linalg::simplex_volume(verts), 0.0, 1e-12);
+}
+
+TEST(Assertions, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(WFC_REQUIRE(false, "boom"), std::invalid_argument);
+  EXPECT_NO_THROW(WFC_REQUIRE(true, "fine"));
+}
+
+TEST(Assertions, CheckThrowsLogicError) {
+  EXPECT_THROW(WFC_CHECK(false, "bug"), std::logic_error);
+  EXPECT_NO_THROW(WFC_CHECK(true, "fine"));
+}
+
+}  // namespace
+}  // namespace wfc

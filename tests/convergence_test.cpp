@@ -1,0 +1,204 @@
+// Tests for §5: simplicial approximation (Lemma 2.1 / Theorem 5.1 in
+// executable form), the SDS -> Bsd canonical map (Lemma 5.3's first step),
+// and simplex agreement solved by convergence-map compilation (Cor 5.2).
+#include <gtest/gtest.h>
+
+#include "convergence/approximation.hpp"
+#include "convergence/convergence.hpp"
+#include "runtime/adversary.hpp"
+#include "tasks/decision_protocol.hpp"
+#include "topology/simplicial_map.hpp"
+#include "topology/subdivision.hpp"
+
+namespace wfc::conv {
+namespace {
+
+using topo::base_simplex;
+using topo::ChromaticComplex;
+
+// ---------------------------------------------------------------------------
+// Chromatic approximation (Theorem 5.1).
+// ---------------------------------------------------------------------------
+
+TEST(ChromaticApproximation, IdentityTargetLevelOne) {
+  // Target A = SDS(s^n): the identity at k = 1 satisfies the star condition.
+  for (int n_plus_1 = 2; n_plus_1 <= 3; ++n_plus_1) {
+    ChromaticComplex base = base_simplex(n_plus_1);
+    ChromaticComplex target = topo::standard_chromatic_subdivision(base);
+    ApproximationResult r = chromatic_approximation(target, base);
+    ASSERT_TRUE(r.found) << "n+1=" << n_plus_1;
+    EXPECT_EQ(r.level, 1);
+    EXPECT_TRUE(verify_approximation(r, target, /*chromatic=*/true));
+  }
+}
+
+TEST(ChromaticApproximation, DeeperTargetNeedsDeeperLevel) {
+  ChromaticComplex base = base_simplex(2);
+  ChromaticComplex target = topo::iterated_sds(base, 2);
+  ApproximationResult r = chromatic_approximation(target, base);
+  ASSERT_TRUE(r.found);
+  EXPECT_GE(r.level, 2);
+  EXPECT_TRUE(verify_approximation(r, target, /*chromatic=*/true));
+}
+
+TEST(ChromaticApproximation, TriangleDeepTarget) {
+  ChromaticComplex base = base_simplex(3);
+  ChromaticComplex target = topo::iterated_sds(base, 2);
+  ApproximationResult r = chromatic_approximation(target, base);
+  ASSERT_TRUE(r.found);
+  EXPECT_GE(r.level, 2);
+  EXPECT_TRUE(verify_approximation(r, target, /*chromatic=*/true));
+  EXPECT_GT(r.star_checks, 0u);
+}
+
+TEST(ChromaticApproximation, TrivialTargetBase) {
+  // Target = the base itself (every processor must output its corner).
+  ChromaticComplex base = base_simplex(3);
+  ApproximationResult r = chromatic_approximation(base, base);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.level, 1);
+  // All vertices of a given color map to that corner.
+  for (topo::VertexId v = 0; v < r.source.num_vertices(); ++v) {
+    EXPECT_EQ(base.vertex(r.image[v]).color, r.source.vertex(v).color);
+  }
+}
+
+TEST(ChromaticApproximation, RespectsMaxLevel) {
+  ChromaticComplex base = base_simplex(2);
+  ChromaticComplex target = topo::iterated_sds(base, 3);
+  ApproximationOptions opts;
+  opts.max_level = 1;  // too shallow for an SDS^3 target
+  ApproximationResult r = chromatic_approximation(target, base, opts);
+  EXPECT_FALSE(r.found);
+  EXPECT_EQ(r.level, -1);
+}
+
+// ---------------------------------------------------------------------------
+// Barycentric approximation (Lemma 2.1).
+// ---------------------------------------------------------------------------
+
+TEST(BarycentricApproximation, EdgeIntoSds) {
+  ChromaticComplex base = base_simplex(2);
+  ChromaticComplex target = topo::standard_chromatic_subdivision(base);
+  ApproximationResult r = barycentric_approximation(target, base);
+  ASSERT_TRUE(r.found);
+  // Bsd(s^1)'s midpoint has no target vertex whose star covers its star;
+  // Bsd^2 refines enough (see the worked example in the module docs).
+  EXPECT_EQ(r.level, 2);
+  EXPECT_TRUE(verify_approximation(r, target, /*chromatic=*/false));
+}
+
+TEST(BarycentricApproximation, TriangleIntoSds) {
+  // Bsd shrinks mesh by only n/(n+1) per level and its corner facets keep a
+  // fixed angular spread, so the 2-dimensional case needs several levels
+  // before every Bsd star fits inside an SDS star.
+  ChromaticComplex base = base_simplex(3);
+  ChromaticComplex target = topo::standard_chromatic_subdivision(base);
+  ApproximationOptions opts;
+  opts.max_level = 6;
+  ApproximationResult r = barycentric_approximation(target, base, opts);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.level, 5);
+  EXPECT_TRUE(verify_approximation(r, target, /*chromatic=*/false));
+}
+
+TEST(BarycentricApproximation, IntoBsdTarget) {
+  ChromaticComplex base = base_simplex(2);
+  ChromaticComplex target = topo::iterated_bsd(base, 2);
+  ApproximationResult r = barycentric_approximation(target, base);
+  ASSERT_TRUE(r.found);
+  EXPECT_TRUE(verify_approximation(r, target, /*chromatic=*/false));
+}
+
+// ---------------------------------------------------------------------------
+// SDS -> Bsd canonical map (Lemma 5.3, step one).
+// ---------------------------------------------------------------------------
+
+TEST(SdsToBsd, CarrierPreservingSimplicial) {
+  for (int n_plus_1 = 2; n_plus_1 <= 4; ++n_plus_1) {
+    ChromaticComplex base = base_simplex(n_plus_1);
+    ChromaticComplex sds = topo::standard_chromatic_subdivision(base);
+    ChromaticComplex bsd = topo::barycentric_subdivision(base);
+    auto image = sds_to_bsd_map(sds, bsd);
+    topo::SimplicialMap map(sds, bsd);
+    for (topo::VertexId v = 0; v < sds.num_vertices(); ++v) {
+      ASSERT_NE(image[v], topo::kNoVertex);
+      map.set(v, image[v]);
+    }
+    EXPECT_TRUE(map.is_simplicial()) << "n+1=" << n_plus_1;
+    EXPECT_TRUE(map.is_carrier_monotone()) << "n+1=" << n_plus_1;
+    // Strict carrier preservation holds for this canonical map: the
+    // barycenter of sigma spans exactly sigma's colors.
+    EXPECT_TRUE(map.is_carrier_preserving_strict()) << "n+1=" << n_plus_1;
+  }
+}
+
+TEST(SdsToBsd, CollapsesColors) {
+  // The map is NOT color preserving (Bsd is dimension-colored); it may also
+  // collapse dimension: (P0, {0,1}) and (P1, {0,1}) share a barycenter.
+  ChromaticComplex base = base_simplex(2);
+  ChromaticComplex sds = topo::standard_chromatic_subdivision(base);
+  ChromaticComplex bsd = topo::barycentric_subdivision(base);
+  auto image = sds_to_bsd_map(sds, bsd);
+  // The two middle vertices of SDS(s^1) both map to the edge barycenter.
+  std::vector<topo::VertexId> middles;
+  for (topo::VertexId v = 0; v < sds.num_vertices(); ++v) {
+    if (sds.vertex(v).carrier == ColorSet::full(2)) middles.push_back(v);
+  }
+  ASSERT_EQ(middles.size(), 2u);
+  EXPECT_EQ(image[middles[0]], image[middles[1]]);
+}
+
+// ---------------------------------------------------------------------------
+// Simplex agreement by convergence (Corollary 5.2, constructive direction).
+// ---------------------------------------------------------------------------
+
+TEST(ConvergenceProtocol, SolvesSimplexAgreementWithoutSearch) {
+  auto target = topo::iterated_sds(base_simplex(3), 1);
+  task::SimplexAgreementTask t(3, target);
+  task::SolveResult r = solve_simplex_agreement_by_convergence(t);
+  ASSERT_EQ(r.status, task::Solvability::kSolvable);
+  EXPECT_EQ(r.level, 1);
+  task::DecisionProtocol proto(t, std::move(r));
+  EXPECT_EQ(proto.validate_exhaustively({0, 1, 2}), 13u);
+  EXPECT_EQ(proto.validate_exhaustively(topo::make_simplex({0, 2})), 3u);
+}
+
+TEST(ConvergenceProtocol, DeepTargetAllExecutionsValid) {
+  auto target = topo::iterated_sds(base_simplex(2), 3);
+  task::SimplexAgreementTask t(2, target);
+  ApproximationOptions opts;
+  opts.max_level = 5;
+  task::SolveResult r = solve_simplex_agreement_by_convergence(t, opts);
+  ASSERT_EQ(r.status, task::Solvability::kSolvable);
+  EXPECT_GE(r.level, 3);
+  task::DecisionProtocol proto(t, std::move(r));
+  proto.validate_exhaustively({0, 1});
+}
+
+TEST(ConvergenceProtocol, RunsUnderAdversariesAndThreads) {
+  auto target = topo::iterated_sds(base_simplex(3), 1);
+  task::SimplexAgreementTask t(3, target);
+  task::SolveResult r = solve_simplex_agreement_by_convergence(t);
+  ASSERT_EQ(r.status, task::Solvability::kSolvable);
+  task::DecisionProtocol proto(t, std::move(r));
+  rt::RandomAdversary adv(21);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(proto.run_simulated({0, 1, 2}, adv).valid);
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(proto.run_threads({0, 1, 2}).valid);
+  }
+}
+
+TEST(ConvergenceProtocol, ThrowsWhenLevelTooSmall) {
+  auto target = topo::iterated_sds(base_simplex(2), 3);
+  task::SimplexAgreementTask t(2, target);
+  ApproximationOptions opts;
+  opts.max_level = 1;
+  EXPECT_THROW(solve_simplex_agreement_by_convergence(t, opts),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace wfc::conv

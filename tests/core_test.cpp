@@ -1,0 +1,89 @@
+// Tests for the Characterization facade.
+#include <gtest/gtest.h>
+
+#include "core/wfc.hpp"
+
+namespace wfc {
+namespace {
+
+TEST(Characterize, SolvableTaskFullReport) {
+  auto target = topo::standard_chromatic_subdivision(topo::base_simplex(3));
+  task::SimplexAgreementTask t(3, target);
+  CharacterizationReport rep = characterize(t);
+  EXPECT_EQ(rep.status, task::Solvability::kSolvable);
+  EXPECT_EQ(rep.level, 1);
+  EXPECT_TRUE(rep.map_simplicial);
+  EXPECT_TRUE(rep.map_color_preserving);
+  // Faces of the input simplex: 7 (3 solo + 3 pairs + 1 full); executions:
+  // 3*1 + 3*3 + 13 = 25.
+  EXPECT_EQ(rep.executions_validated, 25u);
+  EXPECT_NE(rep.summary(t.name()).find("SOLVABLE"), std::string::npos);
+}
+
+TEST(Characterize, UnsolvableTask) {
+  task::ConsensusTask t(2, 2);
+  CharacterizationReport rep = characterize(t);
+  EXPECT_EQ(rep.status, task::Solvability::kUnsolvable);
+  EXPECT_NE(rep.summary(t.name()).find("UNSOLVABLE"), std::string::npos);
+}
+
+TEST(Characterize, UnknownOnTinyBudget) {
+  // Consensus is refuted by root propagation without branching, so use a
+  // task that genuinely needs search: simplex agreement branches at least
+  // twice before any verdict, exceeding a 1-node budget.
+  auto target = topo::standard_chromatic_subdivision(topo::base_simplex(3));
+  task::SimplexAgreementTask t(3, target);
+  CharacterizeOptions opts;
+  opts.max_level = 1;
+  opts.solve.node_budget = 1;
+  CharacterizationReport rep = characterize(t, opts);
+  EXPECT_EQ(rep.status, task::Solvability::kUnknown);
+  EXPECT_NE(rep.summary(t.name()).find("UNKNOWN"), std::string::npos);
+}
+
+TEST(Characterize, LevelZeroSolvableSkipsRounds) {
+  task::IdentityTask t(topo::base_simplex(3));
+  CharacterizationReport rep = characterize(t);
+  EXPECT_EQ(rep.status, task::Solvability::kSolvable);
+  EXPECT_EQ(rep.level, 0);
+  EXPECT_EQ(rep.executions_validated, 7u);  // one "execution" per face
+}
+
+TEST(Characterize, ValidationCanBeDisabled) {
+  task::IdentityTask t(topo::base_simplex(3));
+  CharacterizeOptions opts;
+  opts.validate_runs = false;
+  CharacterizationReport rep = characterize(t, opts);
+  EXPECT_EQ(rep.status, task::Solvability::kSolvable);
+  EXPECT_EQ(rep.executions_validated, 0u);
+}
+
+TEST(Characterize, TwoProcCrossCheckRuns) {
+  // Unsolvable 2-processor task: both deciders agree.
+  task::ConsensusTask consensus(2, 2);
+  CharacterizationReport rep = characterize(consensus);
+  EXPECT_TRUE(rep.two_proc_checked);
+  EXPECT_TRUE(rep.two_proc_agrees);
+  EXPECT_NE(rep.summary(consensus.name()).find("criterion agrees"),
+            std::string::npos);
+
+  // Solvable 2-processor task at matching level.
+  task::ApproxAgreementTask approx(2, 3);
+  CharacterizationReport rep2 = characterize(approx);
+  EXPECT_TRUE(rep2.two_proc_checked);
+  EXPECT_TRUE(rep2.two_proc_agrees);
+
+  // 3-processor tasks skip the cross-check.
+  task::KSetConsensusTask t33(3, 3);
+  CharacterizeOptions opts3;
+  opts3.max_level = 1;
+  CharacterizationReport rep3 = characterize(t33, opts3);
+  EXPECT_FALSE(rep3.two_proc_checked);
+}
+
+TEST(Version, NonEmpty) {
+  EXPECT_NE(std::string(version()).find("wfc"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wfc

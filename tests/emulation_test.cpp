@@ -1,0 +1,345 @@
+// Tests for the §4 emulation (Figure 2): tuple-set algebra, the emulator
+// state machine, history validity under many adversaries and on real
+// threads, the starvation behaviour the paper warns about (nonblocking, not
+// wait-free), and the history checker's own error detection.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "emulation/emulator.hpp"
+#include "emulation/history.hpp"
+#include "runtime/sim_snapshot.hpp"
+
+namespace wfc::emu {
+namespace {
+
+// ---------------------------------------------------------------------------
+// TupleSet.
+// ---------------------------------------------------------------------------
+
+TEST(TupleSet, BasicAlgebra) {
+  Tuple a{0, 1, false, 42};
+  Tuple b{1, 1, false, 43};
+  Tuple c{0, 1, true, 0};
+  TupleSet s({a, b});
+  EXPECT_TRUE(s.contains(a));
+  EXPECT_FALSE(s.contains(c));
+  EXPECT_EQ(s.size(), 2u);
+
+  TupleSet t({b, c});
+  EXPECT_EQ(s.unite(t).size(), 3u);
+  EXPECT_EQ(s.intersect(t).size(), 1u);
+  EXPECT_TRUE(s.intersect(t).contains(b));
+  EXPECT_TRUE(TupleSet({b}).subset_of(s));
+  EXPECT_FALSE(s.subset_of(t));
+}
+
+TEST(TupleSet, WithIsIdempotent) {
+  Tuple a{2, 3, false, 7};
+  TupleSet s;
+  s = s.with(a).with(a);
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(TupleSet, DuplicatesNormalized) {
+  Tuple a{0, 1, false, 5};
+  TupleSet s({a, a, a});
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(TupleSet, PlaceholderDistinctFromValue) {
+  Tuple w{0, 1, false, 0};
+  Tuple ph{0, 1, true, 0};
+  TupleSet s({w});
+  EXPECT_FALSE(s.contains(ph));
+  EXPECT_EQ(s.with(ph).size(), 2u);
+}
+
+TEST(TupleSet, UnionIntersectionHelpers) {
+  std::vector<TupleSet> sets = {
+      TupleSet({Tuple{0, 1, false, 1}, Tuple{1, 1, false, 2}}),
+      TupleSet({Tuple{0, 1, false, 1}}),
+  };
+  EXPECT_EQ(union_of(sets.begin(), sets.end()).size(), 2u);
+  EXPECT_EQ(intersection_of(sets.begin(), sets.end()).size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Emulation runs: validity under every adversary style.
+// ---------------------------------------------------------------------------
+
+int generous_rounds(int n, int k) { return 64 + 16 * n * k; }
+
+TEST(Emulation, SynchronousHistoryValid) {
+  for (int n = 2; n <= 4; ++n) {
+    for (int k = 1; k <= 3; ++k) {
+      FullInfoClient client(k);
+      rt::SynchronousAdversary adv;
+      EmulationResult res = run_emulation_simulated(
+          n, adv, generous_rounds(n, k), client.init(), client.on_scan());
+      HistoryReport rep = check_history(res);
+      EXPECT_TRUE(rep.ok()) << "n=" << n << " k=" << k << ": " << rep.violation;
+      // Every processor completed 2k operations.
+      for (const auto& log : res.ops) EXPECT_EQ(log.size(), 2u * k);
+    }
+  }
+}
+
+TEST(Emulation, SequentialHistoryValid) {
+  for (int n = 2; n <= 3; ++n) {
+    FullInfoClient client(2);
+    rt::SequentialAdversary adv;
+    EmulationResult res = run_emulation_simulated(
+        n, adv, generous_rounds(n, 2), client.init(), client.on_scan());
+    HistoryReport rep = check_history(res);
+    EXPECT_TRUE(rep.ok()) << rep.violation;
+  }
+}
+
+TEST(Emulation, RotatingHistoryValid) {
+  FullInfoClient client(2);
+  rt::RotatingAdversary adv;
+  EmulationResult res = run_emulation_simulated(
+      3, adv, generous_rounds(3, 2), client.init(), client.on_scan());
+  EXPECT_TRUE(check_history(res).ok());
+}
+
+TEST(Emulation, RandomHistoriesValid) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    FullInfoClient client(2);
+    rt::RandomAdversary adv(seed);
+    EmulationResult res = run_emulation_simulated(
+        3, adv, generous_rounds(3, 2), client.init(), client.on_scan());
+    HistoryReport rep = check_history(res);
+    EXPECT_TRUE(rep.ok()) << "seed=" << seed << ": " << rep.violation;
+  }
+}
+
+TEST(Emulation, RealThreadHistoriesValid) {
+  for (int trial = 0; trial < 20; ++trial) {
+    FullInfoClient client(2);
+    EmulationResult res = run_emulation_threads(
+        3, generous_rounds(3, 2), client.init(), client.on_scan());
+    HistoryReport rep = check_history(res);
+    EXPECT_TRUE(rep.ok()) << "trial " << trial << ": " << rep.violation;
+  }
+}
+
+TEST(Emulation, SoloProcessor) {
+  FullInfoClient client(3);
+  rt::SynchronousAdversary adv;
+  EmulationResult res =
+      run_emulation_simulated(1, adv, 32, client.init(), client.on_scan());
+  EXPECT_TRUE(check_history(res).ok());
+  EXPECT_EQ(res.ops[0].size(), 6u);
+  // Solo: every round completes an operation -- 2 ops per... the write
+  // completes in one memory, the read in the next.
+  EXPECT_LE(res.rounds_used, 7);
+}
+
+// The paper's closing §4 remark, demonstrated: under the sequential
+// adversary the fastest processor steams ahead while slower ones retry;
+// once it halts (k-shot boundedness, Lemma 3.1), the others progress.
+TEST(Emulation, FastProcessorDelaysSlowOnes) {
+  FullInfoClient client(1);
+  rt::SequentialAdversary adv;
+  EmulationResult res =
+      run_emulation_simulated(2, adv, 64, client.init(), client.on_scan());
+  ASSERT_TRUE(check_history(res).ok());
+  const auto& p0 = res.ops[0];
+  const auto& p1 = res.ops[1];
+  ASSERT_EQ(p0.size(), 2u);
+  ASSERT_EQ(p1.size(), 2u);
+  // P0 (always scheduled first, sees only itself) finishes before P1
+  // completes anything.
+  EXPECT_LT(p0.back().end_round, p1.front().end_round);
+  // P1 burned extra IIS rounds retrying.
+  EXPECT_GT(res.iis_steps[1], res.iis_steps[0]);
+}
+
+TEST(Emulation, ThrowsWhenStarvedPastCap) {
+  // With max_rounds too small for the sequential schedule, the run aborts
+  // with the "still running" logic error rather than mis-reporting.
+  FullInfoClient client(3);
+  rt::SequentialAdversary adv;
+  EXPECT_THROW(run_emulation_simulated(3, adv, 4, client.init(),
+                                       client.on_scan()),
+               std::logic_error);
+}
+
+// Emulated full-information views must match what the DIRECT atomic
+// snapshot model produces for some schedule: compare against the direct
+// simulation on a fair schedule under the synchronous adversary.
+TEST(Emulation, SynchronousMatchesDirectFairSchedule) {
+  constexpr int kProcs = 3;
+  // Direct model: everyone writes, then everyone scans, twice.
+  std::vector<std::vector<std::optional<int>>> direct_first(kProcs);
+  std::function<int(int)> init = [](int p) { return p; };
+  std::function<rt::Step<int>(int, int, const rt::MemoryView<int>&)> on_scan =
+      [&](int p, int k, const rt::MemoryView<int>& view) {
+        if (k == 1) {
+          direct_first[static_cast<std::size_t>(p)] = view;
+          return rt::Step<int>::halt();
+        }
+        return rt::Step<int>::cont(0);
+      };
+  rt::run_snapshot_model<int>(kProcs, rt::fair_schedule(kProcs, 2), init,
+                              on_scan);
+
+  FullInfoClient client(1);
+  rt::SynchronousAdversary adv;
+  EmulationResult res = run_emulation_simulated(kProcs, adv, 32, client.init(),
+                                                client.on_scan());
+  ASSERT_TRUE(check_history(res).ok());
+  // Under the synchronous adversary every emulated first scan sees all
+  // first-round writes -- the same full view as the direct fair schedule.
+  for (int p = 0; p < kProcs; ++p) {
+    const EmulatedOp& snap = res.ops[static_cast<std::size_t>(p)][1];
+    ASSERT_FALSE(snap.is_write);
+    for (int q = 0; q < kProcs; ++q) {
+      ASSERT_TRUE(snap.view[static_cast<std::size_t>(q)].has_value());
+      EXPECT_EQ(snap.view[static_cast<std::size_t>(q)]->second,
+                *direct_first[static_cast<std::size_t>(p)]
+                             [static_cast<std::size_t>(q)]);
+    }
+  }
+}
+
+TEST(Emulation, LateVictimStarvesUntilOthersHalt) {
+  // The LateAdversary keeps processor 2 in the last block of every round:
+  // it sees everyone's sets but nobody adopts its tuples until the others
+  // halt, so it completes nothing before they do.
+  FullInfoClient client(1);
+  rt::LateAdversary adv(2);
+  EmulationResult res = run_emulation_simulated(3, adv, 96, client.init(),
+                                                client.on_scan());
+  ASSERT_TRUE(check_history(res).ok());
+  const int victim_first_done = res.ops[2].front().end_round;
+  for (int p = 0; p < 2; ++p) {
+    EXPECT_LT(res.ops[static_cast<std::size_t>(p)].back().end_round,
+              victim_first_done);
+  }
+}
+
+// A second, non-full-information client: running maximum.  Each processor
+// writes its input, then k times scans and writes the max value it saw.
+// The emulation must serve any deterministic client, not just full-info.
+TEST(Emulation, MaxRegisterClientConverges) {
+  constexpr int kProcs = 4;
+  constexpr int kShots = 3;
+  std::function<int(int)> init = [](int p) { return 10 * (p + 1); };
+  auto on_scan = [](int, int k, const rt::MemoryView<int>& view) {
+    int best = 0;
+    for (const auto& cell : view) {
+      if (cell.has_value()) best = std::max(best, *cell);
+    }
+    if (k >= kShots) return rt::Step<int>::halt();
+    return rt::Step<int>::cont(best);
+  };
+  rt::SynchronousAdversary adv;
+  EmulationResult res = run_emulation_simulated(
+      kProcs, adv, 128, init, EmulatorCore::OnScan(on_scan));
+  ASSERT_TRUE(check_history(res).ok());
+  // Under the synchronous schedule everyone saw everyone's first write, so
+  // by the second write every cell carries the global max.
+  for (const auto& log : res.ops) {
+    const EmulatedOp& last_snap = log.back();
+    ASSERT_FALSE(last_snap.is_write);
+    for (const auto& cell : last_snap.view) {
+      ASSERT_TRUE(cell.has_value());
+      EXPECT_EQ(cell->second, 10 * kProcs);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// History checker error detection.
+// ---------------------------------------------------------------------------
+
+EmulationResult valid_run() {
+  FullInfoClient client(2);
+  rt::SynchronousAdversary adv;
+  return run_emulation_simulated(3, adv, 96, client.init(), client.on_scan());
+}
+
+TEST(HistoryChecker, DetectsGhostValue) {
+  EmulationResult res = valid_run();
+  // Corrupt a snapshot to claim a value nobody wrote.
+  for (auto& log : res.ops) {
+    for (auto& op : log) {
+      if (!op.is_write && op.view[0].has_value()) {
+        op.view[0]->second += 999;
+        HistoryReport rep = check_history(res);
+        EXPECT_FALSE(rep.values_faithful);
+        EXPECT_FALSE(rep.ok());
+        return;
+      }
+    }
+  }
+  FAIL() << "no snapshot found to corrupt";
+}
+
+TEST(HistoryChecker, DetectsMissingSelfInclusion) {
+  EmulationResult res = valid_run();
+  for (auto& op : res.ops[1]) {
+    if (!op.is_write) {
+      op.view[1].reset();
+      break;
+    }
+  }
+  HistoryReport rep = check_history(res);
+  EXPECT_FALSE(rep.self_inclusion);
+}
+
+TEST(HistoryChecker, DetectsStaleRead) {
+  EmulationResult res = valid_run();
+  // Find a second snapshot and roll back its view of another processor that
+  // wrote twice before it started.
+  for (auto& op : res.ops[0]) {
+    if (!op.is_write && op.seq == 2 && op.view[1].has_value() &&
+        op.view[1]->first >= 2) {
+      op.view[1] = std::make_pair(0, 0);
+      break;
+    }
+  }
+  HistoryReport rep = check_history(res);
+  EXPECT_FALSE(rep.ok());
+}
+
+TEST(HistoryChecker, DetectsIncomparableViews) {
+  EmulationResult res = valid_run();
+  // Hand-craft two incomparable views on distinct processors.
+  EmulatedOp* snap0 = nullptr;
+  EmulatedOp* snap1 = nullptr;
+  for (auto& op : res.ops[0]) {
+    if (!op.is_write) snap0 = &op;
+  }
+  for (auto& op : res.ops[1]) {
+    if (!op.is_write) snap1 = &op;
+  }
+  ASSERT_NE(snap0, nullptr);
+  ASSERT_NE(snap1, nullptr);
+  snap0->view[2] = std::make_pair(99, 0);   // ahead on cell 2
+  snap1->view[2] = std::make_pair(1, 0);
+  snap0->view[1] = std::make_pair(1, 0);    // behind on cell 1
+  snap1->view[1] = std::make_pair(99, 0);
+  HistoryReport rep = check_history(res);
+  EXPECT_FALSE(rep.views_totally_ordered);
+}
+
+TEST(HistoryChecker, DetectsMalformedLog) {
+  EmulationResult res = valid_run();
+  // Duplicate an op: breaks alternation.
+  res.ops[0].push_back(res.ops[0].back());
+  HistoryReport rep = check_history(res);
+  EXPECT_FALSE(rep.well_formed);
+}
+
+TEST(HistoryChecker, AcceptsValidRuns) {
+  HistoryReport rep = check_history(valid_run());
+  EXPECT_TRUE(rep.ok()) << rep.violation;
+  EXPECT_TRUE(rep.violation.empty());
+}
+
+}  // namespace
+}  // namespace wfc::emu

@@ -1,0 +1,144 @@
+// Decision-map extraction: hand-written protocols proven correct by
+// replaying every schedule and checking the induced map against Prop 3.1.
+#include <gtest/gtest.h>
+
+#include "core/wfc.hpp"
+#include "tasks/extraction.hpp"
+
+namespace wfc::task {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A hand-written approximate agreement protocol (2 processors, grid 3^b):
+// carry your value; whenever you see the other processor, jump 2/3 of the
+// way toward its value.  The gap is 3^b initially and divides by 3 each
+// round, so after b rounds adjacent grid points remain.
+// ---------------------------------------------------------------------------
+
+ExtractionProtocol two_thirds_protocol(const ApproxAgreementTask& task) {
+  ExtractionProtocol p;
+  p.init = [&task](Color, topo::VertexId v) { return task.input_value(v); };
+  p.step = [](Color c, int, const rt::IisSnapshot<int>& snap) {
+    int own = 0, other = 0;
+    bool saw_other = false;
+    for (const auto& [color, value] : snap) {
+      if (color == c) {
+        own = value;
+      } else {
+        other = value;
+        saw_other = true;
+      }
+    }
+    if (!saw_other) return own;
+    return own + 2 * (other - own) / 3;
+  };
+  p.decide = [&task](Color c, int state) {
+    const topo::VertexId v = task.output().find_vertex(
+        "P" + std::to_string(c) + "~" + std::to_string(state));
+    WFC_CHECK(v != topo::kNoVertex, "two_thirds: state off the grid");
+    return v;
+  };
+  return p;
+}
+
+TEST(Extraction, TwoThirdsProtocolSolvesApproxAgreement) {
+  for (int b = 1; b <= 3; ++b) {
+    int grid = 1;
+    for (int i = 0; i < b; ++i) grid *= 3;
+    ApproxAgreementTask task(2, grid);
+    ExtractionReport rep =
+        extract_decision_map(task, b, two_thirds_protocol(task));
+    EXPECT_TRUE(rep.ok()) << "b=" << b << ": " << rep.violation;
+  }
+}
+
+TEST(Extraction, ExtractedWitnessRunsLikeASearchedOne) {
+  ApproxAgreementTask task(2, 9);
+  ExtractionReport rep =
+      extract_decision_map(task, 2, two_thirds_protocol(task));
+  ASSERT_TRUE(rep.ok()) << rep.violation;
+  DecisionProtocol protocol(task, std::move(rep.result));
+  topo::VertexId i0 = task.input().find_vertex("P0=0");
+  topo::VertexId i1 = task.input().find_vertex("P1=9");
+  EXPECT_EQ(protocol.validate_exhaustively(topo::make_simplex({i0, i1})), 9u);
+  for (int trial = 0; trial < 5; ++trial) {
+    EXPECT_TRUE(protocol.run_threads(topo::make_simplex({i0, i1})).valid);
+  }
+}
+
+TEST(Extraction, UnderSubdividedProtocolRejected) {
+  // The same rule with ONE round on grid 9 leaves a gap of 3: the extracted
+  // map must fail Delta (outputs farther than 1 apart).
+  ApproxAgreementTask task(2, 9);
+  ExtractionReport rep =
+      extract_decision_map(task, 1, two_thirds_protocol(task));
+  EXPECT_FALSE(rep.ok());
+  EXPECT_FALSE(rep.violation.empty());
+}
+
+// ---------------------------------------------------------------------------
+// A deliberately broken protocol: color-flipping decisions are caught.
+// ---------------------------------------------------------------------------
+
+TEST(Extraction, ColorViolationDetected) {
+  ApproxAgreementTask task(2, 3);
+  ExtractionProtocol p = two_thirds_protocol(task);
+  p.decide = [&task](Color c, int state) {
+    // Decide the OTHER processor's vertex: breaks color preservation.
+    return task.output().find_vertex("P" + std::to_string(1 - c) + "~" +
+                                     std::to_string(state));
+  };
+  ExtractionReport rep = extract_decision_map(task, 1, p);
+  EXPECT_FALSE(rep.color_preserving);
+  EXPECT_FALSE(rep.ok());
+}
+
+TEST(Extraction, ValidityViolationDetected) {
+  // Constant-0 deciders violate range validity on the (9,9) input edge.
+  ApproxAgreementTask task(2, 3);
+  ExtractionProtocol p = two_thirds_protocol(task);
+  p.decide = [&task](Color c, int) {
+    return task.output().find_vertex("P" + std::to_string(c) + "~0");
+  };
+  ExtractionReport rep = extract_decision_map(task, 1, p);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_FALSE(rep.delta_respecting);
+}
+
+// ---------------------------------------------------------------------------
+// The identity protocol for simplex agreement: decide your own SDS vertex.
+// ---------------------------------------------------------------------------
+
+TEST(Extraction, IdentityProtocolSolvesSimplexAgreement) {
+  // Protocol state = current vertex id in the chain; on each round, locate
+  // yourself; decide the vertex you ended on.  The target IS SDS^b(s^n), so
+  // the decision map is the identity -- the cleanest witness there is.
+  const int b = 2;
+  auto target = topo::iterated_sds(topo::base_simplex(2), b);
+  SimplexAgreementTask task(2, target);
+  proto::SdsChain chain(task.input(), b);
+
+  ExtractionProtocol p;
+  p.init = [](Color, topo::VertexId v) { return static_cast<int>(v); };
+  p.step = [&chain](Color c, int round, const rt::IisSnapshot<int>& snap) {
+    topo::Simplex seen;
+    for (const auto& [color, vid] : snap) {
+      seen.push_back(static_cast<topo::VertexId>(vid));
+    }
+    return static_cast<int>(
+        chain.locate(round + 1, c, topo::make_simplex(std::move(seen))));
+  };
+  p.decide = [&task, &chain, b](Color, int state) {
+    // Chain top and task output are the same construction; keys match.
+    const std::string& key =
+        chain.top().vertex(static_cast<topo::VertexId>(state)).key;
+    const topo::VertexId w = task.output().find_vertex(key);
+    WFC_CHECK(w != topo::kNoVertex, "identity: key mismatch");
+    return w;
+  };
+  ExtractionReport rep = extract_decision_map(task, b, p);
+  EXPECT_TRUE(rep.ok()) << rep.violation;
+}
+
+}  // namespace
+}  // namespace wfc::task

@@ -1,0 +1,213 @@
+// Cross-subsystem integration tests:
+//   * Figure 1 run natively on the wait-free AtomicSnapshot object passes
+//     the SAME history checker as the Figure 2 emulation (Prop 4.1's two
+//     sides of the mirror);
+//   * "hole" agreement -- simplex agreement on a punctured subdivision --
+//     is UNSOLVABLE, the complement of Lemma 2.2's no-holes property;
+//   * the chromatic index property: color-and-carrier-preserving simplicial
+//     maps SDS^k(s^n) -> A hit every facet of A an odd number of times
+//     (which is exactly why the puncture cannot be avoided);
+//   * approximate agreement end-to-end: solve, then run on real threads.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/wfc.hpp"
+
+namespace wfc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Figure 1 native vs emulated.
+// ---------------------------------------------------------------------------
+
+TEST(Figure1Native, HistoriesValidOnAtomicSnapshot) {
+  for (int procs : {2, 3, 4}) {
+    for (int shots : {1, 2, 3}) {
+      for (int trial = 0; trial < 5; ++trial) {
+        emu::FullInfoClient client(shots);
+        emu::EmulationResult res =
+            emu::run_figure1_threads(procs, client.init(), client.on_scan());
+        emu::HistoryReport rep = emu::check_history(res);
+        EXPECT_TRUE(rep.ok()) << "procs=" << procs << " shots=" << shots
+                              << ": " << rep.violation;
+        for (const auto& log : res.ops) {
+          EXPECT_EQ(log.size(), 2u * static_cast<unsigned>(shots));
+        }
+      }
+    }
+  }
+}
+
+TEST(Figure1Native, SameCheckerAcceptsBothStacks) {
+  // The identical client protocol, one run natively and one emulated in the
+  // IIS model, both through check_history.
+  emu::FullInfoClient native_client(2);
+  emu::EmulationResult native =
+      emu::run_figure1_threads(3, native_client.init(),
+                               native_client.on_scan());
+  EXPECT_TRUE(emu::check_history(native).ok());
+
+  emu::FullInfoClient emu_client(2);
+  rt::RandomAdversary adv(5);
+  emu::EmulationResult emulated = emu::run_emulation_simulated(
+      3, adv, 256, emu_client.init(), emu_client.on_scan());
+  EXPECT_TRUE(emu::check_history(emulated).ok());
+}
+
+TEST(Figure1Native, LogicalClockOrdersOps) {
+  emu::FullInfoClient client(2);
+  emu::EmulationResult res =
+      emu::run_figure1_threads(2, client.init(), client.on_scan());
+  // Timestamps are globally unique and per-processor increasing.
+  std::map<int, int> seen;
+  for (const auto& log : res.ops) {
+    int prev_end = -1;
+    for (const auto& op : log) {
+      EXPECT_GT(op.start_round, prev_end);
+      EXPECT_GT(op.end_round, op.start_round);
+      prev_end = op.end_round;
+      EXPECT_EQ(++seen[op.start_round], 1);
+      EXPECT_EQ(++seen[op.end_round], 1);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Holes make agreement unsolvable.
+// ---------------------------------------------------------------------------
+
+topo::ChromaticComplex punctured_sds2() {
+  // SDS^2(s^2) minus one fully-interior facet.
+  topo::ChromaticComplex sds2 = topo::iterated_sds(topo::base_simplex(3), 2);
+  for (std::size_t fi = 0; fi < sds2.num_facets(); ++fi) {
+    const topo::Simplex& f = sds2.facets()[fi];
+    bool interior = true;
+    for (topo::VertexId v : f) {
+      if (sds2.vertex(v).carrier != ColorSet::full(3)) interior = false;
+    }
+    if (interior) return topo::drop_facet(sds2, fi);
+  }
+  ADD_FAILURE() << "no interior facet found";
+  return sds2;
+}
+
+TEST(HoleAgreement, PuncturedTargetUnsolvable) {
+  // Simplex agreement on the punctured SDS^2(s^2): every candidate decision
+  // map must cover the missing facet (odd-degree argument), so the search
+  // refutes levels 0..2 exhaustively.  On the UNpunctured target the same
+  // search succeeds at level 2 -- the hole is the only difference.
+  topo::ChromaticComplex holed = punctured_sds2();
+  task::SimplexAgreementTask hole_task(3, holed);
+  for (int level = 0; level <= 2; ++level) {
+    task::SolveResult r = task::solve_at_level(hole_task, level);
+    EXPECT_EQ(r.status, task::Solvability::kUnsolvable) << "level " << level;
+  }
+
+  task::SimplexAgreementTask full_task(
+      3, topo::iterated_sds(topo::base_simplex(3), 2));
+  EXPECT_EQ(task::solve_at_level(full_task, 2).status,
+            task::Solvability::kSolvable);
+}
+
+TEST(HoleAgreement, PuncturedEdgeStillSolvable) {
+  // In dimension 1 dropping an interior edge DISCONNECTS the target, which
+  // also kills solvability -- but dropping nothing keeps it solvable; this
+  // pins the contrast to the structure, not the task plumbing.
+  topo::ChromaticComplex sds2 = topo::iterated_sds(topo::base_simplex(2), 2);
+  task::SimplexAgreementTask ok_task(2, sds2);
+  EXPECT_EQ(task::solve(ok_task, 2).status, task::Solvability::kSolvable);
+
+  // Find an interior edge (both endpoints with full carrier).
+  for (std::size_t fi = 0; fi < sds2.num_facets(); ++fi) {
+    const topo::Simplex& f = sds2.facets()[fi];
+    bool interior = true;
+    for (topo::VertexId v : f) {
+      if (sds2.vertex(v).carrier != ColorSet::full(2)) interior = false;
+    }
+    if (!interior) continue;
+    task::SimplexAgreementTask cut_task(2, topo::drop_facet(sds2, fi));
+    EXPECT_EQ(task::solve(cut_task, 3).status, task::Solvability::kUnsolvable);
+    return;
+  }
+  FAIL() << "no interior edge found";
+}
+
+// ---------------------------------------------------------------------------
+// Chromatic index: preimage parity of facets under chromatic maps.
+// ---------------------------------------------------------------------------
+
+TEST(ChromaticIndex, EveryTargetFacetHasOddPreimageCount) {
+  // For the approximation maps SDS^k -> A found by §5 machinery, count the
+  // source facets mapping ONTO each target facet: always odd.  This is the
+  // degree-theoretic reason agreement cannot dodge a punctured facet.
+  for (int n_plus_1 : {2, 3}) {
+    topo::ChromaticComplex base = topo::base_simplex(n_plus_1);
+    topo::ChromaticComplex target = topo::iterated_sds(base, 1);
+    conv::ApproximationOptions opts;
+    opts.max_level = 3;
+    conv::ApproximationResult r =
+        conv::chromatic_approximation(target, base, opts);
+    ASSERT_TRUE(r.found);
+
+    std::map<topo::Simplex, std::uint64_t> preimages;
+    for (const topo::Simplex& f : r.source.facets()) {
+      topo::Simplex img;
+      for (topo::VertexId v : f) img.push_back(r.image[v]);
+      img = topo::make_simplex(std::move(img));
+      if (img.size() == f.size()) ++preimages[img];  // onto (non-collapsed)
+    }
+    for (const topo::Simplex& tf : target.facets()) {
+      const std::uint64_t count = preimages[tf];
+      EXPECT_EQ(count % 2, 1u)
+          << "n+1=" << n_plus_1 << " facet " << topo::to_string(tf)
+          << " count " << count;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Approximate agreement end-to-end.
+// ---------------------------------------------------------------------------
+
+TEST(ApproxAgreementEndToEnd, SolveThenRunOnThreads) {
+  task::ApproxAgreementTask t(2, 9);  // needs b = 2
+  task::SolveResult r = task::solve(t, 2);
+  ASSERT_EQ(r.status, task::Solvability::kSolvable);
+  ASSERT_EQ(r.level, 2);
+  task::DecisionProtocol proto(t, std::move(r));
+  // Mixed-input facet: P0 starts at 0, P1 starts at 9.
+  topo::VertexId i0 = t.input().find_vertex("P0=0");
+  topo::VertexId i1 = t.input().find_vertex("P1=9");
+  ASSERT_NE(i0, topo::kNoVertex);
+  ASSERT_NE(i1, topo::kNoVertex);
+  const topo::Simplex facet = topo::make_simplex({i0, i1});
+  EXPECT_EQ(proto.validate_exhaustively(facet), 9u);
+  for (int trial = 0; trial < 10; ++trial) {
+    task::RunOutcome out = proto.run_threads(facet);
+    EXPECT_TRUE(out.valid);
+    // Decisions within 1 of each other.
+    const int a = t.output_value(out.decisions[0]);
+    const int b = t.output_value(out.decisions[1]);
+    EXPECT_LE(std::abs(a - b), 1);
+  }
+}
+
+TEST(ApproxAgreementEndToEnd, EqualInputsDecideImmediately) {
+  // Both start at 0: validity pins every decision to 0 regardless of level.
+  task::ApproxAgreementTask t(2, 3);
+  task::SolveResult r = task::solve(t, 1);
+  ASSERT_EQ(r.status, task::Solvability::kSolvable);
+  task::DecisionProtocol proto(t, std::move(r));
+  topo::VertexId i0 = t.input().find_vertex("P0=0");
+  topo::VertexId i1 = t.input().find_vertex("P1=0");
+  rt::SynchronousAdversary adv;
+  task::RunOutcome out =
+      proto.run_simulated(topo::make_simplex({i0, i1}), adv);
+  ASSERT_TRUE(out.valid);
+  EXPECT_EQ(t.output_value(out.decisions[0]), 0);
+  EXPECT_EQ(t.output_value(out.decisions[1]), 0);
+}
+
+}  // namespace
+}  // namespace wfc

@@ -1,0 +1,346 @@
+// Tests for the register substrate, including multithreaded property tests
+// of the atomic-snapshot and immediate-snapshot objects on real hardware.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <barrier>
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "registers/atomic_snapshot.hpp"
+#include "registers/immediate_snapshot.hpp"
+#include "registers/swmr_register.hpp"
+
+namespace wfc::reg {
+namespace {
+
+TEST(SwmrRegister, UnwrittenReadsNullopt) {
+  SwmrRegister<int> r;
+  EXPECT_FALSE(r.read().has_value());
+  std::optional<int> v;
+  EXPECT_EQ(r.read_versioned(v), 0u);
+  EXPECT_FALSE(v.has_value());
+}
+
+TEST(SwmrRegister, ReadAfterWrite) {
+  SwmrRegister<std::string> r;
+  r.write("a");
+  EXPECT_EQ(r.read(), "a");
+  r.write("b");
+  EXPECT_EQ(r.read(), "b");
+  EXPECT_EQ(r.write_count(), 2u);
+}
+
+TEST(SwmrRegister, VersionsIncrease) {
+  SwmrRegister<int> r;
+  std::optional<int> v;
+  r.write(10);
+  EXPECT_EQ(r.read_versioned(v), 1u);
+  EXPECT_EQ(v, 10);
+  r.write(20);
+  EXPECT_EQ(r.read_versioned(v), 2u);
+  EXPECT_EQ(v, 20);
+}
+
+TEST(SwmrRegister, ConcurrentReadersSeeMonotoneVersions) {
+  SwmrRegister<int> r;
+  constexpr int kWrites = 20000;
+  std::atomic<bool> done{false};
+  std::vector<std::thread> readers;
+  std::atomic<int> violations{0};
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      std::uint64_t last = 0;
+      std::optional<int> v;
+      while (!done.load(std::memory_order_acquire)) {
+        const std::uint64_t seq = r.read_versioned(v);
+        if (seq < last) violations.fetch_add(1);
+        if (seq > 0 && static_cast<std::uint64_t>(*v) != seq) {
+          violations.fetch_add(1);  // value must match its version
+        }
+        last = seq;
+      }
+    });
+  }
+  for (int i = 1; i <= kWrites; ++i) r.write(i);
+  done.store(true, std::memory_order_release);
+  for (auto& th : readers) th.join();
+  EXPECT_EQ(violations.load(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Atomic snapshot.
+// ---------------------------------------------------------------------------
+
+TEST(AtomicSnapshot, SingleThreadSemantics) {
+  AtomicSnapshot<int> snap(3);
+  auto v0 = snap.scan();
+  EXPECT_EQ(v0.size(), 3u);
+  for (const auto& c : v0) EXPECT_FALSE(c.has_value());
+
+  snap.update(1, 42);
+  auto v1 = snap.scan();
+  EXPECT_FALSE(v1[0].has_value());
+  EXPECT_EQ(v1[1], 42);
+  snap.update(1, 43);
+  snap.update(0, 7);
+  auto v2 = snap.scan();
+  EXPECT_EQ(v2[0], 7);
+  EXPECT_EQ(v2[1], 43);
+  EXPECT_FALSE(v2[2].has_value());
+}
+
+TEST(AtomicSnapshot, RejectsBadIds) {
+  AtomicSnapshot<int> snap(2);
+  EXPECT_THROW(snap.update(-1, 0), std::invalid_argument);
+  EXPECT_THROW(snap.update(2, 0), std::invalid_argument);
+}
+
+// Views of an atomic snapshot object must be totally ordered: for any two
+// scans, one is componentwise <= the other (with values strictly increasing
+// per writer, componentwise comparison of values is the order on views).
+bool views_comparable(const std::vector<int>& a, const std::vector<int>& b) {
+  bool a_le_b = true, b_le_a = true;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) a_le_b = false;
+    if (b[i] > a[i]) b_le_a = false;
+  }
+  return a_le_b || b_le_a;
+}
+
+TEST(AtomicSnapshot, ConcurrentScansTotallyOrdered) {
+  constexpr int kProcs = 4;
+  constexpr int kOpsPerProc = 400;
+  AtomicSnapshot<int> snap(kProcs);
+  std::vector<std::vector<std::vector<int>>> scans(kProcs);
+  std::barrier sync(kProcs);
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProcs; ++p) {
+    threads.emplace_back([&, p] {
+      sync.arrive_and_wait();
+      for (int op = 1; op <= kOpsPerProc; ++op) {
+        snap.update(p, op);
+        auto view = snap.scan();
+        std::vector<int> flat(kProcs, 0);
+        for (int j = 0; j < kProcs; ++j) {
+          if (view[static_cast<std::size_t>(j)].has_value()) {
+            flat[static_cast<std::size_t>(j)] =
+                *view[static_cast<std::size_t>(j)];
+          }
+        }
+        scans[static_cast<std::size_t>(p)].push_back(std::move(flat));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  std::vector<std::vector<int>> all;
+  for (auto& per : scans) {
+    for (auto& v : per) all.push_back(std::move(v));
+  }
+  // Pairwise comparability is O(m^2) but m = 1600.
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    for (std::size_t j = i + 1; j < all.size(); ++j) {
+      ASSERT_TRUE(views_comparable(all[i], all[j]))
+          << "scans " << i << " and " << j << " are incomparable";
+    }
+  }
+}
+
+TEST(AtomicSnapshot, ScansSeeOwnPrecedingUpdate) {
+  constexpr int kProcs = 4;
+  AtomicSnapshot<int> snap(kProcs);
+  std::barrier sync(kProcs);
+  std::atomic<int> violations{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProcs; ++p) {
+    threads.emplace_back([&, p] {
+      sync.arrive_and_wait();
+      for (int op = 1; op <= 300; ++op) {
+        snap.update(p, op);
+        auto view = snap.scan();
+        const auto& own = view[static_cast<std::size_t>(p)];
+        // Regularity: the scan follows our update, so it must reflect it
+        // (only this thread writes component p).
+        if (!own.has_value() || *own != op) violations.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(violations.load(), 0);
+}
+
+TEST(AtomicSnapshot, SoloScanUsesTwoCollects) {
+  AtomicSnapshot<int> snap(4);
+  snap.update(0, 1);
+  int collects = 0;
+  (void)snap.scan_counting(collects);
+  EXPECT_EQ(collects, 2);  // one clean double collect, nobody moving
+}
+
+TEST(AtomicSnapshot, ScanCollectBoundUnderContention) {
+  // Wait-freedom bound: with n writers, a scan needs at most n+2 collects
+  // (after n+2 unsuccessful double collects some writer moved twice and its
+  // embedded scan is borrowed).
+  constexpr int kProcs = 4;
+  AtomicSnapshot<int> snap(kProcs);
+  std::atomic<int> worst{0};
+  std::barrier sync(kProcs);
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProcs; ++p) {
+    threads.emplace_back([&, p] {
+      sync.arrive_and_wait();
+      for (int op = 1; op <= 500; ++op) {
+        snap.update(p, op);
+        int collects = 0;
+        (void)snap.scan_counting(collects);
+        int cur = worst.load();
+        while (collects > cur && !worst.compare_exchange_weak(cur, collects)) {
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_LE(worst.load(), kProcs + 2);
+  EXPECT_GE(worst.load(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Immediate snapshot: the three §3.5 properties under real concurrency.
+// ---------------------------------------------------------------------------
+
+using Output = ImmediateSnapshot<int>::Output;
+
+void expect_immediate_snapshot_properties(const std::vector<Output>& outs) {
+  const int n = static_cast<int>(outs.size());
+  auto contains = [](const Output& s, int id) {
+    return std::any_of(s.begin(), s.end(),
+                       [id](const auto& p) { return p.first == id; });
+  };
+  auto subset = [&](const Output& a, const Output& b) {
+    return std::all_of(a.begin(), a.end(),
+                       [&](const auto& p) { return contains(b, p.first); });
+  };
+  for (int i = 0; i < n; ++i) {
+    // (1) self-inclusion
+    EXPECT_TRUE(contains(outs[static_cast<std::size_t>(i)], i))
+        << "S_" << i << " missing its own value";
+    for (int j = 0; j < n; ++j) {
+      const auto& si = outs[static_cast<std::size_t>(i)];
+      const auto& sj = outs[static_cast<std::size_t>(j)];
+      // (2) containment
+      EXPECT_TRUE(subset(si, sj) || subset(sj, si))
+          << "S_" << i << " and S_" << j << " incomparable";
+      // (3) immediacy
+      if (contains(sj, i)) {
+        EXPECT_TRUE(subset(si, sj))
+            << "immediacy violated for i=" << i << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(ImmediateSnapshot, SoloRun) {
+  ImmediateSnapshot<int> is(3);
+  Output out = is.write_read(1, 10);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (std::pair<int, int>{1, 10}));
+}
+
+TEST(ImmediateSnapshot, SequentialRuns) {
+  ImmediateSnapshot<int> is(3);
+  Output a = is.write_read(0, 100);
+  Output b = is.write_read(2, 102);
+  Output c = is.write_read(1, 101);
+  EXPECT_EQ(a.size(), 1u);
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(c.size(), 3u);
+  expect_immediate_snapshot_properties({a, c, b});
+}
+
+TEST(ImmediateSnapshot, OneShotEnforced) {
+  ImmediateSnapshot<int> is(2);
+  is.write_read(0, 1);
+  EXPECT_THROW(is.write_read(0, 2), std::invalid_argument);
+}
+
+TEST(ImmediateSnapshot, PropertiesUnderConcurrency) {
+  constexpr int kProcs = 6;
+  for (int round = 0; round < 200; ++round) {
+    ImmediateSnapshot<int> is(kProcs);
+    std::vector<Output> outs(kProcs);
+    std::barrier sync(kProcs);
+    std::vector<std::thread> threads;
+    for (int p = 0; p < kProcs; ++p) {
+      threads.emplace_back([&, p] {
+        sync.arrive_and_wait();
+        outs[static_cast<std::size_t>(p)] = is.write_read(p, 1000 + p);
+      });
+    }
+    for (auto& t : threads) t.join();
+    expect_immediate_snapshot_properties(outs);
+  }
+}
+
+TEST(ImmediateSnapshot, ValuesAreFaithful) {
+  constexpr int kProcs = 4;
+  ImmediateSnapshot<int> is(kProcs);
+  std::vector<Output> outs(kProcs);
+  std::barrier sync(kProcs);
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProcs; ++p) {
+    threads.emplace_back([&, p] {
+      sync.arrive_and_wait();
+      outs[static_cast<std::size_t>(p)] = is.write_read(p, 7 * p + 1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& out : outs) {
+    for (const auto& [id, val] : out) EXPECT_EQ(val, 7 * id + 1);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Iterated memory.
+// ---------------------------------------------------------------------------
+
+TEST(IteratedMemory, CapacityEnforced) {
+  IteratedMemory<int> mem(2, 3);
+  EXPECT_EQ(mem.capacity(), 3u);
+  mem.write_read(0, 0, 5);
+  EXPECT_THROW(mem.write_read(3, 0, 5), std::invalid_argument);
+}
+
+TEST(IteratedMemory, FullInformationRoundsSatisfyProperties) {
+  // Run b rounds of the IIS full-information protocol on real threads and
+  // check every memory's outputs satisfy the immediate-snapshot properties.
+  constexpr int kProcs = 4;
+  constexpr std::size_t kRounds = 5;
+  for (int trial = 0; trial < 50; ++trial) {
+    IteratedMemory<int> mem(kProcs, kRounds);
+    std::vector<std::vector<Output>> per_round(
+        kRounds, std::vector<Output>(kProcs));
+    std::barrier sync(kProcs);
+    std::vector<std::thread> threads;
+    for (int p = 0; p < kProcs; ++p) {
+      threads.emplace_back([&, p] {
+        sync.arrive_and_wait();
+        int carried = p;
+        for (std::size_t r = 0; r < kRounds; ++r) {
+          Output out = mem.write_read(r, p, carried);
+          per_round[r][static_cast<std::size_t>(p)] = out;
+          carried = static_cast<int>(out.size());  // any function of the view
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (std::size_t r = 0; r < kRounds; ++r) {
+      expect_immediate_snapshot_properties(per_round[r]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wfc::reg

@@ -1,0 +1,106 @@
+// t-resilient solvability via the BG reduction (colorless tasks).
+#include <gtest/gtest.h>
+
+#include "tasks/resilience.hpp"
+
+namespace wfc::task {
+namespace {
+
+TEST(Colorless, ProjectedConsensusMatchesDirectConstruction) {
+  ProjectedColorlessTask proj(colorless_consensus(2), 2);
+  // Same shape as ConsensusTask(2, 2): 4 input edges, 2 output edges.
+  EXPECT_EQ(proj.input().num_facets(), 4u);
+  EXPECT_EQ(proj.output().num_facets(), 2u);
+  // And the same verdict.
+  EXPECT_EQ(solve(proj, 2).status, Solvability::kUnsolvable);
+}
+
+TEST(Colorless, SpecValidation) {
+  ColorlessSpec empty;
+  EXPECT_THROW(ProjectedColorlessTask(empty, 2), std::invalid_argument);
+  EXPECT_THROW(decide_t_resilient(colorless_consensus(2), 3, 3, 1),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// The classical resilience frontier, machine-derived.
+// ---------------------------------------------------------------------------
+
+TEST(Resilience, ConsensusImpossibleWithOneFailure) {
+  // FLP for shared memory, derived: 1-resilient consensus among n
+  // processors reduces to wait-free 2-processor consensus -- refuted.
+  for (int n : {2, 3, 5}) {
+    ResilienceVerdict v = decide_t_resilient(colorless_consensus(2), n, 1, 3);
+    EXPECT_EQ(v.status, Solvability::kUnsolvable) << "n=" << n;
+  }
+}
+
+TEST(Resilience, ConsensusSolvableWithZeroFailures) {
+  // t = 0: the projection is a 1-processor task -- trivially solvable
+  // (decide your own input).
+  ResilienceVerdict v = decide_t_resilient(colorless_consensus(2), 3, 0, 1);
+  EXPECT_EQ(v.status, Solvability::kSolvable);
+  EXPECT_EQ(v.wait_free_level, 0);
+}
+
+TEST(Resilience, SetConsensusFrontier) {
+  // (k)-set consensus among n processors tolerating t failures is solvable
+  // iff k >= t+1 (Chaudhuri's conjecture, [5,6,7]).  The reduction turns
+  // each instance into a (t+1)-processor wait-free question:
+  //   k >= t+1  -> trivially solvable at level 0;
+  //   k <  t+1  -> the wait-free impossibility our checker refutes.
+  // 2-set consensus, 1 failure: solvable.
+  EXPECT_EQ(decide_t_resilient(colorless_set_consensus(2, 3), 3, 1, 1).status,
+            Solvability::kSolvable);
+  // 2-set consensus, 2 failures: unsolvable (k = 2 < t+1 = 3) -- refuted
+  // per level by search.
+  EXPECT_EQ(decide_t_resilient(colorless_set_consensus(2, 3), 3, 2, 1).status,
+            Solvability::kUnsolvable);
+  // 1-set consensus (= consensus), 1 failure: unsolvable.
+  EXPECT_EQ(decide_t_resilient(colorless_set_consensus(1, 2), 4, 1, 3).status,
+            Solvability::kUnsolvable);
+  // 3-set consensus, 2 failures: solvable.
+  EXPECT_EQ(decide_t_resilient(colorless_set_consensus(3, 4), 5, 2, 1).status,
+            Solvability::kSolvable);
+}
+
+TEST(Resilience, ApproxAgreementSolvableAtAnyResilience) {
+  // Approximate agreement is solvable for every t; the witness level grows
+  // with the grid exactly as in the wait-free case.
+  ResilienceVerdict v1 =
+      decide_t_resilient(colorless_approx_agreement(3), 4, 1, 2);
+  EXPECT_EQ(v1.status, Solvability::kSolvable);
+  EXPECT_EQ(v1.wait_free_level, 1);
+
+  ResilienceVerdict v9 =
+      decide_t_resilient(colorless_approx_agreement(9), 4, 1, 3);
+  EXPECT_EQ(v9.status, Solvability::kSolvable);
+  EXPECT_EQ(v9.wait_free_level, 2);
+}
+
+TEST(Resilience, WaitFreeCaseAgreesWithDirectChecker) {
+  // t = n-1 (wait-free): the reduction must agree with the direct checker
+  // on the n-processor instance.
+  // 2 processors wait-free consensus: both say unsolvable.
+  EXPECT_EQ(decide_t_resilient(colorless_consensus(2), 2, 1, 3).status,
+            Solvability::kUnsolvable);
+  // 3 processors wait-free 3-set consensus: both say solvable.
+  EXPECT_EQ(decide_t_resilient(colorless_set_consensus(3, 3), 3, 2, 1).status,
+            Solvability::kSolvable);
+}
+
+TEST(Resilience, TwoSetConsensusTwoFailuresRefutedAtHigherLevelToo) {
+  // The level-1 refutation extends to level 2 wait-free? (3-processor
+  // 2-set consensus is the Sperner-hard instance; level 2 is expensive by
+  // search, so keep the reduction at level 1 here and lean on E8 for all
+  // levels -- this test documents the budgeted-refutation behaviour.)
+  SolveOptions tight;
+  tight.node_budget = 200'000;
+  ResilienceVerdict v =
+      decide_t_resilient(colorless_set_consensus(2, 3), 3, 2, 2, tight);
+  // Level 1 is refuted within budget; level 2 exhausts it: overall unknown.
+  EXPECT_EQ(v.status, Solvability::kUnknown);
+}
+
+}  // namespace
+}  // namespace wfc::task

@@ -1,0 +1,355 @@
+// Tests for the execution runtime: adversaries, the simulated IIS executor,
+// exhaustive execution enumeration, the simulated atomic-snapshot model, and
+// the real-thread IIS executor.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "runtime/adversary.hpp"
+#include "runtime/sim_iis.hpp"
+#include "runtime/sim_snapshot.hpp"
+#include "runtime/thread_iis.hpp"
+#include "topology/subdivision.hpp"
+
+namespace wfc::rt {
+namespace {
+
+TEST(Adversary, SynchronousIsOneBlock) {
+  SynchronousAdversary adv;
+  Partition p = adv.partition(0, ColorSet{0, 2, 3});
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0], (ColorSet{0, 2, 3}));
+}
+
+TEST(Adversary, SequentialIsSingletons) {
+  SequentialAdversary adv;
+  Partition p = adv.partition(0, ColorSet{1, 3});
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p[0], ColorSet{1});
+  EXPECT_EQ(p[1], ColorSet{3});
+}
+
+TEST(Adversary, RotatingChangesLeader) {
+  RotatingAdversary adv;
+  Partition p0 = adv.partition(0, ColorSet{0, 1, 2});
+  Partition p1 = adv.partition(1, ColorSet{0, 1, 2});
+  EXPECT_EQ(p0[0], ColorSet{0});
+  EXPECT_EQ(p1[0], ColorSet{1});
+}
+
+TEST(Adversary, LateVictimAlwaysLast) {
+  LateAdversary adv(1);
+  Partition p = adv.partition(0, ColorSet{0, 1, 2});
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p[0], (ColorSet{0, 2}));
+  EXPECT_EQ(p[1], ColorSet{1});
+  EXPECT_NO_THROW(validate_partition(p, ColorSet{0, 1, 2}));
+  // Victim absent or alone: single synchronous block.
+  EXPECT_EQ(adv.partition(0, ColorSet{0, 2}).size(), 1u);
+  EXPECT_EQ(adv.partition(0, ColorSet{1}).size(), 1u);
+}
+
+TEST(Adversary, LateVictimSeesEveryoneButIsUnseen) {
+  LateAdversary adv(2);
+  std::map<int, int> view_size;
+  std::function<int(int)> init = [](int p) { return p; };
+  std::function<Step<int>(int, int, const IisSnapshot<int>&)> on_view =
+      [&](int p, int, const IisSnapshot<int>& snap) {
+        view_size[p] = static_cast<int>(snap.size());
+        return Step<int>::halt();
+      };
+  run_iis<int>(3, adv, 1, init, on_view);
+  EXPECT_EQ(view_size[0], 2);  // the early block sees itself + peer
+  EXPECT_EQ(view_size[1], 2);
+  EXPECT_EQ(view_size[2], 3);  // the victim sees everyone
+}
+
+TEST(Adversary, RandomPartitionsValid) {
+  RandomAdversary adv(99);
+  for (int r = 0; r < 200; ++r) {
+    Partition p = adv.partition(r, ColorSet{0, 1, 2, 4});
+    EXPECT_NO_THROW(validate_partition(p, ColorSet{0, 1, 2, 4}));
+  }
+}
+
+TEST(Adversary, FixedReplaysAndRepairs) {
+  FixedAdversary adv({{ColorSet{0}, ColorSet{1, 2}}});
+  Partition p = adv.partition(0, ColorSet{0, 1, 2});
+  ASSERT_EQ(p.size(), 2u);
+  // Round beyond the list: synchronous fallback.
+  Partition q = adv.partition(1, ColorSet{0, 2});
+  ASSERT_EQ(q.size(), 1u);
+  // A halted processor in the fixed list is dropped.
+  Partition r = adv.partition(0, ColorSet{1, 2});
+  EXPECT_NO_THROW(validate_partition(r, ColorSet{1, 2}));
+}
+
+TEST(Adversary, ValidatePartitionCatchesViolations) {
+  // Overlap.
+  EXPECT_THROW(
+      validate_partition({ColorSet{0, 1}, ColorSet{1}}, ColorSet{0, 1}),
+      std::logic_error);
+  // Missing processor.
+  EXPECT_THROW(validate_partition({ColorSet{0}}, ColorSet{0, 1}),
+               std::logic_error);
+  // Inactive processor scheduled.
+  EXPECT_THROW(validate_partition({ColorSet{0, 1}}, ColorSet{0}),
+               std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// Simulated IIS executor.
+// ---------------------------------------------------------------------------
+
+// A protocol that runs `rounds` rounds carrying the count of processors seen.
+struct CountingProtocol {
+  int rounds;
+  std::map<int, int> last_seen;  // proc -> size of final view
+
+  std::function<int(int)> init() {
+    return [](int p) { return p; };
+  }
+  std::function<Step<int>(int, int, const IisSnapshot<int>&)> on_view() {
+    return [this](int p, int round, const IisSnapshot<int>& snap) {
+      last_seen[p] = static_cast<int>(snap.size());
+      if (round + 1 >= rounds) return Step<int>::halt();
+      return Step<int>::cont(static_cast<int>(snap.size()));
+    };
+  }
+};
+
+TEST(SimIis, SynchronousEveryoneSeesEveryone) {
+  CountingProtocol proto{2, {}};
+  SynchronousAdversary adv;
+  auto init = proto.init();
+  auto view = proto.on_view();
+  IisRunStats stats = run_iis<int>(3, adv, 10, init, view);
+  EXPECT_EQ(stats.rounds_executed, 2);
+  for (int p = 0; p < 3; ++p) EXPECT_EQ(proto.last_seen[p], 3);
+}
+
+TEST(SimIis, SequentialFirstSeesOnlySelf) {
+  CountingProtocol proto{1, {}};
+  SequentialAdversary adv;
+  auto init = proto.init();
+  auto view = proto.on_view();
+  run_iis<int>(3, adv, 10, init, view);
+  EXPECT_EQ(proto.last_seen[0], 1);
+  EXPECT_EQ(proto.last_seen[1], 2);
+  EXPECT_EQ(proto.last_seen[2], 3);
+}
+
+TEST(SimIis, SnapshotsArePrefixClosed) {
+  // In every round, views of the same round must be ordered by containment
+  // and self-inclusive (the §3.5 properties in simulated form).
+  std::map<std::pair<int, int>, IisSnapshot<int>> views;  // (round, proc)
+  std::function<int(int)> init = [](int p) { return p * 11; };
+  std::function<Step<int>(int, int, const IisSnapshot<int>&)> on_view =
+      [&](int p, int round, const IisSnapshot<int>& snap) {
+        views[{round, p}] = snap;
+        return round < 2 ? Step<int>::cont(p * 11) : Step<int>::halt();
+      };
+  RandomAdversary adv(7);
+  run_iis<int>(4, adv, 10, init, on_view);
+
+  auto contains = [](const IisSnapshot<int>& s, int id) {
+    return std::any_of(s.begin(), s.end(),
+                       [id](const auto& e) { return e.first == id; });
+  };
+  auto subset = [&](const IisSnapshot<int>& a, const IisSnapshot<int>& b) {
+    return std::all_of(a.begin(), a.end(), [&](const auto& e) {
+      return contains(b, e.first);
+    });
+  };
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 4; ++i) {
+      const auto& si = views[{round, i}];
+      EXPECT_TRUE(contains(si, i));
+      for (int j = 0; j < 4; ++j) {
+        const auto& sj = views[{round, j}];
+        EXPECT_TRUE(subset(si, sj) || subset(sj, si));
+        if (contains(sj, i)) {
+          EXPECT_TRUE(subset(si, sj));
+        }
+      }
+    }
+  }
+}
+
+TEST(SimIis, ThrowsWhenProtocolOutlivesRounds) {
+  std::function<int(int)> init = [](int p) { return p; };
+  std::function<Step<int>(int, int, const IisSnapshot<int>&)> never_halt =
+      [](int, int, const IisSnapshot<int>&) { return Step<int>::cont(0); };
+  SynchronousAdversary adv;
+  EXPECT_THROW(run_iis<int>(2, adv, 3, init, never_halt), std::logic_error);
+}
+
+TEST(SimIis, HaltedProcessorsLeaveTheSchedule) {
+  // Processor 0 halts after round 0; rounds afterwards only schedule 1, 2.
+  std::function<int(int)> init = [](int p) { return p; };
+  std::function<Step<int>(int, int, const IisSnapshot<int>&)> on_view =
+      [](int p, int round, const IisSnapshot<int>&) {
+        if (p == 0) return Step<int>::halt();
+        return round < 2 ? Step<int>::cont(p) : Step<int>::halt();
+      };
+  SynchronousAdversary adv;
+  IisRunStats stats = run_iis<int>(3, adv, 10, init, on_view);
+  EXPECT_EQ(stats.rounds_taken[0], 1);
+  EXPECT_EQ(stats.rounds_taken[1], 3);
+  ASSERT_GE(stats.schedule.size(), 2u);
+  EXPECT_EQ(stats.schedule[1][0], (ColorSet{1, 2}));
+}
+
+TEST(SimIis, ExecutionEnumerationCountMatchesFubiniProduct) {
+  // One round, no halting: executions == ordered partitions of {0,1,2}.
+  std::function<int(int)> init = [](int p) { return p; };
+  std::function<Step<int>(int, int, const IisSnapshot<int>&)> one_round =
+      [](int, int, const IisSnapshot<int>&) { return Step<int>::halt(); };
+  int count = 0;
+  for_each_iis_execution<int>(3, 5, init, one_round,
+                              [&](const std::vector<Partition>&) { ++count; });
+  EXPECT_EQ(count, 13);
+
+  // Two rounds: 13 * 13.
+  std::function<Step<int>(int, int, const IisSnapshot<int>&)> two_rounds =
+      [](int, int round, const IisSnapshot<int>&) {
+        return round == 0 ? Step<int>::cont(0) : Step<int>::halt();
+      };
+  count = 0;
+  for_each_iis_execution<int>(3, 5, init, two_rounds,
+                              [&](const std::vector<Partition>&) { ++count; });
+  EXPECT_EQ(count, 13 * 13);
+}
+
+TEST(SimIis, EnumeratedViewsMatchSdsVertexCount) {
+  // Collect all distinct (proc, view) pairs over all 1-round executions of 3
+  // processors: must equal the 12 vertices of SDS(s^2) (Lemma 3.2).
+  std::set<std::pair<int, std::vector<std::pair<int, int>>>> distinct;
+  std::function<int(int)> init = [](int p) { return p; };
+  std::function<Step<int>(int, int, const IisSnapshot<int>&)> on_view =
+      [&](int p, int, const IisSnapshot<int>& snap) {
+        distinct.insert({p, snap});
+        return Step<int>::halt();
+      };
+  for_each_iis_execution<int>(3, 1, init, on_view,
+                              [](const std::vector<Partition>&) {});
+  EXPECT_EQ(distinct.size(),
+            topo::standard_chromatic_subdivision(topo::base_simplex(3))
+                .num_vertices());
+}
+
+// ---------------------------------------------------------------------------
+// Simulated atomic-snapshot model.
+// ---------------------------------------------------------------------------
+
+TEST(SimSnapshot, FairScheduleRunsFigureOneProtocol) {
+  // Figure 1 with k = 2 shots: write, scan, write, scan, halt.
+  std::function<int(int)> init = [](int p) { return 100 + p; };
+  std::map<int, MemoryView<int>> final_views;
+  std::function<Step<int>(int, int, const MemoryView<int>&)> on_scan =
+      [&](int p, int k, const MemoryView<int>& view) {
+        if (k == 2) {
+          final_views[p] = view;
+          return Step<int>::halt();
+        }
+        return Step<int>::cont(200 + p);
+      };
+  SnapshotRunStats stats =
+      run_snapshot_model<int>(3, fair_schedule(3, 4), init, on_scan);
+  for (int p = 0; p < 3; ++p) {
+    EXPECT_EQ(stats.ops_taken[static_cast<std::size_t>(p)], 4);
+    // After the fair schedule's second round of writes everyone sees the
+    // second values.
+    for (int q = 0; q < 3; ++q) {
+      EXPECT_EQ(final_views[p][static_cast<std::size_t>(q)], 200 + q);
+    }
+  }
+}
+
+TEST(SimSnapshot, SoloProcessorSeesOnlyItself) {
+  std::function<int(int)> init = [](int p) { return p; };
+  std::function<Step<int>(int, int, const MemoryView<int>&)> on_scan =
+      [&](int p, int, const MemoryView<int>& view) {
+        EXPECT_TRUE(view[0].has_value());
+        if (p == 0) {
+          // P0 runs solo: P1 has not written yet.
+          EXPECT_FALSE(view[1].has_value());
+        } else {
+          // P1 runs after P0 finished and must see it.
+          EXPECT_TRUE(view[1].has_value());
+        }
+        return Step<int>::halt();
+      };
+  // Only processor 0 is scheduled until it halts; then 1 runs.
+  std::vector<Color> sched{0, 0, 1, 1};
+  run_snapshot_model<int>(2, sched, init, on_scan);
+}
+
+TEST(SimSnapshot, ThrowsOnExhaustedSchedule) {
+  std::function<int(int)> init = [](int p) { return p; };
+  std::function<Step<int>(int, int, const MemoryView<int>&)> on_scan =
+      [](int, int, const MemoryView<int>&) { return Step<int>::halt(); };
+  EXPECT_THROW(run_snapshot_model<int>(2, {0, 0}, init, on_scan),
+               std::logic_error);
+}
+
+TEST(SimSnapshot, InterleavingCount) {
+  int count = 0;
+  for_each_interleaving(2, 2, [&](const std::vector<Color>& s) {
+    EXPECT_EQ(s.size(), 4u);
+    ++count;
+  });
+  EXPECT_EQ(count, 6);  // C(4,2)
+  count = 0;
+  for_each_interleaving(3, 2, [&](const std::vector<Color>&) { ++count; });
+  EXPECT_EQ(count, 90);  // 6!/(2!2!2!)
+}
+
+TEST(SimSnapshot, InterleavingsAreDistinct) {
+  std::set<std::vector<Color>> seen;
+  for_each_interleaving(2, 3, [&](const std::vector<Color>& s) {
+    EXPECT_TRUE(seen.insert(s).second);
+  });
+  EXPECT_EQ(seen.size(), 20u);  // C(6,3)
+}
+
+// ---------------------------------------------------------------------------
+// Real-thread IIS executor.
+// ---------------------------------------------------------------------------
+
+TEST(ThreadIis, RunsFullInformationProtocol) {
+  constexpr int kProcs = 4;
+  constexpr int kRounds = 3;
+  std::array<std::atomic<int>, kProcs> final_size{};
+  std::function<int(int)> init = [](int p) { return p; };
+  std::function<Step<int>(int, int, const IisSnapshot<int>&)> on_view =
+      [&](int p, int round, const IisSnapshot<int>& snap) {
+        if (round + 1 == kRounds) {
+          final_size[static_cast<std::size_t>(p)] =
+              static_cast<int>(snap.size());
+          return Step<int>::halt();
+        }
+        return Step<int>::cont(p);
+      };
+  auto rounds_taken = run_iis_threads<int>(kProcs, kRounds, init, on_view);
+  for (int p = 0; p < kProcs; ++p) {
+    EXPECT_EQ(rounds_taken[static_cast<std::size_t>(p)], kRounds);
+    EXPECT_GE(final_size[static_cast<std::size_t>(p)].load(), 1);
+    EXPECT_LE(final_size[static_cast<std::size_t>(p)].load(), kProcs);
+  }
+}
+
+TEST(ThreadIis, ThrowsWhenARunnerNeverHalts) {
+  std::function<int(int)> init = [](int p) { return p; };
+  std::function<Step<int>(int, int, const IisSnapshot<int>&)> never =
+      [](int, int, const IisSnapshot<int>&) { return Step<int>::cont(1); };
+  EXPECT_THROW(run_iis_threads<int>(2, 2, init, never), std::logic_error);
+}
+
+}  // namespace
+}  // namespace wfc::rt

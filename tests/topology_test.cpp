@@ -1,0 +1,645 @@
+// Unit and property tests for the topology subsystem: complexes, the
+// standard chromatic subdivision (Lemma 3.2/3.3), barycentric subdivision,
+// geometric validity, pseudomanifold structure, Sperner machinery, and
+// simplicial maps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "topology/complex.hpp"
+#include "topology/geometry.hpp"
+#include "topology/ordered_partition.hpp"
+#include "topology/simplicial_map.hpp"
+#include "topology/sperner.hpp"
+#include "topology/structure.hpp"
+#include "topology/subdivision.hpp"
+
+namespace wfc::topo {
+namespace {
+
+TEST(OrderedPartition, FubiniValues) {
+  EXPECT_EQ(fubini(0), 1u);
+  EXPECT_EQ(fubini(1), 1u);
+  EXPECT_EQ(fubini(2), 3u);
+  EXPECT_EQ(fubini(3), 13u);
+  EXPECT_EQ(fubini(4), 75u);
+  EXPECT_EQ(fubini(5), 541u);
+  EXPECT_EQ(fubini(6), 4683u);
+}
+
+TEST(OrderedPartition, EnumerationMatchesFubini) {
+  for (int k = 0; k <= 6; ++k) {
+    std::uint64_t count = 0;
+    for_each_ordered_partition(k, [&](const OrderedPartition&) { ++count; });
+    EXPECT_EQ(count, fubini(k)) << "k=" << k;
+  }
+}
+
+TEST(OrderedPartition, PartitionsAreValid) {
+  for_each_ordered_partition(4, [&](const OrderedPartition& p) {
+    std::set<int> seen;
+    for (const auto& block : p) {
+      EXPECT_FALSE(block.empty());
+      for (int x : block) {
+        EXPECT_GE(x, 0);
+        EXPECT_LT(x, 4);
+        EXPECT_TRUE(seen.insert(x).second) << "duplicate element";
+      }
+    }
+    EXPECT_EQ(seen.size(), 4u);
+  });
+}
+
+TEST(OrderedPartition, AllDistinct) {
+  std::set<std::string> keys;
+  for_each_ordered_partition(4, [&](const OrderedPartition& p) {
+    std::string key;
+    for (const auto& block : p) {
+      key += '|';
+      for (int x : block) key += static_cast<char>('0' + x);
+    }
+    EXPECT_TRUE(keys.insert(key).second);
+  });
+  EXPECT_EQ(keys.size(), 75u);
+}
+
+TEST(Complex, BaseSimplex) {
+  ChromaticComplex s2 = base_simplex(3);
+  EXPECT_EQ(s2.num_vertices(), 3u);
+  EXPECT_EQ(s2.num_facets(), 1u);
+  EXPECT_EQ(s2.dimension(), 2);
+  EXPECT_TRUE(s2.is_pure());
+  for (VertexId v = 0; v < 3; ++v) {
+    EXPECT_EQ(s2.vertex(v).color, static_cast<Color>(v));
+    EXPECT_EQ(s2.vertex(v).carrier, ColorSet::single(static_cast<Color>(v)));
+  }
+}
+
+TEST(Complex, AddFacetRejectsDuplicateColors) {
+  ChromaticComplex c(2);
+  VertexId a = c.add_vertex(0, "a", ColorSet{0});
+  VertexId b = c.add_vertex(0, "b", ColorSet{0});
+  EXPECT_THROW(c.add_facet(make_simplex({a, b})), std::invalid_argument);
+}
+
+TEST(Complex, DuplicateKeysRejected) {
+  ChromaticComplex c(2);
+  c.add_vertex(0, "a", ColorSet{0});
+  EXPECT_THROW(c.add_vertex(1, "a", ColorSet{1}), std::invalid_argument);
+}
+
+TEST(Complex, InternVertexIdempotent) {
+  ChromaticComplex c(2);
+  VertexId a = c.intern_vertex(0, "a", ColorSet{0});
+  EXPECT_EQ(c.intern_vertex(0, "a", ColorSet{0}), a);
+  EXPECT_EQ(c.num_vertices(), 1u);
+  // Mismatched color on an existing key is a library bug.
+  EXPECT_THROW(c.intern_vertex(1, "a", ColorSet{1}), std::logic_error);
+}
+
+TEST(Complex, DuplicateFacetIgnored) {
+  ChromaticComplex c(2);
+  VertexId a = c.add_vertex(0, "a", ColorSet{0});
+  VertexId b = c.add_vertex(1, "b", ColorSet{1});
+  std::size_t first = c.add_facet(make_simplex({a, b}));
+  std::size_t second = c.add_facet(make_simplex({b, a}));
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(c.num_facets(), 1u);
+}
+
+TEST(Complex, ContainsSimplex) {
+  ChromaticComplex s2 = base_simplex(3);
+  EXPECT_TRUE(s2.contains_simplex({0}));
+  EXPECT_TRUE(s2.contains_simplex({0, 2}));
+  EXPECT_TRUE(s2.contains_simplex({0, 1, 2}));
+  EXPECT_FALSE(s2.contains_simplex({}));
+  EXPECT_FALSE(s2.contains_simplex({0, 1, 2, 3}));  // unknown vertex
+}
+
+TEST(Complex, ForEachFaceCounts) {
+  ChromaticComplex s2 = base_simplex(3);
+  int faces = 0;
+  s2.for_each_face([&](const Simplex&) { ++faces; });
+  EXPECT_EQ(faces, 7);  // 3 vertices + 3 edges + 1 triangle
+}
+
+TEST(Complex, EulerCharacteristicOfSimplexIsOne) {
+  for (int n = 1; n <= 4; ++n) {
+    EXPECT_EQ(base_simplex(n + 1).euler_characteristic(), 1) << "n=" << n;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Standard chromatic subdivision: Lemma 3.2 / 3.3.
+// ---------------------------------------------------------------------------
+
+TEST(Sds, FacetCountIsFubini) {
+  for (int n = 0; n <= 3; ++n) {
+    ChromaticComplex sds = standard_chromatic_subdivision(base_simplex(n + 1));
+    EXPECT_EQ(sds.num_facets(), fubini(n + 1)) << "n=" << n;
+    EXPECT_TRUE(sds.is_pure());
+    EXPECT_EQ(sds.dimension(), n);
+  }
+}
+
+TEST(Sds, VertexCountOfTriangle) {
+  // SDS(s^2): 3 corners + 6 edge-interior + 3 central = 12 vertices.
+  ChromaticComplex sds = standard_chromatic_subdivision(base_simplex(3));
+  EXPECT_EQ(sds.num_vertices(), 12u);
+}
+
+TEST(Sds, VertexCountOfEdge) {
+  // SDS(s^1): 2 corners + 2 middle = 4 vertices, 3 edges.
+  ChromaticComplex sds = standard_chromatic_subdivision(base_simplex(2));
+  EXPECT_EQ(sds.num_vertices(), 4u);
+  EXPECT_EQ(sds.num_facets(), 3u);
+}
+
+// Each facet of SDS(s^n), read through carriers, must satisfy the three
+// immediate-snapshot properties of §3.5: self-inclusion, containment chain,
+// immediacy.  (For subdivisions of s^n the carrier of (P_i, S_i) is S_i.)
+void expect_immediate_snapshot_properties(const ChromaticComplex& sds) {
+  for (const Simplex& f : sds.facets()) {
+    std::map<Color, ColorSet> view;
+    for (VertexId v : f) view[sds.vertex(v).color] = sds.vertex(v).carrier;
+    for (const auto& [i, si] : view) {
+      EXPECT_TRUE(si.contains(i)) << "self-inclusion";
+      for (const auto& [j, sj] : view) {
+        EXPECT_TRUE(si.subset_of(sj) || sj.subset_of(si)) << "containment";
+        if (sj.contains(i)) {
+          EXPECT_TRUE(si.subset_of(sj)) << "immediacy";
+        }
+      }
+    }
+  }
+}
+
+TEST(Sds, ImmediateSnapshotProperties) {
+  for (int n = 1; n <= 3; ++n) {
+    expect_immediate_snapshot_properties(
+        standard_chromatic_subdivision(base_simplex(n + 1)));
+  }
+}
+
+TEST(Sds, EveryImmediateSnapshotOutputIsAVertex) {
+  // Conversely: every (i, S) with i in S appears as a vertex (Lemma 3.2's
+  // vertex set V).
+  const int n = 2;
+  ChromaticComplex sds = standard_chromatic_subdivision(base_simplex(n + 1));
+  std::set<std::pair<Color, std::uint32_t>> seen;
+  for (VertexId v = 0; v < sds.num_vertices(); ++v) {
+    seen.emplace(sds.vertex(v).color, sds.vertex(v).carrier.mask());
+  }
+  int expected = 0;
+  for_each_nonempty_subset(ColorSet::full(n + 1), [&](ColorSet s) {
+    for (Color i : s) {
+      ++expected;
+      EXPECT_TRUE(seen.count({i, s.mask()}))
+          << "missing vertex (" << i << ", " << s.to_string() << ")";
+    }
+  });
+  EXPECT_EQ(static_cast<int>(seen.size()), expected);
+}
+
+TEST(Sds, IsGeometricSubdivision) {
+  for (int n = 1; n <= 3; ++n) {
+    ChromaticComplex base = base_simplex(n + 1);
+    ChromaticComplex sds = standard_chromatic_subdivision(base);
+    SubdivisionReport rep = check_subdivision(sds, base, 256);
+    EXPECT_TRUE(rep.volume_matches) << "n=" << n << " ratio=" << rep.volume_ratio;
+    EXPECT_TRUE(rep.covers_samples) << "n=" << n;
+    EXPECT_TRUE(rep.interiors_disjoint) << "n=" << n;
+    EXPECT_TRUE(rep.carriers_match_support) << "n=" << n;
+  }
+}
+
+TEST(Sds, IteratedIsGeometricSubdivision) {
+  ChromaticComplex base = base_simplex(3);
+  ChromaticComplex sds2 = iterated_sds(base, 2);
+  EXPECT_EQ(sds2.num_facets(), 13u * 13u);
+  SubdivisionReport rep = check_subdivision(sds2, base, 256);
+  EXPECT_TRUE(rep.ok()) << "ratio=" << rep.volume_ratio;
+}
+
+TEST(Sds, IteratedLevelZeroIsCopy) {
+  ChromaticComplex base = base_simplex(3);
+  ChromaticComplex copy = iterated_sds(base, 0);
+  EXPECT_EQ(copy.num_vertices(), base.num_vertices());
+  EXPECT_EQ(copy.num_facets(), base.num_facets());
+}
+
+TEST(Sds, FacetsOfSubdivisionRestrictCorrectly) {
+  // SDS(s^2) restricted to the edge {0,1} is SDS(s^1): 3 edges, 4 vertices.
+  ChromaticComplex sds = standard_chromatic_subdivision(base_simplex(3));
+  ChromaticComplex face = sds.restrict_to_carrier(ColorSet{0, 1});
+  EXPECT_EQ(face.num_facets(), 3u);
+  EXPECT_EQ(face.num_vertices(), 4u);
+  EXPECT_EQ(face.dimension(), 1);
+}
+
+TEST(Sds, EulerCharacteristicOne) {
+  for (int b = 1; b <= 2; ++b) {
+    EXPECT_EQ(iterated_sds(base_simplex(3), b).euler_characteristic(), 1);
+  }
+  EXPECT_EQ(iterated_sds(base_simplex(4), 1).euler_characteristic(), 1);
+}
+
+TEST(Sds, Pseudomanifold) {
+  for (int n = 1; n <= 3; ++n) {
+    ChromaticComplex sds = standard_chromatic_subdivision(base_simplex(n + 1));
+    PseudomanifoldReport rep = check_pseudomanifold(sds);
+    EXPECT_TRUE(rep.ok()) << "n=" << n;
+    EXPECT_GT(rep.boundary_ridges, 0u);
+  }
+}
+
+TEST(Sds, PseudomanifoldIterated) {
+  PseudomanifoldReport rep =
+      check_pseudomanifold(iterated_sds(base_simplex(3), 2));
+  EXPECT_TRUE(rep.ok());
+}
+
+TEST(Sds, ChromaticColoring) {
+  // A coloring must be a dimension-preserving simplicial map onto s^n: every
+  // facet carries all n+1 colors exactly once.
+  ChromaticComplex sds = iterated_sds(base_simplex(3), 2);
+  for (const Simplex& f : sds.facets()) {
+    EXPECT_EQ(sds.colors_of(f), ColorSet::full(3));
+  }
+}
+
+TEST(Sds, CentralVertexLinkIsCycle) {
+  // The link of each central vertex (carrier = full) of SDS(s^2) is a cycle.
+  ChromaticComplex sds = standard_chromatic_subdivision(base_simplex(3));
+  int central = 0;
+  for (VertexId v = 0; v < sds.num_vertices(); ++v) {
+    if (sds.vertex(v).carrier == ColorSet::full(3)) {
+      ++central;
+      EXPECT_TRUE(link_is_cycle(sds, v)) << "vertex " << v;
+    }
+  }
+  EXPECT_EQ(central, 3);
+}
+
+TEST(Sds, Connected) {
+  EXPECT_EQ(num_connected_components(iterated_sds(base_simplex(3), 2)), 1);
+  EXPECT_EQ(num_connected_components(iterated_sds(base_simplex(4), 1)), 1);
+}
+
+TEST(Sds, CarrierOfCornerVerticesPreserved) {
+  ChromaticComplex sds = iterated_sds(base_simplex(3), 2);
+  // Exactly one vertex per color has a singleton carrier (the corner),
+  // which never subdivides further.
+  for (Color c = 0; c < 3; ++c) {
+    int corners = 0;
+    for (VertexId v : sds.vertices_with_color(c)) {
+      if (sds.vertex(v).carrier == ColorSet::single(c)) ++corners;
+    }
+    EXPECT_EQ(corners, 1) << "color " << c;
+  }
+}
+
+TEST(Sds, SubdividesGeneralComplexes) {
+  // Two triangles glued along an edge; SDS must agree on the shared edge.
+  ChromaticComplex c(3);
+  VertexId a = c.add_vertex(0, "a", ColorSet{0});
+  VertexId b = c.add_vertex(1, "b", ColorSet{1});
+  VertexId x = c.add_vertex(2, "x", ColorSet{2});
+  VertexId y = c.add_vertex(2, "y", ColorSet{2});
+  c.add_facet(make_simplex({a, b, x}));
+  c.add_facet(make_simplex({a, b, y}));
+  ChromaticComplex sds = standard_chromatic_subdivision(c);
+  EXPECT_EQ(sds.num_facets(), 2u * 13u);
+  // Vertices: 12 per triangle, minus the 4 shared on edge {a,b}.
+  EXPECT_EQ(sds.num_vertices(), 20u);
+  PseudomanifoldReport rep = check_pseudomanifold(sds);
+  EXPECT_TRUE(rep.pure);
+  EXPECT_TRUE(rep.ridge_degree_ok);
+}
+
+// ---------------------------------------------------------------------------
+// Barycentric subdivision.
+// ---------------------------------------------------------------------------
+
+TEST(Bsd, TriangleCounts) {
+  ChromaticComplex bsd = barycentric_subdivision(base_simplex(3));
+  EXPECT_EQ(bsd.num_facets(), 6u);   // 3! flags
+  EXPECT_EQ(bsd.num_vertices(), 7u);  // one barycenter per face
+}
+
+TEST(Bsd, IsGeometricSubdivision) {
+  for (int n = 1; n <= 3; ++n) {
+    ChromaticComplex base = base_simplex(n + 1);
+    SubdivisionReport rep =
+        check_subdivision(barycentric_subdivision(base), base, 256);
+    EXPECT_TRUE(rep.ok()) << "n=" << n << " ratio=" << rep.volume_ratio;
+  }
+}
+
+TEST(Bsd, IteratedIsGeometricSubdivision) {
+  ChromaticComplex base = base_simplex(3);
+  ChromaticComplex bsd2 = iterated_bsd(base, 2);
+  EXPECT_EQ(bsd2.num_facets(), 36u);
+  EXPECT_TRUE(check_subdivision(bsd2, base, 256).ok());
+}
+
+TEST(Bsd, ColoredByDimension) {
+  ChromaticComplex bsd = barycentric_subdivision(base_simplex(3));
+  for (const Simplex& f : bsd.facets()) {
+    EXPECT_EQ(bsd.colors_of(f), ColorSet::full(3));  // one per dimension
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Geometry utilities.
+// ---------------------------------------------------------------------------
+
+TEST(Geometry, LocatePointInSds) {
+  ChromaticComplex sds = standard_chromatic_subdivision(base_simplex(3));
+  auto loc = locate_point(sds, {1.0 / 3, 1.0 / 3, 1.0 / 3});
+  ASSERT_TRUE(loc.has_value());
+  // The barycenter lies in (the closure of) the central simplex, whose
+  // carrier is full.
+  EXPECT_EQ(sds.carrier_of(sds.facets()[loc->facet]), ColorSet::full(3));
+}
+
+TEST(Geometry, LocateCorner) {
+  ChromaticComplex sds = standard_chromatic_subdivision(base_simplex(3));
+  auto loc = locate_point(sds, {1.0, 0.0, 0.0});
+  ASSERT_TRUE(loc.has_value());
+}
+
+TEST(Geometry, TotalVolumeOfBase) {
+  // Base simplex in its own barycentric frame: the n-volume of the standard
+  // simplex spanned by unit vectors e_0..e_n is sqrt(n+1)/n!.
+  ChromaticComplex s2 = base_simplex(3);
+  EXPECT_NEAR(total_facet_volume(s2), std::sqrt(3.0) / 2.0, 1e-12);
+}
+
+TEST(Geometry, RandomPointStaysInFacet) {
+  ChromaticComplex s2 = base_simplex(3);
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    auto p = random_point_in_facet(s2, 0, rng);
+    double sum = 0;
+    for (double x : p) {
+      EXPECT_GE(x, 0.0);
+      sum += x;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+// The checker itself must detect broken subdivisions, not just bless good
+// ones: puncture SDS(s^2) and check_subdivision must flag the missing area.
+TEST(Geometry, CheckerDetectsMissingFacet) {
+  ChromaticComplex base = base_simplex(3);
+  ChromaticComplex sds = standard_chromatic_subdivision(base);
+  ChromaticComplex holed = drop_facet(sds, 0);
+  SubdivisionReport rep = check_subdivision(holed, base, 256);
+  EXPECT_FALSE(rep.volume_matches);
+  EXPECT_LT(rep.volume_ratio, 1.0);
+  EXPECT_FALSE(rep.covers_samples);
+  EXPECT_FALSE(rep.ok());
+}
+
+TEST(Geometry, CheckerDetectsOverlap) {
+  // Add a duplicate facet shifted to overlap: interior disjointness fails.
+  ChromaticComplex base = base_simplex(3);
+  ChromaticComplex bad = standard_chromatic_subdivision(base);
+  // Re-add an existing facet with one vertex replaced by the barycenter of
+  // the whole triangle (a fresh vertex): the new triangle overlaps others.
+  const Simplex f = bad.facets()[0];
+  const Color c = bad.vertex(f[0]).color;
+  VertexId center = bad.add_vertex(c, "overlap-center", ColorSet::full(3),
+                                   {1.0 / 3, 1.0 / 3, 1.0 / 3});
+  Simplex overlapping{center, f[1], f[2]};
+  bad.add_facet(make_simplex(std::move(overlapping)));
+  SubdivisionReport rep = check_subdivision(bad, base, 256);
+  EXPECT_FALSE(rep.interiors_disjoint || rep.volume_matches);
+}
+
+TEST(Geometry, CheckerDetectsCarrierLies) {
+  // A vertex claiming a smaller carrier than its coordinates support.
+  ChromaticComplex c(2);
+  VertexId a = c.add_vertex(0, "a", ColorSet{0}, {1.0, 0.0});
+  // Claims carrier {1} but sits strictly inside the edge.
+  VertexId b = c.add_vertex(1, "b", ColorSet{1}, {0.5, 0.5});
+  c.add_facet(make_simplex({a, b}));
+  ChromaticComplex base = base_simplex(2);
+  SubdivisionReport rep = check_subdivision(c, base, 16);
+  EXPECT_FALSE(rep.carriers_match_support);
+}
+
+// ---------------------------------------------------------------------------
+// Sperner machinery.
+// ---------------------------------------------------------------------------
+
+TEST(Sperner, MinCarrierLabelingIsSperner) {
+  ChromaticComplex sds = iterated_sds(base_simplex(3), 2);
+  Labeling lab = min_carrier_labeling(sds);
+  EXPECT_TRUE(is_sperner_labeling(sds, lab));
+}
+
+TEST(Sperner, RandomLabelingsAreSperner) {
+  ChromaticComplex sds = iterated_sds(base_simplex(3), 1);
+  Rng rng(17);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(is_sperner_labeling(sds, random_sperner_labeling(sds, rng)));
+  }
+}
+
+TEST(Sperner, ParityOddOnSds) {
+  // Sperner's lemma on SDS^b(s^n): every Sperner labeling has an odd number
+  // of panchromatic facets.  This is the engine of the set-consensus
+  // impossibility (E8).
+  Rng rng(23);
+  for (int n = 1; n <= 2; ++n) {
+    for (int b = 1; b <= 2; ++b) {
+      ChromaticComplex sds = iterated_sds(base_simplex(n + 1), b);
+      for (int trial = 0; trial < 25; ++trial) {
+        Labeling lab = random_sperner_labeling(sds, rng);
+        EXPECT_TRUE(sperner_parity_holds(sds, lab))
+            << "n=" << n << " b=" << b << " trial=" << trial;
+      }
+    }
+  }
+}
+
+TEST(Sperner, ParityOddOnBsd) {
+  Rng rng(31);
+  ChromaticComplex bsd = iterated_bsd(base_simplex(3), 2);
+  for (int trial = 0; trial < 25; ++trial) {
+    EXPECT_TRUE(sperner_parity_holds(bsd, random_sperner_labeling(bsd, rng)));
+  }
+}
+
+TEST(Sperner, NonSpernerDetected) {
+  ChromaticComplex sds = standard_chromatic_subdivision(base_simplex(3));
+  Labeling lab = min_carrier_labeling(sds);
+  // Find a vertex whose carrier is not full and mislabel it.
+  for (VertexId v = 0; v < sds.num_vertices(); ++v) {
+    ColorSet car = sds.vertex(v).carrier;
+    if (car != ColorSet::full(3)) {
+      lab[v] = ColorSet::full(3).minus(car).min();
+      break;
+    }
+  }
+  EXPECT_FALSE(is_sperner_labeling(sds, lab));
+}
+
+// ---------------------------------------------------------------------------
+// Simplicial maps.
+// ---------------------------------------------------------------------------
+
+TEST(SimplicialMap, IdentityOnSds) {
+  ChromaticComplex sds = standard_chromatic_subdivision(base_simplex(3));
+  SimplicialMap id(sds, sds);
+  for (VertexId v = 0; v < sds.num_vertices(); ++v) id.set(v, v);
+  EXPECT_TRUE(id.is_total());
+  EXPECT_TRUE(id.is_simplicial());
+  EXPECT_TRUE(id.is_color_preserving());
+  EXPECT_TRUE(id.is_dimension_preserving());
+  EXPECT_TRUE(id.is_carrier_monotone());
+  EXPECT_TRUE(id.is_carrier_preserving_strict());
+}
+
+TEST(SimplicialMap, CarrierCollapseToCorner) {
+  // Map every vertex of SDS(s^1) of color c to the corner of color c.
+  ChromaticComplex base = base_simplex(2);
+  ChromaticComplex sds = standard_chromatic_subdivision(base);
+  SimplicialMap phi(sds, base);
+  for (VertexId v = 0; v < sds.num_vertices(); ++v) {
+    phi.set(v, base.vertices_with_color(sds.vertex(v).color)[0]);
+  }
+  EXPECT_TRUE(phi.is_simplicial());
+  EXPECT_TRUE(phi.is_color_preserving());
+  EXPECT_TRUE(phi.is_carrier_monotone());
+  // Corner images shrink carriers of the middle vertices: not strict.
+  EXPECT_FALSE(phi.is_carrier_preserving_strict());
+}
+
+TEST(SimplicialMap, NonSimplicialDetected) {
+  // Map the two middle vertices of SDS(s^1) to opposite corners: the middle
+  // edge's image {P0, P1} is a simplex of base... so instead collapse an
+  // edge to two non-adjacent vertices of SDS(s^1): corners P0 and P1 are not
+  // adjacent in SDS(s^1) (the middle vertices separate them).
+  ChromaticComplex sds = standard_chromatic_subdivision(base_simplex(2));
+  VertexId p0 = kNoVertex, p1 = kNoVertex;
+  for (VertexId v = 0; v < sds.num_vertices(); ++v) {
+    if (sds.vertex(v).carrier == ColorSet{0}) p0 = v;
+    if (sds.vertex(v).carrier == ColorSet{1}) p1 = v;
+  }
+  ASSERT_NE(p0, kNoVertex);
+  ASSERT_NE(p1, kNoVertex);
+  SimplicialMap phi(sds, sds);
+  for (VertexId v = 0; v < sds.num_vertices(); ++v) {
+    phi.set(v, sds.vertex(v).color == 0 ? p0 : p1);
+  }
+  EXPECT_FALSE(phi.is_simplicial());
+}
+
+TEST(SimplicialMap, PartialMapIsNotSimplicial) {
+  ChromaticComplex sds = standard_chromatic_subdivision(base_simplex(2));
+  SimplicialMap phi(sds, sds);
+  EXPECT_FALSE(phi.is_total());
+  EXPECT_FALSE(phi.is_simplicial());
+  EXPECT_EQ(phi.at(0), kNoVertex);
+}
+
+TEST(SimplicialMap, Compose) {
+  ChromaticComplex base = base_simplex(2);
+  ChromaticComplex sds = standard_chromatic_subdivision(base);
+  ChromaticComplex sds2 = standard_chromatic_subdivision(sds);
+  // Color-collapse maps SDS^2 -> SDS -> base; composition stays simplicial
+  // and color preserving.
+  auto collapse = [](const ChromaticComplex& from, const ChromaticComplex& to) {
+    SimplicialMap m(from, to);
+    for (VertexId v = 0; v < from.num_vertices(); ++v) {
+      m.set(v, to.vertices_with_color(from.vertex(v).color)[0]);
+    }
+    return m;
+  };
+  SimplicialMap f = collapse(sds2, sds);
+  SimplicialMap g = collapse(sds, base);
+  SimplicialMap gf = compose(f, g);
+  EXPECT_TRUE(gf.is_color_preserving());
+  EXPECT_TRUE(gf.is_simplicial());
+}
+
+TEST(Boundary, OfSubdividedEdgeIsTwoPoints) {
+  ChromaticComplex sds = iterated_sds(base_simplex(2), 2);
+  ChromaticComplex bd = boundary_complex(sds);
+  EXPECT_EQ(bd.dimension(), 0);
+  EXPECT_EQ(bd.num_facets(), 2u);
+}
+
+TEST(Boundary, OfSubdividedTriangleIsCycle) {
+  ChromaticComplex sds = standard_chromatic_subdivision(base_simplex(3));
+  ChromaticComplex bd = boundary_complex(sds);
+  EXPECT_EQ(bd.dimension(), 1);
+  // Each of the 3 sides subdivides into SDS(s^1): 3 edges each.
+  EXPECT_EQ(bd.num_facets(), 9u);
+  EXPECT_EQ(bd.num_vertices(), 9u);
+  // A cycle: chi = 0, connected, closed.
+  EXPECT_EQ(bd.euler_characteristic(), 0);
+  EXPECT_EQ(num_connected_components(bd), 1);
+  EXPECT_EQ(check_pseudomanifold(bd).boundary_ridges, 0u);
+}
+
+TEST(Boundary, RejectsClosedComplex) {
+  // The boundary of a boundary is empty; asking for it must throw.
+  ChromaticComplex bd =
+      boundary_complex(standard_chromatic_subdivision(base_simplex(3)));
+  EXPECT_THROW((void)boundary_complex(bd), std::invalid_argument);
+}
+
+TEST(DropFacet, RemovesExactlyOne) {
+  ChromaticComplex sds = standard_chromatic_subdivision(base_simplex(3));
+  ChromaticComplex cut = drop_facet(sds, 0);
+  EXPECT_EQ(cut.num_facets(), sds.num_facets() - 1);
+  EXPECT_THROW((void)drop_facet(sds, sds.num_facets()), std::invalid_argument);
+}
+
+TEST(DropFacet, InteriorPunctureKeepsVerticesAndOpensRidges) {
+  ChromaticComplex sds = standard_chromatic_subdivision(base_simplex(3));
+  // Find an interior facet (all carriers full): the central triangle.
+  std::size_t interior = sds.num_facets();
+  for (std::size_t fi = 0; fi < sds.num_facets(); ++fi) {
+    bool all_full = true;
+    for (VertexId v : sds.facets()[fi]) {
+      if (sds.vertex(v).carrier != ColorSet::full(3)) all_full = false;
+    }
+    if (all_full) interior = fi;
+  }
+  ASSERT_LT(interior, sds.num_facets());
+  ChromaticComplex cut = drop_facet(sds, interior);
+  EXPECT_EQ(cut.num_vertices(), sds.num_vertices());
+  // The puncture's three ridges become boundary: 9 outer + 3 new.
+  PseudomanifoldReport rep = check_pseudomanifold(cut);
+  EXPECT_EQ(rep.boundary_ridges, 12u);
+  // The carrier-based boundary check correctly flags the anomaly: interior
+  // ridges (full carrier) now have degree 1.
+  EXPECT_FALSE(rep.boundary_matches_carrier);
+}
+
+TEST(StarLink, ClosedStarOfCorner) {
+  ChromaticComplex sds = standard_chromatic_subdivision(base_simplex(3));
+  VertexId corner = kNoVertex;
+  for (VertexId v = 0; v < sds.num_vertices(); ++v) {
+    if (sds.vertex(v).carrier == ColorSet{0}) corner = v;
+  }
+  ASSERT_NE(corner, kNoVertex);
+  ChromaticComplex star = closed_star(sds, {corner});
+  // Corner of SDS(s^2) is in exactly 1 triangle (ordered partitions where
+  // {0} is the first block alone contribute; corner vertex (0,{0}) appears
+  // in partitions whose first block is {0}: fubini(2)=3... count facets).
+  EXPECT_EQ(star.num_facets(), sds.facets_containing(corner).size());
+  ChromaticComplex lk = link(sds, {corner});
+  EXPECT_EQ(lk.dimension(), 1);
+}
+
+}  // namespace
+}  // namespace wfc::topo

@@ -1,0 +1,218 @@
+// The 2-processor connectivity criterion vs the general Prop 3.1 search:
+// two independent decision procedures for the same question must agree on
+// every 2-processor task in the library.
+#include <gtest/gtest.h>
+
+#include "runtime/sim_is.hpp"
+#include "tasks/canonical.hpp"
+#include "tasks/solvability.hpp"
+#include "tasks/two_proc.hpp"
+#include "topology/structure.hpp"
+#include "topology/subdivision.hpp"
+
+namespace wfc::task {
+namespace {
+
+TEST(TwoProc, ConsensusUnsolvable) {
+  ConsensusTask t(2, 2);
+  TwoProcVerdict v = decide_two_processors(t);
+  EXPECT_FALSE(v.solvable);
+}
+
+TEST(TwoProc, TernaryConsensusUnsolvable) {
+  ConsensusTask t(2, 3);
+  EXPECT_FALSE(decide_two_processors(t).solvable);
+}
+
+TEST(TwoProc, IdentitySolvableAtLevelZero) {
+  IdentityTask t(topo::base_simplex(2));
+  TwoProcVerdict v = decide_two_processors(t);
+  EXPECT_TRUE(v.solvable);
+  EXPECT_EQ(v.level_lower_bound, 0);
+}
+
+TEST(TwoProc, RenamingSolvable) {
+  RenamingTask t(2, 3);
+  TwoProcVerdict v = decide_two_processors(t);
+  EXPECT_TRUE(v.solvable);
+  EXPECT_EQ(v.level_lower_bound, 0);  // identity naming is adjacent
+}
+
+TEST(TwoProc, ApproxAgreementLevelsMatchLogThree) {
+  for (int grid : {1, 2, 3, 5, 9, 27, 81, 100}) {
+    ApproxAgreementTask t(2, grid);
+    TwoProcVerdict v = decide_two_processors(t);
+    ASSERT_TRUE(v.solvable) << grid;
+    int expected = 0;
+    for (int reach = 1; reach < grid; reach *= 3) ++expected;
+    EXPECT_EQ(v.level_lower_bound, expected) << grid;
+  }
+}
+
+TEST(TwoProc, AgreesWithSearchOnSolvables) {
+  // Cross-validate the two decision procedures where both are cheap.
+  for (int grid : {2, 3, 5, 9}) {
+    ApproxAgreementTask t(2, grid);
+    TwoProcVerdict fast = decide_two_processors(t);
+    SolveResult slow = solve(t, fast.level_lower_bound);
+    ASSERT_EQ(slow.status, Solvability::kSolvable) << grid;
+    EXPECT_EQ(slow.level, fast.level_lower_bound) << grid;
+  }
+}
+
+TEST(TwoProc, AgreesWithSearchOnUnsolvables) {
+  ConsensusTask consensus(2, 2);
+  EXPECT_FALSE(decide_two_processors(consensus).solvable);
+  EXPECT_EQ(solve(consensus, 3).status, Solvability::kUnsolvable);
+
+  KSetConsensusTask set21(2, 1);
+  EXPECT_FALSE(decide_two_processors(set21).solvable);
+}
+
+TEST(TwoProc, SimplexAgreementDepthMatches) {
+  for (int depth = 1; depth <= 3; ++depth) {
+    SimplexAgreementTask t(2, topo::iterated_sds(topo::base_simplex(2), depth));
+    TwoProcVerdict v = decide_two_processors(t);
+    ASSERT_TRUE(v.solvable);
+    EXPECT_EQ(v.level_lower_bound, depth);
+  }
+}
+
+TEST(TwoProc, DisconnectedTargetUnsolvable) {
+  // Cutting an interior edge of SDS^2(s^1) disconnects the pinned corners.
+  topo::ChromaticComplex sds2 = topo::iterated_sds(topo::base_simplex(2), 2);
+  for (std::size_t fi = 0; fi < sds2.num_facets(); ++fi) {
+    bool interior = true;
+    for (topo::VertexId v : sds2.facets()[fi]) {
+      if (sds2.vertex(v).carrier != ColorSet::full(2)) interior = false;
+    }
+    if (!interior) continue;
+    SimplexAgreementTask t(2, topo::drop_facet(sds2, fi));
+    EXPECT_FALSE(decide_two_processors(t).solvable);
+    return;
+  }
+  FAIL() << "no interior edge found";
+}
+
+TEST(TwoProc, RejectsWrongArity) {
+  ConsensusTask t(3, 2);
+  EXPECT_THROW((void)decide_two_processors(t), std::invalid_argument);
+}
+
+TEST(TwoProc, WitnessDecisionsAreAllowedSolo) {
+  ApproxAgreementTask t(2, 9);
+  TwoProcVerdict v = decide_two_processors(t);
+  ASSERT_TRUE(v.solvable);
+  ASSERT_EQ(v.solo_decision.size(), t.input().num_vertices());
+  for (topo::VertexId u = 0; u < t.input().num_vertices(); ++u) {
+    EXPECT_TRUE(t.allows({u}, {v.solo_decision[u]}));
+    EXPECT_EQ(t.output().vertex(v.solo_decision[u]).color,
+              t.input().vertex(u).color);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The non-iterated IS model (§3.4).
+// ---------------------------------------------------------------------------
+
+TEST(IsModel, SameBlockSeesSameMemory) {
+  using rt::MemoryView;
+  using rt::Step;
+  std::map<std::pair<int, int>, MemoryView<int>> views;  // (proc, step)
+  std::function<int(int)> init = [](int p) { return 100 + p; };
+  std::function<Step<int>(int, int, const MemoryView<int>&)> on_step =
+      [&](int p, int k, const MemoryView<int>& view) {
+        views[{p, k}] = view;
+        return k < 2 ? Step<int>::cont(200 + p) : Step<int>::halt();
+      };
+  rt::BlockSchedule sched = {ColorSet{0, 1}, ColorSet{2}, ColorSet{0, 1, 2},
+                             ColorSet{2}};
+  rt::run_is_model<int>(3, sched, init, on_step);
+  const auto v01 = views[{0, 1}];
+  const auto v11 = views[{1, 1}];
+  const auto v21 = views[{2, 1}];
+  const auto v02 = views[{0, 2}];
+  const auto v12 = views[{1, 2}];
+  // Block {0,1}, step 1: identical views.
+  EXPECT_EQ(v01, v11);
+  // And they contain each other's writes but not P2's.
+  EXPECT_EQ(v01[1], 101);
+  EXPECT_FALSE(v01[2].has_value());
+  // Second block {2}: sees the first block's writes.
+  EXPECT_EQ(v21[0], 100);
+  // Third block: everyone writes second values, all see them.
+  EXPECT_EQ(v02, v12);
+  EXPECT_EQ(v02[2], 202);
+}
+
+TEST(IsModel, ViewsOrderedByContainment) {
+  using rt::MemoryView;
+  using rt::Step;
+  std::vector<MemoryView<int>> all_views;
+  std::function<int(int)> init = [](int p) { return p; };
+  std::function<Step<int>(int, int, const MemoryView<int>&)> on_step =
+      [&](int, int k, const MemoryView<int>& view) {
+        all_views.push_back(view);
+        return k < 3 ? Step<int>::cont(k * 10) : Step<int>::halt();
+      };
+  Rng rng(5);
+  rt::BlockSchedule sched = rt::random_block_schedule(4, 3, rng);
+  rt::run_is_model<int>(4, sched, init, on_step);
+  // Count of written cells is monotone across the execution order; any two
+  // views are comparable by "written-cell subset".
+  auto written = [](const MemoryView<int>& v) {
+    std::uint32_t mask = 0;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (v[i].has_value()) mask |= 1u << i;
+    }
+    return mask;
+  };
+  for (const auto& a : all_views) {
+    for (const auto& b : all_views) {
+      const std::uint32_t ma = written(a), mb = written(b);
+      EXPECT_TRUE((ma & mb) == ma || (ma & mb) == mb);
+    }
+  }
+}
+
+TEST(IsModel, OneShotMatchesImmediateSnapshotComplex) {
+  // Restricting each processor to one WriteRead, the distinct (proc, view)
+  // pairs across all one-round block schedules = vertices of SDS(s^2).
+  using rt::MemoryView;
+  using rt::Step;
+  std::set<std::pair<int, std::vector<int>>> distinct;
+  // All ordered partitions of {0,1,2} as block schedules.
+  topo::for_each_ordered_partition(3, [&](const topo::OrderedPartition& op) {
+    rt::BlockSchedule sched;
+    for (const auto& block : op) {
+      ColorSet s;
+      for (int x : block) s = s.with(x);
+      sched.push_back(s);
+    }
+    std::function<int(int)> init = [](int p) { return p; };
+    std::function<Step<int>(int, int, const MemoryView<int>&)> on_step =
+        [&](int p, int, const MemoryView<int>& view) {
+          std::vector<int> flat;
+          for (std::size_t i = 0; i < view.size(); ++i) {
+            if (view[i].has_value()) flat.push_back(static_cast<int>(i));
+          }
+          distinct.insert({p, flat});
+          return Step<int>::halt();
+        };
+    rt::run_is_model<int>(3, sched, init, on_step);
+  });
+  EXPECT_EQ(distinct.size(),
+            topo::standard_chromatic_subdivision(topo::base_simplex(3))
+                .num_vertices());
+}
+
+TEST(IsModel, ThrowsOnShortSchedule) {
+  std::function<int(int)> init = [](int p) { return p; };
+  std::function<rt::Step<int>(int, int, const rt::MemoryView<int>&)> on_step =
+      [](int, int, const rt::MemoryView<int>&) { return rt::Step<int>::cont(0); };
+  EXPECT_THROW(rt::run_is_model<int>(2, {ColorSet{0, 1}}, init, on_step),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace wfc::task
