@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bg.dir/bench_bg.cpp.o"
+  "CMakeFiles/bench_bg.dir/bench_bg.cpp.o.d"
+  "bench_bg"
+  "bench_bg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_complex.dir/bench_complex.cpp.o"
+  "CMakeFiles/bench_complex.dir/bench_complex.cpp.o.d"
+  "bench_complex"
+  "bench_complex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_complex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

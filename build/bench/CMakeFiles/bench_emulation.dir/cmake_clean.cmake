@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_emulation.dir/bench_emulation.cpp.o"
+  "CMakeFiles/bench_emulation.dir/bench_emulation.cpp.o.d"
+  "bench_emulation"
+  "bench_emulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_emulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_registers.dir/bench_registers.cpp.o"
+  "CMakeFiles/bench_registers.dir/bench_registers.cpp.o.d"
+  "bench_registers"
+  "bench_registers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_registers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_solvability.dir/bench_solvability.cpp.o"
+  "CMakeFiles/bench_solvability.dir/bench_solvability.cpp.o.d"
+  "bench_solvability"
+  "bench_solvability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_solvability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sperner.dir/bench_sperner.cpp.o"
+  "CMakeFiles/bench_sperner.dir/bench_sperner.cpp.o.d"
+  "bench_sperner"
+  "bench_sperner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sperner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

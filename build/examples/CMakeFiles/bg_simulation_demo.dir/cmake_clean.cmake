@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bg_simulation_demo.dir/bg_simulation_demo.cpp.o"
+  "CMakeFiles/bg_simulation_demo.dir/bg_simulation_demo.cpp.o.d"
+  "bg_simulation_demo"
+  "bg_simulation_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bg_simulation_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convergence_demo.dir/convergence_demo.cpp.o"
+  "CMakeFiles/convergence_demo.dir/convergence_demo.cpp.o.d"
+  "convergence_demo"
+  "convergence_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convergence_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

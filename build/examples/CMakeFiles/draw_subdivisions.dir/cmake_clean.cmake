@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/draw_subdivisions.dir/draw_subdivisions.cpp.o"
+  "CMakeFiles/draw_subdivisions.dir/draw_subdivisions.cpp.o.d"
+  "draw_subdivisions"
+  "draw_subdivisions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/draw_subdivisions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

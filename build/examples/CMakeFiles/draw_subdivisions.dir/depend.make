@@ -1,0 +1,2 @@
+# Empty dependencies file for draw_subdivisions.
+# This may be replaced when dependencies are built.

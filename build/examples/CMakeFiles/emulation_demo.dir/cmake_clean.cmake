@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emulation_demo.dir/emulation_demo.cpp.o"
+  "CMakeFiles/emulation_demo.dir/emulation_demo.cpp.o.d"
+  "emulation_demo"
+  "emulation_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emulation_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

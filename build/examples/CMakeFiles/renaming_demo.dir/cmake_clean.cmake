@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/renaming_demo.dir/renaming_demo.cpp.o"
+  "CMakeFiles/renaming_demo.dir/renaming_demo.cpp.o.d"
+  "renaming_demo"
+  "renaming_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/renaming_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilience_demo.dir/resilience_demo.cpp.o"
+  "CMakeFiles/resilience_demo.dir/resilience_demo.cpp.o.d"
+  "resilience_demo"
+  "resilience_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilience_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/set_consensus_impossibility.dir/set_consensus_impossibility.cpp.o"
+  "CMakeFiles/set_consensus_impossibility.dir/set_consensus_impossibility.cpp.o.d"
+  "set_consensus_impossibility"
+  "set_consensus_impossibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/set_consensus_impossibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfc_cli.dir/wfc_cli.cpp.o"
+  "CMakeFiles/wfc_cli.dir/wfc_cli.cpp.o.d"
+  "wfc_cli"
+  "wfc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfc_bg.dir/simulation.cpp.o"
+  "CMakeFiles/wfc_bg.dir/simulation.cpp.o.d"
+  "libwfc_bg.a"
+  "libwfc_bg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfc_bg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

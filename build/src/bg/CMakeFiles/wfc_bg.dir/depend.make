@@ -1,0 +1,2 @@
+# Empty dependencies file for wfc_bg.
+# This may be replaced when dependencies are built.

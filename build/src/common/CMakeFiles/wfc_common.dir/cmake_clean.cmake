@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfc_common.dir/linalg.cpp.o"
+  "CMakeFiles/wfc_common.dir/linalg.cpp.o.d"
+  "libwfc_common.a"
+  "libwfc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfc_convergence.dir/approximation.cpp.o"
+  "CMakeFiles/wfc_convergence.dir/approximation.cpp.o.d"
+  "CMakeFiles/wfc_convergence.dir/convergence.cpp.o"
+  "CMakeFiles/wfc_convergence.dir/convergence.cpp.o.d"
+  "libwfc_convergence.a"
+  "libwfc_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfc_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfc_core.dir/characterization.cpp.o"
+  "CMakeFiles/wfc_core.dir/characterization.cpp.o.d"
+  "libwfc_core.a"
+  "libwfc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwfc_core.a"
+)

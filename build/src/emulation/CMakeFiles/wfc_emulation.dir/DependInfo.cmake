@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/emulation/emulator.cpp" "src/emulation/CMakeFiles/wfc_emulation.dir/emulator.cpp.o" "gcc" "src/emulation/CMakeFiles/wfc_emulation.dir/emulator.cpp.o.d"
+  "/root/repo/src/emulation/figure1.cpp" "src/emulation/CMakeFiles/wfc_emulation.dir/figure1.cpp.o" "gcc" "src/emulation/CMakeFiles/wfc_emulation.dir/figure1.cpp.o.d"
+  "/root/repo/src/emulation/history.cpp" "src/emulation/CMakeFiles/wfc_emulation.dir/history.cpp.o" "gcc" "src/emulation/CMakeFiles/wfc_emulation.dir/history.cpp.o.d"
+  "/root/repo/src/emulation/iis_in_snapshot.cpp" "src/emulation/CMakeFiles/wfc_emulation.dir/iis_in_snapshot.cpp.o" "gcc" "src/emulation/CMakeFiles/wfc_emulation.dir/iis_in_snapshot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/wfc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wfc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/wfc_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfc_emulation.dir/emulator.cpp.o"
+  "CMakeFiles/wfc_emulation.dir/emulator.cpp.o.d"
+  "CMakeFiles/wfc_emulation.dir/figure1.cpp.o"
+  "CMakeFiles/wfc_emulation.dir/figure1.cpp.o.d"
+  "CMakeFiles/wfc_emulation.dir/history.cpp.o"
+  "CMakeFiles/wfc_emulation.dir/history.cpp.o.d"
+  "CMakeFiles/wfc_emulation.dir/iis_in_snapshot.cpp.o"
+  "CMakeFiles/wfc_emulation.dir/iis_in_snapshot.cpp.o.d"
+  "libwfc_emulation.a"
+  "libwfc_emulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfc_emulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfc_protocol.dir/protocol_complex.cpp.o"
+  "CMakeFiles/wfc_protocol.dir/protocol_complex.cpp.o.d"
+  "CMakeFiles/wfc_protocol.dir/sds_chain.cpp.o"
+  "CMakeFiles/wfc_protocol.dir/sds_chain.cpp.o.d"
+  "libwfc_protocol.a"
+  "libwfc_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfc_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

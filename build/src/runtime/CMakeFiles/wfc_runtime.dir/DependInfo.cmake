@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/adversary.cpp" "src/runtime/CMakeFiles/wfc_runtime.dir/adversary.cpp.o" "gcc" "src/runtime/CMakeFiles/wfc_runtime.dir/adversary.cpp.o.d"
+  "/root/repo/src/runtime/sim_is.cpp" "src/runtime/CMakeFiles/wfc_runtime.dir/sim_is.cpp.o" "gcc" "src/runtime/CMakeFiles/wfc_runtime.dir/sim_is.cpp.o.d"
+  "/root/repo/src/runtime/sim_snapshot.cpp" "src/runtime/CMakeFiles/wfc_runtime.dir/sim_snapshot.cpp.o" "gcc" "src/runtime/CMakeFiles/wfc_runtime.dir/sim_snapshot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wfc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/wfc_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfc_runtime.dir/adversary.cpp.o"
+  "CMakeFiles/wfc_runtime.dir/adversary.cpp.o.d"
+  "CMakeFiles/wfc_runtime.dir/sim_is.cpp.o"
+  "CMakeFiles/wfc_runtime.dir/sim_is.cpp.o.d"
+  "CMakeFiles/wfc_runtime.dir/sim_snapshot.cpp.o"
+  "CMakeFiles/wfc_runtime.dir/sim_snapshot.cpp.o.d"
+  "libwfc_runtime.a"
+  "libwfc_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfc_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

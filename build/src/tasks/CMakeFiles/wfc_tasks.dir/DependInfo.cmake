@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tasks/canonical.cpp" "src/tasks/CMakeFiles/wfc_tasks.dir/canonical.cpp.o" "gcc" "src/tasks/CMakeFiles/wfc_tasks.dir/canonical.cpp.o.d"
+  "/root/repo/src/tasks/decision_protocol.cpp" "src/tasks/CMakeFiles/wfc_tasks.dir/decision_protocol.cpp.o" "gcc" "src/tasks/CMakeFiles/wfc_tasks.dir/decision_protocol.cpp.o.d"
+  "/root/repo/src/tasks/extraction.cpp" "src/tasks/CMakeFiles/wfc_tasks.dir/extraction.cpp.o" "gcc" "src/tasks/CMakeFiles/wfc_tasks.dir/extraction.cpp.o.d"
+  "/root/repo/src/tasks/map_io.cpp" "src/tasks/CMakeFiles/wfc_tasks.dir/map_io.cpp.o" "gcc" "src/tasks/CMakeFiles/wfc_tasks.dir/map_io.cpp.o.d"
+  "/root/repo/src/tasks/renaming_protocol.cpp" "src/tasks/CMakeFiles/wfc_tasks.dir/renaming_protocol.cpp.o" "gcc" "src/tasks/CMakeFiles/wfc_tasks.dir/renaming_protocol.cpp.o.d"
+  "/root/repo/src/tasks/resilience.cpp" "src/tasks/CMakeFiles/wfc_tasks.dir/resilience.cpp.o" "gcc" "src/tasks/CMakeFiles/wfc_tasks.dir/resilience.cpp.o.d"
+  "/root/repo/src/tasks/solvability.cpp" "src/tasks/CMakeFiles/wfc_tasks.dir/solvability.cpp.o" "gcc" "src/tasks/CMakeFiles/wfc_tasks.dir/solvability.cpp.o.d"
+  "/root/repo/src/tasks/two_proc.cpp" "src/tasks/CMakeFiles/wfc_tasks.dir/two_proc.cpp.o" "gcc" "src/tasks/CMakeFiles/wfc_tasks.dir/two_proc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/protocol/CMakeFiles/wfc_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/wfc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/wfc_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wfc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfc_tasks.dir/canonical.cpp.o"
+  "CMakeFiles/wfc_tasks.dir/canonical.cpp.o.d"
+  "CMakeFiles/wfc_tasks.dir/decision_protocol.cpp.o"
+  "CMakeFiles/wfc_tasks.dir/decision_protocol.cpp.o.d"
+  "CMakeFiles/wfc_tasks.dir/extraction.cpp.o"
+  "CMakeFiles/wfc_tasks.dir/extraction.cpp.o.d"
+  "CMakeFiles/wfc_tasks.dir/map_io.cpp.o"
+  "CMakeFiles/wfc_tasks.dir/map_io.cpp.o.d"
+  "CMakeFiles/wfc_tasks.dir/renaming_protocol.cpp.o"
+  "CMakeFiles/wfc_tasks.dir/renaming_protocol.cpp.o.d"
+  "CMakeFiles/wfc_tasks.dir/resilience.cpp.o"
+  "CMakeFiles/wfc_tasks.dir/resilience.cpp.o.d"
+  "CMakeFiles/wfc_tasks.dir/solvability.cpp.o"
+  "CMakeFiles/wfc_tasks.dir/solvability.cpp.o.d"
+  "CMakeFiles/wfc_tasks.dir/two_proc.cpp.o"
+  "CMakeFiles/wfc_tasks.dir/two_proc.cpp.o.d"
+  "libwfc_tasks.a"
+  "libwfc_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfc_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for wfc_tasks.
+# This may be replaced when dependencies are built.

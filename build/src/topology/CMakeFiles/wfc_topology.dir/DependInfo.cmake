@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/complex.cpp" "src/topology/CMakeFiles/wfc_topology.dir/complex.cpp.o" "gcc" "src/topology/CMakeFiles/wfc_topology.dir/complex.cpp.o.d"
+  "/root/repo/src/topology/geometry.cpp" "src/topology/CMakeFiles/wfc_topology.dir/geometry.cpp.o" "gcc" "src/topology/CMakeFiles/wfc_topology.dir/geometry.cpp.o.d"
+  "/root/repo/src/topology/io.cpp" "src/topology/CMakeFiles/wfc_topology.dir/io.cpp.o" "gcc" "src/topology/CMakeFiles/wfc_topology.dir/io.cpp.o.d"
+  "/root/repo/src/topology/ordered_partition.cpp" "src/topology/CMakeFiles/wfc_topology.dir/ordered_partition.cpp.o" "gcc" "src/topology/CMakeFiles/wfc_topology.dir/ordered_partition.cpp.o.d"
+  "/root/repo/src/topology/simplicial_map.cpp" "src/topology/CMakeFiles/wfc_topology.dir/simplicial_map.cpp.o" "gcc" "src/topology/CMakeFiles/wfc_topology.dir/simplicial_map.cpp.o.d"
+  "/root/repo/src/topology/sperner.cpp" "src/topology/CMakeFiles/wfc_topology.dir/sperner.cpp.o" "gcc" "src/topology/CMakeFiles/wfc_topology.dir/sperner.cpp.o.d"
+  "/root/repo/src/topology/structure.cpp" "src/topology/CMakeFiles/wfc_topology.dir/structure.cpp.o" "gcc" "src/topology/CMakeFiles/wfc_topology.dir/structure.cpp.o.d"
+  "/root/repo/src/topology/subdivision.cpp" "src/topology/CMakeFiles/wfc_topology.dir/subdivision.cpp.o" "gcc" "src/topology/CMakeFiles/wfc_topology.dir/subdivision.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wfc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfc_topology.dir/complex.cpp.o"
+  "CMakeFiles/wfc_topology.dir/complex.cpp.o.d"
+  "CMakeFiles/wfc_topology.dir/geometry.cpp.o"
+  "CMakeFiles/wfc_topology.dir/geometry.cpp.o.d"
+  "CMakeFiles/wfc_topology.dir/io.cpp.o"
+  "CMakeFiles/wfc_topology.dir/io.cpp.o.d"
+  "CMakeFiles/wfc_topology.dir/ordered_partition.cpp.o"
+  "CMakeFiles/wfc_topology.dir/ordered_partition.cpp.o.d"
+  "CMakeFiles/wfc_topology.dir/simplicial_map.cpp.o"
+  "CMakeFiles/wfc_topology.dir/simplicial_map.cpp.o.d"
+  "CMakeFiles/wfc_topology.dir/sperner.cpp.o"
+  "CMakeFiles/wfc_topology.dir/sperner.cpp.o.d"
+  "CMakeFiles/wfc_topology.dir/structure.cpp.o"
+  "CMakeFiles/wfc_topology.dir/structure.cpp.o.d"
+  "CMakeFiles/wfc_topology.dir/subdivision.cpp.o"
+  "CMakeFiles/wfc_topology.dir/subdivision.cpp.o.d"
+  "libwfc_topology.a"
+  "libwfc_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfc_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

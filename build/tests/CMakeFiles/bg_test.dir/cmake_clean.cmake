@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bg_test.dir/bg_test.cpp.o"
+  "CMakeFiles/bg_test.dir/bg_test.cpp.o.d"
+  "bg_test"
+  "bg_test.pdb"
+  "bg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

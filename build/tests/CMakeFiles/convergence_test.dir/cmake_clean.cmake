@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convergence_test.dir/convergence_test.cpp.o"
+  "CMakeFiles/convergence_test.dir/convergence_test.cpp.o.d"
+  "convergence_test"
+  "convergence_test.pdb"
+  "convergence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convergence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

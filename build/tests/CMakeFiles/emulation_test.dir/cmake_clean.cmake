@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emulation_test.dir/emulation_test.cpp.o"
+  "CMakeFiles/emulation_test.dir/emulation_test.cpp.o.d"
+  "emulation_test"
+  "emulation_test.pdb"
+  "emulation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emulation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extraction_test.dir/extraction_test.cpp.o"
+  "CMakeFiles/extraction_test.dir/extraction_test.cpp.o.d"
+  "extraction_test"
+  "extraction_test.pdb"
+  "extraction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extraction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

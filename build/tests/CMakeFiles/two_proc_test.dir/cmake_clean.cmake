@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_proc_test.dir/two_proc_test.cpp.o"
+  "CMakeFiles/two_proc_test.dir/two_proc_test.cpp.o.d"
+  "two_proc_test"
+  "two_proc_test.pdb"
+  "two_proc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_proc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
