@@ -1,0 +1,151 @@
+// E16 -- the service layer quantitatively.  Three regimes over the same
+// repeated-task batch, all measured in wall time (UseRealTime):
+//
+//   * cold      -- plain single-threaded task::solve, a fresh instance per
+//                  query: every query pays subdivision + search;
+//   * warm-chain -- QueryService with a fresh instance per query: the SDS
+//                  cache shares towers, searches still run (~2x);
+//   * warm-memo -- QueryService re-asked the SAME task instance: the result
+//                  memo replays the definitive verdict, no search (this is
+//                  the serving sweet spot, and the PR 1 acceptance bar of
+//                  >= 5x throughput over cold lands here with a wide
+//                  margin -- compare queries_per_s across the rows).
+//
+// Worker counts 1/2/4/8 are swept for the service regimes; on a single
+// hardware thread they mostly show that contention stays flat.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "service/query_service.hpp"
+#include "tasks/canonical.hpp"
+#include "tasks/solvability.hpp"
+
+namespace {
+
+using namespace wfc;
+
+constexpr int kBatch = 24;    // queries per timed batch
+constexpr int kMaxLevel = 2;  // consensus(2,2): refuted at levels 0..2
+
+std::shared_ptr<task::Task> fresh_task() {
+  return std::make_shared<task::ConsensusTask>(2, 2);
+}
+
+void report_rate(benchmark::State& state) {
+  state.counters["queries_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kBatch,
+      benchmark::Counter::kIsRate);
+}
+
+/// Baseline: one thread, no service -- each query pays the full cost.
+void BM_ColdSequentialSolve(benchmark::State& state) {
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i) {
+      task::SolveResult r = task::solve(*fresh_task(), kMaxLevel);
+      benchmark::DoNotOptimize(r);
+    }
+  }
+  report_rate(state);
+}
+BENCHMARK(BM_ColdSequentialSolve)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+void run_service_batch(benchmark::State& state, svc::QueryService& service,
+                       const std::vector<std::shared_ptr<task::Task>>& batch) {
+  svc::QueryOptions qopts;
+  qopts.max_level = kMaxLevel;
+  for (auto _ : state) {
+    std::vector<svc::QueryTicket> tickets;
+    tickets.reserve(batch.size());
+    for (const auto& t : batch) {
+      tickets.push_back(service.submit_solve(t, qopts));
+    }
+    for (svc::QueryTicket& ticket : tickets) {
+      svc::QueryResult r = ticket.result.get();
+      benchmark::DoNotOptimize(r);
+    }
+  }
+  report_rate(state);
+}
+
+/// Distinct task instances per query: only the chain cache helps (the
+/// searches rerun), isolating the subdivision-sharing win.
+void BM_WarmChainCacheOnly(benchmark::State& state) {
+  svc::QueryService::Options options;
+  options.workers = static_cast<int>(state.range(0));
+  options.result_memo_entries = 0;  // chain cache only
+  svc::QueryService service(options);
+  std::vector<std::shared_ptr<task::Task>> batch;
+  for (int i = 0; i < kBatch; ++i) batch.push_back(fresh_task());
+  // Warm the chain cache outside the timed region.
+  svc::QueryOptions qopts;
+  qopts.max_level = kMaxLevel;
+  service.submit_solve(fresh_task(), qopts).result.get();
+
+  run_service_batch(state, service, batch);
+  const svc::ServiceStats stats = service.stats();
+  state.counters["cache_hit_pct"] =
+      100.0 * static_cast<double>(stats.cache.hits) /
+      static_cast<double>(stats.cache.hits + stats.cache.misses +
+                          stats.cache.extensions);
+}
+BENCHMARK(BM_WarmChainCacheOnly)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// The same task instance re-asked kBatch times: after the first solve the
+/// result memo answers inline.  This is the repeated-task serving regime.
+void BM_WarmResultMemo(benchmark::State& state) {
+  svc::QueryService::Options options;
+  options.workers = static_cast<int>(state.range(0));
+  svc::QueryService service(options);
+  std::shared_ptr<task::Task> t = fresh_task();
+  std::vector<std::shared_ptr<task::Task>> batch(kBatch, t);
+  svc::QueryOptions qopts;
+  qopts.max_level = kMaxLevel;
+  service.submit_solve(t, qopts).result.get();  // warm memo + cache
+
+  run_service_batch(state, service, batch);
+  state.counters["result_hits"] =
+      static_cast<double>(service.stats().result_hits);
+}
+BENCHMARK(BM_WarmResultMemo)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// Mixed repeated batch: four canonical families interleaved, each repeated
+/// (as a JSONL client would produce after interning); hits both layers.
+void BM_WarmServiceMixedBatch(benchmark::State& state) {
+  svc::QueryService::Options options;
+  options.workers = 4;
+  svc::QueryService service(options);
+  std::vector<std::shared_ptr<task::Task>> families = {
+      std::make_shared<task::ConsensusTask>(2, 2),
+      std::make_shared<task::RenamingTask>(2, 2),
+      std::make_shared<task::ApproxAgreementTask>(2, 3),
+      std::make_shared<task::ApproxAgreementTask>(2, 9),
+  };
+  std::vector<std::shared_ptr<task::Task>> batch;
+  for (int i = 0; i < kBatch; ++i) batch.push_back(families[i % 4]);
+  svc::QueryOptions qopts;
+  qopts.max_level = kMaxLevel;
+  for (const auto& t : families) service.submit_solve(t, qopts).result.get();
+
+  run_service_batch(state, service, batch);
+}
+BENCHMARK(BM_WarmServiceMixedBatch)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -8,17 +8,21 @@
 //   wfc_cli simplex-agreement <procs> <target_depth> [max_level]
 //   wfc_cli resilient-consensus <procs> <t> [max_level]
 //   wfc_cli resilient-set-consensus <procs> <k>:<t> [max_level]   (e.g. 2:1)
+//   wfc_cli serve [workers] [max_level]
 //
 // Prints the characterization verdict, and for solvable tasks also runs the
 // synthesized protocol once on real threads as a liveness check.  The
 // resilient-* forms answer the t-resilient question for colorless tasks via
-// the BG reduction.
+// the BG reduction.  `serve` turns the CLI into a JSON-lines query server
+// over stdin/stdout (see service/frontend.hpp for the line protocol).
 #include <cstdio>
 #include <cstdlib>
+#include <iostream>
 #include <memory>
 #include <string>
 
 #include "core/wfc.hpp"
+#include "service/frontend.hpp"
 
 namespace {
 
@@ -31,7 +35,8 @@ int usage() {
                "  set-consensus <procs> <k>\n"
                "  renaming <procs> <names>\n"
                "  approx <procs> <grid>\n"
-               "  simplex-agreement <procs> <target_depth>\n");
+               "  simplex-agreement <procs> <target_depth>\n"
+               "  serve [workers] [max_level]   (JSON-lines on stdin)\n");
   return 2;
 }
 
@@ -70,12 +75,8 @@ int resilient_command(const std::string& name, int procs, const char* arg,
     spec = colorless_set_consensus(k, procs);
   }
   ResilienceVerdict v = decide_t_resilient(spec, procs, t, max_level);
-  const char* status =
-      v.status == Solvability::kSolvable
-          ? "SOLVABLE"
-          : v.status == Solvability::kUnsolvable ? "UNSOLVABLE" : "UNKNOWN";
   std::printf("%s with %d processors tolerating %d failures: %s",
-              spec.name.c_str(), procs, t, status);
+              spec.name.c_str(), procs, t, to_cstring(v.status));
   if (v.status == Solvability::kSolvable) {
     std::printf(" (wait-free witness at level %d for %d processors)",
                 v.wait_free_level, t + 1);
@@ -85,6 +86,14 @@ int resilient_command(const std::string& name, int procs, const char* arg,
 }
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "serve") {
+    wfc::svc::ServeConfig config;
+    if (argc > 2) config.service.workers = std::atoi(argv[2]);
+    if (argc > 3) config.default_max_level = std::atoi(argv[3]);
+    const int errors =
+        wfc::svc::run_jsonl_server(std::cin, std::cout, std::cerr, config);
+    return errors == 0 ? 0 : 1;
+  }
   if (argc < 4) return usage();
   const std::string name = argv[1];
   const int a = std::atoi(argv[2]);

@@ -1,0 +1,62 @@
+// wfc_serve -- JSON-lines query server over the wfc::svc subsystem.
+//
+// Reads one query object per stdin line, executes them concurrently on a
+// worker pool with a shared SDS-chain cache, and prints one JSON result
+// line per query (in input order) to stdout.  See service/frontend.hpp for
+// the line protocol.
+//
+// Usage: wfc_serve [--workers N] [--max-level B] [--cache-entries N]
+//                  [--cache-vertices N] [--quiet]
+//
+// Example (two input lines: a consensus query, then a stats request):
+//   printf ... | wfc_serve --workers 4
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "service/frontend.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: wfc_serve [--workers N] [--max-level B]\n"
+               "                 [--cache-entries N] [--cache-vertices N]\n"
+               "                 [--quiet]\n"
+               "Reads JSON-lines queries from stdin; see "
+               "service/frontend.hpp for the protocol.\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  wfc::svc::ServeConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_int = [&](int& out) {
+      if (i + 1 >= argc) return false;
+      out = std::atoi(argv[++i]);
+      return out > 0;
+    };
+    int value = 0;
+    if (arg == "--workers" && next_int(value)) {
+      config.service.workers = value;
+    } else if (arg == "--max-level" && next_int(value)) {
+      config.default_max_level = value;
+    } else if (arg == "--cache-entries" && next_int(value)) {
+      config.service.cache.max_entries = static_cast<std::size_t>(value);
+    } else if (arg == "--cache-vertices" && next_int(value)) {
+      config.service.cache.max_resident_vertices =
+          static_cast<std::size_t>(value);
+    } else if (arg == "--quiet") {
+      config.stats_at_eof = false;
+    } else {
+      return usage();
+    }
+  }
+  const int errors =
+      wfc::svc::run_jsonl_server(std::cin, std::cout, std::cerr, config);
+  return errors == 0 ? 0 : 1;
+}

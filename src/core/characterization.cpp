@@ -27,6 +27,9 @@ std::string CharacterizationReport::summary(
     case task::Solvability::kUnknown:
       os << "UNKNOWN (node budget exhausted)";
       break;
+    case task::Solvability::kCancelled:
+      os << "CANCELLED (deadline or cancel token)";
+      break;
   }
   os << " [" << nodes_explored << " search nodes]";
   if (two_proc_checked) {
@@ -47,7 +50,8 @@ CharacterizationReport characterize(const task::Task& task,
   // Independent oracle for 2-processor tasks: the connectivity criterion
   // must agree with the search wherever the search gave a definite answer.
   if (task.input().n_colors() == 2 &&
-      report.status != task::Solvability::kUnknown) {
+      (report.status == task::Solvability::kSolvable ||
+       report.status == task::Solvability::kUnsolvable)) {
     report.two_proc_checked = true;
     const task::TwoProcVerdict fast = task::decide_two_processors(task);
     if (report.status == task::Solvability::kSolvable) {

@@ -9,6 +9,10 @@
 //   emulation   -- the §4 Figure 2 emulation + history checker
 //   convergence -- §5 simplicial approximation and convergence protocols
 //   core        -- the Characterization facade below
+//
+// The query-serving layer (wfc::svc -- worker pool, shared SDS-chain cache,
+// JSON-lines front-end) sits ABOVE this umbrella: include
+// service/query_service.hpp or service/frontend.hpp and link wfc_svc.
 #pragma once
 
 #include "bg/safe_agreement.hpp"

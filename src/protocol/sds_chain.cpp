@@ -5,16 +5,30 @@ namespace wfc::proto {
 SdsChain::SdsChain(topo::ChromaticComplex input, int depth) {
   WFC_REQUIRE(depth >= 0, "SdsChain: negative depth");
   levels_.reserve(static_cast<std::size_t>(depth) + 1);
-  levels_.push_back(std::move(input));
+  levels_.push_back(
+      std::make_shared<const topo::ChromaticComplex>(std::move(input)));
   for (int r = 1; r <= depth; ++r) {
-    levels_.push_back(topo::standard_chromatic_subdivision(levels_.back()));
+    levels_.push_back(std::make_shared<const topo::ChromaticComplex>(
+        topo::standard_chromatic_subdivision(*levels_.back())));
+  }
+}
+
+SdsChain::SdsChain(const SdsChain& other, int depth) {
+  WFC_REQUIRE(depth >= 0, "SdsChain: negative depth");
+  const int shared = std::min(depth, other.depth());
+  levels_.reserve(static_cast<std::size_t>(depth) + 1);
+  levels_.assign(other.levels_.begin(),
+                 other.levels_.begin() + (shared + 1));
+  for (int r = shared + 1; r <= depth; ++r) {
+    levels_.push_back(std::make_shared<const topo::ChromaticComplex>(
+        topo::standard_chromatic_subdivision(*levels_.back())));
   }
 }
 
 const topo::ChromaticComplex& SdsChain::level(int r) const {
   WFC_REQUIRE(r >= 0 && r < static_cast<int>(levels_.size()),
               "SdsChain::level: out of range");
-  return levels_[static_cast<std::size_t>(r)];
+  return *levels_[static_cast<std::size_t>(r)];
 }
 
 topo::VertexId SdsChain::locate(int r, Color c,
@@ -22,7 +36,7 @@ topo::VertexId SdsChain::locate(int r, Color c,
   WFC_REQUIRE(r >= 1 && r < static_cast<int>(levels_.size()),
               "SdsChain::locate: level out of range");
   const topo::VertexId v =
-      levels_[static_cast<std::size_t>(r)].find_vertex(
+      levels_[static_cast<std::size_t>(r)]->find_vertex(
           topo::sds_vertex_key(c, seen));
   WFC_CHECK(v != topo::kNoVertex,
             "SdsChain::locate: live view is not a vertex of SDS^r -- "

@@ -8,8 +8,17 @@
 // Lemma 3.3: local states after r rounds ARE vertices of SDS^r(I).  The
 // solvability checker compiles decision maps against the top level, and the
 // runtime looks itself up here to decide.
+//
+// Levels are held through shared_ptr and immutable once built, so chains
+// over the same input can SHARE them: SdsChain(prefix, depth) reuses every
+// already-built level of `prefix` and only subdivides beyond its top (or
+// merely re-points at a prefix of the levels when depth <= prefix.depth()).
+// Iterated subdivision dominates every workload in this library; the
+// service-layer cache (src/service) leans on this to compute SDS^k(I) once
+// per input across queries and levels.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "topology/complex.hpp"
@@ -21,6 +30,12 @@ class SdsChain {
  public:
   /// Builds levels 0..depth; level r is SDS^r(input).
   SdsChain(topo::ChromaticComplex input, int depth);
+
+  /// Shares levels with `other`: levels 0..min(depth, other.depth()) are the
+  /// same objects (no copy, no recomputation); levels beyond other.depth()
+  /// are freshly subdivided.  Both extension (depth > other.depth()) and
+  /// truncation (depth < other.depth()) are O(shared levels) pointer copies.
+  SdsChain(const SdsChain& other, int depth);
 
   [[nodiscard]] int depth() const noexcept {
     return static_cast<int>(levels_.size()) - 1;
@@ -43,7 +58,7 @@ class SdsChain {
                                       const topo::Simplex& seen) const;
 
  private:
-  std::vector<topo::ChromaticComplex> levels_;
+  std::vector<std::shared_ptr<const topo::ChromaticComplex>> levels_;
 };
 
 }  // namespace wfc::proto

@@ -1,0 +1,230 @@
+#include "service/frontend.hpp"
+
+#include <deque>
+#include <istream>
+#include <numeric>
+#include <ostream>
+#include <stdexcept>
+
+#include "service/jsonl.hpp"
+#include "topology/subdivision.hpp"
+
+namespace wfc::svc {
+
+namespace {
+
+using Fields = std::map<std::string, std::string>;
+
+int int_field(const Fields& fields, const std::string& key,
+              std::optional<int> fallback = std::nullopt) {
+  auto it = fields.find(key);
+  if (it == fields.end()) {
+    if (fallback) return *fallback;
+    throw std::invalid_argument("missing field \"" + key + "\"");
+  }
+  try {
+    std::size_t pos = 0;
+    const int value = std::stoi(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument(it->second);
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("field \"" + key + "\" is not an integer: " +
+                                it->second);
+  }
+}
+
+std::string string_field(const Fields& fields, const std::string& key,
+                         const std::string& fallback = "") {
+  auto it = fields.find(key);
+  return it == fields.end() ? fallback : it->second;
+}
+
+QueryOptions parse_query_options(const Fields& fields, int default_max_level) {
+  QueryOptions options;
+  options.max_level = int_field(fields, "max_level", default_max_level);
+  if (auto it = fields.find("budget"); it != fields.end()) {
+    try {
+      options.node_budget = std::stoull(it->second);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("field \"budget\" is not an integer: " +
+                                  it->second);
+    }
+  }
+  if (fields.count("timeout_ms") != 0) {
+    options.timeout = std::chrono::milliseconds(
+        int_field(fields, "timeout_ms"));
+  }
+  return options;
+}
+
+/// One submitted query with everything needed to print its result line.
+struct Pending {
+  std::string id;
+  std::string label;  // task name or op
+  QueryTicket ticket;
+  bool is_emulate = false;
+};
+
+void print_result(std::ostream& out, const Pending& pending,
+                  QueryResult result) {
+  JsonWriter w;
+  if (!pending.id.empty()) w.field("id", pending.id);
+  w.field("task", pending.label);
+  if (!result.error.empty()) {
+    w.field("status", "ERROR").field("error", result.error);
+  } else if (pending.is_emulate) {
+    w.field("status", "OK")
+        .field("rounds", result.emu_rounds)
+        .field("iis_steps",
+               std::accumulate(result.emu_steps.begin(),
+                               result.emu_steps.end(), std::int64_t{0}));
+  } else {
+    w.field("status", task::to_cstring(result.solve.status));
+    if (result.solve.status == task::Solvability::kSolvable) {
+      w.field("level", result.solve.level);
+    }
+    w.field("nodes", result.solve.nodes_explored)
+        .field("cache_hit", result.cache_hit);
+  }
+  w.field("micros", result.micros);
+  out << w.str() << "\n";
+}
+
+}  // namespace
+
+std::shared_ptr<task::Task> make_canonical_task(const Fields& fields) {
+  const std::string kind = string_field(fields, "task");
+  if (kind.empty()) throw std::invalid_argument("missing field \"task\"");
+  const int procs = int_field(fields, "procs");
+  if (kind == "consensus") {
+    return std::make_shared<task::ConsensusTask>(procs,
+                                                 int_field(fields, "values"));
+  }
+  if (kind == "set-consensus") {
+    return std::make_shared<task::KSetConsensusTask>(procs,
+                                                     int_field(fields, "k"));
+  }
+  if (kind == "renaming") {
+    return std::make_shared<task::RenamingTask>(procs,
+                                                int_field(fields, "names"));
+  }
+  if (kind == "approx") {
+    return std::make_shared<task::ApproxAgreementTask>(
+        procs, int_field(fields, "grid"));
+  }
+  if (kind == "simplex-agreement") {
+    return std::make_shared<task::SimplexAgreementTask>(
+        procs, topo::iterated_sds(topo::base_simplex(procs),
+                                  int_field(fields, "depth")));
+  }
+  if (kind == "identity") {
+    return std::make_shared<task::IdentityTask>(topo::base_simplex(procs));
+  }
+  throw std::invalid_argument("unknown task kind \"" + kind + "\"");
+}
+
+int run_jsonl_server(std::istream& in, std::ostream& out, std::ostream& err,
+                     const ServeConfig& config) {
+  QueryService service(config.service);
+  std::deque<Pending> pending;
+  int error_lines = 0;
+
+  // Canonical tasks are pure functions of their request fields, so repeated
+  // lines can share ONE task object -- which is exactly what the service's
+  // result memo keys on.  Interning also skips rebuilding input/output
+  // complexes (iterated_sds for simplex-agreement is itself costly).
+  std::map<std::string, std::shared_ptr<task::Task>> interned;
+  auto intern_task = [&interned](const Fields& fields) {
+    std::string key;
+    for (const auto& [k, v] : fields) {
+      // Skip fields that do not affect the constructed task.  max_level and
+      // budget DO affect the verdict, but they are part of the service's
+      // memo key, not the task's.
+      if (k == "id" || k == "op" || k == "max_level" || k == "budget" ||
+          k == "timeout_ms") {
+        continue;
+      }
+      key += k;
+      key += '=';
+      key += v;
+      key += ';';
+    }
+    auto it = interned.find(key);
+    if (it == interned.end()) {
+      // Construct before inserting: a throwing line must not intern null.
+      it = interned.emplace(key, make_canonical_task(fields)).first;
+    }
+    return it->second;
+  };
+
+  auto drain = [&](std::size_t keep) {
+    while (pending.size() > keep) {
+      Pending p = std::move(pending.front());
+      pending.pop_front();
+      QueryResult result = p.ticket.result.get();
+      if (!result.error.empty()) ++error_lines;
+      print_result(out, p, std::move(result));
+    }
+  };
+
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    try {
+      const Fields fields = parse_flat_json(line);
+      const std::string op = string_field(fields, "op", "solve");
+
+      if (op == "stats") {
+        drain(0);  // counters reflect every query submitted before this line
+        out << service.stats().to_string() << "\n";
+        continue;
+      }
+
+      Pending p;
+      p.id = string_field(fields, "id");
+      Query query;
+      query.options = parse_query_options(fields, config.default_max_level);
+      if (op == "solve") {
+        std::shared_ptr<task::Task> task = intern_task(fields);
+        p.label = task->name();
+        query.kind = Query::Kind::kSolve;
+        query.task = std::move(task);
+      } else if (op == "convergence") {
+        const int procs = int_field(fields, "procs");
+        const int depth = int_field(fields, "depth");
+        query.kind = Query::Kind::kConvergence;
+        query.agreement = std::make_shared<task::SimplexAgreementTask>(
+            procs, topo::iterated_sds(topo::base_simplex(procs), depth));
+        p.label = query.agreement->name();
+      } else if (op == "emulate") {
+        query.kind = Query::Kind::kEmulate;
+        query.emu_procs = int_field(fields, "procs");
+        query.emu_shots = int_field(fields, "shots", 1);
+        p.label = "emulate(procs=" + std::to_string(query.emu_procs) +
+                  ",shots=" + std::to_string(query.emu_shots) + ")";
+        p.is_emulate = true;
+      } else {
+        throw std::invalid_argument("unknown op \"" + op + "\"");
+      }
+      p.ticket = service.submit(std::move(query));
+      pending.push_back(std::move(p));
+    } catch (const std::exception& e) {
+      ++error_lines;
+      drain(0);  // keep result lines in input order
+      out << JsonWriter().field("status", "ERROR").field("error", e.what())
+                 .str()
+          << "\n";
+    }
+    // Keep the printed order equal to the submission order without letting
+    // the backlog grow unboundedly on huge inputs.
+    if (pending.size() >= 4096) drain(2048);
+  }
+  drain(0);
+  if (config.stats_at_eof) {
+    err << "wfc_serve: " << service.stats().to_string() << "\n";
+  }
+  return error_lines;
+}
+
+}  // namespace wfc::svc

@@ -1,0 +1,56 @@
+// JSON-lines batch front-end over QueryService.
+//
+// Protocol: one flat JSON object per input line, one JSON result line per
+// query, in submission order (queries still EXECUTE concurrently on the
+// pool; only the printing is ordered).  Blank lines and lines starting with
+// '#' are skipped.
+//
+//   {"task":"consensus","procs":2,"values":2}            solvability query
+//   {"task":"set-consensus","procs":3,"k":2,"max_level":1}
+//   {"task":"renaming","procs":2,"names":2}
+//   {"task":"approx","procs":2,"grid":3,"timeout_ms":500}
+//   {"task":"simplex-agreement","procs":2,"depth":1}
+//   {"task":"identity","procs":3}
+//   {"op":"convergence","procs":2,"depth":1,"max_level":4}
+//   {"op":"emulate","procs":2,"shots":2}
+//   {"op":"stats"}            flushes outstanding queries, prints counters
+//
+// Optional fields on every query: "id" (echoed back), "max_level",
+// "budget" (search node budget), "timeout_ms" (deadline from submission).
+//
+// Result lines:
+//   {"id":...,"task":"...","status":"SOLVABLE","level":1,"nodes":12,
+//    "micros":345,"cache_hit":true}
+//   {"op":"emulate",...,"status":"OK","rounds":5,"iis_steps":17,...}
+//   {"error":"..."} for malformed lines or failed queries.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "service/query_service.hpp"
+
+namespace wfc::svc {
+
+struct ServeConfig {
+  QueryService::Options service;
+  int default_max_level = 2;
+  /// Print a final stats line to `err` when the input is exhausted.
+  bool stats_at_eof = true;
+};
+
+/// Builds a canonical task from parsed JSON fields ("task" + parameters;
+/// see the file comment).  Throws std::invalid_argument on unknown kinds or
+/// missing/malformed parameters.
+std::shared_ptr<task::Task> make_canonical_task(
+    const std::map<std::string, std::string>& fields);
+
+/// Reads queries from `in` until EOF, fans them out to a QueryService, and
+/// writes one result line per query to `out`.  Returns the number of lines
+/// that produced an error result (0 = clean run).
+int run_jsonl_server(std::istream& in, std::ostream& out, std::ostream& err,
+                     const ServeConfig& config = {});
+
+}  // namespace wfc::svc

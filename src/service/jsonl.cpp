@@ -1,0 +1,168 @@
+#include "service/jsonl.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <stdexcept>
+
+namespace wfc::svc {
+
+namespace {
+
+[[noreturn]] void bad(std::string_view line, const char* why) {
+  throw std::invalid_argument("parse_flat_json: " + std::string(why) +
+                              " in: " + std::string(line));
+}
+
+void skip_ws(std::string_view s, std::size_t& i) {
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+}
+
+std::string parse_string(std::string_view line, std::size_t& i) {
+  // line[i] == '"' on entry.
+  ++i;
+  std::string out;
+  while (i < line.size() && line[i] != '"') {
+    char c = line[i++];
+    if (c == '\\') {
+      if (i >= line.size()) bad(line, "dangling escape");
+      const char esc = line[i++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'r': out.push_back('\r'); break;
+        default: bad(line, "unsupported escape");
+      }
+    } else {
+      out.push_back(c);
+    }
+  }
+  if (i >= line.size()) bad(line, "unterminated string");
+  ++i;  // closing quote
+  return out;
+}
+
+std::string parse_scalar(std::string_view line, std::size_t& i) {
+  // Number / true / false / null, ended by ',' '}' or whitespace.
+  const std::size_t start = i;
+  while (i < line.size() && line[i] != ',' && line[i] != '}' &&
+         !std::isspace(static_cast<unsigned char>(line[i]))) {
+    ++i;
+  }
+  std::string tok(line.substr(start, i - start));
+  if (tok.empty()) bad(line, "empty value");
+  if (tok == "true" || tok == "false" || tok == "null") return tok;
+  // Validate as a JSON number (integers and simple decimals suffice here).
+  std::size_t p = 0;
+  if (tok[p] == '-') ++p;
+  bool digits = false;
+  while (p < tok.size() &&
+         std::isdigit(static_cast<unsigned char>(tok[p]))) {
+    ++p;
+    digits = true;
+  }
+  if (p < tok.size() && tok[p] == '.') {
+    ++p;
+    while (p < tok.size() &&
+           std::isdigit(static_cast<unsigned char>(tok[p]))) {
+      ++p;
+      digits = true;
+    }
+  }
+  if (!digits || p != tok.size()) bad(line, "malformed value");
+  return tok;
+}
+
+}  // namespace
+
+std::map<std::string, std::string> parse_flat_json(std::string_view line) {
+  std::map<std::string, std::string> out;
+  std::size_t i = 0;
+  skip_ws(line, i);
+  if (i >= line.size() || line[i] != '{') bad(line, "expected '{'");
+  ++i;
+  skip_ws(line, i);
+  if (i < line.size() && line[i] == '}') {
+    ++i;
+  } else {
+    for (;;) {
+      skip_ws(line, i);
+      if (i >= line.size() || line[i] != '"') bad(line, "expected key");
+      std::string key = parse_string(line, i);
+      skip_ws(line, i);
+      if (i >= line.size() || line[i] != ':') bad(line, "expected ':'");
+      ++i;
+      skip_ws(line, i);
+      if (i >= line.size()) bad(line, "missing value");
+      std::string value = line[i] == '"' ? parse_string(line, i)
+                                         : parse_scalar(line, i);
+      out[std::move(key)] = std::move(value);
+      skip_ws(line, i);
+      if (i >= line.size()) bad(line, "unterminated object");
+      if (line[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (line[i] == '}') {
+        ++i;
+        break;
+      }
+      bad(line, "expected ',' or '}'");
+    }
+  }
+  skip_ws(line, i);
+  if (i != line.size()) bad(line, "trailing garbage");
+  return out;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+JsonWriter& JsonWriter::raw(std::string_view key, std::string_view rendered) {
+  if (!body_.empty()) body_ += ",";
+  body_ += "\"";
+  body_ += json_escape(key);
+  body_ += "\":";
+  body_ += rendered;
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, std::string_view value) {
+  return raw(key, "\"" + json_escape(value) + "\"");
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, std::int64_t value) {
+  return raw(key, std::to_string(value));
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, std::uint64_t value) {
+  return raw(key, std::to_string(value));
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, bool value) {
+  return raw(key, value ? "true" : "false");
+}
+
+}  // namespace wfc::svc

@@ -1,0 +1,48 @@
+// Minimal flat JSON support for the JSON-lines front-end.
+//
+// The serve protocol only ever exchanges FLAT objects -- string, number and
+// boolean values, no nesting, no arrays -- so instead of pulling in a JSON
+// dependency we parse exactly that subset (strictly: unknown escapes,
+// nesting or trailing garbage raise std::invalid_argument) and emit
+// well-formed JSON through a tiny writer.  Numbers and booleans parse to
+// their literal text; callers convert as needed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace wfc::svc {
+
+/// Parses one flat JSON object, e.g. {"task":"consensus","procs":2}.
+/// Values are returned as raw text (strings unescaped, numbers/booleans
+/// verbatim).  Throws std::invalid_argument on anything else.
+std::map<std::string, std::string> parse_flat_json(std::string_view line);
+
+/// JSON string escaping (quotes, backslash, control characters).
+std::string json_escape(std::string_view s);
+
+/// Builds one flat JSON object field by field.
+class JsonWriter {
+ public:
+  JsonWriter& field(std::string_view key, std::string_view value);  // string
+  JsonWriter& field(std::string_view key, const char* value) {
+    return field(key, std::string_view(value));  // keep literals off bool
+  }
+  JsonWriter& field(std::string_view key, std::int64_t value);
+  JsonWriter& field(std::string_view key, std::uint64_t value);
+  JsonWriter& field(std::string_view key, int value) {
+    return field(key, static_cast<std::int64_t>(value));
+  }
+  JsonWriter& field(std::string_view key, bool value);
+
+  /// The finished object, e.g. {"status":"SOLVABLE","level":1}.
+  [[nodiscard]] std::string str() const { return "{" + body_ + "}"; }
+
+ private:
+  JsonWriter& raw(std::string_view key, std::string_view rendered);
+  std::string body_;
+};
+
+}  // namespace wfc::svc

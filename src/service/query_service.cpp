@@ -1,0 +1,238 @@
+#include "service/query_service.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "convergence/convergence.hpp"
+#include "emulation/emulator.hpp"
+#include "runtime/adversary.hpp"
+
+namespace wfc::svc {
+
+namespace {
+
+int resolve_workers(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace
+
+std::string ServiceStats::to_string() const {
+  std::ostringstream os;
+  os << "queries=" << queries << " (" << solvable << " solvable, "
+     << unsolvable << " unsolvable, " << unknown << " unknown, " << cancelled
+     << " cancelled, " << errors << " errors)"
+     << " result_hits=" << result_hits << " nodes=" << nodes_explored
+     << " latency_us total=" << total_micros
+     << " max=" << max_micros << " | cache hits=" << cache.hits
+     << " misses=" << cache.misses << " extensions=" << cache.extensions
+     << " evictions=" << cache.evictions << " entries=" << cache.entries
+     << " resident_vertices=" << cache.resident_vertices;
+  return os.str();
+}
+
+QueryService::QueryService() : QueryService(Options()) {}
+
+QueryService::QueryService(Options options)
+    : cache_(options.cache),
+      memo_capacity_(options.result_memo_entries),
+      pool_(resolve_workers(options.workers)) {}
+
+QueryService::~QueryService() {
+  cancel_all();
+  // ~ThreadPool drains the queue; cancelled queries finish fast.
+}
+
+QueryTicket QueryService::submit(Query query) {
+  WFC_REQUIRE(query.kind != Query::Kind::kSolve || query.task != nullptr,
+              "QueryService::submit: kSolve query without a task");
+  WFC_REQUIRE(
+      query.kind != Query::Kind::kConvergence || query.agreement != nullptr,
+      "QueryService::submit: kConvergence query without an agreement task");
+
+  auto cancel = std::make_shared<std::atomic<bool>>(false);
+  auto promise = std::make_shared<std::promise<QueryResult>>();
+  QueryTicket ticket{promise->get_future(), cancel};
+  const auto submitted = std::chrono::steady_clock::now();
+
+  // Fast path: an identical definitive query was answered before -- reply
+  // inline, no worker, no search.
+  if (std::optional<task::SolveResult> memo = memo_lookup(query)) {
+    QueryResult result;
+    result.solve = *std::move(memo);
+    result.cache_hit = true;
+    result.memoized = true;
+    result.micros = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - submitted)
+            .count());
+    record(result);
+    promise->set_value(std::move(result));
+    return ticket;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(tokens_mu_);
+    live_tokens_.erase(
+        std::remove_if(live_tokens_.begin(), live_tokens_.end(),
+                       [](const std::weak_ptr<std::atomic<bool>>& w) {
+                         return w.expired();
+                       }),
+        live_tokens_.end());
+    live_tokens_.push_back(cancel);
+  }
+
+  pool_.submit([this, query = std::move(query), cancel, promise,
+                submitted]() mutable {
+    QueryResult result = execute(query, cancel, submitted);
+    record(result);
+    promise->set_value(std::move(result));
+  });
+  return ticket;
+}
+
+std::optional<task::SolveResult> QueryService::memo_lookup(
+    const Query& query) {
+  if (memo_capacity_ == 0 || query.kind != Query::Kind::kSolve) {
+    return std::nullopt;
+  }
+  const MemoKey key{query.task.get(), query.options.max_level,
+                    query.options.node_budget};
+  std::lock_guard<std::mutex> lock(memo_mu_);
+  auto it = memo_.find(key);
+  if (it == memo_.end()) return std::nullopt;
+  memo_lru_.splice(memo_lru_.begin(), memo_lru_, it->second.lru);
+  return it->second.result;
+}
+
+void QueryService::memo_store(const Query& query,
+                              const task::SolveResult& result) {
+  if (memo_capacity_ == 0 || query.kind != Query::Kind::kSolve) return;
+  // Only definitive verdicts are safe to replay: kUnknown/kCancelled depend
+  // on budgets and deadlines, not just the task.
+  if (result.status != task::Solvability::kSolvable &&
+      result.status != task::Solvability::kUnsolvable) {
+    return;
+  }
+  const MemoKey key{query.task.get(), query.options.max_level,
+                    query.options.node_budget};
+  std::lock_guard<std::mutex> lock(memo_mu_);
+  if (memo_.count(key) != 0) return;  // a concurrent twin won the race
+  memo_lru_.push_front(key);
+  memo_[key] = MemoEntry{query.task, result, memo_lru_.begin()};
+  while (memo_.size() > memo_capacity_) {
+    memo_.erase(memo_lru_.back());
+    memo_lru_.pop_back();
+  }
+}
+
+QueryTicket QueryService::submit_solve(std::shared_ptr<const task::Task> task,
+                                       QueryOptions options) {
+  Query q;
+  q.kind = Query::Kind::kSolve;
+  q.task = std::move(task);
+  q.options = options;
+  return submit(q);
+}
+
+void QueryService::cancel_all() {
+  std::lock_guard<std::mutex> lock(tokens_mu_);
+  for (const std::weak_ptr<std::atomic<bool>>& w : live_tokens_) {
+    if (auto token = w.lock()) token->store(true, std::memory_order_relaxed);
+  }
+}
+
+QueryResult QueryService::execute(
+    const Query& query, const std::shared_ptr<std::atomic<bool>>& cancel,
+    std::chrono::steady_clock::time_point submitted) {
+  QueryResult result;
+  bool any_build = false;
+  try {
+    switch (query.kind) {
+      case Query::Kind::kSolve: {
+        task::SolveOptions opts;
+        opts.node_budget = query.options.node_budget;
+        opts.cancel = cancel.get();
+        if (query.options.timeout) {
+          opts.deadline = submitted + *query.options.timeout;
+        }
+        opts.chain_provider =
+            [this, &any_build](const topo::ChromaticComplex& input,
+                               int depth) {
+              bool built = false;
+              auto chain = cache_.chain_for(input, depth, &built);
+              any_build = any_build || built;
+              return chain;
+            };
+        result.solve =
+            task::solve(*query.task, query.options.max_level, opts);
+        break;
+      }
+      case Query::Kind::kConvergence: {
+        conv::ApproximationOptions opts;
+        opts.max_level = query.options.max_level;
+        result.solve =
+            conv::solve_simplex_agreement_by_convergence(*query.agreement,
+                                                         opts);
+        break;
+      }
+      case Query::Kind::kEmulate: {
+        // Generous round bound: the emulation is nonblocking, and the
+        // synchronous adversary finishes k-shot clients in O(k) memories.
+        const int max_rounds = 16 + 32 * query.emu_shots * query.emu_procs;
+        emu::FullInfoClient client(query.emu_shots);
+        rt::SynchronousAdversary adversary;
+        emu::EmulationResult emu = emu::run_emulation_simulated(
+            query.emu_procs, adversary, max_rounds, client.init(),
+            client.on_scan());
+        result.emu_rounds = emu.rounds_used;
+        result.emu_steps = std::move(emu.iis_steps);
+        result.solve.status = task::Solvability::kSolvable;
+        break;
+      }
+    }
+  } catch (const std::exception& e) {
+    result.error = e.what();
+  }
+  if (result.error.empty()) memo_store(query, result.solve);
+  result.cache_hit = query.kind == Query::Kind::kSolve && !any_build;
+  result.micros = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - submitted)
+          .count());
+  return result;
+}
+
+void QueryService::record(const QueryResult& result) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.queries;
+  if (!result.error.empty()) {
+    ++stats_.errors;
+  } else {
+    switch (result.solve.status) {
+      case task::Solvability::kSolvable: ++stats_.solvable; break;
+      case task::Solvability::kUnsolvable: ++stats_.unsolvable; break;
+      case task::Solvability::kUnknown: ++stats_.unknown; break;
+      case task::Solvability::kCancelled: ++stats_.cancelled; break;
+    }
+  }
+  if (result.memoized) {
+    ++stats_.result_hits;
+  } else {
+    stats_.nodes_explored += result.solve.nodes_explored;
+  }
+  stats_.total_micros += result.micros;
+  stats_.max_micros = std::max(stats_.max_micros, result.micros);
+}
+
+ServiceStats QueryService::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ServiceStats out = stats_;
+  out.cache = cache_.stats();
+  return out;
+}
+
+}  // namespace wfc::svc

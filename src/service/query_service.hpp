@@ -1,0 +1,171 @@
+// wfc::svc::QueryService -- the library as a concurrent query engine.
+//
+// A fixed pool of workers (thread_pool.hpp) executes characterization
+// queries against a shared, memoized SDS-chain cache (sds_cache.hpp):
+//
+//   * kSolve       -- the Prop 3.1 decision procedure (task::solve) for any
+//                     Task, chains served from the cache;
+//   * kConvergence -- §5 simplex agreement solved by convergence-map
+//                     compilation (conv::solve_simplex_agreement_by_...);
+//   * kEmulate     -- the §4 Figure 2 emulation of the k-shot full-
+//                     information protocol, reporting rounds/steps.
+//
+// Every query gets a cooperative cancel token and an optional deadline
+// measured FROM SUBMISSION (so queue time counts against it): a query that
+// overstays returns a kCancelled verdict instead of wedging its worker.
+// Per-query latency/nodes and cache/service counters are aggregated into
+// ServiceStats (stats.hpp).
+//
+// Two caching layers serve repeated work:
+//   * the SdsCache shares subdivision towers across queries over the same
+//     input complex (keyed by canonical fingerprint);
+//   * a result memo replays definitive kSolve verdicts for the SAME task
+//     object (keyed by address, pinned by shared_ptr) at the same
+//     max_level/node budget -- resubmitting a task instance is O(1).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <future>
+#include <list>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "service/sds_cache.hpp"
+#include "service/stats.hpp"
+#include "service/thread_pool.hpp"
+#include "tasks/canonical.hpp"
+#include "tasks/solvability.hpp"
+
+namespace wfc::svc {
+
+struct QueryOptions {
+  int max_level = 2;
+  std::uint64_t node_budget = task::SolveOptions{}.node_budget;
+  /// Per-query deadline, measured from submission.
+  std::optional<std::chrono::milliseconds> timeout;
+};
+
+struct Query {
+  enum class Kind { kSolve, kConvergence, kEmulate };
+  Kind kind = Kind::kSolve;
+  /// kSolve: the task to decide.
+  std::shared_ptr<const task::Task> task;
+  /// kConvergence: the simplex-agreement instance to compile.
+  std::shared_ptr<const task::SimplexAgreementTask> agreement;
+  /// kEmulate: emulated processors and full-information shots.
+  int emu_procs = 2;
+  int emu_shots = 1;
+  QueryOptions options;
+};
+
+struct QueryResult {
+  /// kSolve / kConvergence: the verdict (status, level, decision, nodes).
+  task::SolveResult solve;
+  /// True when the query's SDS chains were all served from cache without
+  /// any new subdivision work.
+  bool cache_hit = false;
+  /// True when the whole verdict came from the result memo (no search ran;
+  /// nodes are the original run's).  Implies cache_hit.
+  bool memoized = false;
+  /// Wall latency from submission to completion, microseconds.
+  std::uint64_t micros = 0;
+  // kEmulate outputs.
+  int emu_rounds = 0;
+  std::vector<int> emu_steps;
+  /// Non-empty when the query raised; other fields are then unspecified.
+  std::string error;
+};
+
+/// Handle returned by submit(): the future plus this query's cancel token
+/// (flip it from any thread; the query finishes with kCancelled).
+struct QueryTicket {
+  std::future<QueryResult> result;
+  std::shared_ptr<std::atomic<bool>> cancel;
+};
+
+class QueryService {
+ public:
+  struct Options {
+    int workers = 0;  // 0 = std::thread::hardware_concurrency (min 1)
+    SdsCache::Options cache;
+    /// Definitive kSolve verdicts are memoized by task OBJECT identity
+    /// (the shared_ptr pins the object, so the address cannot be reused):
+    /// resubmitting the same task instance with the same max_level and
+    /// node budget is answered without running the search.  0 disables.
+    std::size_t result_memo_entries = 256;
+  };
+
+  QueryService();  // default Options
+  explicit QueryService(Options options);
+
+  /// Drains in-flight queries (cooperatively cancelling them first) and
+  /// joins the pool.
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  QueryTicket submit(Query query);
+
+  /// Convenience: submit a kSolve query.
+  QueryTicket submit_solve(std::shared_ptr<const task::Task> task,
+                           QueryOptions options = {});
+
+  /// Flips the cancel token of every query still in flight or queued.
+  void cancel_all();
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] int workers() const noexcept { return pool_.size(); }
+  [[nodiscard]] SdsCache& cache() noexcept { return cache_; }
+
+ private:
+  /// Result-memo key: the task instance plus every option that can change
+  /// the verdict.  Deadlines/cancellation only yield kCancelled, which is
+  /// never stored, so they are deliberately not part of the key.
+  struct MemoKey {
+    const task::Task* task;
+    int max_level;
+    std::uint64_t node_budget;
+    bool operator<(const MemoKey& o) const {
+      return std::tie(task, max_level, node_budget) <
+             std::tie(o.task, o.max_level, o.node_budget);
+    }
+  };
+  struct MemoEntry {
+    std::shared_ptr<const task::Task> pin;  // keeps the key address unique
+    task::SolveResult result;
+    std::list<MemoKey>::iterator lru;
+  };
+
+  QueryResult execute(const Query& query,
+                      const std::shared_ptr<std::atomic<bool>>& cancel,
+                      std::chrono::steady_clock::time_point submitted);
+  void record(const QueryResult& result);
+  /// The memoized definitive result for this query, if any.
+  [[nodiscard]] std::optional<task::SolveResult> memo_lookup(
+      const Query& query);
+  void memo_store(const Query& query, const task::SolveResult& result);
+
+  SdsCache cache_;
+
+  mutable std::mutex stats_mu_;
+  ServiceStats stats_;
+
+  std::mutex tokens_mu_;
+  std::vector<std::weak_ptr<std::atomic<bool>>> live_tokens_;
+
+  std::size_t memo_capacity_;
+  std::mutex memo_mu_;
+  std::map<MemoKey, MemoEntry> memo_;
+  std::list<MemoKey> memo_lru_;  // front = most recent
+
+  ThreadPool pool_;  // last member: workers die before state they touch
+};
+
+}  // namespace wfc::svc

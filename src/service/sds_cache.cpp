@@ -1,0 +1,113 @@
+#include "service/sds_cache.hpp"
+
+#include "common/assert.hpp"
+#include "topology/hash.hpp"
+
+namespace wfc::svc {
+
+SdsCache::SdsCache() : SdsCache(Options()) {}
+
+SdsCache::SdsCache(Options options) : options_(options) {
+  WFC_REQUIRE(options_.max_entries >= 1, "SdsCache: max_entries must be >= 1");
+}
+
+std::size_t SdsCache::chain_weight(const proto::SdsChain& chain) {
+  std::size_t w = 0;
+  for (int r = 0; r <= chain.depth(); ++r) w += chain.level(r).num_vertices();
+  return w;
+}
+
+std::shared_ptr<const proto::SdsChain> SdsCache::chain_for(
+    const topo::ChromaticComplex& input, int depth) {
+  bool built = false;
+  return chain_for(input, depth, &built);
+}
+
+std::shared_ptr<const proto::SdsChain> SdsCache::chain_for(
+    const topo::ChromaticComplex& input, int depth, bool* built) {
+  WFC_REQUIRE(depth >= 0, "SdsCache::chain_for: negative depth");
+  const std::uint64_t key = topo::complex_fingerprint(input);
+
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      entry = std::make_shared<Entry>();
+      entry->key = key;
+      lru_.push_front(key);
+      entry->lru_pos = lru_.begin();
+      index_.emplace(key, entry);
+    } else {
+      entry = it->second;
+      lru_.splice(lru_.begin(), lru_, entry->lru_pos);  // touch
+    }
+  }
+
+  // Build or extend outside the cache lock: only same-input queries wait
+  // here, and exactly one of them does the subdivision work.
+  bool was_empty = false;
+  bool did_build = false;
+  std::shared_ptr<const proto::SdsChain> chain;
+  {
+    std::lock_guard<std::mutex> build_lock(entry->build_mu);
+    was_empty = entry->chain == nullptr;
+    if (was_empty) {
+      entry->chain = std::make_shared<proto::SdsChain>(input, depth);
+      did_build = true;
+    } else if (entry->chain->depth() < depth) {
+      entry->chain = std::make_shared<proto::SdsChain>(*entry->chain, depth);
+      did_build = true;
+    }
+    chain = entry->chain;
+  }
+  *built = did_build;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!did_build) {
+      ++stats_.hits;
+    } else if (was_empty) {
+      ++stats_.misses;
+    } else {
+      ++stats_.extensions;
+    }
+    // Re-weigh: the entry may have been evicted while we were building, in
+    // which case the chain simply lives on with its current holders.
+    auto it = index_.find(key);
+    if (it != index_.end() && it->second == entry) {
+      const std::size_t w = chain_weight(*chain);
+      resident_vertices_ += w - entry->weight;
+      entry->weight = w;
+      while ((index_.size() > options_.max_entries ||
+              resident_vertices_ > options_.max_resident_vertices) &&
+             lru_.size() > 1) {
+        const std::uint64_t victim_key = lru_.back();
+        lru_.pop_back();
+        auto victim = index_.find(victim_key);
+        WFC_CHECK(victim != index_.end(), "SdsCache: LRU/index out of sync");
+        resident_vertices_ -= victim->second->weight;
+        index_.erase(victim);
+        ++stats_.evictions;
+      }
+    }
+  }
+  return chain;
+}
+
+CacheStats SdsCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CacheStats out = stats_;
+  out.entries = index_.size();
+  out.resident_vertices = resident_vertices_;
+  return out;
+}
+
+void SdsCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  index_.clear();
+  lru_.clear();
+  resident_vertices_ = 0;
+}
+
+}  // namespace wfc::svc

@@ -1,0 +1,82 @@
+// Thread-safe, memory-bounded LRU cache of SDS chains.
+//
+// Iterated subdivision dominates the cost of every solvability query, and
+// SDS^k(I) is a pure function of the input complex I -- so the service
+// computes each tower once and shares it.  The key is the canonical
+// fingerprint of I (topology/hash.hpp); the value is the DEEPEST chain
+// built for that input so far, as shared_ptr<const SdsChain>.  A request
+// for a shallower depth is a pure hit (SdsChain::level(r) indexes into the
+// tower); a deeper request EXTENDS the cached chain, sharing all existing
+// levels (SdsChain's prefix-sharing constructor), and re-caches the deeper
+// tower.
+//
+// Locking: a global mutex guards only the index and LRU bookkeeping; the
+// (potentially long) subdivision work happens under a per-entry mutex, so
+// queries over distinct inputs never serialize, while concurrent queries
+// over the SAME input build the tower exactly once and share it.
+//
+// Memory bound: entries are weighted by total vertex count across levels
+// (the dominant O(size) term); when the configured budget or entry count is
+// exceeded, least-recently-used entries are dropped.  In-flight queries
+// keep their chains alive through the shared_ptr regardless of eviction.
+#pragma once
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "protocol/sds_chain.hpp"
+#include "service/stats.hpp"
+#include "topology/complex.hpp"
+
+namespace wfc::svc {
+
+class SdsCache {
+ public:
+  struct Options {
+    std::size_t max_entries = 64;
+    /// Bound on the summed vertex count of all cached levels.  The default
+    /// comfortably holds SDS^3 towers of the canonical small tasks while
+    /// staying far below a gigabyte of vertex payloads.
+    std::size_t max_resident_vertices = 8'000'000;
+  };
+
+  SdsCache();  // default Options
+  explicit SdsCache(Options options);
+
+  /// Returns a chain for `input` with depth() >= depth.  Hits are lock-cheap
+  /// and never copy; misses build (or extend) under the entry lock only.
+  std::shared_ptr<const proto::SdsChain> chain_for(
+      const topo::ChromaticComplex& input, int depth);
+
+  /// Like chain_for, but also reports whether any subdivision work was done
+  /// (false = pure cache hit).
+  std::shared_ptr<const proto::SdsChain> chain_for(
+      const topo::ChromaticComplex& input, int depth, bool* built);
+
+  [[nodiscard]] CacheStats stats() const;
+
+  /// Drops every entry (stats counters are kept).
+  void clear();
+
+ private:
+  struct Entry {
+    std::mutex build_mu;  // serializes building for one input
+    std::shared_ptr<const proto::SdsChain> chain;  // guarded by build_mu
+    std::uint64_t key = 0;
+    std::size_t weight = 0;  // guarded by the cache mutex
+    std::list<std::uint64_t>::iterator lru_pos;  // guarded by the cache mutex
+  };
+
+  static std::size_t chain_weight(const proto::SdsChain& chain);
+
+  mutable std::mutex mu_;
+  Options options_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Entry>> index_;
+  std::list<std::uint64_t> lru_;  // front = most recently used
+  std::size_t resident_vertices_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace wfc::svc

@@ -1,0 +1,46 @@
+// Observability surface of the query service (wfc::svc).
+//
+// Counters come in two layers:
+//   * CacheStats  -- hit/miss/extension/eviction counts and residency of the
+//                    shared SDS-chain cache (sds_cache.hpp);
+//   * ServiceStats -- per-service aggregates: queries by verdict, total
+//                    search nodes, total and maximum query latency.
+// Both are plain snapshot structs: the live objects accumulate atomically
+// and hand out consistent-enough copies on demand (counters are
+// monotonically increasing; a snapshot may straddle a query boundary, which
+// is fine for monitoring).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace wfc::svc {
+
+struct CacheStats {
+  std::uint64_t hits = 0;        // chain served without any subdivision work
+  std::uint64_t misses = 0;      // input seen for the first time
+  std::uint64_t extensions = 0;  // cached prefix deepened to a new level
+  std::uint64_t evictions = 0;   // entries dropped by the LRU bound
+  std::uint64_t entries = 0;     // live cached inputs
+  std::uint64_t resident_vertices = 0;  // sum of vertex counts, all levels
+};
+
+struct ServiceStats {
+  std::uint64_t queries = 0;     // completed queries, any verdict
+  std::uint64_t solvable = 0;
+  std::uint64_t unsolvable = 0;
+  std::uint64_t unknown = 0;     // node budget exhausted
+  std::uint64_t cancelled = 0;   // deadline passed or token flipped
+  std::uint64_t errors = 0;      // query raised (bad task parameters etc.)
+  std::uint64_t result_hits = 0;     // queries answered from the result memo
+  std::uint64_t nodes_explored = 0;  // summed over queries (fresh work only)
+  std::uint64_t total_micros = 0;    // summed wall latency
+  std::uint64_t max_micros = 0;      // worst single query
+  CacheStats cache;
+
+  /// One-line rendering for front-ends, e.g.
+  /// "queries=12 (7 solvable, ...) nodes=... cache hits=.../miss=...".
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace wfc::svc

@@ -1,0 +1,53 @@
+#include "service/thread_pool.hpp"
+
+#include "common/assert.hpp"
+
+namespace wfc::svc {
+
+ThreadPool::ThreadPool(int n_threads) {
+  WFC_REQUIRE(n_threads >= 1, "ThreadPool: need at least one worker");
+  workers_.reserve(static_cast<std::size_t>(n_threads));
+  for (int i = 0; i < n_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  WFC_REQUIRE(job != nullptr, "ThreadPool::submit: empty job");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    WFC_REQUIRE(!stopping_, "ThreadPool::submit: pool is shutting down");
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+std::size_t ThreadPool::backlog() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ && drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();  // jobs are noexcept wrappers (the service catches per-query)
+  }
+}
+
+}  // namespace wfc::svc

@@ -1,0 +1,52 @@
+// Fixed-size worker pool for the query service.
+//
+// Deliberately minimal: a locked FIFO of type-erased jobs drained by N
+// workers.  Queries are coarse (milliseconds to seconds of search), so a
+// mutex + condition variable queue is nowhere near the bottleneck; what
+// matters is clean shutdown semantics: the destructor stops intake, DRAINS
+// every job already queued, and joins.  Pair with the cooperative cancel
+// tokens in task::SolveOptions to shed queued work fast instead of killing
+// threads.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wfc::svc {
+
+class ThreadPool {
+ public:
+  /// Spawns `n_threads` workers (>= 1).
+  explicit ThreadPool(int n_threads);
+
+  /// Stops intake, runs every queued job to completion, joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a job.  Throws std::invalid_argument after shutdown began.
+  void submit(std::function<void()> job);
+
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// Jobs queued but not yet picked up (monitoring only; racy by nature).
+  [[nodiscard]] std::size_t backlog() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace wfc::svc

@@ -4,29 +4,15 @@
 #include <ostream>
 #include <sstream>
 
+#include "topology/hash.hpp"
 #include "topology/simplicial_map.hpp"
 
 namespace wfc::task {
 
 std::uint64_t complex_fingerprint(const topo::ChromaticComplex& c) {
-  // FNV-1a over a canonical rendering.
-  std::uint64_t h = 0xcbf29ce484222325ull;
-  auto mix = [&h](const std::string& s) {
-    for (unsigned char ch : s) {
-      h ^= ch;
-      h *= 0x100000001b3ull;
-    }
-  };
-  mix("colors:" + std::to_string(c.n_colors()));
-  for (topo::VertexId v = 0; v < c.num_vertices(); ++v) {
-    const auto& d = c.vertex(v);
-    mix("v:" + std::to_string(d.color) + ":" + d.key + ":" +
-        std::to_string(d.carrier.mask()));
-  }
-  for (const topo::Simplex& f : c.facets()) {
-    mix("f:" + topo::to_string(f));
-  }
-  return h;
+  // The canonical hasher lives in topology/ (shared with the service-layer
+  // SDS cache); this alias keeps the historical map_io entry point.
+  return topo::complex_fingerprint(c);
 }
 
 void write_solve_result(std::ostream& os, const Task& task,
@@ -35,8 +21,8 @@ void write_solve_result(std::ostream& os, const Task& task,
               "write_solve_result: result is not solvable");
   WFC_REQUIRE(result.chain != nullptr, "write_solve_result: missing chain");
   os << "wfc-decision-map 1\n";
-  os << "task " << complex_fingerprint(task.input()) << ' '
-     << complex_fingerprint(task.output()) << "\n";
+  os << "task " << task::complex_fingerprint(task.input()) << ' '
+     << task::complex_fingerprint(task.output()) << "\n";
   os << "level " << result.level << "\n";
   os << "decision";
   for (topo::VertexId w : result.decision) os << ' ' << w;
@@ -53,8 +39,8 @@ SolveResult read_solve_result(std::istream& is, const Task& task) {
     std::istringstream ls(line.substr(5));
     std::uint64_t in_fp = 0, out_fp = 0;
     ls >> in_fp >> out_fp;
-    WFC_REQUIRE(in_fp == complex_fingerprint(task.input()) &&
-                    out_fp == complex_fingerprint(task.output()),
+    WFC_REQUIRE(in_fp == task::complex_fingerprint(task.input()) &&
+                    out_fp == task::complex_fingerprint(task.output()),
                 "read_solve_result: map was saved for a different task");
   }
   WFC_REQUIRE(std::getline(is, line) && line.rfind("level ", 0) == 0,

@@ -14,6 +14,21 @@ using topo::kNoVertex;
 using topo::Simplex;
 using topo::VertexId;
 
+/// How often (in explored nodes) the deadline clock is consulted; the cancel
+/// token is a relaxed atomic load and is checked at every node.
+constexpr std::uint64_t kDeadlineCheckMask = 0x3ff;
+
+bool deadline_passed(const SolveOptions& options) {
+  return options.deadline &&
+         std::chrono::steady_clock::now() >= *options.deadline;
+}
+
+bool cancel_requested(const SolveOptions& options) {
+  return (options.cancel &&
+          options.cancel->load(std::memory_order_relaxed)) ||
+         deadline_passed(options);
+}
+
 /// One Delta constraint: a face of SDS^b(I) with its carrier in I.
 struct FaceConstraint {
   Simplex face;          // vertices of SDS^b(I)
@@ -28,8 +43,11 @@ struct FaceConstraint {
 class Search {
  public:
   Search(const Task& task, const ChromaticComplex& complex,
-         std::uint64_t node_budget)
-      : task_(&task), complex_(&complex), budget_(node_budget) {
+         const SolveOptions& options)
+      : task_(&task),
+        complex_(&complex),
+        options_(&options),
+        budget_(options.node_budget) {
     build_domains();
     build_constraints();
   }
@@ -37,6 +55,10 @@ class Search {
   Solvability run(std::vector<VertexId>& out, std::uint64_t& nodes) {
     assignment_.assign(complex_->num_vertices(), kNoVertex);
     nodes_ = 0;
+    if (cancel_requested(*options_)) {
+      nodes = 0;
+      return Solvability::kCancelled;
+    }
     // Root arc consistency: prune before the first branch.
     std::vector<std::pair<VertexId, VertexId>> root_trail;
     if (!propagate(kNoVertex, root_trail)) {
@@ -205,6 +227,20 @@ class Search {
     return best;
   }
 
+  /// kUnknown (budget) or kCancelled (token/deadline) if the search must
+  /// stop at this node; kSolvable (meaning "keep going") otherwise.
+  Solvability node_interrupt() {
+    if (++nodes_ > budget_) return Solvability::kUnknown;
+    if (options_->cancel &&
+        options_->cancel->load(std::memory_order_relaxed)) {
+      return Solvability::kCancelled;
+    }
+    if ((nodes_ & kDeadlineCheckMask) == 0 && deadline_passed(*options_)) {
+      return Solvability::kCancelled;
+    }
+    return Solvability::kSolvable;
+  }
+
   Solvability assign(std::size_t depth) {
     const VertexId v = pick_vertex();
     if (v == kNoVertex) return Solvability::kSolvable;
@@ -215,7 +251,8 @@ class Search {
     std::vector<VertexId> options(domains_[v].begin(), domains_[v].end());
     std::sort(options.begin(), options.end());
     for (VertexId w : options) {
-      if (++nodes_ > budget_) return Solvability::kUnknown;
+      const Solvability interrupt = node_interrupt();
+      if (interrupt != Solvability::kSolvable) return interrupt;
       assignment_[v] = w;
       std::vector<std::pair<VertexId, VertexId>> trail;
       if (faces_consistent(v) && propagate(v, trail)) {
@@ -234,6 +271,7 @@ class Search {
 
   const Task* task_;
   const ChromaticComplex* complex_;
+  const SolveOptions* options_;
   std::uint64_t budget_;
   std::uint64_t nodes_ = 0;
 
@@ -246,20 +284,63 @@ class Search {
   std::vector<VertexId> assignment_;
 };
 
+/// Chain acquisition shared by solve and solve_at_level: consult the
+/// provider when present, otherwise grow `own` (extending the existing
+/// tower shares every already-built level; see SdsChain).
+std::shared_ptr<const proto::SdsChain> chain_for(
+    const Task& task, int depth, const SolveOptions& options,
+    std::shared_ptr<const proto::SdsChain>& own) {
+  if (options.chain_provider) {
+    std::shared_ptr<const proto::SdsChain> chain =
+        options.chain_provider(task.input(), depth);
+    WFC_CHECK(chain != nullptr && chain->depth() >= depth,
+              "solve: chain provider returned a short chain");
+    return chain;
+  }
+  if (!own) {
+    own = std::make_shared<proto::SdsChain>(task.input(), depth);
+  } else if (own->depth() < depth) {
+    own = std::make_shared<proto::SdsChain>(*own, depth);
+  }
+  return own;
+}
+
+/// Runs the level-b search over `chain` (depth >= level) and assembles the
+/// result; the stored chain is truncated to exactly `level` so that
+/// DecisionProtocol's b == chain->depth() invariant holds.
+SolveResult search_level(const Task& task, int level,
+                         std::shared_ptr<const proto::SdsChain> chain,
+                         const SolveOptions& options) {
+  SolveResult result;
+  Search search(task, chain->level(level), options);
+  result.status = search.run(result.decision, result.nodes_explored);
+  if (result.status == Solvability::kSolvable) {
+    result.level = level;
+    result.chain = chain->depth() == level
+                       ? std::move(chain)
+                       : std::make_shared<proto::SdsChain>(*chain, level);
+  }
+  return result;
+}
+
 }  // namespace
+
+const char* to_cstring(Solvability s) {
+  switch (s) {
+    case Solvability::kSolvable: return "SOLVABLE";
+    case Solvability::kUnsolvable: return "UNSOLVABLE";
+    case Solvability::kUnknown: return "UNKNOWN";
+    case Solvability::kCancelled: return "CANCELLED";
+  }
+  return "?";
+}
 
 SolveResult solve_at_level(const Task& task, int level,
                            const SolveOptions& options) {
   WFC_REQUIRE(level >= 0, "solve_at_level: negative level");
-  SolveResult result;
-  auto chain = std::make_shared<proto::SdsChain>(task.input(), level);
-  Search search(task, chain->top(), options.node_budget);
-  result.status = search.run(result.decision, result.nodes_explored);
-  if (result.status == Solvability::kSolvable) {
-    result.level = level;
-    result.chain = std::move(chain);
-  }
-  return result;
+  std::shared_ptr<const proto::SdsChain> own;
+  return search_level(task, level, chain_for(task, level, options, own),
+                      options);
 }
 
 SolveResult solve(const Task& task, int max_level,
@@ -267,10 +348,19 @@ SolveResult solve(const Task& task, int max_level,
   WFC_REQUIRE(max_level >= 0, "solve: negative max_level");
   bool hit_budget = false;
   std::uint64_t total_nodes = 0;
+  std::shared_ptr<const proto::SdsChain> own;
   for (int b = 0; b <= max_level; ++b) {
-    SolveResult r = solve_at_level(task, b, options);
+    if (cancel_requested(options)) {
+      SolveResult out;
+      out.status = Solvability::kCancelled;
+      out.nodes_explored = total_nodes;
+      return out;
+    }
+    SolveResult r =
+        search_level(task, b, chain_for(task, b, options, own), options);
     total_nodes += r.nodes_explored;
-    if (r.status == Solvability::kSolvable) {
+    if (r.status == Solvability::kSolvable ||
+        r.status == Solvability::kCancelled) {
       r.nodes_explored = total_nodes;
       return r;
     }

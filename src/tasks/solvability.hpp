@@ -16,10 +16,20 @@
 // characterization.  (Full solvability is undecidable for >= 3 processors
 // [9]: the per-level search cannot be escaped, hence `max_level` and the
 // node budget, and the kUnknown verdict.)
+//
+// Long-running searches degrade gracefully: SolveOptions carries an optional
+// deadline and an atomic cancel token, both checked inside the backtracking
+// loop, yielding kCancelled.  A ChainProvider lets callers (notably the
+// service-layer SDS cache, src/service) supply memoized SDS^k chains instead
+// of rebuilding the subdivision tower per query.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "protocol/sds_chain.hpp"
@@ -27,7 +37,15 @@
 
 namespace wfc::task {
 
-enum class Solvability { kSolvable, kUnsolvable, kUnknown };
+enum class Solvability {
+  kSolvable,
+  kUnsolvable,
+  kUnknown,    // node budget exhausted before a definite answer
+  kCancelled,  // deadline passed or cancel token flipped mid-search
+};
+
+/// Short uppercase rendering ("SOLVABLE", ...), for logs and front-ends.
+[[nodiscard]] const char* to_cstring(Solvability s);
 
 struct SolveResult {
   Solvability status = Solvability::kUnknown;
@@ -40,8 +58,23 @@ struct SolveResult {
   std::uint64_t nodes_explored = 0;
 };
 
+/// Supplies the chain I, SDS(I), ..., SDS^depth(I) for an input complex
+/// (depth() may exceed the request).  SDS^k is a pure function of the input,
+/// so providers may memoize across queries; see svc::SdsCache.
+using ChainProvider =
+    std::function<std::shared_ptr<const proto::SdsChain>(
+        const topo::ChromaticComplex& input, int depth)>;
+
 struct SolveOptions {
   std::uint64_t node_budget = 50'000'000;  // backtracking nodes per level
+  /// Absolute deadline; the search returns kCancelled once it passes.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// Cooperative cancellation: flip to true (from any thread) and the
+  /// search returns kCancelled at the next node.  Must outlive the call.
+  const std::atomic<bool>* cancel = nullptr;
+  /// When set, solve/solve_at_level obtain SDS chains here instead of
+  /// building privately (the provider may return an already-deeper chain).
+  ChainProvider chain_provider;
 };
 
 /// Decides level-b solvability exactly (within the node budget).
@@ -50,7 +83,9 @@ SolveResult solve_at_level(const Task& task, int level,
 
 /// Tries levels 0..max_level in order; returns the first solvable level, or
 /// kUnsolvable if every level was exhaustively refuted, or kUnknown if some
-/// level ran out of budget.
+/// level ran out of budget, or kCancelled on deadline/cancellation.  The
+/// SDS chain grows once across levels (level b extends the level b-1 tower)
+/// rather than being rebuilt from scratch per level.
 SolveResult solve(const Task& task, int max_level,
                   const SolveOptions& options = {});
 

@@ -1,0 +1,31 @@
+#include "topology/hash.hpp"
+
+#include <string>
+
+namespace wfc::topo {
+
+std::uint64_t fnv1a(std::uint64_t h, std::string_view bytes) {
+  for (unsigned char ch : bytes) {
+    h ^= ch;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t complex_fingerprint(const ChromaticComplex& c) {
+  // Keep this rendering stable: saved decision maps (tasks/map_io) embed the
+  // resulting value and are rejected when it changes.
+  std::uint64_t h = kFnvOffset;
+  h = fnv1a(h, "colors:" + std::to_string(c.n_colors()));
+  for (VertexId v = 0; v < c.num_vertices(); ++v) {
+    const VertexData& d = c.vertex(v);
+    h = fnv1a(h, "v:" + std::to_string(d.color) + ":" + d.key + ":" +
+                     std::to_string(d.carrier.mask()));
+  }
+  for (const Simplex& f : c.facets()) {
+    h = fnv1a(h, "f:" + to_string(f));
+  }
+  return h;
+}
+
+}  // namespace wfc::topo

@@ -1,0 +1,95 @@
+// task::solve now grows ONE SdsChain across levels (level b extends the
+// level b-1 tower) instead of rebuilding the subdivision from scratch per
+// level.  That is purely an allocation-sharing change: the search itself
+// must be bit-identical.  These tests pin that down by comparing solve()
+// against independent fresh solve_at_level() runs -- same status, same
+// witness level, same decision map, and the exact same nodes_explored.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "tasks/canonical.hpp"
+#include "tasks/solvability.hpp"
+#include "topology/complex.hpp"
+
+namespace wfc::task {
+namespace {
+
+struct Case {
+  std::shared_ptr<Task> task;
+  int max_level;
+};
+
+std::vector<Case> canonical_cases() {
+  std::vector<Case> cases;
+  cases.push_back({std::make_shared<ConsensusTask>(2, 2), 2});
+  cases.push_back({std::make_shared<KSetConsensusTask>(3, 2), 1});
+  cases.push_back({std::make_shared<RenamingTask>(2, 2), 2});
+  cases.push_back({std::make_shared<ApproxAgreementTask>(2, 3), 2});
+  cases.push_back({std::make_shared<ApproxAgreementTask>(2, 9), 2});
+  cases.push_back({std::make_shared<IdentityTask>(topo::base_simplex(3)), 1});
+  return cases;
+}
+
+TEST(ChainReuse, SolveMatchesFreshPerLevelRuns) {
+  for (const Case& c : canonical_cases()) {
+    SCOPED_TRACE(c.task->name());
+    const SolveResult combined = solve(*c.task, c.max_level);
+
+    // Replay level by level with a fresh chain each time, mirroring the
+    // pre-reuse behavior, and accumulate what solve() should report.
+    Solvability expected_status = Solvability::kUnsolvable;
+    int expected_level = -1;
+    std::vector<topo::VertexId> expected_decision;
+    std::uint64_t expected_nodes = 0;
+    for (int level = 0; level <= c.max_level; ++level) {
+      const SolveResult r = solve_at_level(*c.task, level);
+      expected_nodes += r.nodes_explored;
+      if (r.status == Solvability::kSolvable) {
+        expected_status = Solvability::kSolvable;
+        expected_level = r.level;
+        expected_decision = r.decision;
+        break;
+      }
+      if (r.status != Solvability::kUnsolvable) expected_status = r.status;
+    }
+
+    EXPECT_EQ(combined.status, expected_status);
+    EXPECT_EQ(combined.level, expected_level);
+    EXPECT_EQ(combined.decision, expected_decision);
+    EXPECT_EQ(combined.nodes_explored, expected_nodes);
+  }
+}
+
+TEST(ChainReuse, SolvableResultCarriesChainOfWitnessDepth) {
+  // The reused tower may be deeper than the witness level internally; the
+  // published result must still satisfy the DecisionProtocol invariant.
+  ApproxAgreementTask approx(2, 3);
+  const SolveResult r = solve(approx, 2);
+  ASSERT_EQ(r.status, Solvability::kSolvable);
+  ASSERT_NE(r.chain, nullptr);
+  EXPECT_EQ(r.chain->depth(), r.level);
+  EXPECT_EQ(r.decision.size(), r.chain->top().num_vertices());
+}
+
+TEST(ChainReuse, ProviderAndPrivateChainsAgree) {
+  // Routing chains through a provider (as the service cache does) must not
+  // change any observable of the search either.
+  ConsensusTask consensus(2, 2);
+  const SolveResult plain = solve(consensus, 2);
+
+  auto shared = std::make_shared<proto::SdsChain>(consensus.input(), 2);
+  SolveOptions options;
+  options.chain_provider = [&shared](const topo::ChromaticComplex&,
+                                     int) { return shared; };
+  const SolveResult via_provider = solve(consensus, 2, options);
+
+  EXPECT_EQ(via_provider.status, plain.status);
+  EXPECT_EQ(via_provider.level, plain.level);
+  EXPECT_EQ(via_provider.decision, plain.decision);
+  EXPECT_EQ(via_provider.nodes_explored, plain.nodes_explored);
+}
+
+}  // namespace
+}  // namespace wfc::task
