@@ -1,0 +1,109 @@
+// E20 -- the checker subsystem quantitatively: how fast the exhaustive
+// sweeps run, since they gate CI.  Three rates:
+//
+//   * schedules_per_s  -- SDS-membership sweeps (Lemmas 3.2/3.3) over the
+//                         acceptance grid's hardest cells, with and without
+//                         crash injection;
+//   * histories_per_s  -- Wing-Gong linearizability checks over a fixed
+//                         batch of histories pre-recorded from exhaustive
+//                         step interleavings of the real AtomicSnapshot;
+//   * conformance executions_per_s -- the §4 emulation DFS with crashes.
+//
+// CI runs this with --benchmark_out=BENCH_check.json so the rates are
+// tracked per commit.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "check/conformance.hpp"
+#include "check/explorer.hpp"
+#include "check/lin_check.hpp"
+#include "check/sds_check.hpp"
+#include "check/step_driver.hpp"
+#include "registers/atomic_snapshot.hpp"
+
+namespace {
+
+using namespace wfc;
+
+/// SDS membership: n processors, b rounds, t crashes per execution.
+void BM_SdsMembershipSweep(benchmark::State& state) {
+  chk::ExploreOptions opt;
+  opt.n_procs = static_cast<int>(state.range(0));
+  opt.rounds = static_cast<int>(state.range(1));
+  opt.max_crashes = static_cast<int>(state.range(2));
+  std::uint64_t schedules = 0;
+  for (auto _ : state) {
+    const chk::SdsCheckReport report = chk::check_views_in_sds(opt);
+    if (!report.ok) state.SkipWithError("SDS membership violated");
+    schedules += report.explored.executions;
+  }
+  state.counters["schedules_per_s"] = benchmark::Counter(
+      static_cast<double>(schedules), benchmark::Counter::kIsRate);
+}
+
+BENCHMARK(BM_SdsMembershipSweep)
+    ->Args({3, 2, 0})   // 169 schedules
+    ->Args({3, 2, 1})   // 313
+    ->Args({4, 1, 0})   // 75
+    ->Args({4, 1, 1})   // 750-ish: every crash placement
+    ->Unit(benchmark::kMillisecond);
+
+/// Wing-Gong over a pre-recorded batch: one history per step interleaving
+/// of update(0) racing scan(1) on the real AtomicSnapshot.
+void BM_LinearizeHistories(benchmark::State& state) {
+  using Rec = chk::RecordingSnapshot<reg::AtomicSnapshot<int>>;
+  std::vector<chk::SnapshotHistory> batch;
+  std::shared_ptr<Rec> rec;
+  chk::for_each_step_interleaving(
+      2,
+      [&](chk::StepDriver& driver) {
+        rec = std::make_shared<Rec>(2);
+        driver.spawn(0, [rec = rec] { rec->update(0, 1); });
+        driver.spawn(1, [rec = rec] { (void)rec->scan(1); });
+      },
+      [&](const std::vector<int>&) { batch.push_back(rec->history()); });
+
+  std::uint64_t histories = 0;
+  for (auto _ : state) {
+    for (const chk::SnapshotHistory& h : batch) {
+      const chk::LinearizeReport report = chk::check_linearizable_snapshot(h);
+      if (!report.linearizable) state.SkipWithError("history not linearizable");
+      benchmark::DoNotOptimize(report.states_explored);
+    }
+    histories += batch.size();
+  }
+  state.counters["histories_per_s"] = benchmark::Counter(
+      static_cast<double>(histories), benchmark::Counter::kIsRate);
+}
+
+BENCHMARK(BM_LinearizeHistories)->Unit(benchmark::kMillisecond);
+
+/// §4 conformance DFS: every schedule prefix + crash placement, each
+/// completed and history-checked.
+void BM_EmulationConformance(benchmark::State& state) {
+  chk::ConformanceOptions opt;
+  opt.n_procs = static_cast<int>(state.range(0));
+  opt.shots = 1;
+  opt.explore_rounds = static_cast<int>(state.range(1));
+  opt.max_crashes = static_cast<int>(state.range(2));
+  std::uint64_t executions = 0;
+  for (auto _ : state) {
+    const chk::ConformanceReport report =
+        chk::check_emulation_conformance(opt);
+    if (!report.ok) state.SkipWithError("emulation conformance violated");
+    executions += report.explored.executions;
+  }
+  state.counters["executions_per_s"] = benchmark::Counter(
+      static_cast<double>(executions), benchmark::Counter::kIsRate);
+}
+
+BENCHMARK(BM_EmulationConformance)
+    ->Args({2, 2, 1})
+    ->Args({3, 1, 1})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -8,21 +8,27 @@
 //   wfc_cli simplex-agreement <procs> <target_depth> [max_level]
 //   wfc_cli resilient-consensus <procs> <t> [max_level]
 //   wfc_cli resilient-set-consensus <procs> <k>:<t> [max_level]   (e.g. 2:1)
+//   wfc_cli check <target> <procs> <rounds> [crashes]
 //   wfc_cli serve [workers] [max_level]
 //
 // Prints the characterization verdict, and for solvable tasks also runs the
 // synthesized protocol once on real threads as a liveness check.  The
 // resilient-* forms answer the t-resilient question for colorless tasks via
-// the BG reduction.  `serve` turns the CLI into a JSON-lines query server
-// over stdin/stdout (see service/frontend.hpp for the line protocol).
+// the BG reduction.  `check` runs the wfc::chk model checker (target: sds,
+// emulation, or linearizability) over every bounded schedule.  `serve`
+// turns the CLI into a JSON-lines query server over stdin/stdout (see
+// service/frontend.hpp for the line protocol).
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <string>
 
+#include "check/conformance.hpp"
+#include "check/sds_check.hpp"
 #include "core/wfc.hpp"
 #include "service/frontend.hpp"
+#include "service/query_service.hpp"
 
 namespace {
 
@@ -36,8 +42,50 @@ int usage() {
                "  renaming <procs> <names>\n"
                "  approx <procs> <grid>\n"
                "  simplex-agreement <procs> <target_depth>\n"
+               "  check <sds|emulation|linearizability> <procs> <rounds> "
+               "[crashes]\n"
                "  serve [workers] [max_level]   (JSON-lines on stdin)\n");
   return 2;
+}
+
+/// `wfc_cli check`: run one wfc::chk query through the service layer and
+/// print the verdict plus the service's CheckStats line.
+int check_command(const std::string& target, int procs, int rounds,
+                  int crashes) {
+  svc::Query query;
+  query.kind = svc::Query::Kind::kCheck;
+  if (target == "sds") {
+    query.check.target = svc::CheckQuery::Target::kSds;
+  } else if (target == "emulation") {
+    query.check.target = svc::CheckQuery::Target::kEmulation;
+  } else if (target == "linearizability") {
+    query.check.target = svc::CheckQuery::Target::kLinearizability;
+  } else {
+    return usage();
+  }
+  query.check.procs = procs;
+  query.check.rounds = rounds;
+  query.check.crashes = crashes;
+
+  svc::QueryService service;
+  svc::QueryResult result = service.submit(std::move(query)).result.get();
+  if (!result.error.empty()) {
+    std::fprintf(stderr, "check failed: %s\n", result.error.c_str());
+    return 2;
+  }
+  std::printf("check %s procs=%d rounds=%d crashes=%d: %s\n", target.c_str(),
+              procs, rounds, crashes,
+              result.check_ok ? "OK" : "VIOLATION");
+  std::printf("  schedules=%llu histories=%llu max_depth=%llu (%llu us)\n",
+              static_cast<unsigned long long>(result.check_schedules),
+              static_cast<unsigned long long>(result.check_histories),
+              static_cast<unsigned long long>(result.check_max_depth),
+              static_cast<unsigned long long>(result.micros));
+  if (!result.check_violation.empty()) {
+    std::printf("  violation: %s\n", result.check_violation.c_str());
+  }
+  std::printf("  %s\n", service.stats().to_string().c_str());
+  return result.check_ok ? 0 : 1;
 }
 
 std::unique_ptr<task::Task> make_task(const std::string& name, int a, int b) {
@@ -93,6 +141,10 @@ int main(int argc, char** argv) {
     const int errors =
         wfc::svc::run_jsonl_server(std::cin, std::cout, std::cerr, config);
     return errors == 0 ? 0 : 1;
+  }
+  if (argc >= 5 && std::string(argv[1]) == "check") {
+    return check_command(argv[2], std::atoi(argv[3]), std::atoi(argv[4]),
+                         argc > 5 ? std::atoi(argv[5]) : 0);
   }
   if (argc < 4) return usage();
   const std::string name = argv[1];

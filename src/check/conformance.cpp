@@ -1,0 +1,196 @@
+#include "check/conformance.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "emulation/emulator.hpp"
+#include "emulation/history.hpp"
+#include "topology/ordered_partition.hpp"
+
+namespace wfc::chk {
+
+namespace {
+
+/// Mid-execution emulation state; copyable, so the DFS forks it per branch.
+struct EmuFrame {
+  std::vector<emu::EmulatorCore> cores;
+  std::vector<emu::TupleSet> value;  // next submission per live emulator
+  ColorSet active;                   // neither halted nor crashed
+  ColorSet crashed;
+  std::vector<int> steps;            // WriteReads per emulator
+};
+
+/// Applies one IIS round with the given partition of (a subset of) the
+/// active emulators.
+void apply_round(EmuFrame& frame, int round, const rt::Partition& part) {
+  rt::IisSnapshot<emu::TupleSet> written;
+  for (const ColorSet& block : part) {
+    for (Color p : block) {
+      written.emplace_back(p, frame.value[static_cast<std::size_t>(p)]);
+    }
+    std::sort(written.begin(), written.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (Color p : block) {
+      const auto up = static_cast<std::size_t>(p);
+      ++frame.steps[up];
+      std::optional<emu::TupleSet> next =
+          frame.cores[up].on_round(round, written);
+      if (next.has_value()) {
+        frame.value[up] = std::move(*next);
+      } else {
+        frame.active = frame.active.without(p);
+      }
+    }
+  }
+}
+
+std::string describe_prefix(const std::vector<rt::Partition>& schedule,
+                            const std::vector<ColorSet>& crashes) {
+  std::ostringstream os;
+  for (std::size_t r = 0; r < schedule.size(); ++r) {
+    if (r != 0) os << " ; ";
+    os << "r" << r << ":";
+    for (const ColorSet& block : schedule[r]) os << block.to_string();
+    if (!crashes[r].empty()) os << " crash" << crashes[r].to_string();
+  }
+  return os.str();
+}
+
+}  // namespace
+
+ConformanceReport check_emulation_conformance(
+    const ConformanceOptions& opt) {
+  WFC_REQUIRE(opt.n_procs >= 1 && opt.n_procs <= kMaxColors,
+              "check_emulation_conformance: bad n_procs");
+  WFC_REQUIRE(opt.shots >= 1, "check_emulation_conformance: bad shots");
+  WFC_REQUIRE(opt.explore_rounds >= 0,
+              "check_emulation_conformance: negative explore_rounds");
+  WFC_REQUIRE(opt.max_crashes >= 0 && opt.max_crashes <= opt.n_procs,
+              "check_emulation_conformance: bad crash budget");
+  const int bound = opt.max_rounds > 0
+                        ? opt.max_rounds
+                        : opt.explore_rounds + 16 + 32 * opt.shots * opt.n_procs;
+
+  ConformanceReport report;
+  std::vector<rt::Partition> schedule;  // explored prefix, for diagnostics
+  std::vector<ColorSet> crashes;
+  bool stop = false;
+
+  emu::FullInfoClient client(opt.shots);
+  const std::function<int(int)> init = client.init();
+  const emu::EmulatorCore::OnScan on_scan = client.on_scan();
+
+  auto make_root = [&] {
+    EmuFrame root;
+    root.active = ColorSet::full(opt.n_procs);
+    root.steps.assign(static_cast<std::size_t>(opt.n_procs), 0);
+    for (int p = 0; p < opt.n_procs; ++p) {
+      root.cores.emplace_back(p, opt.n_procs, init, on_scan);
+      root.value.push_back(root.cores.back().initial_submission());
+    }
+    return root;
+  };
+
+  auto finalize = [&](EmuFrame frame, int round) {
+    if (stop) return;
+    if (opt.max_executions != 0 &&
+        report.explored.executions >= opt.max_executions) {
+      report.explored.truncated = true;
+      stop = true;
+      return;
+    }
+    // Deterministic synchronous tail until every survivor halts.
+    while (!frame.active.empty() && round < bound) {
+      apply_round(frame, round, {frame.active});
+      ++round;
+    }
+    ++report.explored.executions;
+    if (!frame.crashed.empty()) ++report.explored.crashy_executions;
+    report.max_rounds_used = std::max(report.max_rounds_used, round);
+    if (!frame.active.empty()) {
+      report.violation = "survivors still running after " +
+                         std::to_string(bound) + " rounds (prefix " +
+                         describe_prefix(schedule, crashes) + ")";
+      stop = true;
+      return;
+    }
+    emu::EmulationResult result;
+    result.rounds_used = round;
+    result.iis_steps = frame.steps;
+    result.ops.reserve(frame.cores.size());
+    for (const emu::EmulatorCore& core : frame.cores) {
+      result.ops.push_back(core.log());
+      // A crashed emulator's in-flight write may have been adopted by
+      // survivors before the crash; append it so its value is not a ghost.
+      if (auto pend = core.pending(); pend.has_value() && pend->is_write) {
+        result.ops.back().push_back(std::move(*pend));
+      }
+    }
+    ++report.histories_checked;
+    const emu::HistoryReport hr = emu::check_history(result);
+    if (!hr.ok()) {
+      report.violation = "emulated history illegal: " + hr.violation +
+                         " (prefix " + describe_prefix(schedule, crashes) +
+                         ")";
+      stop = true;
+    }
+  };
+
+  auto rec = [&](auto&& self, const EmuFrame& frame, int round) -> void {
+    if (stop) return;
+    if (frame.active.empty() || round == opt.explore_rounds) {
+      finalize(frame, round);
+      return;
+    }
+
+    auto try_round = [&](ColorSet crash_set, const rt::Partition& part) {
+      if (stop) return;
+      EmuFrame next = frame;
+      next.active = frame.active.minus(crash_set);
+      next.crashed = frame.crashed.unite(crash_set);
+      apply_round(next, round, part);
+      schedule.push_back(part);
+      crashes.push_back(crash_set);
+      self(self, next, round + 1);
+      crashes.pop_back();
+      schedule.pop_back();
+    };
+
+    auto with_crash_set = [&](ColorSet crash_set) {
+      const ColorSet live = frame.active.minus(crash_set);
+      if (live.empty()) {
+        try_round(crash_set, rt::Partition{});
+        return;
+      }
+      std::vector<Color> procs(live.begin(), live.end());
+      topo::for_each_ordered_partition(
+          static_cast<int>(procs.size()),
+          [&](const topo::OrderedPartition& op) {
+            rt::Partition part;
+            part.reserve(op.size());
+            for (const std::vector<int>& block : op) {
+              ColorSet b;
+              for (int pos : block) {
+                b = b.with(procs[static_cast<std::size_t>(pos)]);
+              }
+              part.push_back(b);
+            }
+            try_round(crash_set, part);
+          });
+    };
+
+    with_crash_set(ColorSet{});
+    const int budget = opt.max_crashes - frame.crashed.size();
+    if (budget > 0) {
+      for_each_nonempty_subset(frame.active, [&](ColorSet crash_set) {
+        if (crash_set.size() <= budget) with_crash_set(crash_set);
+      });
+    }
+  };
+
+  rec(rec, make_root(), 0);
+  report.ok = report.violation.empty();
+  return report;
+}
+
+}  // namespace wfc::chk

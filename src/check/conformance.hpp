@@ -1,0 +1,47 @@
+// §4 emulation conformance under exhaustive scheduling and crash injection.
+//
+// Runs the Figure-2 emulation of the k-shot full-information client over
+// EVERY (ordered partition, crash placement) choice for the first
+// `explore_rounds` IIS memories, then completes each execution
+// deterministically with the synchronous schedule, and checks every produced
+// operation history against emu::check_history -- the machine-checkable form
+// of Proposition 4.1 / Claim 4.1 / Corollary 4.1 (for SWMR snapshot memory,
+// equivalent to linearizability of the emulated object).
+//
+// Crashed emulators leave partial logs (their completed operations only),
+// which the history checker accepts: a correct emulation must stay correct
+// for the survivors no matter which emulators die when.  EmulatorCore is
+// copyable, so the DFS forks mid-execution states directly instead of
+// replaying prefixes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "check/explorer.hpp"
+
+namespace wfc::chk {
+
+struct ConformanceOptions {
+  int n_procs = 2;        // emulated processors (= emulators)
+  int shots = 1;          // full-information snapshots per client
+  int explore_rounds = 2; // exhaustively explored schedule prefix
+  int max_crashes = 0;    // total crash budget across each execution
+  /// Completion bound for the deterministic tail; 0 picks a generous bound
+  /// from shots and n_procs (the emulation is nonblocking, so survivors
+  /// always finish under the synchronous tail).
+  int max_rounds = 0;
+  std::uint64_t max_executions = 0;  // 0 = unlimited
+};
+
+struct ConformanceReport {
+  bool ok = false;
+  ExploreStats explored;
+  std::uint64_t histories_checked = 0;
+  int max_rounds_used = 0;  // worst completion depth over all executions
+  std::string violation;
+};
+
+ConformanceReport check_emulation_conformance(const ConformanceOptions& options);
+
+}  // namespace wfc::chk

@@ -1,0 +1,39 @@
+#include "check/explorer.hpp"
+
+namespace wfc::chk {
+
+CrashAdversary::CrashAdversary(rt::Adversary& base, CrashPlan plan)
+    : base_(&base), plan_(std::move(plan)) {
+  ColorSet seen;
+  for (const auto& [round, proc] : plan_) {
+    WFC_REQUIRE(round >= 0, "CrashAdversary: negative crash round");
+    WFC_REQUIRE(proc >= 0 && proc < kMaxColors, "CrashAdversary: bad proc");
+    WFC_REQUIRE(!seen.contains(proc),
+                "CrashAdversary: processor crashes twice");
+    seen = seen.with(proc);
+  }
+}
+
+ColorSet CrashAdversary::crashes_at(int round) const {
+  ColorSet out;
+  for (const auto& [r, proc] : plan_) {
+    if (r == round) out = out.with(proc);
+  }
+  return out;
+}
+
+ColorSet CrashAdversary::crashed_by(int round) const {
+  ColorSet out;
+  for (const auto& [r, proc] : plan_) {
+    if (r <= round) out = out.with(proc);
+  }
+  return out;
+}
+
+rt::Partition CrashAdversary::partition(int round, ColorSet active) {
+  const ColorSet live = active.minus(crashed_by(round));
+  if (live.empty()) return {};
+  return base_->partition(round, live);
+}
+
+}  // namespace wfc::chk

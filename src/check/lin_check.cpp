@@ -1,0 +1,184 @@
+#include "check/lin_check.hpp"
+
+#include <limits>
+#include <unordered_set>
+
+#include "common/color_set.hpp"
+
+namespace wfc::chk {
+
+namespace {
+
+std::string describe(const RecordedOp& op) {
+  std::string s = "P" + std::to_string(op.proc) +
+                  (op.is_update ? " update(" + std::to_string(op.value) + ")"
+                                : " scan");
+  s += " [" + std::to_string(op.invoked) + "," + std::to_string(op.responded) +
+       "]";
+  return s;
+}
+
+/// Hashable key for the per-processor progress vector.
+std::string pos_key(const std::vector<std::size_t>& pos) {
+  std::string key;
+  key.reserve(pos.size() * sizeof(std::size_t));
+  for (std::size_t v : pos) {
+    key.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  }
+  return key;
+}
+
+}  // namespace
+
+LinearizeReport check_linearizable_snapshot(const SnapshotHistory& history) {
+  LinearizeReport report;
+  const auto n = static_cast<std::size_t>(history.n_procs);
+
+  // Validate and split into per-processor program order.
+  std::vector<std::vector<const RecordedOp*>> per(n);
+  for (const RecordedOp& op : history.ops) {
+    if (op.proc < 0 || static_cast<std::size_t>(op.proc) >= n) {
+      report.violation = "malformed history: bad processor id in " +
+                         describe(op);
+      return report;
+    }
+    if (op.responded <= op.invoked) {
+      report.violation = "malformed history: incomplete or unordered op " +
+                         describe(op);
+      return report;
+    }
+    if (!op.is_update && op.view.size() != n) {
+      report.violation = "malformed history: scan view has wrong width in " +
+                         describe(op);
+      return report;
+    }
+    per[static_cast<std::size_t>(op.proc)].push_back(&op);
+  }
+  for (auto& ops : per) {
+    std::sort(ops.begin(), ops.end(),
+              [](const RecordedOp* a, const RecordedOp* b) {
+                return a->invoked < b->invoked;
+              });
+    for (std::size_t i = 1; i < ops.size(); ++i) {
+      if (ops[i]->invoked <= ops[i - 1]->responded) {
+        report.violation = "malformed history: overlapping ops on one "
+                           "processor: " + describe(*ops[i]);
+        return report;
+      }
+    }
+  }
+
+  // Wing-Gong search.  The sequential state (cell p = value of p's last
+  // applied update) is a pure function of `pos`, so memoizing failed pos
+  // vectors is sound.
+  std::vector<std::size_t> pos(n, 0);
+  std::vector<std::optional<int>> state(n);
+  std::unordered_set<std::string> failed;
+
+  auto all_done = [&] {
+    for (std::size_t p = 0; p < n; ++p) {
+      if (pos[p] < per[p].size()) return false;
+    }
+    return true;
+  };
+
+  auto dfs = [&](auto&& self, int depth) -> bool {
+    ++report.states_explored;
+    report.max_depth = std::max(report.max_depth, depth);
+    if (all_done()) return true;
+    if (!failed.insert(pos_key(pos)).second) {
+      ++report.memo_hits;
+      return false;
+    }
+    for (std::size_t p = 0; p < n; ++p) {
+      if (pos[p] >= per[p].size()) continue;
+      const RecordedOp& op = *per[p][pos[p]];
+      // Real-time order: op may be linearized next only if no other pending
+      // op responded before op was invoked.
+      bool minimal = true;
+      for (std::size_t q = 0; q < n && minimal; ++q) {
+        if (q == p || pos[q] >= per[q].size()) continue;
+        if (per[q][pos[q]]->responded < op.invoked) minimal = false;
+      }
+      if (!minimal) continue;
+      if (op.is_update) {
+        const std::optional<int> saved = state[p];
+        state[p] = op.value;
+        ++pos[p];
+        if (self(self, depth + 1)) return true;
+        --pos[p];
+        state[p] = saved;
+      } else {
+        if (op.view != state) continue;  // scan must return the exact state
+        ++pos[p];
+        if (self(self, depth + 1)) return true;
+        --pos[p];
+      }
+    }
+    return false;
+  };
+
+  report.linearizable = dfs(dfs, 0);
+  if (!report.linearizable) {
+    report.violation =
+        "no linearization exists (deepest consistent prefix: " +
+        std::to_string(report.max_depth) + " of " +
+        std::to_string(history.ops.size()) + " ops)";
+  }
+  return report;
+}
+
+IsAxiomsReport check_is_axioms(const IsOutputs& outputs) {
+  IsAxiomsReport report;
+  auto fail = [&](bool& flag, std::string what) {
+    if (report.violation.empty()) report.violation = std::move(what);
+    flag = false;
+  };
+
+  // Output sets as id masks, indexed by participant.
+  std::vector<std::pair<int, ColorSet>> sets;
+  sets.reserve(outputs.size());
+  for (const auto& [id, out] : outputs) {
+    WFC_REQUIRE(id >= 0 && id < kMaxColors, "check_is_axioms: bad id");
+    ColorSet s;
+    for (const auto& [j, value] : out) {
+      WFC_REQUIRE(j >= 0 && j < kMaxColors, "check_is_axioms: bad seen id");
+      s = s.with(j);
+    }
+    sets.emplace_back(id, s);
+  }
+
+  for (const auto& [id, s] : sets) {
+    if (!s.contains(id)) {
+      fail(report.self_inclusion,
+           "self-inclusion violated: " + std::to_string(id) + " not in S_" +
+               std::to_string(id) + " = " + s.to_string());
+    }
+  }
+  for (std::size_t a = 0; a < sets.size(); ++a) {
+    for (std::size_t b = a + 1; b < sets.size(); ++b) {
+      const auto& [ia, sa] = sets[a];
+      const auto& [ib, sb] = sets[b];
+      if (!sa.subset_of(sb) && !sb.subset_of(sa)) {
+        fail(report.containment,
+             "containment violated: S_" + std::to_string(ia) + " = " +
+                 sa.to_string() + " vs S_" + std::to_string(ib) + " = " +
+                 sb.to_string());
+      }
+    }
+  }
+  for (const auto& [ia, sa] : sets) {
+    for (const auto& [ib, sb] : sets) {
+      if (sa.contains(ib) && !sb.subset_of(sa)) {
+        fail(report.immediacy,
+             "immediacy violated: " + std::to_string(ib) + " in S_" +
+                 std::to_string(ia) + " but S_" + std::to_string(ib) + " = " +
+                 sb.to_string() + " not in S_" + std::to_string(ia) + " = " +
+                 sa.to_string());
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace wfc::chk

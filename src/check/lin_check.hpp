@@ -1,0 +1,144 @@
+// History recording and linearizability checking for snapshot objects
+// (registers/atomic_snapshot.hpp and test doubles with the same shape).
+//
+// RecordingSnapshot wraps any object exposing update(i, value) and
+// scan() -> vector<optional<int>> and stamps every operation with
+// invocation/response times from one global logical clock -- valid for
+// real-thread runs and for StepDriver-controlled runs alike (the clock is a
+// single atomic counter, so cross-thread real-time order is exactly counter
+// order).
+//
+// check_linearizable_snapshot decides whether a completed history is
+// linearizable against the sequential SWMR snapshot specification (cell i
+// holds the last value updated by processor i; a scan returns all cells
+// atomically), using the Wing & Gong search: repeatedly pick a pending
+// operation that is minimal in real-time order, apply it to the sequential
+// state, and backtrack on mismatch.  States are memoized by the per-
+// processor progress vector -- for SWMR snapshots the sequential state is a
+// function of that vector, so a revisited vector can never succeed if it
+// failed before.  This turns the worst case from factorial to the product
+// of per-processor op counts.
+//
+// check_is_axioms verifies the three §3.5 immediate-snapshot properties
+// (self-inclusion, containment, immediacy) on a set of write_read outputs.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace wfc::chk {
+
+struct RecordedOp {
+  int proc = 0;
+  bool is_update = false;
+  int value = 0;                          // updates only
+  std::vector<std::optional<int>> view;   // scans only
+  std::uint64_t invoked = 0;
+  std::uint64_t responded = 0;
+};
+
+struct SnapshotHistory {
+  int n_procs = 0;
+  std::vector<RecordedOp> ops;  // sorted by invocation time
+};
+
+struct LinearizeReport {
+  bool linearizable = false;
+  std::uint64_t states_explored = 0;  // search nodes visited
+  std::uint64_t memo_hits = 0;        // revisited progress vectors cut
+  int max_depth = 0;                  // longest linearized prefix reached
+  std::string violation;              // why not (or why malformed)
+};
+
+/// Decides linearizability of a complete history (every op responded)
+/// against the sequential SWMR snapshot specification.
+LinearizeReport check_linearizable_snapshot(const SnapshotHistory& history);
+
+struct IsAxiomsReport {
+  bool self_inclusion = true;
+  bool containment = true;
+  bool immediacy = true;
+  std::string violation;
+
+  [[nodiscard]] bool ok() const noexcept {
+    return self_inclusion && containment && immediacy;
+  }
+};
+
+/// Per participant: (id, write_read output as (id, value) pairs).  Outputs
+/// of processors that did not finish may simply be absent; immediacy is
+/// then checked only across present outputs.
+using IsOutputs = std::vector<std::pair<int, std::vector<std::pair<int, int>>>>;
+
+IsAxiomsReport check_is_axioms(const IsOutputs& outputs);
+
+/// Wraps a snapshot-shaped object and records a timestamped history.
+/// Thread-safe: per-processor logs, one atomic clock.  Call history() only
+/// after every recording thread has quiesced (joined or driver-finished).
+template <typename Snapshot>
+class RecordingSnapshot {
+ public:
+  explicit RecordingSnapshot(int n_procs)
+      : inner_(n_procs), per_proc_(static_cast<std::size_t>(n_procs)) {}
+
+  void update(int proc, int value) {
+    RecordedOp op;
+    op.proc = proc;
+    op.is_update = true;
+    op.value = value;
+    op.invoked = tick();
+    inner_.update(proc, value);
+    op.responded = tick();
+    log(std::move(op));
+  }
+
+  std::vector<std::optional<int>> scan(int proc) {
+    RecordedOp op;
+    op.proc = proc;
+    op.invoked = tick();
+    op.view = inner_.scan();
+    op.responded = tick();
+    std::vector<std::optional<int>> view = op.view;
+    log(std::move(op));
+    return view;
+  }
+
+  [[nodiscard]] SnapshotHistory history() const {
+    SnapshotHistory h;
+    h.n_procs = static_cast<int>(per_proc_.size());
+    for (const auto& ops : per_proc_) {
+      h.ops.insert(h.ops.end(), ops.begin(), ops.end());
+    }
+    std::sort(h.ops.begin(), h.ops.end(),
+              [](const RecordedOp& a, const RecordedOp& b) {
+                return a.invoked < b.invoked;
+              });
+    return h;
+  }
+
+  [[nodiscard]] Snapshot& object() noexcept { return inner_; }
+
+ private:
+  std::uint64_t tick() {
+    return clock_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  }
+
+  void log(RecordedOp op) {
+    const auto p = static_cast<std::size_t>(op.proc);
+    WFC_REQUIRE(p < per_proc_.size(), "RecordingSnapshot: bad processor id");
+    per_proc_[p].push_back(std::move(op));
+  }
+
+  Snapshot inner_;
+  std::atomic<std::uint64_t> clock_{0};
+  std::vector<std::vector<RecordedOp>> per_proc_;
+};
+
+}  // namespace wfc::chk

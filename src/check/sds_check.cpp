@@ -1,0 +1,272 @@
+#include "check/sds_check.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "topology/complex.hpp"
+
+namespace wfc::chk {
+
+namespace {
+
+std::string schedule_to_string(const std::vector<rt::Partition>& schedule,
+                               const std::vector<ColorSet>& crashes) {
+  std::ostringstream os;
+  for (std::size_t r = 0; r < schedule.size(); ++r) {
+    if (r != 0) os << " ; ";
+    os << "r" << r << ":";
+    for (const ColorSet& block : schedule[r]) os << block.to_string();
+    if (r < crashes.size() && !crashes[r].empty()) {
+      os << " crash" << crashes[r].to_string();
+    }
+  }
+  return os.str();
+}
+
+topo::VertexId base_vertex_of_color(const topo::ChromaticComplex& base,
+                                    Color c) {
+  for (topo::VertexId v = 0; v < base.num_vertices(); ++v) {
+    if (base.vertex(v).color == c) return v;
+  }
+  WFC_CHECK(false, "check_views_in_sds: base simplex missing a color");
+}
+
+}  // namespace
+
+SdsCheckReport check_views_in_sds(const ExploreOptions& options) {
+  const proto::SdsChain chain(topo::base_simplex(options.n_procs),
+                              options.rounds);
+  return check_views_in_sds(options, chain);
+}
+
+SdsCheckReport check_views_in_sds(const ExploreOptions& options,
+                                  const proto::SdsChain& chain) {
+  WFC_REQUIRE(chain.depth() >= options.rounds,
+              "check_views_in_sds: chain shallower than the explored depth");
+  WFC_REQUIRE(chain.level(0).num_vertices() ==
+                  static_cast<std::size_t>(options.n_procs),
+              "check_views_in_sds: chain is not over base_simplex(n_procs)");
+
+  SdsCheckReport report;
+  const std::size_t n = static_cast<std::size_t>(options.n_procs);
+
+  // Per round, per processor: the located SDS vertex.  The DFS overwrites a
+  // round's row before re-descending, so rows 0..r-1 always describe the
+  // current branch when at_end fires.
+  std::vector<std::vector<topo::VertexId>> located(
+      static_cast<std::size_t>(options.rounds),
+      std::vector<topo::VertexId>(n, topo::kNoVertex));
+
+  // explore_iis cannot be aborted from callbacks directly; route both our
+  // abort-on-violation and the caller's cancel through one local token.
+  std::atomic<bool> abort{false};
+  ExploreOptions opt = options;
+  const std::atomic<bool>* caller_cancel = options.cancel;
+  opt.cancel = &abort;
+
+  auto fail = [&](std::string message) {
+    if (report.violation.empty()) report.violation = std::move(message);
+    abort.store(true, std::memory_order_relaxed);
+  };
+
+  std::function<topo::VertexId(int)> init = [&](int p) {
+    return base_vertex_of_color(chain.level(0), p);
+  };
+
+  std::function<rt::Step<topo::VertexId>(
+      int, int, const rt::IisSnapshot<topo::VertexId>&)>
+      on_view = [&](int p, int round,
+                    const rt::IisSnapshot<topo::VertexId>& snap) {
+        if (abort.load(std::memory_order_relaxed)) {
+          return rt::Step<topo::VertexId>::halt();
+        }
+        std::vector<topo::VertexId> seen;
+        seen.reserve(snap.size());
+        for (const auto& [q, v] : snap) seen.push_back(v);
+        topo::VertexId v = topo::kNoVertex;
+        try {
+          v = chain.locate(round + 1, p, topo::make_simplex(std::move(seen)));
+        } catch (const std::logic_error& e) {
+          fail("view of P" + std::to_string(p) + " after round " +
+               std::to_string(round) +
+               " is not a vertex of SDS^" + std::to_string(round + 1) +
+               " (contradicts Lemma 3.3): " + e.what());
+          return rt::Step<topo::VertexId>::halt();
+        }
+        ++report.vertices_located;
+        located[static_cast<std::size_t>(round)][static_cast<std::size_t>(p)] =
+            v;
+        return rt::Step<topo::VertexId>::cont(v);
+      };
+
+  std::function<void(const Execution<topo::VertexId>&)> at_end =
+      [&](const Execution<topo::VertexId>& e) {
+        if (caller_cancel != nullptr &&
+            caller_cancel->load(std::memory_order_relaxed)) {
+          abort.store(true, std::memory_order_relaxed);
+          return;
+        }
+        if (abort.load(std::memory_order_relaxed)) return;
+        // Lemma 3.2: the views co-produced by round r form a simplex of
+        // SDS^{r+1} (a facet when everyone acted, a proper face under
+        // crashes and at lower depths).
+        for (std::size_t r = 0; r < e.schedule.size(); ++r) {
+          std::vector<topo::VertexId> verts;
+          for (const ColorSet& block : e.schedule[r]) {
+            for (Color p : block) {
+              verts.push_back(located[r][static_cast<std::size_t>(p)]);
+            }
+          }
+          if (verts.empty()) continue;  // final all-crash round
+          const topo::Simplex s = topo::make_simplex(std::move(verts));
+          ++report.simplices_checked;
+          if (!chain.level(static_cast<int>(r) + 1).contains_simplex(s)) {
+            fail("round-" + std::to_string(r) +
+                 " view vector is not a simplex of SDS^" +
+                 std::to_string(r + 1) + " (contradicts Lemma 3.2); schedule " +
+                 schedule_to_string(e.schedule, e.crashes));
+            return;
+          }
+        }
+      };
+
+  report.explored = explore_iis<topo::VertexId>(opt, init, on_view, at_end);
+  // Abort-on-violation shows up as truncation; don't report a violating
+  // sweep as merely truncated.
+  if (!report.violation.empty()) report.explored.truncated = false;
+  if (caller_cancel != nullptr &&
+      caller_cancel->load(std::memory_order_relaxed)) {
+    report.explored.truncated = true;
+  }
+  report.ok = report.violation.empty();
+  return report;
+}
+
+DeltaCheckReport check_decision_against_delta(const task::Task& task,
+                                              const task::SolveResult& solved,
+                                              int max_crashes,
+                                              std::uint64_t max_executions) {
+  WFC_REQUIRE(solved.status == task::Solvability::kSolvable,
+              "check_decision_against_delta: result is not kSolvable");
+  WFC_REQUIRE(solved.chain != nullptr,
+              "check_decision_against_delta: result carries no chain");
+  WFC_REQUIRE(solved.chain->depth() >= solved.level,
+              "check_decision_against_delta: chain shallower than level");
+
+  DeltaCheckReport report;
+  const proto::SdsChain& chain = *solved.chain;
+  const topo::ChromaticComplex& input = task.input();
+
+  auto decide = [&](topo::VertexId v) {
+    WFC_CHECK(static_cast<std::size_t>(v) < solved.decision.size(),
+              "check_decision_against_delta: decision map too small");
+    return solved.decision[static_cast<std::size_t>(v)];
+  };
+
+  auto fail = [&](std::string message) {
+    if (report.violation.empty()) report.violation = std::move(message);
+  };
+
+  if (solved.level == 0) {
+    // No communication: every face of every facet decides its own vertices'
+    // images directly.
+    input.for_each_face([&](const topo::Simplex& face) {
+      if (!report.violation.empty()) return;
+      std::vector<topo::VertexId> out;
+      out.reserve(face.size());
+      for (topo::VertexId v : face) out.push_back(decide(v));
+      ++report.decisions_checked;
+      if (!task.allows(face, topo::make_simplex(std::move(out)))) {
+        fail("level-0 decision violates Delta on input face " +
+             topo::to_string(face));
+      }
+    });
+    report.ok = report.violation.empty();
+    return report;
+  }
+
+  for (const topo::Simplex& facet : input.facets()) {
+    if (!report.violation.empty()) break;
+    const int k = static_cast<int>(facet.size());
+
+    std::atomic<bool> abort{false};
+    ExploreOptions opt;
+    opt.n_procs = k;
+    opt.rounds = solved.level;
+    opt.max_crashes = std::min(max_crashes, k);
+    opt.max_executions = max_executions;
+    opt.cancel = &abort;
+
+    // Explorer position -> color of the facet vertex it plays.
+    std::vector<Color> color_of(static_cast<std::size_t>(k));
+    for (int pos = 0; pos < k; ++pos) {
+      color_of[static_cast<std::size_t>(pos)] =
+          input.vertex(facet[static_cast<std::size_t>(pos)]).color;
+    }
+
+    std::function<topo::VertexId(int)> init = [&](int pos) {
+      return facet[static_cast<std::size_t>(pos)];
+    };
+
+    std::function<rt::Step<topo::VertexId>(
+        int, int, const rt::IisSnapshot<topo::VertexId>&)>
+        on_view = [&](int pos, int round,
+                      const rt::IisSnapshot<topo::VertexId>& snap) {
+          if (abort.load(std::memory_order_relaxed)) {
+            return rt::Step<topo::VertexId>::halt();
+          }
+          std::vector<topo::VertexId> seen;
+          seen.reserve(snap.size());
+          for (const auto& [q, v] : snap) seen.push_back(v);
+          topo::VertexId v = topo::kNoVertex;
+          try {
+            v = chain.locate(round + 1, color_of[static_cast<std::size_t>(pos)],
+                             topo::make_simplex(std::move(seen)));
+          } catch (const std::logic_error& e) {
+            fail(std::string("decision replay hit an illegal view: ") +
+                 e.what());
+            abort.store(true, std::memory_order_relaxed);
+            return rt::Step<topo::VertexId>::halt();
+          }
+          return rt::Step<topo::VertexId>::cont(v);
+        };
+
+    std::function<void(const Execution<topo::VertexId>&)> at_end =
+        [&](const Execution<topo::VertexId>& e) {
+          if (abort.load(std::memory_order_relaxed)) return;
+          // Participants took at least one step; survivors completed all
+          // `level` rounds and decide delta_b of their final vertex.
+          std::vector<topo::VertexId> in;
+          std::vector<topo::VertexId> out;
+          for (int pos = 0; pos < k; ++pos) {
+            const auto upos = static_cast<std::size_t>(pos);
+            if (e.rounds_taken[upos] >= 1) in.push_back(facet[upos]);
+            if (e.rounds_taken[upos] == solved.level) {
+              out.push_back(decide(e.value[upos]));
+            }
+          }
+          if (out.empty()) return;  // nobody survived to decide
+          ++report.decisions_checked;
+          if (!task.allows(topo::make_simplex(std::move(in)),
+                           topo::make_simplex(std::move(out)))) {
+            fail("decision violates Delta on facet " + topo::to_string(facet) +
+                 "; schedule " + schedule_to_string(e.schedule, e.crashes));
+            abort.store(true, std::memory_order_relaxed);
+          }
+        };
+
+    ExploreStats stats =
+        explore_iis<topo::VertexId>(opt, init, on_view, at_end);
+    report.explored.executions += stats.executions;
+    report.explored.crashy_executions += stats.crashy_executions;
+    report.explored.symmetry_pruned += stats.symmetry_pruned;
+    if (stats.truncated && report.violation.empty()) {
+      report.explored.truncated = true;
+    }
+  }
+
+  report.ok = report.violation.empty();
+  return report;
+}
+
+}  // namespace wfc::chk

@@ -1,0 +1,70 @@
+// Exhaustive bounded proofs of the paper's structural lemmas.
+//
+// check_views_in_sds: for EVERY bounded IIS execution (all ordered-partition
+// schedules, all crash placements within the budget) of the full-information
+// protocol, every processor's view after round r is a vertex of SDS^r(s^n)
+// (SdsChain::locate succeeds -- Lemma 3.3) and the views co-produced by one
+// round form a simplex of that level (Lemma 3.2's bijection, crashed
+// executions landing on proper faces).  A failure would be a counterexample
+// to the lemmas as implemented -- the subdivision, the runtime, or the
+// locate logic disagreeing about what a legal view is.
+//
+// check_decision_against_delta: replays a compiled decision map delta_b
+// (tasks/solvability.hpp) over every bounded schedule of every input facet,
+// with crash injection, and checks each surviving decision tuple against the
+// task's Delta.  This is the operational half of Proposition 3.1: the
+// simplicial-map certificate must translate into a protocol whose every
+// execution -- not just the sampled ones -- decides legally.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "check/explorer.hpp"
+#include "protocol/sds_chain.hpp"
+#include "tasks/solvability.hpp"
+#include "tasks/task.hpp"
+
+namespace wfc::chk {
+
+struct SdsCheckReport {
+  /// True iff no violation was found.  An incomplete sweep (truncated) can
+  /// still report ok=true; callers needing exhaustiveness must also check
+  /// explored.truncated.
+  bool ok = false;
+  ExploreStats explored;
+  std::uint64_t vertices_located = 0;   // successful SdsChain::locate calls
+  std::uint64_t simplices_checked = 0;  // per-round view vectors tested
+  std::string violation;                // first violation, human-readable
+};
+
+/// Explores every (schedule, crash placement) of `options` for the
+/// full-information protocol on s^{n-1} and checks views against a freshly
+/// built SDS chain of depth options.rounds.
+SdsCheckReport check_views_in_sds(const ExploreOptions& options);
+
+/// Same, against a caller-supplied chain (must be built over
+/// base_simplex(options.n_procs) with depth >= options.rounds) -- the
+/// service layer passes its cached tower here.
+SdsCheckReport check_views_in_sds(const ExploreOptions& options,
+                                  const proto::SdsChain& chain);
+
+struct DeltaCheckReport {
+  bool ok = false;
+  ExploreStats explored;                // summed over input facets
+  std::uint64_t decisions_checked = 0;  // decision tuples tested against Delta
+  std::string violation;
+};
+
+/// Checks a kSolvable result's decision map against Delta over every bounded
+/// schedule with up to `max_crashes` crashes per execution, for every input
+/// facet.  Crashing j processors at round 0 exercises participation by the
+/// corresponding (k-j)-faces; a level-0 map is instead checked directly on
+/// every face of every facet.  `max_executions` bounds the sweep per facet
+/// (0 = unlimited).
+DeltaCheckReport check_decision_against_delta(const task::Task& task,
+                                              const task::SolveResult& solved,
+                                              int max_crashes,
+                                              std::uint64_t max_executions = 0);
+
+}  // namespace wfc::chk

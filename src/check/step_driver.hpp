@@ -1,0 +1,118 @@
+// Cooperative step-interleaving driver for the real register code, plus an
+// exhaustive enumerator over step interleavings.
+//
+// StepDriver runs each "processor" as a worker thread that parks at every
+// shared-memory access of the register layer (reg::detail::step_point(),
+// called at the top of every SwmrRegister access and at every level
+// store/load of ImmediateSnapshot).  Exactly one thread runs at a time, and
+// only when granted:
+//
+//   StepDriver d(2);
+//   d.spawn(0, [&] { view = snap.scan(); });
+//   d.step(0);   // run P0 up to (not into) its 1st shared access
+//   d.step(0);   // perform access 1, park before access 2
+//   ...          // interleave other processors / controller-thread calls
+//   d.finish(0); // run P0 to completion
+//
+// After step(p) has returned k times, P0 has performed exactly k-1 shared
+// accesses and is parked immediately before its k-th (steps to completion =
+// accesses + 1).  Tests rarely count accesses directly; run_until(p, pred)
+// advances until an observable predicate holds.  The controlling thread and
+// any thread the driver did not spawn pass through step points untouched, so
+// a test can freely call register operations "atomically" between steps.
+//
+// All handoff goes through one mutex/condvar pair, so TSan sees every
+// cross-thread edge; the registers' own atomics still provide the orderings
+// under test.  Exceptions thrown by a body are captured and rethrown from
+// the next step()/finish() call for that processor.
+//
+// for_each_step_interleaving turns the driver into a stateless model
+// checker: it re-executes a deterministic multi-processor scenario once per
+// schedule, enumerating ALL step interleavings by DFS with replay --
+// lowest-runnable-first default extension, then backtracking the latest
+// choice point.  Scenario bodies must be deterministic functions of the
+// schedule (no time, no randomness), or the replay diverges.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace wfc::chk {
+
+class StepDriver {
+ public:
+  explicit StepDriver(int n_procs);
+  ~StepDriver();  // runs every spawned processor to completion, then joins
+
+  StepDriver(const StepDriver&) = delete;
+  StepDriver& operator=(const StepDriver&) = delete;
+
+  /// Launches `body` as processor `p`'s thread; it stays parked until the
+  /// first step(p).
+  void spawn(int p, std::function<void()> body);
+
+  /// Advances processor p to its next step point (or to completion).
+  /// Returns false iff p had already finished.  Rethrows p's exception, if
+  /// its body threw.
+  bool step(int p);
+
+  /// Steps p until pred() holds (checked before each step, on the calling
+  /// thread, with p parked) or p finishes.  Returns true iff pred held.
+  bool run_until(int p, const std::function<bool()>& pred);
+
+  /// Runs p to completion.
+  void finish(int p);
+
+  /// Runs every spawned processor to completion, lowest id first.
+  void finish_all();
+
+  [[nodiscard]] bool spawned(int p) const;
+  [[nodiscard]] bool done(int p) const;
+  /// Times p has been granted a step so far.
+  [[nodiscard]] int steps_taken(int p) const;
+
+ private:
+  struct Proc {
+    std::thread thread;
+    bool is_spawned = false;
+    bool granted = false;
+    bool is_done = false;
+    int steps = 0;
+    std::exception_ptr error;
+  };
+
+  static void hook_trampoline();
+  void yield(int p);  // called from worker threads at step points
+  void check_proc(int p) const;
+  void rethrow_locked(Proc& proc);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Proc> procs_;
+};
+
+struct InterleaveStats {
+  std::uint64_t schedules = 0;  // complete interleavings executed
+  std::uint64_t steps = 0;      // total steps across all schedules
+  bool truncated = false;       // max_schedules hit
+};
+
+/// Executes `spawn_all` (which must spawn ALL n_procs processors on the
+/// driver it is given) once per step interleaving, exhaustively.  After each
+/// complete run, at_end receives the schedule (the processor id granted at
+/// each step).  Cost is the number of interleavings, roughly
+/// (sum steps)! / prod(steps_p!) -- keep scenarios to 2-3 processors and a
+/// handful of operations, and cap with max_schedules (0 = unlimited).
+InterleaveStats for_each_step_interleaving(
+    int n_procs, const std::function<void(StepDriver&)>& spawn_all,
+    const std::function<void(const std::vector<int>&)>& at_end,
+    std::uint64_t max_schedules = 0);
+
+}  // namespace wfc::chk

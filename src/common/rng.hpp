@@ -5,11 +5,36 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "common/assert.hpp"
 
 namespace wfc {
+
+/// Seed for randomized tests: the WFC_TEST_SEED environment variable
+/// (decimal or 0x-hex) when set, `fallback` otherwise.  Lets a failing
+/// randomized run be replayed exactly: rerun with WFC_TEST_SEED=<seed>.
+inline std::uint64_t test_seed(std::uint64_t fallback) {
+  const char* env = std::getenv("WFC_TEST_SEED");
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const std::uint64_t seed = std::strtoull(env, &end, 0);
+  WFC_REQUIRE(end != nullptr && *end == '\0',
+              "WFC_TEST_SEED is not an integer");
+  return seed;
+}
+
+/// test_seed plus a stderr note naming the suite, so CI logs always record
+/// the seed needed to reproduce a randomized failure.
+inline std::uint64_t logged_test_seed(const char* suite,
+                                      std::uint64_t fallback) {
+  const std::uint64_t seed = test_seed(fallback);
+  std::fprintf(stderr, "%s: effective WFC_TEST_SEED=%llu\n", suite,
+               static_cast<unsigned long long>(seed));
+  return seed;
+}
 
 class Rng {
  public:

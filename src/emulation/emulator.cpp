@@ -1,5 +1,6 @@
 #include "emulation/emulator.hpp"
 
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -90,11 +91,26 @@ std::optional<TupleSet> EmulatorCore::on_round(
   log_.push_back(std::move(op));
 
   rt::Step<int> step = on_scan_(id_, completed_sq, values);
-  if (step.kind == rt::Step<int>::Kind::kHalt) return std::nullopt;
+  if (step.kind == rt::Step<int>::Kind::kHalt) {
+    halted_ = true;
+    return std::nullopt;
+  }
   phase_ = Phase::kWrite;
   ++sq_;
   value_ = step.next;
   return uni.with(target());
+}
+
+std::optional<EmulatedOp> EmulatorCore::pending() const {
+  if (!started_ || halted_) return std::nullopt;
+  EmulatedOp op;
+  op.proc = id_;
+  op.seq = sq_;
+  op.is_write = (phase_ == Phase::kWrite);
+  if (op.is_write) op.value = value_;
+  op.start_round = op_start_round_;
+  op.end_round = std::numeric_limits<int>::max();  // never completed
+  return op;
 }
 
 namespace {

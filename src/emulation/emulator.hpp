@@ -71,6 +71,15 @@ class EmulatorCore {
   [[nodiscard]] const std::vector<EmulatedOp>& log() const noexcept {
     return log_;
   }
+
+  /// The operation submitted but not yet completed, if any (an emulator
+  /// stopped mid-operation -- crashed or out of rounds).  Its end_round is
+  /// INT_MAX: the op never linearized from this emulator's point of view,
+  /// but its VALUE may legitimately appear in survivors' snapshots (they
+  /// adopted the tuple before the crash), so crash-aware executors append
+  /// pending writes to the log before handing histories to check_history.
+  [[nodiscard]] std::optional<EmulatedOp> pending() const;
+
   [[nodiscard]] int id() const noexcept { return id_; }
 
  private:
@@ -90,6 +99,7 @@ class EmulatorCore {
   int value_ = 0;
   int op_start_round_ = 0;
   bool started_ = false;
+  bool halted_ = false;
   std::vector<EmulatedOp> log_;
 };
 

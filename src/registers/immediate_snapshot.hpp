@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "registers/step_point.hpp"
 #include "registers/swmr_register.hpp"
 
 namespace wfc::reg {
@@ -57,10 +58,12 @@ class ImmediateSnapshot {
     values_[ui].write(std::move(value));
     const int n_plus_1 = n_procs();
     for (int level = n_plus_1; level >= 1; --level) {
+      detail::step_point();
       levels_[ui].store(level, std::memory_order_release);
       std::vector<int> seen;
       seen.reserve(static_cast<std::size_t>(n_plus_1));
       for (int j = 0; j < n_plus_1; ++j) {
+        detail::step_point();
         const int lj =
             levels_[static_cast<std::size_t>(j)].load(std::memory_order_acquire);
         if (lj != kUnset && lj <= level) seen.push_back(j);

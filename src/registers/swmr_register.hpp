@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "registers/step_point.hpp"
 
 namespace wfc::reg {
 
@@ -32,6 +33,7 @@ class SwmrRegister {
   /// register checks it in debug form by tracking an expected writer token
   /// supplied at bind time (optional).
   void write(T value) {
+    detail::step_point();
     auto node = std::make_unique<Node>();
     node->value = std::move(value);
     node->seq = arena_.empty() ? 1 : arena_.back()->seq + 1;
@@ -42,6 +44,7 @@ class SwmrRegister {
 
   /// Wait-free read.  Returns nullopt if never written.
   [[nodiscard]] std::optional<T> read() const {
+    detail::step_point();
     const Node* n = current_.load(std::memory_order_acquire);
     if (n == nullptr) return std::nullopt;
     return n->value;
@@ -50,6 +53,7 @@ class SwmrRegister {
   /// Read together with the write sequence number (1-based); 0 = unwritten.
   /// Snapshot algorithms use the sequence number to detect movement.
   [[nodiscard]] std::uint64_t read_versioned(std::optional<T>& out) const {
+    detail::step_point();
     const Node* n = current_.load(std::memory_order_acquire);
     if (n == nullptr) {
       out.reset();

@@ -63,6 +63,7 @@ struct Pending {
   std::string label;  // task name or op
   QueryTicket ticket;
   bool is_emulate = false;
+  bool is_check = false;
 };
 
 void print_result(std::ostream& out, const Pending& pending,
@@ -72,6 +73,18 @@ void print_result(std::ostream& out, const Pending& pending,
   w.field("task", pending.label);
   if (!result.error.empty()) {
     w.field("status", "ERROR").field("error", result.error);
+  } else if (pending.is_check) {
+    if (result.solve.status == task::Solvability::kCancelled) {
+      w.field("status", "CANCELLED");
+    } else {
+      w.field("status", result.check_ok ? "OK" : "VIOLATION");
+    }
+    w.field("schedules", result.check_schedules)
+        .field("histories", result.check_histories)
+        .field("max_depth", result.check_max_depth);
+    if (!result.check_violation.empty()) {
+      w.field("violation", result.check_violation);
+    }
   } else if (pending.is_emulate) {
     w.field("status", "OK")
         .field("rounds", result.emu_rounds)
@@ -175,6 +188,24 @@ int run_jsonl_server(std::istream& in, std::ostream& out, std::ostream& err,
       const Fields fields = parse_flat_json(line);
       const std::string op = string_field(fields, "op", "solve");
 
+      // Reject unknown ops up front with a self-describing record: the
+      // field-level errors below would otherwise blame a missing "task"
+      // field on a line whose real problem is a misspelled op.
+      if (op != "stats" && op != "solve" && op != "convergence" &&
+          op != "emulate" && op != "check") {
+        ++error_lines;
+        drain(0);  // keep result lines in input order
+        JsonWriter w;
+        const std::string id = string_field(fields, "id");
+        if (!id.empty()) w.field("id", id);
+        out << w.field("op", op)
+                   .field("status", "ERROR")
+                   .field("error", "unknown op \"" + op + "\"")
+                   .str()
+            << "\n";
+        continue;
+      }
+
       if (op == "stats") {
         drain(0);  // counters reflect every query submitted before this line
         out << service.stats().to_string() << "\n";
@@ -204,8 +235,29 @@ int run_jsonl_server(std::istream& in, std::ostream& out, std::ostream& err,
         p.label = "emulate(procs=" + std::to_string(query.emu_procs) +
                   ",shots=" + std::to_string(query.emu_shots) + ")";
         p.is_emulate = true;
-      } else {
-        throw std::invalid_argument("unknown op \"" + op + "\"");
+      } else {  // op == "check" (unknown ops were rejected above)
+        const std::string target = string_field(fields, "target", "sds");
+        query.kind = Query::Kind::kCheck;
+        if (target == "sds") {
+          query.check.target = CheckQuery::Target::kSds;
+        } else if (target == "emulation") {
+          query.check.target = CheckQuery::Target::kEmulation;
+        } else if (target == "linearizability") {
+          query.check.target = CheckQuery::Target::kLinearizability;
+        } else {
+          throw std::invalid_argument("unknown check target \"" + target +
+                                      "\"");
+        }
+        query.check.procs = int_field(fields, "procs", 2);
+        query.check.rounds = int_field(fields, "rounds", 1);
+        query.check.crashes = int_field(fields, "crashes", 0);
+        query.check.shots = int_field(fields, "shots", 1);
+        query.check.symmetry = int_field(fields, "symmetry", 0) != 0;
+        p.label = "check(" + target +
+                  ",procs=" + std::to_string(query.check.procs) +
+                  ",rounds=" + std::to_string(query.check.rounds) +
+                  ",crashes=" + std::to_string(query.check.crashes) + ")";
+        p.is_check = true;
       }
       p.ticket = service.submit(std::move(query));
       pending.push_back(std::move(p));

@@ -3,9 +3,14 @@
 #include <algorithm>
 #include <sstream>
 
+#include "check/conformance.hpp"
+#include "check/lin_check.hpp"
+#include "check/sds_check.hpp"
+#include "check/step_driver.hpp"
 #include "common/assert.hpp"
 #include "convergence/convergence.hpp"
 #include "emulation/emulator.hpp"
+#include "registers/atomic_snapshot.hpp"
 #include "runtime/adversary.hpp"
 
 namespace wfc::svc {
@@ -16,6 +21,62 @@ int resolve_workers(int requested) {
   if (requested > 0) return requested;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+/// Thrown out of a checker callback to honour the query's cancel token.
+struct CheckCancelled {};
+
+struct LinOutcome {
+  bool ok = true;
+  std::uint64_t schedules = 0;
+  std::uint64_t histories = 0;
+  std::uint64_t max_depth = 0;
+  std::string violation;
+};
+
+/// kLinearizability target: drive the register-level AtomicSnapshot through
+/// EVERY step interleaving of a fixed scenario (processor 0 performs
+/// `rounds` updates; every other processor takes one scan) and verify each
+/// recorded history against the sequential snapshot specification.
+LinOutcome run_linearizability_target(const CheckQuery& cq,
+                                      std::uint64_t max_schedules,
+                                      const std::atomic<bool>* cancel) {
+  WFC_REQUIRE(cq.procs >= 2 && cq.procs <= 3,
+              "check(linearizability): procs must be 2 or 3");
+  WFC_REQUIRE(cq.rounds >= 1 && cq.rounds <= 4,
+              "check(linearizability): rounds must be in [1, 4]");
+  using Rec = chk::RecordingSnapshot<reg::AtomicSnapshot<int>>;
+
+  LinOutcome out;
+  std::shared_ptr<Rec> rec;
+  const chk::InterleaveStats stats = chk::for_each_step_interleaving(
+      cq.procs,
+      [&](chk::StepDriver& driver) {
+        rec = std::make_shared<Rec>(cq.procs);
+        driver.spawn(0, [rec = rec, rounds = cq.rounds] {
+          for (int r = 1; r <= rounds; ++r) rec->update(0, r);
+        });
+        for (int p = 1; p < cq.procs; ++p) {
+          driver.spawn(p, [rec = rec, p] { (void)rec->scan(p); });
+        }
+      },
+      [&](const std::vector<int>&) {
+        if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+          throw CheckCancelled{};
+        }
+        const chk::LinearizeReport lr =
+            chk::check_linearizable_snapshot(rec->history());
+        ++out.histories;
+        out.max_depth = std::max(
+            out.max_depth, static_cast<std::uint64_t>(lr.max_depth));
+        if (!lr.linearizable && out.ok) {
+          out.ok = false;
+          out.violation = "atomic snapshot: " + lr.violation;
+        }
+      },
+      max_schedules);
+  out.schedules = stats.schedules;
+  return out;
 }
 
 }  // namespace
@@ -30,7 +91,11 @@ std::string ServiceStats::to_string() const {
      << " max=" << max_micros << " | cache hits=" << cache.hits
      << " misses=" << cache.misses << " extensions=" << cache.extensions
      << " evictions=" << cache.evictions << " entries=" << cache.entries
-     << " resident_vertices=" << cache.resident_vertices;
+     << " resident_vertices=" << cache.resident_vertices
+     << " | check runs=" << check.runs << " schedules=" << check.schedules
+     << " histories=" << check.histories
+     << " violations=" << check.violations
+     << " max_depth=" << check.max_search_depth;
   return os.str();
 }
 
@@ -193,7 +258,69 @@ QueryResult QueryService::execute(
         result.solve.status = task::Solvability::kSolvable;
         break;
       }
+      case Query::Kind::kCheck: {
+        result.is_check = true;
+        // Checker sweeps poll only the cancel token (no per-node deadline
+        // like the solver's); honour an already-expired deadline up front.
+        if (query.options.timeout &&
+            std::chrono::steady_clock::now() >=
+                submitted + *query.options.timeout) {
+          cancel->store(true, std::memory_order_relaxed);
+        }
+        const CheckQuery& cq = query.check;
+        switch (cq.target) {
+          case CheckQuery::Target::kSds: {
+            chk::ExploreOptions opts;
+            opts.n_procs = cq.procs;
+            opts.rounds = cq.rounds;
+            opts.max_crashes = cq.crashes;
+            opts.symmetry_reduction = cq.symmetry;
+            opts.max_executions = query.options.node_budget;
+            opts.cancel = cancel.get();
+            const chk::SdsCheckReport report = chk::check_views_in_sds(opts);
+            result.check_ok = report.ok;
+            result.check_schedules = report.explored.executions;
+            result.check_histories = report.simplices_checked;
+            result.check_violation = report.violation;
+            break;
+          }
+          case CheckQuery::Target::kEmulation: {
+            chk::ConformanceOptions opts;
+            opts.n_procs = cq.procs;
+            opts.shots = cq.shots;
+            opts.explore_rounds = cq.rounds;
+            opts.max_crashes = cq.crashes;
+            opts.max_executions = query.options.node_budget;
+            const chk::ConformanceReport report =
+                chk::check_emulation_conformance(opts);
+            result.check_ok = report.ok;
+            result.check_schedules = report.explored.executions;
+            result.check_histories = report.histories_checked;
+            result.check_max_depth =
+                static_cast<std::uint64_t>(report.max_rounds_used);
+            result.check_violation = report.violation;
+            break;
+          }
+          case CheckQuery::Target::kLinearizability: {
+            const LinOutcome out = run_linearizability_target(
+                cq, query.options.node_budget, cancel.get());
+            result.check_ok = out.ok;
+            result.check_schedules = out.schedules;
+            result.check_histories = out.histories;
+            result.check_max_depth = out.max_depth;
+            result.check_violation = out.violation;
+            break;
+          }
+        }
+        result.solve.status = cancel->load(std::memory_order_relaxed)
+                                  ? task::Solvability::kCancelled
+                                  : task::Solvability::kSolvable;
+        break;
+      }
     }
+  } catch (const CheckCancelled&) {
+    result.is_check = true;
+    result.solve.status = task::Solvability::kCancelled;
   } catch (const std::exception& e) {
     result.error = e.what();
   }
@@ -209,7 +336,20 @@ QueryResult QueryService::execute(
 void QueryService::record(const QueryResult& result) {
   std::lock_guard<std::mutex> lock(stats_mu_);
   ++stats_.queries;
-  if (!result.error.empty()) {
+  if (result.is_check) {
+    ++stats_.check.runs;
+    stats_.check.schedules += result.check_schedules;
+    stats_.check.histories += result.check_histories;
+    stats_.check.max_search_depth =
+        std::max(stats_.check.max_search_depth, result.check_max_depth);
+    if (!result.error.empty()) {
+      ++stats_.errors;
+    } else if (result.solve.status == task::Solvability::kCancelled) {
+      ++stats_.cancelled;
+    } else if (!result.check_ok) {
+      ++stats_.check.violations;
+    }
+  } else if (!result.error.empty()) {
     ++stats_.errors;
   } else {
     switch (result.solve.status) {

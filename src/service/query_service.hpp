@@ -51,8 +51,24 @@ struct QueryOptions {
   std::optional<std::chrono::milliseconds> timeout;
 };
 
+/// Parameters of a kCheck query (dispatched to wfc::chk).
+struct CheckQuery {
+  enum class Target {
+    kSds,             // view vectors land in SDS^b (Lemmas 3.2/3.3)
+    kEmulation,       // §4 emulation histories are legal atomic snapshots
+    kLinearizability  // register AtomicSnapshot linearizes under all
+                      // step interleavings of a fixed scenario
+  };
+  Target target = Target::kSds;
+  int procs = 2;
+  int rounds = 1;   // IIS rounds (kSds) / explored prefix (kEmulation)
+  int crashes = 0;  // crash-injection budget
+  int shots = 1;    // kEmulation: full-information snapshots per client
+  bool symmetry = false;  // kSds: symmetry-reduced exploration
+};
+
 struct Query {
-  enum class Kind { kSolve, kConvergence, kEmulate };
+  enum class Kind { kSolve, kConvergence, kEmulate, kCheck };
   Kind kind = Kind::kSolve;
   /// kSolve: the task to decide.
   std::shared_ptr<const task::Task> task;
@@ -61,6 +77,8 @@ struct Query {
   /// kEmulate: emulated processors and full-information shots.
   int emu_procs = 2;
   int emu_shots = 1;
+  /// kCheck: what to model-check.
+  CheckQuery check;
   QueryOptions options;
 };
 
@@ -78,6 +96,13 @@ struct QueryResult {
   // kEmulate outputs.
   int emu_rounds = 0;
   std::vector<int> emu_steps;
+  // kCheck outputs.
+  bool is_check = false;
+  bool check_ok = false;
+  std::uint64_t check_schedules = 0;  // executions / interleavings explored
+  std::uint64_t check_histories = 0;  // histories verified
+  std::uint64_t check_max_depth = 0;  // deepest linearization search
+  std::string check_violation;        // empty when check_ok
   /// Non-empty when the query raised; other fields are then unspecified.
   std::string error;
 };

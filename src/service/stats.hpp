@@ -25,6 +25,15 @@ struct CacheStats {
   std::uint64_t resident_vertices = 0;  // sum of vertex counts, all levels
 };
 
+/// Aggregates over kCheck queries (the wfc::chk model checker).
+struct CheckStats {
+  std::uint64_t runs = 0;        // completed check queries
+  std::uint64_t schedules = 0;   // executions / interleavings explored
+  std::uint64_t histories = 0;   // operation histories verified
+  std::uint64_t violations = 0;  // checks that found a counterexample
+  std::uint64_t max_search_depth = 0;  // deepest linearization search
+};
+
 struct ServiceStats {
   std::uint64_t queries = 0;     // completed queries, any verdict
   std::uint64_t solvable = 0;
@@ -37,6 +46,7 @@ struct ServiceStats {
   std::uint64_t total_micros = 0;    // summed wall latency
   std::uint64_t max_micros = 0;      // worst single query
   CacheStats cache;
+  CheckStats check;
 
   /// One-line rendering for front-ends, e.g.
   /// "queries=12 (7 solvable, ...) nodes=... cache hits=.../miss=...".

@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "protocol/sds_chain.hpp"
 #include "service/frontend.hpp"
 #include "service/jsonl.hpp"
@@ -463,6 +464,180 @@ TEST(Frontend, MakeCanonicalTaskCoversEveryKind) {
                std::invalid_argument);
   EXPECT_THROW(make_canonical_task(Fields{{"task", "consensus"}}),
                std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// kCheck queries (the wfc::chk model checker behind the service surface).
+// ---------------------------------------------------------------------------
+
+TEST(CheckQueries, SdsTargetReportsScheduleCounts) {
+  QueryService::Options options;
+  options.workers = 1;
+  QueryService service(options);
+  Query query;
+  query.kind = Query::Kind::kCheck;
+  query.check.target = CheckQuery::Target::kSds;
+  query.check.procs = 3;
+  query.check.rounds = 1;
+  const QueryResult r = service.submit(std::move(query)).result.get();
+  ASSERT_TRUE(r.error.empty()) << r.error;
+  EXPECT_TRUE(r.is_check);
+  EXPECT_TRUE(r.check_ok) << r.check_violation;
+  EXPECT_EQ(r.check_schedules, 13u);  // Fubini(3)
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.check.runs, 1u);
+  EXPECT_EQ(stats.check.schedules, 13u);
+  EXPECT_EQ(stats.check.violations, 0u);
+}
+
+TEST(CheckQueries, EmulationTargetSurvivesCrashInjection) {
+  QueryService service;
+  Query query;
+  query.kind = Query::Kind::kCheck;
+  query.check.target = CheckQuery::Target::kEmulation;
+  query.check.procs = 2;
+  query.check.rounds = 2;
+  query.check.crashes = 1;
+  query.check.shots = 1;
+  const QueryResult r = service.submit(std::move(query)).result.get();
+  ASSERT_TRUE(r.error.empty()) << r.error;
+  EXPECT_TRUE(r.check_ok) << r.check_violation;
+  EXPECT_GT(r.check_histories, 0u);
+  EXPECT_GT(r.check_max_depth, 0u);
+}
+
+TEST(CheckQueries, LinearizabilityTargetExploresInterleavings) {
+  QueryService service;
+  Query query;
+  query.kind = Query::Kind::kCheck;
+  query.check.target = CheckQuery::Target::kLinearizability;
+  query.check.procs = 2;
+  query.check.rounds = 1;
+  const QueryResult r = service.submit(std::move(query)).result.get();
+  ASSERT_TRUE(r.error.empty()) << r.error;
+  EXPECT_TRUE(r.check_ok) << r.check_violation;
+  EXPECT_GT(r.check_schedules, 1u);
+  EXPECT_GT(r.check_max_depth, 0u);
+  EXPECT_GT(service.stats().check.max_search_depth, 0u);
+}
+
+TEST(CheckQueries, BadParametersSurfaceAsErrors) {
+  QueryService service;
+  Query query;
+  query.kind = Query::Kind::kCheck;
+  query.check.target = CheckQuery::Target::kLinearizability;
+  query.check.procs = 7;  // out of the supported range
+  const QueryResult r = service.submit(std::move(query)).result.get();
+  EXPECT_FALSE(r.error.empty());
+  EXPECT_EQ(service.stats().errors, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Seeded randomized stress: a reproducible mixed workload.
+// ---------------------------------------------------------------------------
+
+TEST(RandomizedStress, MixedWorkloadIsDeterministicUnderSeed) {
+  // The seed is logged (and overridable via WFC_TEST_SEED) so a failing mix
+  // can be replayed exactly.
+  Rng rng(logged_test_seed("service_test", 0x5EED));
+  QueryService::Options options;
+  options.workers = 2;
+  QueryService service(options);
+
+  std::vector<std::pair<Solvability, QueryTicket>> tickets;
+  for (int i = 0; i < 12; ++i) {
+    switch (rng.below(3)) {
+      case 0:
+        tickets.emplace_back(
+            Solvability::kUnsolvable,
+            service.submit_solve(
+                std::make_shared<task::ConsensusTask>(2, 2)));
+        break;
+      case 1:
+        tickets.emplace_back(
+            Solvability::kSolvable,
+            service.submit_solve(
+                std::make_shared<task::ApproxAgreementTask>(
+                    2, rng.between(2, 4))));
+        break;
+      default: {
+        Query query;
+        query.kind = Query::Kind::kCheck;
+        query.check.target = CheckQuery::Target::kSds;
+        query.check.procs = rng.between(2, 3);
+        query.check.rounds = 1;
+        query.check.crashes = rng.between(0, 1);
+        tickets.emplace_back(Solvability::kSolvable,
+                             service.submit(std::move(query)));
+        break;
+      }
+    }
+  }
+  for (auto& [expected, ticket] : tickets) {
+    const QueryResult r = ticket.result.get();
+    ASSERT_TRUE(r.error.empty()) << r.error;
+    EXPECT_EQ(r.solve.status, expected);
+    if (r.is_check) {
+      EXPECT_TRUE(r.check_ok) << r.check_violation;
+    }
+  }
+  EXPECT_EQ(service.stats().errors, 0u);
+}
+
+TEST(Frontend, RejectsUnknownOpPerLine) {
+  std::istringstream in(
+      R"({"id":"good","task":"approx","procs":2,"grid":3})" "\n"
+      R"({"id":"bad","op":"frobnicate","task":"consensus"})" "\n"
+      R"({"op":"solve","id":"after","task":"approx","procs":2,"grid":3})"
+      "\n");
+  std::ostringstream out, err;
+  ServeConfig config;
+  config.service.workers = 1;
+  config.stats_at_eof = false;
+  const int errors = run_jsonl_server(in, out, err, config);
+  EXPECT_EQ(errors, 1);
+
+  std::vector<std::string> lines;
+  std::istringstream result(out.str());
+  for (std::string line; std::getline(result, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 3u);
+  // The unknown op is reported on its own line, in order, echoing the id
+  // and op so the client can tell a typo from a missing field.
+  EXPECT_NE(lines[1].find("\"id\":\"bad\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"op\":\"frobnicate\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"status\":\"ERROR\""), std::string::npos);
+  EXPECT_NE(lines[1].find("unknown op \\\"frobnicate\\\""),
+            std::string::npos);
+  // Lines before and after still execute normally.
+  EXPECT_NE(lines[0].find("\"status\":\"SOLVABLE\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"status\":\"SOLVABLE\""), std::string::npos);
+}
+
+TEST(Frontend, ServesCheckOps) {
+  std::istringstream in(
+      R"({"id":"c1","op":"check","target":"sds","procs":2,"rounds":2})" "\n"
+      R"({"id":"c2","op":"check","target":"emulation","procs":2,"rounds":1,"crashes":1})"
+      "\n"
+      R"({"id":"c3","op":"check","target":"bogus"})" "\n"
+      R"({"op":"stats"})" "\n");
+  std::ostringstream out, err;
+  ServeConfig config;
+  config.service.workers = 1;
+  config.stats_at_eof = false;
+  const int errors = run_jsonl_server(in, out, err, config);
+  EXPECT_EQ(errors, 1);  // the bogus target
+
+  std::vector<std::string> lines;
+  std::istringstream result(out.str());
+  for (std::string line; std::getline(result, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_NE(lines[0].find("\"id\":\"c1\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"status\":\"OK\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"schedules\":9"), std::string::npos);  // 3^2
+  EXPECT_NE(lines[1].find("\"id\":\"c2\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"status\":\"OK\""), std::string::npos);
+  EXPECT_NE(lines[2].find("unknown check target"), std::string::npos);
+  EXPECT_NE(lines[3].find("check runs=2"), std::string::npos);
 }
 
 TEST(Frontend, ServesABatchInOrder) {
