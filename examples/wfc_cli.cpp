@@ -11,6 +11,11 @@
 //   wfc_cli check <target> <procs> <rounds> [crashes]
 //   wfc_cli serve [workers] [max_level]
 //
+// Global option: --retries N (before the subcommand) retries queries whose
+// terminal status is retryable (overloaded / resource_exhausted) up to N
+// times, sleeping the service's retry_after_ms hint scaled by exponential
+// backoff with jitter between attempts.
+//
 // Prints the characterization verdict, and for solvable tasks also runs the
 // synthesized protocol once on real threads as a liveness check.  The
 // resilient-* forms answer the t-resilient question for colorless tasks via
@@ -18,17 +23,22 @@
 // emulation, or linearizability) over every bounded schedule.  `serve`
 // turns the CLI into a JSON-lines query server over stdin/stdout (see
 // service/frontend.hpp for the line protocol).
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "check/conformance.hpp"
 #include "check/sds_check.hpp"
+#include "common/rng.hpp"
 #include "core/wfc.hpp"
 #include "service/frontend.hpp"
 #include "service/query_service.hpp"
+#include "service/status.hpp"
 
 namespace {
 
@@ -36,7 +46,7 @@ using namespace wfc;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: wfc_cli <task> <args...> [max_level]\n"
+               "usage: wfc_cli [--retries N] <task> <args...> [max_level]\n"
                "  consensus <procs> <values>\n"
                "  set-consensus <procs> <k>\n"
                "  renaming <procs> <names>\n"
@@ -48,10 +58,36 @@ int usage() {
   return 2;
 }
 
+/// Submits `query` up to 1 + retries times, backing off between attempts on
+/// retryable statuses (overloaded / resource_exhausted): the service's
+/// retry_after_ms hint (or 50ms) doubles per attempt, capped at 5s, with
+/// uniform jitter in [0.5, 1.5) to decorrelate retrying clients.
+svc::QueryResult submit_with_retries(svc::QueryService& service,
+                                     const svc::Query& query, int retries) {
+  Rng rng(test_seed(0x5eedull));
+  svc::QueryResult result;
+  for (int attempt = 0;; ++attempt) {
+    result = service.submit(query).result.get();
+    if (!svc::is_retryable(result.status) || attempt >= retries) return result;
+    std::uint64_t base_ms =
+        result.retry_after_ms > 0 ? result.retry_after_ms : 50;
+    base_ms = std::min<std::uint64_t>(base_ms << attempt, 5'000);
+    const auto sleep_ms =
+        static_cast<std::uint64_t>(static_cast<double>(base_ms) *
+                                   (0.5 + rng.unit()));
+    std::fprintf(stderr,
+                 "wfc_cli: %s, retrying in %llu ms (attempt %d/%d)\n",
+                 svc::to_cstring(result.status),
+                 static_cast<unsigned long long>(sleep_ms), attempt + 1,
+                 retries);
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+  }
+}
+
 /// `wfc_cli check`: run one wfc::chk query through the service layer and
 /// print the verdict plus the service's CheckStats line.
 int check_command(const std::string& target, int procs, int rounds,
-                  int crashes) {
+                  int crashes, int retries) {
   svc::Query query;
   query.kind = svc::Query::Kind::kCheck;
   if (target == "sds") {
@@ -68,9 +104,10 @@ int check_command(const std::string& target, int procs, int rounds,
   query.check.crashes = crashes;
 
   svc::QueryService service;
-  svc::QueryResult result = service.submit(std::move(query)).result.get();
-  if (!result.error.empty()) {
-    std::fprintf(stderr, "check failed: %s\n", result.error.c_str());
+  svc::QueryResult result = submit_with_retries(service, query, retries);
+  if (result.status != svc::Status::kOk) {
+    std::fprintf(stderr, "check failed (%s): %s\n",
+                 svc::to_cstring(result.status), result.error.c_str());
     return 2;
   }
   std::printf("check %s procs=%d rounds=%d crashes=%d: %s\n", target.c_str(),
@@ -134,6 +171,13 @@ int resilient_command(const std::string& name, int procs, const char* arg,
 }
 
 int main(int argc, char** argv) {
+  int retries = 0;
+  if (argc >= 3 && std::string(argv[1]) == "--retries") {
+    retries = std::atoi(argv[2]);
+    if (retries < 0) return usage();
+    argv += 2;
+    argc -= 2;
+  }
   if (argc >= 2 && std::string(argv[1]) == "serve") {
     wfc::svc::ServeConfig config;
     if (argc > 2) config.service.workers = std::atoi(argv[2]);
@@ -144,7 +188,7 @@ int main(int argc, char** argv) {
   }
   if (argc >= 5 && std::string(argv[1]) == "check") {
     return check_command(argv[2], std::atoi(argv[3]), std::atoi(argv[4]),
-                         argc > 5 ? std::atoi(argv[5]) : 0);
+                         argc > 5 ? std::atoi(argv[5]) : 0, retries);
   }
   if (argc < 4) return usage();
   const std::string name = argv[1];

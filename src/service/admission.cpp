@@ -1,0 +1,72 @@
+#include "service/admission.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace wfc::svc {
+
+AdmissionQueue::AdmissionQueue(Options options) : options_(options) {
+  WFC_REQUIRE(options_.max_depth >= 1,
+              "AdmissionQueue: max_depth must be >= 1");
+}
+
+AdmissionQueue::Outcome AdmissionQueue::offer(Entry entry) {
+  WFC_REQUIRE(entry.run != nullptr && entry.abort != nullptr,
+              "AdmissionQueue::offer: entry needs both run and abort");
+  Entry victim;
+  bool have_victim = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return Outcome::kRejected;
+    if (queue_.size() >= options_.max_depth) {
+      if (options_.policy == Policy::kRejectNew) return Outcome::kRejected;
+      victim = std::move(queue_.front());
+      queue_.pop_front();
+      have_victim = true;
+    }
+    queue_.push_back(std::move(entry));
+  }
+  cv_.notify_one();
+  if (have_victim) victim.abort(Status::kOverloaded);
+  return Outcome::kAdmitted;
+}
+
+std::optional<AdmissionQueue::Entry> AdmissionQueue::take() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return std::nullopt;  // closed_ && drained
+  Entry entry = std::move(queue_.front());
+  queue_.pop_front();
+  return entry;
+}
+
+void AdmissionQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t AdmissionQueue::drain(Status status) {
+  std::deque<Entry> drained;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    drained.swap(queue_);
+  }
+  for (Entry& entry : drained) entry.abort(status);
+  return drained.size();
+}
+
+std::size_t AdmissionQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+bool AdmissionQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+}  // namespace wfc::svc

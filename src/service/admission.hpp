@@ -1,0 +1,86 @@
+// Bounded admission queue for the query service: the load-shedding seam.
+//
+// The PR-1 service enqueued unboundedly into the worker pool, so a traffic
+// spike turned into an ever-growing backlog of queries whose deadlines had
+// long passed.  AdmissionQueue caps the backlog at max_depth and applies a
+// configurable overflow policy:
+//
+//   * kRejectNew  -- the arriving entry is refused (the service answers it
+//                    kOverloaded with a retry_after_ms hint).  Keeps queued
+//                    clients' ordering intact; best for retrying clients.
+//   * kDropOldest -- the OLDEST queued entry is aborted to make room and the
+//                    arriving entry admitted.  Best when fresh queries are
+//                    worth more than stale ones (the victim's deadline was
+//                    the nearest anyway).
+//
+// Entries are {run, abort} closure pairs: exactly one of the two is invoked
+// for every admitted entry, which is how the service guarantees that every
+// ticket reaches exactly one terminal status.  take() hands ownership of
+// `run` to a worker; drop-oldest and drain(...) hand ownership of `abort`
+// to whoever is shedding.  The queue itself never executes queries -- it
+// only decides their fate -- so all callbacks run outside its lock.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "service/status.hpp"
+
+namespace wfc::svc {
+
+class AdmissionQueue {
+ public:
+  enum class Policy { kRejectNew, kDropOldest };
+
+  struct Options {
+    std::size_t max_depth = 1024;
+    Policy policy = Policy::kRejectNew;
+  };
+
+  struct Entry {
+    /// Executes the query and completes its ticket.
+    std::function<void()> run;
+    /// Completes the ticket with the given terminal status instead of
+    /// running (shed victim, shutdown drain).
+    std::function<void(Status)> abort;
+  };
+
+  enum class Outcome { kAdmitted, kRejected };
+
+  explicit AdmissionQueue(Options options);
+
+  /// Admits `entry` or applies the overflow policy.  Under kDropOldest the
+  /// victim's abort(kOverloaded) runs on THIS thread before returning.
+  /// After close(), entries are always kRejected (the caller decides the
+  /// status to answer with).
+  Outcome offer(Entry entry);
+
+  /// Blocks for the next entry; std::nullopt once closed AND empty.
+  std::optional<Entry> take();
+
+  /// Stops intake and wakes every blocked take().  Queued entries remain
+  /// for take()/drain() to consume.
+  void close();
+
+  /// Removes every queued entry and aborts each with `status` (outside the
+  /// lock).  Returns how many were aborted.
+  std::size_t drain(Status status);
+
+  [[nodiscard]] std::size_t depth() const;
+  [[nodiscard]] std::size_t max_depth() const { return options_.max_depth; }
+  [[nodiscard]] bool closed() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  Options options_;
+  std::deque<Entry> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace wfc::svc

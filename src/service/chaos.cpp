@@ -1,0 +1,59 @@
+#include "service/chaos.hpp"
+
+#include <new>
+#include <thread>
+#include <utility>
+
+namespace wfc::svc {
+
+ChaosMonkey::ChaosMonkey(Options options)
+    : options_(options), rng_(options.seed) {}
+
+bool ChaosMonkey::roll(double p) {
+  if (p <= 0.0) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  return rng_.unit() < p;
+}
+
+void ChaosMonkey::arm(QueryService::Options& service_options) {
+  auto prior_execute = std::move(service_options.execute_hook);
+  service_options.execute_hook =
+      [this, prior_execute](std::atomic<bool>& cancel) {
+        if (prior_execute) prior_execute(cancel);
+        if (roll(options_.stall_prob)) {
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++stats_.stalls;
+          }
+          // Sleep without touching the heartbeat: to the watchdog this is
+          // indistinguishable from a worker wedged in non-polling code.
+          std::this_thread::sleep_for(options_.stall_for);
+        }
+        if (roll(options_.cancel_prob)) {
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++stats_.cancels;
+          }
+          cancel.store(true, std::memory_order_relaxed);
+        }
+      };
+
+  auto prior_build = std::move(service_options.cache.build_fault_hook);
+  service_options.cache.build_fault_hook = [this, prior_build] {
+    if (prior_build) prior_build();
+    if (roll(options_.build_fault_prob)) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.build_faults;
+      }
+      throw std::bad_alloc();
+    }
+  };
+}
+
+ChaosMonkey::Stats ChaosMonkey::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace wfc::svc

@@ -1,0 +1,79 @@
+// Chaos harness: seeded fault injection for QueryService soak tests.
+//
+// The resilience layer (admission control, watchdog, fault containment)
+// earns its keep only under misbehaviour that unit tests don't produce
+// naturally.  ChaosMonkey arms a QueryService::Options with deterministic,
+// seeded faults at the two seams the service exposes for exactly this
+// purpose:
+//
+//   * Options::execute_hook (runs on the worker just before execution):
+//       - random cancellation -- the query's cancel token is flipped, so the
+//         search must answer kCancelled/kDeadlineExceeded;
+//       - stalled worker -- the hook sleeps without bumping the progress
+//         heartbeat, exercising the watchdog's stall detector and hard cap.
+//   * SdsCache::Options::build_fault_hook (under the entry build lock, right
+//     before subdivision work): throws std::bad_alloc, exercising
+//     kResourceExhausted containment and cache shedding while the cache must
+//     stay consistent.
+//
+// Determinism: one SplitMix64 stream (common/rng.hpp) seeded from
+// WFC_TEST_SEED drives every decision; hooks run concurrently on workers,
+// so draws are serialized under a mutex -- the FAULT SEQUENCE is
+// reproducible even though its assignment to queries depends on scheduling.
+// Injection counters let the soak test assert that faults actually fired.
+//
+// The ChaosMonkey must outlive every service armed with it (the hooks hold
+// a plain pointer).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+#include "common/rng.hpp"
+#include "service/query_service.hpp"
+
+namespace wfc::svc {
+
+class ChaosMonkey {
+ public:
+  struct Options {
+    std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+    /// P(flip the query's cancel token before execution).
+    double cancel_prob = 0.0;
+    /// P(worker sleeps `stall_for` before execution, heartbeat silent).
+    double stall_prob = 0.0;
+    std::chrono::milliseconds stall_for{50};
+    /// P(std::bad_alloc out of the SDS-cache build seam).
+    double build_fault_prob = 0.0;
+  };
+
+  struct Stats {
+    std::uint64_t cancels = 0;
+    std::uint64_t stalls = 0;
+    std::uint64_t build_faults = 0;
+  };
+
+  explicit ChaosMonkey(Options options);
+
+  ChaosMonkey(const ChaosMonkey&) = delete;
+  ChaosMonkey& operator=(const ChaosMonkey&) = delete;
+
+  /// Installs the fault hooks into `service_options` (chaining onto any
+  /// hooks already present).  Call before constructing the QueryService.
+  void arm(QueryService::Options& service_options);
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  /// One seeded coin flip with probability p (serialized draw).
+  bool roll(double p);
+
+  Options options_;
+  mutable std::mutex mu_;
+  Rng rng_;  // guarded by mu_
+  Stats stats_;  // guarded by mu_
+};
+
+}  // namespace wfc::svc

@@ -71,14 +71,17 @@ void print_result(std::ostream& out, const Pending& pending,
   JsonWriter w;
   if (!pending.id.empty()) w.field("id", pending.id);
   w.field("task", pending.label);
-  if (!result.error.empty()) {
-    w.field("status", "ERROR").field("error", result.error);
-  } else if (pending.is_check) {
-    if (result.solve.status == task::Solvability::kCancelled) {
-      w.field("status", "CANCELLED");
-    } else {
-      w.field("status", result.check_ok ? "OK" : "VIOLATION");
+  if (result.status != Status::kOk) {
+    // Non-kOk terminal statuses use the lowercase taxonomy tokens
+    // (status.hpp); retryable ones carry the service's backoff hint.
+    w.field("status", to_json_token(result.status));
+    if (result.retry_after_ms > 0) {
+      w.field("retry_after_ms",
+              static_cast<std::uint64_t>(result.retry_after_ms));
     }
+    if (!result.error.empty()) w.field("error", result.error);
+  } else if (pending.is_check) {
+    w.field("status", result.check_ok ? "OK" : "VIOLATION");
     w.field("schedules", result.check_schedules)
         .field("histories", result.check_histories)
         .field("max_depth", result.check_max_depth);
@@ -99,6 +102,7 @@ void print_result(std::ostream& out, const Pending& pending,
     w.field("nodes", result.solve.nodes_explored)
         .field("cache_hit", result.cache_hit);
   }
+  if (result.degraded) w.field("degraded", true);
   w.field("micros", result.micros);
   out << w.str() << "\n";
 }
@@ -175,13 +179,15 @@ int run_jsonl_server(std::istream& in, std::ostream& out, std::ostream& err,
       Pending p = std::move(pending.front());
       pending.pop_front();
       QueryResult result = p.ticket.result.get();
-      if (!result.error.empty()) ++error_lines;
+      if (result.status != Status::kOk) ++error_lines;
       print_result(out, p, std::move(result));
     }
   };
 
   std::string line;
+  int line_no = 0;
   while (std::getline(in, line)) {
+    ++line_no;
     const std::size_t first = line.find_first_not_of(" \t\r");
     if (first == std::string::npos || line[first] == '#') continue;
     try {
@@ -199,7 +205,8 @@ int run_jsonl_server(std::istream& in, std::ostream& out, std::ostream& err,
         const std::string id = string_field(fields, "id");
         if (!id.empty()) w.field("id", id);
         out << w.field("op", op)
-                   .field("status", "ERROR")
+                   .field("status", to_json_token(Status::kInvalidArgument))
+                   .field("line", line_no)
                    .field("error", "unknown op \"" + op + "\"")
                    .str()
             << "\n";
@@ -262,9 +269,15 @@ int run_jsonl_server(std::istream& in, std::ostream& out, std::ostream& err,
       p.ticket = service.submit(std::move(query));
       pending.push_back(std::move(p));
     } catch (const std::exception& e) {
+      // A malformed line answers for itself -- with the line number so the
+      // offending record in a big batch is findable -- and NEVER terminates
+      // the serve loop.
       ++error_lines;
       drain(0);  // keep result lines in input order
-      out << JsonWriter().field("status", "ERROR").field("error", e.what())
+      out << JsonWriter()
+                 .field("status", to_json_token(Status::kInvalidArgument))
+                 .field("line", line_no)
+                 .field("error", e.what())
                  .str()
           << "\n";
     }

@@ -22,7 +22,13 @@
 //   {"id":...,"task":"...","status":"SOLVABLE","level":1,"nodes":12,
 //    "micros":345,"cache_hit":true}
 //   {"op":"emulate",...,"status":"OK","rounds":5,"iis_steps":17,...}
-//   {"error":"..."} for malformed lines or failed queries.
+//
+// Queries that do not complete normally carry the lowercase status taxonomy
+// (service/status.hpp) instead of a verdict: "cancelled",
+// "deadline_exceeded", "overloaded" (+ "retry_after_ms" backoff hint),
+// "resource_exhausted", "invalid_argument", "internal".  Malformed input
+// lines answer {"status":"invalid_argument","line":N,"error":...} -- with
+// the offending 1-based line number -- and never terminate the serve loop.
 #pragma once
 
 #include <iosfwd>

@@ -1,7 +1,9 @@
 #include "service/query_service.hpp"
 
 #include <algorithm>
+#include <new>
 #include <sstream>
+#include <stdexcept>
 
 #include "check/conformance.hpp"
 #include "check/lin_check.hpp"
@@ -26,6 +28,10 @@ int resolve_workers(int requested) {
 /// Thrown out of a checker callback to honour the query's cancel token.
 struct CheckCancelled {};
 
+void bump(std::atomic<std::uint64_t>* progress) {
+  if (progress != nullptr) progress->fetch_add(1, std::memory_order_relaxed);
+}
+
 struct LinOutcome {
   bool ok = true;
   std::uint64_t schedules = 0;
@@ -40,7 +46,8 @@ struct LinOutcome {
 /// recorded history against the sequential snapshot specification.
 LinOutcome run_linearizability_target(const CheckQuery& cq,
                                       std::uint64_t max_schedules,
-                                      const std::atomic<bool>* cancel) {
+                                      const std::atomic<bool>* cancel,
+                                      std::atomic<std::uint64_t>* progress) {
   WFC_REQUIRE(cq.procs >= 2 && cq.procs <= 3,
               "check(linearizability): procs must be 2 or 3");
   WFC_REQUIRE(cq.rounds >= 1 && cq.rounds <= 4,
@@ -64,6 +71,7 @@ LinOutcome run_linearizability_target(const CheckQuery& cq,
         if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
           throw CheckCancelled{};
         }
+        bump(progress);
         const chk::LinearizeReport lr =
             chk::check_linearizable_snapshot(rec->history());
         ++out.histories;
@@ -83,14 +91,25 @@ LinOutcome run_linearizability_target(const CheckQuery& cq,
 
 std::string ServiceStats::to_string() const {
   std::ostringstream os;
-  os << "queries=" << queries << " (" << solvable << " solvable, "
-     << unsolvable << " unsolvable, " << unknown << " unknown, " << cancelled
-     << " cancelled, " << errors << " errors)"
-     << " result_hits=" << result_hits << " nodes=" << nodes_explored
-     << " latency_us total=" << total_micros
-     << " max=" << max_micros << " | cache hits=" << cache.hits
+  os << "submitted=" << submitted << " queries=" << queries << " (" << solvable
+     << " solvable, " << unsolvable << " unsolvable, " << unknown
+     << " unknown)";
+  os << " status[";
+  for (int s = 0; s < kNumStatuses; ++s) {
+    if (s != 0) os << " ";
+    os << to_json_token(static_cast<Status>(s)) << "=" << by_status[s];
+  }
+  os << "]";
+  os << " result_hits=" << result_hits << " nodes=" << nodes_explored
+     << " latency_us total=" << total_micros << " max=" << max_micros
+     << " queue_us total=" << queue_total_micros
+     << " max=" << queue_max_micros << " degraded=" << degraded
+     << " watchdog kills=" << watchdog_kills
+     << " stuck=" << stuck_worker_reports
+     << " | cache hits=" << cache.hits
      << " misses=" << cache.misses << " extensions=" << cache.extensions
-     << " evictions=" << cache.evictions << " entries=" << cache.entries
+     << " evictions=" << cache.evictions << " sheds=" << cache.sheds
+     << " entries=" << cache.entries
      << " resident_vertices=" << cache.resident_vertices
      << " | check runs=" << check.runs << " schedules=" << check.schedules
      << " histories=" << check.histories
@@ -102,13 +121,37 @@ std::string ServiceStats::to_string() const {
 QueryService::QueryService() : QueryService(Options()) {}
 
 QueryService::QueryService(Options options)
-    : cache_(options.cache),
-      memo_capacity_(options.result_memo_entries),
-      pool_(resolve_workers(options.workers)) {}
+    : options_(std::move(options)),
+      cache_(options_.cache),
+      watchdog_(Watchdog::Options{options_.watchdog_scan_period,
+                                  options_.hard_timeout,
+                                  options_.watchdog_stall_scans}),
+      queue_(AdmissionQueue::Options{options_.max_queue_depth,
+                                     options_.admission_policy}),
+      memo_capacity_(options_.result_memo_entries),
+      pool_(resolve_workers(options_.workers)) {
+  max_inflight_ = options_.max_inflight > 0
+                      ? std::min(options_.max_inflight, pool_.size())
+                      : pool_.size();
+  for (int i = 0; i < pool_.size(); ++i) {
+    pool_.submit([this] { worker_loop(); });
+  }
+}
 
 QueryService::~QueryService() {
+  accepting_.store(false, std::memory_order_relaxed);
   cancel_all();
-  // ~ThreadPool drains the queue; cancelled queries finish fast.
+  queue_.close();
+  // Abort everything still queued so workers only drain the (cancelled)
+  // queries they already picked up; every outstanding future is fulfilled.
+  queue_.drain(Status::kCancelled);
+  // ~ThreadPool joins the workers once their loops observe the closed queue.
+}
+
+void QueryService::worker_loop() {
+  while (std::optional<AdmissionQueue::Entry> entry = queue_.take()) {
+    entry->run();
+  }
 }
 
 QueryTicket QueryService::submit(Query query) {
@@ -118,24 +161,27 @@ QueryTicket QueryService::submit(Query query) {
       query.kind != Query::Kind::kConvergence || query.agreement != nullptr,
       "QueryService::submit: kConvergence query without an agreement task");
 
-  auto cancel = std::make_shared<std::atomic<bool>>(false);
-  auto promise = std::make_shared<std::promise<QueryResult>>();
-  QueryTicket ticket{promise->get_future(), cancel};
-  const auto submitted = std::chrono::steady_clock::now();
+  auto job = std::make_shared<Job>();
+  job->query = std::move(query);
+  job->cancel = std::make_shared<std::atomic<bool>>(false);
+  job->submitted = std::chrono::steady_clock::now();
+  if (job->query.options.timeout) {
+    job->deadline = job->submitted + *job->query.options.timeout;
+  }
+  QueryTicket ticket{job->promise.get_future(), job->cancel};
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.submitted;
+  }
 
   // Fast path: an identical definitive query was answered before -- reply
   // inline, no worker, no search.
-  if (std::optional<task::SolveResult> memo = memo_lookup(query)) {
+  if (std::optional<task::SolveResult> memo = memo_lookup(job->query)) {
     QueryResult result;
     result.solve = *std::move(memo);
     result.cache_hit = true;
     result.memoized = true;
-    result.micros = static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::microseconds>(
-            std::chrono::steady_clock::now() - submitted)
-            .count());
-    record(result);
-    promise->set_value(std::move(result));
+    finish(job, std::move(result));
     return ticket;
   }
 
@@ -147,16 +193,156 @@ QueryTicket QueryService::submit(Query query) {
                          return w.expired();
                        }),
         live_tokens_.end());
-    live_tokens_.push_back(cancel);
+    live_tokens_.push_back(job->cancel);
   }
 
-  pool_.submit([this, query = std::move(query), cancel, promise,
-                submitted]() mutable {
-    QueryResult result = execute(query, cancel, submitted);
-    record(result);
-    promise->set_value(std::move(result));
-  });
+  if (!accepting_.load(std::memory_order_relaxed)) {
+    finish_without_running(job, Status::kCancelled);
+    return ticket;
+  }
+
+  AdmissionQueue::Entry entry;
+  entry.run = [this, job] { run_job(job); };
+  entry.abort = [this, job](Status status) {
+    finish_without_running(job, status);
+  };
+  if (queue_.offer(std::move(entry)) == AdmissionQueue::Outcome::kRejected) {
+    // Shed (queue full under kRejectNew) or shutting down: the ticket is
+    // still fulfilled -- load never throws at the submitter.
+    finish_without_running(
+        job, queue_.closed() ? Status::kCancelled : Status::kOverloaded);
+  }
   return ticket;
+}
+
+void QueryService::finish_without_running(const std::shared_ptr<Job>& job,
+                                          Status status) {
+  job->cancel->store(true, std::memory_order_relaxed);
+  QueryResult result;
+  result.status = status;
+  if (status == Status::kCancelled || status == Status::kDeadlineExceeded) {
+    // Legacy verdict surface: an unrun cancelled query reads as a cancelled
+    // search with zero nodes.
+    result.solve.status = task::Solvability::kCancelled;
+  }
+  if (status == Status::kOverloaded) {
+    result.error = "admission queue full";
+  }
+  finish(job, std::move(result));
+}
+
+void QueryService::finish(const std::shared_ptr<Job>& job,
+                          QueryResult result) {
+  if (job->finished.exchange(true, std::memory_order_acq_rel)) return;
+  if (is_retryable(result.status) && result.retry_after_ms == 0) {
+    result.retry_after_ms = retry_hint();
+  }
+  result.micros = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - job->submitted)
+          .count());
+  record(result);
+  job->promise.set_value(std::move(result));
+}
+
+std::uint64_t QueryService::degraded_budget(std::uint64_t requested,
+                                            bool* degraded) {
+  *degraded = false;
+  if (!options_.degrade_budget_under_load) return requested;
+  const std::size_t depth = queue_.depth();
+  const std::size_t cap = queue_.max_depth();
+  std::uint64_t budget = requested;
+  if (depth * 2 >= cap) {
+    budget = std::max<std::uint64_t>(1, requested / 4);
+  } else if (depth * 4 >= cap) {
+    budget = std::max<std::uint64_t>(1, requested / 2);
+  }
+  *degraded = budget != requested;
+  return budget;
+}
+
+std::uint32_t QueryService::retry_hint() {
+  std::uint64_t ewma;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ewma = ewma_exec_micros_;
+  }
+  if (ewma == 0) return options_.retry_after_ms_base;
+  const std::uint64_t per_query_ms = std::max<std::uint64_t>(1, ewma / 1000);
+  const std::uint64_t backlog = queue_.depth() + 1;
+  const std::uint64_t parallel =
+      static_cast<std::uint64_t>(std::max(1, max_inflight_));
+  const std::uint64_t hint = per_query_ms * backlog / parallel;
+  return static_cast<std::uint32_t>(
+      std::clamp<std::uint64_t>(hint, 1, 10'000));
+}
+
+void QueryService::acquire_inflight_slot() {
+  std::unique_lock<std::mutex> lock(inflight_mu_);
+  inflight_cv_.wait(lock, [this] { return inflight_ < max_inflight_; });
+  ++inflight_;
+}
+
+void QueryService::release_inflight_slot() {
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    --inflight_;
+  }
+  inflight_cv_.notify_one();
+}
+
+void QueryService::run_job(const std::shared_ptr<Job>& job) {
+  const auto dequeued = std::chrono::steady_clock::now();
+  const std::uint64_t queue_micros = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          dequeued - job->submitted)
+          .count());
+
+  // Deadline check AT DEQUEUE: a query that expired while waiting must not
+  // occupy a worker with a search that can only answer kCancelled.
+  if (job->deadline && dequeued >= *job->deadline) {
+    QueryResult result;
+    result.status = Status::kDeadlineExceeded;
+    result.solve.status = task::Solvability::kCancelled;
+    result.queue_micros = queue_micros;
+    result.error = "deadline expired while queued";
+    finish(job, std::move(result));
+    return;
+  }
+
+  if (job->cancel->load(std::memory_order_relaxed)) {
+    QueryResult result;
+    result.status = Status::kCancelled;
+    result.solve.status = task::Solvability::kCancelled;
+    result.queue_micros = queue_micros;
+    finish(job, std::move(result));
+    return;
+  }
+
+  bool degraded = false;
+  const std::uint64_t budget =
+      degraded_budget(job->query.options.node_budget, &degraded);
+
+  acquire_inflight_slot();
+  const std::uint64_t watch_handle = watchdog_.watch(
+      job->cancel, std::shared_ptr<const std::atomic<std::uint64_t>>(
+                       job, &job->progress));
+  // The chaos hook runs INSIDE the watched window, so an injected stall is
+  // exactly what the watchdog's heartbeat rule is meant to catch (and an
+  // injected cancellation is handled by execute's cooperative checks).
+  if (options_.execute_hook) options_.execute_hook(*job->cancel);
+  QueryResult result = execute(job->query, job->cancel, job->submitted,
+                               job->deadline, budget, &job->progress);
+  const bool watchdog_killed = watchdog_.unwatch(watch_handle);
+  release_inflight_slot();
+
+  if (watchdog_killed && result.status == Status::kCancelled) {
+    result.status = Status::kDeadlineExceeded;
+    result.error = "hard timeout: watchdog cancelled the query";
+  }
+  result.degraded = degraded;
+  result.queue_micros = queue_micros;
+  finish(job, std::move(result));
 }
 
 std::optional<task::SolveResult> QueryService::memo_lookup(
@@ -212,36 +398,42 @@ void QueryService::cancel_all() {
 
 QueryResult QueryService::execute(
     const Query& query, const std::shared_ptr<std::atomic<bool>>& cancel,
-    std::chrono::steady_clock::time_point submitted) {
+    std::chrono::steady_clock::time_point submitted,
+    const std::optional<std::chrono::steady_clock::time_point>& deadline,
+    std::uint64_t effective_budget, std::atomic<std::uint64_t>* progress) {
   QueryResult result;
   bool any_build = false;
+  bool ran_to_verdict = false;
   try {
     switch (query.kind) {
       case Query::Kind::kSolve: {
         task::SolveOptions opts;
-        opts.node_budget = query.options.node_budget;
+        opts.node_budget = effective_budget;
         opts.cancel = cancel.get();
-        if (query.options.timeout) {
-          opts.deadline = submitted + *query.options.timeout;
-        }
+        opts.progress = progress;
+        opts.deadline = deadline;
         opts.chain_provider =
-            [this, &any_build](const topo::ChromaticComplex& input,
-                               int depth) {
+            [this, &any_build, progress](const topo::ChromaticComplex& input,
+                                         int depth) {
               bool built = false;
               auto chain = cache_.chain_for(input, depth, &built);
               any_build = any_build || built;
+              bump(progress);  // subdivision checkpoint
               return chain;
             };
         result.solve =
             task::solve(*query.task, query.options.max_level, opts);
+        ran_to_verdict = true;
         break;
       }
       case Query::Kind::kConvergence: {
         conv::ApproximationOptions opts;
         opts.max_level = query.options.max_level;
+        bump(progress);
         result.solve =
             conv::solve_simplex_agreement_by_convergence(*query.agreement,
                                                          opts);
+        ran_to_verdict = true;
         break;
       }
       case Query::Kind::kEmulate: {
@@ -250,21 +442,21 @@ QueryResult QueryService::execute(
         const int max_rounds = 16 + 32 * query.emu_shots * query.emu_procs;
         emu::FullInfoClient client(query.emu_shots);
         rt::SynchronousAdversary adversary;
+        bump(progress);
         emu::EmulationResult emu = emu::run_emulation_simulated(
             query.emu_procs, adversary, max_rounds, client.init(),
             client.on_scan());
         result.emu_rounds = emu.rounds_used;
         result.emu_steps = std::move(emu.iis_steps);
         result.solve.status = task::Solvability::kSolvable;
+        ran_to_verdict = true;
         break;
       }
       case Query::Kind::kCheck: {
         result.is_check = true;
         // Checker sweeps poll only the cancel token (no per-node deadline
         // like the solver's); honour an already-expired deadline up front.
-        if (query.options.timeout &&
-            std::chrono::steady_clock::now() >=
-                submitted + *query.options.timeout) {
+        if (deadline && std::chrono::steady_clock::now() >= *deadline) {
           cancel->store(true, std::memory_order_relaxed);
         }
         const CheckQuery& cq = query.check;
@@ -275,8 +467,9 @@ QueryResult QueryService::execute(
             opts.rounds = cq.rounds;
             opts.max_crashes = cq.crashes;
             opts.symmetry_reduction = cq.symmetry;
-            opts.max_executions = query.options.node_budget;
+            opts.max_executions = effective_budget;
             opts.cancel = cancel.get();
+            bump(progress);
             const chk::SdsCheckReport report = chk::check_views_in_sds(opts);
             result.check_ok = report.ok;
             result.check_schedules = report.explored.executions;
@@ -290,7 +483,8 @@ QueryResult QueryService::execute(
             opts.shots = cq.shots;
             opts.explore_rounds = cq.rounds;
             opts.max_crashes = cq.crashes;
-            opts.max_executions = query.options.node_budget;
+            opts.max_executions = effective_budget;
+            bump(progress);
             const chk::ConformanceReport report =
                 chk::check_emulation_conformance(opts);
             result.check_ok = report.ok;
@@ -303,7 +497,7 @@ QueryResult QueryService::execute(
           }
           case CheckQuery::Target::kLinearizability: {
             const LinOutcome out = run_linearizability_target(
-                cq, query.options.node_budget, cancel.get());
+                cq, effective_budget, cancel.get(), progress);
             result.check_ok = out.ok;
             result.check_schedules = out.schedules;
             result.check_histories = out.histories;
@@ -315,16 +509,40 @@ QueryResult QueryService::execute(
         result.solve.status = cancel->load(std::memory_order_relaxed)
                                   ? task::Solvability::kCancelled
                                   : task::Solvability::kSolvable;
+        ran_to_verdict = true;
         break;
       }
     }
   } catch (const CheckCancelled&) {
     result.is_check = true;
     result.solve.status = task::Solvability::kCancelled;
+    ran_to_verdict = true;
+  } catch (const std::bad_alloc&) {
+    // Contain the allocation failure to this query and relieve the largest
+    // memory consumer we own: the chain cache sheds a quarter of its cold
+    // weight.  The query itself is retryable.
+    cache_.shed(0.25);
+    result.status = Status::kResourceExhausted;
+    result.error = "allocation failure during query execution";
+  } catch (const std::invalid_argument& e) {
+    result.status = Status::kInvalidArgument;
+    result.error = e.what();
   } catch (const std::exception& e) {
+    result.status = Status::kInternal;
     result.error = e.what();
   }
-  if (result.error.empty()) memo_store(query, result.solve);
+
+  if (ran_to_verdict) {
+    if (result.solve.status == task::Solvability::kCancelled) {
+      const bool past_deadline =
+          deadline && std::chrono::steady_clock::now() >= *deadline;
+      result.status =
+          past_deadline ? Status::kDeadlineExceeded : Status::kCancelled;
+    } else {
+      result.status = Status::kOk;
+      memo_store(query, result.solve);
+    }
+  }
   result.cache_hit = query.kind == Query::Kind::kSolve && !any_build;
   result.micros = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
@@ -336,27 +554,29 @@ QueryResult QueryService::execute(
 void QueryService::record(const QueryResult& result) {
   std::lock_guard<std::mutex> lock(stats_mu_);
   ++stats_.queries;
-  if (result.is_check) {
-    ++stats_.check.runs;
-    stats_.check.schedules += result.check_schedules;
-    stats_.check.histories += result.check_histories;
-    stats_.check.max_search_depth =
-        std::max(stats_.check.max_search_depth, result.check_max_depth);
-    if (!result.error.empty()) {
-      ++stats_.errors;
-    } else if (result.solve.status == task::Solvability::kCancelled) {
-      ++stats_.cancelled;
-    } else if (!result.check_ok) {
-      ++stats_.check.violations;
+  ++stats_.by_status[static_cast<int>(result.status)];
+  if (result.status == Status::kOk) {
+    if (result.is_check) {
+      ++stats_.check.runs;
+      stats_.check.schedules += result.check_schedules;
+      stats_.check.histories += result.check_histories;
+      stats_.check.max_search_depth =
+          std::max(stats_.check.max_search_depth, result.check_max_depth);
+      if (!result.check_ok) ++stats_.check.violations;
+    } else {
+      switch (result.solve.status) {
+        case task::Solvability::kSolvable: ++stats_.solvable; break;
+        case task::Solvability::kUnsolvable: ++stats_.unsolvable; break;
+        case task::Solvability::kUnknown: ++stats_.unknown; break;
+        case task::Solvability::kCancelled: break;  // unreachable under kOk
+      }
     }
-  } else if (!result.error.empty()) {
-    ++stats_.errors;
-  } else {
-    switch (result.solve.status) {
-      case task::Solvability::kSolvable: ++stats_.solvable; break;
-      case task::Solvability::kUnsolvable: ++stats_.unsolvable; break;
-      case task::Solvability::kUnknown: ++stats_.unknown; break;
-      case task::Solvability::kCancelled: ++stats_.cancelled; break;
+    // Latency history feeds the retry_after hint; only completed work
+    // counts (shed/expired queries would drag the estimate toward zero).
+    if (!result.memoized) {
+      ewma_exec_micros_ = ewma_exec_micros_ == 0
+                              ? result.micros
+                              : (7 * ewma_exec_micros_ + result.micros) / 8;
     }
   }
   if (result.memoized) {
@@ -364,6 +584,10 @@ void QueryService::record(const QueryResult& result) {
   } else {
     stats_.nodes_explored += result.solve.nodes_explored;
   }
+  if (result.degraded) ++stats_.degraded;
+  stats_.queue_total_micros += result.queue_micros;
+  stats_.queue_max_micros =
+      std::max(stats_.queue_max_micros, result.queue_micros);
   stats_.total_micros += result.micros;
   stats_.max_micros = std::max(stats_.max_micros, result.micros);
 }
@@ -372,6 +596,9 @@ ServiceStats QueryService::stats() const {
   std::lock_guard<std::mutex> lock(stats_mu_);
   ServiceStats out = stats_;
   out.cache = cache_.stats();
+  const Watchdog::Stats wd = watchdog_.stats();
+  out.watchdog_kills = wd.kills;
+  out.stuck_worker_reports = wd.stuck_reports;
   return out;
 }
 

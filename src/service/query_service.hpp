@@ -1,20 +1,40 @@
 // wfc::svc::QueryService -- the library as a concurrent query engine.
 //
-// A fixed pool of workers (thread_pool.hpp) executes characterization
-// queries against a shared, memoized SDS-chain cache (sds_cache.hpp):
+// A fixed pool of workers (thread_pool.hpp) drains a BOUNDED admission
+// queue (admission.hpp) and executes characterization queries against a
+// shared, memoized SDS-chain cache (sds_cache.hpp):
 //
 //   * kSolve       -- the Prop 3.1 decision procedure (task::solve) for any
 //                     Task, chains served from the cache;
 //   * kConvergence -- §5 simplex agreement solved by convergence-map
 //                     compilation (conv::solve_simplex_agreement_by_...);
 //   * kEmulate     -- the §4 Figure 2 emulation of the k-shot full-
-//                     information protocol, reporting rounds/steps.
+//                     information protocol, reporting rounds/steps;
+//   * kCheck      -- the wfc::chk model checker.
+//
+// Resilience layer (PR 3): every query finishes with exactly one structured
+// Status (status.hpp).
+//
+//   * Admission control: at most max_queue_depth queries wait; overflow is
+//     answered kOverloaded with a retry_after_ms hint (kRejectNew) or makes
+//     room by cancelling the oldest queued query (kDropOldest).  Deadlines
+//     are re-checked AT DEQUEUE, so an already-expired query never occupies
+//     a worker.
+//   * Watchdog (watchdog.hpp): a scanner thread force-flips cancel tokens
+//     past Options::hard_timeout and reports workers whose progress
+//     heartbeat (bumped per search node / chain build) stops moving.
+//   * Fault containment: std::bad_alloc inside a query is contained to that
+//     query (kResourceExhausted) and answered with cache shedding;
+//     std::invalid_argument maps to kInvalidArgument; anything else to
+//     kInternal.  Under queue pressure, Options::degrade_budget_under_load
+//     scales down the effective node budget instead of queueing doomed
+//     full-size searches.
 //
 // Every query gets a cooperative cancel token and an optional deadline
-// measured FROM SUBMISSION (so queue time counts against it): a query that
-// overstays returns a kCancelled verdict instead of wedging its worker.
-// Per-query latency/nodes and cache/service counters are aggregated into
-// ServiceStats (stats.hpp).
+// measured FROM SUBMISSION (so queue time counts against it).  Per-query
+// latency/nodes, queue wait, and cache/service/watchdog counters are
+// aggregated into ServiceStats (stats.hpp); the counters reconcile:
+// submitted == sum of terminal statuses once all futures are ready.
 //
 // Two caching layers serve repeated work:
 //   * the SdsCache shares subdivision towers across queries over the same
@@ -27,6 +47,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <functional>
 #include <future>
 #include <list>
 #include <map>
@@ -36,9 +57,12 @@
 #include <tuple>
 #include <vector>
 
+#include "service/admission.hpp"
 #include "service/sds_cache.hpp"
 #include "service/stats.hpp"
+#include "service/status.hpp"
 #include "service/thread_pool.hpp"
+#include "service/watchdog.hpp"
 #include "tasks/canonical.hpp"
 #include "tasks/solvability.hpp"
 
@@ -83,6 +107,13 @@ struct Query {
 };
 
 struct QueryResult {
+  /// Terminal fate of the query; every other field is meaningful only for
+  /// kOk (except `error`, set for kInvalidArgument / kInternal /
+  /// kResourceExhausted, and the latency fields, always set).
+  Status status = Status::kOk;
+  /// Client backoff hint, milliseconds; nonzero only when is_retryable(
+  /// status) -- the service estimates when capacity will free up.
+  std::uint32_t retry_after_ms = 0;
   /// kSolve / kConvergence: the verdict (status, level, decision, nodes).
   task::SolveResult solve;
   /// True when the query's SDS chains were all served from cache without
@@ -91,8 +122,12 @@ struct QueryResult {
   /// True when the whole verdict came from the result memo (no search ran;
   /// nodes are the original run's).  Implies cache_hit.
   bool memoized = false;
+  /// True when the search ran with a load-degraded node budget.
+  bool degraded = false;
   /// Wall latency from submission to completion, microseconds.
   std::uint64_t micros = 0;
+  /// Time spent waiting in the admission queue, microseconds.
+  std::uint64_t queue_micros = 0;
   // kEmulate outputs.
   int emu_rounds = 0;
   std::vector<int> emu_steps;
@@ -103,7 +138,7 @@ struct QueryResult {
   std::uint64_t check_histories = 0;  // histories verified
   std::uint64_t check_max_depth = 0;  // deepest linearization search
   std::string check_violation;        // empty when check_ok
-  /// Non-empty when the query raised; other fields are then unspecified.
+  /// Human-readable diagnostic accompanying a non-kOk status.
   std::string error;
 };
 
@@ -124,18 +159,50 @@ class QueryService {
     /// resubmitting the same task instance with the same max_level and
     /// node budget is answered without running the search.  0 disables.
     std::size_t result_memo_entries = 256;
+
+    // --- Admission control -------------------------------------------------
+    /// Maximum queries waiting for a worker; excess is shed per `policy`.
+    std::size_t max_queue_depth = 1024;
+    AdmissionQueue::Policy admission_policy =
+        AdmissionQueue::Policy::kRejectNew;
+    /// Concurrent executions allowed (0 = one per worker).  Lowering it
+    /// below `workers` reserves workers for queue turnover (fast-failing
+    /// expired queries) under load.
+    int max_inflight = 0;
+    /// retry_after_ms hint used before any latency history exists.
+    std::uint32_t retry_after_ms_base = 50;
+    /// Under queue pressure (>= 1/4 full) run searches at half the node
+    /// budget, (>= 1/2 full) at a quarter: overloaded service answers more
+    /// queries kUnknown instead of queueing doomed full-size searches.
+    bool degrade_budget_under_load = false;
+
+    // --- Watchdog ----------------------------------------------------------
+    /// Hard wall-time cap on a query's EXECUTION; the watchdog force-flips
+    /// the cancel token past it (terminal status kDeadlineExceeded).
+    std::optional<std::chrono::milliseconds> hard_timeout;
+    std::chrono::milliseconds watchdog_scan_period{25};
+    /// Scans without a progress-heartbeat bump before a stuck-worker
+    /// report; 0 disables stall detection.
+    int watchdog_stall_scans = 0;
+
+    /// Test seam (chaos harness): runs on the worker immediately before a
+    /// query executes; may sleep (stalled worker) or flip `cancel`.
+    std::function<void(std::atomic<bool>& cancel)> execute_hook;
   };
 
   QueryService();  // default Options
   explicit QueryService(Options options);
 
-  /// Drains in-flight queries (cooperatively cancelling them first) and
-  /// joins the pool.
+  /// Cancels and drains everything in flight (every outstanding future is
+  /// fulfilled -- queued queries with kCancelled, running ones as soon as
+  /// they poll their token) and joins the pool.
   ~QueryService();
 
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
 
+  /// Never throws for load reasons: an inadmissible query yields a ticket
+  /// already completed with kOverloaded (or kCancelled during shutdown).
   QueryTicket submit(Query query);
 
   /// Convenience: submit a kSolve query.
@@ -147,9 +214,23 @@ class QueryService {
 
   [[nodiscard]] ServiceStats stats() const;
   [[nodiscard]] int workers() const noexcept { return pool_.size(); }
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.depth(); }
   [[nodiscard]] SdsCache& cache() noexcept { return cache_; }
 
  private:
+  /// Everything a query carries from submission to its terminal status.
+  struct Job {
+    Query query;
+    std::shared_ptr<std::atomic<bool>> cancel;
+    std::promise<QueryResult> promise;
+    std::chrono::steady_clock::time_point submitted;
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+    /// Watchdog heartbeat: bumped at search/subdivision checkpoints.
+    std::atomic<std::uint64_t> progress{0};
+    /// Exactly-once terminal-status latch.
+    std::atomic<bool> finished{false};
+  };
+
   /// Result-memo key: the task instance plus every option that can change
   /// the verdict.  Deadlines/cancellation only yield kCancelled, which is
   /// never stored, so they are deliberately not part of the key.
@@ -168,19 +249,47 @@ class QueryService {
     std::list<MemoKey>::iterator lru;
   };
 
+  void worker_loop();
+  /// Dequeue-side handling: deadline re-check, chaos hook, inflight gate,
+  /// watchdog bracket, execution, terminal status.
+  void run_job(const std::shared_ptr<Job>& job);
+  /// Completes `job` without running it (shed, shutdown, expired).
+  void finish_without_running(const std::shared_ptr<Job>& job, Status status);
+  /// Exactly-once: records and fulfils the promise.
+  void finish(const std::shared_ptr<Job>& job, QueryResult result);
   QueryResult execute(const Query& query,
                       const std::shared_ptr<std::atomic<bool>>& cancel,
-                      std::chrono::steady_clock::time_point submitted);
+                      std::chrono::steady_clock::time_point submitted,
+                      const std::optional<std::chrono::steady_clock::
+                                              time_point>& deadline,
+                      std::uint64_t effective_budget,
+                      std::atomic<std::uint64_t>* progress);
   void record(const QueryResult& result);
+  /// Effective node budget after load degradation; sets *degraded.
+  std::uint64_t degraded_budget(std::uint64_t requested, bool* degraded);
+  /// Client backoff estimate from queue depth and recent latency.
+  std::uint32_t retry_hint();
+  void acquire_inflight_slot();
+  void release_inflight_slot();
   /// The memoized definitive result for this query, if any.
   [[nodiscard]] std::optional<task::SolveResult> memo_lookup(
       const Query& query);
   void memo_store(const Query& query, const task::SolveResult& result);
 
+  Options options_;
   SdsCache cache_;
+  Watchdog watchdog_;
+  AdmissionQueue queue_;
+  std::atomic<bool> accepting_{true};
 
   mutable std::mutex stats_mu_;
   ServiceStats stats_;
+  std::uint64_t ewma_exec_micros_ = 0;  // guarded by stats_mu_
+
+  std::mutex inflight_mu_;
+  std::condition_variable inflight_cv_;
+  int inflight_ = 0;
+  int max_inflight_ = 1;
 
   std::mutex tokens_mu_;
   std::vector<std::weak_ptr<std::atomic<bool>>> live_tokens_;

@@ -1,5 +1,7 @@
 #include "service/sds_cache.hpp"
 
+#include <algorithm>
+
 #include "common/assert.hpp"
 #include "topology/hash.hpp"
 
@@ -7,7 +9,7 @@ namespace wfc::svc {
 
 SdsCache::SdsCache() : SdsCache(Options()) {}
 
-SdsCache::SdsCache(Options options) : options_(options) {
+SdsCache::SdsCache(Options options) : options_(std::move(options)) {
   WFC_REQUIRE(options_.max_entries >= 1, "SdsCache: max_entries must be >= 1");
 }
 
@@ -42,6 +44,9 @@ std::shared_ptr<const proto::SdsChain> SdsCache::chain_for(
       entry = it->second;
       lru_.splice(lru_.begin(), lru_, entry->lru_pos);  // touch
     }
+    // Pin: while a thread is inside the build section below, eviction must
+    // not drop this entry, or the tower being (re)built would be orphaned.
+    ++entry->pins;
   }
 
   // Build or extend outside the cache lock: only same-input queries wait
@@ -49,22 +54,31 @@ std::shared_ptr<const proto::SdsChain> SdsCache::chain_for(
   bool was_empty = false;
   bool did_build = false;
   std::shared_ptr<const proto::SdsChain> chain;
-  {
+  try {
     std::lock_guard<std::mutex> build_lock(entry->build_mu);
     was_empty = entry->chain == nullptr;
     if (was_empty) {
+      if (options_.build_fault_hook) options_.build_fault_hook();
       entry->chain = std::make_shared<proto::SdsChain>(input, depth);
       did_build = true;
     } else if (entry->chain->depth() < depth) {
+      if (options_.build_fault_hook) options_.build_fault_hook();
       entry->chain = std::make_shared<proto::SdsChain>(*entry->chain, depth);
       did_build = true;
     }
     chain = entry->chain;
+  } catch (...) {
+    // Injected or genuine allocation failure: unpin and leave the entry at
+    // its prior depth (possibly still empty); the cache stays consistent.
+    std::lock_guard<std::mutex> lock(mu_);
+    --entry->pins;
+    throw;
   }
   *built = did_build;
 
   {
     std::lock_guard<std::mutex> lock(mu_);
+    --entry->pins;
     if (!did_build) {
       ++stats_.hits;
     } else if (was_empty) {
@@ -72,27 +86,51 @@ std::shared_ptr<const proto::SdsChain> SdsCache::chain_for(
     } else {
       ++stats_.extensions;
     }
-    // Re-weigh: the entry may have been evicted while we were building, in
-    // which case the chain simply lives on with its current holders.
+    // Re-weigh; pinned entries were skipped by eviction, so a successful
+    // build always finds its entry still indexed and re-cacheable.
     auto it = index_.find(key);
-    if (it != index_.end() && it->second == entry) {
-      const std::size_t w = chain_weight(*chain);
-      resident_vertices_ += w - entry->weight;
-      entry->weight = w;
-      while ((index_.size() > options_.max_entries ||
-              resident_vertices_ > options_.max_resident_vertices) &&
-             lru_.size() > 1) {
-        const std::uint64_t victim_key = lru_.back();
-        lru_.pop_back();
-        auto victim = index_.find(victim_key);
-        WFC_CHECK(victim != index_.end(), "SdsCache: LRU/index out of sync");
-        resident_vertices_ -= victim->second->weight;
-        index_.erase(victim);
-        ++stats_.evictions;
-      }
-    }
+    WFC_CHECK(it != index_.end() && it->second == entry,
+              "SdsCache: pinned entry was evicted mid-build");
+    const std::size_t w = chain_weight(*chain);
+    resident_vertices_ += w - entry->weight;
+    entry->weight = w;
+    evict_while([this] {
+      return index_.size() > options_.max_entries ||
+             resident_vertices_ > options_.max_resident_vertices;
+    });
   }
   return chain;
+}
+
+std::size_t SdsCache::evict_while(const std::function<bool()>& needed) {
+  std::size_t evicted = 0;
+  auto it = lru_.end();
+  while (needed() && it != lru_.begin()) {
+    auto cand = std::prev(it);
+    if (cand == lru_.begin()) break;  // the hottest entry stays resident
+    auto vit = index_.find(*cand);
+    WFC_CHECK(vit != index_.end(), "SdsCache: LRU/index out of sync");
+    if (vit->second->pins > 0) {
+      it = cand;  // actively building: skip, keep walking toward the front
+      continue;
+    }
+    resident_vertices_ -= vit->second->weight;
+    index_.erase(vit);
+    it = lru_.erase(cand);
+    ++stats_.evictions;
+    ++evicted;
+  }
+  return evicted;
+}
+
+std::size_t SdsCache::shed(double frac) {
+  frac = std::clamp(frac, 0.0, 1.0);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.sheds;
+  const std::size_t release =
+      static_cast<std::size_t>(static_cast<double>(resident_vertices_) * frac);
+  const std::size_t target = resident_vertices_ - release;
+  return evict_while([this, target] { return resident_vertices_ > target; });
 }
 
 CacheStats SdsCache::stats() const {
@@ -105,9 +143,17 @@ CacheStats SdsCache::stats() const {
 
 void SdsCache::clear() {
   std::lock_guard<std::mutex> lock(mu_);
-  index_.clear();
-  lru_.clear();
-  resident_vertices_ = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    auto vit = index_.find(*it);
+    WFC_CHECK(vit != index_.end(), "SdsCache: LRU/index out of sync");
+    if (vit->second->pins > 0) {  // mid-build: must stay (see chain_for)
+      ++it;
+      continue;
+    }
+    resident_vertices_ -= vit->second->weight;
+    index_.erase(vit);
+    it = lru_.erase(it);
+  }
 }
 
 }  // namespace wfc::svc

@@ -17,10 +17,20 @@
 //
 // Memory bound: entries are weighted by total vertex count across levels
 // (the dominant O(size) term); when the configured budget or entry count is
-// exceeded, least-recently-used entries are dropped.  In-flight queries
-// keep their chains alive through the shared_ptr regardless of eviction.
+// exceeded, least-recently-used entries are dropped.  Entries whose
+// build_mu a thread currently holds (building or extending) carry a pin
+// refcount and are SKIPPED by eviction: dropping them would orphan the
+// tower being built, forcing the next query over the same input to redo
+// the whole subdivision.  In-flight queries keep their chains alive through
+// the shared_ptr regardless of eviction.
+//
+// Under memory pressure (a contained std::bad_alloc in the service),
+// shed(frac) evicts from the cold LRU tail until roughly `frac` of the
+// resident vertex weight is released, leaving hot entries in place --
+// graceful degradation instead of clear()'s scorched earth.
 #pragma once
 
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -40,6 +50,11 @@ class SdsCache {
     /// comfortably holds SDS^3 towers of the canonical small tasks while
     /// staying far below a gigabyte of vertex payloads.
     std::size_t max_resident_vertices = 8'000'000;
+    /// Test seam: invoked (under the entry's build lock) immediately before
+    /// any subdivision build or extension.  The chaos harness injects
+    /// std::bad_alloc here; the exception propagates to the caller with the
+    /// cache left consistent (the entry simply stays at its prior depth).
+    std::function<void()> build_fault_hook;
   };
 
   SdsCache();  // default Options
@@ -55,9 +70,14 @@ class SdsCache {
   std::shared_ptr<const proto::SdsChain> chain_for(
       const topo::ChromaticComplex& input, int depth, bool* built);
 
+  /// Evicts cold (LRU-tail, unpinned) entries until at least `frac` of the
+  /// current resident vertex weight is released or only pinned/hot entries
+  /// remain.  frac is clamped to [0, 1].  Returns entries evicted.
+  std::size_t shed(double frac);
+
   [[nodiscard]] CacheStats stats() const;
 
-  /// Drops every entry (stats counters are kept).
+  /// Drops every unpinned entry (stats counters are kept).
   void clear();
 
  private:
@@ -65,11 +85,16 @@ class SdsCache {
     std::mutex build_mu;  // serializes building for one input
     std::shared_ptr<const proto::SdsChain> chain;  // guarded by build_mu
     std::uint64_t key = 0;
+    int pins = 0;         // in-use refcount; guarded by the cache mutex
     std::size_t weight = 0;  // guarded by the cache mutex
     std::list<std::uint64_t>::iterator lru_pos;  // guarded by the cache mutex
   };
 
   static std::size_t chain_weight(const proto::SdsChain& chain);
+
+  /// Evicts from the LRU tail (skipping pinned entries) while `needed`
+  /// says more must go.  Caller holds mu_.
+  std::size_t evict_while(const std::function<bool()>& needed);
 
   mutable std::mutex mu_;
   Options options_;

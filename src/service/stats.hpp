@@ -3,16 +3,25 @@
 // Counters come in two layers:
 //   * CacheStats  -- hit/miss/extension/eviction counts and residency of the
 //                    shared SDS-chain cache (sds_cache.hpp);
-//   * ServiceStats -- per-service aggregates: queries by verdict, total
-//                    search nodes, total and maximum query latency.
+//   * ServiceStats -- per-service aggregates: admission and per-Status
+//                    counters, queries by verdict, total search nodes, queue
+//                    wait, total and maximum query latency, watchdog
+//                    interventions.
 // Both are plain snapshot structs: the live objects accumulate atomically
 // and hand out consistent-enough copies on demand (counters are
 // monotonically increasing; a snapshot may straddle a query boundary, which
 // is fine for monitoring).
+//
+// Reconciliation invariant (checked by the chaos soak test): once every
+// outstanding future is terminal, submitted == sum over by_status == queries.
+// Nothing is double-counted and nothing vanishes, whatever mix of sheds,
+// cancellations, contained bad_allocs, and shutdowns occurred.
 #pragma once
 
 #include <cstdint>
 #include <string>
+
+#include "service/status.hpp"
 
 namespace wfc::svc {
 
@@ -20,7 +29,8 @@ struct CacheStats {
   std::uint64_t hits = 0;        // chain served without any subdivision work
   std::uint64_t misses = 0;      // input seen for the first time
   std::uint64_t extensions = 0;  // cached prefix deepened to a new level
-  std::uint64_t evictions = 0;   // entries dropped by the LRU bound
+  std::uint64_t evictions = 0;   // entries dropped by the LRU bound or shed()
+  std::uint64_t sheds = 0;       // shed() calls (memory-pressure responses)
   std::uint64_t entries = 0;     // live cached inputs
   std::uint64_t resident_vertices = 0;  // sum of vertex counts, all levels
 };
@@ -35,18 +45,47 @@ struct CheckStats {
 };
 
 struct ServiceStats {
-  std::uint64_t queries = 0;     // completed queries, any verdict
+  std::uint64_t submitted = 0;   // tickets handed out by submit()
+  std::uint64_t queries = 0;     // queries that reached a terminal Status
+  /// Terminal statuses, indexed by static_cast<int>(Status).
+  std::uint64_t by_status[kNumStatuses] = {};
+  // Domain verdicts of kOk solve/convergence queries.
   std::uint64_t solvable = 0;
   std::uint64_t unsolvable = 0;
   std::uint64_t unknown = 0;     // node budget exhausted
-  std::uint64_t cancelled = 0;   // deadline passed or token flipped
-  std::uint64_t errors = 0;      // query raised (bad task parameters etc.)
   std::uint64_t result_hits = 0;     // queries answered from the result memo
   std::uint64_t nodes_explored = 0;  // summed over queries (fresh work only)
   std::uint64_t total_micros = 0;    // summed wall latency
   std::uint64_t max_micros = 0;      // worst single query
+  // Admission control and resilience.
+  std::uint64_t queue_total_micros = 0;  // summed time spent queued
+  std::uint64_t queue_max_micros = 0;    // worst queue wait
+  std::uint64_t degraded = 0;        // queries run with a scaled-down budget
+  std::uint64_t watchdog_kills = 0;  // hard-timeout force-cancellations
+  std::uint64_t stuck_worker_reports = 0;  // no-progress detections
   CacheStats cache;
   CheckStats check;
+
+  [[nodiscard]] std::uint64_t count(Status s) const {
+    return by_status[static_cast<int>(s)];
+  }
+  /// Legacy aggregates over the status taxonomy.
+  [[nodiscard]] std::uint64_t cancelled() const {
+    return count(Status::kCancelled) + count(Status::kDeadlineExceeded);
+  }
+  [[nodiscard]] std::uint64_t errors() const {
+    return count(Status::kInvalidArgument) + count(Status::kInternal);
+  }
+  [[nodiscard]] std::uint64_t shed() const {
+    return count(Status::kOverloaded);
+  }
+  /// True iff every handed-out ticket has reached exactly one terminal
+  /// status and the per-status counters add back up to the intake.
+  [[nodiscard]] bool reconciles() const {
+    std::uint64_t sum = 0;
+    for (std::uint64_t c : by_status) sum += c;
+    return sum == queries && queries == submitted;
+  }
 
   /// One-line rendering for front-ends, e.g.
   /// "queries=12 (7 solvable, ...) nodes=... cache hits=.../miss=...".

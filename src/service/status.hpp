@@ -1,0 +1,69 @@
+// Structured terminal statuses for the query service (wfc::svc).
+//
+// Every submitted query finishes with exactly ONE Status.  The taxonomy
+// separates three orthogonal questions that the old stringly "error" field
+// conflated:
+//
+//   * did the query run?            kOk vs. everything else;
+//   * whose fault was it?           kInvalidArgument (caller) vs. kInternal
+//                                   (library bug) vs. load conditions;
+//   * should the client retry?      is_retryable(): kOverloaded and
+//                                   kResourceExhausted are transient -- the
+//                                   front-end attaches a "retry_after_ms"
+//                                   hint; deadline/cancellation are the
+//                                   caller's own decisions and are final.
+//
+// kOk does NOT mean "solvable": the domain verdict (SOLVABLE / UNSOLVABLE /
+// UNKNOWN for solve queries, OK / VIOLATION for checks) lives in the result
+// body.  Status describes the fate of the query, not of the task.
+#pragma once
+
+namespace wfc::svc {
+
+enum class Status {
+  kOk = 0,             // ran to a domain verdict
+  kCancelled,          // cancel token flipped (caller, cancel_all, shutdown)
+  kDeadlineExceeded,   // per-query deadline or the watchdog's hard cap hit
+  kOverloaded,         // shed by admission control (queue full / drop-oldest)
+  kResourceExhausted,  // std::bad_alloc contained; cache pressure was shed
+  kInvalidArgument,    // malformed query parameters (WFC_REQUIRE et al.)
+  kInternal,           // unexpected exception: a library bug, not load
+};
+
+inline constexpr int kNumStatuses = 7;
+
+/// Uppercase rendering for logs: "OK", "DEADLINE_EXCEEDED", ...
+[[nodiscard]] constexpr const char* to_cstring(Status s) {
+  switch (s) {
+    case Status::kOk: return "OK";
+    case Status::kCancelled: return "CANCELLED";
+    case Status::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case Status::kOverloaded: return "OVERLOADED";
+    case Status::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case Status::kInvalidArgument: return "INVALID_ARGUMENT";
+    case Status::kInternal: return "INTERNAL";
+  }
+  return "?";
+}
+
+/// Lowercase token used in JSONL result records: {"status":"overloaded",...}.
+[[nodiscard]] constexpr const char* to_json_token(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kCancelled: return "cancelled";
+    case Status::kDeadlineExceeded: return "deadline_exceeded";
+    case Status::kOverloaded: return "overloaded";
+    case Status::kResourceExhausted: return "resource_exhausted";
+    case Status::kInvalidArgument: return "invalid_argument";
+    case Status::kInternal: return "internal";
+  }
+  return "?";
+}
+
+/// True for transient load conditions a client should retry (with backoff,
+/// honouring the server's retry_after_ms hint).
+[[nodiscard]] constexpr bool is_retryable(Status s) {
+  return s == Status::kOverloaded || s == Status::kResourceExhausted;
+}
+
+}  // namespace wfc::svc

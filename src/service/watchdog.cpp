@@ -1,0 +1,84 @@
+#include "service/watchdog.hpp"
+
+#include <utility>
+
+namespace wfc::svc {
+
+Watchdog::Watchdog(Options options) : options_(options) {
+  if (enabled()) scanner_ = std::thread([this] { scan_loop(); });
+}
+
+Watchdog::~Watchdog() {
+  if (!scanner_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  scanner_.join();
+}
+
+std::uint64_t Watchdog::watch(
+    std::shared_ptr<std::atomic<bool>> cancel,
+    std::shared_ptr<const std::atomic<std::uint64_t>> progress) {
+  if (!enabled()) return 0;
+  Watched w;
+  w.cancel = std::move(cancel);
+  w.progress = std::move(progress);
+  w.started = std::chrono::steady_clock::now();
+  if (w.progress != nullptr) {
+    w.last_progress = w.progress->load(std::memory_order_relaxed);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t handle = next_handle_++;
+  watched_.emplace(handle, std::move(w));
+  return handle;
+}
+
+bool Watchdog::unwatch(std::uint64_t handle) {
+  if (handle == 0) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = watched_.find(handle);
+  if (it == watched_.end()) return false;
+  const bool killed = it->second.killed;
+  watched_.erase(it);
+  return killed;
+}
+
+Watchdog::Stats Watchdog::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void Watchdog::scan_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    cv_.wait_for(lock, options_.scan_period, [this] { return stopping_; });
+    if (stopping_) return;
+    ++stats_.scans;
+    const auto now = std::chrono::steady_clock::now();
+    for (auto& [handle, w] : watched_) {
+      if (!w.killed && options_.hard_timeout &&
+          now - w.started >= *options_.hard_timeout) {
+        w.cancel->store(true, std::memory_order_relaxed);
+        w.killed = true;
+        ++stats_.kills;
+      }
+      if (options_.stall_scans > 0 && w.progress != nullptr && !w.killed) {
+        const std::uint64_t p = w.progress->load(std::memory_order_relaxed);
+        if (p == w.last_progress) {
+          if (++w.stale_scans >= options_.stall_scans && !w.reported) {
+            w.reported = true;
+            ++stats_.stuck_reports;
+          }
+        } else {
+          w.last_progress = p;
+          w.stale_scans = 0;
+          w.reported = false;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace wfc::svc

@@ -1,0 +1,103 @@
+// Watchdog: the service's defence against queries that ignore cooperation.
+//
+// Deadlines and cancel tokens are COOPERATIVE -- the Prop 3.1 search polls
+// them per node, the checkers per history.  A query stuck somewhere that
+// never polls (a pathological Delta callback, a subdivision blow-up, an
+// injected stall) would pin its worker forever.  The watchdog is a single
+// background thread that scans every in-flight query each scan_period and
+// applies two independent rules:
+//
+//   * hard wall-time cap: past `hard_timeout` (measured from execution
+//     start, not submission -- queue time is the deadline's job), the
+//     query's cancel token is force-flipped.  Counted in kills; the service
+//     reports the query kDeadlineExceeded as soon as the work next polls.
+//   * progress heartbeat: each query exposes a progress counter bumped at
+//     search/subdivision checkpoints (task::SolveOptions::progress).  A
+//     query whose counter is unchanged for `stall_scans` consecutive scans
+//     is reported as a stuck worker (stuck_reports).  Reports are
+//     diagnostic: a stalled query is only KILLED by the hard cap, because
+//     legitimate long allocations also pause the heartbeat.
+//
+// watch()/unwatch() bracket execution; unwatch() returns whether the
+// watchdog killed the query, so the service can distinguish a hard-cap
+// kill (kDeadlineExceeded) from a caller cancellation (kCancelled).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+
+namespace wfc::svc {
+
+class Watchdog {
+ public:
+  struct Options {
+    std::chrono::milliseconds scan_period{25};
+    /// Hard wall-time cap on a single query's EXECUTION (not queue) time.
+    /// Unset = never force-kill.
+    std::optional<std::chrono::milliseconds> hard_timeout;
+    /// Scans without a heartbeat bump before a stuck-worker report.
+    /// 0 disables stall detection.
+    int stall_scans = 0;
+  };
+
+  struct Stats {
+    std::uint64_t scans = 0;
+    std::uint64_t kills = 0;          // hard-timeout force-cancellations
+    std::uint64_t stuck_reports = 0;  // heartbeat stalls detected
+  };
+
+  explicit Watchdog(Options options);
+  ~Watchdog();  // stops and joins the scanner thread
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// True when either rule is active; an idle watchdog spawns no thread and
+  /// watch()/unwatch() are no-ops returning 0/false.
+  [[nodiscard]] bool enabled() const {
+    return options_.hard_timeout.has_value() || options_.stall_scans > 0;
+  }
+
+  /// Registers an in-flight query.  `progress` may be null (heartbeat rule
+  /// skipped for this query).  Both pointers are shared so a watched query
+  /// outliving its service teardown stays safe to scan.
+  std::uint64_t watch(std::shared_ptr<std::atomic<bool>> cancel,
+                      std::shared_ptr<const std::atomic<std::uint64_t>>
+                          progress);
+
+  /// Deregisters; returns true iff the watchdog force-cancelled the query.
+  bool unwatch(std::uint64_t handle);
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Watched {
+    std::shared_ptr<std::atomic<bool>> cancel;
+    std::shared_ptr<const std::atomic<std::uint64_t>> progress;
+    std::chrono::steady_clock::time_point started;
+    std::uint64_t last_progress = 0;
+    int stale_scans = 0;
+    bool killed = false;
+    bool reported = false;
+  };
+
+  void scan_loop();
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::uint64_t next_handle_ = 1;
+  std::unordered_map<std::uint64_t, Watched> watched_;
+  Stats stats_;
+  std::thread scanner_;  // last: joined while the rest is still alive
+};
+
+}  // namespace wfc::svc

@@ -230,6 +230,9 @@ class Search {
   /// kUnknown (budget) or kCancelled (token/deadline) if the search must
   /// stop at this node; kSolvable (meaning "keep going") otherwise.
   Solvability node_interrupt() {
+    if (options_->progress != nullptr) {
+      options_->progress->fetch_add(1, std::memory_order_relaxed);
+    }
     if (++nodes_ > budget_) return Solvability::kUnknown;
     if (options_->cancel &&
         options_->cancel->load(std::memory_order_relaxed)) {

@@ -72,6 +72,10 @@ struct SolveOptions {
   /// Cooperative cancellation: flip to true (from any thread) and the
   /// search returns kCancelled at the next node.  Must outlive the call.
   const std::atomic<bool>* cancel = nullptr;
+  /// Progress heartbeat: bumped (relaxed) at every search node so an
+  /// external watchdog can tell a long search from a stuck worker.  Must
+  /// outlive the call.
+  std::atomic<std::uint64_t>* progress = nullptr;
   /// When set, solve/solve_at_level obtain SDS chains here instead of
   /// building privately (the provider may return an already-deeper chain).
   ChainProvider chain_provider;

@@ -249,16 +249,17 @@ TEST(Cancellation, MidFlightTokenFlipStopsTheSearch) {
   EXPECT_GT(result.nodes_explored, 0u);
 }
 
-TEST(Cancellation, ServiceTimeoutYieldsCancelledVerdict) {
+TEST(Cancellation, ServiceTimeoutYieldsDeadlineExceeded) {
   QueryService service;
   QueryOptions options;
   options.timeout = std::chrono::milliseconds(0);
   auto ticket =
       service.submit_solve(std::make_shared<SlowConsensus>(), options);
   const QueryResult r = ticket.result.get();
-  EXPECT_TRUE(r.error.empty()) << r.error;
+  EXPECT_EQ(r.status, Status::kDeadlineExceeded);
   EXPECT_EQ(r.solve.status, Solvability::kCancelled);
-  EXPECT_EQ(service.stats().cancelled, 1u);
+  EXPECT_EQ(service.stats().cancelled(), 1u);
+  EXPECT_EQ(service.stats().count(Status::kDeadlineExceeded), 1u);
 }
 
 TEST(Cancellation, TicketTokenCancelsAQueuedQuery) {
@@ -270,6 +271,7 @@ TEST(Cancellation, TicketTokenCancelsAQueuedQuery) {
   auto queued = service.submit_solve(std::make_shared<SlowConsensus>());
   queued.cancel->store(true);
   const QueryResult r = queued.result.get();
+  EXPECT_EQ(r.status, Status::kCancelled);
   EXPECT_EQ(r.solve.status, Solvability::kCancelled);
   blocker.cancel->store(true);
   blocker.result.get();
@@ -343,7 +345,8 @@ TEST(Determinism, PoolMatchesSequentialOnCanonicalSuite) {
   const ServiceStats stats = service.stats();
   EXPECT_GT(stats.cache.hits, 0u);
   EXPECT_EQ(stats.result_hits, 0u);
-  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_EQ(stats.errors(), 0u);
+  EXPECT_TRUE(stats.reconciles());
 }
 
 TEST(Determinism, ResultMemoReplaysDefinitiveVerdicts) {
@@ -529,7 +532,8 @@ TEST(CheckQueries, BadParametersSurfaceAsErrors) {
   query.check.procs = 7;  // out of the supported range
   const QueryResult r = service.submit(std::move(query)).result.get();
   EXPECT_FALSE(r.error.empty());
-  EXPECT_EQ(service.stats().errors, 1u);
+  EXPECT_EQ(r.status, Status::kInvalidArgument);
+  EXPECT_EQ(service.stats().errors(), 1u);
 }
 
 // ---------------------------------------------------------------------------
@@ -581,7 +585,7 @@ TEST(RandomizedStress, MixedWorkloadIsDeterministicUnderSeed) {
       EXPECT_TRUE(r.check_ok) << r.check_violation;
     }
   }
-  EXPECT_EQ(service.stats().errors, 0u);
+  EXPECT_EQ(service.stats().errors(), 0u);
 }
 
 TEST(Frontend, RejectsUnknownOpPerLine) {
@@ -605,7 +609,9 @@ TEST(Frontend, RejectsUnknownOpPerLine) {
   // and op so the client can tell a typo from a missing field.
   EXPECT_NE(lines[1].find("\"id\":\"bad\""), std::string::npos);
   EXPECT_NE(lines[1].find("\"op\":\"frobnicate\""), std::string::npos);
-  EXPECT_NE(lines[1].find("\"status\":\"ERROR\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"status\":\"invalid_argument\""),
+            std::string::npos);
+  EXPECT_NE(lines[1].find("\"line\":2"), std::string::npos);
   EXPECT_NE(lines[1].find("unknown op \\\"frobnicate\\\""),
             std::string::npos);
   // Lines before and after still execute normally.
@@ -669,7 +675,11 @@ TEST(Frontend, ServesABatchInOrder) {
   EXPECT_NE(lines[1].find("\"level\":1"), std::string::npos);
   // q3 repeats q2: the shared cache makes it a pure hit.
   EXPECT_NE(lines[2].find("\"cache_hit\":true"), std::string::npos);
-  EXPECT_NE(lines[3].find("\"status\":\"ERROR\""), std::string::npos);
+  // The malformed line answers with the taxonomy token and its 1-based
+  // input line number (the batch has a comment and a blank line first).
+  EXPECT_NE(lines[3].find("\"status\":\"invalid_argument\""),
+            std::string::npos);
+  EXPECT_NE(lines[3].find("\"line\":6"), std::string::npos);
   EXPECT_NE(lines[4].find("\"rounds\""), std::string::npos);
   EXPECT_NE(lines[5].find("cache hits="), std::string::npos);
 }
