@@ -13,6 +13,10 @@
 //
 // Worker counts 1/2/4/8 are swept for the service regimes; on a single
 // hardware thread they mostly show that contention stays flat.
+//
+// BM_ObsOverhead (PR 4) prices the wfc::obs layer: Arg 0 runs with
+// observability disabled (the regression gate: <= 3% vs pre-obs throughput)
+// and Arg 1 with tracing + metrics live.
 #include <benchmark/benchmark.h>
 
 #include <memory>
@@ -119,6 +123,35 @@ BENCHMARK(BM_WarmResultMemo)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// PR 4 acceptance: the observability layer must be near-free when disabled
+/// (the default) and cheap when enabled.  The same fresh-instance batch is
+/// run with obs off (Arg 0) and on (Arg 1); compare queries_per_s across the
+/// two rows -- the disabled row is the regression gate (<= 3% vs pre-obs),
+/// and the enabled row prices the spans + counters actually recorded.
+void BM_ObsOverhead(benchmark::State& state) {
+  svc::QueryService::Options options;
+  options.workers = 4;
+  options.result_memo_entries = 0;  // keep real searches in the loop
+  options.obs.enabled = state.range(0) != 0;
+  svc::QueryService service(options);
+  std::vector<std::shared_ptr<task::Task>> batch;
+  for (int i = 0; i < kBatch; ++i) batch.push_back(fresh_task());
+  svc::QueryOptions qopts;
+  qopts.max_level = kMaxLevel;
+  service.submit_solve(fresh_task(), qopts).result.get();  // warm the cache
+
+  run_service_batch(state, service, batch);
+  if (service.observer().enabled()) {
+    state.counters["spans"] = static_cast<double>(
+        service.observer().trace()->recorded());
+  }
+}
+BENCHMARK(BM_ObsOverhead)
+    ->Arg(0)
+    ->Arg(1)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

@@ -10,6 +10,8 @@
 //   wfc_cli resilient-set-consensus <procs> <k>:<t> [max_level]   (e.g. 2:1)
 //   wfc_cli check <target> <procs> <rounds> [crashes]
 //   wfc_cli serve [workers] [max_level]
+//   wfc_cli metrics [workers]
+//   wfc_cli trace <out.json> [workers]
 //
 // Global option: --retries N (before the subcommand) retries queries whose
 // terminal status is retryable (overloaded / resource_exhausted) up to N
@@ -22,7 +24,10 @@
 // the BG reduction.  `check` runs the wfc::chk model checker (target: sds,
 // emulation, or linearizability) over every bounded schedule.  `serve`
 // turns the CLI into a JSON-lines query server over stdin/stdout (see
-// service/frontend.hpp for the line protocol).
+// service/frontend.hpp for the line protocol).  `metrics` is serve with
+// result lines on stderr and the Prometheus text exposition on stdout at
+// EOF; `trace` is serve plus a Chrome trace_event JSON file written at EOF
+// (open it in chrome://tracing or Perfetto).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -54,7 +59,11 @@ int usage() {
                "  simplex-agreement <procs> <target_depth>\n"
                "  check <sds|emulation|linearizability> <procs> <rounds> "
                "[crashes]\n"
-               "  serve [workers] [max_level]   (JSON-lines on stdin)\n");
+               "  serve [workers] [max_level]   (JSON-lines on stdin)\n"
+               "  metrics [workers]             (serve; Prometheus text to "
+               "stdout at EOF)\n"
+               "  trace <out.json> [workers]    (serve; Chrome trace to file "
+               "at EOF)\n");
   return 2;
 }
 
@@ -88,20 +97,20 @@ svc::QueryResult submit_with_retries(svc::QueryService& service,
 /// print the verdict plus the service's CheckStats line.
 int check_command(const std::string& target, int procs, int rounds,
                   int crashes, int retries) {
-  svc::Query query;
-  query.kind = svc::Query::Kind::kCheck;
+  svc::CheckRequest check;
   if (target == "sds") {
-    query.check.target = svc::CheckQuery::Target::kSds;
+    check.target = svc::CheckRequest::Target::kSds;
   } else if (target == "emulation") {
-    query.check.target = svc::CheckQuery::Target::kEmulation;
+    check.target = svc::CheckRequest::Target::kEmulation;
   } else if (target == "linearizability") {
-    query.check.target = svc::CheckQuery::Target::kLinearizability;
+    check.target = svc::CheckRequest::Target::kLinearizability;
   } else {
     return usage();
   }
-  query.check.procs = procs;
-  query.check.rounds = rounds;
-  query.check.crashes = crashes;
+  check.procs = procs;
+  check.rounds = rounds;
+  check.crashes = crashes;
+  svc::Query query = svc::Query::check(check);
 
   svc::QueryService service;
   svc::QueryResult result = submit_with_retries(service, query, retries);
@@ -182,6 +191,24 @@ int main(int argc, char** argv) {
     wfc::svc::ServeConfig config;
     if (argc > 2) config.service.workers = std::atoi(argv[2]);
     if (argc > 3) config.default_max_level = std::atoi(argv[3]);
+    const int errors =
+        wfc::svc::run_jsonl_server(std::cin, std::cout, std::cerr, config);
+    return errors == 0 ? 0 : 1;
+  }
+  if (argc >= 2 && std::string(argv[1]) == "metrics") {
+    // Result lines go to stderr so stdout is exactly the Prometheus text
+    // exposition -- pipeable into a scrape file.
+    wfc::svc::ServeConfig config;
+    if (argc > 2) config.service.workers = std::atoi(argv[2]);
+    config.prometheus_at_eof = &std::cout;
+    const int errors =
+        wfc::svc::run_jsonl_server(std::cin, std::cerr, std::cerr, config);
+    return errors == 0 ? 0 : 1;
+  }
+  if (argc >= 3 && std::string(argv[1]) == "trace") {
+    wfc::svc::ServeConfig config;
+    config.trace_path_at_eof = argv[2];
+    if (argc > 3) config.service.workers = std::atoi(argv[3]);
     const int errors =
         wfc::svc::run_jsonl_server(std::cin, std::cout, std::cerr, config);
     return errors == 0 ? 0 : 1;

@@ -6,7 +6,12 @@
 // the line protocol.
 //
 // Usage: wfc_serve [--workers N] [--max-level B] [--cache-entries N]
-//                  [--cache-vertices N] [--quiet]
+//                  [--cache-vertices N] [--quiet] [--v2] [--no-obs]
+//
+// --v2 emits the v2 result envelope ("status" = transport taxonomy, domain
+// verdict in "verdict"); the default stays on the legacy envelope for one
+// release.  --no-obs leaves the observability layer off (the metrics and
+// trace ops then answer invalid_argument).
 //
 // Example (two input lines: a consensus query, then a stats request):
 //   printf ... | wfc_serve --workers 4
@@ -23,9 +28,11 @@ int usage() {
   std::fprintf(stderr,
                "usage: wfc_serve [--workers N] [--max-level B]\n"
                "                 [--cache-entries N] [--cache-vertices N]\n"
-               "                 [--quiet]\n"
+               "                 [--quiet] [--v2] [--no-obs]\n"
                "Reads JSON-lines queries from stdin; see "
-               "service/frontend.hpp for the protocol.\n");
+               "service/frontend.hpp for the protocol.\n"
+               "  --v2      emit the v2 result envelope (verdict field)\n"
+               "  --no-obs  disable tracing/metrics collection\n");
   return 2;
 }
 
@@ -52,6 +59,10 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(value);
     } else if (arg == "--quiet") {
       config.stats_at_eof = false;
+    } else if (arg == "--v2") {
+      config.legacy_envelope = false;
+    } else if (arg == "--no-obs") {
+      config.observability = false;
     } else {
       return usage();
     }

@@ -1,0 +1,131 @@
+// Metrics registry for the observability layer (wfc::obs).
+//
+// Three instrument kinds, all updated with relaxed atomics so the hot path
+// of the query service costs a handful of uncontended atomic adds:
+//
+//   * Counter   -- monotonically increasing u64 (queries, cache hits, ...);
+//   * Gauge     -- last-write-wins u64 (queue depth, resident vertices);
+//   * Histogram -- FIXED upper-bound buckets (latency in microseconds, sizes
+//                  in nodes/vertices).  Bounds are chosen at registration and
+//                  never change, so observation is two atomic adds (bucket +
+//                  sum) after a short linear scan of <= 16 bounds.
+//
+// The registry owns every instrument and hands out stable references: the
+// query service resolves its series ONCE at construction and never touches
+// the registry mutex again.  Series are identified by (name, labels) where
+// labels is a raw Prometheus label body, e.g. `status="ok"`; the same name
+// may appear with many label sets (one series each).
+//
+// write_prometheus() renders the whole registry in the Prometheus text
+// exposition format (# HELP / # TYPE once per family, histograms with
+// cumulative `_bucket{le=...}`, `_sum`, `_count`).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace wfc::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::uint64_t v) { v_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Histogram {
+ public:
+  /// `bounds` are strictly increasing inclusive upper bounds; an implicit
+  /// +Inf bucket is appended.
+  explicit Histogram(std::vector<std::uint64_t> bounds);
+
+  void observe(std::uint64_t value);
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& bounds() const {
+    return bounds_;
+  }
+  /// Non-cumulative count of bucket i (i == bounds().size() is +Inf).
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<std::uint64_t> bounds_;
+  std::deque<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Latency bounds in microseconds: 10us .. 10s, roughly half-decade steps.
+[[nodiscard]] const std::vector<std::uint64_t>& latency_bounds_us();
+/// Size bounds (search nodes, vertices): powers of ten, 1 .. 10^8.
+[[nodiscard]] const std::vector<std::uint64_t>& size_bounds();
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Registers (or finds) the series (name, labels).  `help` is recorded the
+  /// first time a family is seen.  References stay valid for the registry's
+  /// lifetime.
+  Counter& counter(const std::string& name, const std::string& labels = "",
+                   const std::string& help = "");
+  Gauge& gauge(const std::string& name, const std::string& labels = "",
+               const std::string& help = "");
+  Histogram& histogram(const std::string& name,
+                       const std::vector<std::uint64_t>& bounds,
+                       const std::string& labels = "",
+                       const std::string& help = "");
+
+  /// Prometheus text exposition of every registered series.
+  void write_prometheus(std::ostream& out) const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Series {
+    Kind kind;
+    std::string name;
+    std::string labels;  // raw label body, e.g. status="ok"
+    std::string help;
+    Counter counter;
+    Gauge gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Series& find_or_add(Kind kind, const std::string& name,
+                      const std::string& labels, const std::string& help);
+
+  mutable std::mutex mu_;
+  std::deque<Series> series_;  // deque: stable addresses
+};
+
+}  // namespace wfc::obs

@@ -1,0 +1,207 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/assert.hpp"
+
+namespace wfc::obs {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+const char* to_cstring(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kQueueWait: return "queue_wait";
+    case SpanKind::kMemoHit: return "memo_hit";
+    case SpanKind::kCacheHit: return "cache_hit";
+    case SpanKind::kChainBuild: return "chain_build";
+    case SpanKind::kSearch: return "search";
+    case SpanKind::kConvergence: return "convergence";
+    case SpanKind::kEmulation: return "emulation";
+    case SpanKind::kCheck: return "check";
+    case SpanKind::kSearchNodes: return "search_nodes";
+    case SpanKind::kWatchdogKill: return "watchdog_kill";
+    case SpanKind::kWatchdogStall: return "watchdog_stall";
+  }
+  return "?";
+}
+
+TraceSink::TraceSink(std::size_t capacity, int shards)
+    : epoch_(std::chrono::steady_clock::now()),
+      shards_(static_cast<std::size_t>(std::max(1, shards))) {
+  const std::size_t per_shard =
+      std::max<std::size_t>(1, capacity / shards_.size());
+  slots_per_shard_ = round_up_pow2(per_shard);
+  for (Shard& shard : shards_) {
+    shard.slots = std::make_unique<Slot[]>(slots_per_shard_);
+  }
+}
+
+std::uint64_t TraceSink::now_us() const {
+  return to_epoch_us(std::chrono::steady_clock::now());
+}
+
+std::uint64_t TraceSink::to_epoch_us(
+    std::chrono::steady_clock::time_point tp) const {
+  if (tp <= epoch_) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(tp - epoch_)
+          .count());
+}
+
+TraceSink::Shard& TraceSink::my_shard() {
+  // One shard per recording thread while threads <= shards; extra threads
+  // share round-robin (slot tickets keep concurrent writers on distinct
+  // slots, and snapshot()'s sequence validation discards torn reads).
+  thread_local std::uint32_t assigned = 0xffffffffu;
+  if (assigned == 0xffffffffu) {
+    assigned = next_shard_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return shards_[assigned % shards_.size()];
+}
+
+void TraceSink::record(std::uint64_t trace_id, SpanKind kind,
+                       std::uint64_t start_us, std::uint64_t dur_us,
+                       std::uint64_t arg) {
+  Shard& shard = my_shard();
+  const std::uint64_t ticket =
+      shard.next.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = shard.slots[ticket & (slots_per_shard_ - 1)];
+  // Invalidate, write fields, publish: a concurrent snapshot() either sees
+  // the published ticket with a fully-written span or discards the slot.
+  slot.seq.store(0, std::memory_order_release);
+  slot.trace_id.store(trace_id, std::memory_order_relaxed);
+  slot.start_us.store(start_us, std::memory_order_relaxed);
+  slot.dur_us.store(dur_us, std::memory_order_relaxed);
+  slot.arg.store(arg, std::memory_order_relaxed);
+  slot.kind.store(static_cast<std::uint16_t>(kind),
+                  std::memory_order_relaxed);
+  slot.seq.store(ticket + 1, std::memory_order_release);
+}
+
+std::vector<Span> TraceSink::snapshot() const {
+  std::vector<Span> spans;
+  for (std::size_t si = 0; si < shards_.size(); ++si) {
+    const Shard& shard = shards_[si];
+    for (std::size_t i = 0; i < slots_per_shard_; ++i) {
+      const Slot& slot = shard.slots[i];
+      const std::uint64_t seq1 = slot.seq.load(std::memory_order_acquire);
+      if (seq1 == 0) continue;
+      Span span;
+      span.trace_id = slot.trace_id.load(std::memory_order_relaxed);
+      span.start_us = slot.start_us.load(std::memory_order_relaxed);
+      span.dur_us = slot.dur_us.load(std::memory_order_relaxed);
+      span.arg = slot.arg.load(std::memory_order_relaxed);
+      span.kind =
+          static_cast<SpanKind>(slot.kind.load(std::memory_order_relaxed));
+      span.shard = static_cast<std::uint16_t>(si);
+      const std::uint64_t seq2 = slot.seq.load(std::memory_order_acquire);
+      if (seq1 != seq2) continue;  // torn by a concurrent writer: discard
+      if (static_cast<int>(span.kind) >= kNumSpanKinds) continue;
+      spans.push_back(span);
+    }
+  }
+  std::sort(spans.begin(), spans.end(), [](const Span& a, const Span& b) {
+    if (a.trace_id != b.trace_id) return a.trace_id < b.trace_id;
+    if (a.start_us != b.start_us) return a.start_us < b.start_us;
+    return a.dur_us > b.dur_us;  // enclosing spans first (Chrome nesting)
+  });
+  return spans;
+}
+
+std::uint64_t TraceSink::recorded() const {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.next.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t TraceSink::dropped() const {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    const std::uint64_t n = shard.next.load(std::memory_order_relaxed);
+    if (n > slots_per_shard_) total += n - slots_per_shard_;
+  }
+  return total;
+}
+
+void TraceSink::write_chrome_trace(std::ostream& out) const {
+  const std::vector<Span> spans = snapshot();
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out << ",";
+    first = false;
+  };
+  for (const Span& span : spans) {
+    sep();
+    if (span.kind == SpanKind::kSearchNodes) {
+      // Counter track: the search's node count over time, one track per
+      // query so concurrent searches do not sum.
+      out << "{\"name\":\"search_nodes/q" << span.trace_id
+          << "\",\"ph\":\"C\",\"pid\":1,\"tid\":" << span.trace_id
+          << ",\"ts\":" << span.start_us << ",\"args\":{\"nodes\":"
+          << span.arg << "}}";
+      continue;
+    }
+    const bool instant = span.dur_us == 0 &&
+                         (span.kind == SpanKind::kMemoHit ||
+                          span.kind == SpanKind::kCacheHit ||
+                          span.kind == SpanKind::kWatchdogKill ||
+                          span.kind == SpanKind::kWatchdogStall);
+    if (instant) {
+      out << "{\"name\":\"" << to_cstring(span.kind)
+          << "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":"
+          << span.trace_id << ",\"ts\":" << span.start_us
+          << ",\"args\":{\"arg\":" << span.arg << "}}";
+    } else {
+      out << "{\"name\":\"" << to_cstring(span.kind)
+          << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << span.trace_id
+          << ",\"ts\":" << span.start_us << ",\"dur\":" << span.dur_us
+          << ",\"args\":{\"arg\":" << span.arg << ",\"shard\":" << span.shard
+          << "}}";
+    }
+  }
+  // Name the rows after their queries so the timeline reads "query 7".
+  std::uint64_t last_tid = ~std::uint64_t{0};
+  for (const Span& span : spans) {
+    if (span.trace_id == last_tid) continue;
+    last_tid = span.trace_id;
+    sep();
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+        << span.trace_id << ",\"args\":{\"name\":\"query "
+        << span.trace_id << "\"}}";
+  }
+  out << "]}";
+}
+
+void TraceContext::instant(SpanKind kind, std::uint64_t arg) const {
+  if (sink_ == nullptr) return;
+  sink_->record(trace_id_, kind, sink_->now_us(), 0, arg);
+}
+
+void TraceContext::complete(SpanKind kind,
+                            std::chrono::steady_clock::time_point start,
+                            std::chrono::steady_clock::time_point end,
+                            std::uint64_t arg) const {
+  if (sink_ == nullptr) return;
+  const std::uint64_t s = sink_->to_epoch_us(start);
+  const std::uint64_t e = sink_->to_epoch_us(end);
+  sink_->record(trace_id_, kind, s, e > s ? e - s : 0, arg);
+}
+
+void TraceContext::checkpoint(SpanKind kind, std::uint64_t value) const {
+  if (sink_ == nullptr) return;
+  sink_->record(trace_id_, kind, sink_->now_us(), 0, value);
+}
+
+}  // namespace wfc::obs

@@ -1,0 +1,164 @@
+// Per-query tracing for the observability layer (wfc::obs).
+//
+// Every query the service admits carries a TraceContext: a (sink, trace_id)
+// pair whose span helpers record fixed-size Span records into a bounded,
+// LOCK-FREE ring buffer.  The buffer is sharded: each recording thread is
+// assigned a shard on first use (thread_local), so in the steady state every
+// worker appends to its own single-producer ring and never contends.
+//
+// Concurrency protocol (TSan-clean by construction): a writer claims a slot
+// with a relaxed fetch_add ticket, invalidates the slot's sequence word,
+// stores the span fields as relaxed atomics, then publishes the ticket with
+// a release store.  A concurrent snapshot() validates each slot by reading
+// the sequence word before and after the field loads (acquire / relaxed) and
+// discards slots that changed underneath it.  Rings are bounded: once a
+// shard wraps, the oldest spans are overwritten and counted as dropped.
+//
+// Disabled tracing is near-zero cost: a default TraceContext has a null
+// sink, every helper returns before reading the clock, and ScopedSpan's
+// destructor is a branch on a null pointer.
+//
+// Export: write_chrome_trace() renders the buffer as a Chrome trace_event
+// JSON file (chrome://tracing, Perfetto).  Spans are laid out one row (tid)
+// per query, so each query's queue / chain-build / search timeline reads
+// left to right; search-node checkpoints render as counter tracks.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+namespace wfc::obs {
+
+/// What a span measures.  Names are exported verbatim into Chrome traces.
+enum class SpanKind : std::uint8_t {
+  kQueueWait = 0,    // admission enqueue -> dequeue
+  kMemoHit,          // result memo answered inline (instant)
+  kCacheHit,         // SDS chain served without subdivision work (instant)
+  kChainBuild,       // subdivision tower built or extended
+  kSearch,           // the Prop 3.1 decision search (task::solve)
+  kConvergence,      // §5 convergence-map compilation
+  kEmulation,        // §4 Figure 2 emulation run (arg = rounds)
+  kCheck,            // wfc::chk model-check sweep (arg = schedules)
+  kSearchNodes,      // node-count checkpoint (counter sample, arg = nodes)
+  kWatchdogKill,     // hard-timeout force-cancellation (instant)
+  kWatchdogStall,    // heartbeat-stall report (instant)
+};
+
+[[nodiscard]] const char* to_cstring(SpanKind kind);
+inline constexpr int kNumSpanKinds = 11;
+
+struct Span {
+  std::uint64_t trace_id = 0;  // query id; 0 = untraced
+  SpanKind kind = SpanKind::kQueueWait;
+  std::uint16_t shard = 0;     // recording shard (roughly: worker)
+  std::uint64_t start_us = 0;  // since the sink's epoch
+  std::uint64_t dur_us = 0;    // 0 for instants / counter samples
+  std::uint64_t arg = 0;       // kind-specific payload (nodes, rounds, ...)
+};
+
+class TraceSink {
+ public:
+  /// `capacity` spans are retained in total (rounded up per shard to a power
+  /// of two); the oldest are overwritten once a shard wraps.
+  explicit TraceSink(std::size_t capacity = 1 << 16, int shards = 8);
+
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  void record(std::uint64_t trace_id, SpanKind kind, std::uint64_t start_us,
+              std::uint64_t dur_us, std::uint64_t arg);
+
+  /// Microseconds since this sink's construction (the trace epoch).
+  [[nodiscard]] std::uint64_t now_us() const;
+  [[nodiscard]] std::uint64_t to_epoch_us(
+      std::chrono::steady_clock::time_point tp) const;
+
+  /// Consistent copies of every live span, sorted by (trace_id, start).
+  [[nodiscard]] std::vector<Span> snapshot() const;
+  /// Spans overwritten by ring wrap-around since construction.
+  [[nodiscard]] std::uint64_t dropped() const;
+  [[nodiscard]] std::uint64_t recorded() const;
+
+  /// Chrome trace_event JSON ("X" complete events, one tid per trace_id,
+  /// counter tracks for kSearchNodes checkpoints).
+  void write_chrome_trace(std::ostream& out) const;
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};  // 0 = empty; else ticket + 1
+    std::atomic<std::uint64_t> trace_id{0};
+    std::atomic<std::uint64_t> start_us{0};
+    std::atomic<std::uint64_t> dur_us{0};
+    std::atomic<std::uint64_t> arg{0};
+    std::atomic<std::uint16_t> kind{0};
+  };
+  struct Shard {
+    std::unique_ptr<Slot[]> slots;
+    std::atomic<std::uint64_t> next{0};
+  };
+
+  [[nodiscard]] Shard& my_shard();
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::size_t slots_per_shard_;  // power of two
+  std::vector<Shard> shards_;
+  std::atomic<std::uint32_t> next_shard_{0};
+};
+
+/// The per-query handle threaded through the service stack.  Copyable and
+/// cheap; a default-constructed context is disabled.
+class TraceContext {
+ public:
+  TraceContext() = default;
+  TraceContext(TraceSink* sink, std::uint64_t trace_id)
+      : sink_(sink), trace_id_(trace_id) {}
+
+  [[nodiscard]] bool enabled() const { return sink_ != nullptr; }
+  [[nodiscard]] std::uint64_t trace_id() const { return trace_id_; }
+
+  /// Zero-duration event at "now".
+  void instant(SpanKind kind, std::uint64_t arg = 0) const;
+  /// Completed span over an explicit steady_clock interval.
+  void complete(SpanKind kind, std::chrono::steady_clock::time_point start,
+                std::chrono::steady_clock::time_point end,
+                std::uint64_t arg = 0) const;
+  /// Counter sample (search-node checkpoints).
+  void checkpoint(SpanKind kind, std::uint64_t value) const;
+
+  /// RAII span: measures construction -> destruction.  `arg` may be set
+  /// after construction (e.g. to a node count known only at the end).
+  class Scoped {
+   public:
+    explicit Scoped(const TraceContext& ctx, SpanKind kind)
+        : sink_(ctx.sink_), trace_id_(ctx.trace_id_), kind_(kind) {
+      if (sink_ != nullptr) start_us_ = sink_->now_us();
+    }
+    ~Scoped() {
+      if (sink_ != nullptr) {
+        sink_->record(trace_id_, kind_, start_us_,
+                      sink_->now_us() - start_us_, arg);
+      }
+    }
+    Scoped(const Scoped&) = delete;
+    Scoped& operator=(const Scoped&) = delete;
+    std::uint64_t arg = 0;
+
+   private:
+    TraceSink* sink_;
+    std::uint64_t trace_id_;
+    SpanKind kind_;
+    std::uint64_t start_us_ = 0;
+  };
+
+  [[nodiscard]] Scoped span(SpanKind kind) const { return Scoped(*this, kind); }
+
+ private:
+  TraceSink* sink_ = nullptr;
+  std::uint64_t trace_id_ = 0;
+};
+
+}  // namespace wfc::obs

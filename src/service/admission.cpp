@@ -26,6 +26,7 @@ AdmissionQueue::Outcome AdmissionQueue::offer(Entry entry) {
       have_victim = true;
     }
     queue_.push_back(std::move(entry));
+    if (queue_.size() > peak_depth_) peak_depth_ = queue_.size();
   }
   cv_.notify_one();
   if (have_victim) victim.abort(Status::kOverloaded);
@@ -62,6 +63,11 @@ std::size_t AdmissionQueue::drain(Status status) {
 std::size_t AdmissionQueue::depth() const {
   std::lock_guard<std::mutex> lock(mu_);
   return queue_.size();
+}
+
+std::size_t AdmissionQueue::peak_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_depth_;
 }
 
 bool AdmissionQueue::closed() const {

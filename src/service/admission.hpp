@@ -72,6 +72,10 @@ class AdmissionQueue {
   std::size_t drain(Status status);
 
   [[nodiscard]] std::size_t depth() const;
+  /// High-water mark of depth() over the queue's lifetime -- the headroom
+  /// signal the observability layer exports as a gauge (a peak near
+  /// max_depth means the overflow policy is about to start firing).
+  [[nodiscard]] std::size_t peak_depth() const;
   [[nodiscard]] std::size_t max_depth() const { return options_.max_depth; }
   [[nodiscard]] bool closed() const;
 
@@ -80,6 +84,7 @@ class AdmissionQueue {
   std::condition_variable cv_;
   Options options_;
   std::deque<Entry> queue_;
+  std::size_t peak_depth_ = 0;
   bool closed_ = false;
 };
 

@@ -1,6 +1,7 @@
 #include "service/frontend.hpp"
 
 #include <deque>
+#include <fstream>
 #include <istream>
 #include <numeric>
 #include <ostream>
@@ -67,43 +68,82 @@ struct Pending {
 };
 
 void print_result(std::ostream& out, const Pending& pending,
-                  QueryResult result) {
+                  QueryResult result, bool legacy) {
   JsonWriter w;
   if (!pending.id.empty()) w.field("id", pending.id);
   w.field("task", pending.label);
   if (result.status != Status::kOk) {
     // Non-kOk terminal statuses use the lowercase taxonomy tokens
-    // (status.hpp); retryable ones carry the service's backoff hint.
+    // (status.hpp) in BOTH envelopes; retryable ones carry the service's
+    // backoff hint.
     w.field("status", to_json_token(result.status));
     if (result.retry_after_ms > 0) {
       w.field("retry_after_ms",
               static_cast<std::uint64_t>(result.retry_after_ms));
     }
     if (!result.error.empty()) w.field("error", result.error);
-  } else if (pending.is_check) {
-    w.field("status", result.check_ok ? "OK" : "VIOLATION");
-    w.field("schedules", result.check_schedules)
-        .field("histories", result.check_histories)
-        .field("max_depth", result.check_max_depth);
-    if (!result.check_violation.empty()) {
-      w.field("violation", result.check_violation);
-    }
-  } else if (pending.is_emulate) {
-    w.field("status", "OK")
-        .field("rounds", result.emu_rounds)
-        .field("iis_steps",
-               std::accumulate(result.emu_steps.begin(),
-                               result.emu_steps.end(), std::int64_t{0}));
   } else {
-    w.field("status", task::to_cstring(result.solve.status));
-    if (result.solve.status == task::Solvability::kSolvable) {
-      w.field("level", result.solve.level);
+    // v2 envelope: "status" stays in the transport taxonomy ("ok") and the
+    // domain outcome moves to "verdict".  Legacy envelope (default for one
+    // release): the verdict IS the status, as PR 2/3 emitted.
+    const char* verdict_key = legacy ? "status" : "verdict";
+    if (!legacy) w.field("status", to_json_token(Status::kOk));
+    if (pending.is_check) {
+      w.field(verdict_key, result.check_ok ? "OK" : "VIOLATION");
+      w.field("schedules", result.check_schedules)
+          .field("histories", result.check_histories)
+          .field("max_depth", result.check_max_depth);
+      if (!result.check_violation.empty()) {
+        w.field("violation", result.check_violation);
+      }
+    } else if (pending.is_emulate) {
+      w.field(verdict_key, "OK")
+          .field("rounds", result.emu_rounds)
+          .field("iis_steps",
+                 std::accumulate(result.emu_steps.begin(),
+                                 result.emu_steps.end(), std::int64_t{0}));
+    } else {
+      w.field(verdict_key, task::to_cstring(result.solve.status));
+      if (result.solve.status == task::Solvability::kSolvable) {
+        w.field("level", result.solve.level);
+      }
+      w.field("nodes", result.solve.nodes_explored)
+          .field("cache_hit", result.cache_hit);
     }
-    w.field("nodes", result.solve.nodes_explored)
-        .field("cache_hit", result.cache_hit);
   }
   if (result.degraded) w.field("degraded", true);
   w.field("micros", result.micros);
+  out << w.str() << "\n";
+}
+
+/// The {"op":"metrics"} response: one flat-JSON line whose counters come
+/// straight from the obs registry, alongside the ServiceStats intake count
+/// -- the reconciliation the chaos soak asserts (submitted == terminal ==
+/// sum of the per-status counters) is visible in the line itself.
+void print_metrics(std::ostream& out, const std::string& id,
+                   QueryService& service) {
+  obs::MetricsRegistry& reg = service.observer().metrics();
+  const ServiceStats st = service.stats();
+  const std::uint64_t submitted =
+      reg.counter("wfc_queries_submitted_total").value();
+  JsonWriter w;
+  if (!id.empty()) w.field("id", id);
+  w.field("op", "metrics").field("status", to_json_token(Status::kOk));
+  w.field("submitted", submitted);
+  std::uint64_t terminal = 0;
+  for (int s = 0; s < kNumStatuses; ++s) {
+    const std::uint64_t c =
+        reg.counter("wfc_queries_terminal_total",
+                    std::string(R"(status=")") +
+                        to_json_token(static_cast<Status>(s)) + R"(")")
+            .value();
+    terminal += c;
+    w.field(to_json_token(static_cast<Status>(s)), c);
+  }
+  w.field("terminal", terminal);
+  w.field("memo_hits", reg.counter("wfc_result_memo_hits_total").value());
+  w.field("stats_submitted", st.submitted);
+  w.field("reconciles", submitted == terminal && submitted == st.submitted);
   out << w.str() << "\n";
 }
 
@@ -142,9 +182,15 @@ std::shared_ptr<task::Task> make_canonical_task(const Fields& fields) {
 
 int run_jsonl_server(std::istream& in, std::ostream& out, std::ostream& err,
                      const ServeConfig& config) {
-  QueryService service(config.service);
+  QueryService::Options service_options = config.service;
+  // The metrics / trace ops answer from the obs layer, so the serve path
+  // turns it on by default (QueryService embedded elsewhere keeps the
+  // zero-cost disabled default).
+  if (config.observability) service_options.obs.enabled = true;
+  QueryService service(std::move(service_options));
   std::deque<Pending> pending;
   int error_lines = 0;
+  bool warned_legacy_task = false;
 
   // Canonical tasks are pure functions of their request fields, so repeated
   // lines can share ONE task object -- which is exactly what the service's
@@ -180,7 +226,7 @@ int run_jsonl_server(std::istream& in, std::ostream& out, std::ostream& err,
       pending.pop_front();
       QueryResult result = p.ticket.result.get();
       if (result.status != Status::kOk) ++error_lines;
-      print_result(out, p, std::move(result));
+      print_result(out, p, std::move(result), config.legacy_envelope);
     }
   };
 
@@ -192,13 +238,22 @@ int run_jsonl_server(std::istream& in, std::ostream& out, std::ostream& err,
     if (first == std::string::npos || line[first] == '#') continue;
     try {
       const Fields fields = parse_flat_json(line);
+      // v2 request shape: every line names its "op" and "task" is a
+      // parameter of op:"solve".  Legacy bare {"task":...} lines are still
+      // routed as solves, with a once-per-run deprecation note.
+      if (fields.count("op") == 0 && fields.count("task") != 0 &&
+          !warned_legacy_task) {
+        warned_legacy_task = true;
+        err << "wfc_serve: deprecated: bare {\"task\":...} request lines; "
+               "use {\"op\":\"solve\",\"task\":...}\n";
+      }
       const std::string op = string_field(fields, "op", "solve");
 
       // Reject unknown ops up front with a self-describing record: the
       // field-level errors below would otherwise blame a missing "task"
       // field on a line whose real problem is a misspelled op.
-      if (op != "stats" && op != "solve" && op != "convergence" &&
-          op != "emulate" && op != "check") {
+      if (op != "stats" && op != "metrics" && op != "trace" && op != "solve" &&
+          op != "convergence" && op != "emulate" && op != "check") {
         ++error_lines;
         drain(0);  // keep result lines in input order
         JsonWriter w;
@@ -219,6 +274,54 @@ int run_jsonl_server(std::istream& in, std::ostream& out, std::ostream& err,
         continue;
       }
 
+      if (op == "metrics") {
+        drain(0);  // every submitted query is terminal: counters reconcile
+        if (!service.observer().enabled()) {
+          throw std::invalid_argument(
+              "metrics: the observability layer is disabled");
+        }
+        if (const std::string path = string_field(fields, "path");
+            !path.empty()) {
+          std::ofstream file(path);
+          if (!file) {
+            throw std::invalid_argument("metrics: cannot open \"" + path +
+                                        "\"");
+          }
+          service.observer().write_prometheus(file);
+        }
+        print_metrics(out, string_field(fields, "id"), service);
+        continue;
+      }
+
+      if (op == "trace") {
+        drain(0);  // flush so every query's spans are in the ring
+        if (!service.observer().enabled()) {
+          throw std::invalid_argument(
+              "trace: the observability layer is disabled");
+        }
+        const std::string path = string_field(fields, "path");
+        if (path.empty()) {
+          throw std::invalid_argument("trace: missing field \"path\"");
+        }
+        std::ofstream file(path);
+        if (!file) {
+          throw std::invalid_argument("trace: cannot open \"" + path + "\"");
+        }
+        service.observer().write_chrome_trace(file);
+        const obs::TraceSink* sink = service.observer().trace();
+        JsonWriter w;
+        const std::string id = string_field(fields, "id");
+        if (!id.empty()) w.field("id", id);
+        out << w.field("op", "trace")
+                   .field("status", to_json_token(Status::kOk))
+                   .field("path", path)
+                   .field("spans", sink != nullptr ? sink->recorded() : 0)
+                   .field("dropped", sink != nullptr ? sink->dropped() : 0)
+                   .str()
+            << "\n";
+        continue;
+      }
+
       Pending p;
       p.id = string_field(fields, "id");
       Query query;
@@ -226,45 +329,45 @@ int run_jsonl_server(std::istream& in, std::ostream& out, std::ostream& err,
       if (op == "solve") {
         std::shared_ptr<task::Task> task = intern_task(fields);
         p.label = task->name();
-        query.kind = Query::Kind::kSolve;
-        query.task = std::move(task);
+        query.request = SolveRequest{std::move(task)};
       } else if (op == "convergence") {
         const int procs = int_field(fields, "procs");
         const int depth = int_field(fields, "depth");
-        query.kind = Query::Kind::kConvergence;
-        query.agreement = std::make_shared<task::SimplexAgreementTask>(
+        auto agreement = std::make_shared<task::SimplexAgreementTask>(
             procs, topo::iterated_sds(topo::base_simplex(procs), depth));
-        p.label = query.agreement->name();
+        p.label = agreement->name();
+        query.request = ConvergenceRequest{std::move(agreement)};
       } else if (op == "emulate") {
-        query.kind = Query::Kind::kEmulate;
-        query.emu_procs = int_field(fields, "procs");
-        query.emu_shots = int_field(fields, "shots", 1);
-        p.label = "emulate(procs=" + std::to_string(query.emu_procs) +
-                  ",shots=" + std::to_string(query.emu_shots) + ")";
+        EmulateRequest emu;
+        emu.procs = int_field(fields, "procs");
+        emu.shots = int_field(fields, "shots", 1);
+        p.label = "emulate(procs=" + std::to_string(emu.procs) +
+                  ",shots=" + std::to_string(emu.shots) + ")";
         p.is_emulate = true;
+        query.request = emu;
       } else {  // op == "check" (unknown ops were rejected above)
         const std::string target = string_field(fields, "target", "sds");
-        query.kind = Query::Kind::kCheck;
+        CheckRequest check;
         if (target == "sds") {
-          query.check.target = CheckQuery::Target::kSds;
+          check.target = CheckRequest::Target::kSds;
         } else if (target == "emulation") {
-          query.check.target = CheckQuery::Target::kEmulation;
+          check.target = CheckRequest::Target::kEmulation;
         } else if (target == "linearizability") {
-          query.check.target = CheckQuery::Target::kLinearizability;
+          check.target = CheckRequest::Target::kLinearizability;
         } else {
           throw std::invalid_argument("unknown check target \"" + target +
                                       "\"");
         }
-        query.check.procs = int_field(fields, "procs", 2);
-        query.check.rounds = int_field(fields, "rounds", 1);
-        query.check.crashes = int_field(fields, "crashes", 0);
-        query.check.shots = int_field(fields, "shots", 1);
-        query.check.symmetry = int_field(fields, "symmetry", 0) != 0;
-        p.label = "check(" + target +
-                  ",procs=" + std::to_string(query.check.procs) +
-                  ",rounds=" + std::to_string(query.check.rounds) +
-                  ",crashes=" + std::to_string(query.check.crashes) + ")";
+        check.procs = int_field(fields, "procs", 2);
+        check.rounds = int_field(fields, "rounds", 1);
+        check.crashes = int_field(fields, "crashes", 0);
+        check.shots = int_field(fields, "shots", 1);
+        check.symmetry = int_field(fields, "symmetry", 0) != 0;
+        p.label = "check(" + target + ",procs=" + std::to_string(check.procs) +
+                  ",rounds=" + std::to_string(check.rounds) +
+                  ",crashes=" + std::to_string(check.crashes) + ")";
         p.is_check = true;
+        query.request = check;
       }
       p.ticket = service.submit(std::move(query));
       pending.push_back(std::move(p));
@@ -286,6 +389,19 @@ int run_jsonl_server(std::istream& in, std::ostream& out, std::ostream& err,
     if (pending.size() >= 4096) drain(2048);
   }
   drain(0);
+  if (config.prometheus_at_eof != nullptr && service.observer().enabled()) {
+    service.observer().write_prometheus(*config.prometheus_at_eof);
+  }
+  if (!config.trace_path_at_eof.empty() && service.observer().enabled()) {
+    std::ofstream file(config.trace_path_at_eof);
+    if (file) {
+      service.observer().write_chrome_trace(file);
+    } else {
+      err << "wfc_serve: cannot open trace path \"" << config.trace_path_at_eof
+          << "\"\n";
+      ++error_lines;
+    }
+  }
   if (config.stats_at_eof) {
     err << "wfc_serve: " << service.stats().to_string() << "\n";
   }

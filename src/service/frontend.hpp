@@ -1,34 +1,53 @@
 // JSON-lines batch front-end over QueryService.
 //
-// Protocol: one flat JSON object per input line, one JSON result line per
-// query, in submission order (queries still EXECUTE concurrently on the
+// Protocol (v2): one flat JSON object per input line, one JSON result line
+// per query, in submission order (queries still EXECUTE concurrently on the
 // pool; only the printing is ordered).  Blank lines and lines starting with
-// '#' are skipped.
+// '#' are skipped.  Every request names its operation with "op"; "task" is
+// a PARAMETER of op:"solve":
 //
-//   {"task":"consensus","procs":2,"values":2}            solvability query
-//   {"task":"set-consensus","procs":3,"k":2,"max_level":1}
-//   {"task":"renaming","procs":2,"names":2}
-//   {"task":"approx","procs":2,"grid":3,"timeout_ms":500}
-//   {"task":"simplex-agreement","procs":2,"depth":1}
-//   {"task":"identity","procs":3}
+//   {"op":"solve","task":"consensus","procs":2,"values":2}
+//   {"op":"solve","task":"set-consensus","procs":3,"k":2,"max_level":1}
+//   {"op":"solve","task":"renaming","procs":2,"names":2}
+//   {"op":"solve","task":"approx","procs":2,"grid":3,"timeout_ms":500}
+//   {"op":"solve","task":"simplex-agreement","procs":2,"depth":1}
+//   {"op":"solve","task":"identity","procs":3}
 //   {"op":"convergence","procs":2,"depth":1,"max_level":4}
 //   {"op":"emulate","procs":2,"shots":2}
+//   {"op":"check","target":"sds|emulation|linearizability",...}
 //   {"op":"stats"}            flushes outstanding queries, prints counters
+//   {"op":"metrics"}          flushes, prints one flat-JSON counters line
+//                             (reconciles exactly with ServiceStats); with
+//                             "path":"f" also writes the full Prometheus
+//                             text exposition to f
+//   {"op":"trace","path":"f"} flushes, writes the span ring as Chrome
+//                             trace_event JSON to f (chrome://tracing)
+//
+// Legacy request shape: a line with "task" but no "op" is still accepted
+// and routed as op:"solve" (a one-line deprecation note goes to `err`, once
+// per run).
 //
 // Optional fields on every query: "id" (echoed back), "max_level",
 // "budget" (search node budget), "timeout_ms" (deadline from submission).
 //
-// Result lines:
-//   {"id":...,"task":"...","status":"SOLVABLE","level":1,"nodes":12,
-//    "micros":345,"cache_hit":true}
-//   {"op":"emulate",...,"status":"OK","rounds":5,"iis_steps":17,...}
+// Result envelope (v2, ServeConfig::legacy_envelope == false): "status" is
+// ALWAYS the lowercase transport taxonomy of service/status.hpp -- "ok",
+// "cancelled", "deadline_exceeded", "overloaded" (+ "retry_after_ms"),
+// "resource_exhausted", "invalid_argument", "internal".  The DOMAIN outcome
+// of an ok query lives in "verdict":
 //
-// Queries that do not complete normally carry the lowercase status taxonomy
-// (service/status.hpp) instead of a verdict: "cancelled",
-// "deadline_exceeded", "overloaded" (+ "retry_after_ms" backoff hint),
-// "resource_exhausted", "invalid_argument", "internal".  Malformed input
-// lines answer {"status":"invalid_argument","line":N,"error":...} -- with
-// the offending 1-based line number -- and never terminate the serve loop.
+//   {"id":...,"task":"...","status":"ok","verdict":"SOLVABLE","level":1,
+//    "nodes":12,"cache_hit":true,"micros":345}
+//   {"op":"emulate",...,"status":"ok","verdict":"OK","rounds":5,...}
+//   {"op":"check",...,"status":"ok","verdict":"VIOLATION","schedules":...}
+//
+// Legacy envelope (the default, for one release): ok queries put the
+// domain verdict directly in "status" ("SOLVABLE", "OK", "VIOLATION", ...)
+// exactly as PR 2/3 emitted; non-ok lines are identical in both envelopes.
+//
+// Malformed input lines answer {"status":"invalid_argument","line":N,
+// "error":...} -- with the offending 1-based line number -- and never
+// terminate the serve loop.
 #pragma once
 
 #include <iosfwd>
@@ -45,6 +64,20 @@ struct ServeConfig {
   int default_max_level = 2;
   /// Print a final stats line to `err` when the input is exhausted.
   bool stats_at_eof = true;
+  /// Emit the pre-PR-4 result envelope (domain verdict in "status").  ON by
+  /// default for one release; the v2 envelope keeps "status" as the
+  /// transport taxonomy and moves the verdict to "verdict".
+  bool legacy_envelope = true;
+  /// Force-enable the observability layer for this serve run so the
+  /// "metrics" and "trace" ops work out of the box.  Set false to honour
+  /// service.obs.enabled as given.
+  bool observability = true;
+  /// When set, the full Prometheus text exposition is written here once the
+  /// input is exhausted (wfc_cli metrics pipes it to stdout).
+  std::ostream* prometheus_at_eof = nullptr;
+  /// When non-empty, the span ring is written to this path as Chrome
+  /// trace_event JSON once the input is exhausted (wfc_cli trace).
+  std::string trace_path_at_eof;
 };
 
 /// Builds a canonical task from parsed JSON fields ("task" + parameters;

@@ -103,7 +103,8 @@ std::string ServiceStats::to_string() const {
   os << " result_hits=" << result_hits << " nodes=" << nodes_explored
      << " latency_us total=" << total_micros << " max=" << max_micros
      << " queue_us total=" << queue_total_micros
-     << " max=" << queue_max_micros << " degraded=" << degraded
+     << " max=" << queue_max_micros << " peak_depth=" << queue_peak_depth
+     << " degraded=" << degraded
      << " watchdog kills=" << watchdog_kills
      << " stuck=" << stuck_worker_reports
      << " | cache hits=" << cache.hits
@@ -122,6 +123,7 @@ QueryService::QueryService() : QueryService(Options()) {}
 
 QueryService::QueryService(Options options)
     : options_(std::move(options)),
+      observer_(options_.obs),
       cache_(options_.cache),
       watchdog_(Watchdog::Options{options_.watchdog_scan_period,
                                   options_.hard_timeout,
@@ -130,12 +132,88 @@ QueryService::QueryService(Options options)
                                      options_.admission_policy}),
       memo_capacity_(options_.result_memo_entries),
       pool_(resolve_workers(options_.workers)) {
+  if (observer_.enabled()) init_observability();
   max_inflight_ = options_.max_inflight > 0
                       ? std::min(options_.max_inflight, pool_.size())
                       : pool_.size();
   for (int i = 0; i < pool_.size(); ++i) {
     pool_.submit([this] { worker_loop(); });
   }
+}
+
+void QueryService::init_observability() {
+  obs::MetricsRegistry& reg = observer_.metrics();
+  metrics_.submitted = &reg.counter("wfc_queries_submitted_total", "",
+                                    "Tickets handed out by submit()");
+  static const char* kKindLabels[4] = {
+      R"(kind="solve")", R"(kind="convergence")", R"(kind="emulate")",
+      R"(kind="check")"};
+  for (int k = 0; k < 4; ++k) {
+    metrics_.by_kind[k] = &reg.counter("wfc_queries_by_kind_total",
+                                       kKindLabels[k],
+                                       "Submitted queries by family");
+  }
+  for (int s = 0; s < kNumStatuses; ++s) {
+    metrics_.by_status[s] = &reg.counter(
+        "wfc_queries_terminal_total",
+        std::string(R"(status=")") + to_json_token(static_cast<Status>(s)) +
+            R"(")",
+        "Terminal statuses; sums to wfc_queries_submitted_total");
+  }
+  metrics_.memo_hits = &reg.counter("wfc_result_memo_hits_total", "",
+                                    "Queries answered from the result memo");
+  metrics_.degraded = &reg.counter(
+      "wfc_queries_degraded_total", "",
+      "Queries run with a load-degraded node budget");
+  metrics_.emu_rounds = &reg.counter("wfc_emulation_rounds_total", "",
+                                     "IIS rounds executed by §4 emulations");
+  metrics_.queue_wait_us = &reg.histogram(
+      "wfc_queue_wait_us", obs::latency_bounds_us(), "",
+      "Admission-queue wait per executed query, microseconds");
+  metrics_.exec_us = &reg.histogram(
+      "wfc_exec_us", obs::latency_bounds_us(), "",
+      "Execution latency (dequeue to verdict), microseconds");
+  metrics_.e2e_us = &reg.histogram(
+      "wfc_e2e_us", obs::latency_bounds_us(), "",
+      "End-to-end latency (submission to terminal status), microseconds");
+  metrics_.chain_for_us = &reg.histogram(
+      "wfc_chain_for_us", obs::latency_bounds_us(), "",
+      "SDS-chain acquisition (cache lookup + any build), microseconds");
+  metrics_.search_nodes = &reg.histogram(
+      "wfc_search_nodes", obs::size_bounds(), "",
+      "Backtracking nodes explored per fresh solve/convergence query");
+  // Mirror gauges: refreshed immediately before each export so a scrape
+  // sees the same numbers a ServiceStats snapshot would.
+  observer_.set_gauge_refresh([this, &reg] {
+    reg.gauge("wfc_queue_depth", "", "Queries waiting for a worker")
+        .set(queue_.depth());
+    reg.gauge("wfc_queue_peak_depth", "", "Backlog high-water mark")
+        .set(queue_.peak_depth());
+    const CacheStats cs = cache_.stats();
+    reg.gauge("wfc_cache_entries", "", "Live cached SDS towers")
+        .set(cs.entries);
+    reg.gauge("wfc_cache_resident_vertices", "",
+              "Summed vertex weight of cached towers")
+        .set(cs.resident_vertices);
+    reg.gauge("wfc_cache_hits", "", "SDS cache hits").set(cs.hits);
+    reg.gauge("wfc_cache_misses", "", "SDS cache misses").set(cs.misses);
+    reg.gauge("wfc_cache_extensions", "", "Cached towers deepened")
+        .set(cs.extensions);
+    reg.gauge("wfc_cache_evictions", "", "Cache entries evicted")
+        .set(cs.evictions);
+    const Watchdog::Stats wd = watchdog_.stats();
+    reg.gauge("wfc_watchdog_kills", "", "Hard-timeout force-cancellations")
+        .set(wd.kills);
+    reg.gauge("wfc_watchdog_stuck_reports", "", "Heartbeat stalls detected")
+        .set(wd.stuck_reports);
+    std::size_t memo_entries;
+    {
+      std::lock_guard<std::mutex> lock(memo_mu_);
+      memo_entries = memo_.size();
+    }
+    reg.gauge("wfc_result_memo_entries", "", "Memoized definitive verdicts")
+        .set(memo_entries);
+  });
 }
 
 QueryService::~QueryService() {
@@ -155,11 +233,15 @@ void QueryService::worker_loop() {
 }
 
 QueryTicket QueryService::submit(Query query) {
-  WFC_REQUIRE(query.kind != Query::Kind::kSolve || query.task != nullptr,
-              "QueryService::submit: kSolve query without a task");
-  WFC_REQUIRE(
-      query.kind != Query::Kind::kConvergence || query.agreement != nullptr,
-      "QueryService::submit: kConvergence query without an agreement task");
+  if (const auto* solve = query.as<SolveRequest>()) {
+    WFC_REQUIRE(solve->task != nullptr,
+                "QueryService::submit: solve query without a task");
+  }
+  if (const auto* conv = query.as<ConvergenceRequest>()) {
+    WFC_REQUIRE(conv->agreement != nullptr,
+                "QueryService::submit: convergence query without an "
+                "agreement task");
+  }
 
   auto job = std::make_shared<Job>();
   job->query = std::move(query);
@@ -167,6 +249,11 @@ QueryTicket QueryService::submit(Query query) {
   job->submitted = std::chrono::steady_clock::now();
   if (job->query.options.timeout) {
     job->deadline = job->submitted + *job->query.options.timeout;
+  }
+  job->trace = observer_.begin_trace();
+  if (metrics_.submitted != nullptr) {
+    metrics_.submitted->inc();
+    metrics_.by_kind[static_cast<int>(job->query.kind())]->inc();
   }
   QueryTicket ticket{job->promise.get_future(), job->cancel};
   {
@@ -181,6 +268,7 @@ QueryTicket QueryService::submit(Query query) {
     result.solve = *std::move(memo);
     result.cache_hit = true;
     result.memoized = true;
+    job->trace.instant(obs::SpanKind::kMemoHit);
     finish(job, std::move(result));
     return ticket;
   }
@@ -297,6 +385,10 @@ void QueryService::run_job(const std::shared_ptr<Job>& job) {
       std::chrono::duration_cast<std::chrono::microseconds>(
           dequeued - job->submitted)
           .count());
+  job->trace.complete(obs::SpanKind::kQueueWait, job->submitted, dequeued);
+  if (metrics_.queue_wait_us != nullptr) {
+    metrics_.queue_wait_us->observe(queue_micros);
+  }
 
   // Deadline check AT DEQUEUE: a query that expired while waiting must not
   // occupy a worker with a search that can only answer kCancelled.
@@ -326,15 +418,23 @@ void QueryService::run_job(const std::shared_ptr<Job>& job) {
   acquire_inflight_slot();
   const std::uint64_t watch_handle = watchdog_.watch(
       job->cancel, std::shared_ptr<const std::atomic<std::uint64_t>>(
-                       job, &job->progress));
+                       job, &job->progress),
+      job->trace);
   // The chaos hook runs INSIDE the watched window, so an injected stall is
   // exactly what the watchdog's heartbeat rule is meant to catch (and an
   // injected cancellation is handled by execute's cooperative checks).
   if (options_.execute_hook) options_.execute_hook(*job->cancel);
   QueryResult result = execute(job->query, job->cancel, job->submitted,
-                               job->deadline, budget, &job->progress);
+                               job->deadline, budget, &job->progress,
+                               job->trace);
   const bool watchdog_killed = watchdog_.unwatch(watch_handle);
   release_inflight_slot();
+  if (metrics_.exec_us != nullptr) {
+    metrics_.exec_us->observe(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - dequeued)
+            .count()));
+  }
 
   if (watchdog_killed && result.status == Status::kCancelled) {
     result.status = Status::kDeadlineExceeded;
@@ -347,10 +447,9 @@ void QueryService::run_job(const std::shared_ptr<Job>& job) {
 
 std::optional<task::SolveResult> QueryService::memo_lookup(
     const Query& query) {
-  if (memo_capacity_ == 0 || query.kind != Query::Kind::kSolve) {
-    return std::nullopt;
-  }
-  const MemoKey key{query.task.get(), query.options.max_level,
+  const auto* solve = query.as<SolveRequest>();
+  if (memo_capacity_ == 0 || solve == nullptr) return std::nullopt;
+  const MemoKey key{solve->task.get(), query.options.max_level,
                     query.options.node_budget};
   std::lock_guard<std::mutex> lock(memo_mu_);
   auto it = memo_.find(key);
@@ -361,19 +460,20 @@ std::optional<task::SolveResult> QueryService::memo_lookup(
 
 void QueryService::memo_store(const Query& query,
                               const task::SolveResult& result) {
-  if (memo_capacity_ == 0 || query.kind != Query::Kind::kSolve) return;
+  const auto* solve = query.as<SolveRequest>();
+  if (memo_capacity_ == 0 || solve == nullptr) return;
   // Only definitive verdicts are safe to replay: kUnknown/kCancelled depend
   // on budgets and deadlines, not just the task.
   if (result.status != task::Solvability::kSolvable &&
       result.status != task::Solvability::kUnsolvable) {
     return;
   }
-  const MemoKey key{query.task.get(), query.options.max_level,
+  const MemoKey key{solve->task.get(), query.options.max_level,
                     query.options.node_budget};
   std::lock_guard<std::mutex> lock(memo_mu_);
   if (memo_.count(key) != 0) return;  // a concurrent twin won the race
   memo_lru_.push_front(key);
-  memo_[key] = MemoEntry{query.task, result, memo_lru_.begin()};
+  memo_[key] = MemoEntry{solve->task, result, memo_lru_.begin()};
   while (memo_.size() > memo_capacity_) {
     memo_.erase(memo_lru_.back());
     memo_lru_.pop_back();
@@ -382,11 +482,7 @@ void QueryService::memo_store(const Query& query,
 
 QueryTicket QueryService::submit_solve(std::shared_ptr<const task::Task> task,
                                        QueryOptions options) {
-  Query q;
-  q.kind = Query::Kind::kSolve;
-  q.task = std::move(task);
-  q.options = options;
-  return submit(q);
+  return submit(Query::solve(std::move(task), options));
 }
 
 void QueryService::cancel_all() {
@@ -400,54 +496,87 @@ QueryResult QueryService::execute(
     const Query& query, const std::shared_ptr<std::atomic<bool>>& cancel,
     std::chrono::steady_clock::time_point submitted,
     const std::optional<std::chrono::steady_clock::time_point>& deadline,
-    std::uint64_t effective_budget, std::atomic<std::uint64_t>* progress) {
+    std::uint64_t effective_budget, std::atomic<std::uint64_t>* progress,
+    const obs::TraceContext& trace) {
   QueryResult result;
   bool any_build = false;
   bool ran_to_verdict = false;
   try {
-    switch (query.kind) {
+    switch (query.kind()) {
       case Query::Kind::kSolve: {
+        const SolveRequest& req = std::get<SolveRequest>(query.request);
         task::SolveOptions opts;
         opts.node_budget = effective_budget;
         opts.cancel = cancel.get();
         opts.progress = progress;
         opts.deadline = deadline;
+        if (trace.enabled()) {
+          opts.checkpoint_every = observer_.config().search_checkpoint_nodes;
+          opts.on_checkpoint = [&trace](std::uint64_t nodes) {
+            trace.checkpoint(obs::SpanKind::kSearchNodes, nodes);
+          };
+        }
         opts.chain_provider =
-            [this, &any_build, progress](const topo::ChromaticComplex& input,
-                                         int depth) {
+            [this, &any_build, progress, &trace](
+                const topo::ChromaticComplex& input, int depth) {
+              const auto t0 = std::chrono::steady_clock::now();
               bool built = false;
-              auto chain = cache_.chain_for(input, depth, &built);
+              auto chain = cache_.chain_for(input, depth, &built, trace);
+              if (metrics_.chain_for_us != nullptr) {
+                metrics_.chain_for_us->observe(static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count()));
+              }
               any_build = any_build || built;
               bump(progress);  // subdivision checkpoint
               return chain;
             };
-        result.solve =
-            task::solve(*query.task, query.options.max_level, opts);
+        {
+          auto span = trace.span(obs::SpanKind::kSearch);
+          result.solve =
+              task::solve(*req.task, query.options.max_level, opts);
+          span.arg = result.solve.nodes_explored;
+        }
         ran_to_verdict = true;
         break;
       }
       case Query::Kind::kConvergence: {
+        const ConvergenceRequest& req =
+            std::get<ConvergenceRequest>(query.request);
         conv::ApproximationOptions opts;
         opts.max_level = query.options.max_level;
         bump(progress);
-        result.solve =
-            conv::solve_simplex_agreement_by_convergence(*query.agreement,
-                                                         opts);
+        {
+          auto span = trace.span(obs::SpanKind::kConvergence);
+          result.solve = conv::solve_simplex_agreement_by_convergence(
+              *req.agreement, opts);
+          span.arg = result.solve.nodes_explored;
+        }
         ran_to_verdict = true;
         break;
       }
       case Query::Kind::kEmulate: {
+        const EmulateRequest& req = std::get<EmulateRequest>(query.request);
         // Generous round bound: the emulation is nonblocking, and the
         // synchronous adversary finishes k-shot clients in O(k) memories.
-        const int max_rounds = 16 + 32 * query.emu_shots * query.emu_procs;
-        emu::FullInfoClient client(query.emu_shots);
+        const int max_rounds = 16 + 32 * req.shots * req.procs;
+        emu::FullInfoClient client(req.shots);
         rt::SynchronousAdversary adversary;
         bump(progress);
-        emu::EmulationResult emu = emu::run_emulation_simulated(
-            query.emu_procs, adversary, max_rounds, client.init(),
-            client.on_scan());
-        result.emu_rounds = emu.rounds_used;
-        result.emu_steps = std::move(emu.iis_steps);
+        {
+          auto span = trace.span(obs::SpanKind::kEmulation);
+          emu::EmulationResult emu = emu::run_emulation_simulated(
+              req.procs, adversary, max_rounds, client.init(),
+              client.on_scan());
+          result.emu_rounds = emu.rounds_used;
+          result.emu_steps = std::move(emu.iis_steps);
+          span.arg = static_cast<std::uint64_t>(emu.rounds_used);
+        }
+        if (metrics_.emu_rounds != nullptr && result.emu_rounds > 0) {
+          metrics_.emu_rounds->inc(
+              static_cast<std::uint64_t>(result.emu_rounds));
+        }
         result.solve.status = task::Solvability::kSolvable;
         ran_to_verdict = true;
         break;
@@ -459,7 +588,8 @@ QueryResult QueryService::execute(
         if (deadline && std::chrono::steady_clock::now() >= *deadline) {
           cancel->store(true, std::memory_order_relaxed);
         }
-        const CheckQuery& cq = query.check;
+        const CheckRequest& cq = std::get<CheckRequest>(query.request);
+        auto span = trace.span(obs::SpanKind::kCheck);
         switch (cq.target) {
           case CheckQuery::Target::kSds: {
             chk::ExploreOptions opts;
@@ -506,6 +636,7 @@ QueryResult QueryService::execute(
             break;
           }
         }
+        span.arg = result.check_schedules;
         result.solve.status = cancel->load(std::memory_order_relaxed)
                                   ? task::Solvability::kCancelled
                                   : task::Solvability::kSolvable;
@@ -543,7 +674,7 @@ QueryResult QueryService::execute(
       memo_store(query, result.solve);
     }
   }
-  result.cache_hit = query.kind == Query::Kind::kSolve && !any_build;
+  result.cache_hit = query.kind() == Query::Kind::kSolve && !any_build;
   result.micros = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - submitted)
@@ -552,6 +683,16 @@ QueryResult QueryService::execute(
 }
 
 void QueryService::record(const QueryResult& result) {
+  if (metrics_.by_status[0] != nullptr) {
+    metrics_.by_status[static_cast<int>(result.status)]->inc();
+    metrics_.e2e_us->observe(result.micros);
+    if (result.memoized) metrics_.memo_hits->inc();
+    if (result.degraded) metrics_.degraded->inc();
+    if (!result.memoized && !result.is_check &&
+        result.solve.nodes_explored > 0) {
+      metrics_.search_nodes->observe(result.solve.nodes_explored);
+    }
+  }
   std::lock_guard<std::mutex> lock(stats_mu_);
   ++stats_.queries;
   ++stats_.by_status[static_cast<int>(result.status)];
@@ -596,6 +737,7 @@ ServiceStats QueryService::stats() const {
   std::lock_guard<std::mutex> lock(stats_mu_);
   ServiceStats out = stats_;
   out.cache = cache_.stats();
+  out.queue_peak_depth = queue_.peak_depth();
   const Watchdog::Stats wd = watchdog_.stats();
   out.watchdog_kills = wd.kills;
   out.stuck_worker_reports = wd.stuck_reports;

@@ -42,6 +42,21 @@
 //   * a result memo replays definitive kSolve verdicts for the SAME task
 //     object (keyed by address, pinned by shared_ptr) at the same
 //     max_level/node budget -- resubmitting a task instance is O(1).
+//
+// Typed request API (PR 4): a Query is a std::variant of per-kind request
+// structs (SolveRequest / ConvergenceRequest / EmulateRequest /
+// CheckRequest) plus shared QueryOptions -- submit(Query) is the single
+// entry point for every family, with Query::solve(...) etc. as the
+// idiomatic constructors.  The old per-kind entry point submit_solve()
+// survives as a thin forwarding wrapper for one release.
+//
+// Observability (PR 4): when Options::obs.enabled is set, the service owns
+// an obs::Observer and every query carries an obs::TraceContext.  Spans
+// cover queue wait, chain builds, the Prop 3.1 search (with node-count
+// checkpoint samples riding the watchdog heartbeat seam), emulation runs,
+// and check sweeps; counters and fixed-bucket histograms mirror
+// ServiceStats exactly (submitted == sum of the per-status counters).
+// Disabled (the default), the layer costs one branch per site.
 #pragma once
 
 #include <atomic>
@@ -55,8 +70,11 @@
 #include <optional>
 #include <string>
 #include <tuple>
+#include <type_traits>
+#include <variant>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "service/admission.hpp"
 #include "service/sds_cache.hpp"
 #include "service/stats.hpp"
@@ -75,8 +93,24 @@ struct QueryOptions {
   std::optional<std::chrono::milliseconds> timeout;
 };
 
-/// Parameters of a kCheck query (dispatched to wfc::chk).
-struct CheckQuery {
+/// Decide wait-free solvability of `task` (Prop 3.1 search).
+struct SolveRequest {
+  std::shared_ptr<const task::Task> task;
+};
+
+/// Compile a §5 convergence map for a simplex-agreement instance.
+struct ConvergenceRequest {
+  std::shared_ptr<const task::SimplexAgreementTask> agreement;
+};
+
+/// Run the §4 Figure 2 emulation of the k-shot full-information protocol.
+struct EmulateRequest {
+  int procs = 2;
+  int shots = 1;
+};
+
+/// Model-check a component (dispatched to wfc::chk).
+struct CheckRequest {
   enum class Target {
     kSds,             // view vectors land in SDS^b (Lemmas 3.2/3.3)
     kEmulation,       // §4 emulation histories are legal atomic snapshots
@@ -91,20 +125,62 @@ struct CheckQuery {
   bool symmetry = false;  // kSds: symmetry-reduced exploration
 };
 
+/// Deprecated spelling from the PR-2/3 API; CheckRequest is the same type.
+using CheckQuery = CheckRequest;
+
+/// One request of any family.  The variant index IS the query kind (see
+/// Query::Kind below); adding a family means adding a struct here and a
+/// case in QueryService::execute.
+using Request = std::variant<SolveRequest, ConvergenceRequest, EmulateRequest,
+                             CheckRequest>;
+
 struct Query {
-  enum class Kind { kSolve, kConvergence, kEmulate, kCheck };
-  Kind kind = Kind::kSolve;
-  /// kSolve: the task to decide.
-  std::shared_ptr<const task::Task> task;
-  /// kConvergence: the simplex-agreement instance to compile.
-  std::shared_ptr<const task::SimplexAgreementTask> agreement;
-  /// kEmulate: emulated processors and full-information shots.
-  int emu_procs = 2;
-  int emu_shots = 1;
-  /// kCheck: what to model-check.
-  CheckQuery check;
+  /// Kind values deliberately equal the request's variant index.
+  enum class Kind { kSolve = 0, kConvergence = 1, kEmulate = 2, kCheck = 3 };
+
+  Request request;  // defaults to an (invalid, task-less) SolveRequest
   QueryOptions options;
+
+  Query() = default;
+  explicit Query(Request req, QueryOptions opts = {})
+      : request(std::move(req)), options(opts) {}
+
+  [[nodiscard]] Kind kind() const { return static_cast<Kind>(request.index()); }
+
+  /// Typed accessor: null unless the query holds a request of family R.
+  template <typename R>
+  [[nodiscard]] const R* as() const {
+    return std::get_if<R>(&request);
+  }
+
+  // Idiomatic constructors, one per family.
+  static Query solve(std::shared_ptr<const task::Task> task,
+                     QueryOptions opts = {}) {
+    return Query(SolveRequest{std::move(task)}, opts);
+  }
+  static Query convergence(std::shared_ptr<const task::SimplexAgreementTask>
+                               agreement,
+                           QueryOptions opts = {}) {
+    return Query(ConvergenceRequest{std::move(agreement)}, opts);
+  }
+  static Query emulate(int procs, int shots = 1, QueryOptions opts = {}) {
+    return Query(EmulateRequest{procs, shots}, opts);
+  }
+  static Query check(CheckRequest request, QueryOptions opts = {}) {
+    return Query(Request(std::in_place_type<CheckRequest>, request), opts);
+  }
 };
+
+// Kind <-> variant-index correspondence Query::kind() relies on.
+static_assert(std::is_same_v<std::variant_alternative_t<0, Request>,
+                             SolveRequest> &&
+              std::is_same_v<std::variant_alternative_t<1, Request>,
+                             ConvergenceRequest> &&
+              std::is_same_v<std::variant_alternative_t<2, Request>,
+                             EmulateRequest> &&
+              std::is_same_v<std::variant_alternative_t<3, Request>,
+                             CheckRequest>,
+              "Query::Kind must mirror the Request variant order");
 
 struct QueryResult {
   /// Terminal fate of the query; every other field is meaningful only for
@@ -188,6 +264,11 @@ class QueryService {
     /// Test seam (chaos harness): runs on the worker immediately before a
     /// query executes; may sleep (stalled worker) or flip `cancel`.
     std::function<void(std::atomic<bool>& cancel)> execute_hook;
+
+    // --- Observability -----------------------------------------------------
+    /// Tracing + metrics (obs/obs.hpp).  Disabled by default: the service
+    /// behaves exactly as before the obs layer existed.
+    obs::ObsConfig obs;
   };
 
   QueryService();  // default Options
@@ -201,11 +282,15 @@ class QueryService {
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
 
-  /// Never throws for load reasons: an inadmissible query yields a ticket
-  /// already completed with kOverloaded (or kCancelled during shutdown).
+  /// The single entry point for every query family; build the Query with
+  /// Query::solve / ::convergence / ::emulate / ::check.  Never throws for
+  /// load reasons: an inadmissible query yields a ticket already completed
+  /// with kOverloaded (or kCancelled during shutdown).
   QueryTicket submit(Query query);
 
-  /// Convenience: submit a kSolve query.
+  /// Deprecated: pre-PR-4 per-kind entry point.  Equivalent to
+  /// submit(Query::solve(task, options)); will be removed once out-of-tree
+  /// callers have migrated.
   QueryTicket submit_solve(std::shared_ptr<const task::Task> task,
                            QueryOptions options = {});
 
@@ -216,6 +301,12 @@ class QueryService {
   [[nodiscard]] int workers() const noexcept { return pool_.size(); }
   [[nodiscard]] std::size_t queue_depth() const { return queue_.depth(); }
   [[nodiscard]] SdsCache& cache() noexcept { return cache_; }
+  /// The tracing/metrics facade (obs/obs.hpp); inert unless Options::obs
+  /// enabled it.
+  [[nodiscard]] obs::Observer& observer() noexcept { return observer_; }
+  [[nodiscard]] const obs::Observer& observer() const noexcept {
+    return observer_;
+  }
 
  private:
   /// Everything a query carries from submission to its terminal status.
@@ -225,10 +316,28 @@ class QueryService {
     std::promise<QueryResult> promise;
     std::chrono::steady_clock::time_point submitted;
     std::optional<std::chrono::steady_clock::time_point> deadline;
+    /// Per-query trace handle (disabled context when obs is off).
+    obs::TraceContext trace;
     /// Watchdog heartbeat: bumped at search/subdivision checkpoints.
     std::atomic<std::uint64_t> progress{0};
     /// Exactly-once terminal-status latch.
     std::atomic<bool> finished{false};
+  };
+
+  /// Metric series the service resolves once at construction (all null when
+  /// obs is disabled, so every instrumentation site is a pointer check).
+  struct MetricSet {
+    obs::Counter* submitted = nullptr;
+    obs::Counter* by_kind[4] = {};          // indexed by Query::Kind
+    obs::Counter* by_status[kNumStatuses] = {};
+    obs::Counter* memo_hits = nullptr;
+    obs::Counter* degraded = nullptr;
+    obs::Counter* emu_rounds = nullptr;
+    obs::Histogram* queue_wait_us = nullptr;
+    obs::Histogram* exec_us = nullptr;      // execution (dequeue -> done)
+    obs::Histogram* e2e_us = nullptr;       // submission -> terminal status
+    obs::Histogram* chain_for_us = nullptr; // chain_for incl. build-lock wait
+    obs::Histogram* search_nodes = nullptr;
   };
 
   /// Result-memo key: the task instance plus every option that can change
@@ -263,7 +372,10 @@ class QueryService {
                       const std::optional<std::chrono::steady_clock::
                                               time_point>& deadline,
                       std::uint64_t effective_budget,
-                      std::atomic<std::uint64_t>* progress);
+                      std::atomic<std::uint64_t>* progress,
+                      const obs::TraceContext& trace);
+  /// Resolves MetricSet series and installs the gauge-refresh hook.
+  void init_observability();
   void record(const QueryResult& result);
   /// Effective node budget after load degradation; sets *degraded.
   std::uint64_t degraded_budget(std::uint64_t requested, bool* degraded);
@@ -277,6 +389,8 @@ class QueryService {
   void memo_store(const Query& query, const task::SolveResult& result);
 
   Options options_;
+  obs::Observer observer_;  // before pool_/watchdog_: recorded into at drain
+  MetricSet metrics_;
   SdsCache cache_;
   Watchdog watchdog_;
   AdmissionQueue queue_;

@@ -1,6 +1,7 @@
 #include "service/sds_cache.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/assert.hpp"
 #include "topology/hash.hpp"
@@ -27,6 +28,12 @@ std::shared_ptr<const proto::SdsChain> SdsCache::chain_for(
 
 std::shared_ptr<const proto::SdsChain> SdsCache::chain_for(
     const topo::ChromaticComplex& input, int depth, bool* built) {
+  return chain_for(input, depth, built, obs::TraceContext());
+}
+
+std::shared_ptr<const proto::SdsChain> SdsCache::chain_for(
+    const topo::ChromaticComplex& input, int depth, bool* built,
+    const obs::TraceContext& trace) {
   WFC_REQUIRE(depth >= 0, "SdsCache::chain_for: negative depth");
   const std::uint64_t key = topo::complex_fingerprint(input);
 
@@ -56,6 +63,8 @@ std::shared_ptr<const proto::SdsChain> SdsCache::chain_for(
   std::shared_ptr<const proto::SdsChain> chain;
   try {
     std::lock_guard<std::mutex> build_lock(entry->build_mu);
+    const auto build_start = trace.enabled() ? std::chrono::steady_clock::now()
+                                             : std::chrono::steady_clock::time_point();
     was_empty = entry->chain == nullptr;
     if (was_empty) {
       if (options_.build_fault_hook) options_.build_fault_hook();
@@ -67,6 +76,16 @@ std::shared_ptr<const proto::SdsChain> SdsCache::chain_for(
       did_build = true;
     }
     chain = entry->chain;
+    if (trace.enabled()) {
+      // Span covers exactly the subdivision work (the build lock section);
+      // lock-wait and index bookkeeping are charged to the caller's view.
+      if (did_build) {
+        trace.complete(obs::SpanKind::kChainBuild, build_start,
+                       std::chrono::steady_clock::now(), chain_weight(*chain));
+      } else {
+        trace.instant(obs::SpanKind::kCacheHit, chain_weight(*chain));
+      }
+    }
   } catch (...) {
     // Injected or genuine allocation failure: unpin and leave the entry at
     // its prior depth (possibly still empty); the cache stays consistent.

@@ -36,6 +36,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "obs/trace.hpp"
 #include "protocol/sds_chain.hpp"
 #include "service/stats.hpp"
 #include "topology/complex.hpp"
@@ -69,6 +70,15 @@ class SdsCache {
   /// (false = pure cache hit).
   std::shared_ptr<const proto::SdsChain> chain_for(
       const topo::ChromaticComplex& input, int depth, bool* built);
+
+  /// Traced variant: records a chain_build span covering exactly the
+  /// subdivision work under the entry's build lock (arg = resulting chain
+  /// weight in vertices), or a cache_hit instant when the tower was already
+  /// deep enough.  A disabled context makes this identical to the overload
+  /// above.
+  std::shared_ptr<const proto::SdsChain> chain_for(
+      const topo::ChromaticComplex& input, int depth, bool* built,
+      const obs::TraceContext& trace);
 
   /// Evicts cold (LRU-tail, unpinned) entries until at least `frac` of the
   /// current resident vertex weight is released or only pinned/hot entries

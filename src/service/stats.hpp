@@ -60,6 +60,7 @@ struct ServiceStats {
   // Admission control and resilience.
   std::uint64_t queue_total_micros = 0;  // summed time spent queued
   std::uint64_t queue_max_micros = 0;    // worst queue wait
+  std::uint64_t queue_peak_depth = 0;    // high-water mark of the backlog
   std::uint64_t degraded = 0;        // queries run with a scaled-down budget
   std::uint64_t watchdog_kills = 0;  // hard-timeout force-cancellations
   std::uint64_t stuck_worker_reports = 0;  // no-progress detections

@@ -20,11 +20,13 @@ Watchdog::~Watchdog() {
 
 std::uint64_t Watchdog::watch(
     std::shared_ptr<std::atomic<bool>> cancel,
-    std::shared_ptr<const std::atomic<std::uint64_t>> progress) {
+    std::shared_ptr<const std::atomic<std::uint64_t>> progress,
+    obs::TraceContext trace) {
   if (!enabled()) return 0;
   Watched w;
   w.cancel = std::move(cancel);
   w.progress = std::move(progress);
+  w.trace = trace;
   w.started = std::chrono::steady_clock::now();
   if (w.progress != nullptr) {
     w.last_progress = w.progress->load(std::memory_order_relaxed);
@@ -63,6 +65,7 @@ void Watchdog::scan_loop() {
         w.cancel->store(true, std::memory_order_relaxed);
         w.killed = true;
         ++stats_.kills;
+        w.trace.instant(obs::SpanKind::kWatchdogKill);
       }
       if (options_.stall_scans > 0 && w.progress != nullptr && !w.killed) {
         const std::uint64_t p = w.progress->load(std::memory_order_relaxed);
@@ -70,6 +73,8 @@ void Watchdog::scan_loop() {
           if (++w.stale_scans >= options_.stall_scans && !w.reported) {
             w.reported = true;
             ++stats_.stuck_reports;
+            w.trace.instant(obs::SpanKind::kWatchdogStall,
+                            static_cast<std::uint64_t>(w.stale_scans));
           }
         } else {
           w.last_progress = p;

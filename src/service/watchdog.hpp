@@ -33,6 +33,8 @@
 #include <thread>
 #include <unordered_map>
 
+#include "obs/trace.hpp"
+
 namespace wfc::svc {
 
 class Watchdog {
@@ -67,10 +69,13 @@ class Watchdog {
 
   /// Registers an in-flight query.  `progress` may be null (heartbeat rule
   /// skipped for this query).  Both pointers are shared so a watched query
-  /// outliving its service teardown stays safe to scan.
+  /// outliving its service teardown stays safe to scan.  `trace` (optional)
+  /// receives watchdog_kill / watchdog_stall instants when the scanner
+  /// intervenes; the context's sink must outlive unwatch().
   std::uint64_t watch(std::shared_ptr<std::atomic<bool>> cancel,
                       std::shared_ptr<const std::atomic<std::uint64_t>>
-                          progress);
+                          progress,
+                      obs::TraceContext trace = {});
 
   /// Deregisters; returns true iff the watchdog force-cancelled the query.
   bool unwatch(std::uint64_t handle);
@@ -81,6 +86,7 @@ class Watchdog {
   struct Watched {
     std::shared_ptr<std::atomic<bool>> cancel;
     std::shared_ptr<const std::atomic<std::uint64_t>> progress;
+    obs::TraceContext trace;
     std::chrono::steady_clock::time_point started;
     std::uint64_t last_progress = 0;
     int stale_scans = 0;

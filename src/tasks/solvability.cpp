@@ -234,6 +234,10 @@ class Search {
       options_->progress->fetch_add(1, std::memory_order_relaxed);
     }
     if (++nodes_ > budget_) return Solvability::kUnknown;
+    if (options_->checkpoint_every != 0 &&
+        nodes_ % options_->checkpoint_every == 0 && options_->on_checkpoint) {
+      options_->on_checkpoint(nodes_);
+    }
     if (options_->cancel &&
         options_->cancel->load(std::memory_order_relaxed)) {
       return Solvability::kCancelled;

@@ -76,6 +76,13 @@ struct SolveOptions {
   /// external watchdog can tell a long search from a stuck worker.  Must
   /// outlive the call.
   std::atomic<std::uint64_t>* progress = nullptr;
+  /// Observability checkpoints riding the heartbeat seam: when
+  /// checkpoint_every > 0, on_checkpoint(nodes) is invoked every
+  /// checkpoint_every explored nodes of a level's search (nodes counts from
+  /// zero per level).  The callback runs on the search thread and must be
+  /// cheap; the service records the samples as trace counter events.
+  std::uint64_t checkpoint_every = 0;
+  std::function<void(std::uint64_t nodes)> on_checkpoint;
   /// When set, solve/solve_at_level obtain SDS chains here instead of
   /// building privately (the provider may return an already-deeper chain).
   ChainProvider chain_provider;

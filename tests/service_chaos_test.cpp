@@ -420,6 +420,8 @@ TEST(ChaosSoak, StormPreservesEveryInvariant) {
   options.hard_timeout = std::chrono::milliseconds(400);
   options.watchdog_scan_period = std::chrono::milliseconds(5);
   options.watchdog_stall_scans = 3;
+  options.obs.enabled = true;  // metrics + tracing ride along under chaos
+  options.obs.trace_capacity = 1 << 12;
   chaos.arm(options);
 
   const auto storm_end = std::chrono::steady_clock::now() +
@@ -463,11 +465,11 @@ TEST(ChaosSoak, StormPreservesEveryInvariant) {
                   std::chrono::microseconds(200))));
           break;
         case 4: {
-          Query query;
-          query.kind = Query::Kind::kCheck;
-          query.check.target = CheckQuery::Target::kSds;
-          query.check.procs = rng.between(2, 3);
-          query.check.rounds = 1;
+          CheckRequest check;
+          check.target = CheckRequest::Target::kSds;
+          check.procs = rng.between(2, 3);
+          check.rounds = 1;
+          Query query = Query::check(check);
           if (rng.below(8) == 0) {
             query.options.timeout = std::chrono::milliseconds(
                 rng.between(0, 5));
@@ -492,6 +494,17 @@ TEST(ChaosSoak, StormPreservesEveryInvariant) {
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
       }
     }
+
+    // Mid-storm the obs layer must agree with the service on admissions
+    // (submit() bumps the counter synchronously) and the trace ring must be
+    // absorbing spans despite the injected faults.
+    EXPECT_EQ(service.observer()
+                  .metrics()
+                  .counter("wfc_queries_submitted_total")
+                  .value(),
+              submitted);
+    ASSERT_NE(service.observer().trace(), nullptr);
+    EXPECT_GT(service.observer().trace()->recorded(), 0u);
 
     // Exit the scope with queries still queued and running: destruction
     // mid-storm must cancel, drain, and join without deadlocking.
@@ -529,6 +542,7 @@ TEST(ChaosSoak, StatsReconcileAfterAStormThatRunsToCompletion) {
   options.workers = 2;
   options.max_queue_depth = 4;
   options.admission_policy = AdmissionQueue::Policy::kDropOldest;
+  options.obs.enabled = true;
   chaos.arm(options);
   QueryService service(options);
 
@@ -547,6 +561,23 @@ TEST(ChaosSoak, StatsReconcileAfterAStormThatRunsToCompletion) {
   const ServiceStats stats = service.stats();
   EXPECT_EQ(stats.submitted, 200u);
   EXPECT_TRUE(stats.reconciles()) << stats.to_string();
+
+  // The obs registry reconciles with ServiceStats after the same storm:
+  // the submitted counter matches and the per-status terminal counters sum
+  // back to it, despite cancellations, drop-oldest evictions, and injected
+  // build faults.
+  obs::MetricsRegistry& reg = service.observer().metrics();
+  EXPECT_EQ(reg.counter("wfc_queries_submitted_total").value(),
+            stats.submitted);
+  std::uint64_t obs_terminal = 0;
+  for (int s = 0; s < kNumStatuses; ++s) {
+    obs_terminal +=
+        reg.counter("wfc_queries_terminal_total",
+                    std::string(R"(status=")") +
+                        to_json_token(static_cast<Status>(s)) + R"(")")
+            .value();
+  }
+  EXPECT_EQ(obs_terminal, stats.submitted);
   // The service survived injected faults and still answers correctly.
   auto probe = service.submit_solve(
       std::make_shared<task::ConsensusTask>(2, 2));

@@ -477,12 +477,11 @@ TEST(CheckQueries, SdsTargetReportsScheduleCounts) {
   QueryService::Options options;
   options.workers = 1;
   QueryService service(options);
-  Query query;
-  query.kind = Query::Kind::kCheck;
-  query.check.target = CheckQuery::Target::kSds;
-  query.check.procs = 3;
-  query.check.rounds = 1;
-  const QueryResult r = service.submit(std::move(query)).result.get();
+  CheckRequest check;
+  check.target = CheckRequest::Target::kSds;
+  check.procs = 3;
+  check.rounds = 1;
+  const QueryResult r = service.submit(Query::check(check)).result.get();
   ASSERT_TRUE(r.error.empty()) << r.error;
   EXPECT_TRUE(r.is_check);
   EXPECT_TRUE(r.check_ok) << r.check_violation;
@@ -495,14 +494,13 @@ TEST(CheckQueries, SdsTargetReportsScheduleCounts) {
 
 TEST(CheckQueries, EmulationTargetSurvivesCrashInjection) {
   QueryService service;
-  Query query;
-  query.kind = Query::Kind::kCheck;
-  query.check.target = CheckQuery::Target::kEmulation;
-  query.check.procs = 2;
-  query.check.rounds = 2;
-  query.check.crashes = 1;
-  query.check.shots = 1;
-  const QueryResult r = service.submit(std::move(query)).result.get();
+  CheckRequest check;
+  check.target = CheckRequest::Target::kEmulation;
+  check.procs = 2;
+  check.rounds = 2;
+  check.crashes = 1;
+  check.shots = 1;
+  const QueryResult r = service.submit(Query::check(check)).result.get();
   ASSERT_TRUE(r.error.empty()) << r.error;
   EXPECT_TRUE(r.check_ok) << r.check_violation;
   EXPECT_GT(r.check_histories, 0u);
@@ -511,12 +509,11 @@ TEST(CheckQueries, EmulationTargetSurvivesCrashInjection) {
 
 TEST(CheckQueries, LinearizabilityTargetExploresInterleavings) {
   QueryService service;
-  Query query;
-  query.kind = Query::Kind::kCheck;
-  query.check.target = CheckQuery::Target::kLinearizability;
-  query.check.procs = 2;
-  query.check.rounds = 1;
-  const QueryResult r = service.submit(std::move(query)).result.get();
+  CheckRequest check;
+  check.target = CheckRequest::Target::kLinearizability;
+  check.procs = 2;
+  check.rounds = 1;
+  const QueryResult r = service.submit(Query::check(check)).result.get();
   ASSERT_TRUE(r.error.empty()) << r.error;
   EXPECT_TRUE(r.check_ok) << r.check_violation;
   EXPECT_GT(r.check_schedules, 1u);
@@ -526,11 +523,10 @@ TEST(CheckQueries, LinearizabilityTargetExploresInterleavings) {
 
 TEST(CheckQueries, BadParametersSurfaceAsErrors) {
   QueryService service;
-  Query query;
-  query.kind = Query::Kind::kCheck;
-  query.check.target = CheckQuery::Target::kLinearizability;
-  query.check.procs = 7;  // out of the supported range
-  const QueryResult r = service.submit(std::move(query)).result.get();
+  CheckRequest check;
+  check.target = CheckRequest::Target::kLinearizability;
+  check.procs = 7;  // out of the supported range
+  const QueryResult r = service.submit(Query::check(check)).result.get();
   EXPECT_FALSE(r.error.empty());
   EXPECT_EQ(r.status, Status::kInvalidArgument);
   EXPECT_EQ(service.stats().errors(), 1u);
@@ -565,14 +561,13 @@ TEST(RandomizedStress, MixedWorkloadIsDeterministicUnderSeed) {
                     2, rng.between(2, 4))));
         break;
       default: {
-        Query query;
-        query.kind = Query::Kind::kCheck;
-        query.check.target = CheckQuery::Target::kSds;
-        query.check.procs = rng.between(2, 3);
-        query.check.rounds = 1;
-        query.check.crashes = rng.between(0, 1);
+        CheckRequest check;
+        check.target = CheckRequest::Target::kSds;
+        check.procs = rng.between(2, 3);
+        check.rounds = 1;
+        check.crashes = rng.between(0, 1);
         tickets.emplace_back(Solvability::kSolvable,
-                             service.submit(std::move(query)));
+                             service.submit(Query::check(check)));
         break;
       }
     }
