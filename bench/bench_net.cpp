@@ -1,0 +1,117 @@
+// E22 -- the wfc::net serving layer quantitatively.  A real epoll server
+// on loopback, driven by the load generator at 1/4/16 connections
+// (closed loop, memo-warm corpus), reporting wire goodput (qps) and
+// latency percentiles per connection count -- CI stores this as
+// BENCH_net.json.  The acceptance bar for PR 5 compares the 16-connection
+// qps against bench_service's in-process warm-memo row: the TCP layer must
+// keep >= 80% of it.  BM_InProcessBaseline reproduces that row here so one
+// run carries both numbers.
+//
+// Every loadgen run asserts exactly-once delivery; a lost or duplicated
+// response fails the benchmark run outright.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/client.hpp"
+#include "net/loadgen.hpp"
+#include "net/server.hpp"
+#include "service/query_service.hpp"
+#include "tasks/canonical.hpp"
+
+namespace {
+
+using namespace wfc;
+
+constexpr int kWorkers = 4;
+constexpr int kMaxLevel = 2;
+
+const char* kSolveLine =
+    R"({"op":"solve","task":"consensus","procs":2,"values":2,"max_level":2})";
+
+svc::QueryService::Options service_options() {
+  svc::QueryService::Options options;
+  options.workers = kWorkers;
+  options.obs.enabled = true;
+  return options;
+}
+
+/// The in-process warm-memo reference (bench_service's sweet spot): the
+/// same query re-submitted against one service, no wire.
+void BM_InProcessBaseline(benchmark::State& state) {
+  svc::QueryService service(service_options());
+  auto task = std::make_shared<task::ConsensusTask>(2, 2);
+  svc::QueryOptions qopts;
+  qopts.max_level = kMaxLevel;
+  service.submit(svc::Query::solve(task, qopts)).result.get();  // warm
+
+  constexpr int kBatch = 64;
+  for (auto _ : state) {
+    std::vector<svc::QueryTicket> tickets;
+    tickets.reserve(kBatch);
+    for (int i = 0; i < kBatch; ++i) {
+      tickets.push_back(service.submit(svc::Query::solve(task, qopts)));
+    }
+    for (svc::QueryTicket& ticket : tickets) {
+      svc::QueryResult r = ticket.result.get();
+      benchmark::DoNotOptimize(r);
+    }
+  }
+  state.counters["qps"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kBatch,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InProcessBaseline)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+/// Closed-loop TCP throughput at state.range(0) connections.
+void BM_NetClosedLoop(benchmark::State& state) {
+  const int connections = static_cast<int>(state.range(0));
+  svc::QueryService service(service_options());
+  net::ServerConfig config;  // ephemeral loopback port
+  config.handler.default_max_level = kMaxLevel;
+  net::Server server(service, config);
+  server.start();
+  const net::Endpoint endpoint{"127.0.0.1", server.port()};
+  {
+    // Warm the result memo so the sweep measures serving, not solving.
+    net::Client warm(net::ClientConfig{endpoint});
+    warm.roundtrip(kSolveLine);
+  }
+
+  const std::vector<std::string> corpus = {kSolveLine};
+  net::LoadgenConfig loadgen;
+  loadgen.server = endpoint;
+  loadgen.connections = connections;
+  loadgen.iterations = 200;
+  loadgen.max_inflight = 16;
+
+  std::uint64_t requests = 0;
+  net::LoadgenReport last;
+  for (auto _ : state) {
+    last = net::run_loadgen(corpus, loadgen);
+    if (!last.exactly_once()) {
+      state.SkipWithError("delivery was not exactly-once");
+      break;
+    }
+    requests += last.received;
+  }
+  server.stop();
+
+  state.counters["qps"] = benchmark::Counter(static_cast<double>(requests),
+                                             benchmark::Counter::kIsRate);
+  state.counters["p50_us"] = static_cast<double>(last.p50_us);
+  state.counters["p99_us"] = static_cast<double>(last.p99_us);
+  state.counters["connections"] = static_cast<double>(connections);
+}
+BENCHMARK(BM_NetClosedLoop)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -63,7 +63,7 @@ void run_service_batch(benchmark::State& state, svc::QueryService& service,
     std::vector<svc::QueryTicket> tickets;
     tickets.reserve(batch.size());
     for (const auto& t : batch) {
-      tickets.push_back(service.submit_solve(t, qopts));
+      tickets.push_back(service.submit(svc::Query::solve(t, qopts)));
     }
     for (svc::QueryTicket& ticket : tickets) {
       svc::QueryResult r = ticket.result.get();
@@ -85,7 +85,7 @@ void BM_WarmChainCacheOnly(benchmark::State& state) {
   // Warm the chain cache outside the timed region.
   svc::QueryOptions qopts;
   qopts.max_level = kMaxLevel;
-  service.submit_solve(fresh_task(), qopts).result.get();
+  service.submit(svc::Query::solve(fresh_task(), qopts)).result.get();
 
   run_service_batch(state, service, batch);
   const svc::ServiceStats stats = service.stats();
@@ -112,7 +112,7 @@ void BM_WarmResultMemo(benchmark::State& state) {
   std::vector<std::shared_ptr<task::Task>> batch(kBatch, t);
   svc::QueryOptions qopts;
   qopts.max_level = kMaxLevel;
-  service.submit_solve(t, qopts).result.get();  // warm memo + cache
+  service.submit(svc::Query::solve(t, qopts)).result.get();  // warm memo + cache
 
   run_service_batch(state, service, batch);
   state.counters["result_hits"] =
@@ -141,7 +141,7 @@ void BM_ObsOverhead(benchmark::State& state) {
   for (int i = 0; i < kBatch; ++i) batch.push_back(fresh_task());
   svc::QueryOptions qopts;
   qopts.max_level = kMaxLevel;
-  service.submit_solve(fresh_task(), qopts).result.get();  // warm the cache
+  service.submit(svc::Query::solve(fresh_task(), qopts)).result.get();  // warm the cache
 
   run_service_batch(state, service, batch);
   if (service.observer().enabled()) {
@@ -171,7 +171,7 @@ void BM_WarmServiceMixedBatch(benchmark::State& state) {
   for (int i = 0; i < kBatch; ++i) batch.push_back(families[i % 4]);
   svc::QueryOptions qopts;
   qopts.max_level = kMaxLevel;
-  for (const auto& t : families) service.submit_solve(t, qopts).result.get();
+  for (const auto& t : families) service.submit(svc::Query::solve(t, qopts)).result.get();
 
   run_service_batch(state, service, batch);
 }

@@ -59,13 +59,13 @@ double calibrate_capacity_qps() {
   svc::QueryService service(options);
   svc::QueryOptions qopts;
   qopts.max_level = 2;
-  service.submit_solve(fresh_task(), qopts).result.get();  // warm the cache
+  service.submit(svc::Query::solve(fresh_task(), qopts)).result.get();  // warm the cache
   constexpr int kProbes = 64;
   const auto start = std::chrono::steady_clock::now();
   std::vector<svc::QueryTicket> tickets;
   tickets.reserve(kProbes);
   for (int i = 0; i < kProbes; ++i) {
-    tickets.push_back(service.submit_solve(fresh_task(), qopts));
+    tickets.push_back(service.submit(svc::Query::solve(fresh_task(), qopts)));
   }
   for (svc::QueryTicket& t : tickets) t.result.get();
   const double secs = std::chrono::duration<double>(
@@ -88,7 +88,7 @@ void BM_ServiceOverload(benchmark::State& state) {
   {  // warm the storm service's chain cache outside the measured window
     svc::QueryOptions warm;
     warm.max_level = 2;
-    service.submit_solve(fresh_task(), warm).result.get();
+    service.submit(svc::Query::solve(fresh_task(), warm)).result.get();
   }
   // Offered inter-arrival gap for `multiple` times the measured capacity.
   const auto gap = std::chrono::nanoseconds(static_cast<std::int64_t>(
@@ -107,7 +107,7 @@ void BM_ServiceOverload(benchmark::State& state) {
     const auto start = std::chrono::steady_clock::now();
     auto next_arrival = start;
     while (std::chrono::steady_clock::now() - start < kStormWindow) {
-      tickets.push_back(service.submit_solve(fresh_task(), qopts));
+      tickets.push_back(service.submit(svc::Query::solve(fresh_task(), qopts)));
       ++offered;
       next_arrival += gap;
       std::this_thread::sleep_until(next_arrival);

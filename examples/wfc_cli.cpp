@@ -13,10 +13,17 @@
 //   wfc_cli metrics [workers]
 //   wfc_cli trace <out.json> [workers]
 //
-// Global option: --retries N (before the subcommand) retries queries whose
-// terminal status is retryable (overloaded / resource_exhausted) up to N
-// times, sleeping the service's retry_after_ms hint scaled by exponential
-// backoff with jitter between attempts.
+// Global options (before the subcommand):
+//   --retries N        retry queries whose terminal status is retryable
+//                      (overloaded / resource_exhausted) up to N times,
+//                      sleeping the service's retry_after_ms hint scaled by
+//                      exponential backoff with jitter between attempts.
+//   --connect H:P      run the query against a remote wfc_serve --listen
+//                      server instead of an in-process service.  The task,
+//                      check, and metrics subcommands translate to one
+//                      JSONL request; `pipe` forwards stdin lines verbatim
+//                      and prints responses as they arrive (out of order --
+//                      match on the "id" echo).
 //
 // Prints the characterization verdict, and for solvable tasks also runs the
 // synthesized protocol once on real threads as a liveness check.  The
@@ -41,7 +48,9 @@
 #include "check/sds_check.hpp"
 #include "common/rng.hpp"
 #include "core/wfc.hpp"
+#include "net/client.hpp"
 #include "service/frontend.hpp"
+#include "service/jsonl.hpp"
 #include "service/query_service.hpp"
 #include "service/status.hpp"
 
@@ -51,7 +60,8 @@ using namespace wfc;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: wfc_cli [--retries N] <task> <args...> [max_level]\n"
+               "usage: wfc_cli [--retries N] [--connect H:P] <task> "
+               "<args...> [max_level]\n"
                "  consensus <procs> <values>\n"
                "  set-consensus <procs> <k>\n"
                "  renaming <procs> <names>\n"
@@ -63,8 +73,73 @@ int usage() {
                "  metrics [workers]             (serve; Prometheus text to "
                "stdout at EOF)\n"
                "  trace <out.json> [workers]    (serve; Chrome trace to file "
-               "at EOF)\n");
+               "at EOF)\n"
+               "With --connect: task subcommands, check, and metrics send "
+               "one JSONL\nrequest to a wfc_serve --listen server; `pipe` "
+               "forwards stdin lines.\n");
   return 2;
+}
+
+/// `wfc_cli --connect`: translate the subcommand into one JSONL request
+/// line, round-trip it over TCP, and print the raw result envelope.  The
+/// exit code follows the transport "status" field: 0 for ok, 1 otherwise.
+int connect_command(const std::string& endpoint, int argc, char** argv) {
+  net::Client client(net::ClientConfig{net::parse_endpoint(endpoint)});
+  const std::string name = argc > 1 ? argv[1] : "";
+
+  if (name == "pipe") {
+    // Forward stdin verbatim; print responses as they arrive.  Half-close
+    // after the last line so the server answers everything, then EOFs.
+    std::string line;
+    while (std::getline(std::cin, line)) client.send_line(line);
+    client.shutdown_write();
+    while (std::optional<std::string> response = client.recv_line()) {
+      std::printf("%s\n", response->c_str());
+    }
+    return 0;
+  }
+
+  std::string request;
+  if (name == "metrics") {
+    request = R"({"id":"cli","op":"metrics"})";
+  } else if (name == "check" && argc >= 5) {
+    request = std::string(R"({"id":"cli","op":"check","target":")") +
+              argv[2] + R"(","procs":)" + std::to_string(std::atoi(argv[3])) +
+              R"(,"rounds":)" + std::to_string(std::atoi(argv[4]));
+    if (argc > 5) {
+      request += R"(,"crashes":)" + std::to_string(std::atoi(argv[5]));
+    }
+    request += "}";
+  } else if (argc >= 4) {
+    // Task families: the per-family parameter key matches the corpus shape
+    // (see examples/queries.jsonl and service/handler.hpp).
+    std::string param;
+    if (name == "consensus") param = "values";
+    if (name == "set-consensus") param = "k";
+    if (name == "renaming") param = "names";
+    if (name == "approx") param = "grid";
+    if (name == "simplex-agreement") param = "depth";
+    if (param.empty()) return usage();
+    request = std::string(R"({"id":"cli","op":"solve","task":")") + name +
+              R"(","procs":)" + std::to_string(std::atoi(argv[2])) + ",\"" +
+              param + "\":" + std::to_string(std::atoi(argv[3]));
+    if (argc > 4) {
+      request += R"(,"max_level":)" + std::to_string(std::atoi(argv[4]));
+    }
+    request += "}";
+  } else {
+    return usage();
+  }
+
+  const std::string response = client.roundtrip(request);
+  std::printf("%s\n", response.c_str());
+  try {
+    const auto fields = svc::parse_flat_json(response);
+    const auto it = fields.find("status");
+    return it != fields.end() && it->second == "ok" ? 0 : 1;
+  } catch (const std::exception&) {
+    return 1;
+  }
 }
 
 /// Submits `query` up to 1 + retries times, backing off between attempts on
@@ -181,11 +256,27 @@ int resilient_command(const std::string& name, int procs, const char* arg,
 
 int main(int argc, char** argv) {
   int retries = 0;
-  if (argc >= 3 && std::string(argv[1]) == "--retries") {
-    retries = std::atoi(argv[2]);
-    if (retries < 0) return usage();
+  std::string connect;
+  while (argc >= 3) {
+    if (std::string(argv[1]) == "--retries") {
+      retries = std::atoi(argv[2]);
+      if (retries < 0) return usage();
+    } else if (std::string(argv[1]) == "--connect") {
+      connect = argv[2];
+      if (connect.empty()) return usage();
+    } else {
+      break;
+    }
     argv += 2;
     argc -= 2;
+  }
+  if (!connect.empty()) {
+    try {
+      return connect_command(connect, argc, argv);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "wfc_cli: %s\n", e.what());
+      return 1;
+    }
   }
   if (argc >= 2 && std::string(argv[1]) == "serve") {
     wfc::svc::ServeConfig config;

@@ -1,0 +1,136 @@
+// wfc_loadgen -- drive a wfc_serve --listen server with a request corpus
+// and verify exactly-once delivery (see net/loadgen.hpp).
+//
+// Usage:
+//   wfc_loadgen --connect host:port [--corpus FILE] [--connections N]
+//               [--iterations N] [--duration-ms N] [--inflight N]
+//               [--rate QPS] [--check-metrics] [--out FILE]
+//
+// Closed loop by default: each connection keeps up to --inflight requests
+// outstanding over --iterations passes of the corpus.  --rate switches to
+// an open loop paced at QPS across all connections.  --corpus defaults to
+// stdin (examples/queries.jsonl shape: flat JSON lines, '#' and blanks
+// skipped; any "id" fields are replaced with the generator's own).
+//
+// Prints one JSON report line (qps, p50/p90/p99/max latency, exactly-once
+// accounting) to stdout and, with --out, also writes it to FILE
+// (BENCH_net.json in CI).  Exit status: 0 only if every request was
+// answered exactly once -- and, with --check-metrics, the server's
+// {"op":"metrics"} counters reconcile after the run.
+//
+// Example:
+//   wfc_serve --listen 127.0.0.1:7411 &
+//   wfc_loadgen --connect 127.0.0.1:7411 --connections 16 --iterations 20
+//               --corpus examples/queries.jsonl --check-metrics
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "net/loadgen.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: wfc_loadgen --connect host:port [--corpus FILE]\n"
+      "                   [--connections N] [--iterations N]\n"
+      "                   [--duration-ms N] [--inflight N] [--rate QPS]\n"
+      "                   [--check-metrics] [--out FILE]\n"
+      "Reads the corpus from FILE (default stdin), drives the server, and\n"
+      "prints a JSON report line.  Exit 0 only on exactly-once delivery.\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string connect;
+  std::string corpus_path;
+  std::string out_path;
+  wfc::net::LoadgenConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* value = nullptr;
+    if (arg == "--connect" && (value = next())) {
+      connect = value;
+    } else if (arg == "--corpus" && (value = next())) {
+      corpus_path = value;
+    } else if (arg == "--out" && (value = next())) {
+      out_path = value;
+    } else if (arg == "--connections" && (value = next())) {
+      config.connections = std::atoi(value);
+    } else if (arg == "--iterations" && (value = next())) {
+      config.iterations = std::atoi(value);
+    } else if (arg == "--duration-ms" && (value = next())) {
+      config.duration = std::chrono::milliseconds(std::atol(value));
+    } else if (arg == "--inflight" && (value = next())) {
+      config.max_inflight = static_cast<std::size_t>(std::atol(value));
+    } else if (arg == "--rate" && (value = next())) {
+      config.rate = std::atof(value);
+    } else if (arg == "--check-metrics") {
+      config.check_metrics = true;
+    } else {
+      return usage();
+    }
+  }
+  if (connect.empty() || config.connections <= 0 ||
+      config.max_inflight == 0) {
+    return usage();
+  }
+
+  try {
+    config.server = wfc::net::parse_endpoint(connect);
+    std::vector<std::string> corpus;
+    if (corpus_path.empty()) {
+      corpus = wfc::net::load_corpus(std::cin);
+    } else {
+      std::ifstream file(corpus_path);
+      if (!file) {
+        std::fprintf(stderr, "wfc_loadgen: cannot open corpus \"%s\"\n",
+                     corpus_path.c_str());
+        return 1;
+      }
+      corpus = wfc::net::load_corpus(file);
+    }
+
+    const wfc::net::LoadgenReport report =
+        wfc::net::run_loadgen(corpus, config);
+    const std::string json = report.to_json();
+    std::printf("%s\n", json.c_str());
+    if (!out_path.empty()) {
+      std::ofstream out(out_path);
+      if (!out) {
+        std::fprintf(stderr, "wfc_loadgen: cannot write \"%s\"\n",
+                     out_path.c_str());
+        return 1;
+      }
+      out << json << "\n";
+    }
+    if (!report.exactly_once()) {
+      std::fprintf(stderr,
+                   "wfc_loadgen: delivery NOT exactly-once (lost=%llu "
+                   "duplicates=%llu unmatched=%llu)\n",
+                   static_cast<unsigned long long>(report.lost),
+                   static_cast<unsigned long long>(report.duplicates),
+                   static_cast<unsigned long long>(report.unmatched));
+      return 1;
+    }
+    if (report.metrics_reconcile && !*report.metrics_reconcile) {
+      std::fprintf(stderr,
+                   "wfc_loadgen: server metrics did not reconcile\n");
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "wfc_loadgen: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,25 +1,44 @@
 // wfc_serve -- JSON-lines query server over the wfc::svc subsystem.
 //
-// Reads one query object per stdin line, executes them concurrently on a
-// worker pool with a shared SDS-chain cache, and prints one JSON result
-// line per query (in input order) to stdout.  See service/frontend.hpp for
-// the line protocol.
+// Two transports share one protocol (service/handler.hpp):
+//
+//   * stdin/stdout (default): reads one query object per stdin line,
+//     executes them concurrently on a worker pool with a shared SDS-chain
+//     cache, and prints one JSON result line per query (in input order).
+//   * TCP (--listen host:port): serves the same newline-framed protocol
+//     over plaintext TCP via the wfc::net epoll server.  Responses echo the
+//     client-supplied "id" and may complete out of order; pipeline freely.
+//     SIGTERM / SIGINT drain gracefully: stop accepting, answer and flush
+//     everything inflight, then exit.
 //
 // Usage: wfc_serve [--workers N] [--max-level B] [--cache-entries N]
-//                  [--cache-vertices N] [--quiet] [--v2] [--no-obs]
+//                  [--cache-vertices N] [--quiet] [--legacy] [--no-obs]
+//                  [--listen host:port] [--port-file PATH] [--io-threads N]
+//                  [--idle-timeout-ms N] [--max-line-bytes N]
 //
-// --v2 emits the v2 result envelope ("status" = transport taxonomy, domain
-// verdict in "verdict"); the default stays on the legacy envelope for one
-// release.  --no-obs leaves the observability layer off (the metrics and
-// trace ops then answer invalid_argument).
+// The v2 result envelope ("status" = transport taxonomy, domain verdict in
+// "verdict") is the default since PR 5; --legacy restores the old envelope
+// (verdict in "status") for one release and --v2 is accepted as a no-op.
+// --no-obs leaves the observability layer off (the metrics and trace ops
+// then answer invalid_argument).
 //
-// Example (two input lines: a consensus query, then a stats request):
+// --listen ":0" binds an ephemeral port; --port-file writes the bound port
+// as a decimal line once the server is accepting (CI's free-port flow).
+//
+// Example (stdin transport, two lines: a consensus query, then stats):
 //   printf ... | wfc_serve --workers 4
+// Example (TCP):
+//   wfc_serve --listen 127.0.0.1:7411 &
+//   wfc_loadgen --connect 127.0.0.1:7411 --corpus examples/queries.jsonl
+#include <signal.h>
+
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
+#include "net/server.hpp"
 #include "service/frontend.hpp"
 
 namespace {
@@ -28,24 +47,107 @@ int usage() {
   std::fprintf(stderr,
                "usage: wfc_serve [--workers N] [--max-level B]\n"
                "                 [--cache-entries N] [--cache-vertices N]\n"
-               "                 [--quiet] [--v2] [--no-obs]\n"
-               "Reads JSON-lines queries from stdin; see "
-               "service/frontend.hpp for the protocol.\n"
-               "  --v2      emit the v2 result envelope (verdict field)\n"
-               "  --no-obs  disable tracing/metrics collection\n");
+               "                 [--quiet] [--legacy] [--no-obs]\n"
+               "                 [--listen host:port] [--port-file PATH]\n"
+               "                 [--io-threads N] [--idle-timeout-ms N]\n"
+               "                 [--max-line-bytes N]\n"
+               "Speaks the JSON-lines protocol of service/handler.hpp on\n"
+               "stdin/stdout, or over TCP with --listen.\n"
+               "  --listen ADDR  serve plaintext TCP (\":0\" = ephemeral)\n"
+               "  --port-file P  write the bound port to P once listening\n"
+               "  --legacy       emit the legacy envelope (verdict in "
+               "\"status\")\n"
+               "  --no-obs       disable tracing/metrics collection\n");
   return 2;
+}
+
+/// TCP mode: serve until SIGTERM/SIGINT, then drain gracefully.  Signals
+/// are blocked in every thread (the mask is inherited by the service and io
+/// threads spawned below) and collected here with sigwait, so the drain
+/// runs on the main thread with no async-signal-safety constraints.
+int serve_tcp(const wfc::svc::ServeConfig& config,
+              const std::string& listen_spec, const std::string& port_file,
+              int io_threads, int idle_timeout_ms) {
+  sigset_t mask;
+  sigemptyset(&mask);
+  sigaddset(&mask, SIGTERM);
+  sigaddset(&mask, SIGINT);
+  if (pthread_sigmask(SIG_BLOCK, &mask, nullptr) != 0) {
+    std::fprintf(stderr, "wfc_serve: pthread_sigmask failed\n");
+    return 1;
+  }
+
+  wfc::svc::QueryService::Options service_options = config.service;
+  if (config.observability) service_options.obs.enabled = true;
+  wfc::svc::QueryService service(std::move(service_options));
+
+  wfc::net::ServerConfig server_config;
+  server_config.listen = wfc::net::parse_endpoint(listen_spec);
+  if (io_threads > 0) server_config.io_threads = io_threads;
+  if (idle_timeout_ms > 0) {
+    server_config.idle_timeout = std::chrono::milliseconds(idle_timeout_ms);
+  }
+  server_config.handler.default_max_level = config.default_max_level;
+  server_config.handler.legacy_envelope = config.legacy_envelope;
+  server_config.handler.max_line_bytes = config.max_line_bytes;
+  server_config.handler.warn = [](const std::string& note) {
+    std::fprintf(stderr, "wfc_serve: %s\n", note.c_str());
+  };
+
+  wfc::net::Server server(service, server_config);
+  server.start();
+  std::fprintf(stderr, "wfc_serve: listening on %s port %u\n",
+               server_config.listen.host.c_str(), server.port());
+  if (!port_file.empty()) {
+    std::ofstream out(port_file);
+    if (!out) {
+      std::fprintf(stderr, "wfc_serve: cannot write port file \"%s\"\n",
+                   port_file.c_str());
+      return 1;
+    }
+    out << server.port() << "\n";
+  }
+
+  int sig = 0;
+  while (sigwait(&mask, &sig) != 0) {
+  }
+  std::fprintf(stderr, "wfc_serve: %s, draining\n", strsignal(sig));
+  server.drain();
+  const wfc::net::Server::Stats wire = server.stats();
+  if (config.stats_at_eof) {
+    std::fprintf(stderr,
+                 "wfc_serve: wire accepted=%llu closed=%llu dropped=%llu "
+                 "requests=%llu responses=%llu\n",
+                 static_cast<unsigned long long>(wire.accepted),
+                 static_cast<unsigned long long>(wire.closed),
+                 static_cast<unsigned long long>(wire.dropped),
+                 static_cast<unsigned long long>(wire.requests),
+                 static_cast<unsigned long long>(wire.responses));
+    std::fprintf(stderr, "wfc_serve: %s\n",
+                 service.stats().to_string().c_str());
+  }
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   wfc::svc::ServeConfig config;
+  std::string listen_spec;
+  std::string port_file;
+  int io_threads = 0;
+  int idle_timeout_ms = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next_int = [&](int& out) {
       if (i + 1 >= argc) return false;
       out = std::atoi(argv[++i]);
       return out > 0;
+    };
+    auto next_str = [&](std::string& out) {
+      if (i + 1 >= argc) return false;
+      out = argv[++i];
+      return !out.empty();
     };
     int value = 0;
     if (arg == "--workers" && next_int(value)) {
@@ -57,14 +159,33 @@ int main(int argc, char** argv) {
     } else if (arg == "--cache-vertices" && next_int(value)) {
       config.service.cache.max_resident_vertices =
           static_cast<std::size_t>(value);
+    } else if (arg == "--max-line-bytes" && next_int(value)) {
+      config.max_line_bytes = static_cast<std::size_t>(value);
     } else if (arg == "--quiet") {
       config.stats_at_eof = false;
+    } else if (arg == "--legacy") {
+      config.legacy_envelope = true;
     } else if (arg == "--v2") {
+      // The v2 envelope became the default in PR 5; kept as a no-op so
+      // existing pipelines keep working.
       config.legacy_envelope = false;
     } else if (arg == "--no-obs") {
       config.observability = false;
+    } else if (arg == "--listen" && next_str(listen_spec)) {
+    } else if (arg == "--port-file" && next_str(port_file)) {
+    } else if (arg == "--io-threads" && next_int(io_threads)) {
+    } else if (arg == "--idle-timeout-ms" && next_int(idle_timeout_ms)) {
     } else {
       return usage();
+    }
+  }
+  if (!listen_spec.empty()) {
+    try {
+      return serve_tcp(config, listen_spec, port_file, io_threads,
+                       idle_timeout_ms);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "wfc_serve: %s\n", e.what());
+      return 1;
     }
   }
   const int errors =

@@ -1,0 +1,109 @@
+#include "net/client.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <stdexcept>
+#include <system_error>
+
+namespace wfc::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+}  // namespace
+
+Client::Client(ClientConfig config) : config_(std::move(config)) {
+  sock_ = connect_tcp(config_.server);
+}
+
+void Client::send_line(std::string_view line) {
+  std::string framed;
+  framed.reserve(line.size() + 1);
+  framed.append(line);
+  framed.push_back('\n');
+  send_raw(framed);
+}
+
+void Client::send_raw(std::string_view bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(sock_.get(), bytes.data() + sent,
+                             bytes.size() - sent, MSG_NOSIGNAL);
+    if (n >= 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    throw_errno("send");
+  }
+}
+
+void Client::shutdown_write() {
+  if (sock_.valid()) (void)::shutdown(sock_.get(), SHUT_WR);
+}
+
+std::optional<std::string> Client::recv_line() {
+  while (true) {
+    const std::size_t nl = rbuf_.find('\n', rpos_);
+    if (nl != std::string::npos) {
+      if (config_.max_line_bytes != 0 && nl - rpos_ > config_.max_line_bytes) {
+        throw std::runtime_error("response line exceeds " +
+                                 std::to_string(config_.max_line_bytes) +
+                                 " bytes");
+      }
+      std::string line = rbuf_.substr(rpos_, nl - rpos_);
+      rpos_ = nl + 1;
+      // Compact once the consumed prefix dominates.
+      if (rpos_ > 4096 && rpos_ * 2 > rbuf_.size()) {
+        rbuf_.erase(0, rpos_);
+        rpos_ = 0;
+      }
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    if (eof_) {
+      // A final unterminated line would be a framing bug on the server
+      // side; surface it rather than silently dropping bytes.
+      if (rpos_ < rbuf_.size()) {
+        std::string line = rbuf_.substr(rpos_);
+        rpos_ = rbuf_.size();
+        return line;
+      }
+      return std::nullopt;
+    }
+    if (config_.max_line_bytes != 0 &&
+        rbuf_.size() - rpos_ > config_.max_line_bytes) {
+      throw std::runtime_error("response line exceeds " +
+                               std::to_string(config_.max_line_bytes) +
+                               " bytes");
+    }
+    char buf[65536];
+    const ssize_t n = ::recv(sock_.get(), buf, sizeof(buf), 0);
+    if (n > 0) {
+      rbuf_.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      eof_ = true;
+      continue;
+    }
+    if (errno == EINTR) continue;
+    throw_errno("recv");
+  }
+}
+
+std::string Client::roundtrip(std::string_view line) {
+  send_line(line);
+  std::optional<std::string> response = recv_line();
+  if (!response) {
+    throw std::runtime_error("server closed the connection mid-request");
+  }
+  return *std::move(response);
+}
+
+}  // namespace wfc::net

@@ -1,0 +1,77 @@
+// wfc::net::Client -- a small blocking client for the JSONL v2 TCP
+// protocol (net/server.hpp).
+//
+// The client is deliberately simple: one blocking socket, newline framing
+// handled internally, no background threads.  Pipelining is the caller's
+// job -- send as many lines as you like, then read responses as they
+// arrive; the server may answer out of order, so match on the "id" echo.
+// One Client is NOT thread-safe; use one per thread (the load generator
+// does exactly that).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/socket.hpp"
+
+namespace wfc::net {
+
+struct ClientConfig {
+  Endpoint server;
+  /// recv_line() rejects response lines longer than this (protects the
+  /// client from a runaway peer).  0 disables.
+  std::size_t max_line_bytes = 8u << 20;
+};
+
+class Client {
+ public:
+  /// Connects immediately; throws std::system_error on failure.
+  explicit Client(ClientConfig config);
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+  /// Sends one request line (the trailing newline is added here; `line`
+  /// must not contain one).  Throws std::system_error if the peer is gone.
+  void send_line(std::string_view line);
+
+  /// Sends pre-framed bytes as-is (the caller supplies the newlines).  One
+  /// syscall for a whole pipelined batch; the load generator's closed loop
+  /// uses this to refill its window.
+  void send_raw(std::string_view bytes);
+
+  /// Half-closes the write side: the server sees EOF, answers everything
+  /// already sent, then closes.  The read side stays open.
+  void shutdown_write();
+
+  /// Blocks for the next response line (without its newline).  Returns
+  /// nullopt at server EOF.  Throws std::system_error on socket errors and
+  /// std::runtime_error past max_line_bytes.
+  std::optional<std::string> recv_line();
+
+  /// Convenience for strictly serial request/response exchanges: sends
+  /// `line`, returns the next response line.  Throws std::runtime_error if
+  /// the server closed instead of answering.  Only meaningful with nothing
+  /// else inflight.
+  std::string roundtrip(std::string_view line);
+
+  [[nodiscard]] bool connected() const { return sock_.valid(); }
+  /// The raw socket, for callers that poll readability between sends (the
+  /// load generator's open-loop pacing).
+  [[nodiscard]] int fd() const { return sock_.get(); }
+  /// True once recv_line() has returned every buffered line and seen EOF.
+  [[nodiscard]] bool buffered_empty() const { return rpos_ >= rbuf_.size(); }
+
+ private:
+  Fd sock_;
+  ClientConfig config_;
+  std::string rbuf_;
+  std::size_t rpos_ = 0;
+  bool eof_ = false;
+};
+
+}  // namespace wfc::net

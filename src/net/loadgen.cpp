@@ -1,0 +1,346 @@
+#include "net/loadgen.hpp"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <istream>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "net/client.hpp"
+#include "service/jsonl.hpp"
+
+namespace wfc::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+bool is_error_status(const std::string& status) {
+  return status == "cancelled" || status == "deadline_exceeded" ||
+         status == "overloaded" || status == "resource_exhausted" ||
+         status == "invalid_argument" || status == "internal";
+}
+
+/// Per-connection tallies, merged after the join.
+struct ThreadOutcome {
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t lost = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t unmatched = 0;
+  std::vector<std::uint64_t> latencies_us;
+  std::string failure;  // nonempty: the thread died on this exception
+};
+
+}  // namespace
+
+std::string strip_id_field(const std::string& line) {
+  std::size_t pos = 0;
+  while ((pos = line.find("\"id\"", pos)) != std::string::npos) {
+    // A top-level key is preceded (modulo whitespace) by '{' or ','.
+    std::size_t before = pos;
+    while (before > 0 && std::isspace(static_cast<unsigned char>(
+                             line[before - 1]))) {
+      --before;
+    }
+    const bool key_position =
+        before > 0 && (line[before - 1] == '{' || line[before - 1] == ',');
+    std::size_t after = pos + 4;
+    while (after < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[after]))) {
+      ++after;
+    }
+    if (!key_position || after >= line.size() || line[after] != ':') {
+      pos += 4;  // matched inside a value; keep looking
+      continue;
+    }
+    ++after;  // past ':'
+    while (after < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[after]))) {
+      ++after;
+    }
+    if (after < line.size() && line[after] == '"') {
+      ++after;
+      while (after < line.size() && line[after] != '"') {
+        after += line[after] == '\\' ? 2 : 1;
+      }
+      if (after < line.size()) ++after;  // past the closing quote
+    } else {
+      while (after < line.size() && line[after] != ',' &&
+             line[after] != '}') {
+        ++after;
+      }
+    }
+    // Absorb exactly one separating comma (trailing preferred).
+    std::size_t cut_from = pos;
+    while (after < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[after]))) {
+      ++after;
+    }
+    if (after < line.size() && line[after] == ',') {
+      ++after;
+    } else if (line[before - 1] == ',') {
+      cut_from = before - 1;
+    }
+    return line.substr(0, cut_from) + line.substr(after);
+  }
+  return line;
+}
+
+std::vector<std::string> load_corpus(std::istream& in) {
+  std::vector<std::string> corpus;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const std::size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    try {
+      (void)svc::parse_flat_json(line);
+    } catch (const std::exception& e) {
+      throw std::invalid_argument("corpus line " + std::to_string(line_no) +
+                                  ": " + e.what());
+    }
+    corpus.push_back(strip_id_field(line));
+  }
+  return corpus;
+}
+
+namespace {
+
+/// Stamps the generator's unique id into an id-stripped corpus line.
+std::string with_id(const std::string& stripped, const std::string& id) {
+  // stripped is a validated flat object, so it starts with '{'.
+  std::size_t body = 1;
+  while (body < stripped.size() &&
+         std::isspace(static_cast<unsigned char>(stripped[body]))) {
+    ++body;
+  }
+  const bool empty_object = body < stripped.size() && stripped[body] == '}';
+  std::string out;
+  out.reserve(stripped.size() + id.size() + 10);
+  out += "{\"id\":\"";
+  out += id;
+  out += '"';
+  if (!empty_object) out += ',';
+  out.append(stripped.data() + 1, stripped.size() - 1);
+  return out;
+}
+
+void drive_connection(const LoadgenConfig& config,
+                      const std::vector<std::string>& corpus, int thread_idx,
+                      Clock::time_point start, ThreadOutcome* out) {
+  try {
+    Client client(ClientConfig{config.server});
+    const std::uint64_t total =
+        config.duration.count() > 0
+            ? 0  // duration-bounded instead
+            : static_cast<std::uint64_t>(std::max(1, config.iterations)) *
+                  corpus.size();
+    const Clock::time_point deadline =
+        config.duration.count() > 0 ? start + config.duration
+                                    : Clock::time_point::max();
+    // Open loop: this connection's share of the target rate.
+    const double per_conn_rate =
+        config.rate > 0 ? config.rate / std::max(1, config.connections) : 0;
+    std::unordered_map<std::string, Clock::time_point> outstanding;
+    std::unordered_set<std::string> answered;
+    std::string id_prefix = "t";  // built up to dodge a GCC 12 -Wrestrict
+    id_prefix += std::to_string(thread_idx);  // false positive on operator+
+    id_prefix += '-';
+    std::uint64_t seq = 0;
+    std::size_t next_line = 0;
+
+    auto handle_response = [&](const std::string& line) {
+      ++out->received;
+      std::string id;
+      std::string status;
+      try {
+        const auto fields = svc::parse_flat_json(line);
+        if (auto it = fields.find("id"); it != fields.end()) id = it->second;
+        if (auto it = fields.find("status"); it != fields.end()) {
+          status = it->second;
+        }
+      } catch (const std::exception&) {
+        // Unparseable response: counted as unmatched below (empty id).
+      }
+      if (is_error_status(status)) ++out->errors;
+      auto it = outstanding.find(id);
+      if (it != outstanding.end()) {
+        out->latencies_us.push_back(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                Clock::now() - it->second)
+                .count()));
+        answered.insert(id);
+        outstanding.erase(it);
+      } else if (!id.empty() && answered.count(id) != 0) {
+        ++out->duplicates;
+      } else {
+        ++out->unmatched;
+      }
+    };
+
+    while (true) {
+      const Clock::time_point now = Clock::now();
+      const bool more_to_send = config.duration.count() > 0
+                                    ? now < deadline
+                                    : seq < total;
+      if (!more_to_send && outstanding.empty()) break;
+      bool can_send = more_to_send &&
+                      outstanding.size() < config.max_inflight;
+      Clock::time_point slot = now;
+      if (can_send && per_conn_rate > 0) {
+        slot = start + std::chrono::microseconds(static_cast<std::int64_t>(
+                           static_cast<double>(seq) * 1e6 / per_conn_rate));
+        if (slot > now) {
+          // Not this connection's turn yet: drain responses while waiting.
+          pollfd pfd{client.fd(), POLLIN, 0};
+          const int wait_ms = static_cast<int>(std::max<std::int64_t>(
+              1, std::chrono::duration_cast<std::chrono::milliseconds>(
+                     slot - now)
+                     .count()));
+          const int ready = ::poll(&pfd, 1, wait_ms);
+          if (ready <= 0 && Clock::now() < slot) continue;
+          can_send = Clock::now() >= slot;
+          if (!can_send) {
+            std::optional<std::string> line = client.recv_line();
+            if (!line) break;  // premature server EOF
+            handle_response(*line);
+            continue;
+          }
+        }
+      }
+      if (can_send) {
+        // Closed loop: refill the whole window in ONE send -- per-request
+        // syscalls would dominate the wire cost.  Open loop sends one, so
+        // the pacing stays per-request.
+        std::string batch;
+        do {
+          const std::string id = id_prefix + std::to_string(seq);
+          batch += with_id(corpus[next_line], id);
+          batch += '\n';
+          next_line = (next_line + 1) % corpus.size();
+          outstanding.emplace(id, Clock::now());
+          ++seq;
+          ++out->sent;
+        } while (per_conn_rate <= 0 &&
+                 outstanding.size() < config.max_inflight &&
+                 (config.duration.count() > 0 ? Clock::now() < deadline
+                                              : seq < total));
+        client.send_raw(batch);
+        continue;
+      }
+      std::optional<std::string> line = client.recv_line();
+      if (!line) break;  // premature server EOF: leftovers count as lost
+      handle_response(*line);
+    }
+    out->lost += outstanding.size();
+  } catch (const std::exception& e) {
+    out->failure = e.what();
+  }
+}
+
+std::uint64_t percentile(const std::vector<std::uint64_t>& sorted,
+                         double p) {
+  if (sorted.empty()) return 0;
+  const std::size_t idx = std::min(
+      sorted.size() - 1,
+      static_cast<std::size_t>(p * static_cast<double>(sorted.size())));
+  return sorted[idx];
+}
+
+}  // namespace
+
+LoadgenReport run_loadgen(const std::vector<std::string>& corpus,
+                          const LoadgenConfig& config) {
+  if (corpus.empty()) {
+    throw std::invalid_argument("loadgen: empty corpus");
+  }
+  const int connections = std::max(1, config.connections);
+  std::vector<ThreadOutcome> outcomes(
+      static_cast<std::size_t>(connections));
+  std::vector<std::thread> threads;
+  const Clock::time_point start = Clock::now();
+  for (int i = 0; i < connections; ++i) {
+    threads.emplace_back(drive_connection, std::cref(config),
+                         std::cref(corpus), i, start,
+                         &outcomes[static_cast<std::size_t>(i)]);
+  }
+  for (std::thread& t : threads) t.join();
+  const double seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          Clock::now() - start)
+          .count();
+
+  LoadgenReport report;
+  std::vector<std::uint64_t> latencies;
+  std::string failure;
+  for (ThreadOutcome& o : outcomes) {
+    report.sent += o.sent;
+    report.received += o.received;
+    report.errors += o.errors;
+    report.lost += o.lost;
+    report.duplicates += o.duplicates;
+    report.unmatched += o.unmatched;
+    latencies.insert(latencies.end(), o.latencies_us.begin(),
+                     o.latencies_us.end());
+    if (failure.empty() && !o.failure.empty()) failure = o.failure;
+  }
+  if (!failure.empty()) {
+    throw std::runtime_error("loadgen connection failed: " + failure);
+  }
+  std::sort(latencies.begin(), latencies.end());
+  report.seconds = seconds;
+  report.qps = seconds > 0 ? static_cast<double>(report.received) / seconds
+                           : 0.0;
+  report.p50_us = percentile(latencies, 0.50);
+  report.p90_us = percentile(latencies, 0.90);
+  report.p99_us = percentile(latencies, 0.99);
+  report.max_us = latencies.empty() ? 0 : latencies.back();
+
+  if (config.check_metrics) {
+    Client probe(ClientConfig{config.server});
+    const std::string line =
+        probe.roundtrip(R"({"id":"loadgen-metrics","op":"metrics"})");
+    bool reconciles = false;
+    try {
+      const auto fields = svc::parse_flat_json(line);
+      auto it = fields.find("reconciles");
+      reconciles = it != fields.end() && it->second == "true";
+    } catch (const std::exception&) {
+    }
+    report.metrics_reconcile = reconciles;
+  }
+  return report;
+}
+
+std::string LoadgenReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"sent\":" << sent << ",\"received\":" << received
+     << ",\"errors\":" << errors << ",\"lost\":" << lost
+     << ",\"duplicates\":" << duplicates << ",\"unmatched\":" << unmatched
+     << ",\"exactly_once\":" << (exactly_once() ? "true" : "false");
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds);
+  os << ",\"seconds\":" << buf;
+  std::snprintf(buf, sizeof(buf), "%.1f", qps);
+  os << ",\"qps\":" << buf;
+  os << ",\"p50_us\":" << p50_us << ",\"p90_us\":" << p90_us
+     << ",\"p99_us\":" << p99_us << ",\"max_us\":" << max_us;
+  if (metrics_reconcile) {
+    os << ",\"metrics_reconcile\":" << (*metrics_reconcile ? "true" : "false");
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace wfc::net

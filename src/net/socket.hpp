@@ -1,0 +1,68 @@
+// POSIX socket primitives for wfc::net -- a RAII fd, "host:port" parsing,
+// and the listen/connect helpers shared by the server, the client library,
+// and the load generator.  Linux-only (epoll lives in server.cpp; this file
+// is plain Berkeley sockets + fcntl).
+//
+// Everything reports failure with std::system_error carrying errno, so
+// callers see "bind: address already in use" instead of a bare -1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace wfc::net {
+
+/// Owning file descriptor: closes on destruction, move-only.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(Fd&& other) noexcept : fd_(other.release()) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int release() { return std::exchange(fd_, -1); }
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// An IPv4 "host:port" endpoint.  Port 0 asks the kernel for an ephemeral
+/// port (the bound port is readable back via listen_tcp's out-param).
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+/// Parses "host:port" ("127.0.0.1:7777", ":0" for any port on localhost).
+/// Throws std::invalid_argument on malformed input.
+Endpoint parse_endpoint(const std::string& spec);
+
+/// Creates a nonblocking listening socket bound to `ep` (SO_REUSEADDR,
+/// numeric IPv4 host only).  On return *bound_port is the actual port
+/// (resolves port 0).  Throws std::system_error.
+Fd listen_tcp(const Endpoint& ep, std::uint16_t* bound_port, int backlog = 128);
+
+/// Blocking connect to `ep` with TCP_NODELAY.  Throws std::system_error.
+Fd connect_tcp(const Endpoint& ep);
+
+/// fcntl(O_NONBLOCK) toggle.  Throws std::system_error.
+void set_nonblocking(int fd, bool nonblocking);
+
+/// setsockopt(TCP_NODELAY) -- response lines are latency-sensitive and tiny.
+void set_nodelay(int fd);
+
+}  // namespace wfc::net

@@ -30,6 +30,8 @@ const char* to_cstring(SpanKind kind) {
     case SpanKind::kSearchNodes: return "search_nodes";
     case SpanKind::kWatchdogKill: return "watchdog_kill";
     case SpanKind::kWatchdogStall: return "watchdog_stall";
+    case SpanKind::kNetRead: return "net_read";
+    case SpanKind::kNetWrite: return "net_write";
   }
   return "?";
 }

@@ -46,10 +46,12 @@ enum class SpanKind : std::uint8_t {
   kSearchNodes,      // node-count checkpoint (counter sample, arg = nodes)
   kWatchdogKill,     // hard-timeout force-cancellation (instant)
   kWatchdogStall,    // heartbeat-stall report (instant)
+  kNetRead,          // wfc::net: one readable-socket drain (arg = bytes)
+  kNetWrite,         // wfc::net: one writable-socket flush (arg = bytes)
 };
 
 [[nodiscard]] const char* to_cstring(SpanKind kind);
-inline constexpr int kNumSpanKinds = 11;
+inline constexpr int kNumSpanKinds = 13;
 
 struct Span {
   std::uint64_t trace_id = 0;  // query id; 0 = untraced

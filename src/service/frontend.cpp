@@ -3,182 +3,11 @@
 #include <deque>
 #include <fstream>
 #include <istream>
-#include <numeric>
 #include <ostream>
-#include <stdexcept>
 
-#include "service/jsonl.hpp"
-#include "topology/subdivision.hpp"
+#include "service/handler.hpp"
 
 namespace wfc::svc {
-
-namespace {
-
-using Fields = std::map<std::string, std::string>;
-
-int int_field(const Fields& fields, const std::string& key,
-              std::optional<int> fallback = std::nullopt) {
-  auto it = fields.find(key);
-  if (it == fields.end()) {
-    if (fallback) return *fallback;
-    throw std::invalid_argument("missing field \"" + key + "\"");
-  }
-  try {
-    std::size_t pos = 0;
-    const int value = std::stoi(it->second, &pos);
-    if (pos != it->second.size()) throw std::invalid_argument(it->second);
-    return value;
-  } catch (const std::exception&) {
-    throw std::invalid_argument("field \"" + key + "\" is not an integer: " +
-                                it->second);
-  }
-}
-
-std::string string_field(const Fields& fields, const std::string& key,
-                         const std::string& fallback = "") {
-  auto it = fields.find(key);
-  return it == fields.end() ? fallback : it->second;
-}
-
-QueryOptions parse_query_options(const Fields& fields, int default_max_level) {
-  QueryOptions options;
-  options.max_level = int_field(fields, "max_level", default_max_level);
-  if (auto it = fields.find("budget"); it != fields.end()) {
-    try {
-      options.node_budget = std::stoull(it->second);
-    } catch (const std::exception&) {
-      throw std::invalid_argument("field \"budget\" is not an integer: " +
-                                  it->second);
-    }
-  }
-  if (fields.count("timeout_ms") != 0) {
-    options.timeout = std::chrono::milliseconds(
-        int_field(fields, "timeout_ms"));
-  }
-  return options;
-}
-
-/// One submitted query with everything needed to print its result line.
-struct Pending {
-  std::string id;
-  std::string label;  // task name or op
-  QueryTicket ticket;
-  bool is_emulate = false;
-  bool is_check = false;
-};
-
-void print_result(std::ostream& out, const Pending& pending,
-                  QueryResult result, bool legacy) {
-  JsonWriter w;
-  if (!pending.id.empty()) w.field("id", pending.id);
-  w.field("task", pending.label);
-  if (result.status != Status::kOk) {
-    // Non-kOk terminal statuses use the lowercase taxonomy tokens
-    // (status.hpp) in BOTH envelopes; retryable ones carry the service's
-    // backoff hint.
-    w.field("status", to_json_token(result.status));
-    if (result.retry_after_ms > 0) {
-      w.field("retry_after_ms",
-              static_cast<std::uint64_t>(result.retry_after_ms));
-    }
-    if (!result.error.empty()) w.field("error", result.error);
-  } else {
-    // v2 envelope: "status" stays in the transport taxonomy ("ok") and the
-    // domain outcome moves to "verdict".  Legacy envelope (default for one
-    // release): the verdict IS the status, as PR 2/3 emitted.
-    const char* verdict_key = legacy ? "status" : "verdict";
-    if (!legacy) w.field("status", to_json_token(Status::kOk));
-    if (pending.is_check) {
-      w.field(verdict_key, result.check_ok ? "OK" : "VIOLATION");
-      w.field("schedules", result.check_schedules)
-          .field("histories", result.check_histories)
-          .field("max_depth", result.check_max_depth);
-      if (!result.check_violation.empty()) {
-        w.field("violation", result.check_violation);
-      }
-    } else if (pending.is_emulate) {
-      w.field(verdict_key, "OK")
-          .field("rounds", result.emu_rounds)
-          .field("iis_steps",
-                 std::accumulate(result.emu_steps.begin(),
-                                 result.emu_steps.end(), std::int64_t{0}));
-    } else {
-      w.field(verdict_key, task::to_cstring(result.solve.status));
-      if (result.solve.status == task::Solvability::kSolvable) {
-        w.field("level", result.solve.level);
-      }
-      w.field("nodes", result.solve.nodes_explored)
-          .field("cache_hit", result.cache_hit);
-    }
-  }
-  if (result.degraded) w.field("degraded", true);
-  w.field("micros", result.micros);
-  out << w.str() << "\n";
-}
-
-/// The {"op":"metrics"} response: one flat-JSON line whose counters come
-/// straight from the obs registry, alongside the ServiceStats intake count
-/// -- the reconciliation the chaos soak asserts (submitted == terminal ==
-/// sum of the per-status counters) is visible in the line itself.
-void print_metrics(std::ostream& out, const std::string& id,
-                   QueryService& service) {
-  obs::MetricsRegistry& reg = service.observer().metrics();
-  const ServiceStats st = service.stats();
-  const std::uint64_t submitted =
-      reg.counter("wfc_queries_submitted_total").value();
-  JsonWriter w;
-  if (!id.empty()) w.field("id", id);
-  w.field("op", "metrics").field("status", to_json_token(Status::kOk));
-  w.field("submitted", submitted);
-  std::uint64_t terminal = 0;
-  for (int s = 0; s < kNumStatuses; ++s) {
-    const std::uint64_t c =
-        reg.counter("wfc_queries_terminal_total",
-                    std::string(R"(status=")") +
-                        to_json_token(static_cast<Status>(s)) + R"(")")
-            .value();
-    terminal += c;
-    w.field(to_json_token(static_cast<Status>(s)), c);
-  }
-  w.field("terminal", terminal);
-  w.field("memo_hits", reg.counter("wfc_result_memo_hits_total").value());
-  w.field("stats_submitted", st.submitted);
-  w.field("reconciles", submitted == terminal && submitted == st.submitted);
-  out << w.str() << "\n";
-}
-
-}  // namespace
-
-std::shared_ptr<task::Task> make_canonical_task(const Fields& fields) {
-  const std::string kind = string_field(fields, "task");
-  if (kind.empty()) throw std::invalid_argument("missing field \"task\"");
-  const int procs = int_field(fields, "procs");
-  if (kind == "consensus") {
-    return std::make_shared<task::ConsensusTask>(procs,
-                                                 int_field(fields, "values"));
-  }
-  if (kind == "set-consensus") {
-    return std::make_shared<task::KSetConsensusTask>(procs,
-                                                     int_field(fields, "k"));
-  }
-  if (kind == "renaming") {
-    return std::make_shared<task::RenamingTask>(procs,
-                                                int_field(fields, "names"));
-  }
-  if (kind == "approx") {
-    return std::make_shared<task::ApproxAgreementTask>(
-        procs, int_field(fields, "grid"));
-  }
-  if (kind == "simplex-agreement") {
-    return std::make_shared<task::SimplexAgreementTask>(
-        procs, topo::iterated_sds(topo::base_simplex(procs),
-                                  int_field(fields, "depth")));
-  }
-  if (kind == "identity") {
-    return std::make_shared<task::IdentityTask>(topo::base_simplex(procs));
-  }
-  throw std::invalid_argument("unknown task kind \"" + kind + "\"");
-}
 
 int run_jsonl_server(std::istream& in, std::ostream& out, std::ostream& err,
                      const ServeConfig& config) {
@@ -188,45 +17,31 @@ int run_jsonl_server(std::istream& in, std::ostream& out, std::ostream& err,
   // zero-cost disabled default).
   if (config.observability) service_options.obs.enabled = true;
   QueryService service(std::move(service_options));
-  std::deque<Pending> pending;
-  int error_lines = 0;
-  bool warned_legacy_task = false;
 
-  // Canonical tasks are pure functions of their request fields, so repeated
-  // lines can share ONE task object -- which is exactly what the service's
-  // result memo keys on.  Interning also skips rebuilding input/output
-  // complexes (iterated_sds for simplex-agreement is itself costly).
-  std::map<std::string, std::shared_ptr<task::Task>> interned;
-  auto intern_task = [&interned](const Fields& fields) {
-    std::string key;
-    for (const auto& [k, v] : fields) {
-      // Skip fields that do not affect the constructed task.  max_level and
-      // budget DO affect the verdict, but they are part of the service's
-      // memo key, not the task's.
-      if (k == "id" || k == "op" || k == "max_level" || k == "budget" ||
-          k == "timeout_ms") {
-        continue;
-      }
-      key += k;
-      key += '=';
-      key += v;
-      key += ';';
-    }
-    auto it = interned.find(key);
-    if (it == interned.end()) {
-      // Construct before inserting: a throwing line must not intern null.
-      it = interned.emplace(key, make_canonical_task(fields)).first;
-    }
-    return it->second;
+  HandlerConfig handler_config;
+  handler_config.default_max_level = config.default_max_level;
+  handler_config.legacy_envelope = config.legacy_envelope;
+  handler_config.max_line_bytes = config.max_line_bytes;
+  handler_config.warn = [&err](const std::string& note) {
+    err << "wfc_serve: " << note << "\n";
   };
+  RequestHandler handler(service, handler_config);
+
+  // One submitted query whose result line has not been printed yet.  The
+  // stdin transport prints results in SUBMISSION order (queries still
+  // execute concurrently), so completed tickets wait in this deque behind
+  // earlier ones.
+  std::deque<RequestHandler::Submitted> pending;
+  int error_lines = 0;
 
   auto drain = [&](std::size_t keep) {
     while (pending.size() > keep) {
-      Pending p = std::move(pending.front());
+      RequestHandler::Submitted p = std::move(pending.front());
       pending.pop_front();
-      QueryResult result = p.ticket.result.get();
-      if (result.status != Status::kOk) ++error_lines;
-      print_result(out, p, std::move(result), config.legacy_envelope);
+      RequestHandler::Rendered rendered =
+          handler.render(p.meta, p.ticket.result.get());
+      if (rendered.error) ++error_lines;
+      out << rendered.line << "\n";
     }
   };
 
@@ -234,155 +49,39 @@ int run_jsonl_server(std::istream& in, std::ostream& out, std::ostream& err,
   int line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
-    const std::size_t first = line.find_first_not_of(" \t\r");
-    if (first == std::string::npos || line[first] == '#') continue;
-    try {
-      const Fields fields = parse_flat_json(line);
-      // v2 request shape: every line names its "op" and "task" is a
-      // parameter of op:"solve".  Legacy bare {"task":...} lines are still
-      // routed as solves, with a once-per-run deprecation note.
-      if (fields.count("op") == 0 && fields.count("task") != 0 &&
-          !warned_legacy_task) {
-        warned_legacy_task = true;
-        err << "wfc_serve: deprecated: bare {\"task\":...} request lines; "
-               "use {\"op\":\"solve\",\"task\":...}\n";
-      }
-      const std::string op = string_field(fields, "op", "solve");
-
-      // Reject unknown ops up front with a self-describing record: the
-      // field-level errors below would otherwise blame a missing "task"
-      // field on a line whose real problem is a misspelled op.
-      if (op != "stats" && op != "metrics" && op != "trace" && op != "solve" &&
-          op != "convergence" && op != "emulate" && op != "check") {
-        ++error_lines;
+    RequestHandler::ParsedLine parsed = handler.parse(line, line_no);
+    switch (parsed.action) {
+      case RequestHandler::Action::kSkip:
+        break;
+      case RequestHandler::Action::kRespond:
+        if (parsed.immediate.error) ++error_lines;
         drain(0);  // keep result lines in input order
-        JsonWriter w;
-        const std::string id = string_field(fields, "id");
-        if (!id.empty()) w.field("id", id);
-        out << w.field("op", op)
-                   .field("status", to_json_token(Status::kInvalidArgument))
-                   .field("line", line_no)
-                   .field("error", "unknown op \"" + op + "\"")
-                   .str()
-            << "\n";
-        continue;
+        out << parsed.immediate.line << "\n";
+        break;
+      case RequestHandler::Action::kControl: {
+        // Counters must reflect every query submitted before this line
+        // (stats), and every submitted query must be terminal so the
+        // metrics line reconciles and every span is in the trace ring.
+        drain(0);
+        RequestHandler::Rendered rendered = handler.control(parsed);
+        if (rendered.error) ++error_lines;
+        out << rendered.line << "\n";
+        break;
       }
-
-      if (op == "stats") {
-        drain(0);  // counters reflect every query submitted before this line
-        out << service.stats().to_string() << "\n";
-        continue;
-      }
-
-      if (op == "metrics") {
-        drain(0);  // every submitted query is terminal: counters reconcile
-        if (!service.observer().enabled()) {
-          throw std::invalid_argument(
-              "metrics: the observability layer is disabled");
-        }
-        if (const std::string path = string_field(fields, "path");
-            !path.empty()) {
-          std::ofstream file(path);
-          if (!file) {
-            throw std::invalid_argument("metrics: cannot open \"" + path +
-                                        "\"");
-          }
-          service.observer().write_prometheus(file);
-        }
-        print_metrics(out, string_field(fields, "id"), service);
-        continue;
-      }
-
-      if (op == "trace") {
-        drain(0);  // flush so every query's spans are in the ring
-        if (!service.observer().enabled()) {
-          throw std::invalid_argument(
-              "trace: the observability layer is disabled");
-        }
-        const std::string path = string_field(fields, "path");
-        if (path.empty()) {
-          throw std::invalid_argument("trace: missing field \"path\"");
-        }
-        std::ofstream file(path);
-        if (!file) {
-          throw std::invalid_argument("trace: cannot open \"" + path + "\"");
-        }
-        service.observer().write_chrome_trace(file);
-        const obs::TraceSink* sink = service.observer().trace();
-        JsonWriter w;
-        const std::string id = string_field(fields, "id");
-        if (!id.empty()) w.field("id", id);
-        out << w.field("op", "trace")
-                   .field("status", to_json_token(Status::kOk))
-                   .field("path", path)
-                   .field("spans", sink != nullptr ? sink->recorded() : 0)
-                   .field("dropped", sink != nullptr ? sink->dropped() : 0)
-                   .str()
-            << "\n";
-        continue;
-      }
-
-      Pending p;
-      p.id = string_field(fields, "id");
-      Query query;
-      query.options = parse_query_options(fields, config.default_max_level);
-      if (op == "solve") {
-        std::shared_ptr<task::Task> task = intern_task(fields);
-        p.label = task->name();
-        query.request = SolveRequest{std::move(task)};
-      } else if (op == "convergence") {
-        const int procs = int_field(fields, "procs");
-        const int depth = int_field(fields, "depth");
-        auto agreement = std::make_shared<task::SimplexAgreementTask>(
-            procs, topo::iterated_sds(topo::base_simplex(procs), depth));
-        p.label = agreement->name();
-        query.request = ConvergenceRequest{std::move(agreement)};
-      } else if (op == "emulate") {
-        EmulateRequest emu;
-        emu.procs = int_field(fields, "procs");
-        emu.shots = int_field(fields, "shots", 1);
-        p.label = "emulate(procs=" + std::to_string(emu.procs) +
-                  ",shots=" + std::to_string(emu.shots) + ")";
-        p.is_emulate = true;
-        query.request = emu;
-      } else {  // op == "check" (unknown ops were rejected above)
-        const std::string target = string_field(fields, "target", "sds");
-        CheckRequest check;
-        if (target == "sds") {
-          check.target = CheckRequest::Target::kSds;
-        } else if (target == "emulation") {
-          check.target = CheckRequest::Target::kEmulation;
-        } else if (target == "linearizability") {
-          check.target = CheckRequest::Target::kLinearizability;
+      case RequestHandler::Action::kSubmit: {
+        RequestHandler::Rendered error;
+        if (auto submitted = handler.submit(parsed, &error)) {
+          pending.push_back(std::move(*submitted));
         } else {
-          throw std::invalid_argument("unknown check target \"" + target +
-                                      "\"");
+          // A malformed line answers for itself -- with the line number so
+          // the offending record in a big batch is findable -- and NEVER
+          // terminates the serve loop.
+          ++error_lines;
+          drain(0);  // keep result lines in input order
+          out << error.line << "\n";
         }
-        check.procs = int_field(fields, "procs", 2);
-        check.rounds = int_field(fields, "rounds", 1);
-        check.crashes = int_field(fields, "crashes", 0);
-        check.shots = int_field(fields, "shots", 1);
-        check.symmetry = int_field(fields, "symmetry", 0) != 0;
-        p.label = "check(" + target + ",procs=" + std::to_string(check.procs) +
-                  ",rounds=" + std::to_string(check.rounds) +
-                  ",crashes=" + std::to_string(check.crashes) + ")";
-        p.is_check = true;
-        query.request = check;
+        break;
       }
-      p.ticket = service.submit(std::move(query));
-      pending.push_back(std::move(p));
-    } catch (const std::exception& e) {
-      // A malformed line answers for itself -- with the line number so the
-      // offending record in a big batch is findable -- and NEVER terminates
-      // the serve loop.
-      ++error_lines;
-      drain(0);  // keep result lines in input order
-      out << JsonWriter()
-                 .field("status", to_json_token(Status::kInvalidArgument))
-                 .field("line", line_no)
-                 .field("error", e.what())
-                 .str()
-          << "\n";
     }
     // Keep the printed order equal to the submission order without letting
     // the backlog grow unboundedly on huge inputs.

@@ -27,12 +27,9 @@
 // and routed as op:"solve" (a one-line deprecation note goes to `err`, once
 // per run).
 //
-// Optional fields on every query: "id" (echoed back), "max_level",
-// "budget" (search node budget), "timeout_ms" (deadline from submission).
-//
-// Result envelope (v2, ServeConfig::legacy_envelope == false): "status" is
-// ALWAYS the lowercase transport taxonomy of service/status.hpp -- "ok",
-// "cancelled", "deadline_exceeded", "overloaded" (+ "retry_after_ms"),
+// Result envelope (v2, the default since PR 5): "status" is ALWAYS the
+// lowercase transport taxonomy of service/status.hpp -- "ok", "cancelled",
+// "deadline_exceeded", "overloaded" (+ "retry_after_ms"),
 // "resource_exhausted", "invalid_argument", "internal".  The DOMAIN outcome
 // of an ok query lives in "verdict":
 //
@@ -41,20 +38,24 @@
 //   {"op":"emulate",...,"status":"ok","verdict":"OK","rounds":5,...}
 //   {"op":"check",...,"status":"ok","verdict":"VIOLATION","schedules":...}
 //
-// Legacy envelope (the default, for one release): ok queries put the
-// domain verdict directly in "status" ("SOLVABLE", "OK", "VIOLATION", ...)
-// exactly as PR 2/3 emitted; non-ok lines are identical in both envelopes.
+// Legacy envelope (ServeConfig::legacy_envelope, `wfc_serve --legacy`): ok
+// queries put the domain verdict directly in "status" ("SOLVABLE", "OK",
+// "VIOLATION", ...) exactly as PR 2/3 emitted; non-ok lines are identical
+// in both envelopes.
 //
 // Malformed input lines answer {"status":"invalid_argument","line":N,
 // "error":...} -- with the offending 1-based line number -- and never
-// terminate the serve loop.
+// terminate the serve loop.  Lines longer than ServeConfig::max_line_bytes
+// are rejected the same way instead of being buffered without bound.
+//
+// The per-line request -> Query -> envelope machinery lives in
+// service/handler.hpp (RequestHandler), shared verbatim with the wfc::net
+// TCP transport; this file is only the stdin/batch loop around it.
 #pragma once
 
 #include <iosfwd>
-#include <map>
-#include <memory>
-#include <string>
 
+#include "service/handler.hpp"
 #include "service/query_service.hpp"
 
 namespace wfc::svc {
@@ -64,10 +65,14 @@ struct ServeConfig {
   int default_max_level = 2;
   /// Print a final stats line to `err` when the input is exhausted.
   bool stats_at_eof = true;
-  /// Emit the pre-PR-4 result envelope (domain verdict in "status").  ON by
-  /// default for one release; the v2 envelope keeps "status" as the
-  /// transport taxonomy and moves the verdict to "verdict".
-  bool legacy_envelope = true;
+  /// Emit the pre-PR-4 result envelope (domain verdict in "status") instead
+  /// of the v2 split (transport "status" + domain "verdict").  OFF by
+  /// default since PR 5, as promised "for one release" in PR 4; wfc_serve
+  /// --legacy is the escape hatch.
+  bool legacy_envelope = false;
+  /// Request lines longer than this answer {"status":"invalid_argument"}
+  /// instead of being buffered/parsed.  0 disables the cap.
+  std::size_t max_line_bytes = 1 << 20;
   /// Force-enable the observability layer for this serve run so the
   /// "metrics" and "trace" ops work out of the box.  Set false to honour
   /// service.obs.enabled as given.
@@ -79,12 +84,6 @@ struct ServeConfig {
   /// trace_event JSON once the input is exhausted (wfc_cli trace).
   std::string trace_path_at_eof;
 };
-
-/// Builds a canonical task from parsed JSON fields ("task" + parameters;
-/// see the file comment).  Throws std::invalid_argument on unknown kinds or
-/// missing/malformed parameters.
-std::shared_ptr<task::Task> make_canonical_task(
-    const std::map<std::string, std::string>& fields);
 
 /// Reads queries from `in` until EOF, fans them out to a QueryService, and
 /// writes one result line per query to `out`.  Returns the number of lines

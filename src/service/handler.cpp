@@ -1,0 +1,407 @@
+#include "service/handler.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <numeric>
+#include <stdexcept>
+
+#include "service/jsonl.hpp"
+#include "topology/subdivision.hpp"
+
+namespace wfc::svc {
+
+namespace {
+
+int int_field(const Fields& fields, const std::string& key,
+              std::optional<int> fallback = std::nullopt) {
+  auto it = fields.find(key);
+  if (it == fields.end()) {
+    if (fallback) return *fallback;
+    throw std::invalid_argument("missing field \"" + key + "\"");
+  }
+  try {
+    std::size_t pos = 0;
+    const int value = std::stoi(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument(it->second);
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("field \"" + key + "\" is not an integer: " +
+                                it->second);
+  }
+}
+
+std::string string_field(const Fields& fields, const std::string& key,
+                         const std::string& fallback = "") {
+  auto it = fields.find(key);
+  return it == fields.end() ? fallback : it->second;
+}
+
+QueryOptions parse_query_options(const Fields& fields, int default_max_level) {
+  QueryOptions options;
+  options.max_level = int_field(fields, "max_level", default_max_level);
+  if (auto it = fields.find("budget"); it != fields.end()) {
+    try {
+      options.node_budget = std::stoull(it->second);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("field \"budget\" is not an integer: " +
+                                  it->second);
+    }
+  }
+  if (fields.count("timeout_ms") != 0) {
+    options.timeout = std::chrono::milliseconds(
+        int_field(fields, "timeout_ms"));
+  }
+  return options;
+}
+
+/// Error record shared by every transport: the offending 1-based line
+/// number plus the request "id" whenever it is known.
+RequestHandler::Rendered error_record(const std::string& id, int line_no,
+                                      const std::string& message) {
+  JsonWriter w;
+  if (!id.empty()) w.field("id", id);
+  w.field("status", to_json_token(Status::kInvalidArgument))
+      .field("line", line_no)
+      .field("error", message);
+  return {w.str(), true};
+}
+
+/// The {"op":"metrics"} response: one flat-JSON line whose counters come
+/// straight from the obs registry, alongside the ServiceStats intake count
+/// -- the reconciliation the chaos soak asserts (submitted == terminal ==
+/// sum of the per-status counters) is visible in the line itself.
+std::string metrics_line(const std::string& id, QueryService& service) {
+  obs::MetricsRegistry& reg = service.observer().metrics();
+  const ServiceStats st = service.stats();
+  const std::uint64_t submitted =
+      reg.counter("wfc_queries_submitted_total").value();
+  JsonWriter w;
+  if (!id.empty()) w.field("id", id);
+  w.field("op", "metrics").field("status", to_json_token(Status::kOk));
+  w.field("submitted", submitted);
+  std::uint64_t terminal = 0;
+  for (int s = 0; s < kNumStatuses; ++s) {
+    const std::uint64_t c =
+        reg.counter("wfc_queries_terminal_total",
+                    std::string(R"(status=")") +
+                        to_json_token(static_cast<Status>(s)) + R"(")")
+            .value();
+    terminal += c;
+    w.field(to_json_token(static_cast<Status>(s)), c);
+  }
+  w.field("terminal", terminal);
+  w.field("memo_hits", reg.counter("wfc_result_memo_hits_total").value());
+  w.field("stats_submitted", st.submitted);
+  w.field("reconciles", submitted == terminal && submitted == st.submitted);
+  return w.str();
+}
+
+}  // namespace
+
+std::shared_ptr<task::Task> make_canonical_task(const Fields& fields) {
+  const std::string kind = string_field(fields, "task");
+  if (kind.empty()) throw std::invalid_argument("missing field \"task\"");
+  const int procs = int_field(fields, "procs");
+  if (kind == "consensus") {
+    return std::make_shared<task::ConsensusTask>(procs,
+                                                 int_field(fields, "values"));
+  }
+  if (kind == "set-consensus") {
+    return std::make_shared<task::KSetConsensusTask>(procs,
+                                                     int_field(fields, "k"));
+  }
+  if (kind == "renaming") {
+    return std::make_shared<task::RenamingTask>(procs,
+                                                int_field(fields, "names"));
+  }
+  if (kind == "approx") {
+    return std::make_shared<task::ApproxAgreementTask>(
+        procs, int_field(fields, "grid"));
+  }
+  if (kind == "simplex-agreement") {
+    return std::make_shared<task::SimplexAgreementTask>(
+        procs, topo::iterated_sds(topo::base_simplex(procs),
+                                  int_field(fields, "depth")));
+  }
+  if (kind == "identity") {
+    return std::make_shared<task::IdentityTask>(topo::base_simplex(procs));
+  }
+  throw std::invalid_argument("unknown task kind \"" + kind + "\"");
+}
+
+RequestHandler::RequestHandler(QueryService& service, HandlerConfig config)
+    : service_(service), config_(std::move(config)) {}
+
+RequestHandler::ParsedLine RequestHandler::parse(std::string_view line,
+                                                 int line_no) {
+  ParsedLine parsed;
+  parsed.line_no = line_no;
+  // CRLF framing: a trailing '\r' belongs to the wire, not the request.
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  if (config_.max_line_bytes != 0 && line.size() > config_.max_line_bytes) {
+    // Never parse (or even keep) an oversized line: the id is unknowable
+    // without parsing, so the record carries only the line number.
+    parsed.action = Action::kRespond;
+    parsed.immediate = error_record(
+        "", line_no,
+        "request line exceeds " + std::to_string(config_.max_line_bytes) +
+            " bytes");
+    return parsed;
+  }
+  const std::size_t first = line.find_first_not_of(" \t");
+  if (first == std::string_view::npos || line[first] == '#') {
+    parsed.action = Action::kSkip;
+    return parsed;
+  }
+  try {
+    parsed.fields = parse_flat_json(line);
+  } catch (const std::exception& e) {
+    parsed.action = Action::kRespond;
+    parsed.immediate = error_record("", line_no, e.what());
+    return parsed;
+  }
+  // v2 request shape: every line names its "op" and "task" is a parameter
+  // of op:"solve".  Legacy bare {"task":...} lines are still routed as
+  // solves, with a once-per-run deprecation note.
+  if (parsed.fields.count("op") == 0 && parsed.fields.count("task") != 0 &&
+      !warned_legacy_task_.exchange(true, std::memory_order_relaxed) &&
+      config_.warn) {
+    config_.warn(
+        "deprecated: bare {\"task\":...} request lines; "
+        "use {\"op\":\"solve\",\"task\":...}");
+  }
+  parsed.op = string_field(parsed.fields, "op", "solve");
+  if (parsed.op == "stats" || parsed.op == "metrics" || parsed.op == "trace") {
+    parsed.action = Action::kControl;
+    return parsed;
+  }
+  if (parsed.op != "solve" && parsed.op != "convergence" &&
+      parsed.op != "emulate" && parsed.op != "check") {
+    // Reject unknown ops up front with a self-describing record: the
+    // field-level errors in submit() would otherwise blame a missing
+    // "task" field on a line whose real problem is a misspelled op.
+    parsed.action = Action::kRespond;
+    JsonWriter w;
+    const std::string id = string_field(parsed.fields, "id");
+    if (!id.empty()) w.field("id", id);
+    w.field("op", parsed.op)
+        .field("status", to_json_token(Status::kInvalidArgument))
+        .field("line", line_no)
+        .field("error", "unknown op \"" + parsed.op + "\"");
+    parsed.immediate = {w.str(), true};
+    return parsed;
+  }
+  parsed.action = Action::kSubmit;
+  return parsed;
+}
+
+std::shared_ptr<task::Task> RequestHandler::intern_task(const Fields& fields) {
+  std::string key;
+  for (const auto& [k, v] : fields) {
+    // Skip fields that do not affect the constructed task.  max_level and
+    // budget DO affect the verdict, but they are part of the service's
+    // memo key, not the task's.
+    if (k == "id" || k == "op" || k == "max_level" || k == "budget" ||
+        k == "timeout_ms") {
+      continue;
+    }
+    key += k;
+    key += '=';
+    key += v;
+    key += ';';
+  }
+  std::lock_guard<std::mutex> lock(intern_mu_);
+  auto it = interned_.find(key);
+  if (it == interned_.end()) {
+    // Construct before inserting: a throwing line must not intern null.
+    it = interned_.emplace(key, make_canonical_task(fields)).first;
+  }
+  return it->second;
+}
+
+std::pair<Query, RequestHandler::ResponseMeta> RequestHandler::build_query(
+    const ParsedLine& parsed) {
+  const Fields& fields = parsed.fields;
+  ResponseMeta meta;
+  meta.id = string_field(fields, "id");
+  Query query;
+  query.options = parse_query_options(fields, config_.default_max_level);
+  if (parsed.op == "solve") {
+    std::shared_ptr<task::Task> task = intern_task(fields);
+    meta.label = task->name();
+    query.request = SolveRequest{std::move(task)};
+  } else if (parsed.op == "convergence") {
+    const int procs = int_field(fields, "procs");
+    const int depth = int_field(fields, "depth");
+    auto agreement = std::make_shared<task::SimplexAgreementTask>(
+        procs, topo::iterated_sds(topo::base_simplex(procs), depth));
+    meta.label = agreement->name();
+    query.request = ConvergenceRequest{std::move(agreement)};
+  } else if (parsed.op == "emulate") {
+    EmulateRequest emu;
+    emu.procs = int_field(fields, "procs");
+    emu.shots = int_field(fields, "shots", 1);
+    meta.label = "emulate(procs=" + std::to_string(emu.procs) +
+                 ",shots=" + std::to_string(emu.shots) + ")";
+    meta.is_emulate = true;
+    query.request = emu;
+  } else {  // "check" (parse() rejected every other op)
+    const std::string target = string_field(fields, "target", "sds");
+    CheckRequest check;
+    if (target == "sds") {
+      check.target = CheckRequest::Target::kSds;
+    } else if (target == "emulation") {
+      check.target = CheckRequest::Target::kEmulation;
+    } else if (target == "linearizability") {
+      check.target = CheckRequest::Target::kLinearizability;
+    } else {
+      throw std::invalid_argument("unknown check target \"" + target + "\"");
+    }
+    check.procs = int_field(fields, "procs", 2);
+    check.rounds = int_field(fields, "rounds", 1);
+    check.crashes = int_field(fields, "crashes", 0);
+    check.shots = int_field(fields, "shots", 1);
+    check.symmetry = int_field(fields, "symmetry", 0) != 0;
+    meta.label = "check(" + target + ",procs=" + std::to_string(check.procs) +
+                 ",rounds=" + std::to_string(check.rounds) +
+                 ",crashes=" + std::to_string(check.crashes) + ")";
+    meta.is_check = true;
+    query.request = check;
+  }
+  return {std::move(query), std::move(meta)};
+}
+
+std::optional<RequestHandler::Submitted> RequestHandler::submit(
+    const ParsedLine& parsed, Rendered* error) {
+  try {
+    auto [query, meta] = build_query(parsed);
+    Submitted submitted;
+    submitted.meta = std::move(meta);
+    submitted.ticket = service_.submit(std::move(query));
+    return submitted;
+  } catch (const std::exception& e) {
+    *error = error_record(string_field(parsed.fields, "id"), parsed.line_no,
+                          e.what());
+    return std::nullopt;
+  }
+}
+
+bool RequestHandler::submit_async(const ParsedLine& parsed,
+                                  std::function<void(Rendered&&)> done,
+                                  Rendered* error) {
+  try {
+    auto [query, meta] = build_query(parsed);
+    service_.submit(std::move(query),
+                    [this, meta = std::move(meta),
+                     done = std::move(done)](const QueryResult& result) {
+                      done(render(meta, result));
+                    });
+    return true;
+  } catch (const std::exception& e) {
+    *error = error_record(string_field(parsed.fields, "id"), parsed.line_no,
+                          e.what());
+    return false;
+  }
+}
+
+RequestHandler::Rendered RequestHandler::render(
+    const ResponseMeta& meta, const QueryResult& result) const {
+  JsonWriter w;
+  if (!meta.id.empty()) w.field("id", meta.id);
+  w.field("task", meta.label);
+  if (result.status != Status::kOk) {
+    // Non-kOk terminal statuses use the lowercase taxonomy tokens
+    // (status.hpp) in BOTH envelopes; retryable ones carry the service's
+    // backoff hint.
+    w.field("status", to_json_token(result.status));
+    if (result.retry_after_ms > 0) {
+      w.field("retry_after_ms",
+              static_cast<std::uint64_t>(result.retry_after_ms));
+    }
+    if (!result.error.empty()) w.field("error", result.error);
+  } else {
+    // v2 envelope (the default since PR 5): "status" stays in the transport
+    // taxonomy ("ok") and the domain outcome moves to "verdict".  Legacy
+    // envelope (--legacy): the verdict IS the status, as PR 2/3 emitted.
+    const bool legacy = config_.legacy_envelope;
+    const char* verdict_key = legacy ? "status" : "verdict";
+    if (!legacy) w.field("status", to_json_token(Status::kOk));
+    if (meta.is_check) {
+      w.field(verdict_key, result.check_ok ? "OK" : "VIOLATION");
+      w.field("schedules", result.check_schedules)
+          .field("histories", result.check_histories)
+          .field("max_depth", result.check_max_depth);
+      if (!result.check_violation.empty()) {
+        w.field("violation", result.check_violation);
+      }
+    } else if (meta.is_emulate) {
+      w.field(verdict_key, "OK")
+          .field("rounds", result.emu_rounds)
+          .field("iis_steps",
+                 std::accumulate(result.emu_steps.begin(),
+                                 result.emu_steps.end(), std::int64_t{0}));
+    } else {
+      w.field(verdict_key, task::to_cstring(result.solve.status));
+      if (result.solve.status == task::Solvability::kSolvable) {
+        w.field("level", result.solve.level);
+      }
+      w.field("nodes", result.solve.nodes_explored)
+          .field("cache_hit", result.cache_hit);
+    }
+  }
+  if (result.degraded) w.field("degraded", true);
+  w.field("micros", result.micros);
+  return {w.str(), result.status != Status::kOk};
+}
+
+RequestHandler::Rendered RequestHandler::control(const ParsedLine& parsed) {
+  const std::string id = string_field(parsed.fields, "id");
+  try {
+    if (parsed.op == "stats") {
+      return {service_.stats().to_string(), false};
+    }
+    if (parsed.op == "metrics") {
+      if (!service_.observer().enabled()) {
+        throw std::invalid_argument(
+            "metrics: the observability layer is disabled");
+      }
+      if (const std::string path = string_field(parsed.fields, "path");
+          !path.empty()) {
+        std::ofstream file(path);
+        if (!file) {
+          throw std::invalid_argument("metrics: cannot open \"" + path +
+                                      "\"");
+        }
+        service_.observer().write_prometheus(file);
+      }
+      return {metrics_line(id, service_), false};
+    }
+    // parsed.op == "trace"
+    if (!service_.observer().enabled()) {
+      throw std::invalid_argument(
+          "trace: the observability layer is disabled");
+    }
+    const std::string path = string_field(parsed.fields, "path");
+    if (path.empty()) {
+      throw std::invalid_argument("trace: missing field \"path\"");
+    }
+    std::ofstream file(path);
+    if (!file) {
+      throw std::invalid_argument("trace: cannot open \"" + path + "\"");
+    }
+    service_.observer().write_chrome_trace(file);
+    const obs::TraceSink* sink = service_.observer().trace();
+    JsonWriter w;
+    if (!id.empty()) w.field("id", id);
+    w.field("op", "trace")
+        .field("status", to_json_token(Status::kOk))
+        .field("path", path)
+        .field("spans", sink != nullptr ? sink->recorded() : 0)
+        .field("dropped", sink != nullptr ? sink->dropped() : 0);
+    return {w.str(), false};
+  } catch (const std::exception& e) {
+    return error_record(id, parsed.line_no, e.what());
+  }
+}
+
+}  // namespace wfc::svc

@@ -1,0 +1,152 @@
+// Transport-agnostic request handler for the JSONL v2 protocol.
+//
+// PR 5 factors the per-line request -> Query -> result-envelope path out of
+// the stdin front-end (frontend.cpp) so every transport -- the stdin batch
+// loop and the wfc::net TCP server -- speaks exactly the same protocol with
+// exactly the same error records.  One RequestHandler wraps one
+// QueryService and is safe to share across transport threads.
+//
+// A transport feeds input lines through four entry points:
+//
+//   parse(line, n)    classify one line: kSkip (blank / comment), kRespond
+//                     (malformed: the rendered error record is ready now),
+//                     kControl (stats / metrics / trace -- the transport
+//                     must flush ITS OWN in-flight queries first so the
+//                     counters reconcile, then call control()), or kSubmit;
+//   submit(parsed)    build + submit a kSubmit line's query, returning the
+//                     ticket plus the metadata render() needs -- or, when
+//                     the request is malformed, the error record instead;
+//   submit_async(...) same, but the RENDERED response line is delivered to
+//                     a callback exactly once (possibly inline on the
+//                     calling thread for memo hits and load sheds, possibly
+//                     later on a service worker) -- this is what lets the
+//                     TCP server complete pipelined responses out of order
+//                     without parking a thread per request;
+//   render(meta, r)   the result envelope for a completed query;
+//   control(parsed)   the response for a kControl line.
+//
+// Hardening shared by all transports: request lines longer than
+// HandlerConfig::max_line_bytes are rejected with an invalid_argument
+// record instead of being buffered without bound; a trailing '\r' (CRLF
+// framing) is stripped before parsing; error records echo the request "id"
+// whenever the line parsed far enough to know it, so pipelined clients can
+// match failures to requests.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "service/query_service.hpp"
+
+namespace wfc::svc {
+
+using Fields = std::map<std::string, std::string>;
+
+/// Builds a canonical task from parsed JSON fields ("task" + parameters;
+/// see frontend.hpp for the line protocol).  Throws std::invalid_argument
+/// on unknown kinds or missing/malformed parameters.
+std::shared_ptr<task::Task> make_canonical_task(const Fields& fields);
+
+struct HandlerConfig {
+  int default_max_level = 2;
+  /// Emit the pre-PR-4 result envelope (domain verdict in "status") instead
+  /// of the v2 split (transport "status" + domain "verdict").
+  bool legacy_envelope = false;
+  /// Request lines longer than this are answered with an invalid_argument
+  /// record and never buffered or parsed.  0 disables the cap.
+  std::size_t max_line_bytes = 1 << 20;
+  /// Sink for one-shot deprecation notes (bare {"task":...} lines); null
+  /// discards them.
+  std::function<void(const std::string&)> warn;
+};
+
+class RequestHandler {
+ public:
+  RequestHandler(QueryService& service, HandlerConfig config);
+
+  /// A response line (no trailing newline) plus whether the transport
+  /// should count it as an error line.
+  struct Rendered {
+    std::string line;
+    bool error = false;
+  };
+
+  enum class Action {
+    kSkip,     // blank / comment: no response line
+    kRespond,  // `immediate` is the response (parse error, unknown op)
+    kControl,  // stats / metrics / trace: flush pending, then control()
+    kSubmit,   // a query: submit() / submit_async()
+  };
+
+  struct ParsedLine {
+    Action action = Action::kSkip;
+    Rendered immediate;  // kRespond only
+    Fields fields;       // kControl / kSubmit
+    std::string op;      // resolved op ("solve" when defaulted)
+    int line_no = 0;
+  };
+
+  /// Classifies one input line (1-based line_no echoes into error records).
+  /// Never throws.
+  [[nodiscard]] ParsedLine parse(std::string_view line, int line_no);
+
+  /// Everything render() needs once the query completes.
+  struct ResponseMeta {
+    std::string id;
+    std::string label;  // task name or op description
+    bool is_emulate = false;
+    bool is_check = false;
+  };
+
+  struct Submitted {
+    ResponseMeta meta;
+    QueryTicket ticket;
+  };
+
+  /// Builds and submits a kSubmit line's query.  Returns nullopt -- with
+  /// *error set to the rendered error record -- when the request is
+  /// malformed (unknown task kind, bad parameters); nothing was submitted.
+  std::optional<Submitted> submit(const ParsedLine& parsed, Rendered* error);
+
+  /// Callback flavor of submit(): `done` receives the rendered response
+  /// line exactly once.  It may run inline on this thread (memo hits, load
+  /// sheds) or later on a service worker thread; it must not throw and
+  /// should only enqueue.  Returns false with *error set when the query
+  /// could not be built (nothing submitted, `done` never called).
+  bool submit_async(const ParsedLine& parsed,
+                    std::function<void(Rendered&&)> done, Rendered* error);
+
+  /// Renders a completed query's result envelope (legacy or v2 per config).
+  [[nodiscard]] Rendered render(const ResponseMeta& meta,
+                                const QueryResult& result) const;
+
+  /// Response for a kControl line.  The caller must have flushed its own
+  /// pending queries first; metrics/trace may write files as side effects.
+  [[nodiscard]] Rendered control(const ParsedLine& parsed);
+
+  [[nodiscard]] const HandlerConfig& config() const { return config_; }
+  [[nodiscard]] QueryService& service() { return service_; }
+
+ private:
+  /// Builds the Query + ResponseMeta for a kSubmit line; throws
+  /// std::invalid_argument on malformed parameters.
+  [[nodiscard]] std::pair<Query, ResponseMeta> build_query(
+      const ParsedLine& parsed);
+  /// Canonical tasks are pure functions of their request fields, so
+  /// repeated lines share ONE task object -- which is what the service's
+  /// result memo keys on.  Thread-safe.
+  [[nodiscard]] std::shared_ptr<task::Task> intern_task(const Fields& fields);
+
+  QueryService& service_;
+  HandlerConfig config_;
+  std::atomic<bool> warned_legacy_task_{false};
+  std::mutex intern_mu_;
+  std::map<std::string, std::shared_ptr<task::Task>> interned_;
+};
+
+}  // namespace wfc::svc

@@ -232,7 +232,7 @@ void QueryService::worker_loop() {
   }
 }
 
-QueryTicket QueryService::submit(Query query) {
+QueryTicket QueryService::submit(Query query, CompletionFn on_complete) {
   if (const auto* solve = query.as<SolveRequest>()) {
     WFC_REQUIRE(solve->task != nullptr,
                 "QueryService::submit: solve query without a task");
@@ -245,6 +245,7 @@ QueryTicket QueryService::submit(Query query) {
 
   auto job = std::make_shared<Job>();
   job->query = std::move(query);
+  job->on_complete = std::move(on_complete);
   job->cancel = std::make_shared<std::atomic<bool>>(false);
   job->submitted = std::chrono::steady_clock::now();
   if (job->query.options.timeout) {
@@ -330,6 +331,15 @@ void QueryService::finish(const std::shared_ptr<Job>& job,
           std::chrono::steady_clock::now() - job->submitted)
           .count());
   record(result);
+  if (job->on_complete) {
+    // Contractually must not throw; contain a misbehaving continuation so
+    // the ticket's future is ALWAYS fulfilled regardless.
+    try {
+      job->on_complete(result);
+    } catch (...) {
+    }
+    job->on_complete = nullptr;  // release captures promptly
+  }
   job->promise.set_value(std::move(result));
 }
 
@@ -478,11 +488,6 @@ void QueryService::memo_store(const Query& query,
     memo_.erase(memo_lru_.back());
     memo_lru_.pop_back();
   }
-}
-
-QueryTicket QueryService::submit_solve(std::shared_ptr<const task::Task> task,
-                                       QueryOptions options) {
-  return submit(Query::solve(std::move(task), options));
 }
 
 void QueryService::cancel_all() {

@@ -47,8 +47,16 @@
 // structs (SolveRequest / ConvergenceRequest / EmulateRequest /
 // CheckRequest) plus shared QueryOptions -- submit(Query) is the single
 // entry point for every family, with Query::solve(...) etc. as the
-// idiomatic constructors.  The old per-kind entry point submit_solve()
-// survives as a thin forwarding wrapper for one release.
+// idiomatic constructors.  (The deprecated per-kind submit_solve() wrapper
+// was removed in PR 5.)
+//
+// Completion callbacks (PR 5): submit(Query, CompletionFn) invokes the
+// callback with the terminal QueryResult exactly once, from whichever
+// thread reaches the terminal status first -- a service worker, the
+// watchdog path, or INLINE on the submitting thread (memo hits, admission
+// sheds, shutdown).  This is what lets a networked transport complete
+// pipelined responses out of order without parking a thread per request;
+// the ticket's future remains valid alongside the callback.
 //
 // Observability (PR 4): when Options::obs.enabled is set, the service owns
 // an obs::Observer and every query carries an obs::TraceContext.  Spans
@@ -225,6 +233,12 @@ struct QueryTicket {
   std::shared_ptr<std::atomic<bool>> cancel;
 };
 
+/// Terminal-status continuation for submit(Query, CompletionFn).  Invoked
+/// exactly once with the same QueryResult the ticket's future yields; may
+/// run on a service worker thread or inline on the submitting thread (memo
+/// hits, admission sheds, shutdown), so it must not block or throw.
+using CompletionFn = std::function<void(const QueryResult&)>;
+
 class QueryService {
  public:
   struct Options {
@@ -285,14 +299,12 @@ class QueryService {
   /// The single entry point for every query family; build the Query with
   /// Query::solve / ::convergence / ::emulate / ::check.  Never throws for
   /// load reasons: an inadmissible query yields a ticket already completed
-  /// with kOverloaded (or kCancelled during shutdown).
-  QueryTicket submit(Query query);
-
-  /// Deprecated: pre-PR-4 per-kind entry point.  Equivalent to
-  /// submit(Query::solve(task, options)); will be removed once out-of-tree
-  /// callers have migrated.
-  QueryTicket submit_solve(std::shared_ptr<const task::Task> task,
-                           QueryOptions options = {});
+  /// with kOverloaded (or kCancelled during shutdown).  When `on_complete`
+  /// is set it receives the terminal QueryResult exactly once -- possibly
+  /// inline on this thread (memo hits, sheds, shutdown), possibly later on
+  /// a worker -- in addition to (and always before) the ticket's future
+  /// becoming ready.
+  QueryTicket submit(Query query, CompletionFn on_complete = nullptr);
 
   /// Flips the cancel token of every query still in flight or queued.
   void cancel_all();
@@ -318,6 +330,8 @@ class QueryService {
     std::optional<std::chrono::steady_clock::time_point> deadline;
     /// Per-query trace handle (disabled context when obs is off).
     obs::TraceContext trace;
+    /// Terminal-status continuation (may be empty); see CompletionFn.
+    CompletionFn on_complete;
     /// Watchdog heartbeat: bumped at search/subdivision checkpoints.
     std::atomic<std::uint64_t> progress{0};
     /// Exactly-once terminal-status latch.

@@ -1,0 +1,468 @@
+// Tests for the wfc::net serving layer: loopback round-trips for every
+// protocol op, pipelined out-of-order completion matched on the "id" echo,
+// slow-reader and inflight backpressure, oversized / CRLF / mid-line-EOF
+// framing edges, idle timeouts, graceful drain, the blocking client, the
+// load generator's exactly-once accounting, and a multi-connection storm
+// (the TSan job runs this binary).
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.hpp"
+#include "net/loadgen.hpp"
+#include "net/server.hpp"
+#include "net/socket.hpp"
+#include "service/jsonl.hpp"
+#include "service/query_service.hpp"
+
+namespace wfc::net {
+namespace {
+
+using Fields = std::map<std::string, std::string>;
+
+svc::QueryService::Options service_options(int workers = 4) {
+  svc::QueryService::Options options;
+  options.workers = workers;
+  options.obs.enabled = true;
+  return options;
+}
+
+/// A QueryService plus a started Server on an ephemeral loopback port.
+/// Declaration order destroys the Server first, as the contract requires.
+struct TestServer {
+  explicit TestServer(ServerConfig config = {},
+                      svc::QueryService::Options options = service_options())
+      : service(std::move(options)), server(service, std::move(config)) {
+    server.start();
+  }
+
+  [[nodiscard]] Client connect() const {
+    return Client(ClientConfig{Endpoint{"127.0.0.1", server.port()}});
+  }
+
+  svc::QueryService service;
+  Server server;
+};
+
+Fields parse(const std::string& line) { return svc::parse_flat_json(line); }
+
+std::string field(const Fields& fields, const std::string& key) {
+  const auto it = fields.find(key);
+  return it == fields.end() ? std::string() : it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Endpoint parsing.
+// ---------------------------------------------------------------------------
+
+TEST(ParseEndpoint, HostPortAndDefaults) {
+  const Endpoint a = parse_endpoint("127.0.0.1:7411");
+  EXPECT_EQ(a.host, "127.0.0.1");
+  EXPECT_EQ(a.port, 7411);
+  const Endpoint b = parse_endpoint(":0");
+  EXPECT_EQ(b.host, "127.0.0.1");
+  EXPECT_EQ(b.port, 0);
+  EXPECT_THROW(parse_endpoint("no-port"), std::invalid_argument);
+  EXPECT_THROW(parse_endpoint("host:notanumber"), std::invalid_argument);
+  EXPECT_THROW(parse_endpoint("host:99999"), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Loopback round-trips: every op of the protocol over real TCP.
+// ---------------------------------------------------------------------------
+
+TEST(NetServer, RoundTripsEveryOp) {
+  TestServer ts;
+  Client client = ts.connect();
+
+  // solve: the Prop 3.1 characterization.
+  Fields solve = parse(client.roundtrip(
+      R"({"id":"s1","op":"solve","task":"consensus","procs":2,"values":2})"));
+  EXPECT_EQ(field(solve, "id"), "s1");
+  EXPECT_EQ(field(solve, "status"), "ok");
+  EXPECT_EQ(field(solve, "verdict"), "UNSOLVABLE");
+
+  // convergence: the §5 compilation.
+  Fields conv = parse(client.roundtrip(
+      R"({"id":"c1","op":"convergence","procs":2,"depth":1,"max_level":4})"));
+  EXPECT_EQ(field(conv, "id"), "c1");
+  EXPECT_EQ(field(conv, "status"), "ok");
+
+  // emulate: the §4 Figure 2 emulation.
+  Fields emu = parse(client.roundtrip(
+      R"({"id":"e1","op":"emulate","procs":2,"shots":1})"));
+  EXPECT_EQ(field(emu, "id"), "e1");
+  EXPECT_EQ(field(emu, "status"), "ok");
+  EXPECT_EQ(field(emu, "verdict"), "OK");
+
+  // check: a bounded wfc::chk sweep.
+  Fields check = parse(client.roundtrip(
+      R"({"id":"k1","op":"check","target":"linearizability","procs":2,)"
+      R"("rounds":1})"));
+  EXPECT_EQ(field(check, "id"), "k1");
+  EXPECT_EQ(field(check, "status"), "ok");
+  EXPECT_EQ(field(check, "verdict"), "OK");
+
+  // stats: the raw one-line service counters (not a JSON envelope, same as
+  // the stdin transport).
+  const std::string stats = client.roundtrip(R"({"op":"stats"})");
+  EXPECT_NE(stats.find("submitted="), std::string::npos);
+
+  // metrics: counters must reconcile once everything above is terminal.
+  Fields metrics = parse(client.roundtrip(R"({"id":"m1","op":"metrics"})"));
+  EXPECT_EQ(field(metrics, "id"), "m1");
+  EXPECT_EQ(field(metrics, "status"), "ok");
+  EXPECT_EQ(field(metrics, "reconciles"), "true");
+
+  // trace: writes a Chrome trace file and reports the span count.
+  const std::string trace_path = "net_test_trace.json";
+  Fields trace = parse(client.roundtrip(
+      R"({"id":"t1","op":"trace","path":")" + trace_path + R"("})"));
+  EXPECT_EQ(field(trace, "id"), "t1");
+  EXPECT_EQ(field(trace, "status"), "ok");
+  EXPECT_NE(field(trace, "spans"), "");
+  std::ifstream trace_file(trace_path);
+  ASSERT_TRUE(trace_file.good());
+  std::stringstream trace_text;
+  trace_text << trace_file.rdbuf();
+  EXPECT_NE(trace_text.str().find("traceEvents"), std::string::npos);
+  std::remove(trace_path.c_str());
+
+  // Unknown ops answer an error record and keep the connection alive.
+  Fields unknown = parse(client.roundtrip(R"({"id":"x1","op":"frobnicate"})"));
+  EXPECT_EQ(field(unknown, "id"), "x1");
+  EXPECT_EQ(field(unknown, "status"), "invalid_argument");
+  Fields after = parse(client.roundtrip(
+      R"({"id":"s2","op":"solve","task":"consensus","procs":2,"values":2})"));
+  EXPECT_EQ(field(after, "status"), "ok");
+
+  const Server::Stats wire = ts.server.stats();
+  EXPECT_EQ(wire.accepted, 1u);
+  EXPECT_GT(wire.bytes_read, 0u);
+  EXPECT_GT(wire.bytes_written, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Pipelining: responses complete out of order and match on the id echo.
+// ---------------------------------------------------------------------------
+
+TEST(NetServer, PipelinedResponsesCompleteOutOfOrder) {
+  TestServer ts;
+  Client client = ts.connect();
+  // Warm the result memo so the fast query completes inline at parse time.
+  client.roundtrip(
+      R"({"id":"warm","op":"solve","task":"consensus","procs":2,"values":2})");
+
+  // A check sweep takes milliseconds on a worker; the memo hit answers in
+  // microseconds on the io thread, so "fast" overtakes "slow".  One write
+  // carries both lines, so the server parses them back to back.
+  client.send_line(
+      R"({"id":"slow","op":"check","target":"sds","procs":3,"rounds":2,)"
+      R"("crashes":1})"
+      "\n"
+      R"({"id":"fast","op":"solve","task":"consensus","procs":2,"values":2})");
+
+  std::optional<std::string> first = client.recv_line();
+  std::optional<std::string> second = client.recv_line();
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(field(parse(*first), "id"), "fast");
+  EXPECT_EQ(field(parse(*second), "id"), "slow");
+  EXPECT_EQ(field(parse(*second), "status"), "ok");
+}
+
+TEST(NetServer, PipelinedBatchAnswersEveryId) {
+  TestServer ts;
+  Client client = ts.connect();
+  const int kBatch = 64;
+  for (int i = 0; i < kBatch; ++i) {
+    client.send_line(R"({"id":"b)" + std::to_string(i) +
+                     R"(","op":"solve","task":"consensus","procs":2,)"
+                     R"("values":2})");
+  }
+  std::set<std::string> seen;
+  for (int i = 0; i < kBatch; ++i) {
+    std::optional<std::string> line = client.recv_line();
+    ASSERT_TRUE(line.has_value());
+    const Fields fields = parse(*line);
+    EXPECT_EQ(field(fields, "status"), "ok");
+    EXPECT_TRUE(seen.insert(field(fields, "id")).second);
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kBatch));
+}
+
+// ---------------------------------------------------------------------------
+// Backpressure: a slow reader with a tiny write buffer and inflight cap
+// still gets every response exactly once -- reading just pauses.
+// ---------------------------------------------------------------------------
+
+TEST(NetServer, SlowReaderWithTinyBuffersGetsEveryResponse) {
+  ServerConfig config;
+  config.max_inflight_per_conn = 4;
+  config.max_write_buffer = 512;
+  TestServer ts(std::move(config));
+  Client client = ts.connect();
+
+  const int kBatch = 128;
+  for (int i = 0; i < kBatch; ++i) {
+    client.send_line(R"({"id":"q)" + std::to_string(i) +
+                     R"(","op":"solve","task":"consensus","procs":2,)"
+                     R"("values":2})");
+  }
+  // Responses (~130 bytes each) exceed the 512-byte write buffer many
+  // times over; do not read until everything is sent.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  std::set<std::string> seen;
+  for (int i = 0; i < kBatch; ++i) {
+    std::optional<std::string> line = client.recv_line();
+    ASSERT_TRUE(line.has_value()) << "response " << i;
+    EXPECT_TRUE(seen.insert(field(parse(*line), "id")).second);
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kBatch));
+}
+
+// ---------------------------------------------------------------------------
+// Framing edges.
+// ---------------------------------------------------------------------------
+
+TEST(NetServer, OversizedLineAnswersErrorAndConnectionSurvives) {
+  ServerConfig config;
+  config.handler.max_line_bytes = 256;
+  TestServer ts(std::move(config));
+  Client client = ts.connect();
+
+  Fields oversized =
+      parse(client.roundtrip(std::string(1024, 'x')));
+  EXPECT_EQ(field(oversized, "status"), "invalid_argument");
+
+  Fields after = parse(client.roundtrip(
+      R"({"id":"ok","op":"solve","task":"consensus","procs":2,"values":2})"));
+  EXPECT_EQ(field(after, "id"), "ok");
+  EXPECT_EQ(field(after, "status"), "ok");
+  EXPECT_EQ(ts.server.stats().oversized_lines, 1u);
+}
+
+TEST(NetServer, CrlfCommentsAndBlanksAreTolerated) {
+  TestServer ts;
+  Client client = ts.connect();
+  // Blank lines and comments produce no response; CRLF line endings are
+  // stripped before parsing.  The stats control op is gated on the
+  // connection's inflight count, so the solve answers first.
+  client.send_line("");
+  client.send_line("# a comment\r");
+  client.send_line(
+      "{\"id\":\"crlf\",\"op\":\"solve\",\"task\":\"consensus\","
+      "\"procs\":2,\"values\":2}\r");
+  client.send_line(R"({"op":"stats"})");
+  std::optional<std::string> first = client.recv_line();
+  std::optional<std::string> second = client.recv_line();
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(field(parse(*first), "id"), "crlf");
+  EXPECT_EQ(field(parse(*first), "status"), "ok");
+  EXPECT_NE(second->find("submitted="), std::string::npos);
+}
+
+TEST(NetServer, MidLineEofProcessesTheFinalLine) {
+  TestServer ts;
+  Client client = ts.connect();
+  // Raw send WITHOUT the trailing newline: the half-close makes the
+  // partial line final and it is processed as if terminated.
+  const std::string partial =
+      R"({"id":"last","op":"solve","task":"consensus","procs":2,"values":2})";
+  ASSERT_EQ(::send(client.fd(), partial.data(), partial.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(partial.size()));
+  client.shutdown_write();
+  std::optional<std::string> line = client.recv_line();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(field(parse(*line), "id"), "last");
+  EXPECT_EQ(field(parse(*line), "status"), "ok");
+  EXPECT_FALSE(client.recv_line().has_value());  // then EOF
+}
+
+TEST(NetServer, HalfCloseAnswersEverythingThenEof) {
+  TestServer ts;
+  Client client = ts.connect();
+  for (int i = 0; i < 8; ++i) {
+    client.send_line(R"({"id":"h)" + std::to_string(i) +
+                     R"(","op":"solve","task":"consensus","procs":2,)"
+                     R"("values":2})");
+  }
+  client.shutdown_write();
+  int responses = 0;
+  while (std::optional<std::string> line = client.recv_line()) {
+    EXPECT_EQ(field(parse(*line), "status"), "ok");
+    ++responses;
+  }
+  EXPECT_EQ(responses, 8);
+}
+
+// ---------------------------------------------------------------------------
+// Idle timeout and graceful drain.
+// ---------------------------------------------------------------------------
+
+TEST(NetServer, IdleConnectionsAreClosed) {
+  ServerConfig config;
+  config.idle_timeout = std::chrono::milliseconds(100);
+  TestServer ts(std::move(config));
+  Client client = ts.connect();
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(client.recv_line().has_value());  // server closes us
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::seconds(10));
+  // A busy connection is NOT idle-closed: inflight queries hold it open.
+  Client busy = ts.connect();
+  Fields fields = parse(busy.roundtrip(
+      R"({"id":"b","op":"check","target":"sds","procs":2,"rounds":2,)"
+      R"("crashes":1})"));
+  EXPECT_EQ(field(fields, "status"), "ok");
+}
+
+TEST(NetServer, DrainFlushesInflightThenCloses) {
+  auto ts = std::make_unique<TestServer>();
+  Client client = ts->connect();
+  client.send_line(
+      R"({"id":"inflight","op":"check","target":"sds","procs":2,"rounds":2,)"
+      R"("crashes":1})");
+  // Wait until the server has submitted the query, then drain.
+  while (ts->server.stats().requests == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::thread drainer([&] { ts->server.drain(); });
+  std::optional<std::string> line = client.recv_line();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(field(parse(*line), "id"), "inflight");
+  EXPECT_EQ(field(parse(*line), "status"), "ok");
+  EXPECT_FALSE(client.recv_line().has_value());  // drained connections close
+  drainer.join();
+  // A drained server refuses new connections.
+  EXPECT_THROW(ts->connect(), std::system_error);
+}
+
+// ---------------------------------------------------------------------------
+// Client.
+// ---------------------------------------------------------------------------
+
+TEST(NetClient, ConnectToClosedPortThrows) {
+  // Bind-then-close yields a port that is (very likely) refusing.
+  std::uint16_t port = 0;
+  { Fd listener = listen_tcp(Endpoint{"127.0.0.1", 0}, &port); }
+  EXPECT_THROW(Client(ClientConfig{Endpoint{"127.0.0.1", port}}),
+               std::system_error);
+}
+
+TEST(NetClient, RejectsOversizedResponseLines) {
+  TestServer ts;
+  ClientConfig config;
+  config.server = Endpoint{"127.0.0.1", ts.server.port()};
+  config.max_line_bytes = 64;  // envelopes are longer than this
+  Client client(std::move(config));
+  client.send_line(
+      R"({"id":"s","op":"solve","task":"consensus","procs":2,"values":2})");
+  EXPECT_THROW(client.recv_line(), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Load generator.
+// ---------------------------------------------------------------------------
+
+TEST(Loadgen, StripIdFieldHandlesEveryPosition) {
+  EXPECT_EQ(strip_id_field(R"({"id":"a","op":"solve"})"), R"({"op":"solve"})");
+  EXPECT_EQ(strip_id_field(R"({"op":"solve","id":"a"})"), R"({"op":"solve"})");
+  EXPECT_EQ(strip_id_field(R"({"op":"x","id":"a","k":1})"),
+            R"({"op":"x","k":1})");
+  EXPECT_EQ(strip_id_field(R"({"id":42,"op":"x"})"), R"({"op":"x"})");
+  EXPECT_EQ(strip_id_field(R"({"id":"a"})"), R"({})");
+  EXPECT_EQ(strip_id_field(R"({"op":"solve"})"), R"({"op":"solve"})");
+  // "id" as a VALUE is not the id field.
+  EXPECT_EQ(strip_id_field(R"({"task":"id"})"), R"({"task":"id"})");
+  EXPECT_EQ(strip_id_field(R"({"task":"id","id":"a"})"), R"({"task":"id"})");
+}
+
+TEST(Loadgen, LoadCorpusSkipsCommentsAndValidates) {
+  std::istringstream in(
+      "# comment\n"
+      "\n"
+      "{\"id\":\"a\",\"op\":\"stats\"}\r\n"
+      "{\"op\":\"metrics\"}\n");
+  const std::vector<std::string> corpus = load_corpus(in);
+  ASSERT_EQ(corpus.size(), 2u);
+  EXPECT_EQ(corpus[0], R"({"op":"stats"})");
+  EXPECT_EQ(corpus[1], R"({"op":"metrics"})");
+
+  std::istringstream bad("not json\n");
+  EXPECT_THROW(load_corpus(bad), std::invalid_argument);
+}
+
+TEST(Loadgen, EmptyCorpusThrows) {
+  LoadgenConfig config;
+  config.server = Endpoint{"127.0.0.1", 1};
+  EXPECT_THROW(run_loadgen({}, config), std::invalid_argument);
+}
+
+// The storm: many connections hammering one server with pipelining, every
+// request answered exactly once, server metrics reconciling afterwards.
+// This is the test the TSan CI job leans on.
+TEST(Loadgen, ConnectionStormIsExactlyOnce) {
+  TestServer ts;
+  std::vector<std::string> corpus = {
+      R"({"op":"solve","task":"consensus","procs":2,"values":2})",
+      R"({"op":"solve","task":"renaming","procs":2,"names":3})",
+      R"({"op":"emulate","procs":2,"shots":1})",
+  };
+  LoadgenConfig config;
+  config.server = Endpoint{"127.0.0.1", ts.server.port()};
+  config.connections = 8;
+  config.iterations = 10;
+  config.max_inflight = 16;
+  config.check_metrics = true;
+  const LoadgenReport report = run_loadgen(corpus, config);
+  EXPECT_EQ(report.sent, 8u * 10u * corpus.size());
+  EXPECT_EQ(report.received, report.sent);
+  EXPECT_EQ(report.errors, 0u);
+  EXPECT_TRUE(report.exactly_once());
+  ASSERT_TRUE(report.metrics_reconcile.has_value());
+  EXPECT_TRUE(*report.metrics_reconcile);
+  EXPECT_GT(report.qps, 0.0);
+
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"exactly_once\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"p50_us\":"), std::string::npos);
+
+  const Server::Stats wire = ts.server.stats();
+  EXPECT_EQ(wire.accepted, 9u);  // 8 drivers + 1 metrics probe
+  EXPECT_EQ(wire.requests, report.sent);
+  EXPECT_GE(wire.responses, report.sent);
+}
+
+// Open loop: pacing still delivers exactly once.
+TEST(Loadgen, OpenLoopPacedRunIsExactlyOnce) {
+  TestServer ts;
+  std::vector<std::string> corpus = {
+      R"({"op":"solve","task":"consensus","procs":2,"values":2})",
+  };
+  LoadgenConfig config;
+  config.server = Endpoint{"127.0.0.1", ts.server.port()};
+  config.connections = 2;
+  config.iterations = 20;
+  config.rate = 400.0;
+  const LoadgenReport report = run_loadgen(corpus, config);
+  EXPECT_EQ(report.sent, 2u * 20u);
+  EXPECT_TRUE(report.exactly_once());
+  // 40 requests at 400 qps should take roughly 100ms, not finish instantly.
+  EXPECT_GT(report.seconds, 0.05);
+}
+
+}  // namespace
+}  // namespace wfc::net

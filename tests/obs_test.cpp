@@ -288,11 +288,11 @@ TEST(ServiceObs, CountersReconcileWithServiceStatsAndSpansFlow) {
   constexpr int kQueries = 12;
   std::vector<svc::QueryTicket> tickets;
   for (int i = 0; i < kQueries; ++i) {
-    tickets.push_back(service.submit_solve(
+    tickets.push_back(service.submit(svc::Query::solve(
         i % 2 == 0 ? std::static_pointer_cast<const task::Task>(
                          std::make_shared<task::ConsensusTask>(2, 2))
                    : std::static_pointer_cast<const task::Task>(
-                         std::make_shared<task::ApproxAgreementTask>(2, 3))));
+                         std::make_shared<task::ApproxAgreementTask>(2, 3)))));
   }
   for (svc::QueryTicket& t : tickets) (void)t.result.get();
 
@@ -337,8 +337,8 @@ TEST(ServiceObs, DisabledObserverKeepsRegistryEmptyAndTracesOff) {
   svc::QueryService service;  // ObsConfig::enabled defaults to false
   EXPECT_FALSE(service.observer().enabled());
   EXPECT_EQ(service.observer().trace(), nullptr);
-  auto ticket = service.submit_solve(
-      std::make_shared<task::ConsensusTask>(2, 2));
+  auto ticket = service.submit(svc::Query::solve(
+      std::make_shared<task::ConsensusTask>(2, 2)));
   (void)ticket.result.get();
   // The registry was never populated: a Prometheus export is header-free.
   std::ostringstream out;
@@ -367,10 +367,12 @@ int run_serve(const std::string& input, const svc::ServeConfig& config,
   return errors;
 }
 
-TEST(JsonlRoundTrip, LegacyEnvelopeIsTheDefault) {
+TEST(JsonlRoundTrip, LegacyEnvelopeAvailableViaFlag) {
   svc::ServeConfig config;
   config.stats_at_eof = false;
-  ASSERT_TRUE(config.legacy_envelope);
+  // Since PR 5 the v2 envelope is the default; --legacy flips this flag.
+  ASSERT_FALSE(config.legacy_envelope);
+  config.legacy_envelope = true;
   std::vector<std::string> out;
   const int errors = run_serve(
       R"({"op":"solve","task":"consensus","procs":2,"values":2})"
@@ -435,8 +437,8 @@ TEST(JsonlRoundTrip, LegacyTaskLinesRouteWithOneDeprecationNote) {
       config, &out, &err);
   EXPECT_EQ(errors, 0);
   ASSERT_EQ(out.size(), 2u);
-  EXPECT_EQ(svc::parse_flat_json(out[0]).at("status"), "UNSOLVABLE");
-  EXPECT_EQ(svc::parse_flat_json(out[1]).at("status"), "SOLVABLE");
+  EXPECT_EQ(svc::parse_flat_json(out[0]).at("verdict"), "UNSOLVABLE");
+  EXPECT_EQ(svc::parse_flat_json(out[1]).at("verdict"), "SOLVABLE");
   // The deprecation note prints once per run, not once per line.
   std::size_t notes = 0;
   for (std::size_t pos = err.find("deprecated"); pos != std::string::npos;

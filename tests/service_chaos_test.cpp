@@ -115,10 +115,10 @@ TEST(Admission, RejectNewShedsWithRetryHint) {
   QueryService service(options);
 
   // Occupy the worker, fill the queue, then overflow.
-  auto running = service.submit_solve(std::make_shared<SlowConsensus>());
+  auto running = service.submit(Query::solve(std::make_shared<SlowConsensus>()));
   gate.await(1);
-  auto queued = service.submit_solve(std::make_shared<SlowConsensus>());
-  auto shed = service.submit_solve(std::make_shared<SlowConsensus>());
+  auto queued = service.submit(Query::solve(std::make_shared<SlowConsensus>()));
+  auto shed = service.submit(Query::solve(std::make_shared<SlowConsensus>()));
 
   const QueryResult r = get_within(shed);
   EXPECT_EQ(r.status, Status::kOverloaded);
@@ -141,10 +141,10 @@ TEST(Admission, DropOldestCancelsTheVictimAndAdmitsTheNewcomer) {
   gate.arm(options);
   QueryService service(options);
 
-  auto running = service.submit_solve(std::make_shared<SlowConsensus>());
+  auto running = service.submit(Query::solve(std::make_shared<SlowConsensus>()));
   gate.await(1);
-  auto victim = service.submit_solve(std::make_shared<SlowConsensus>());
-  auto newcomer = service.submit_solve(std::make_shared<SlowConsensus>());
+  auto victim = service.submit(Query::solve(std::make_shared<SlowConsensus>()));
+  auto newcomer = service.submit(Query::solve(std::make_shared<SlowConsensus>()));
 
   // The victim is aborted synchronously by the overflowing submit.
   const QueryResult v = get_within(victim);
@@ -164,12 +164,12 @@ TEST(Admission, DeadlineExpiredWhileQueuedNeverStartsTheSearch) {
 
   // Saturate the single worker so the timed query must wait in the queue
   // past its 0ms deadline.
-  auto blocker = service.submit_solve(std::make_shared<SlowConsensus>());
+  auto blocker = service.submit(Query::solve(std::make_shared<SlowConsensus>()));
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
   QueryOptions qopts;
   qopts.timeout = std::chrono::milliseconds(0);
   auto expired =
-      service.submit_solve(std::make_shared<SlowConsensus>(), qopts);
+      service.submit(Query::solve(std::make_shared<SlowConsensus>(), qopts));
 
   service.cancel_all();
   const QueryResult r = get_within(expired);
@@ -188,7 +188,7 @@ TEST(Admission, DegradedBudgetUnderLoadYieldsUnknown) {
   gate.arm(options);
   QueryService service(options);
 
-  auto running = service.submit_solve(std::make_shared<SlowConsensus>());
+  auto running = service.submit(Query::solve(std::make_shared<SlowConsensus>()));
   gate.await(1);
   // Fill the queue at least half full so dequeued searches degrade.  Approx
   // agreement needs real search nodes for its level-1 witness (unlike
@@ -198,8 +198,8 @@ TEST(Admission, DegradedBudgetUnderLoadYieldsUnknown) {
   for (int i = 0; i < 4; ++i) {
     QueryOptions qopts;
     qopts.node_budget = 2;  // degrades to 1 under pressure
-    queued.push_back(service.submit_solve(
-        std::make_shared<task::ApproxAgreementTask>(2, 3), qopts));
+    queued.push_back(service.submit(Query::solve(
+        std::make_shared<task::ApproxAgreementTask>(2, 3), qopts)));
   }
   running.cancel->store(true);  // free the worker; the queue is now deep
   bool saw_degraded = false;
@@ -229,8 +229,8 @@ TEST(WatchdogRules, HardTimeoutKillsARunawayQuery) {
 
   // No per-query deadline: only the watchdog can stop this slow search
   // (2ms per Delta consultation puts completion far past the hard cap).
-  auto ticket = service.submit_solve(
-      std::make_shared<SlowConsensus>(std::chrono::milliseconds(2)));
+  auto ticket = service.submit(Query::solve(
+      std::make_shared<SlowConsensus>(std::chrono::milliseconds(2))));
   const QueryResult r = get_within(ticket);
   EXPECT_EQ(r.status, Status::kDeadlineExceeded);
   EXPECT_EQ(r.solve.status, Solvability::kCancelled);
@@ -249,8 +249,8 @@ TEST(WatchdogRules, SilentHeartbeatIsReportedAsStuck) {
 
   // Delta sleeps 20ms PER CALL: between two search nodes the heartbeat is
   // silent for many scans, which is exactly a stuck-worker signature.
-  auto ticket = service.submit_solve(
-      std::make_shared<SlowConsensus>(std::chrono::milliseconds(20)));
+  auto ticket = service.submit(Query::solve(
+      std::make_shared<SlowConsensus>(std::chrono::milliseconds(20))));
   const QueryResult r = get_within(ticket);
   EXPECT_EQ(r.status, Status::kDeadlineExceeded);  // killed by the hard cap
   EXPECT_GE(service.stats().stuck_worker_reports, 1u);
@@ -270,7 +270,7 @@ TEST(FaultContainment, BuildFaultIsContainedAndRetryable) {
   QueryService service(options);
 
   auto first =
-      service.submit_solve(std::make_shared<task::ConsensusTask>(2, 2));
+      service.submit(Query::solve(std::make_shared<task::ConsensusTask>(2, 2)));
   const QueryResult r1 = get_within(first);
   EXPECT_EQ(r1.status, Status::kResourceExhausted);
   EXPECT_GT(r1.retry_after_ms, 0u);
@@ -278,7 +278,7 @@ TEST(FaultContainment, BuildFaultIsContainedAndRetryable) {
 
   // The fault was transient; the retry succeeds and the cache is usable.
   auto second =
-      service.submit_solve(std::make_shared<task::ConsensusTask>(2, 2));
+      service.submit(Query::solve(std::make_shared<task::ConsensusTask>(2, 2)));
   const QueryResult r2 = get_within(second);
   EXPECT_EQ(r2.status, Status::kOk);
   EXPECT_EQ(r2.solve.status, Solvability::kUnsolvable);
@@ -371,7 +371,7 @@ TEST(Shutdown, DestructorDrainsEveryPendingFuture) {
     QueryService service(options);
     for (int i = 0; i < 24; ++i) {
       tickets.push_back(
-          service.submit_solve(std::make_shared<SlowConsensus>()));
+          service.submit(Query::solve(std::make_shared<SlowConsensus>())));
     }
   }  // destructor: cancel, close, drain, join -- no ticket left behind
   for (QueryTicket& t : tickets) {
@@ -386,9 +386,9 @@ TEST(Shutdown, SubmitAfterHeavyCancelStillTerminates) {
   QueryService::Options options;
   options.workers = 1;
   QueryService service(options);
-  auto a = service.submit_solve(std::make_shared<SlowConsensus>());
+  auto a = service.submit(Query::solve(std::make_shared<SlowConsensus>()));
   service.cancel_all();
-  auto b = service.submit_solve(std::make_shared<task::ConsensusTask>(2, 2));
+  auto b = service.submit(Query::solve(std::make_shared<task::ConsensusTask>(2, 2)));
   get_within(a);
   const QueryResult r = get_within(b);
   EXPECT_EQ(r.status, Status::kOk);  // cancel_all is not shutdown
@@ -449,20 +449,20 @@ TEST(ChaosSoak, StormPreservesEveryInvariant) {
     while (std::chrono::steady_clock::now() < storm_end) {
       switch (rng.below(6)) {
         case 0:
-          window.push_back(service.submit_solve(shared_consensus));
+          window.push_back(service.submit(Query::solve(shared_consensus)));
           break;
         case 1:
-          window.push_back(service.submit_solve(shared_approx));
+          window.push_back(service.submit(Query::solve(shared_approx)));
           break;
         case 2:
-          window.push_back(service.submit_solve(
+          window.push_back(service.submit(Query::solve(
               std::make_shared<task::ApproxAgreementTask>(
-                  2, rng.between(2, 4))));
+                  2, rng.between(2, 4)))));
           break;
         case 3:
-          window.push_back(service.submit_solve(
+          window.push_back(service.submit(Query::solve(
               std::make_shared<SlowConsensus>(
-                  std::chrono::microseconds(200))));
+                  std::chrono::microseconds(200)))));
           break;
         case 4: {
           CheckRequest check;
@@ -482,8 +482,8 @@ TEST(ChaosSoak, StormPreservesEveryInvariant) {
           if (rng.below(4) == 0) {
             qopts.timeout = std::chrono::milliseconds(rng.between(0, 10));
           }
-          window.push_back(service.submit_solve(
-              std::make_shared<task::ConsensusTask>(2, 2), qopts));
+          window.push_back(service.submit(Query::solve(
+              std::make_shared<task::ConsensusTask>(2, 2), qopts)));
           break;
         }
       }
@@ -548,12 +548,12 @@ TEST(ChaosSoak, StatsReconcileAfterAStormThatRunsToCompletion) {
 
   std::vector<QueryTicket> tickets;
   for (int i = 0; i < 200; ++i) {
-    tickets.push_back(service.submit_solve(
+    tickets.push_back(service.submit(Query::solve(
         rng.coin()
             ? std::static_pointer_cast<const task::Task>(
                   std::make_shared<task::ConsensusTask>(2, 2))
             : std::static_pointer_cast<const task::Task>(
-                  std::make_shared<task::ApproxAgreementTask>(2, 3))));
+                  std::make_shared<task::ApproxAgreementTask>(2, 3)))));
     if (rng.below(5) == 0) tickets.back().cancel->store(true);
   }
   for (QueryTicket& t : tickets) get_within(t);
@@ -579,13 +579,13 @@ TEST(ChaosSoak, StatsReconcileAfterAStormThatRunsToCompletion) {
   }
   EXPECT_EQ(obs_terminal, stats.submitted);
   // The service survived injected faults and still answers correctly.
-  auto probe = service.submit_solve(
-      std::make_shared<task::ConsensusTask>(2, 2));
+  auto probe = service.submit(Query::solve(
+      std::make_shared<task::ConsensusTask>(2, 2)));
   // A build fault may still hit the probe; retry a few times.
   QueryResult r = get_within(probe);
   for (int i = 0; i < 32 && r.status != Status::kOk; ++i) {
-    auto again = service.submit_solve(
-        std::make_shared<task::ConsensusTask>(2, 2));
+    auto again = service.submit(Query::solve(
+        std::make_shared<task::ConsensusTask>(2, 2)));
     r = get_within(again);
   }
   EXPECT_EQ(r.status, Status::kOk);

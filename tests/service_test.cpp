@@ -254,7 +254,7 @@ TEST(Cancellation, ServiceTimeoutYieldsDeadlineExceeded) {
   QueryOptions options;
   options.timeout = std::chrono::milliseconds(0);
   auto ticket =
-      service.submit_solve(std::make_shared<SlowConsensus>(), options);
+      service.submit(Query::solve(std::make_shared<SlowConsensus>(), options));
   const QueryResult r = ticket.result.get();
   EXPECT_EQ(r.status, Status::kDeadlineExceeded);
   EXPECT_EQ(r.solve.status, Solvability::kCancelled);
@@ -267,8 +267,8 @@ TEST(Cancellation, TicketTokenCancelsAQueuedQuery) {
   options.workers = 1;
   QueryService service(options);
   // Occupy the single worker, then cancel a queued query before it runs.
-  auto blocker = service.submit_solve(std::make_shared<SlowConsensus>());
-  auto queued = service.submit_solve(std::make_shared<SlowConsensus>());
+  auto blocker = service.submit(Query::solve(std::make_shared<SlowConsensus>()));
+  auto queued = service.submit(Query::solve(std::make_shared<SlowConsensus>()));
   queued.cancel->store(true);
   const QueryResult r = queued.result.get();
   EXPECT_EQ(r.status, Status::kCancelled);
@@ -283,7 +283,7 @@ TEST(Cancellation, CancelAllStopsEverything) {
   QueryService service(options);
   std::vector<QueryTicket> tickets;
   for (int i = 0; i < 6; ++i) {
-    tickets.push_back(service.submit_solve(std::make_shared<SlowConsensus>()));
+    tickets.push_back(service.submit(Query::solve(std::make_shared<SlowConsensus>())));
   }
   service.cancel_all();
   for (QueryTicket& t : tickets) {
@@ -329,7 +329,7 @@ TEST(Determinism, PoolMatchesSequentialOnCanonicalSuite) {
     for (std::size_t i = 0; i < suite.size(); ++i) {
       QueryOptions qopts;
       qopts.max_level = suite[i].second;
-      tickets.emplace_back(i, service.submit_solve(suite[i].first(), qopts));
+      tickets.emplace_back(i, service.submit(Query::solve(suite[i].first(), qopts)));
     }
   }
   for (auto& [i, ticket] : tickets) {
@@ -355,11 +355,11 @@ TEST(Determinism, ResultMemoReplaysDefinitiveVerdicts) {
   QueryService service(options);
   auto consensus = std::make_shared<task::ConsensusTask>(2, 2);
 
-  const QueryResult first = service.submit_solve(consensus).result.get();
+  const QueryResult first = service.submit(Query::solve(consensus)).result.get();
   ASSERT_TRUE(first.error.empty());
   EXPECT_FALSE(first.memoized);
 
-  const QueryResult second = service.submit_solve(consensus).result.get();
+  const QueryResult second = service.submit(Query::solve(consensus)).result.get();
   EXPECT_TRUE(second.memoized);
   EXPECT_TRUE(second.cache_hit);
   EXPECT_EQ(second.solve.status, first.solve.status);
@@ -371,13 +371,13 @@ TEST(Determinism, ResultMemoReplaysDefinitiveVerdicts) {
   // A different max_level is a different question: no replay.
   QueryOptions qopts;
   qopts.max_level = 1;
-  const QueryResult other = service.submit_solve(consensus, qopts).result.get();
+  const QueryResult other = service.submit(Query::solve(consensus, qopts)).result.get();
   EXPECT_FALSE(other.memoized);
 
   // A fresh instance of the same task is a different key too (the memo is
   // identity-based precisely because Delta cannot be fingerprinted cheaply).
   const QueryResult fresh =
-      service.submit_solve(std::make_shared<task::ConsensusTask>(2, 2))
+      service.submit(Query::solve(std::make_shared<task::ConsensusTask>(2, 2)))
           .result.get();
   EXPECT_FALSE(fresh.memoized);
   EXPECT_TRUE(fresh.cache_hit);  // ...but its chains all come from the cache
@@ -550,15 +550,15 @@ TEST(RandomizedStress, MixedWorkloadIsDeterministicUnderSeed) {
       case 0:
         tickets.emplace_back(
             Solvability::kUnsolvable,
-            service.submit_solve(
-                std::make_shared<task::ConsensusTask>(2, 2)));
+            service.submit(Query::solve(
+                std::make_shared<task::ConsensusTask>(2, 2))));
         break;
       case 1:
         tickets.emplace_back(
             Solvability::kSolvable,
-            service.submit_solve(
+            service.submit(Query::solve(
                 std::make_shared<task::ApproxAgreementTask>(
-                    2, rng.between(2, 4))));
+                    2, rng.between(2, 4)))));
         break;
       default: {
         CheckRequest check;
@@ -610,8 +610,8 @@ TEST(Frontend, RejectsUnknownOpPerLine) {
   EXPECT_NE(lines[1].find("unknown op \\\"frobnicate\\\""),
             std::string::npos);
   // Lines before and after still execute normally.
-  EXPECT_NE(lines[0].find("\"status\":\"SOLVABLE\""), std::string::npos);
-  EXPECT_NE(lines[2].find("\"status\":\"SOLVABLE\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"verdict\":\"SOLVABLE\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"verdict\":\"SOLVABLE\""), std::string::npos);
 }
 
 TEST(Frontend, ServesCheckOps) {
@@ -633,10 +633,10 @@ TEST(Frontend, ServesCheckOps) {
   for (std::string line; std::getline(result, line);) lines.push_back(line);
   ASSERT_EQ(lines.size(), 4u);
   EXPECT_NE(lines[0].find("\"id\":\"c1\""), std::string::npos);
-  EXPECT_NE(lines[0].find("\"status\":\"OK\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"verdict\":\"OK\""), std::string::npos);
   EXPECT_NE(lines[0].find("\"schedules\":9"), std::string::npos);  // 3^2
   EXPECT_NE(lines[1].find("\"id\":\"c2\""), std::string::npos);
-  EXPECT_NE(lines[1].find("\"status\":\"OK\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"verdict\":\"OK\""), std::string::npos);
   EXPECT_NE(lines[2].find("unknown check target"), std::string::npos);
   EXPECT_NE(lines[3].find("check runs=2"), std::string::npos);
 }
@@ -664,9 +664,9 @@ TEST(Frontend, ServesABatchInOrder) {
   ASSERT_EQ(lines.size(), 6u);
 
   EXPECT_NE(lines[0].find("\"id\":\"q1\""), std::string::npos);
-  EXPECT_NE(lines[0].find("\"status\":\"UNSOLVABLE\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"verdict\":\"UNSOLVABLE\""), std::string::npos);
   EXPECT_NE(lines[1].find("\"id\":\"q2\""), std::string::npos);
-  EXPECT_NE(lines[1].find("\"status\":\"SOLVABLE\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"verdict\":\"SOLVABLE\""), std::string::npos);
   EXPECT_NE(lines[1].find("\"level\":1"), std::string::npos);
   // q3 repeats q2: the shared cache makes it a pure hit.
   EXPECT_NE(lines[2].find("\"cache_hit\":true"), std::string::npos);
