@@ -225,18 +225,19 @@ void Server::loop_thread(const std::shared_ptr<Loop>& loop,
       if (errno == EINTR) continue;
       break;
     }
+    bool wake_fired = false;
+    bool accept_ready = false;
     for (int i = 0; i < n; ++i) {
       const int fd = events[i].data.fd;
       if (fd == loop->wake.get()) {
         std::uint64_t drainv;
         while (::read(loop->wake.get(), &drainv, sizeof(drainv)) > 0) {
         }
-        adopt_incoming(loop);
-        handle_dirty(loop);
+        wake_fired = true;
         continue;
       }
       if (is_acceptor && fd == listener_.get()) {
-        handle_accept(loop);
+        accept_ready = true;
         continue;
       }
       auto it = loop->conns.find(fd);
@@ -252,6 +253,16 @@ void Server::loop_thread(const std::shared_ptr<Loop>& loop,
         flush_writes(loop, conn);
         if (!conn->closed) update_interest(loop, conn);
       }
+    }
+    // Accepting and completion handling run only after every connection
+    // event in the batch has dispatched: handle_dirty can close a
+    // connection and adopt_incoming can register a new one that reuses the
+    // same fd, which would otherwise let this batch's remaining events for
+    // the dead connection dispatch to the new one.
+    if (accept_ready) handle_accept(loop);
+    if (wake_fired) {
+      adopt_incoming(loop);
+      handle_dirty(loop);
     }
     if (config_.idle_timeout.count() > 0) sweep_idle(loop);
     if (draining) {
@@ -329,6 +340,10 @@ void Server::adopt_incoming(const std::shared_ptr<Loop>& loop) {
     }
     auto conn = std::make_shared<Conn>();
     const int cfd = fd.get();
+    if (config_.sndbuf_bytes > 0) {
+      (void)::setsockopt(cfd, SOL_SOCKET, SO_SNDBUF, &config_.sndbuf_bytes,
+                         sizeof(config_.sndbuf_bytes));
+    }
     conn->sock = std::move(fd);
     conn->loop = loop;
     conn->last_activity = std::chrono::steady_clock::now();
@@ -377,6 +392,7 @@ void Server::drain_conn(const std::shared_ptr<Loop>& loop,
     add_counter(m_responses_);
   }
   conn->inflight -= lines.size();
+  bool queued = !lines.empty();
   if (conn->pending_control && conn->inflight == 0) {
     svc::RequestHandler::ParsedLine control =
         std::move(*conn->pending_control);
@@ -385,7 +401,11 @@ void Server::drain_conn(const std::shared_ptr<Loop>& loop,
     conn->wbuf += '\n';
     responses_.fetch_add(1, std::memory_order_relaxed);
     add_counter(m_responses_);
+    queued = true;
   }
+  // Queuing output counts as activity: the idle clock then measures the
+  // CLIENT's failure to read these responses, not our own compute time.
+  if (queued) conn->last_activity = std::chrono::steady_clock::now();
   // Parsing may have paused on the inflight or write-buffer caps.
   process_rbuf(loop, conn);
   if (conn->closed) return;
@@ -668,9 +688,13 @@ void Server::sweep_idle(const std::shared_ptr<Loop>& loop) {
   std::vector<std::shared_ptr<Conn>> victims;
   for (const auto& [fd, conn] : loop->conns) {
     // A connection waiting on its own long-running queries is not idle --
-    // the silence is ours, not the client's.
+    // the silence is ours, not the client's.  Unsent response bytes do NOT
+    // hold a connection open, though: last_activity advances whenever
+    // responses are queued or the socket accepts bytes, so a client that
+    // fills its window and stops reading for a full idle period is dropped
+    // instead of pinning its write buffer forever (EPOLLOUT never fires
+    // for a peer that stops reading).
     if (conn->inflight == 0 && !conn->pending_control &&
-        conn->unsent_bytes() == 0 &&
         now - conn->last_activity >= config_.idle_timeout) {
       victims.push_back(conn);
     }

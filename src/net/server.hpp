@@ -33,7 +33,10 @@
 // Control ops ({"op":"stats"|"metrics"|"trace"}) promise counters that
 // reconcile with everything submitted before them, so the connection stops
 // parsing until its own inflight count reaches zero, answers the control
-// op, then resumes.
+// op, then resumes.  Path-bearing control ops (metrics/trace naming a
+// filesystem "path") are rejected on this transport: the default
+// HandlerConfig::allow_control_paths stays off, because a remote client
+// must not be able to create or truncate server-side files.
 //
 // Lifecycle: start() binds and spawns the loops; stop() closes everything
 // immediately; drain() (the SIGTERM path) closes the listener, lets
@@ -67,8 +70,15 @@ struct ServerConfig {
   std::size_t max_inflight_per_conn = 128;
   /// Buffered unsent response bytes per connection before reading pauses.
   std::size_t max_write_buffer = 4u << 20;
-  /// Close connections with no traffic for this long; zero disables.
+  /// Close connections with no traffic for this long; zero disables.  A
+  /// client with unsent responses that makes no read progress for a full
+  /// idle period counts as idle (and is force-closed) -- its silence pins
+  /// up to max_write_buffer of rendered responses otherwise.
   std::chrono::milliseconds idle_timeout{0};
+  /// SO_SNDBUF for accepted sockets; 0 keeps the kernel default.  Small
+  /// values surface write backpressure after a few KB (a tuning / test
+  /// knob; the idle-timeout tests rely on it).
+  int sndbuf_bytes = 0;
   /// drain(): force-close connections still busy past this deadline.
   std::chrono::milliseconds drain_timeout{10'000};
 };

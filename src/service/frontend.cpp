@@ -22,6 +22,9 @@ int run_jsonl_server(std::istream& in, std::ostream& out, std::ostream& err,
   handler_config.default_max_level = config.default_max_level;
   handler_config.legacy_envelope = config.legacy_envelope;
   handler_config.max_line_bytes = config.max_line_bytes;
+  // The stdin transport runs in the operator's own shell, so path-bearing
+  // metrics/trace ops may write files; network transports keep this off.
+  handler_config.allow_control_paths = true;
   handler_config.warn = [&err](const std::string& note) {
     err << "wfc_serve: " << note << "\n";
   };

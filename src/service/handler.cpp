@@ -36,6 +36,17 @@ std::string string_field(const Fields& fields, const std::string& key,
   return it == fields.end() ? fallback : it->second;
 }
 
+/// Iterated-SDS towers grow exponentially with "depth" and are constructed
+/// on the transport thread, so the handler bounds the field at parse time
+/// instead of letting one request stall an event loop.
+void check_depth_cap(const Fields& fields, int max_depth) {
+  if (max_depth <= 0 || fields.count("depth") == 0) return;
+  if (int_field(fields, "depth") > max_depth) {
+    throw std::invalid_argument("field \"depth\" exceeds the cap of " +
+                                std::to_string(max_depth));
+  }
+}
+
 QueryOptions parse_query_options(const Fields& fields, int default_max_level) {
   QueryOptions options;
   options.max_level = int_field(fields, "max_level", default_max_level);
@@ -210,18 +221,45 @@ std::shared_ptr<task::Task> RequestHandler::intern_task(const Fields& fields) {
     key += v;
     key += ';';
   }
+  {
+    std::lock_guard<std::mutex> lock(intern_mu_);
+    auto it = interned_.find(key);
+    if (it != interned_.end()) {
+      intern_lru_.splice(intern_lru_.begin(), intern_lru_, it->second.lru);
+      return it->second.task;
+    }
+  }
+  // Construct OUTSIDE the lock: large tasks (iterated-SDS towers) are
+  // expensive to build, and holding intern_mu_ here would serialize every
+  // transport thread behind one big request.
+  std::shared_ptr<task::Task> task = make_canonical_task(fields);
   std::lock_guard<std::mutex> lock(intern_mu_);
   auto it = interned_.find(key);
-  if (it == interned_.end()) {
-    // Construct before inserting: a throwing line must not intern null.
-    it = interned_.emplace(key, make_canonical_task(fields)).first;
+  if (it != interned_.end()) {
+    // A concurrent twin interned it first; keep theirs so the result memo
+    // sees one object identity.
+    intern_lru_.splice(intern_lru_.begin(), intern_lru_, it->second.lru);
+    return it->second.task;
   }
-  return it->second;
+  intern_lru_.push_front(key);
+  interned_.emplace(key, InternedTask{task, intern_lru_.begin()});
+  while (config_.max_interned_tasks != 0 &&
+         interned_.size() > config_.max_interned_tasks) {
+    interned_.erase(intern_lru_.back());
+    intern_lru_.pop_back();
+  }
+  return task;
+}
+
+std::size_t RequestHandler::interned_tasks() {
+  std::lock_guard<std::mutex> lock(intern_mu_);
+  return interned_.size();
 }
 
 std::pair<Query, RequestHandler::ResponseMeta> RequestHandler::build_query(
     const ParsedLine& parsed) {
   const Fields& fields = parsed.fields;
+  check_depth_cap(fields, config_.max_task_depth);
   ResponseMeta meta;
   meta.id = string_field(fields, "id");
   Query query;
@@ -367,6 +405,10 @@ RequestHandler::Rendered RequestHandler::control(const ParsedLine& parsed) {
       }
       if (const std::string path = string_field(parsed.fields, "path");
           !path.empty()) {
+        if (!config_.allow_control_paths) {
+          throw std::invalid_argument(
+              "metrics: \"path\" is not allowed on this transport");
+        }
         std::ofstream file(path);
         if (!file) {
           throw std::invalid_argument("metrics: cannot open \"" + path +
@@ -384,6 +426,10 @@ RequestHandler::Rendered RequestHandler::control(const ParsedLine& parsed) {
     const std::string path = string_field(parsed.fields, "path");
     if (path.empty()) {
       throw std::invalid_argument("trace: missing field \"path\"");
+    }
+    if (!config_.allow_control_paths) {
+      throw std::invalid_argument(
+          "trace: \"path\" is not allowed on this transport");
     }
     std::ofstream file(path);
     if (!file) {

@@ -35,6 +35,7 @@
 
 #include <atomic>
 #include <functional>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -60,6 +61,22 @@ struct HandlerConfig {
   /// Request lines longer than this are answered with an invalid_argument
   /// record and never buffered or parsed.  0 disables the cap.
   std::size_t max_line_bytes = 1 << 20;
+  /// Let {"op":"metrics"} / {"op":"trace"} requests name a filesystem
+  /// "path" that the handler writes as a side effect.  Only an
+  /// operator-driven transport (the stdin front-end) may turn this on;
+  /// network transports must leave it off -- over TCP it would let any
+  /// unauthenticated client create or truncate any server-writable file.
+  bool allow_control_paths = false;
+  /// Interned canonical tasks kept for result-memo object identity; the
+  /// least recently used entries are evicted past this bound so a client
+  /// cannot grow the table without limit by varying task parameters.
+  /// 0 removes the bound.
+  std::size_t max_interned_tasks = 1024;
+  /// Upper bound on the "depth" request field: iterated-SDS towers grow
+  /// exponentially with depth and are constructed on the transport thread,
+  /// so requests over the cap answer invalid_argument instead of stalling
+  /// the connection's event loop.  0 removes the cap.
+  int max_task_depth = 6;
   /// Sink for one-shot deprecation notes (bare {"task":...} lines); null
   /// discards them.
   std::function<void(const std::string&)> warn;
@@ -126,11 +143,15 @@ class RequestHandler {
                                 const QueryResult& result) const;
 
   /// Response for a kControl line.  The caller must have flushed its own
-  /// pending queries first; metrics/trace may write files as side effects.
+  /// pending queries first; metrics/trace write files as side effects only
+  /// when the transport enables allow_control_paths.
   [[nodiscard]] Rendered control(const ParsedLine& parsed);
 
   [[nodiscard]] const HandlerConfig& config() const { return config_; }
   [[nodiscard]] QueryService& service() { return service_; }
+
+  /// Current interned-task table size (bounded by max_interned_tasks).
+  [[nodiscard]] std::size_t interned_tasks();
 
  private:
   /// Builds the Query + ResponseMeta for a kSubmit line; throws
@@ -139,14 +160,21 @@ class RequestHandler {
       const ParsedLine& parsed);
   /// Canonical tasks are pure functions of their request fields, so
   /// repeated lines share ONE task object -- which is what the service's
-  /// result memo keys on.  Thread-safe.
+  /// result memo keys on.  Thread-safe; the table is an LRU bounded by
+  /// max_interned_tasks.
   [[nodiscard]] std::shared_ptr<task::Task> intern_task(const Fields& fields);
+
+  struct InternedTask {
+    std::shared_ptr<task::Task> task;
+    std::list<std::string>::iterator lru;
+  };
 
   QueryService& service_;
   HandlerConfig config_;
   std::atomic<bool> warned_legacy_task_{false};
   std::mutex intern_mu_;
-  std::map<std::string, std::shared_ptr<task::Task>> interned_;
+  std::map<std::string, InternedTask> interned_;
+  std::list<std::string> intern_lru_;  // front = most recent
 };
 
 }  // namespace wfc::svc

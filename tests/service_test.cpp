@@ -469,6 +469,58 @@ TEST(Frontend, MakeCanonicalTaskCoversEveryKind) {
                std::invalid_argument);
 }
 
+TEST(Frontend, InternedTaskTableIsBounded) {
+  QueryService::Options options;
+  options.workers = 1;
+  QueryService service(options);
+  HandlerConfig config;
+  config.max_interned_tasks = 8;
+  RequestHandler handler(service, config);
+  // 64 distinct task parameterizations; "budget":1 makes each search abort
+  // immediately so the test measures interning, not solving.
+  for (int i = 0; i < 64; ++i) {
+    RequestHandler::ParsedLine parsed = handler.parse(
+        R"({"op":"solve","task":"consensus","procs":2,"budget":1,"values":)" +
+            std::to_string(2 + i) + "}",
+        i + 1);
+    ASSERT_EQ(parsed.action, RequestHandler::Action::kSubmit);
+    RequestHandler::Rendered error;
+    std::optional<RequestHandler::Submitted> submitted =
+        handler.submit(parsed, &error);
+    ASSERT_TRUE(submitted.has_value()) << error.line;
+    (void)submitted->ticket.result.get();
+    EXPECT_LE(handler.interned_tasks(), 8u);
+  }
+  EXPECT_EQ(handler.interned_tasks(), 8u);
+  // A repeated request re-interns to the SAME object (LRU hit), keeping
+  // result-memo identity across lines.
+  RequestHandler::ParsedLine again = handler.parse(
+      R"({"op":"solve","task":"consensus","procs":2,"budget":1,"values":65})",
+      65);
+  RequestHandler::Rendered error;
+  std::optional<RequestHandler::Submitted> submitted =
+      handler.submit(again, &error);
+  ASSERT_TRUE(submitted.has_value()) << error.line;
+  (void)submitted->ticket.result.get();
+  EXPECT_EQ(handler.interned_tasks(), 8u);
+}
+
+TEST(Frontend, DepthFieldOverTheCapIsRejected) {
+  QueryService::Options options;
+  options.workers = 1;
+  QueryService service(options);
+  HandlerConfig config;
+  config.max_task_depth = 3;
+  RequestHandler handler(service, config);
+  RequestHandler::ParsedLine deep = handler.parse(
+      R"({"op":"solve","task":"simplex-agreement","procs":2,"depth":4})", 1);
+  ASSERT_EQ(deep.action, RequestHandler::Action::kSubmit);
+  RequestHandler::Rendered error;
+  EXPECT_FALSE(handler.submit(deep, &error).has_value());
+  EXPECT_NE(error.line.find("invalid_argument"), std::string::npos);
+  EXPECT_NE(error.line.find("depth"), std::string::npos);
+}
+
 // ---------------------------------------------------------------------------
 // kCheck queries (the wfc::chk model checker behind the service surface).
 // ---------------------------------------------------------------------------
