@@ -1,0 +1,231 @@
+// E23 -- the wfc::cluster routing tier quantitatively.  Real epoll servers
+// on loopback: N backend shards behind a wfc::cluster::Router behind a
+// front Server, driven end-to-end by the load generator (closed loop,
+// mixed-fingerprint corpus).  Three questions, one binary:
+//
+//   * BM_SingleFatServer: the comparator -- the same corpus against one
+//     server with no routing tier (the router's proxy overhead baseline).
+//   * BM_ClusterClosedLoop/1|2|4: goodput and tail latency through the
+//     router as the ring grows; every run asserts exactly-once delivery
+//     THROUGH the proxy (lost / duplicated / unmatched all zero).
+//   * BM_RoutingLocality/0|1: the reason the tier exists -- fingerprint
+//     routing (arg 0) concentrates each task's repeats on one shard, so
+//     the result-memo hit rate stays near the single-server figure, while
+//     random routing (arg 1) spreads them over every shard and pays one
+//     cold solve per shard per task.  The memo_hit_rate counter is the
+//     cache-locality win; CI stores all rows as BENCH_cluster.json.
+//
+// Shard counts stay modest (<= 4) because everything shares one machine:
+// the point is routing behavior, not loopback saturation.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/router.hpp"
+#include "net/client.hpp"
+#include "net/loadgen.hpp"
+#include "net/server.hpp"
+#include "service/query_service.hpp"
+
+namespace {
+
+using namespace wfc;
+
+constexpr int kWorkers = 4;
+constexpr int kMaxLevel = 2;
+
+svc::QueryService::Options service_options() {
+  svc::QueryService::Options options;
+  options.workers = kWorkers;
+  options.obs.enabled = true;
+  return options;
+}
+
+/// A corpus of distinct task fingerprints, each cheap at max_level 2 and
+/// memoizable: repeats of one line are memo hits on whichever shard owns
+/// its fingerprint.
+std::vector<std::string> mixed_corpus() {
+  std::vector<std::string> corpus;
+  for (int values = 2; values <= 9; ++values) {
+    corpus.push_back(
+        R"({"op":"solve","task":"consensus","procs":2,"values":)" +
+        std::to_string(values) + R"(,"max_level":2})");
+  }
+  for (int names = 3; names <= 6; ++names) {
+    corpus.push_back(
+        R"({"op":"solve","task":"renaming","procs":2,"names":)" +
+        std::to_string(names) + R"(,"max_level":2})");
+  }
+  return corpus;
+}
+
+/// One backend shard: a QueryService plus a started Server on an
+/// ephemeral loopback port.
+struct Backend {
+  Backend() : service(service_options()) {
+    net::ServerConfig config;
+    config.handler.default_max_level = kMaxLevel;
+    server = std::make_unique<net::Server>(service, std::move(config));
+    server->start();
+  }
+  svc::QueryService service;
+  std::unique_ptr<net::Server> server;
+};
+
+/// N shards behind a router behind a front server, ready for loadgen.
+struct Cluster {
+  explicit Cluster(int n, bool random_routing = false) {
+    cluster::RouterConfig config;
+    for (int i = 0; i < n; ++i) {
+      backends.push_back(std::make_unique<Backend>());
+      config.shards.push_back(cluster::ShardSpec{
+          "s" + std::to_string(i + 1),
+          net::Endpoint{"127.0.0.1", backends.back()->server->port()}});
+    }
+    config.random_routing = random_routing;
+    router = std::make_unique<cluster::Router>(std::move(config));
+    router->start();
+    net::ServerConfig front_config;
+    front = std::make_unique<net::Server>(*router, front_config);
+    front->start();
+  }
+
+  [[nodiscard]] net::Endpoint endpoint() const {
+    return net::Endpoint{"127.0.0.1", front->port()};
+  }
+
+  /// Result-memo hit rate across every shard, 0..1.
+  [[nodiscard]] double memo_hit_rate() const {
+    std::uint64_t queries = 0;
+    std::uint64_t hits = 0;
+    for (const auto& backend : backends) {
+      const svc::ServiceStats stats = backend->service.stats();
+      queries += stats.queries;
+      hits += stats.result_hits;
+    }
+    return queries == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(queries);
+  }
+
+  std::vector<std::unique_ptr<Backend>> backends;
+  std::unique_ptr<cluster::Router> router;
+  std::unique_ptr<net::Server> front;
+};
+
+net::LoadgenConfig loadgen_config(const net::Endpoint& endpoint) {
+  net::LoadgenConfig config;
+  config.server = endpoint;
+  config.connections = 4;
+  config.iterations = 50;
+  config.max_inflight = 16;
+  return config;
+}
+
+/// The no-router comparator: one fat server takes the whole corpus.
+void BM_SingleFatServer(benchmark::State& state) {
+  Backend backend;
+  const std::vector<std::string> corpus = mixed_corpus();
+  const net::Endpoint endpoint{"127.0.0.1", backend.server->port()};
+  net::LoadgenConfig config = loadgen_config(endpoint);
+
+  std::uint64_t requests = 0;
+  net::LoadgenReport last;
+  for (auto _ : state) {
+    last = net::run_loadgen(corpus, config);
+    if (!last.exactly_once()) {
+      state.SkipWithError("delivery was not exactly-once");
+      break;
+    }
+    requests += last.received;
+  }
+  state.counters["qps"] = benchmark::Counter(static_cast<double>(requests),
+                                             benchmark::Counter::kIsRate);
+  state.counters["p50_us"] = static_cast<double>(last.p50_us);
+  state.counters["p99_us"] = static_cast<double>(last.p99_us);
+  state.counters["shards"] = 0.0;  // no routing tier at all
+}
+BENCHMARK(BM_SingleFatServer)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+/// Goodput through the router at state.range(0) shards, exactly-once
+/// asserted end to end (the id splice under pipelining).
+void BM_ClusterClosedLoop(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  Cluster cluster(shards);
+  const std::vector<std::string> corpus = mixed_corpus();
+  net::LoadgenConfig config = loadgen_config(cluster.endpoint());
+
+  std::uint64_t requests = 0;
+  net::LoadgenReport last;
+  for (auto _ : state) {
+    last = net::run_loadgen(corpus, config);
+    if (!last.exactly_once()) {
+      state.SkipWithError("delivery was not exactly-once through the router");
+      break;
+    }
+    requests += last.received;
+  }
+  const cluster::Router::Stats rs = cluster.router->stats();
+  if (rs.late_drops != 0) {
+    state.SkipWithError("router delivered a late duplicate upstream line");
+  }
+  state.counters["qps"] = benchmark::Counter(static_cast<double>(requests),
+                                             benchmark::Counter::kIsRate);
+  state.counters["p50_us"] = static_cast<double>(last.p50_us);
+  state.counters["p99_us"] = static_cast<double>(last.p99_us);
+  state.counters["shards"] = static_cast<double>(shards);
+  state.counters["memo_hit_rate"] = cluster.memo_hit_rate();
+}
+BENCHMARK(BM_ClusterClosedLoop)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// The cache-locality experiment: identical cold 4-shard clusters,
+/// fingerprint routing (arg 0) vs random routing (arg 1), and only 8
+/// repeats of each of 30 fingerprints (4 connections x 2 corpus passes).
+/// Fingerprint routing pays ONE cold solve per task; random routing pays
+/// one per shard the task happens to land on (~3.6 of 4 at 8 repeats), so
+/// the memo_hit_rate spread is the win consistent hashing buys.  A fresh
+/// cluster per iteration keeps the memo genuinely cold.
+void BM_RoutingLocality(benchmark::State& state) {
+  const bool random_routing = state.range(0) != 0;
+  std::vector<std::string> corpus = mixed_corpus();
+  for (int values = 10; values <= 27; ++values) {
+    corpus.push_back(
+        R"({"op":"solve","task":"consensus","procs":2,"values":)" +
+        std::to_string(values) + R"(,"max_level":2})");
+  }
+
+  std::uint64_t requests = 0;
+  double hit_rate = 0.0;
+  for (auto _ : state) {
+    Cluster cluster(4, random_routing);
+    net::LoadgenConfig config = loadgen_config(cluster.endpoint());
+    config.iterations = 2;
+    const net::LoadgenReport report = net::run_loadgen(corpus, config);
+    if (!report.exactly_once()) {
+      state.SkipWithError("delivery was not exactly-once through the router");
+      break;
+    }
+    requests += report.received;
+    hit_rate = cluster.memo_hit_rate();
+  }
+  state.counters["qps"] = benchmark::Counter(static_cast<double>(requests),
+                                             benchmark::Counter::kIsRate);
+  state.counters["random_routing"] = random_routing ? 1.0 : 0.0;
+  state.counters["memo_hit_rate"] = hit_rate;
+}
+BENCHMARK(BM_RoutingLocality)
+    ->Arg(0)
+    ->Arg(1)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -74,9 +74,13 @@ int usage() {
                "stdout at EOF)\n"
                "  trace <out.json> [workers]    (serve; Chrome trace to file "
                "at EOF)\n"
-               "With --connect: task subcommands, check, and metrics send "
-               "one JSONL\nrequest to a wfc_serve --listen server; `pipe` "
-               "forwards stdin lines.\n");
+               "With --connect: task subcommands, check, metrics, and info "
+               "send one\nJSONL request to a wfc_serve --listen server; "
+               "`pipe` forwards stdin\nlines.  Against a wfc_router:\n"
+               "  cluster [stats]               routing/hedge counters\n"
+               "  cluster drain <shard>         stop routing new keys to it\n"
+               "  cluster add <shard> <H:P>     join a shard to the ring\n"
+               "  cluster remove <shard>        hard-detach a shard\n");
   return 2;
 }
 
@@ -102,6 +106,27 @@ int connect_command(const std::string& endpoint, int argc, char** argv) {
   std::string request;
   if (name == "metrics") {
     request = R"({"id":"cli","op":"metrics"})";
+  } else if (name == "info") {
+    request = R"({"id":"cli","op":"info"})";
+  } else if (name == "cluster") {
+    // Router control plane (cluster/router.hpp): stats, drain, add, remove.
+    const std::string verb = argc > 2 ? argv[2] : "stats";
+    if (verb == "stats") {
+      request = R"({"id":"cli","op":"cluster_stats"})";
+    } else if (verb == "drain" && argc > 3) {
+      request = std::string(R"({"id":"cli","op":"cluster_drain","shard":")") +
+                argv[3] + R"("})";
+    } else if (verb == "remove" && argc > 3) {
+      request = std::string(R"({"id":"cli","op":"cluster_remove","shard":")") +
+                argv[3] + R"("})";
+    } else if (verb == "add" && argc > 4) {
+      const net::Endpoint addr = net::parse_endpoint(argv[4]);
+      request = std::string(R"({"id":"cli","op":"cluster_add","shard":")") +
+                argv[3] + R"(","host":")" + addr.host + R"(","port":)" +
+                std::to_string(addr.port) + "}";
+    } else {
+      return usage();
+    }
   } else if (name == "check" && argc >= 5) {
     request = std::string(R"({"id":"cli","op":"check","target":")") +
               argv[2] + R"(","procs":)" + std::to_string(std::atoi(argv[3])) +

@@ -4,7 +4,7 @@
 // Usage:
 //   wfc_loadgen --connect host:port [--corpus FILE] [--connections N]
 //               [--iterations N] [--duration-ms N] [--inflight N]
-//               [--rate QPS] [--check-metrics] [--out FILE]
+//               [--rate QPS] [--check-metrics] [--cluster] [--out FILE]
 //
 // Closed loop by default: each connection keeps up to --inflight requests
 // outstanding over --iterations passes of the corpus.  --rate switches to
@@ -18,6 +18,12 @@
 // answered exactly once -- and, with --check-metrics, the server's
 // {"op":"metrics"} counters reconcile after the run.
 //
+// --cluster targets a wfc_router front end: after the run the generator
+// fetches {"op":"cluster_stats"} on a fresh connection and prints it as a
+// second JSON line (appended to --out as well), so CI and the benches see
+// per-shard routing, hedge, and re-dispatch counts next to the delivery
+// report.  Fails if the server does not answer cluster_stats.
+//
 // Example:
 //   wfc_serve --listen 127.0.0.1:7411 &
 //   wfc_loadgen --connect 127.0.0.1:7411 --connections 16 --iterations 20
@@ -30,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "net/client.hpp"
 #include "net/loadgen.hpp"
 
 namespace {
@@ -40,9 +47,11 @@ int usage() {
       "usage: wfc_loadgen --connect host:port [--corpus FILE]\n"
       "                   [--connections N] [--iterations N]\n"
       "                   [--duration-ms N] [--inflight N] [--rate QPS]\n"
-      "                   [--check-metrics] [--out FILE]\n"
+      "                   [--check-metrics] [--cluster] [--out FILE]\n"
       "Reads the corpus from FILE (default stdin), drives the server, and\n"
-      "prints a JSON report line.  Exit 0 only on exactly-once delivery.\n");
+      "prints a JSON report line.  Exit 0 only on exactly-once delivery.\n"
+      "  --cluster  also fetch and print {\"op\":\"cluster_stats\"} from\n"
+      "             a wfc_router front end after the run\n");
   return 2;
 }
 
@@ -52,6 +61,7 @@ int main(int argc, char** argv) {
   std::string connect;
   std::string corpus_path;
   std::string out_path;
+  bool cluster = false;
   wfc::net::LoadgenConfig config;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -77,6 +87,8 @@ int main(int argc, char** argv) {
       config.rate = std::atof(value);
     } else if (arg == "--check-metrics") {
       config.check_metrics = true;
+    } else if (arg == "--cluster") {
+      cluster = true;
     } else {
       return usage();
     }
@@ -105,6 +117,21 @@ int main(int argc, char** argv) {
         wfc::net::run_loadgen(corpus, config);
     const std::string json = report.to_json();
     std::printf("%s\n", json.c_str());
+    std::string cluster_stats;
+    if (cluster) {
+      // A fresh connection so the control op is not gated behind any of
+      // the run's own (already drained) requests.
+      wfc::net::Client probe(wfc::net::ClientConfig{config.server});
+      cluster_stats =
+          probe.roundtrip(R"({"id":"loadgen-cluster","op":"cluster_stats"})");
+      std::printf("%s\n", cluster_stats.c_str());
+      if (cluster_stats.find("\"status\":\"ok\"") == std::string::npos) {
+        std::fprintf(stderr,
+                     "wfc_loadgen: --cluster: server did not answer "
+                     "cluster_stats (not a wfc_router?)\n");
+        return 1;
+      }
+    }
     if (!out_path.empty()) {
       std::ofstream out(out_path);
       if (!out) {
@@ -113,6 +140,7 @@ int main(int argc, char** argv) {
         return 1;
       }
       out << json << "\n";
+      if (!cluster_stats.empty()) out << cluster_stats << "\n";
     }
     if (!report.exactly_once()) {
       std::fprintf(stderr,

@@ -14,7 +14,7 @@
 // Usage: wfc_serve [--workers N] [--max-level B] [--cache-entries N]
 //                  [--cache-vertices N] [--quiet] [--legacy] [--no-obs]
 //                  [--listen host:port] [--port-file PATH] [--io-threads N]
-//                  [--idle-timeout-ms N] [--max-line-bytes N]
+//                  [--idle-timeout-ms N] [--max-line-bytes N] [--shard-id S]
 //
 // The v2 result envelope ("status" = transport taxonomy, domain verdict in
 // "verdict") is the default since PR 5; --legacy restores the old envelope
@@ -50,14 +50,16 @@ int usage() {
                "                 [--quiet] [--legacy] [--no-obs]\n"
                "                 [--listen host:port] [--port-file PATH]\n"
                "                 [--io-threads N] [--idle-timeout-ms N]\n"
-               "                 [--max-line-bytes N]\n"
+               "                 [--max-line-bytes N] [--shard-id S]\n"
                "Speaks the JSON-lines protocol of service/handler.hpp on\n"
                "stdin/stdout, or over TCP with --listen.\n"
                "  --listen ADDR  serve plaintext TCP (\":0\" = ephemeral)\n"
                "  --port-file P  write the bound port to P once listening\n"
                "  --legacy       emit the legacy envelope (verdict in "
                "\"status\")\n"
-               "  --no-obs       disable tracing/metrics collection\n");
+               "  --no-obs       disable tracing/metrics collection\n"
+               "  --shard-id S   identity echoed by {\"op\":\"info\"} "
+               "(cluster shards)\n");
   return 2;
 }
 
@@ -67,7 +69,8 @@ int usage() {
 /// runs on the main thread with no async-signal-safety constraints.
 int serve_tcp(const wfc::svc::ServeConfig& config,
               const std::string& listen_spec, const std::string& port_file,
-              int io_threads, int idle_timeout_ms) {
+              const std::string& shard_id, int io_threads,
+              int idle_timeout_ms) {
   sigset_t mask;
   sigemptyset(&mask);
   sigaddset(&mask, SIGTERM);
@@ -90,6 +93,7 @@ int serve_tcp(const wfc::svc::ServeConfig& config,
   server_config.handler.default_max_level = config.default_max_level;
   server_config.handler.legacy_envelope = config.legacy_envelope;
   server_config.handler.max_line_bytes = config.max_line_bytes;
+  server_config.handler.server_id = shard_id;
   server_config.handler.warn = [](const std::string& note) {
     std::fprintf(stderr, "wfc_serve: %s\n", note.c_str());
   };
@@ -135,6 +139,7 @@ int main(int argc, char** argv) {
   wfc::svc::ServeConfig config;
   std::string listen_spec;
   std::string port_file;
+  std::string shard_id;
   int io_threads = 0;
   int idle_timeout_ms = 0;
   for (int i = 1; i < argc; ++i) {
@@ -173,6 +178,7 @@ int main(int argc, char** argv) {
       config.observability = false;
     } else if (arg == "--listen" && next_str(listen_spec)) {
     } else if (arg == "--port-file" && next_str(port_file)) {
+    } else if (arg == "--shard-id" && next_str(shard_id)) {
     } else if (arg == "--io-threads" && next_int(io_threads)) {
     } else if (arg == "--idle-timeout-ms" && next_int(idle_timeout_ms)) {
     } else {
@@ -181,7 +187,7 @@ int main(int argc, char** argv) {
   }
   if (!listen_spec.empty()) {
     try {
-      return serve_tcp(config, listen_spec, port_file, io_threads,
+      return serve_tcp(config, listen_spec, port_file, shard_id, io_threads,
                        idle_timeout_ms);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "wfc_serve: %s\n", e.what());

@@ -1,0 +1,295 @@
+// wfc::cluster::Router -- the consistent-hash routing tier.
+//
+// The router is a net::LineBackend: plugged into the epoll front door
+// (net/server.hpp) it accepts the same JSONL v2 lines a single wfc_serve
+// does, but instead of executing queries locally it consistent-hashes each
+// query's canonical task fingerprint onto a ring of backend shards and
+// proxies the line over pooled net::Client connections.  Clients cannot
+// tell the difference: same envelopes, same "id" echo, same out-of-order
+// pipelined completion -- a cluster behind one address.
+//
+// Id splice.  Every forwarded request is re-stamped with a router-unique
+// id ("r<seq>"); the client's own id (or its absence) is remembered in the
+// pending table and spliced back into the response before it goes out.
+// The splice is what makes EXACTLY-ONCE delivery enforceable at the
+// router: duplicate upstream responses (hedges, retried shards) resolve
+// the same pending entry, and only the first wins.
+//
+// Fingerprint routing.  The routing key hashes exactly the fields that
+// identify the canonical task (everything except id/op/max_level/budget/
+// timeout_ms -- the same identity svc::RequestHandler interns tasks by),
+// so repeats of a task land on the shard whose SDS-chain cache and result
+// memo are already warm.  bench_cluster quantifies the win over random
+// routing.
+//
+// Resilience:
+//   * hedged requests -- when a query carries timeout_ms and no response
+//     has arrived by hedge_fraction of it, a copy is sent to the ring
+//     successor under the SAME router id; first response wins, the loser
+//     finds the pending entry gone and is dropped (counted, not forwarded);
+//   * per-shard breaker -- a shard with zero live connections is Down and
+//     leaves the ring's candidate set until a background reconnect (the
+//     probe) succeeds; an upstream overloaded/resource_exhausted envelope
+//     with retry_after_ms puts the shard into a soft backoff window that
+//     routes AROUND it while it sheds, unless every candidate is backing
+//     off (then the primary is used anyway: degraded beats down);
+//   * re-dispatch -- when a connection dies, unresolved requests whose only
+//     outstanding send was on that connection are re-routed to the current
+//     ring target (bounded by max_attempts).  A shard that already
+//     executed such a request before dying cost a duplicate EXECUTION, but
+//     the pending latch still guarantees a single RESPONSE;
+//   * drain -- a draining shard stops receiving new keys (its arcs fall to
+//     the successors) while its inflight requests finish normally; remove
+//     then detaches it entirely, re-dispatching whatever was left.
+//
+// Control plane (same gating as every control op: the front server answers
+// them only once the connection's own inflight count is zero):
+//   {"op":"cluster_stats"}              flat-JSON counters, per-shard state
+//   {"op":"cluster_add","shard":S,"host":H,"port":P}
+//   {"op":"cluster_remove","shard":S}   hard detach + re-dispatch
+//   {"op":"cluster_drain","shard":S}    stop routing new keys to S
+//   {"op":"info"}                       router identity/uptime/membership
+//   {"op":"stats"}                      one-line human summary
+//   {"op":"metrics"}                    flat-JSON reconciliation line
+//   {"op":"trace"}                      rejected (no trace ring here)
+// Everything else ("solve", "check", unknown ops, legacy bare task lines)
+// is forwarded verbatim -- shards own the protocol's semantics; the router
+// stays thin.  cluster_add/remove/drain mutate membership and are meant
+// for a trusted network; RouterConfig::admin_ops turns them off.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/ring.hpp"
+#include "net/backend.hpp"
+#include "net/client.hpp"
+#include "net/socket.hpp"
+#include "obs/obs.hpp"
+
+namespace wfc::cluster {
+
+struct ShardSpec {
+  std::string id;
+  net::Endpoint addr;
+};
+
+struct RouterConfig {
+  /// Initial membership; cluster_add/remove change it at runtime.
+  std::vector<ShardSpec> shards;
+  /// Ring points per shard (ring.hpp).
+  int vnodes = 64;
+  /// Pooled connections per shard; each owns a reader thread.
+  int conns_per_shard = 2;
+  /// Request-line bound mirrored to the front server (LineBackend API).
+  std::size_t max_line_bytes = 1u << 20;
+  /// Router-wide unresolved-request cap; past it new queries answer
+  /// overloaded + retry_after_ms instead of growing the pending table.
+  std::size_t max_pending = 64 * 1024;
+  /// Upstream connect bound (also the breaker probe bound).
+  std::chrono::milliseconds connect_timeout{1'000};
+  /// Upstream send bound: a shard that stops draining its socket fails the
+  /// send instead of wedging a front io thread.
+  std::chrono::milliseconds send_timeout{2'000};
+  /// Reconnect backoff for down shards, doubling between these bounds.
+  std::chrono::milliseconds reconnect_min{50};
+  std::chrono::milliseconds reconnect_max{2'000};
+  /// Hedge a query carrying timeout_ms once this fraction of it has passed
+  /// with no response (never earlier than hedge_min).  <= 0 disables
+  /// deadline-driven hedging.
+  double hedge_fraction = 0.5;
+  std::chrono::milliseconds hedge_min{20};
+  /// Hedge delay for queries WITHOUT timeout_ms; 0 = such queries never
+  /// hedge (they have no deadline at risk).
+  std::chrono::milliseconds hedge_after{0};
+  /// Absolute answer-by bound for queries without timeout_ms; with one the
+  /// bound is timeout_ms + grace (the shard enforces the deadline itself;
+  /// the router's bound only catches a shard that went silent).  Generous
+  /// on purpose: legitimate deep-subdivision queries run for tens of
+  /// seconds, and a dead shard is caught much earlier by the connection
+  /// teardown re-dispatch, not by this clock.
+  std::chrono::milliseconds pending_timeout{120'000};
+  std::chrono::milliseconds pending_grace{2'000};
+  /// Maintenance cadence (hedging, timeouts, gauge refresh).
+  std::chrono::milliseconds tick{10};
+  /// Total sends per request (first dispatch + re-dispatches; hedges not
+  /// counted) before it resolves overloaded.
+  int max_attempts = 3;
+  /// retry_after_ms hint stamped on router-side rejections.
+  int retry_after_ms = 100;
+  /// Ignore fingerprints and spread keys uniformly (the bench's control
+  /// arm for the cache-locality experiment).
+  bool random_routing = false;
+  /// Allow cluster_add/remove/drain over the wire.
+  bool admin_ops = true;
+  /// Router-local observability (counters/histograms under wfc_router_*).
+  obs::ObsConfig obs{};
+  /// Echoed by {"op":"info"} as server_id.
+  std::string router_id = "router";
+  /// Diagnostics sink (membership changes, shard state flips); null
+  /// discards.
+  std::function<void(const std::string&)> log;
+};
+
+class Router : public net::LineBackend {
+ public:
+  explicit Router(RouterConfig config);
+  ~Router() override;
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Spawns the upstream connection pools and the maintenance thread.
+  /// Shards that are down just stay in reconnect backoff -- the router
+  /// comes up regardless.
+  void start();
+  /// Stops maintenance and every upstream connection; unresolved pendings
+  /// resolve overloaded so no Done callback is leaked.  Idempotent.
+  void stop();
+
+  // -- net::LineBackend -------------------------------------------------
+  Outcome on_line(std::string_view line, int line_no, Done done) override;
+  std::string control(std::string_view line, int line_no) override;
+  [[nodiscard]] std::size_t max_line_bytes() const override {
+    return config_.max_line_bytes;
+  }
+  [[nodiscard]] obs::Observer* observer() override { return &observer_; }
+
+  // -- membership (the wire ops call these; tests drive them directly) --
+  /// False (no change) when the id already exists.
+  bool add_shard(const ShardSpec& spec);
+  /// Hard detach: closes the pool, re-dispatches unresolved sends.  False
+  /// when the id is unknown.
+  bool remove_shard(const std::string& id);
+  /// Stops routing NEW keys to the shard; inflight finishes.  False when
+  /// the id is unknown.
+  bool drain_shard(const std::string& id);
+
+  /// Router-level counters (monotone unless noted).  Invariant, held at
+  /// every instant: requests == responses + timeouts + failed + pending.
+  struct Stats {
+    std::uint64_t requests = 0;    // pendings registered
+    std::uint64_t responses = 0;   // resolved by an upstream response
+    std::uint64_t hedges = 0;      // hedge copies sent
+    std::uint64_t hedge_wins = 0;  // resolved by a non-primary shard
+    std::uint64_t late_drops = 0;  // upstream lines for already-resolved ids
+    std::uint64_t redispatches = 0;
+    std::uint64_t timeouts = 0;    // resolved deadline_exceeded by the router
+    std::uint64_t failed = 0;      // resolved by a router-generated error
+    std::uint64_t rejected = 0;    // refused before registration (capacity)
+    std::uint64_t pending = 0;     // snapshot, not monotone
+  };
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::size_t shard_count() const;
+
+  /// Live pool connections for `id` (0 = Down / unknown) -- test hook.
+  [[nodiscard]] int shard_up_conns(const std::string& id) const;
+
+ private:
+  struct UpstreamConn;
+  struct Shard;
+  struct Pending;
+
+  // Submit path.
+  Outcome submit(const svc::Fields& fields, std::string_view line,
+                 int line_no, Done done);
+  /// Sends `wire` for `p` to the ring target (or `exclude`d fallback).
+  /// Records the attempt; false when no shard accepted the send.
+  bool route_and_send(const std::shared_ptr<Pending>& p,
+                      const std::string& wire, const std::string& exclude);
+  bool send_on_shard(const std::shared_ptr<Shard>& shard,
+                     const std::shared_ptr<Pending>& p,
+                     const std::string& wire);
+  [[nodiscard]] std::uint64_t make_key(const svc::Fields& fields);
+
+  // Upstream path.
+  void conn_reader(std::shared_ptr<Shard> shard, UpstreamConn* conn);
+  void on_upstream_line(const std::shared_ptr<Shard>& shard,
+                        UpstreamConn* conn, std::uint64_t generation,
+                        std::string&& line);
+  void on_conn_down(const std::shared_ptr<Shard>& shard, UpstreamConn* conn,
+                    std::uint64_t generation);
+
+  // Resolution.  Exactly-once: take_pending atomically removes the entry
+  // from the table (the winner gets the Pending, everyone else null) and
+  // advances the cause counter under the same lock.
+  enum class Cause { kResponse, kTimeout, kFailed };
+  std::shared_ptr<Pending> take_pending(std::uint64_t seq, Cause cause);
+  void resolve_response(const std::shared_ptr<Pending>& p,
+                        std::string&& response, const std::string& shard_id);
+  void resolve_error(const std::shared_ptr<Pending>& p, const char* status,
+                     const std::string& message, bool retryable);
+
+  // Maintenance.
+  void maintenance_thread();
+  void hedge_one(const std::shared_ptr<Pending>& p);
+  void refresh_gauges();
+
+  // Membership helpers.
+  void start_shard(const std::shared_ptr<Shard>& shard);
+  void stop_shard(const std::shared_ptr<Shard>& shard);
+  [[nodiscard]] Ring::Accept accept_predicate(bool skip_backoff) const;
+
+  // Control-plane renderings.
+  std::string render_cluster_stats(const std::string& id);
+  std::string render_info(const std::string& id);
+  std::string render_metrics(const std::string& id);
+  std::string render_membership_op(const svc::Fields& fields,
+                                   const std::string& op);
+
+  RouterConfig config_;
+  obs::Observer observer_;
+  std::chrono::steady_clock::time_point started_;
+
+  // Membership: guarded by membership_mu_ (lookups shared, changes
+  // exclusive).  Never held while joining reader threads.
+  mutable std::shared_mutex membership_mu_;
+  std::unordered_map<std::string, std::shared_ptr<Shard>> shards_;
+  Ring ring_;
+
+  // Pending table: seq -> entry.  Rule: membership_mu_ / send locks are
+  // never acquired while holding pending_mu_.
+  mutable std::mutex pending_mu_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Pending>> pending_;
+  std::atomic<std::uint64_t> seq_{0};
+
+  std::atomic<bool> started_flag_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread maintenance_;
+  std::condition_variable stop_cv_;
+  std::mutex stop_mu_;
+
+  // Counters (see Stats).  requests_ and the three cause counters move
+  // only under pending_mu_, which is what makes the reconciliation
+  // invariant exact.
+  std::atomic<std::uint64_t> requests_{0}, responses_{0}, hedges_{0},
+      hedge_wins_{0}, late_drops_{0}, redispatches_{0}, timeouts_{0},
+      failed_{0}, rejected_{0};
+
+  // Obs mirrors (always registered; the registry is cheap when disabled).
+  obs::Counter* m_requests_;
+  obs::Counter* m_responses_;
+  obs::Counter* m_hedges_;
+  obs::Counter* m_hedge_wins_;
+  obs::Counter* m_late_drops_;
+  obs::Counter* m_redispatches_;
+  obs::Counter* m_timeouts_;
+  obs::Counter* m_failed_;
+  obs::Counter* m_rejected_;
+  obs::Gauge* m_pending_;
+  obs::Gauge* m_shards_up_;
+  obs::Gauge* m_imbalance_;
+};
+
+}  // namespace wfc::cluster

@@ -1,0 +1,10 @@
+// Library version, reported by the {"op":"info"} control op so routers and
+// operators can identify what a backend is running.  Bumped once per PR
+// (the repo's unit of release).
+#pragma once
+
+namespace wfc {
+
+inline constexpr const char* kVersion = "0.6.0";
+
+}  // namespace wfc

@@ -1,0 +1,37 @@
+#include "net/backend.hpp"
+
+namespace wfc::net {
+
+LineBackend::Outcome ServiceBackend::on_line(std::string_view line,
+                                             int line_no, Done done) {
+  svc::RequestHandler::ParsedLine parsed = handler_.parse(line, line_no);
+  using Action = svc::RequestHandler::Action;
+  switch (parsed.action) {
+    case Action::kSkip:
+      return {Outcome::Kind::kSkip, {}};
+    case Action::kRespond:
+      return {Outcome::Kind::kRespond, std::move(parsed.immediate.line)};
+    case Action::kControl:
+      return {Outcome::Kind::kControl, {}};
+    case Action::kSubmit:
+      break;
+  }
+  svc::RequestHandler::Rendered error;
+  const bool ok = handler_.submit_async(
+      parsed,
+      [done = std::move(done)](svc::RequestHandler::Rendered&& rendered) {
+        done(std::move(rendered.line));
+      },
+      &error);
+  if (!ok) return {Outcome::Kind::kRespond, std::move(error.line)};
+  return {Outcome::Kind::kSubmitted, {}};
+}
+
+std::string ServiceBackend::control(std::string_view line, int line_no) {
+  // Control lines are rare; re-parsing one beats carrying an opaque parsed
+  // token through the transport's gating state.
+  svc::RequestHandler::ParsedLine parsed = handler_.parse(line, line_no);
+  return handler_.control(parsed).line;
+}
+
+}  // namespace wfc::net

@@ -1,5 +1,6 @@
 #include "net/client.hpp"
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -11,14 +12,30 @@ namespace wfc::net {
 
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
 [[noreturn]] void throw_errno(const char* what) {
   throw std::system_error(errno, std::generic_category(), what);
+}
+
+/// poll() for `events` until `deadline`; throws TimeoutError past it.
+void poll_or_timeout(int fd, short events, Clock::time_point deadline,
+                     const char* what) {
+  while (true) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    if (left.count() <= 0) throw TimeoutError(what);
+    pollfd pfd{fd, events, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(left.count()));
+    if (ready > 0) return;
+    if (ready < 0 && errno != EINTR) throw_errno("poll");
+  }
 }
 
 }  // namespace
 
 Client::Client(ClientConfig config) : config_(std::move(config)) {
-  sock_ = connect_tcp(config_.server);
+  sock_ = connect_tcp(config_.server, config_.connect_timeout);
 }
 
 void Client::send_line(std::string_view line) {
@@ -30,15 +47,24 @@ void Client::send_line(std::string_view line) {
 }
 
 void Client::send_raw(std::string_view bytes) {
+  const bool bounded = config_.send_timeout.count() > 0;
+  const Clock::time_point deadline =
+      bounded ? Clock::now() + config_.send_timeout : Clock::time_point::max();
   std::size_t sent = 0;
   while (sent < bytes.size()) {
     const ssize_t n = ::send(sock_.get(), bytes.data() + sent,
-                             bytes.size() - sent, MSG_NOSIGNAL);
+                             bytes.size() - sent,
+                             MSG_NOSIGNAL | (bounded ? MSG_DONTWAIT : 0));
     if (n >= 0) {
       sent += static_cast<std::size_t>(n);
       continue;
     }
     if (errno == EINTR) continue;
+    if (bounded && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      poll_or_timeout(sock_.get(), POLLOUT, deadline,
+                      "send timed out (peer not draining)");
+      continue;
+    }
     throw_errno("send");
   }
 }
@@ -48,6 +74,9 @@ void Client::shutdown_write() {
 }
 
 std::optional<std::string> Client::recv_line() {
+  const Clock::time_point recv_deadline =
+      config_.recv_timeout.count() > 0 ? Clock::now() + config_.recv_timeout
+                                       : Clock::time_point::max();
   while (true) {
     const std::size_t nl = rbuf_.find('\n', rpos_);
     if (nl != std::string::npos) {
@@ -81,6 +110,13 @@ std::optional<std::string> Client::recv_line() {
       throw std::runtime_error("response line exceeds " +
                                std::to_string(config_.max_line_bytes) +
                                " bytes");
+    }
+    if (config_.recv_timeout.count() > 0) {
+      // Wait for readability up to the timeout BEFORE the blocking recv, so
+      // a dead or stalled peer cannot park the caller forever.  One window
+      // covers the whole recv_line() call, however many reads it takes.
+      poll_or_timeout(sock_.get(), POLLIN, recv_deadline,
+                      "recv timed out (no response from peer)");
     }
     char buf[65536];
     const ssize_t n = ::recv(sock_.get(), buf, sizeof(buf), 0);

@@ -9,8 +9,10 @@
 // does exactly that).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 
@@ -18,11 +20,29 @@
 
 namespace wfc::net {
 
+/// Thrown by Client when a configured connect/recv/send timeout expires.
+/// Distinct from std::system_error so callers (the router's hedging and
+/// breaker probes) can tell "the peer is slow" from "the peer is broken".
+class TimeoutError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 struct ClientConfig {
   Endpoint server;
   /// recv_line() rejects response lines longer than this (protects the
   /// client from a runaway peer).  0 disables.
   std::size_t max_line_bytes = 8u << 20;
+  /// Bound on the connect attempt; past it the constructor throws
+  /// std::system_error(ETIMEDOUT).  0 = block for the kernel's SYN budget.
+  std::chrono::milliseconds connect_timeout{0};
+  /// recv_line() throws TimeoutError after this long with no bytes from the
+  /// peer (a stalled or dead server no longer blocks the caller forever;
+  /// buffered complete lines are always returned first).  0 disables.
+  std::chrono::milliseconds recv_timeout{0};
+  /// send_line()/send_raw() throw TimeoutError when the peer's window stays
+  /// full for this long (a reader that stopped draining).  0 disables.
+  std::chrono::milliseconds send_timeout{0};
 };
 
 class Client {
@@ -49,8 +69,9 @@ class Client {
   void shutdown_write();
 
   /// Blocks for the next response line (without its newline).  Returns
-  /// nullopt at server EOF.  Throws std::system_error on socket errors and
-  /// std::runtime_error past max_line_bytes.
+  /// nullopt at server EOF.  Throws std::system_error on socket errors,
+  /// std::runtime_error past max_line_bytes, and TimeoutError once
+  /// recv_timeout passes without progress.
   std::optional<std::string> recv_line();
 
   /// Convenience for strictly serial request/response exchanges: sends

@@ -115,9 +115,7 @@ std::vector<std::string> load_corpus(std::istream& in) {
   return corpus;
 }
 
-namespace {
-
-/// Stamps the generator's unique id into an id-stripped corpus line.
+/// Stamps a unique id into an id-stripped corpus line.
 std::string with_id(const std::string& stripped, const std::string& id) {
   // stripped is a validated flat object, so it starts with '{'.
   std::size_t body = 1;
@@ -135,6 +133,8 @@ std::string with_id(const std::string& stripped, const std::string& id) {
   out.append(stripped.data() + 1, stripped.size() - 1);
   return out;
 }
+
+namespace {
 
 void drive_connection(const LoadgenConfig& config,
                       const std::vector<std::string>& corpus, int thread_idx,

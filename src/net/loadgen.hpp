@@ -78,8 +78,13 @@ struct LoadgenReport {
 std::vector<std::string> load_corpus(std::istream& in);
 
 /// Removes a top-level "id" field from a flat JSON line (no-op without
-/// one).  Exposed for tests.
+/// one).  Exposed for tests and for the cluster router's id splice.
 std::string strip_id_field(const std::string& line);
+
+/// Inserts `id` (verbatim -- the caller escapes if needed) as the first
+/// field of an id-stripped flat JSON line.  The other half of the router's
+/// id splice; the load generator stamps its unique ids with it too.
+std::string with_id(const std::string& stripped, const std::string& id);
 
 /// Runs the generator; `corpus` must be load_corpus-shaped (no comments,
 /// ids stripped).  Throws std::system_error if connecting fails and

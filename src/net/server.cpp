@@ -69,9 +69,14 @@ struct Server::Conn {
   bool read_closed = false;  // EOF seen, or reads retired by drain()
   bool closed = false;
   std::uint32_t events = 0;  // current epoll interest mask
-  /// A stats/metrics/trace op parsed while queries were inflight; answered
-  /// as soon as this connection's inflight count reaches zero.
-  std::optional<svc::RequestHandler::ParsedLine> pending_control;
+  /// A control line received while queries were inflight; answered (via
+  /// LineBackend::control) as soon as this connection's inflight count
+  /// reaches zero.
+  struct PendingControl {
+    std::string line;
+    int line_no = 0;
+  };
+  std::optional<PendingControl> pending_control;
   std::chrono::steady_clock::time_point last_activity;
   obs::TraceContext trace;  // one row per connection in the Chrome trace
 
@@ -84,15 +89,20 @@ struct Server::Conn {
 };
 
 Server::Server(svc::QueryService& service, ServerConfig config)
-    : service_(service),
-      config_(std::move(config)),
-      handler_(service, config_.handler) {}
+    : config_(std::move(config)),
+      owned_backend_(
+          std::make_unique<ServiceBackend>(service, config_.handler)),
+      backend_(owned_backend_.get()) {}
+
+Server::Server(LineBackend& backend, ServerConfig config)
+    : config_(std::move(config)), backend_(&backend) {}
 
 Server::~Server() { stop(); }
 
 void Server::init_metrics() {
-  if (!service_.observer().enabled()) return;
-  obs::MetricsRegistry& reg = service_.observer().metrics();
+  obs::Observer* observer = backend_->observer();
+  if (observer == nullptr || !observer->enabled()) return;
+  obs::MetricsRegistry& reg = observer->metrics();
   m_accepted_ = &reg.counter("wfc_net_accepted_total", "",
                              "TCP connections accepted");
   m_closed_ = &reg.counter("wfc_net_closed_total", "",
@@ -347,7 +357,9 @@ void Server::adopt_incoming(const std::shared_ptr<Loop>& loop) {
     conn->sock = std::move(fd);
     conn->loop = loop;
     conn->last_activity = std::chrono::steady_clock::now();
-    conn->trace = service_.observer().begin_trace();
+    if (obs::Observer* observer = backend_->observer(); observer != nullptr) {
+      conn->trace = observer->begin_trace();
+    }
     conn->events = EPOLLIN;
     epoll_event ev{};
     ev.events = EPOLLIN;
@@ -394,10 +406,9 @@ void Server::drain_conn(const std::shared_ptr<Loop>& loop,
   conn->inflight -= lines.size();
   bool queued = !lines.empty();
   if (conn->pending_control && conn->inflight == 0) {
-    svc::RequestHandler::ParsedLine control =
-        std::move(*conn->pending_control);
+    Conn::PendingControl control = std::move(*conn->pending_control);
     conn->pending_control.reset();
-    conn->wbuf += handler_.control(control).line;
+    conn->wbuf += backend_->control(control.line, control.line_no);
     conn->wbuf += '\n';
     responses_.fetch_add(1, std::memory_order_relaxed);
     add_counter(m_responses_);
@@ -482,19 +493,14 @@ void Server::process_rbuf(const std::shared_ptr<Loop>& loop,
     const std::size_t nl = rb.find('\n', from);
     if (nl == std::string::npos) {
       conn->scan_pos = rb.size();
-      const std::size_t cap = handler_.config().max_line_bytes;
+      const std::size_t cap = backend_->max_line_bytes();
       const std::size_t partial = rb.size() - conn->rpos;
       if (cap != 0 && partial > cap) {
         // Cannot keep buffering while waiting for this line's newline:
-        // reject it now and discard the remainder as it streams in.
-        svc::RequestHandler::ParsedLine parsed = handler_.parse(
-            std::string_view(rb.data() + conn->rpos, partial),
-            ++conn->line_no);
-        oversized_lines_.fetch_add(1, std::memory_order_relaxed);
-        conn->wbuf += parsed.immediate.line;
-        conn->wbuf += '\n';
-        responses_.fetch_add(1, std::memory_order_relaxed);
-        add_counter(m_responses_);
+        // reject it now (the backend renders the over-cap error record) and
+        // discard the remainder as it streams in.
+        handle_line(loop, conn,
+                    std::string_view(rb.data() + conn->rpos, partial));
         rb.resize(conn->rpos);
         conn->scan_pos = conn->rpos;
         conn->discard = true;
@@ -525,79 +531,70 @@ void Server::process_rbuf(const std::shared_ptr<Loop>& loop,
 void Server::handle_line(const std::shared_ptr<Loop>& /*loop*/,
                          const std::shared_ptr<Conn>& conn,
                          std::string_view line) {
-  svc::RequestHandler::ParsedLine parsed =
-      handler_.parse(line, ++conn->line_no);
-  using Action = svc::RequestHandler::Action;
-  switch (parsed.action) {
-    case Action::kSkip:
+  const int line_no = ++conn->line_no;
+  const auto start = std::chrono::steady_clock::now();
+  std::weak_ptr<Conn> weak = conn;
+  std::shared_ptr<Loop> owner = conn->loop;
+  obs::Histogram* rtt = m_rtt_us_;
+  LineBackend::Outcome outcome = backend_->on_line(
+      line, line_no,
+      [weak = std::move(weak), owner = std::move(owner), start,
+       rtt](std::string&& rendered) {
+        // Runs on a service worker, a router upstream-reader thread, or
+        // inline on the loop thread (memo hits / sheds): hand the line to
+        // the owning loop.  A connection that died first simply drops the
+        // response.
+        if (rtt != nullptr) {
+          rtt->observe(static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - start)
+                  .count()));
+        }
+        std::shared_ptr<Conn> c = weak.lock();
+        if (!c) return;
+        {
+          std::lock_guard<std::mutex> lock(c->mu);
+          c->outbox.push_back(std::move(rendered));
+        }
+        {
+          std::lock_guard<std::mutex> lock(owner->mu);
+          owner->dirty.push_back(c);
+        }
+        owner->kick();
+      });
+  using Kind = LineBackend::Outcome::Kind;
+  switch (outcome.kind) {
+    case Kind::kSkip:
       return;
-    case Action::kRespond: {
-      const std::size_t cap = handler_.config().max_line_bytes;
+    case Kind::kRespond: {
+      const std::size_t cap = backend_->max_line_bytes();
       if (cap != 0 && line.size() > cap) {
         oversized_lines_.fetch_add(1, std::memory_order_relaxed);
       }
-      conn->wbuf += parsed.immediate.line;
+      conn->wbuf += outcome.response;
       conn->wbuf += '\n';
       responses_.fetch_add(1, std::memory_order_relaxed);
       add_counter(m_responses_);
       return;
     }
-    case Action::kControl:
+    case Kind::kControl:
       if (conn->inflight == 0) {
-        conn->wbuf += handler_.control(parsed).line;
+        conn->wbuf += backend_->control(line, line_no);
         conn->wbuf += '\n';
         responses_.fetch_add(1, std::memory_order_relaxed);
         add_counter(m_responses_);
       } else {
         // Answer once this connection's earlier queries are all terminal,
         // so the promised counters reconcile; parsing pauses until then.
-        conn->pending_control = std::move(parsed);
+        conn->pending_control = Conn::PendingControl{std::string(line),
+                                                     line_no};
       }
       return;
-    case Action::kSubmit: {
-      svc::RequestHandler::Rendered error;
-      const auto start = std::chrono::steady_clock::now();
-      std::weak_ptr<Conn> weak = conn;
-      std::shared_ptr<Loop> owner = conn->loop;
-      obs::Histogram* rtt = m_rtt_us_;
-      const bool ok = handler_.submit_async(
-          parsed,
-          [weak = std::move(weak), owner = std::move(owner), start,
-           rtt](svc::RequestHandler::Rendered&& rendered) {
-            // Runs on a service worker (or inline on the loop thread for
-            // memo hits / sheds): hand the line to the owning loop.  A
-            // connection that died first simply drops the response.
-            if (rtt != nullptr) {
-              rtt->observe(static_cast<std::uint64_t>(
-                  std::chrono::duration_cast<std::chrono::microseconds>(
-                      std::chrono::steady_clock::now() - start)
-                      .count()));
-            }
-            std::shared_ptr<Conn> c = weak.lock();
-            if (!c) return;
-            {
-              std::lock_guard<std::mutex> lock(c->mu);
-              c->outbox.push_back(std::move(rendered.line));
-            }
-            {
-              std::lock_guard<std::mutex> lock(owner->mu);
-              owner->dirty.push_back(c);
-            }
-            owner->kick();
-          },
-          &error);
-      if (!ok) {
-        conn->wbuf += error.line;
-        conn->wbuf += '\n';
-        responses_.fetch_add(1, std::memory_order_relaxed);
-        add_counter(m_responses_);
-      } else {
-        ++conn->inflight;
-        requests_.fetch_add(1, std::memory_order_relaxed);
-        add_counter(m_requests_);
-      }
+    case Kind::kSubmitted:
+      ++conn->inflight;
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      add_counter(m_requests_);
       return;
-    }
   }
 }
 

@@ -1,12 +1,14 @@
-// wfc::net::Server -- the epoll TCP front door for a QueryService.
+// wfc::net::Server -- the epoll TCP front door.
 //
-// The server speaks the JSONL v2 protocol of service/handler.hpp over
-// plaintext TCP: newline-framed flat-JSON requests in, newline-framed
-// result envelopes out.  Responses carry the client-supplied "id" echo and
-// MAY complete out of order -- each parsed request goes straight to
-// QueryService::submit with a completion callback, so a pipelined batch
-// finishes in completion order, not submission order (the stdin front-end
-// keeps ordered printing; the wire keeps throughput).
+// The server speaks a newline-framed line protocol over plaintext TCP and
+// delegates every framed line to a LineBackend (backend.hpp).  The default
+// backend executes the JSONL v2 protocol of service/handler.hpp against a
+// local QueryService; cluster::Router plugs in as a proxying backend so the
+// routing tier reuses this exact front end.  Responses carry the
+// client-supplied "id" echo and MAY complete out of order -- each accepted
+// request carries a completion callback, so a pipelined batch finishes in
+// completion order, not submission order (the stdin front-end keeps
+// ordered printing; the wire keeps throughput).
 //
 // Threading model:
 //   * `io_threads` event loops, each with its own epoll instance and an
@@ -55,6 +57,7 @@
 #include <thread>
 #include <vector>
 
+#include "net/backend.hpp"
 #include "net/socket.hpp"
 #include "service/handler.hpp"
 
@@ -65,6 +68,9 @@ struct ServerConfig {
   /// Event-loop threads.  Loop 0 also owns the listener.
   int io_threads = 2;
   /// Per-line protocol behavior (envelope, line cap, default max_level).
+  /// Used only by the QueryService constructor, which builds the
+  /// ServiceBackend from it; a caller-supplied LineBackend carries its own
+  /// configuration and ignores this field.
   svc::HandlerConfig handler;
   /// Unanswered requests per connection before parsing pauses.
   std::size_t max_inflight_per_conn = 128;
@@ -100,9 +106,12 @@ class Server {
     std::uint64_t oversized_lines = 0;
   };
 
-  /// The server renders via `service`'s protocol handler; `service` must
-  /// outlive the Server.
+  /// Serve a local QueryService through the shared protocol handler
+  /// (ServiceBackend built from config.handler); `service` must outlive the
+  /// Server.
   Server(svc::QueryService& service, ServerConfig config);
+  /// Serve an arbitrary line protocol; `backend` must outlive the Server.
+  Server(LineBackend& backend, ServerConfig config);
   ~Server();
 
   Server(const Server&) = delete;
@@ -159,9 +168,10 @@ class Server {
   static bool drained(const Conn& conn);
   void init_metrics();
 
-  svc::QueryService& service_;
   ServerConfig config_;
-  svc::RequestHandler handler_;
+  /// Set by the QueryService constructor flavor; backend_ points at it.
+  std::unique_ptr<ServiceBackend> owned_backend_;
+  LineBackend* backend_ = nullptr;
   std::uint16_t port_ = 0;
   std::atomic<bool> started_{false};
   std::atomic<bool> stopping_{false};

@@ -7,6 +7,7 @@
 // callers see "bind: address already in use" instead of a bare -1.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -57,7 +58,13 @@ Endpoint parse_endpoint(const std::string& spec);
 Fd listen_tcp(const Endpoint& ep, std::uint16_t* bound_port, int backlog = 128);
 
 /// Blocking connect to `ep` with TCP_NODELAY.  Throws std::system_error.
-Fd connect_tcp(const Endpoint& ep);
+/// A nonzero `timeout` bounds the connect attempt: past it the call throws
+/// std::system_error(ETIMEDOUT) instead of blocking for the kernel's SYN
+/// retry budget (minutes) -- required plumbing for breaker probes and
+/// hedged requests, which must fail fast on a dead shard.
+Fd connect_tcp(const Endpoint& ep,
+               std::chrono::milliseconds timeout = std::chrono::milliseconds{
+                   0});
 
 /// fcntl(O_NONBLOCK) toggle.  Throws std::system_error.
 void set_nonblocking(int fd, bool nonblocking);

@@ -1,10 +1,13 @@
 #include "service/handler.hpp"
 
+#include <unistd.h>
+
 #include <chrono>
 #include <fstream>
 #include <numeric>
 #include <stdexcept>
 
+#include "common/version.hpp"
 #include "service/jsonl.hpp"
 #include "topology/subdivision.hpp"
 
@@ -141,7 +144,9 @@ std::shared_ptr<task::Task> make_canonical_task(const Fields& fields) {
 }
 
 RequestHandler::RequestHandler(QueryService& service, HandlerConfig config)
-    : service_(service), config_(std::move(config)) {}
+    : service_(service),
+      config_(std::move(config)),
+      started_(std::chrono::steady_clock::now()) {}
 
 RequestHandler::ParsedLine RequestHandler::parse(std::string_view line,
                                                  int line_no) {
@@ -182,7 +187,8 @@ RequestHandler::ParsedLine RequestHandler::parse(std::string_view line,
         "use {\"op\":\"solve\",\"task\":...}");
   }
   parsed.op = string_field(parsed.fields, "op", "solve");
-  if (parsed.op == "stats" || parsed.op == "metrics" || parsed.op == "trace") {
+  if (parsed.op == "stats" || parsed.op == "metrics" ||
+      parsed.op == "trace" || parsed.op == "info") {
     parsed.action = Action::kControl;
     return parsed;
   }
@@ -397,6 +403,34 @@ RequestHandler::Rendered RequestHandler::control(const ParsedLine& parsed) {
   try {
     if (parsed.op == "stats") {
       return {service_.stats().to_string(), false};
+    }
+    if (parsed.op == "info") {
+      // Backend identity for routers and operators: who am I, how long up,
+      // how loaded, how warm.  Safe on every transport (no paths, no side
+      // effects) and cheap enough for a health probe.
+      const ServiceStats stats = service_.stats();
+      JsonWriter w;
+      if (!id.empty()) w.field("id", id);
+      w.field("op", "info")
+          .field("status", to_json_token(Status::kOk))
+          .field("version", kVersion)
+          .field("server_id", config_.server_id)
+          .field("pid", static_cast<std::int64_t>(::getpid()))
+          .field("uptime_ms",
+                 static_cast<std::uint64_t>(
+                     std::chrono::duration_cast<std::chrono::milliseconds>(
+                         std::chrono::steady_clock::now() - started_)
+                         .count()))
+          .field("workers", service_.workers())
+          .field("queue_depth",
+                 static_cast<std::uint64_t>(service_.queue_depth()))
+          .field("queries", stats.queries)
+          .field("cache_entries", stats.cache.entries)
+          .field("cache_resident_vertices", stats.cache.resident_vertices)
+          .field("memo_hits", stats.result_hits)
+          .field("interned_tasks",
+                 static_cast<std::uint64_t>(interned_tasks()));
+      return {w.str(), false};
     }
     if (parsed.op == "metrics") {
       if (!service_.observer().enabled()) {

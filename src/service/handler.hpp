@@ -77,6 +77,9 @@ struct HandlerConfig {
   /// so requests over the cap answer invalid_argument instead of stalling
   /// the connection's event loop.  0 removes the cap.
   int max_task_depth = 6;
+  /// Operator-assigned identity echoed by {"op":"info"} (a shard id in a
+  /// cluster, "" for a standalone server).
+  std::string server_id;
   /// Sink for one-shot deprecation notes (bare {"task":...} lines); null
   /// discards them.
   std::function<void(const std::string&)> warn;
@@ -96,7 +99,7 @@ class RequestHandler {
   enum class Action {
     kSkip,     // blank / comment: no response line
     kRespond,  // `immediate` is the response (parse error, unknown op)
-    kControl,  // stats / metrics / trace: flush pending, then control()
+    kControl,  // stats / metrics / trace / info: flush pending, control()
     kSubmit,   // a query: submit() / submit_async()
   };
 
@@ -171,6 +174,9 @@ class RequestHandler {
 
   QueryService& service_;
   HandlerConfig config_;
+  /// {"op":"info"} uptime reference: when this handler (in practice, the
+  /// transport) came up.
+  std::chrono::steady_clock::time_point started_;
   std::atomic<bool> warned_legacy_task_{false};
   std::mutex intern_mu_;
   std::map<std::string, InternedTask> interned_;

@@ -1,0 +1,579 @@
+// Tests for wfc::cluster: ring determinism / balance / minimal key
+// movement, fingerprint routing stickiness through a live router, the id
+// splice on pipelined out-of-order batches, hedging to the ring successor
+// past a silent shard, breaker recovery after a shard restart, drain and
+// remove semantics, conn-death re-dispatch (exactly-once across a shard
+// kill), and the router-side control plane (info / cluster_stats /
+// metrics reconciliation / trace rejection).
+#include <gtest/gtest.h>
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/ring.hpp"
+#include "cluster/router.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "net/socket.hpp"
+#include "service/jsonl.hpp"
+#include "service/query_service.hpp"
+
+namespace wfc::cluster {
+namespace {
+
+using Fields = std::map<std::string, std::string>;
+using namespace std::chrono_literals;
+
+Fields parse(const std::string& line) { return svc::parse_flat_json(line); }
+
+std::string field(const Fields& fields, const std::string& key) {
+  const auto it = fields.find(key);
+  return it == fields.end() ? std::string() : it->second;
+}
+
+/// The router's routing key for a consensus solve -- mirrors make_key so
+/// tests can predict which shard owns a query without sending it.
+std::uint64_t consensus_key(int values) {
+  return fnv1a64("procs=2;task=consensus;values=" + std::to_string(values) +
+                 ";");
+}
+
+/// Finds a consensus `values` parameter whose fingerprint lands on
+/// `target` in `ring`.  The search is tiny: each try hits a given shard
+/// with probability ~1/size.
+int consensus_values_owned_by(const Ring& ring, const std::string& target) {
+  for (int v = 2; v < 40; ++v) {
+    if (ring.pick(consensus_key(v)) == target) return v;
+  }
+  ADD_FAILURE() << "no consensus fingerprint landed on " << target;
+  return 2;
+}
+
+svc::QueryService::Options service_options(int workers = 4) {
+  svc::QueryService::Options options;
+  options.workers = workers;
+  return options;
+}
+
+/// One backend shard: a QueryService plus a started TCP server on an
+/// ephemeral port.  Declaration order destroys the Server first.
+struct Backend {
+  explicit Backend(const std::string& shard_id)
+      : service(service_options()) {
+    net::ServerConfig config;
+    config.listen = net::Endpoint{"127.0.0.1", 0};
+    config.handler.server_id = shard_id;
+    server = std::make_unique<net::Server>(service, std::move(config));
+    server->start();
+  }
+  svc::QueryService service;
+  std::unique_ptr<net::Server> server;
+};
+
+/// A TCP peer that accepts connections and reads nothing, answers nothing:
+/// the "silent shard" for hedging and re-dispatch tests.  Destroying it
+/// closes every accepted connection.
+struct BlackHole {
+  BlackHole() {
+    listener = net::listen_tcp(net::Endpoint{"127.0.0.1", 0}, &port);
+    thread = std::thread([this] {
+      std::vector<net::Fd> accepted;
+      while (!stop.load()) {
+        pollfd p{listener.get(), POLLIN, 0};
+        if (::poll(&p, 1, 20) > 0) {
+          const int fd = ::accept(listener.get(), nullptr, nullptr);
+          if (fd >= 0) accepted.emplace_back(fd);
+        }
+      }
+    });
+  }
+  ~BlackHole() {
+    stop.store(true);
+    thread.join();
+  }
+  net::Fd listener;
+  std::uint16_t port = 0;
+  std::thread thread;
+  std::atomic<bool> stop{false};
+};
+
+/// Router test defaults: fast reconnects and maintenance ticks so breaker
+/// and hedge behavior is observable within test time.
+RouterConfig fast_config() {
+  RouterConfig config;
+  config.reconnect_min = 10ms;
+  config.reconnect_max = 100ms;
+  config.connect_timeout = 500ms;
+  config.tick = 5ms;
+  return config;
+}
+
+/// N real backends behind a Router behind a front Server.  Members are
+/// declared in dependency order so destruction unwinds front -> router ->
+/// backend servers -> services.
+struct TestCluster {
+  explicit TestCluster(int n, RouterConfig config = fast_config(),
+                       bool wait_up = true) {
+    for (int i = 0; i < n; ++i) {
+      const std::string id = "s" + std::to_string(i + 1);
+      backends.push_back(std::make_unique<Backend>(id));
+      config.shards.push_back(ShardSpec{
+          id, net::Endpoint{"127.0.0.1", backends.back()->server->port()}});
+    }
+    router = std::make_unique<Router>(std::move(config));
+    router->start();
+    net::ServerConfig front_config;
+    front_config.listen = net::Endpoint{"127.0.0.1", 0};
+    front = std::make_unique<net::Server>(*router, front_config);
+    front->start();
+    if (wait_up) {
+      for (int i = 0; i < n; ++i) wait_shard_up("s" + std::to_string(i + 1));
+    }
+  }
+
+  void wait_shard_up(const std::string& id) {
+    for (int spin = 0; spin < 500; ++spin) {
+      if (router->shard_up_conns(id) > 0) return;
+      std::this_thread::sleep_for(10ms);
+    }
+    FAIL() << "shard " << id << " never came up";
+  }
+
+  [[nodiscard]] net::Client connect(
+      std::chrono::milliseconds recv_timeout = 0ms) const {
+    net::ClientConfig config;
+    config.server = net::Endpoint{"127.0.0.1", front->port()};
+    config.recv_timeout = recv_timeout;
+    return net::Client(std::move(config));
+  }
+
+  std::vector<std::unique_ptr<Backend>> backends;
+  std::unique_ptr<Router> router;
+  std::unique_ptr<net::Server> front;
+};
+
+// ---------------------------------------------------------------------------
+// Ring.
+// ---------------------------------------------------------------------------
+
+TEST(Ring, PickIsDeterministicAndCoversMembers) {
+  Ring ring(64);
+  ring.add("a");
+  ring.add("b");
+  ring.add("c");
+  std::set<std::string> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::string shard = ring.pick(fnv1a64("key" + std::to_string(i)));
+    EXPECT_TRUE(ring.contains(shard));
+    EXPECT_EQ(shard, ring.pick(fnv1a64("key" + std::to_string(i))));
+    seen.insert(shard);
+  }
+  EXPECT_EQ(seen.size(), 3u);  // every shard owns some keys
+}
+
+TEST(Ring, SuccessorIsADistinctShard) {
+  Ring ring(64);
+  ring.add("a");
+  ring.add("b");
+  ring.add("c");
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t key = fnv1a64("key" + std::to_string(i));
+    const std::string primary = ring.pick(key);
+    const std::string hedge = ring.successor(key, primary);
+    EXPECT_NE(hedge, primary);
+    EXPECT_TRUE(ring.contains(hedge));
+  }
+  Ring solo(64);
+  solo.add("only");
+  EXPECT_EQ(solo.successor(fnv1a64("k"), "only"), "");
+}
+
+TEST(Ring, RemovalMovesOnlyTheRemovedShardsKeys) {
+  Ring ring(64);
+  ring.add("a");
+  ring.add("b");
+  ring.add("c");
+  std::map<int, std::string> before;
+  for (int i = 0; i < 1000; ++i) {
+    before[i] = ring.pick(fnv1a64("key" + std::to_string(i)));
+  }
+  ring.remove("b");
+  for (int i = 0; i < 1000; ++i) {
+    const std::string now = ring.pick(fnv1a64("key" + std::to_string(i)));
+    if (before[i] != "b") {
+      // The consistent-hashing contract: surviving shards keep every key
+      // they already owned.
+      EXPECT_EQ(now, before[i]) << "key " << i << " moved needlessly";
+    } else {
+      EXPECT_NE(now, "b");
+    }
+  }
+}
+
+TEST(Ring, AcceptPredicateRoutesAroundShards) {
+  Ring ring(64);
+  ring.add("a");
+  ring.add("b");
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t key = fnv1a64("key" + std::to_string(i));
+    EXPECT_EQ(ring.pick(key, [](const std::string& s) { return s == "b"; }),
+              "b");
+  }
+  EXPECT_EQ(ring.pick(1, [](const std::string&) { return false; }), "");
+  EXPECT_EQ(Ring(8).pick(1), "");  // empty ring
+}
+
+TEST(Ring, ImbalanceStaysModestWithDefaultVnodes) {
+  Ring ring(64);
+  for (int n = 0; n < 4; ++n) ring.add("shard" + std::to_string(n));
+  const std::uint64_t permille = ring.imbalance_permille();
+  EXPECT_GE(permille, 1000u);  // max share is at least the mean
+  EXPECT_LT(permille, 2200u);  // and well under pathological skew
+}
+
+// ---------------------------------------------------------------------------
+// Routing through a live cluster.
+// ---------------------------------------------------------------------------
+
+TEST(ClusterRouter, RoundTripsAQueryThroughTheRing) {
+  TestCluster cluster(2);
+  net::Client client = cluster.connect();
+  const std::string response = client.roundtrip(
+      R"({"id":"q1","op":"solve","task":"consensus","procs":2,"values":2})");
+  const Fields fields = parse(response);
+  EXPECT_EQ(field(fields, "id"), "q1");
+  EXPECT_EQ(field(fields, "status"), "ok");
+  EXPECT_EQ(field(fields, "verdict"), "UNSOLVABLE");  // consensus, wait-free
+}
+
+TEST(ClusterRouter, PipelinedBatchIsExactlyOnceAcrossShards) {
+  TestCluster cluster(3);
+  net::Client client = cluster.connect();
+  const int kBatch = 120;
+  std::string batch;
+  for (int i = 0; i < kBatch; ++i) {
+    // Vary `values` (part of the task fingerprint) so the batch spreads
+    // over the whole ring.
+    batch += R"({"id":"b)" + std::to_string(i) +
+             R"(","op":"solve","task":"consensus","procs":2,"values":)" +
+             std::to_string(2 + (i % 10)) + "}\n";
+  }
+  client.send_raw(batch);
+  client.shutdown_write();
+  std::map<std::string, int> answered;
+  while (std::optional<std::string> line = client.recv_line()) {
+    const Fields fields = parse(*line);
+    answered[field(fields, "id")]++;
+    EXPECT_EQ(field(fields, "status"), "ok") << *line;
+  }
+  ASSERT_EQ(answered.size(), static_cast<std::size_t>(kBatch));
+  for (const auto& [id, count] : answered) {
+    EXPECT_EQ(count, 1) << id << " answered " << count << " times";
+  }
+  // The batch actually exercised more than one shard.
+  const Router::Stats stats = cluster.router->stats();
+  EXPECT_EQ(stats.requests, static_cast<std::uint64_t>(kBatch));
+  EXPECT_EQ(stats.responses, static_cast<std::uint64_t>(kBatch));
+}
+
+TEST(ClusterRouter, FingerprintRoutingIsSticky) {
+  TestCluster cluster(3);
+  net::Client client = cluster.connect();
+  for (int i = 0; i < 12; ++i) {
+    const std::string response = client.roundtrip(
+        R"({"id":"r)" + std::to_string(i) +
+        R"(","op":"solve","task":"renaming","procs":2,"names":5})");
+    EXPECT_EQ(field(parse(response), "status"), "ok");
+  }
+  // One fingerprint, one shard: every dispatch went to the same place.
+  const std::string stats_line =
+      client.roundtrip(R"({"id":"cs","op":"cluster_stats"})");
+  const Fields stats = parse(stats_line);
+  int shards_hit = 0;
+  for (int s = 1; s <= 3; ++s) {
+    const std::string routed =
+        field(stats, "shard_s" + std::to_string(s) + "_routed");
+    if (!routed.empty() && routed != "0") ++shards_hit;
+  }
+  EXPECT_EQ(shards_hit, 1);
+}
+
+TEST(ClusterRouter, IdSpliceRoundTripsEscapedIds) {
+  TestCluster cluster(2);
+  net::Client client = cluster.connect();
+  // An id that exercises the escape path both ways: quote, backslash, tab.
+  const std::string response = client.roundtrip(
+      "{\"id\":\"a\\\"b\\\\c\\td\",\"op\":\"solve\","
+      "\"task\":\"consensus\",\"procs\":2,\"values\":2}");
+  const Fields fields = parse(response);
+  EXPECT_EQ(field(fields, "id"), "a\"b\\c\td");
+  EXPECT_EQ(field(fields, "status"), "ok");
+}
+
+TEST(ClusterRouter, RequestsWithoutIdsAreAnsweredWithoutIds) {
+  TestCluster cluster(2);
+  net::Client client = cluster.connect();
+  const std::string response = client.roundtrip(
+      R"({"op":"solve","task":"consensus","procs":2,"values":2})");
+  const Fields fields = parse(response);
+  EXPECT_EQ(fields.count("id"), 0u);  // the router id never leaks out
+  EXPECT_EQ(field(fields, "status"), "ok");
+}
+
+// ---------------------------------------------------------------------------
+// Control plane.
+// ---------------------------------------------------------------------------
+
+TEST(ClusterRouter, ControlOpsAnswerLocally) {
+  TestCluster cluster(2);
+  net::Client client = cluster.connect();
+
+  const Fields info =
+      parse(client.roundtrip(R"({"id":"i","op":"info"})"));
+  EXPECT_EQ(field(info, "role"), "router");
+  EXPECT_EQ(field(info, "server_id"), "router");
+  EXPECT_EQ(field(info, "shards"), "2");
+
+  const Fields stats =
+      parse(client.roundtrip(R"({"id":"c","op":"cluster_stats"})"));
+  EXPECT_EQ(field(stats, "status"), "ok");
+  EXPECT_EQ(field(stats, "shards_up"), "2");
+  EXPECT_EQ(field(stats, "shard_s1_state"), "up");
+
+  const Fields metrics =
+      parse(client.roundtrip(R"({"id":"m","op":"metrics"})"));
+  EXPECT_EQ(field(metrics, "reconciles"), "true");
+
+  const Fields trace =
+      parse(client.roundtrip(R"({"id":"t","op":"trace"})"));
+  EXPECT_EQ(field(trace, "status"), "invalid_argument");
+}
+
+TEST(ClusterRouter, ShardInfoOpReportsShardIdentityThroughRouter) {
+  TestCluster cluster(2);
+  // info is answered by the ROUTER; a shard's own identity comes back when
+  // asking the shard directly (the deployment sketch in docs/API.md).
+  net::Client direct(net::ClientConfig{
+      net::Endpoint{"127.0.0.1", cluster.backends[0]->server->port()}});
+  const Fields info = parse(direct.roundtrip(R"({"id":"i","op":"info"})"));
+  EXPECT_EQ(field(info, "server_id"), "s1");
+  EXPECT_NE(field(info, "version"), "");
+  EXPECT_EQ(field(info, "status"), "ok");
+}
+
+TEST(ClusterRouter, AddDrainRemoveViaWireOps) {
+  TestCluster cluster(2);
+  Backend extra("s3");
+  net::Client client = cluster.connect();
+
+  const Fields added = parse(client.roundtrip(
+      R"({"id":"a","op":"cluster_add","shard":"s3","host":"127.0.0.1","port":)" +
+      std::to_string(extra.server->port()) + "}"));
+  EXPECT_EQ(field(added, "status"), "ok");
+  EXPECT_EQ(field(added, "shards"), "3");
+  cluster.wait_shard_up("s3");
+
+  const Fields drained = parse(
+      client.roundtrip(R"({"id":"d","op":"cluster_drain","shard":"s3"})"));
+  EXPECT_EQ(field(drained, "status"), "ok");
+  EXPECT_EQ(field(parse(client.roundtrip(
+                R"({"id":"c","op":"cluster_stats"})")),
+                  "shard_s3_state"),
+            "draining");
+
+  const Fields removed = parse(
+      client.roundtrip(R"({"id":"r","op":"cluster_remove","shard":"s3"})"));
+  EXPECT_EQ(field(removed, "status"), "ok");
+  const Fields stats =
+      parse(client.roundtrip(R"({"id":"c2","op":"cluster_stats"})"));
+  EXPECT_EQ(stats.count("shard_s3_state"), 0u);
+  EXPECT_EQ(field(stats, "shards"), "2");
+
+  const Fields unknown = parse(
+      client.roundtrip(R"({"id":"u","op":"cluster_drain","shard":"nope"})"));
+  EXPECT_EQ(field(unknown, "status"), "invalid_argument");
+}
+
+TEST(ClusterRouter, AdminOpsCanBeDisabled) {
+  RouterConfig config = fast_config();
+  config.admin_ops = false;
+  TestCluster cluster(1, std::move(config));
+  net::Client client = cluster.connect();
+  const Fields denied = parse(
+      client.roundtrip(R"({"id":"x","op":"cluster_drain","shard":"s1"})"));
+  EXPECT_EQ(field(denied, "status"), "invalid_argument");
+  // Read-only cluster_stats stays available.
+  EXPECT_EQ(field(parse(client.roundtrip(
+                R"({"id":"c","op":"cluster_stats"})")),
+                  "status"),
+            "ok");
+}
+
+// ---------------------------------------------------------------------------
+// Drain semantics.
+// ---------------------------------------------------------------------------
+
+TEST(ClusterRouter, DrainedShardStopsReceivingNewKeys) {
+  TestCluster cluster(3);
+  // Predict the owner of one fingerprint with a replica ring.
+  Ring replica(64);
+  replica.add("s1");
+  replica.add("s2");
+  replica.add("s3");
+  const int values = consensus_values_owned_by(replica, "s2");
+  net::Client client = cluster.connect();
+  ASSERT_TRUE(cluster.router->drain_shard("s2"));
+  for (int i = 0; i < 8; ++i) {
+    const std::string response = client.roundtrip(
+        R"({"id":"d)" + std::to_string(i) +
+        R"(","op":"solve","task":"consensus","procs":2,"values":)" +
+        std::to_string(values) + "}");
+    EXPECT_EQ(field(parse(response), "status"), "ok");
+  }
+  const Fields stats =
+      parse(client.roundtrip(R"({"id":"c","op":"cluster_stats"})"));
+  EXPECT_EQ(field(stats, "shard_s2_state"), "draining");
+  EXPECT_EQ(field(stats, "shard_s2_routed"), "0");
+}
+
+// ---------------------------------------------------------------------------
+// Hedging, breaker, re-dispatch.
+// ---------------------------------------------------------------------------
+
+TEST(ClusterRouter, HedgesToSuccessorWhenDeadlineAtRisk) {
+  BlackHole hole;
+  RouterConfig config = fast_config();
+  config.hedge_fraction = 0.1;
+  config.hedge_min = 50ms;
+  config.shards.push_back(ShardSpec{"bh", {"127.0.0.1", hole.port}});
+  TestCluster cluster(2, std::move(config));
+  cluster.wait_shard_up("bh");
+
+  Ring replica(64);
+  replica.add("s1");
+  replica.add("s2");
+  replica.add("bh");
+  const int values = consensus_values_owned_by(replica, "bh");
+
+  net::Client client = cluster.connect();
+  const auto start = std::chrono::steady_clock::now();
+  const std::string response = client.roundtrip(
+      R"({"id":"h1","op":"solve","task":"consensus","procs":2,"values":)" +
+      std::to_string(values) + R"(,"timeout_ms":10000})");
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  const Fields fields = parse(response);
+  EXPECT_EQ(field(fields, "id"), "h1");
+  EXPECT_EQ(field(fields, "status"), "ok");  // the successor answered
+  EXPECT_LT(elapsed, 8s) << "hedge should beat the deadline comfortably";
+  const Router::Stats stats = cluster.router->stats();
+  EXPECT_GE(stats.hedges, 1u);
+  EXPECT_GE(stats.hedge_wins, 1u);
+}
+
+TEST(ClusterRouter, SilentShardWithoutDeadlineTimesOutEventually) {
+  BlackHole hole;
+  RouterConfig config = fast_config();
+  config.pending_timeout = 300ms;
+  config.shards.push_back(ShardSpec{"bh", {"127.0.0.1", hole.port}});
+  TestCluster cluster(0, std::move(config));
+  cluster.wait_shard_up("bh");
+  net::Client client = cluster.connect();
+  const Fields fields = parse(client.roundtrip(
+      R"({"id":"t1","op":"solve","task":"consensus","procs":2,"values":2})"));
+  EXPECT_EQ(field(fields, "id"), "t1");
+  EXPECT_EQ(field(fields, "status"), "deadline_exceeded");
+}
+
+TEST(ClusterRouter, AllShardsDownAnswersOverloadedWithRetryHint) {
+  // A shard address nobody listens on: bind a port, then free it.
+  std::uint16_t dead_port = 0;
+  { net::Fd probe = net::listen_tcp(net::Endpoint{"127.0.0.1", 0}, &dead_port); }
+  RouterConfig config = fast_config();
+  config.shards.push_back(ShardSpec{"s1", {"127.0.0.1", dead_port}});
+  TestCluster cluster(0, std::move(config), /*wait_up=*/false);
+  net::Client client = cluster.connect();
+  const Fields fields = parse(client.roundtrip(
+      R"({"id":"x","op":"solve","task":"consensus","procs":2,"values":2})"));
+  EXPECT_EQ(field(fields, "id"), "x");
+  EXPECT_EQ(field(fields, "status"), "overloaded");
+  EXPECT_NE(field(fields, "retry_after_ms"), "");
+}
+
+TEST(ClusterRouter, BreakerRecoversWhenShardComesBack) {
+  std::uint16_t port = 0;
+  { net::Fd probe = net::listen_tcp(net::Endpoint{"127.0.0.1", 0}, &port); }
+  RouterConfig config = fast_config();
+  config.shards.push_back(ShardSpec{"s1", {"127.0.0.1", port}});
+  TestCluster cluster(0, std::move(config), /*wait_up=*/false);
+  std::this_thread::sleep_for(100ms);  // a few failed probes
+  EXPECT_EQ(cluster.router->shard_up_conns("s1"), 0);
+
+  // The shard appears on the previously dead port; the breaker's
+  // background probes reconnect without any routing intervention.
+  svc::QueryService service(service_options());
+  net::ServerConfig sc;
+  sc.listen = net::Endpoint{"127.0.0.1", port};
+  net::Server server(service, std::move(sc));
+  server.start();
+  cluster.wait_shard_up("s1");
+
+  net::Client client = cluster.connect();
+  const Fields fields = parse(client.roundtrip(
+      R"({"id":"x","op":"solve","task":"consensus","procs":2,"values":2})"));
+  EXPECT_EQ(field(fields, "status"), "ok");
+}
+
+TEST(ClusterRouter, ConnDeathRedispatchesInflightToSurvivors) {
+  auto hole = std::make_unique<BlackHole>();
+  RouterConfig config = fast_config();
+  config.shards.push_back(ShardSpec{"bh", {"127.0.0.1", hole->port}});
+  TestCluster cluster(2, std::move(config));
+  cluster.wait_shard_up("bh");
+
+  Ring replica(64);
+  replica.add("s1");
+  replica.add("s2");
+  replica.add("bh");
+  const int values = consensus_values_owned_by(replica, "bh");
+
+  // Park a pipelined batch on the silent shard, then kill it: the router
+  // must re-home every inflight request and still deliver exactly once.
+  net::Client client = cluster.connect(/*recv_timeout=*/5s);
+  std::string batch;
+  const int kBatch = 5;
+  for (int i = 0; i < kBatch; ++i) {
+    batch += R"({"id":"k)" + std::to_string(i) +
+             R"(","op":"solve","task":"consensus","procs":2,"values":)" +
+             std::to_string(values) + "}\n";
+  }
+  client.send_raw(batch);
+  std::this_thread::sleep_for(200ms);  // let the sends land on bh
+  hole.reset();                        // RST/EOF every bh connection
+
+  std::map<std::string, int> answered;
+  for (int i = 0; i < kBatch; ++i) {
+    std::optional<std::string> line = client.recv_line();
+    ASSERT_TRUE(line.has_value());
+    const Fields fields = parse(*line);
+    answered[field(fields, "id")]++;
+    EXPECT_EQ(field(fields, "status"), "ok") << *line;
+  }
+  EXPECT_EQ(answered.size(), static_cast<std::size_t>(kBatch));
+  for (const auto& [id, count] : answered) EXPECT_EQ(count, 1) << id;
+  // No duplicates can follow: the next read times out instead of
+  // producing a second copy of any id.
+  EXPECT_THROW((void)client.recv_line(), net::TimeoutError);
+  EXPECT_GE(cluster.router->stats().redispatches, 1u);
+}
+
+}  // namespace
+}  // namespace wfc::cluster

@@ -6,11 +6,13 @@
 // (the TSan job runs this binary).
 #include <gtest/gtest.h>
 
+#include <poll.h>
 #include <sys/socket.h>
 
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -430,6 +432,118 @@ TEST(NetClient, RejectsOversizedResponseLines) {
   client.send_line(
       R"({"id":"s","op":"solve","task":"consensus","procs":2,"values":2})");
   EXPECT_THROW(client.recv_line(), std::runtime_error);
+}
+
+/// Reads and discards bytes on `fd` until the peer closes (or 5 s pass):
+/// keeps a scripted connection open without ever answering, and returns
+/// promptly when the client hangs up so test teardown joins fast.
+void drain_until_eof(int fd) {
+  char sink[256];
+  for (;;) {
+    pollfd p{fd, POLLIN, 0};
+    if (::poll(&p, 1, 5000) <= 0) return;
+    if (::recv(fd, sink, sizeof(sink), 0) <= 0) return;
+  }
+}
+
+/// A scripted raw TCP peer: accepts exactly one connection and hands it to
+/// `script`, which owns it (the Fd closes when the script returns).
+struct RawPeer {
+  explicit RawPeer(std::function<void(Fd)> script) {
+    listener = listen_tcp(Endpoint{"127.0.0.1", 0}, &port);
+    thread = std::thread([this, script = std::move(script)] {
+      pollfd accept_poll{listener.get(), POLLIN, 0};
+      if (::poll(&accept_poll, 1, 5000) <= 0) return;
+      Fd conn(::accept(listener.get(), nullptr, nullptr));
+      if (conn.valid()) script(std::move(conn));
+    });
+  }
+  ~RawPeer() { thread.join(); }
+
+  Fd listener;
+  std::uint16_t port = 0;
+  std::thread thread;
+};
+
+TEST(NetClient, RecvTimeoutFiresOnSilentServer) {
+  RawPeer peer([](Fd conn) { drain_until_eof(conn.get()); });
+  ClientConfig config;
+  config.server = Endpoint{"127.0.0.1", peer.port};
+  config.recv_timeout = std::chrono::milliseconds(100);
+  Client client(std::move(config));
+  client.send_line(R"({"id":"t","op":"stats"})");
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(client.recv_line(), TimeoutError);
+  EXPECT_GE(std::chrono::steady_clock::now() - start,
+            std::chrono::milliseconds(90));
+}
+
+TEST(NetClient, RecvTimeoutCoversAPartialLine) {
+  // The peer trickles half a line and stalls: the deadline bounds the
+  // whole recv_line() call, not just the first byte.
+  RawPeer peer([](Fd conn) {
+    const char partial[] = "{\"id\":\"t\",\"sta";
+    (void)::send(conn.get(), partial, sizeof(partial) - 1, MSG_NOSIGNAL);
+    drain_until_eof(conn.get());
+  });
+  ClientConfig config;
+  config.server = Endpoint{"127.0.0.1", peer.port};
+  config.recv_timeout = std::chrono::milliseconds(100);
+  Client client(std::move(config));
+  client.send_line(R"({"id":"t","op":"stats"})");
+  EXPECT_THROW(client.recv_line(), TimeoutError);
+}
+
+TEST(NetClient, PeerResetMidLineThrowsSystemError) {
+  RawPeer peer([](Fd conn) {
+    const char partial[] = "{\"id\":\"t\",\"sta";
+    (void)::send(conn.get(), partial, sizeof(partial) - 1, MSG_NOSIGNAL);
+    // SO_LINGER with zero timeout turns the close into a hard RST.
+    linger hard{};
+    hard.l_onoff = 1;
+    hard.l_linger = 0;
+    ::setsockopt(conn.get(), SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+  });
+  ClientConfig config;
+  config.server = Endpoint{"127.0.0.1", peer.port};
+  Client client(std::move(config));
+  client.send_line(R"({"id":"t","op":"stats"})");
+  EXPECT_THROW(
+      {
+        // The reset can surface on the first or a later read depending on
+        // how much of the partial line raced ahead of the RST.
+        while (client.recv_line().has_value()) {
+        }
+      },
+      std::system_error);
+}
+
+TEST(NetClient, HalfCloseDrainsPipelinedBatchThenEof) {
+  // A recv_timeout must not misfire while responses are flowing; after the
+  // half-closed batch is fully answered the server's EOF arrives as
+  // nullopt, not as a timeout or an error.
+  TestServer ts;
+  ClientConfig config;
+  config.server = Endpoint{"127.0.0.1", ts.server.port()};
+  config.recv_timeout = std::chrono::seconds(10);
+  Client client(std::move(config));
+  const int kBatch = 8;
+  std::string batch;
+  for (int i = 0; i < kBatch; ++i) {
+    batch += R"({"id":"h)" + std::to_string(i) +
+             R"(","op":"solve","task":"consensus","procs":2,"values":2})" +
+             "\n";
+  }
+  client.send_raw(batch);
+  client.shutdown_write();
+  std::set<std::string> seen;
+  while (std::optional<std::string> line = client.recv_line()) {
+    const Fields fields = parse(*line);
+    EXPECT_EQ(field(fields, "status"), "ok");
+    EXPECT_TRUE(seen.insert(field(fields, "id")).second) << *line;
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kBatch));
+  EXPECT_TRUE(client.buffered_empty());
 }
 
 // ---------------------------------------------------------------------------
