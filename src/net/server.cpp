@@ -202,10 +202,10 @@ Server::Stats Server::stats() const {
   s.closed = closed_.load(std::memory_order_relaxed);
   s.dropped = dropped_.load(std::memory_order_relaxed);
   s.active = active_.load(std::memory_order_relaxed);
-  s.requests = requests_.load(std::memory_order_relaxed);
-  s.responses = responses_.load(std::memory_order_relaxed);
-  s.bytes_read = bytes_read_.load(std::memory_order_relaxed);
-  s.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+  s.requests = requests_.value();
+  s.responses = responses_.value();
+  s.bytes_read = bytes_read_.value();
+  s.bytes_written = bytes_written_.value();
   s.oversized_lines = oversized_lines_.load(std::memory_order_relaxed);
   return s;
 }
@@ -400,7 +400,7 @@ void Server::drain_conn(const std::shared_ptr<Loop>& loop,
   for (std::string& line : lines) {
     conn->wbuf += line;
     conn->wbuf += '\n';
-    responses_.fetch_add(1, std::memory_order_relaxed);
+    responses_.inc();
     add_counter(m_responses_);
   }
   conn->inflight -= lines.size();
@@ -410,7 +410,7 @@ void Server::drain_conn(const std::shared_ptr<Loop>& loop,
     conn->pending_control.reset();
     conn->wbuf += backend_->control(control.line, control.line_no);
     conn->wbuf += '\n';
-    responses_.fetch_add(1, std::memory_order_relaxed);
+    responses_.inc();
     add_counter(m_responses_);
     queued = true;
   }
@@ -452,7 +452,7 @@ void Server::handle_readable(const std::shared_ptr<Loop>& loop,
     return;
   }
   if (got > 0) {
-    bytes_read_.fetch_add(got, std::memory_order_relaxed);
+    bytes_read_.inc(got);
     add_counter(m_bytes_read_, got);
     conn->last_activity = std::chrono::steady_clock::now();
     conn->trace.complete(obs::SpanKind::kNetRead, t0, conn->last_activity,
@@ -573,7 +573,7 @@ void Server::handle_line(const std::shared_ptr<Loop>& /*loop*/,
       }
       conn->wbuf += outcome.response;
       conn->wbuf += '\n';
-      responses_.fetch_add(1, std::memory_order_relaxed);
+      responses_.inc();
       add_counter(m_responses_);
       return;
     }
@@ -581,7 +581,7 @@ void Server::handle_line(const std::shared_ptr<Loop>& /*loop*/,
       if (conn->inflight == 0) {
         conn->wbuf += backend_->control(line, line_no);
         conn->wbuf += '\n';
-        responses_.fetch_add(1, std::memory_order_relaxed);
+        responses_.inc();
         add_counter(m_responses_);
       } else {
         // Answer once this connection's earlier queries are all terminal,
@@ -592,7 +592,7 @@ void Server::handle_line(const std::shared_ptr<Loop>& /*loop*/,
       return;
     case Kind::kSubmitted:
       ++conn->inflight;
-      requests_.fetch_add(1, std::memory_order_relaxed);
+      requests_.inc();
       add_counter(m_requests_);
       return;
   }
@@ -618,7 +618,7 @@ void Server::flush_writes(const std::shared_ptr<Loop>& loop,
     return;
   }
   if (wrote > 0) {
-    bytes_written_.fetch_add(wrote, std::memory_order_relaxed);
+    bytes_written_.inc(wrote);
     add_counter(m_bytes_written_, wrote);
     conn->last_activity = std::chrono::steady_clock::now();
     conn->trace.complete(obs::SpanKind::kNetWrite, t0, conn->last_activity,

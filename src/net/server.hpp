@@ -60,6 +60,7 @@
 #include "net/backend.hpp"
 #include "net/socket.hpp"
 #include "service/handler.hpp"
+#include "wf/counter.hpp"
 
 namespace wfc::net {
 
@@ -91,8 +92,9 @@ struct ServerConfig {
 
 class Server {
  public:
-  /// Wire-level counters, all monotone except `active`.  Kept as plain
-  /// atomics (always on); mirrored into the service's obs registry when
+  /// Wire-level counters, all monotone except `active`.  Always on
+  /// (lifecycle counts are plain atomics, per-line/per-byte counts are
+  /// sharded wf::Counters); mirrored into the service's obs registry when
   /// observability is enabled.
   struct Stats {
     std::uint64_t accepted = 0;
@@ -183,10 +185,12 @@ class Server {
   std::vector<std::thread> threads_;
   std::atomic<std::uint32_t> next_loop_{0};
 
-  // Plain wire counters (see Stats).
+  // Wire counters (see Stats).  Connection-lifecycle counts stay plain
+  // atomics (accept/close are rare); the per-line / per-byte hot counters
+  // are sharded wf::Counters so io loops never contend on one cache line.
   std::atomic<std::uint64_t> accepted_{0}, closed_{0}, dropped_{0},
-      active_{0}, requests_{0}, responses_{0}, bytes_read_{0},
-      bytes_written_{0}, oversized_lines_{0};
+      active_{0}, oversized_lines_{0};
+  wf::Counter requests_, responses_, bytes_read_, bytes_written_;
 
   // Obs mirrors; null when the service's observability layer is disabled.
   obs::Counter* m_accepted_ = nullptr;

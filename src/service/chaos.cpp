@@ -4,15 +4,41 @@
 #include <thread>
 #include <utility>
 
+#include "wf/epoch.hpp"
+
 namespace wfc::svc {
 
-ChaosMonkey::ChaosMonkey(Options options)
-    : options_(options), rng_(options.seed) {}
+namespace {
+
+// SplitMix64 finalizer (same mixer as common/rng.hpp's Rng::next), applied
+// both to derive per-lane seeds and to turn a lane state into a draw.
+std::uint64_t mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+ChaosMonkey::ChaosMonkey(Options options) : options_(options) {}
 
 bool ChaosMonkey::roll(double p) {
   if (p <= 0.0) return false;
-  std::lock_guard<std::mutex> lock(mu_);
-  return rng_.unit() < p;
+  Lane& lane = lanes_[wf::thread_slot() % kLanes];
+  std::uint64_t state = lane.state.load(std::memory_order_relaxed);
+  if (state == 0) {
+    // Lazily seed from the configured seed and the lane index so every
+    // lane's stream is distinct but replayable.  Two threads mapped to the
+    // same lane may both observe 0 and write the same seed -- idempotent,
+    // so the stream stays well defined.
+    state = mix(options_.seed + 0x9e3779b97f4a7c15ull *
+                                    (wf::thread_slot() % kLanes + 1));
+    if (state == 0) state = 0x9e3779b97f4a7c15ull;  // keep 0 as "unseeded"
+  }
+  state += 0x9e3779b97f4a7c15ull;
+  lane.state.store(state, std::memory_order_relaxed);
+  const double draw = static_cast<double>(mix(state) >> 11) * 0x1.0p-53;
+  return draw < p;
 }
 
 void ChaosMonkey::arm(QueryService::Options& service_options) {
@@ -21,19 +47,13 @@ void ChaosMonkey::arm(QueryService::Options& service_options) {
       [this, prior_execute](std::atomic<bool>& cancel) {
         if (prior_execute) prior_execute(cancel);
         if (roll(options_.stall_prob)) {
-          {
-            std::lock_guard<std::mutex> lock(mu_);
-            ++stats_.stalls;
-          }
+          stalls_.inc();
           // Sleep without touching the heartbeat: to the watchdog this is
           // indistinguishable from a worker wedged in non-polling code.
           std::this_thread::sleep_for(options_.stall_for);
         }
         if (roll(options_.cancel_prob)) {
-          {
-            std::lock_guard<std::mutex> lock(mu_);
-            ++stats_.cancels;
-          }
+          cancels_.inc();
           cancel.store(true, std::memory_order_relaxed);
         }
       };
@@ -42,18 +62,18 @@ void ChaosMonkey::arm(QueryService::Options& service_options) {
   service_options.cache.build_fault_hook = [this, prior_build] {
     if (prior_build) prior_build();
     if (roll(options_.build_fault_prob)) {
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        ++stats_.build_faults;
-      }
+      build_faults_.inc();
       throw std::bad_alloc();
     }
   };
 }
 
 ChaosMonkey::Stats ChaosMonkey::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  Stats s;
+  s.cancels = cancels_.value();
+  s.stalls = stalls_.value();
+  s.build_faults = build_faults_.value();
+  return s;
 }
 
 }  // namespace wfc::svc

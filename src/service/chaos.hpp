@@ -16,11 +16,19 @@
 //     kResourceExhausted containment and cache shedding while the cache must
 //     stay consistent.
 //
-// Determinism: one SplitMix64 stream (common/rng.hpp) seeded from
-// WFC_TEST_SEED drives every decision; hooks run concurrently on workers,
-// so draws are serialized under a mutex -- the FAULT SEQUENCE is
-// reproducible even though its assignment to queries depends on scheduling.
-// Injection counters let the soak test assert that faults actually fired.
+// Concurrency: the hooks run on every worker and, before PR 7, serialized
+// every injection decision (and every DISABLED decision's probability
+// check) under one mutex -- chaos probes on the hot path measured the
+// mutex, not the service.  Decisions now draw from per-thread SplitMix64
+// lanes (common/rng.hpp's generator, advanced in place in an atomic cell
+// indexed by wf::thread_slot()) and count into wf::Counter shards: the
+// armed path is lock-free, and the disabled path (p == 0) is a single
+// branch with no shared access at all.
+//
+// Determinism: every lane is seeded as mix(seed, lane), so each thread's
+// fault SEQUENCE is reproducible from WFC_TEST_SEED; which query a fault
+// lands on depends on scheduling, exactly as it did when draws were
+// serialized (the assignment was always scheduling-dependent).
 //
 // The ChaosMonkey must outlive every service armed with it (the hooks hold
 // a plain pointer).
@@ -29,10 +37,10 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 
 #include "common/rng.hpp"
 #include "service/query_service.hpp"
+#include "wf/counter.hpp"
 
 namespace wfc::svc {
 
@@ -67,13 +75,22 @@ class ChaosMonkey {
   [[nodiscard]] Stats stats() const;
 
  private:
-  /// One seeded coin flip with probability p (serialized draw).
+  static constexpr std::size_t kLanes = 64;
+
+  /// One seeded coin flip with probability p, drawn from the calling
+  /// thread's lane.  Lock-free; load-only when p <= 0.
   bool roll(double p);
 
   Options options_;
-  mutable std::mutex mu_;
-  Rng rng_;  // guarded by mu_
-  Stats stats_;  // guarded by mu_
+  struct alignas(64) Lane {
+    /// SplitMix64 state; 0 = not yet seeded (lazily derived from the
+    /// configured seed on first use).
+    std::atomic<std::uint64_t> state{0};
+  };
+  Lane lanes_[kLanes];
+  wf::Counter cancels_;
+  wf::Counter stalls_;
+  wf::Counter build_faults_;
 };
 
 }  // namespace wfc::svc

@@ -143,10 +143,25 @@ std::shared_ptr<task::Task> make_canonical_task(const Fields& fields) {
   throw std::invalid_argument("unknown task kind \"" + kind + "\"");
 }
 
+namespace {
+
+/// Intern-table bound: 0 in the config selects a generous fixed ceiling
+/// (the lock-free index has a fixed capacity chosen at construction).
+std::size_t intern_bound(std::size_t configured) {
+  return configured == 0 ? std::size_t{32768} : configured;
+}
+
+}  // namespace
+
 RequestHandler::RequestHandler(QueryService& service, HandlerConfig config)
     : service_(service),
       config_(std::move(config)),
-      started_(std::chrono::steady_clock::now()) {}
+      started_(std::chrono::steady_clock::now()),
+      interned_(decltype(interned_)::Options{
+          .max_entries = intern_bound(config_.max_interned_tasks),
+          .min_slots = 64,
+          .segments = 4,
+          .keep_hottest = true}) {}
 
 RequestHandler::ParsedLine RequestHandler::parse(std::string_view line,
                                                  int line_no) {
@@ -227,40 +242,18 @@ std::shared_ptr<task::Task> RequestHandler::intern_task(const Fields& fields) {
     key += v;
     key += ';';
   }
-  {
-    std::lock_guard<std::mutex> lock(intern_mu_);
-    auto it = interned_.find(key);
-    if (it != interned_.end()) {
-      intern_lru_.splice(intern_lru_.begin(), intern_lru_, it->second.lru);
-      return it->second.task;
-    }
-  }
-  // Construct OUTSIDE the lock: large tasks (iterated-SDS towers) are
-  // expensive to build, and holding intern_mu_ here would serialize every
-  // transport thread behind one big request.
+  std::shared_ptr<task::Task> hit;
+  if (interned_.lookup(key, &hit)) return hit;
+  // Construct BEFORE touching the index: large tasks (iterated-SDS towers)
+  // are expensive to build, and the lock-free insert below keeps the table
+  // consistent if concurrent twins race -- the first writer wins and every
+  // twin adopts its object, preserving one identity for the result memo.
   std::shared_ptr<task::Task> task = make_canonical_task(fields);
-  std::lock_guard<std::mutex> lock(intern_mu_);
-  auto it = interned_.find(key);
-  if (it != interned_.end()) {
-    // A concurrent twin interned it first; keep theirs so the result memo
-    // sees one object identity.
-    intern_lru_.splice(intern_lru_.begin(), intern_lru_, it->second.lru);
-    return it->second.task;
-  }
-  intern_lru_.push_front(key);
-  interned_.emplace(key, InternedTask{task, intern_lru_.begin()});
-  while (config_.max_interned_tasks != 0 &&
-         interned_.size() > config_.max_interned_tasks) {
-    interned_.erase(intern_lru_.back());
-    intern_lru_.pop_back();
-  }
-  return task;
+  auto handle = interned_.get_or_insert(key, [&] { return task; });
+  return *handle;
 }
 
-std::size_t RequestHandler::interned_tasks() {
-  std::lock_guard<std::mutex> lock(intern_mu_);
-  return interned_.size();
-}
+std::size_t RequestHandler::interned_tasks() { return interned_.size(); }
 
 std::pair<Query, RequestHandler::ResponseMeta> RequestHandler::build_query(
     const ParsedLine& parsed) {

@@ -35,14 +35,13 @@
 
 #include <atomic>
 #include <functional>
-#include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 
 #include "service/query_service.hpp"
+#include "wf/clock_cache.hpp"
 
 namespace wfc::svc {
 
@@ -68,9 +67,11 @@ struct HandlerConfig {
   /// unauthenticated client create or truncate any server-writable file.
   bool allow_control_paths = false;
   /// Interned canonical tasks kept for result-memo object identity; the
-  /// least recently used entries are evicted past this bound so a client
-  /// cannot grow the table without limit by varying task parameters.
-  /// 0 removes the bound.
+  /// coldest entries are evicted past this bound so a client cannot grow
+  /// the table without limit by varying task parameters.  The lock-free
+  /// intern index has a fixed capacity chosen at construction, so 0
+  /// selects a generous ceiling (32768) rather than a truly unbounded
+  /// table.
   std::size_t max_interned_tasks = 1024;
   /// Upper bound on the "depth" request field: iterated-SDS towers grow
   /// exponentially with depth and are constructed on the transport thread,
@@ -163,14 +164,10 @@ class RequestHandler {
       const ParsedLine& parsed);
   /// Canonical tasks are pure functions of their request fields, so
   /// repeated lines share ONE task object -- which is what the service's
-  /// result memo keys on.  Thread-safe; the table is an LRU bounded by
-  /// max_interned_tasks.
+  /// result memo keys on.  Thread-safe; the table is a lock-free CLOCK
+  /// cache bounded by max_interned_tasks, so transport threads never
+  /// serialize on an intern mutex.
   [[nodiscard]] std::shared_ptr<task::Task> intern_task(const Fields& fields);
-
-  struct InternedTask {
-    std::shared_ptr<task::Task> task;
-    std::list<std::string>::iterator lru;
-  };
 
   QueryService& service_;
   HandlerConfig config_;
@@ -178,9 +175,7 @@ class RequestHandler {
   /// transport) came up.
   std::chrono::steady_clock::time_point started_;
   std::atomic<bool> warned_legacy_task_{false};
-  std::mutex intern_mu_;
-  std::map<std::string, InternedTask> interned_;
-  std::list<std::string> intern_lru_;  // front = most recent
+  wf::ClockCache<std::string, std::shared_ptr<task::Task>> interned_;
 };
 
 }  // namespace wfc::svc

@@ -131,6 +131,10 @@ QueryService::QueryService(Options options)
       queue_(AdmissionQueue::Options{options_.max_queue_depth,
                                      options_.admission_policy}),
       memo_capacity_(options_.result_memo_entries),
+      memo_(ResultMemo::Options{.max_entries = memo_capacity_,
+                                .min_slots = 64,
+                                .segments = 4,
+                                .keep_hottest = true}),
       pool_(resolve_workers(options_.workers)) {
   if (observer_.enabled()) init_observability();
   max_inflight_ = options_.max_inflight > 0
@@ -206,13 +210,29 @@ void QueryService::init_observability() {
         .set(wd.kills);
     reg.gauge("wfc_watchdog_stuck_reports", "", "Heartbeat stalls detected")
         .set(wd.stuck_reports);
-    std::size_t memo_entries;
-    {
-      std::lock_guard<std::mutex> lock(memo_mu_);
-      memo_entries = memo_.size();
-    }
     reg.gauge("wfc_result_memo_entries", "", "Memoized definitive verdicts")
-        .set(memo_entries);
+        .set(memo_.size());
+    // Wait-free data plane contention telemetry (src/wf): how hard the
+    // lock-free hot structures are working for their progress guarantees.
+    const wf::Telemetry& wt = wf::telemetry();
+    reg.gauge("wfc_wf_cas_retries", "",
+              "Failed CAS attempts across wf structures")
+        .set(wt.cas_retries.value());
+    reg.gauge("wfc_wf_announces", "",
+              "Inserts that took the announce (helping) slow path")
+        .set(wt.announces.value());
+    reg.gauge("wfc_wf_help_ops", "",
+              "Announced operations completed by helper threads")
+        .set(wt.help_ops.value());
+    reg.gauge("wfc_wf_epoch_advances", "",
+              "Epoch-reclamation grace periods completed")
+        .set(wt.epoch_advances.value());
+    reg.gauge("wfc_wf_epoch_reclaimed", "",
+              "Deferred nodes freed by epoch reclamation")
+        .set(wt.epoch_reclaimed.value());
+    reg.gauge("wfc_wf_evict_scans", "",
+              "Table slots examined by CLOCK eviction laps")
+        .set(wt.evict_scans.value());
   });
 }
 
@@ -257,10 +277,7 @@ QueryTicket QueryService::submit(Query query, CompletionFn on_complete) {
     metrics_.by_kind[static_cast<int>(job->query.kind())]->inc();
   }
   QueryTicket ticket{job->promise.get_future(), job->cancel};
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.submitted;
-  }
+  stats_.inc(kStatSubmitted);
 
   // Fast path: an identical definitive query was answered before -- reply
   // inline, no worker, no search.
@@ -360,11 +377,8 @@ std::uint64_t QueryService::degraded_budget(std::uint64_t requested,
 }
 
 std::uint32_t QueryService::retry_hint() {
-  std::uint64_t ewma;
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ewma = ewma_exec_micros_;
-  }
+  const std::uint64_t ewma =
+      ewma_exec_micros_.load(std::memory_order_relaxed);
   if (ewma == 0) return options_.retry_after_ms_base;
   const std::uint64_t per_query_ms = std::max<std::uint64_t>(1, ewma / 1000);
   const std::uint64_t backlog = queue_.depth() + 1;
@@ -461,11 +475,9 @@ std::optional<task::SolveResult> QueryService::memo_lookup(
   if (memo_capacity_ == 0 || solve == nullptr) return std::nullopt;
   const MemoKey key{solve->task.get(), query.options.max_level,
                     query.options.node_budget};
-  std::lock_guard<std::mutex> lock(memo_mu_);
-  auto it = memo_.find(key);
-  if (it == memo_.end()) return std::nullopt;
-  memo_lru_.splice(memo_lru_.begin(), memo_lru_, it->second.lru);
-  return it->second.result;
+  MemoVal val;
+  if (!memo_.lookup(key, &val)) return std::nullopt;
+  return val.result;
 }
 
 void QueryService::memo_store(const Query& query,
@@ -480,14 +492,10 @@ void QueryService::memo_store(const Query& query,
   }
   const MemoKey key{solve->task.get(), query.options.max_level,
                     query.options.node_budget};
-  std::lock_guard<std::mutex> lock(memo_mu_);
-  if (memo_.count(key) != 0) return;  // a concurrent twin won the race
-  memo_lru_.push_front(key);
-  memo_[key] = MemoEntry{solve->task, result, memo_lru_.begin()};
-  while (memo_.size() > memo_capacity_) {
-    memo_.erase(memo_lru_.back());
-    memo_lru_.pop_back();
-  }
+  // First writer wins; a concurrent twin's insert converges on the stored
+  // value.  The insert's eviction pass keeps the memo at its bound.
+  (void)memo_.get_or_insert(key,
+                            [&] { return MemoVal{solve->task, result}; });
 }
 
 void QueryService::cancel_all() {
@@ -698,49 +706,75 @@ void QueryService::record(const QueryResult& result) {
       metrics_.search_nodes->observe(result.solve.nodes_explored);
     }
   }
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  ++stats_.queries;
-  ++stats_.by_status[static_cast<int>(result.status)];
+  // Per-thread shard bumps only: the completion path no longer serializes
+  // on a stats mutex (kStat* slots fold back together in stats()).
+  stats_.inc(kStatQueries);
+  stats_.inc(kStatStatusBase + static_cast<std::size_t>(result.status));
   if (result.status == Status::kOk) {
     if (result.is_check) {
-      ++stats_.check.runs;
-      stats_.check.schedules += result.check_schedules;
-      stats_.check.histories += result.check_histories;
-      stats_.check.max_search_depth =
-          std::max(stats_.check.max_search_depth, result.check_max_depth);
-      if (!result.check_ok) ++stats_.check.violations;
+      stats_.inc(kStatCheckRuns);
+      stats_.inc(kStatCheckSchedules, result.check_schedules);
+      stats_.inc(kStatCheckHistories, result.check_histories);
+      check_max_depth_.bump(result.check_max_depth);
+      if (!result.check_ok) stats_.inc(kStatCheckViolations);
     } else {
       switch (result.solve.status) {
-        case task::Solvability::kSolvable: ++stats_.solvable; break;
-        case task::Solvability::kUnsolvable: ++stats_.unsolvable; break;
-        case task::Solvability::kUnknown: ++stats_.unknown; break;
+        case task::Solvability::kSolvable: stats_.inc(kStatSolvable); break;
+        case task::Solvability::kUnsolvable:
+          stats_.inc(kStatUnsolvable);
+          break;
+        case task::Solvability::kUnknown: stats_.inc(kStatUnknown); break;
         case task::Solvability::kCancelled: break;  // unreachable under kOk
       }
     }
     // Latency history feeds the retry_after hint; only completed work
     // counts (shed/expired queries would drag the estimate toward zero).
+    // Racing updates may each fold their own sample in -- the estimate
+    // stays an estimate, which is all the hint needs.
     if (!result.memoized) {
-      ewma_exec_micros_ = ewma_exec_micros_ == 0
-                              ? result.micros
-                              : (7 * ewma_exec_micros_ + result.micros) / 8;
+      std::uint64_t cur = ewma_exec_micros_.load(std::memory_order_relaxed);
+      std::uint64_t next;
+      do {
+        next = cur == 0 ? result.micros : (7 * cur + result.micros) / 8;
+      } while (!ewma_exec_micros_.compare_exchange_weak(
+          cur, next, std::memory_order_relaxed));
     }
   }
   if (result.memoized) {
-    ++stats_.result_hits;
+    stats_.inc(kStatResultHits);
   } else {
-    stats_.nodes_explored += result.solve.nodes_explored;
+    stats_.inc(kStatNodesExplored, result.solve.nodes_explored);
   }
-  if (result.degraded) ++stats_.degraded;
-  stats_.queue_total_micros += result.queue_micros;
-  stats_.queue_max_micros =
-      std::max(stats_.queue_max_micros, result.queue_micros);
-  stats_.total_micros += result.micros;
-  stats_.max_micros = std::max(stats_.max_micros, result.micros);
+  if (result.degraded) stats_.inc(kStatDegraded);
+  stats_.inc(kStatQueueTotalMicros, result.queue_micros);
+  queue_max_micros_.bump(result.queue_micros);
+  stats_.inc(kStatTotalMicros, result.micros);
+  max_micros_.bump(result.micros);
 }
 
 ServiceStats QueryService::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  ServiceStats out = stats_;
+  const std::array<std::uint64_t, kStatCount> c = stats_.fold();
+  ServiceStats out;
+  out.submitted = c[kStatSubmitted];
+  out.queries = c[kStatQueries];
+  for (int s = 0; s < kNumStatuses; ++s) {
+    out.by_status[s] = c[kStatStatusBase + static_cast<std::size_t>(s)];
+  }
+  out.solvable = c[kStatSolvable];
+  out.unsolvable = c[kStatUnsolvable];
+  out.unknown = c[kStatUnknown];
+  out.result_hits = c[kStatResultHits];
+  out.nodes_explored = c[kStatNodesExplored];
+  out.degraded = c[kStatDegraded];
+  out.total_micros = c[kStatTotalMicros];
+  out.max_micros = max_micros_.value();
+  out.queue_total_micros = c[kStatQueueTotalMicros];
+  out.queue_max_micros = queue_max_micros_.value();
+  out.check.runs = c[kStatCheckRuns];
+  out.check.schedules = c[kStatCheckSchedules];
+  out.check.histories = c[kStatCheckHistories];
+  out.check.violations = c[kStatCheckViolations];
+  out.check.max_search_depth = check_max_depth_.value();
   out.cache = cache_.stats();
   out.queue_peak_depth = queue_.peak_depth();
   const Watchdog::Stats wd = watchdog_.stats();

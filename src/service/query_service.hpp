@@ -72,12 +72,9 @@
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <list>
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
-#include <tuple>
 #include <type_traits>
 #include <variant>
 #include <vector>
@@ -91,6 +88,8 @@
 #include "service/watchdog.hpp"
 #include "tasks/canonical.hpp"
 #include "tasks/solvability.hpp"
+#include "wf/clock_cache.hpp"
+#include "wf/counter.hpp"
 
 namespace wfc::svc {
 
@@ -361,15 +360,49 @@ class QueryService {
     const task::Task* task;
     int max_level;
     std::uint64_t node_budget;
-    bool operator<(const MemoKey& o) const {
-      return std::tie(task, max_level, node_budget) <
-             std::tie(o.task, o.max_level, o.node_budget);
+    bool operator==(const MemoKey& o) const {
+      return task == o.task && max_level == o.max_level &&
+             node_budget == o.node_budget;
     }
   };
-  struct MemoEntry {
+  struct MemoKeyHash {
+    std::size_t operator()(const MemoKey& k) const {
+      std::size_t h = std::hash<const task::Task*>{}(k.task);
+      h ^= std::hash<int>{}(k.max_level) + 0x9e3779b97f4a7c15ull + (h << 6) +
+           (h >> 2);
+      h ^= std::hash<std::uint64_t>{}(k.node_budget) + 0x9e3779b97f4a7c15ull +
+           (h << 6) + (h >> 2);
+      return h;
+    }
+  };
+  struct MemoVal {
     std::shared_ptr<const task::Task> pin;  // keeps the key address unique
     task::SolveResult result;
-    std::list<MemoKey>::iterator lru;
+  };
+  /// Lock-free memo: definitive verdicts are copy-out lookups with CLOCK
+  /// recency, bounded by result_memo_entries.
+  using ResultMemo = wf::ClockCache<MemoKey, MemoVal, MemoKeyHash>;
+
+  /// Hot ServiceStats counters, one wf::StatsShard slot each; workers bump
+  /// per-thread shards and stats() folds them, so the completion path never
+  /// serializes on a stats mutex.
+  enum StatSlot : std::size_t {
+    kStatSubmitted,
+    kStatQueries,
+    kStatStatusBase,  // + kNumStatuses slots, indexed by Status
+    kStatSolvable = kStatStatusBase + kNumStatuses,
+    kStatUnsolvable,
+    kStatUnknown,
+    kStatResultHits,
+    kStatNodesExplored,
+    kStatDegraded,
+    kStatTotalMicros,
+    kStatQueueTotalMicros,
+    kStatCheckRuns,
+    kStatCheckSchedules,
+    kStatCheckHistories,
+    kStatCheckViolations,
+    kStatCount
   };
 
   void worker_loop();
@@ -410,9 +443,11 @@ class QueryService {
   AdmissionQueue queue_;
   std::atomic<bool> accepting_{true};
 
-  mutable std::mutex stats_mu_;
-  ServiceStats stats_;
-  std::uint64_t ewma_exec_micros_ = 0;  // guarded by stats_mu_
+  wf::StatsShard<kStatCount> stats_;
+  wf::MaxCell max_micros_;
+  wf::MaxCell queue_max_micros_;
+  wf::MaxCell check_max_depth_;
+  std::atomic<std::uint64_t> ewma_exec_micros_{0};
 
   std::mutex inflight_mu_;
   std::condition_variable inflight_cv_;
@@ -423,9 +458,7 @@ class QueryService {
   std::vector<std::weak_ptr<std::atomic<bool>>> live_tokens_;
 
   std::size_t memo_capacity_;
-  std::mutex memo_mu_;
-  std::map<MemoKey, MemoEntry> memo_;
-  std::list<MemoKey> memo_lru_;  // front = most recent
+  ResultMemo memo_;
 
   ThreadPool pool_;  // last member: workers die before state they touch
 };

@@ -8,11 +8,27 @@
 
 namespace wfc::svc {
 
+namespace {
+
+SdsCache::Options checked(SdsCache::Options options) {
+  WFC_REQUIRE(options.max_entries >= 1, "SdsCache: max_entries must be >= 1");
+  return options;
+}
+
+}  // namespace
+
 SdsCache::SdsCache() : SdsCache(Options()) {}
 
-SdsCache::SdsCache(Options options) : options_(std::move(options)) {
-  WFC_REQUIRE(options_.max_entries >= 1, "SdsCache: max_entries must be >= 1");
-}
+SdsCache::SdsCache(Options options)
+    : options_(checked(std::move(options))),
+      cache_(Cache::Options{
+          .max_entries = options_.max_entries,
+          .max_weight = options_.max_resident_vertices,
+          .min_slots = 64,
+          .segments = 4,
+          .keep_hottest = true,
+          .announce_after = 8,
+      }) {}
 
 std::size_t SdsCache::chain_weight(const proto::SdsChain& chain) {
   std::size_t w = 0;
@@ -37,45 +53,36 @@ std::shared_ptr<const proto::SdsChain> SdsCache::chain_for(
   WFC_REQUIRE(depth >= 0, "SdsCache::chain_for: negative depth");
   const std::uint64_t key = topo::complex_fingerprint(input);
 
-  std::shared_ptr<Entry> entry;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = index_.find(key);
-    if (it == index_.end()) {
-      entry = std::make_shared<Entry>();
-      entry->key = key;
-      lru_.push_front(key);
-      entry->lru_pos = lru_.begin();
-      index_.emplace(key, entry);
-    } else {
-      entry = it->second;
-      lru_.splice(lru_.begin(), lru_, entry->lru_pos);  // touch
-    }
-    // Pin: while a thread is inside the build section below, eviction must
-    // not drop this entry, or the tower being (re)built would be orphaned.
-    ++entry->pins;
-  }
+  // Pin (via the handle) the entry for this input, creating it if absent.
+  // While the handle lives, eviction is structurally unable to drop the
+  // entry, so the build below can't orphan a tower mid-construction.
+  Cache::Handle handle =
+      cache_.get_or_insert(key, [] { return std::make_shared<BuildSlot>(); });
+  const std::shared_ptr<BuildSlot> slot = *handle;
 
-  // Build or extend outside the cache lock: only same-input queries wait
-  // here, and exactly one of them does the subdivision work.
+  // Build or extend under the per-entry lock: only same-input queries wait
+  // here, and exactly one of them does the subdivision work.  On exception
+  // (injected or genuine bad_alloc) the handle unpins on unwind and the
+  // entry stays at its prior depth; the cache remains consistent.
   bool was_empty = false;
   bool did_build = false;
   std::shared_ptr<const proto::SdsChain> chain;
-  try {
-    std::lock_guard<std::mutex> build_lock(entry->build_mu);
-    const auto build_start = trace.enabled() ? std::chrono::steady_clock::now()
-                                             : std::chrono::steady_clock::time_point();
-    was_empty = entry->chain == nullptr;
+  {
+    std::lock_guard<std::mutex> build_lock(slot->build_mu);
+    const auto build_start = trace.enabled()
+                                 ? std::chrono::steady_clock::now()
+                                 : std::chrono::steady_clock::time_point();
+    was_empty = slot->chain == nullptr;
     if (was_empty) {
       if (options_.build_fault_hook) options_.build_fault_hook();
-      entry->chain = std::make_shared<proto::SdsChain>(input, depth);
+      slot->chain = std::make_shared<proto::SdsChain>(input, depth);
       did_build = true;
-    } else if (entry->chain->depth() < depth) {
+    } else if (slot->chain->depth() < depth) {
       if (options_.build_fault_hook) options_.build_fault_hook();
-      entry->chain = std::make_shared<proto::SdsChain>(*entry->chain, depth);
+      slot->chain = std::make_shared<proto::SdsChain>(*slot->chain, depth);
       did_build = true;
     }
-    chain = entry->chain;
+    chain = slot->chain;
     if (trace.enabled()) {
       // Span covers exactly the subdivision work (the build lock section);
       // lock-wait and index bookkeeping are charged to the caller's view.
@@ -86,93 +93,48 @@ std::shared_ptr<const proto::SdsChain> SdsCache::chain_for(
         trace.instant(obs::SpanKind::kCacheHit, chain_weight(*chain));
       }
     }
-  } catch (...) {
-    // Injected or genuine allocation failure: unpin and leave the entry at
-    // its prior depth (possibly still empty); the cache stays consistent.
-    std::lock_guard<std::mutex> lock(mu_);
-    --entry->pins;
-    throw;
   }
   *built = did_build;
 
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    --entry->pins;
-    if (!did_build) {
-      ++stats_.hits;
-    } else if (was_empty) {
-      ++stats_.misses;
-    } else {
-      ++stats_.extensions;
-    }
-    // Re-weigh; pinned entries were skipped by eviction, so a successful
-    // build always finds its entry still indexed and re-cacheable.
-    auto it = index_.find(key);
-    WFC_CHECK(it != index_.end() && it->second == entry,
-              "SdsCache: pinned entry was evicted mid-build");
-    const std::size_t w = chain_weight(*chain);
-    resident_vertices_ += w - entry->weight;
-    entry->weight = w;
-    evict_while([this] {
-      return index_.size() > options_.max_entries ||
-             resident_vertices_ > options_.max_resident_vertices;
-    });
+  if (!did_build) {
+    hits_.inc();
+  } else if (was_empty) {
+    misses_.inc();
+  } else {
+    extensions_.inc();
   }
+  // Re-weigh through our own pinned handle, then unpin BEFORE the eviction
+  // pass -- matching the historical order, in which a just-finished build
+  // is itself fair game for eviction (only the most recent entry is safe).
+  cache_.update_weight(handle, chain_weight(*chain));
+  handle.release();
+  cache_.maybe_evict();
   return chain;
-}
-
-std::size_t SdsCache::evict_while(const std::function<bool()>& needed) {
-  std::size_t evicted = 0;
-  auto it = lru_.end();
-  while (needed() && it != lru_.begin()) {
-    auto cand = std::prev(it);
-    if (cand == lru_.begin()) break;  // the hottest entry stays resident
-    auto vit = index_.find(*cand);
-    WFC_CHECK(vit != index_.end(), "SdsCache: LRU/index out of sync");
-    if (vit->second->pins > 0) {
-      it = cand;  // actively building: skip, keep walking toward the front
-      continue;
-    }
-    resident_vertices_ -= vit->second->weight;
-    index_.erase(vit);
-    it = lru_.erase(cand);
-    ++stats_.evictions;
-    ++evicted;
-  }
-  return evicted;
 }
 
 std::size_t SdsCache::shed(double frac) {
   frac = std::clamp(frac, 0.0, 1.0);
-  std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.sheds;
-  const std::size_t release =
-      static_cast<std::size_t>(static_cast<double>(resident_vertices_) * frac);
-  const std::size_t target = resident_vertices_ - release;
-  return evict_while([this, target] { return resident_vertices_ > target; });
+  sheds_.inc();
+  const std::size_t resident = cache_.weight();
+  const auto release =
+      static_cast<std::size_t>(static_cast<double>(resident) * frac);
+  const std::uint64_t before = cache_.evictions();
+  cache_.shed_release(release);
+  return cache_.evictions() - before;
 }
 
 CacheStats SdsCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  CacheStats out = stats_;
-  out.entries = index_.size();
-  out.resident_vertices = resident_vertices_;
+  CacheStats out;
+  out.hits = hits_.value();
+  out.misses = misses_.value();
+  out.extensions = extensions_.value();
+  out.evictions = cache_.evictions();
+  out.sheds = sheds_.value();
+  out.entries = cache_.size();
+  out.resident_vertices = cache_.weight();
   return out;
 }
 
-void SdsCache::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto it = lru_.begin(); it != lru_.end();) {
-    auto vit = index_.find(*it);
-    WFC_CHECK(vit != index_.end(), "SdsCache: LRU/index out of sync");
-    if (vit->second->pins > 0) {  // mid-build: must stay (see chain_for)
-      ++it;
-      continue;
-    }
-    resident_vertices_ -= vit->second->weight;
-    index_.erase(vit);
-    it = lru_.erase(it);
-  }
-}
+void SdsCache::clear() { cache_.clear(); }
 
 }  // namespace wfc::svc

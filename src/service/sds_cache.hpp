@@ -1,4 +1,5 @@
-// Thread-safe, memory-bounded LRU cache of SDS chains.
+// Thread-safe, memory-bounded cache of SDS chains on the wait-free data
+// plane (wf::ClockCache).
 //
 // Iterated subdivision dominates the cost of every solvability query, and
 // SDS^k(I) is a pure function of the input complex I -- so the service
@@ -10,36 +11,39 @@
 // levels (SdsChain's prefix-sharing constructor), and re-caches the deeper
 // tower.
 //
-// Locking: a global mutex guards only the index and LRU bookkeeping; the
-// (potentially long) subdivision work happens under a per-entry mutex, so
-// queries over distinct inputs never serialize, while concurrent queries
-// over the SAME input build the tower exactly once and share it.
+// Concurrency: the index and recency bookkeeping live in a wf::ClockCache
+// -- lock-free hash map, CLOCK eviction, pin/evict arbitration in one
+// atomic word -- so hits never serialize on a cache-wide mutex (the seed
+// design's `mu_` is gone).  The (potentially long) subdivision work still
+// happens under a per-entry mutex (BuildSlot::build_mu): queries over
+// distinct inputs never wait on each other, while concurrent queries over
+// the SAME input build the tower exactly once and share it.
 //
 // Memory bound: entries are weighted by total vertex count across levels
-// (the dominant O(size) term); when the configured budget or entry count is
-// exceeded, least-recently-used entries are dropped.  Entries whose
-// build_mu a thread currently holds (building or extending) carry a pin
-// refcount and are SKIPPED by eviction: dropping them would orphan the
-// tower being built, forcing the next query over the same input to redo
-// the whole subdivision.  In-flight queries keep their chains alive through
-// the shared_ptr regardless of eviction.
+// (the dominant O(size) term); when the configured budget or entry count
+// is exceeded, the coldest (oldest-ticket, reference-bit-clear) entries
+// are dropped.  Entries a thread is building or extending hold a pin and
+// are structurally un-evictable: dropping them would orphan the tower
+// being built.  The most recently touched entry is never evicted.
+// In-flight queries keep their chains alive through the shared_ptr
+// regardless of eviction.
 //
 // Under memory pressure (a contained std::bad_alloc in the service),
-// shed(frac) evicts from the cold LRU tail until roughly `frac` of the
-// resident vertex weight is released, leaving hot entries in place --
-// graceful degradation instead of clear()'s scorched earth.
+// shed(frac) evicts coldest-first until roughly `frac` of the resident
+// vertex weight is released, leaving hot entries in place -- graceful
+// degradation instead of clear()'s scorched earth.
 #pragma once
 
 #include <functional>
-#include <list>
 #include <memory>
 #include <mutex>
-#include <unordered_map>
 
 #include "obs/trace.hpp"
 #include "protocol/sds_chain.hpp"
 #include "service/stats.hpp"
 #include "topology/complex.hpp"
+#include "wf/clock_cache.hpp"
+#include "wf/counter.hpp"
 
 namespace wfc::svc {
 
@@ -61,8 +65,9 @@ class SdsCache {
   SdsCache();  // default Options
   explicit SdsCache(Options options);
 
-  /// Returns a chain for `input` with depth() >= depth.  Hits are lock-cheap
-  /// and never copy; misses build (or extend) under the entry lock only.
+  /// Returns a chain for `input` with depth() >= depth.  Hits are lock-free
+  /// on the index and never copy; misses build (or extend) under the entry
+  /// lock only.
   std::shared_ptr<const proto::SdsChain> chain_for(
       const topo::ChromaticComplex& input, int depth);
 
@@ -80,9 +85,9 @@ class SdsCache {
       const topo::ChromaticComplex& input, int depth, bool* built,
       const obs::TraceContext& trace);
 
-  /// Evicts cold (LRU-tail, unpinned) entries until at least `frac` of the
-  /// current resident vertex weight is released or only pinned/hot entries
-  /// remain.  frac is clamped to [0, 1].  Returns entries evicted.
+  /// Evicts cold (unpinned) entries until at least `frac` of the current
+  /// resident vertex weight is released or only pinned/hot entries remain.
+  /// frac is clamped to [0, 1].  Returns entries evicted.
   std::size_t shed(double frac);
 
   [[nodiscard]] CacheStats stats() const;
@@ -91,27 +96,23 @@ class SdsCache {
   void clear();
 
  private:
-  struct Entry {
+  // The cached value: the per-input build serialization point plus the
+  // deepest tower built so far.  Held by shared_ptr so transient duplicate
+  // entries from an insert race still converge on one build slot.
+  struct BuildSlot {
     std::mutex build_mu;  // serializes building for one input
     std::shared_ptr<const proto::SdsChain> chain;  // guarded by build_mu
-    std::uint64_t key = 0;
-    int pins = 0;         // in-use refcount; guarded by the cache mutex
-    std::size_t weight = 0;  // guarded by the cache mutex
-    std::list<std::uint64_t>::iterator lru_pos;  // guarded by the cache mutex
   };
+  using Cache = wf::ClockCache<std::uint64_t, std::shared_ptr<BuildSlot>>;
 
   static std::size_t chain_weight(const proto::SdsChain& chain);
 
-  /// Evicts from the LRU tail (skipping pinned entries) while `needed`
-  /// says more must go.  Caller holds mu_.
-  std::size_t evict_while(const std::function<bool()>& needed);
-
-  mutable std::mutex mu_;
   Options options_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<Entry>> index_;
-  std::list<std::uint64_t> lru_;  // front = most recently used
-  std::size_t resident_vertices_ = 0;
-  CacheStats stats_;
+  Cache cache_;
+  wf::Counter hits_;
+  wf::Counter misses_;
+  wf::Counter extensions_;
+  wf::Counter sheds_;
 };
 
 }  // namespace wfc::svc

@@ -1,0 +1,101 @@
+// Sharded relaxed-atomic statistics primitives (wfc::wf).
+//
+// The service bumps a dozen counters on every completion; doing that under
+// one mutex (or even on one shared atomic) serializes every worker and io
+// thread on a single cache line.  These types spread the writes across
+// cache-line-padded shards indexed by wf::thread_slot() -- an increment is
+// one uncontended relaxed fetch_add -- and fold on the (rare) read side.
+//
+// Folding is a plain sum of relaxed loads, so a snapshot taken *during* a
+// write burst may be momentarily behind; once writers are quiescent it is
+// exact, which is the invariant the stats-reconciliation tests assert.
+// All operations are wait-free.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "wf/epoch.hpp"  // thread_slot()
+
+namespace wfc::wf {
+
+/// Monotone counter, sharded 16 ways.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    cells_[thread_slot() & (kShards - 1)].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t sum = 0;
+    for (const Cell& c : cells_) sum += c.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+ private:
+  static constexpr std::size_t kShards = 16;
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  Cell cells_[kShards];
+};
+
+/// Monotone maximum (e.g. worst-case latency).  A single cell: bumps are a
+/// load plus a CAS only when the maximum actually grows, which is rare by
+/// definition, so sharding would buy nothing.
+class MaxCell {
+ public:
+  void bump(std::uint64_t x) noexcept {
+    std::uint64_t cur = v_.load(std::memory_order_relaxed);
+    while (x > cur && !v_.compare_exchange_weak(cur, x,
+                                                std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// N parallel counters sharing one shard layout -- the whole-struct
+/// replacement for a mutex-guarded stats block.  inc(i) touches only the
+/// calling thread's shard; fold() sums every shard into one snapshot.
+template <std::size_t N>
+class StatsShard {
+ public:
+  void inc(std::size_t i, std::uint64_t n = 1) noexcept {
+    shards_[thread_slot() & (kShards - 1)].c[i].fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t value(std::size_t i) const noexcept {
+    std::uint64_t sum = 0;
+    for (const Shard& s : shards_) sum += s.c[i].load(std::memory_order_relaxed);
+    return sum;
+  }
+
+  [[nodiscard]] std::array<std::uint64_t, N> fold() const noexcept {
+    std::array<std::uint64_t, N> out{};
+    for (const Shard& s : shards_) {
+      for (std::size_t i = 0; i < N; ++i) {
+        out[i] += s.c[i].load(std::memory_order_relaxed);
+      }
+    }
+    return out;
+  }
+
+ private:
+  static constexpr std::size_t kShards = 16;
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> c[N] = {};
+  };
+  Shard shards_[kShards] = {};
+};
+
+}  // namespace wfc::wf

@@ -1,0 +1,195 @@
+#include "wf/epoch.hpp"
+
+#include "common/assert.hpp"
+#include "wf/telemetry.hpp"
+
+namespace wfc::wf {
+
+namespace {
+
+// Registry of dense thread ids shared by the epoch domain and the sharded
+// counters.  A slot is claimed on a thread's first wf call and recycled
+// when the thread exits, so ids stay < Epoch::kMaxThreads even across
+// many short-lived threads (the test suites spawn thousands).
+struct alignas(64) IdSlot {
+  std::atomic<bool> taken{false};
+};
+IdSlot g_ids[Epoch::kMaxThreads];
+
+std::uint32_t claim_id() {
+  for (std::uint32_t i = 0; i < Epoch::kMaxThreads; ++i) {
+    bool expect = false;
+    if (!g_ids[i].taken.load(std::memory_order_relaxed) &&
+        g_ids[i].taken.compare_exchange_strong(expect, true,
+                                               std::memory_order_acq_rel)) {
+      return i;
+    }
+  }
+  WFC_CHECK(false, "wf: more than Epoch::kMaxThreads live threads");
+  return 0;  // unreachable
+}
+
+struct ThreadId {
+  std::uint32_t id = claim_id();
+  ~ThreadId() { g_ids[id].taken.store(false, std::memory_order_release); }
+};
+
+}  // namespace
+
+std::uint32_t thread_slot() {
+  thread_local ThreadId tid;
+  return tid.id;
+}
+
+// Per-thread epoch state.  Lives as a thread_local inside Epoch::rec(), so
+// it is constructed on a thread's first retire/pin and destroyed at thread
+// exit -- at which point any still-deferred nodes are handed to the
+// domain's orphan stack (another thread's collect(), or the domain
+// destructor, frees them).
+struct Epoch::ThreadRec {
+  Epoch* owner = nullptr;
+  std::uint32_t id = 0;
+  int depth = 0;                  // guard nesting
+  Deferred* limbo = nullptr;      // this thread's deferred frees
+  std::size_t since_collect = 0;  // amortization counter
+
+  ~ThreadRec() {
+    if (owner == nullptr) return;
+    if (limbo != nullptr) {
+      owner->push_orphans(limbo);
+      limbo = nullptr;
+    }
+    owner->slots_[id].state.store(kFree, std::memory_order_release);
+  }
+};
+
+Epoch& Epoch::global() {
+  // Constructed on first use, before any thread's ThreadRec, and destroyed
+  // after the main thread's thread_locals -- so ~Epoch sees every orphaned
+  // limbo list and the process exits leak-free.
+  static Epoch instance;
+  return instance;
+}
+
+Epoch::ThreadRec& Epoch::rec() {
+  thread_local ThreadRec r;
+  if (r.owner == nullptr) {
+    r.owner = this;
+    r.id = thread_slot();
+    slots_[r.id].state.store(kQuiescent, std::memory_order_release);
+  }
+  WFC_CHECK(r.owner == this, "wf: one Epoch domain per process");
+  return r;
+}
+
+void Epoch::enter() {
+  ThreadRec& r = rec();
+  if (++r.depth > 1) return;
+  // Publish the epoch we are entering under, then fence so the store is
+  // visible to try_advance() before any of our subsequent shared loads.
+  slots_[r.id].state.store(epoch_.load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+}
+
+void Epoch::exit() {
+  ThreadRec& r = rec();
+  WFC_CHECK(r.depth > 0, "wf: Guard underflow");
+  if (--r.depth == 0) {
+    slots_[r.id].state.store(kQuiescent, std::memory_order_release);
+  }
+}
+
+void Epoch::retire(void* p, void (*deleter)(void*)) {
+  ThreadRec& r = rec();
+  r.limbo = new Deferred{p, deleter, epoch_.load(std::memory_order_acquire),
+                         r.limbo};
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  if (++r.since_collect >= 64) {
+    r.since_collect = 0;
+    collect();
+  }
+}
+
+void Epoch::try_advance() {
+  const std::uint64_t e = epoch_.load(std::memory_order_acquire);
+  for (const Slot& s : slots_) {
+    const std::uint64_t st = s.state.load(std::memory_order_acquire);
+    if (st != kFree && st != kQuiescent && st != e) {
+      return;  // a pinned thread has not yet observed epoch e
+    }
+  }
+  std::uint64_t expect = e;
+  if (epoch_.compare_exchange_strong(expect, e + 1,
+                                     std::memory_order_acq_rel)) {
+    advances_.fetch_add(1, std::memory_order_relaxed);
+    telemetry().epoch_advances.inc();
+  }
+}
+
+Epoch::Deferred* Epoch::reclaim_list(Deferred* list, std::uint64_t cur) {
+  Deferred* keep = nullptr;
+  std::uint64_t freed = 0;
+  while (list != nullptr) {
+    Deferred* next = list->next;
+    if (list->epoch + 2 <= cur) {
+      list->del(list->p);
+      delete list;
+      ++freed;
+    } else {
+      list->next = keep;
+      keep = list;
+    }
+    list = next;
+  }
+  if (freed != 0) {
+    pending_.fetch_sub(static_cast<std::int64_t>(freed),
+                       std::memory_order_relaxed);
+    telemetry().epoch_reclaimed.inc(freed);
+  }
+  return keep;
+}
+
+void Epoch::reclaim_local(ThreadRec& r) {
+  r.limbo = reclaim_list(r.limbo, epoch_.load(std::memory_order_acquire));
+}
+
+void Epoch::adopt_orphans() {
+  Deferred* head = orphans_.exchange(nullptr, std::memory_order_acq_rel);
+  if (head == nullptr) return;
+  Deferred* keep =
+      reclaim_list(head, epoch_.load(std::memory_order_acquire));
+  if (keep != nullptr) push_orphans(keep);
+}
+
+void Epoch::push_orphans(Deferred* head) {
+  Deferred* tail = head;
+  while (tail->next != nullptr) tail = tail->next;
+  Deferred* top = orphans_.load(std::memory_order_relaxed);
+  do {
+    tail->next = top;
+  } while (!orphans_.compare_exchange_weak(top, head,
+                                           std::memory_order_release,
+                                           std::memory_order_relaxed));
+}
+
+void Epoch::collect() {
+  try_advance();
+  adopt_orphans();
+  reclaim_local(rec());
+}
+
+Epoch::~Epoch() {
+  // Static destruction: thread_locals (including every ThreadRec) are gone,
+  // so whatever is left -- local limbo lists were flushed to orphans_ --
+  // can be freed unconditionally.
+  Deferred* list = orphans_.exchange(nullptr, std::memory_order_acq_rel);
+  while (list != nullptr) {
+    Deferred* next = list->next;
+    list->del(list->p);
+    delete list;
+    list = next;
+  }
+}
+
+}  // namespace wfc::wf

@@ -1,0 +1,10 @@
+#include "wf/telemetry.hpp"
+
+namespace wfc::wf {
+
+Telemetry& telemetry() {
+  static Telemetry instance;
+  return instance;
+}
+
+}  // namespace wfc::wf

@@ -1,0 +1,35 @@
+// Process-wide contention telemetry for the wait-free data plane.
+//
+// Lock-free code hides its contention: there is no mutex to profile, just
+// CAS loops that retry a little more often.  These counters make that
+// visible.  They are exported as `wfc_wf_*` gauges through the service
+// metrics registry (see QueryService::init_observability) so a Prometheus
+// scrape shows whether the data plane is cruising or thrashing.
+#pragma once
+
+#include "wf/counter.hpp"
+
+namespace wfc::wf {
+
+struct Telemetry {
+  /// Failed compare-exchange attempts across wf structures (slot claims,
+  /// pin/unpin races).  The lock-free analogue of mutex contention.
+  Counter cas_retries;
+  /// Inserts that exhausted their fast-path budget and published an
+  /// operation in the announce array.
+  Counter announces;
+  /// Announced operations completed on behalf of *another* thread -- the
+  /// helping scheme doing its job.
+  Counter help_ops;
+  /// Global epoch advances (reclamation grace periods completed).
+  Counter epoch_advances;
+  /// Deferred nodes actually freed by epoch reclamation.
+  Counter epoch_reclaimed;
+  /// Table slots examined by CLOCK eviction laps.
+  Counter evict_scans;
+};
+
+/// The process-wide instance.
+Telemetry& telemetry();
+
+}  // namespace wfc::wf
