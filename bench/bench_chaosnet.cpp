@@ -1,0 +1,222 @@
+// E25 -- availability under a single-shard blackhole, with and without the
+// robustness machinery this tier grew: active health probing and retry
+// budgets.  Real epoll servers on loopback: three backend shards, each
+// behind its own wfc::net::ChaosProxy link, behind a wfc::cluster::Router
+// behind a front Server, driven by the load generator for a fixed wall
+// duration while shard s1's link is blackholed the whole time.
+//
+//   * BM_BlackholeAvailability/probes:P/budget:B -- the 2x2 arm matrix.
+//     P=1 turns on active probing (50 ms interval, 120 ms probe timeout,
+//     down after 3 misses); P=0 leaves detection to per-request pending
+//     timeouts.  B=1 caps re-dispatch amplification with token buckets;
+//     B=0 lets every orphan re-dispatch.
+//
+// The headline counters:
+//   availability      ok responses / sent (the experiment's y-axis)
+//   time_to_evict_ms  fault start -> shard_health(s1) == Down (0 = never);
+//                     with probes on this lands near 3 probe intervals,
+//                     without them the shard is never marked Down at all
+//   p99_us / p999_us  tail latency as seen by the closed-loop clients
+//
+// Every arm asserts exactly-once delivery (lost / duplicates == 0): a
+// blackhole may cost availability, never correctness.  CI stores all rows
+// as BENCH_chaosnet.json.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/router.hpp"
+#include "net/chaosproxy.hpp"
+#include "net/loadgen.hpp"
+#include "net/server.hpp"
+#include "service/query_service.hpp"
+
+namespace {
+
+using namespace wfc;
+using Clock = std::chrono::steady_clock;
+
+constexpr int kShards = 3;
+constexpr auto kRunFor = std::chrono::milliseconds(3'000);
+
+svc::QueryService::Options service_options() {
+  svc::QueryService::Options options;
+  options.workers = 4;
+  return options;
+}
+
+/// Mixed fingerprints, each carrying a client deadline so blackholed
+/// requests resolve (deadline_exceeded) instead of parking forever.
+std::vector<std::string> deadline_corpus() {
+  std::vector<std::string> corpus;
+  for (int values = 2; values <= 9; ++values) {
+    corpus.push_back(
+        R"({"op":"solve","task":"consensus","procs":2,"values":)" +
+        std::to_string(values) + R"(,"max_level":2,"timeout_ms":300})");
+  }
+  for (int names = 3; names <= 6; ++names) {
+    corpus.push_back(
+        R"({"op":"solve","task":"renaming","procs":2,"names":)" +
+        std::to_string(names) + R"(,"max_level":2,"timeout_ms":300})");
+  }
+  return corpus;
+}
+
+/// One backend shard: a QueryService plus a started Server on an
+/// ephemeral loopback port.
+struct Backend {
+  Backend() : service(service_options()) {
+    net::ServerConfig config;
+    config.handler.default_max_level = 2;
+    server = std::make_unique<net::Server>(service, std::move(config));
+    server->start();
+  }
+  svc::QueryService service;
+  std::unique_ptr<net::Server> server;
+};
+
+/// kShards backends, each behind its own chaos link, behind a router
+/// behind a front server.
+struct ChaosCluster {
+  ChaosCluster(bool probes, bool budget) {
+    net::ChaosProxyConfig proxy_config;
+    proxy_config.seed = 25;  // E25
+    for (int i = 0; i < kShards; ++i) {
+      backends.push_back(std::make_unique<Backend>());
+      proxy_config.links.push_back(net::ChaosLinkSpec{
+          "s" + std::to_string(i + 1), net::Endpoint{"127.0.0.1", 0},
+          net::Endpoint{"127.0.0.1", backends.back()->server->port()}});
+    }
+    proxy = std::make_unique<net::ChaosProxy>(std::move(proxy_config));
+    proxy->start();
+
+    cluster::RouterConfig config;
+    for (int i = 0; i < kShards; ++i) {
+      const std::string id = "s" + std::to_string(i + 1);
+      config.shards.push_back(
+          cluster::ShardSpec{id, net::Endpoint{"127.0.0.1", proxy->port(id)}});
+    }
+    config.pending_grace = std::chrono::milliseconds(500);
+    config.tick = std::chrono::milliseconds(5);
+    if (probes) {
+      config.probe_interval = std::chrono::milliseconds(50);
+      config.probe_timeout = std::chrono::milliseconds(120);
+      config.probe_down_after = 3;
+    }
+    if (!budget) {
+      config.retry_budget_burst = 0;  // burst <= 0 always grants
+      config.shard_retry_budget_burst = 0;
+    }
+    router = std::make_unique<cluster::Router>(std::move(config));
+    router->start();
+    net::ServerConfig front_config;
+    front = std::make_unique<net::Server>(*router, front_config);
+    front->start();
+  }
+
+  ~ChaosCluster() {
+    front->stop();
+    router->stop();
+    proxy->stop();
+  }
+
+  std::vector<std::unique_ptr<Backend>> backends;
+  std::unique_ptr<net::ChaosProxy> proxy;
+  std::unique_ptr<cluster::Router> router;
+  std::unique_ptr<net::Server> front;
+};
+
+/// Blackhole s1 for the whole run; measure availability, tail latency, and
+/// how long the router takes to mark the shard Down.
+void BM_BlackholeAvailability(benchmark::State& state) {
+  const bool probes = state.range(0) != 0;
+  const bool budget = state.range(1) != 0;
+  const std::vector<std::string> corpus = deadline_corpus();
+
+  net::LoadgenReport last;
+  double time_to_evict_ms = 0.0;
+  cluster::Router::Stats rs;
+  for (auto _ : state) {
+    ChaosCluster cluster(probes, budget);
+
+    net::FaultSpec hole;
+    hole.mode = net::FaultMode::kBlackhole;
+    cluster.proxy->set_fault("s1", hole);
+    const Clock::time_point fault_at = Clock::now();
+
+    // Sample shard_health until Down (or the run ends): the eviction
+    // latency the probes buy.
+    std::atomic<bool> sampling{true};
+    std::atomic<long> evict_ms{0};
+    std::thread sampler([&] {
+      while (sampling.load(std::memory_order_relaxed)) {
+        if (cluster.router->shard_health("s1") ==
+            cluster::Router::ShardHealth::kDown) {
+          evict_ms.store(std::chrono::duration_cast<std::chrono::milliseconds>(
+                             Clock::now() - fault_at)
+                             .count(),
+                         std::memory_order_relaxed);
+          return;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    });
+
+    net::LoadgenConfig config;
+    config.server = net::Endpoint{"127.0.0.1", cluster.front->port()};
+    config.connections = 4;
+    config.duration = kRunFor;
+    config.max_inflight = 8;
+    last = net::run_loadgen(corpus, config);
+
+    sampling.store(false, std::memory_order_relaxed);
+    sampler.join();
+    time_to_evict_ms = static_cast<double>(evict_ms.load());
+    rs = cluster.router->stats();
+
+    if (last.lost != 0 || last.duplicates != 0) {
+      state.SkipWithError("blackhole broke exactly-once delivery");
+      break;
+    }
+  }
+
+  const auto status_count = [&](const char* token) {
+    const auto it = last.by_status.find(token);
+    return it == last.by_status.end() ? 0.0 : static_cast<double>(it->second);
+  };
+  const double ok = status_count("ok");
+  state.counters["probes"] = probes ? 1.0 : 0.0;
+  state.counters["budget"] = budget ? 1.0 : 0.0;
+  state.counters["availability"] =
+      last.sent == 0 ? 0.0 : ok / static_cast<double>(last.sent);
+  state.counters["time_to_evict_ms"] = time_to_evict_ms;
+  state.counters["p99_us"] = static_cast<double>(last.p99_us);
+  state.counters["p999_us"] = static_cast<double>(last.p999_us);
+  state.counters["ok"] = ok;
+  state.counters["deadline_exceeded"] = status_count("deadline_exceeded");
+  state.counters["overloaded"] = status_count("overloaded");
+  state.counters["redispatches"] = static_cast<double>(rs.redispatches);
+  state.counters["probe_failures"] = static_cast<double>(rs.probe_failures);
+  state.counters["budget_exhausted"] =
+      static_cast<double>(rs.budget_exhausted);
+  state.counters["hop_deadline_expired"] =
+      static_cast<double>(rs.hop_deadline_expired);
+}
+BENCHMARK(BM_BlackholeAvailability)
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->ArgNames({"probes", "budget"})
+    ->Iterations(1)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,148 @@
+// wfc_chaosnet -- the seeded TCP fault-injection proxy for the cluster
+// tier (net/chaosproxy.hpp).
+//
+// Sits between wfc_router and its wfc_serve shards: each --link is one
+// listening port relaying to one shard, and the JSONL admin port flips
+// fault regimes at runtime, so CI soaks and experiments can partition,
+// slow, corrupt, or reset a live cluster mid-load:
+//
+//   wfc_serve --listen :0 --port-file s1.port &
+//   wfc_chaosnet --link s1=:0=127.0.0.1:$(cat s1.port) --admin :0
+//                --port-file chaos.ports --seed 42 &
+//   wfc_router --shard s1=127.0.0.1:$(grep '^s1=' chaos.ports | cut -d= -f2) ...
+//   printf '{"op":"fault","link":"s1","mode":"blackhole"}\n' | ...admin...
+//
+// --port-file writes one "name=port" line per link plus "admin=port", so
+// scripts with ephemeral ports can wire the tiers together.  SIGTERM /
+// SIGINT stop the proxy (flows close; shards and router survive).
+#include <signal.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "net/chaosproxy.hpp"
+#include "net/server.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: wfc_chaosnet --link id=listenhost:port=upstreamhost:port ...\n"
+      "                    --admin host:port [--port-file PATH] [--seed N]\n"
+      "                    [--quiet]\n"
+      "Relays each --link's TCP bytes to its upstream under a runtime-\n"
+      "switchable fault regime; the JSONL admin port takes\n"
+      "  {\"op\":\"fault\",\"link\":...,\"mode\":...}, {\"op\":\"chaos_stats\"}.\n"
+      "\"--link s1=:0=...\" binds an ephemeral port; --port-file records\n"
+      "every bound port as name=port lines (admin included).\n");
+  return 2;
+}
+
+/// "id=listenhost:port=upstreamhost:port" -> ChaosLinkSpec.
+wfc::net::ChaosLinkSpec parse_link(const std::string& spec) {
+  const std::size_t first = spec.find('=');
+  const std::size_t second =
+      first == std::string::npos ? std::string::npos : spec.find('=', first + 1);
+  if (first == std::string::npos || first == 0 ||
+      second == std::string::npos || second + 1 >= spec.size()) {
+    throw std::invalid_argument(
+        "--link expects id=listen:port=upstream:port, got \"" + spec + "\"");
+  }
+  wfc::net::ChaosLinkSpec out;
+  out.id = spec.substr(0, first);
+  out.listen = wfc::net::parse_endpoint(spec.substr(first + 1, second - first - 1));
+  out.upstream = wfc::net::parse_endpoint(spec.substr(second + 1));
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  wfc::net::ChaosProxyConfig config;
+  std::string admin_spec;
+  std::string port_file;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_str = [&](std::string& out) {
+      if (i + 1 >= argc) return false;
+      out = argv[++i];
+      return !out.empty();
+    };
+    std::string value;
+    try {
+      if (arg == "--link" && next_str(value)) {
+        config.links.push_back(parse_link(value));
+      } else if (arg == "--admin" && next_str(admin_spec)) {
+      } else if (arg == "--port-file" && next_str(port_file)) {
+      } else if (arg == "--seed" && next_str(value)) {
+        config.seed = std::strtoull(value.c_str(), nullptr, 0);
+      } else if (arg == "--quiet") {
+        quiet = true;
+      } else {
+        return usage();
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "wfc_chaosnet: %s\n", e.what());
+      return 2;
+    }
+  }
+  if (config.links.empty() || admin_spec.empty()) return usage();
+  if (!quiet) {
+    config.log = [](const std::string& note) {
+      std::fprintf(stderr, "wfc_chaosnet: %s\n", note.c_str());
+    };
+  }
+
+  sigset_t mask;
+  sigemptyset(&mask);
+  sigaddset(&mask, SIGTERM);
+  sigaddset(&mask, SIGINT);
+  if (pthread_sigmask(SIG_BLOCK, &mask, nullptr) != 0) {
+    std::fprintf(stderr, "wfc_chaosnet: pthread_sigmask failed\n");
+    return 1;
+  }
+
+  try {
+    std::vector<std::string> link_ids;
+    for (const auto& link : config.links) link_ids.push_back(link.id);
+    wfc::net::ChaosProxy proxy(std::move(config));
+    proxy.start();
+
+    wfc::net::ServerConfig admin_config;
+    admin_config.listen = wfc::net::parse_endpoint(admin_spec);
+    admin_config.io_threads = 1;
+    wfc::net::Server admin(proxy, admin_config);
+    admin.start();
+
+    std::fprintf(stderr, "wfc_chaosnet: admin on port %u\n", admin.port());
+    if (!port_file.empty()) {
+      std::ofstream out(port_file);
+      if (!out) {
+        std::fprintf(stderr, "wfc_chaosnet: cannot write port file \"%s\"\n",
+                     port_file.c_str());
+        return 1;
+      }
+      out << "admin=" << admin.port() << "\n";
+      for (const std::string& id : link_ids) {
+        out << id << "=" << proxy.port(id) << "\n";
+      }
+    }
+
+    int sig = 0;
+    while (sigwait(&mask, &sig) != 0) {
+    }
+    std::fprintf(stderr, "wfc_chaosnet: %s, stopping\n", strsignal(sig));
+    admin.drain();
+    proxy.stop();
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "wfc_chaosnet: %s\n", e.what());
+    return 1;
+  }
+}

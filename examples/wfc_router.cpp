@@ -13,6 +13,12 @@
 //              [--conns-per-shard N] [--hedge-fraction F]
 //              [--hedge-after-ms N] [--max-pending N] [--no-admin-ops]
 //              [--no-obs] [--router-id S] [--random-routing] [--quiet]
+//              [--probe-interval-ms N] [--probe-timeout-ms N]
+//              [--probe-down-after N] [--retry-budget N]
+//              [--retry-budget-per-sec F] [--no-deadline-propagation]
+//
+// Active probing is ON here (1s interval) unlike the library default;
+// --probe-interval-ms 0 turns it off.
 //
 // Example (three local shards):
 //   wfc_serve --listen :0 --port-file s1.port --shard-id s1 &
@@ -41,6 +47,10 @@ int usage() {
       "                  [--hedge-after-ms N] [--max-pending N]\n"
       "                  [--no-admin-ops] [--no-obs] [--router-id S]\n"
       "                  [--random-routing] [--quiet]\n"
+      "                  [--probe-interval-ms N] [--probe-timeout-ms N]\n"
+      "                  [--probe-down-after N] [--retry-budget N]\n"
+      "                  [--retry-budget-per-sec F]\n"
+      "                  [--no-deadline-propagation]\n"
       "Routes JSONL v2 queries to wfc_serve shards by consistent hash of\n"
       "the task fingerprint.  \"--listen :0\" binds an ephemeral port;\n"
       "--port-file writes it once accepting.\n");
@@ -69,6 +79,9 @@ int main(int argc, char** argv) {
   int io_threads = 0;
   bool quiet = false;
   bool observability = true;
+  // The binary probes by default; tests construct RouterConfig directly
+  // and opt in, so the library default stays 0.
+  config.probe_interval = std::chrono::milliseconds(1'000);
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next_str = [&](std::string& out) {
@@ -107,6 +120,21 @@ int main(int argc, char** argv) {
         config.router_id = value;
       } else if (arg == "--random-routing") {
         config.random_routing = true;
+      } else if (arg == "--probe-interval-ms" && i + 1 < argc) {
+        config.probe_interval = std::chrono::milliseconds(std::atoi(argv[++i]));
+      } else if (arg == "--probe-timeout-ms" && next_int(number)) {
+        config.probe_timeout = std::chrono::milliseconds(number);
+      } else if (arg == "--probe-down-after" && next_int(number)) {
+        config.probe_down_after = number;
+      } else if (arg == "--retry-budget" && i + 1 < argc) {
+        // 0 disables both buckets (burst <= 0 always grants).
+        config.retry_budget_burst = std::atoi(argv[++i]);
+        config.shard_retry_budget_burst = config.retry_budget_burst;
+      } else if (arg == "--retry-budget-per-sec" && i + 1 < argc) {
+        config.retry_budget_per_sec = std::atof(argv[++i]);
+        config.shard_retry_budget_per_sec = config.retry_budget_per_sec / 2;
+      } else if (arg == "--no-deadline-propagation") {
+        config.propagate_deadlines = false;
       } else if (arg == "--quiet") {
         quiet = true;
       } else {

@@ -64,6 +64,31 @@ std::int64_t int_or(const svc::Fields& fields, const char* key,
 }  // namespace
 
 // ---------------------------------------------------------------------------
+// TokenBucket.
+
+void TokenBucket::configure(double per_sec, int burst) {
+  std::lock_guard<std::mutex> lk(mu_);
+  per_sec_ = per_sec;
+  burst_ = static_cast<double>(burst);
+  tokens_ = burst_;
+  last_ = std::chrono::steady_clock::now();
+}
+
+bool TokenBucket::try_take() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (burst_ <= 0) return true;
+  const auto now = std::chrono::steady_clock::now();
+  const double dt =
+      std::chrono::duration_cast<std::chrono::duration<double>>(now - last_)
+          .count();
+  last_ = now;
+  tokens_ = std::min(burst_, tokens_ + per_sec_ * dt);
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
 // Internal structures.
 
 struct Router::UpstreamConn {
@@ -92,6 +117,12 @@ struct Router::Shard {
   std::atomic<std::uint64_t> hedges{0};   // hedge copies sent here
   std::atomic<std::uint64_t> answered{0};  // responses that won resolution
   std::atomic<std::uint64_t> connect_failures{0};
+  /// Probe-driven health: 0 up / 1 suspect / 2 down.  Orthogonal to the
+  /// connection breaker -- a blackholed shard keeps its sockets "up" while
+  /// the probes walk it down.
+  std::atomic<int> health{0};
+  std::atomic<int> probe_streak{0};  // consecutive probe failures
+  TokenBucket retry_budget;          // per-shard retry charge
   obs::Counter* m_routed = nullptr;
   obs::Counter* m_answered = nullptr;
   obs::Gauge* m_up = nullptr;
@@ -113,6 +144,11 @@ struct Router::Pending {
   int line_no = 0;
   std::string op;
   std::string wire;  // rid-stamped request line, reused by hedge/re-dispatch
+  /// Deadline propagation: the client's timeout_ms and the wire line with
+  /// that field stripped, so wire_now() can re-stamp the REMAINING budget
+  /// on hedges and re-dispatches.  timeout_ms == 0: no deadline to carry.
+  std::int64_t timeout_ms = 0;
+  std::string wire_base;
   std::uint64_t key = 0;
   Done done;
   Clock::time_point submitted{};
@@ -159,11 +195,27 @@ Router::Router(RouterConfig config)
                            "Queries resolved by a router-generated error");
   m_rejected_ = &reg.counter("wfc_router_rejected_total", "",
                              "Queries rejected before routing (capacity)");
+  m_probe_failures_ = &reg.counter("wfc_cluster_probe_failures", "",
+                                   "Active health probes that failed");
+  m_budget_exhausted_ =
+      &reg.counter("wfc_cluster_retry_budget_exhausted", "",
+                   "Re-dispatches or hedges refused by the retry budget");
+  m_hop_deadline_ = &reg.counter(
+      "wfc_cluster_hop_deadline_expired", "",
+      "Queries fast-failed: client deadline spent before the next hop");
   m_pending_ = &reg.gauge("wfc_router_pending", "", "Unresolved queries");
   m_shards_up_ =
       &reg.gauge("wfc_router_shards_up", "", "Shards with a live connection");
   m_imbalance_ = &reg.gauge("wfc_router_ring_imbalance_permille", "",
                             "Max shard arc share over mean, permille");
+  m_state_up_ = &reg.gauge("wfc_cluster_shard_state", "state=\"up\"",
+                           "Shards by probe health state");
+  m_state_suspect_ = &reg.gauge("wfc_cluster_shard_state", "state=\"suspect\"",
+                                "Shards by probe health state");
+  m_state_down_ = &reg.gauge("wfc_cluster_shard_state", "state=\"down\"",
+                             "Shards by probe health state");
+  retry_budget_.configure(config_.retry_budget_per_sec,
+                          config_.retry_budget_burst);
 }
 
 Router::~Router() { stop(); }
@@ -188,6 +240,9 @@ void Router::start() {
     for (auto& [id, shard] : shards_) start_shard(shard);
   }
   maintenance_ = std::thread([this] { maintenance_thread(); });
+  if (config_.probe_interval.count() > 0) {
+    prober_ = std::thread([this] { probe_thread(); });
+  }
 }
 
 void Router::stop() {
@@ -197,6 +252,7 @@ void Router::stop() {
   }
   stop_cv_.notify_all();
   if (maintenance_.joinable()) maintenance_.join();
+  if (prober_.joinable()) prober_.join();
 
   std::vector<std::shared_ptr<Shard>> doomed;
   {
@@ -279,7 +335,7 @@ net::LineBackend::Outcome Router::submit(const svc::Fields& fields,
       out.kind = Outcome::Kind::kRespond;
       out.response = error_line(
           client_id, line_no, svc::to_json_token(svc::Status::kOverloaded),
-          "router pending table full", config_.retry_after_ms);
+          "router pending table full", jittered_retry_after());
       return out;
     }
   }
@@ -313,6 +369,10 @@ net::LineBackend::Outcome Router::submit(const svc::Fields& fields,
     }
   }
   p->wire = net::with_id(net::strip_id_field(std::string(line)), p->rid);
+  if (config_.propagate_deadlines && timeout_ms > 0) {
+    p->timeout_ms = timeout_ms;
+    p->wire_base = net::strip_field(p->wire, "timeout_ms");
+  }
 
   {
     std::lock_guard<std::mutex> pl(pending_mu_);
@@ -330,7 +390,7 @@ net::LineBackend::Outcome Router::submit(const svc::Fields& fields,
       out.kind = Outcome::Kind::kRespond;
       out.response = error_line(
           client_id, line_no, svc::to_json_token(svc::Status::kOverloaded),
-          "no shard available", config_.retry_after_ms);
+          "no shard available", jittered_retry_after());
       return out;
     }
   }
@@ -366,7 +426,12 @@ Ring::Accept Router::accept_predicate(bool skip_backoff) const {
     const Shard& shard = *it->second;
     if (shard.draining.load(std::memory_order_relaxed)) return false;
     if (shard.up_conns.load(std::memory_order_relaxed) <= 0) return false;
-    if (skip_backoff && shard.in_backoff()) return false;
+    // Probe-driven health: Down shards are out of the candidate set
+    // entirely; Suspect ones are skipped like backoff -- routed around
+    // while a healthy alternative exists, used under cluster-wide duress.
+    const int health = shard.health.load(std::memory_order_relaxed);
+    if (health >= 2) return false;
+    if (skip_backoff && (health == 1 || shard.in_backoff())) return false;
     return true;
   };
 }
@@ -444,6 +509,8 @@ void Router::start_shard(const std::shared_ptr<Shard>& shard) {
                                    "Winning responses per shard");
   shard->m_up = &reg.gauge("wfc_router_shard_up_conns", labels,
                            "Live pooled connections per shard");
+  shard->retry_budget.configure(config_.shard_retry_budget_per_sec,
+                                config_.shard_retry_budget_burst);
   for (int i = 0; i < config_.conns_per_shard; ++i) {
     auto conn = std::make_unique<UpstreamConn>();
     conn->index = i;
@@ -591,22 +658,52 @@ void Router::on_conn_down(const std::shared_ptr<Shard>& shard,
       if (touched && p->sends.empty()) orphans.push_back(p);
     }
   }
-  for (auto& p : orphans) {
+  redispatch_orphans(orphans, shard, /*allow_fallback=*/true);
+}
+
+void Router::redispatch_orphans(
+    const std::vector<std::shared_ptr<Pending>>& orphans,
+    const std::shared_ptr<Shard>& shard, bool allow_fallback) {
+  for (const auto& p : orphans) {
     bool exhausted = false;
     {
       std::lock_guard<std::mutex> gl(p->mu);
       exhausted = p->attempts >= config_.max_attempts;
     }
     if (!exhausted) {
+      // Budget first: under a mass failure the bucket drains after the
+      // first wave and the rest fast-fail, capping the retry
+      // amplification a dying shard can inflict on the survivors.
+      if (!charge_retry(shard)) {
+        if (auto taken = take_pending(p->seq, Cause::kFailed)) {
+          resolve_error(taken, svc::to_json_token(svc::Status::kOverloaded),
+                        "retry budget exhausted", true);
+        }
+        continue;
+      }
+      // Deadline next: re-sending a query whose client budget is spent
+      // would only burn a healthy shard's CPU on a dead answer.
+      const std::optional<std::string> wire = wire_now(p);
+      if (!wire) {
+        hop_deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+        m_hop_deadline_->inc();
+        if (auto taken = take_pending(p->seq, Cause::kTimeout)) {
+          resolve_error(taken,
+                        svc::to_json_token(svc::Status::kDeadlineExceeded),
+                        "client deadline passed before re-dispatch", false);
+        }
+        continue;
+      }
       redispatches_.fetch_add(1, std::memory_order_relaxed);
       m_redispatches_->inc();
       // The shard that just dropped us is suspect even while the rest of
       // its pool still counts as up (a dying process tears its sockets
       // down one reader at a time) -- prefer any other shard, and fall
       // back to the suspect only when nothing else can take the key.
-      if (route_and_send(p, p->wire, shard->id)) continue;
-      if (shard->up_conns.load(std::memory_order_relaxed) > 0 &&
-          route_and_send(p, p->wire, "")) {
+      if (route_and_send(p, *wire, shard->id)) continue;
+      if (allow_fallback &&
+          shard->up_conns.load(std::memory_order_relaxed) > 0 &&
+          route_and_send(p, *wire, "")) {
         continue;
       }
     }
@@ -671,7 +768,7 @@ void Router::resolve_error(const std::shared_ptr<Pending>& p,
                            const char* status, const std::string& message,
                            bool retryable) {
   p->done(error_line(p->had_id ? p->client_id : "", p->line_no, status,
-                     message, retryable ? config_.retry_after_ms : 0));
+                     message, retryable ? jittered_retry_after() : 0));
 }
 
 // ---------------------------------------------------------------------------
@@ -729,7 +826,12 @@ void Router::hedge_one(const std::shared_ptr<Pending>& p) {
   if (id.empty()) return;  // nobody to hedge to; the primary keeps the key
   const auto it = shards_.find(id);
   if (it == shards_.end()) return;
-  if (send_on_shard(it->second, p, p->wire)) {
+  // A hedge is a retry in disguise: it pays the same budget, and carries
+  // the remaining (not original) client deadline.
+  if (!charge_retry(it->second)) return;
+  const std::optional<std::string> wire = wire_now(p);
+  if (!wire) return;  // out of budget; the router deadline clock fires soon
+  if (send_on_shard(it->second, p, *wire)) {
     hedges_.fetch_add(1, std::memory_order_relaxed);
     m_hedges_->inc();
     it->second->hedges.fetch_add(1, std::memory_order_relaxed);
@@ -745,11 +847,151 @@ void Router::refresh_gauges() {
   m_pending_->set(pending);
   std::shared_lock<std::shared_mutex> ml(membership_mu_);
   std::uint64_t up = 0;
+  std::uint64_t state_up = 0, state_suspect = 0, state_down = 0;
   for (const auto& [id, shard] : shards_) {
     if (shard->up_conns.load(std::memory_order_relaxed) > 0) ++up;
+    const int health = shard->health.load(std::memory_order_relaxed);
+    if (health >= 2 || shard->up_conns.load(std::memory_order_relaxed) <= 0) {
+      ++state_down;
+    } else if (health == 1) {
+      ++state_suspect;
+    } else {
+      ++state_up;
+    }
   }
   m_shards_up_->set(up);
   m_imbalance_->set(ring_.imbalance_permille());
+  m_state_up_->set(state_up);
+  m_state_suspect_->set(state_suspect);
+  m_state_down_->set(state_down);
+}
+
+// ---------------------------------------------------------------------------
+// Hardening: active probes, retry budgets, deadline propagation.
+
+void Router::probe_thread() {
+  while (!stopping_.load()) {
+    {
+      std::unique_lock<std::mutex> sl(stop_mu_);
+      stop_cv_.wait_for(sl, config_.probe_interval,
+                        [&] { return stopping_.load(); });
+    }
+    if (stopping_.load()) break;
+    // Probe a snapshot so membership changes never race the walk; shards
+    // removed mid-pass just get one harmless last probe.
+    std::vector<std::shared_ptr<Shard>> snapshot;
+    {
+      std::shared_lock<std::shared_mutex> ml(membership_mu_);
+      snapshot.reserve(shards_.size());
+      for (const auto& [id, shard] : shards_) snapshot.push_back(shard);
+    }
+    for (const auto& shard : snapshot) {
+      if (stopping_.load()) break;
+      probe_shard(shard);
+    }
+  }
+}
+
+void Router::probe_shard(const std::shared_ptr<Shard>& shard) {
+  // A FRESH connection per probe, on purpose: the pooled sockets of a
+  // blackholed shard look healthy forever, which is exactly the lie the
+  // probe exists to catch.
+  bool ok = false;
+  try {
+    net::ClientConfig cc;
+    cc.server = shard->addr;
+    cc.connect_timeout = config_.probe_timeout;
+    cc.send_timeout = config_.probe_timeout;
+    cc.recv_timeout = config_.probe_timeout;
+    net::Client probe(std::move(cc));
+    const std::string response = probe.roundtrip(R"({"op":"info"})");
+    ok = response.find("\"status\":\"ok\"") != std::string::npos;
+  } catch (...) {
+    ok = false;
+  }
+  if (ok) {
+    shard->probe_streak.store(0, std::memory_order_relaxed);
+    const int prev = shard->health.exchange(0, std::memory_order_relaxed);
+    if (prev != 0 && config_.log) {
+      config_.log("shard " + shard->id + " probe ok, back up");
+    }
+    return;
+  }
+  probe_failures_.fetch_add(1, std::memory_order_relaxed);
+  m_probe_failures_->inc();
+  const int streak =
+      shard->probe_streak.fetch_add(1, std::memory_order_relaxed) + 1;
+  int next;
+  if (streak >= config_.probe_down_after) {
+    next = 2;
+  } else if (streak >= config_.probe_suspect_after) {
+    next = 1;
+  } else {
+    return;
+  }
+  const int prev = shard->health.exchange(next, std::memory_order_relaxed);
+  if (prev != next && config_.log) {
+    config_.log("shard " + shard->id + " probe failure #" +
+                std::to_string(streak) + " -> " +
+                (next == 2 ? "down" : "suspect"));
+  }
+  // Crossing into Down evicts the shard's unresolved sends NOW -- the
+  // whole point of probing is beating pending_timeout to the bad news.
+  if (prev != 2 && next == 2) evict_shard_pendings(shard);
+}
+
+void Router::evict_shard_pendings(const std::shared_ptr<Shard>& shard) {
+  std::vector<std::shared_ptr<Pending>> orphans;
+  {
+    std::lock_guard<std::mutex> pl(pending_mu_);
+    for (auto& [seq, p] : pending_) {
+      std::lock_guard<std::mutex> gl(p->mu);
+      bool touched = false;
+      for (auto it = p->sends.begin(); it != p->sends.end();) {
+        if (it->shard == shard->id) {
+          it = p->sends.erase(it);
+          touched = true;
+        } else {
+          ++it;
+        }
+      }
+      if (touched && p->sends.empty()) orphans.push_back(p);
+    }
+  }
+  // No fallback to the evicted shard: probes just declared it Down.
+  redispatch_orphans(orphans, shard, /*allow_fallback=*/false);
+}
+
+bool Router::charge_retry(const std::shared_ptr<Shard>& shard) {
+  if (retry_budget_.try_take() && shard->retry_budget.try_take()) return true;
+  budget_exhausted_.fetch_add(1, std::memory_order_relaxed);
+  m_budget_exhausted_->inc();
+  return false;
+}
+
+std::optional<std::string> Router::wire_now(
+    const std::shared_ptr<Pending>& p) const {
+  if (p->timeout_ms <= 0) return p->wire;  // no deadline to propagate
+  const std::int64_t elapsed =
+      std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                            p->submitted)
+          .count();
+  const std::int64_t remaining = p->timeout_ms - elapsed;
+  if (remaining <= 0) return std::nullopt;
+  if (remaining >= p->timeout_ms) return p->wire;  // nothing burned yet
+  std::string out = p->wire_base;
+  out.insert(out.size() - 1, ",\"timeout_ms\":" + std::to_string(remaining));
+  return out;
+}
+
+int Router::jittered_retry_after() const {
+  const int base = config_.retry_after_ms;
+  if (base <= 1) return base;
+  // Uniform in [base/2, base*3/2] off a private splitmix lane, so a burst
+  // of synchronized rejections fans back in spread out.
+  const std::uint64_t z =
+      mix64(retry_jitter_.fetch_add(1, std::memory_order_relaxed));
+  return base / 2 + static_cast<int>(z % static_cast<std::uint64_t>(base + 1));
 }
 
 // ---------------------------------------------------------------------------
@@ -857,6 +1099,20 @@ int Router::shard_up_conns(const std::string& id) const {
   return it == shards_.end() ? 0 : it->second->up_conns.load();
 }
 
+Router::ShardHealth Router::shard_health(const std::string& id) const {
+  std::shared_lock<std::shared_mutex> ml(membership_mu_);
+  const auto it = shards_.find(id);
+  if (it == shards_.end()) return ShardHealth::kDown;
+  switch (it->second->health.load(std::memory_order_relaxed)) {
+    case 1:
+      return ShardHealth::kSuspect;
+    case 2:
+      return ShardHealth::kDown;
+    default:
+      return ShardHealth::kUp;
+  }
+}
+
 Router::Stats Router::stats() const {
   Stats s;
   std::lock_guard<std::mutex> pl(pending_mu_);
@@ -870,6 +1126,10 @@ Router::Stats Router::stats() const {
   s.failed = failed_.load(std::memory_order_relaxed);
   s.rejected = rejected_.load(std::memory_order_relaxed);
   s.pending = pending_.size();
+  s.probe_failures = probe_failures_.load(std::memory_order_relaxed);
+  s.budget_exhausted = budget_exhausted_.load(std::memory_order_relaxed);
+  s.hop_deadline_expired =
+      hop_deadline_expired_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -888,7 +1148,10 @@ std::string Router::render_cluster_stats(const std::string& id) {
       .field("redispatches", s.redispatches)
       .field("timeouts", s.timeouts)
       .field("failed", s.failed)
-      .field("rejected", s.rejected);
+      .field("rejected", s.rejected)
+      .field("probe_failures", s.probe_failures)
+      .field("budget_exhausted", s.budget_exhausted)
+      .field("hop_deadline_expired", s.hop_deadline_expired);
   std::shared_lock<std::shared_mutex> ml(membership_mu_);
   w.field("shards", static_cast<std::uint64_t>(shards_.size()))
       .field("ring_imbalance_permille", ring_.imbalance_permille());
@@ -900,11 +1163,14 @@ std::string Router::render_cluster_stats(const std::string& id) {
   // Flat JSON has no nesting, so per-shard state rides on compound keys.
   for (const auto& [sid, shard] : shards_) {
     const std::string prefix = "shard_" + key_safe(sid) + "_";
+    const int health = shard->health.load(std::memory_order_relaxed);
     const char* state = "up";
     if (shard->draining.load()) {
       state = "draining";
-    } else if (shard->up_conns.load() <= 0) {
+    } else if (shard->up_conns.load() <= 0 || health >= 2) {
       state = "down";
+    } else if (health == 1) {
+      state = "suspect";
     } else if (shard->in_backoff()) {
       state = "backoff";
     }
@@ -917,7 +1183,9 @@ std::string Router::render_cluster_stats(const std::string& id) {
         .field(prefix + "answered",
                shard->answered.load(std::memory_order_relaxed))
         .field(prefix + "connect_failures",
-               shard->connect_failures.load(std::memory_order_relaxed));
+               shard->connect_failures.load(std::memory_order_relaxed))
+        .field(prefix + "probe_streak",
+               shard->probe_streak.load(std::memory_order_relaxed));
   }
   return w.str();
 }
@@ -967,6 +1235,9 @@ std::string Router::render_metrics(const std::string& id) {
       .field("late_drops", s.late_drops)
       .field("redispatches", s.redispatches)
       .field("rejected", s.rejected)
+      .field("probe_failures", s.probe_failures)
+      .field("budget_exhausted", s.budget_exhausted)
+      .field("hop_deadline_expired", s.hop_deadline_expired)
       .field("reconciles", reconciles);
   return w.str();
 }

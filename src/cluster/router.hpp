@@ -65,6 +65,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <string>
 #include <string_view>
@@ -126,8 +127,40 @@ struct RouterConfig {
   /// Total sends per request (first dispatch + re-dispatches; hedges not
   /// counted) before it resolves overloaded.
   int max_attempts = 3;
-  /// retry_after_ms hint stamped on router-side rejections.
+  /// Base retry_after_ms hint stamped on router-side rejections.  The
+  /// stamped value is jittered uniformly in [base/2, base*3/2] so a burst
+  /// of synchronized rejections fans back in spread out instead of
+  /// re-herding on the same tick.
   int retry_after_ms = 100;
+  /// Active health probing: every probe_interval a dedicated thread opens
+  /// a fresh connection to each shard and roundtrips {"op":"info"} under
+  /// probe_timeout.  probe_suspect_after consecutive failures mark the
+  /// shard Suspect (routed around while healthy alternatives exist);
+  /// probe_down_after mark it Down -- evicted from the candidate set and
+  /// its unresolved sends re-dispatched immediately, instead of waiting
+  /// out pending_timeout.  One probe success restores Up.  This is what
+  /// catches the failures a dead socket never reports: blackholed,
+  /// wedged, or half-open shards whose connections look alive.
+  /// 0 disables probing (the library default; wfc_router enables it).
+  std::chrono::milliseconds probe_interval{0};
+  std::chrono::milliseconds probe_timeout{500};
+  int probe_suspect_after = 1;
+  int probe_down_after = 3;
+  /// Retry budgets: token buckets capping re-dispatches and hedges so a
+  /// sick cluster degrades to fast-fail instead of a retry storm.  The
+  /// global bucket gates every retry; the per-shard bucket additionally
+  /// gates retries charged to one shard (the dead shard for re-dispatches,
+  /// the target for hedges).  burst <= 0 disables that bucket.
+  double retry_budget_per_sec = 32.0;
+  int retry_budget_burst = 64;
+  double shard_retry_budget_per_sec = 16.0;
+  int shard_retry_budget_burst = 32;
+  /// Deadline propagation: rewrite timeout_ms on hedges and re-dispatches
+  /// to the REMAINING client budget (original minus time already burned
+  /// at this hop) and fast-fail deadline_exceeded instead of forwarding
+  /// once it reaches zero -- a shard never executes a query whose client
+  /// already gave up.
+  bool propagate_deadlines = true;
   /// Ignore fingerprints and spread keys uniformly (the bench's control
   /// arm for the cache-locality experiment).
   bool random_routing = false;
@@ -140,6 +173,24 @@ struct RouterConfig {
   /// Diagnostics sink (membership changes, shard state flips); null
   /// discards.
   std::function<void(const std::string&)> log;
+};
+
+/// A small mutex-guarded token bucket: `burst` capacity, `per_sec`
+/// steady refill, one token per take.  burst <= 0 disables the bucket
+/// (try_take always grants).  Exposed for tests; the router uses it for
+/// the retry budgets.
+class TokenBucket {
+ public:
+  TokenBucket() = default;
+  void configure(double per_sec, int burst);
+  bool try_take();
+
+ private:
+  std::mutex mu_;
+  double per_sec_ = 0.0;
+  double burst_ = 0.0;
+  double tokens_ = 0.0;
+  std::chrono::steady_clock::time_point last_{};
 };
 
 class Router : public net::LineBackend {
@@ -189,12 +240,19 @@ class Router : public net::LineBackend {
     std::uint64_t failed = 0;      // resolved by a router-generated error
     std::uint64_t rejected = 0;    // refused before registration (capacity)
     std::uint64_t pending = 0;     // snapshot, not monotone
+    std::uint64_t probe_failures = 0;       // failed active health probes
+    std::uint64_t budget_exhausted = 0;     // retries refused by the budget
+    std::uint64_t hop_deadline_expired = 0;  // fast-failed: deadline passed
   };
   [[nodiscard]] Stats stats() const;
   [[nodiscard]] std::size_t shard_count() const;
 
   /// Live pool connections for `id` (0 = Down / unknown) -- test hook.
   [[nodiscard]] int shard_up_conns(const std::string& id) const;
+
+  /// Probe-driven health of `id` (kDown for unknown ids) -- test hook.
+  enum class ShardHealth { kUp, kSuspect, kDown };
+  [[nodiscard]] ShardHealth shard_health(const std::string& id) const;
 
  private:
   struct UpstreamConn;
@@ -236,6 +294,26 @@ class Router : public net::LineBackend {
   void hedge_one(const std::shared_ptr<Pending>& p);
   void refresh_gauges();
 
+  // Hardening (probes / budgets / deadlines).
+  void probe_thread();
+  void probe_shard(const std::shared_ptr<Shard>& shard);
+  /// Pulls every pending whose only outstanding sends were on `shard` and
+  /// re-dispatches them elsewhere (probe-driven eviction).
+  void evict_shard_pendings(const std::shared_ptr<Shard>& shard);
+  /// Budget-gated re-dispatch of orphaned pendings; `allow_fallback`
+  /// permits falling back to `shard` itself when nothing else accepts.
+  void redispatch_orphans(
+      const std::vector<std::shared_ptr<Pending>>& orphans,
+      const std::shared_ptr<Shard>& shard, bool allow_fallback);
+  /// The wire line for `p` with timeout_ms rewritten to the remaining
+  /// client budget; nullopt when that budget is already spent.
+  [[nodiscard]] std::optional<std::string> wire_now(
+      const std::shared_ptr<Pending>& p) const;
+  /// Charges one retry against the global and `shard` buckets; on refusal
+  /// counts budget_exhausted and returns false.
+  bool charge_retry(const std::shared_ptr<Shard>& shard);
+  [[nodiscard]] int jittered_retry_after() const;
+
   // Membership helpers.
   void start_shard(const std::shared_ptr<Shard>& shard);
   void stop_shard(const std::shared_ptr<Shard>& shard);
@@ -267,8 +345,13 @@ class Router : public net::LineBackend {
   std::atomic<bool> started_flag_{false};
   std::atomic<bool> stopping_{false};
   std::thread maintenance_;
+  std::thread prober_;
   std::condition_variable stop_cv_;
   std::mutex stop_mu_;
+
+  // Retry budgets + rejection-hint jitter lane.
+  TokenBucket retry_budget_;
+  mutable std::atomic<std::uint64_t> retry_jitter_{0};
 
   // Counters (see Stats).  requests_ and the three cause counters move
   // only under pending_mu_, which is what makes the reconciliation
@@ -276,6 +359,8 @@ class Router : public net::LineBackend {
   std::atomic<std::uint64_t> requests_{0}, responses_{0}, hedges_{0},
       hedge_wins_{0}, late_drops_{0}, redispatches_{0}, timeouts_{0},
       failed_{0}, rejected_{0};
+  std::atomic<std::uint64_t> probe_failures_{0}, budget_exhausted_{0},
+      hop_deadline_expired_{0};
 
   // Obs mirrors (always registered; the registry is cheap when disabled).
   obs::Counter* m_requests_;
@@ -287,9 +372,15 @@ class Router : public net::LineBackend {
   obs::Counter* m_timeouts_;
   obs::Counter* m_failed_;
   obs::Counter* m_rejected_;
+  obs::Counter* m_probe_failures_;
+  obs::Counter* m_budget_exhausted_;
+  obs::Counter* m_hop_deadline_;
   obs::Gauge* m_pending_;
   obs::Gauge* m_shards_up_;
   obs::Gauge* m_imbalance_;
+  obs::Gauge* m_state_up_;
+  obs::Gauge* m_state_suspect_;
+  obs::Gauge* m_state_down_;
 };
 
 }  // namespace wfc::cluster

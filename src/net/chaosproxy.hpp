@@ -1,0 +1,181 @@
+// wfc::net::ChaosProxy -- a seeded, deterministic TCP fault-injection
+// proxy for the cluster tier (wfc::chaosnet).
+//
+// The proxy sits between the router and its shards: each configured LINK
+// is one listening port forwarding raw bytes to one upstream endpoint, and
+// each link carries a runtime-switchable FaultSpec shaping BOTH directions
+// of every connection on it:
+//
+//   none       relay verbatim (the control arm)
+//   latency    hold each chunk for latency +/- jitter before delivery
+//   bandwidth  token-bucket the delivered bytes to bytes_per_sec
+//   corrupt    flip each byte with probability corrupt_prob (seeded)
+//   blackhole  accept and read, deliver NOTHING either way (a partition
+//              that keeps every socket innocently open)
+//   rst        hard-reset every connection (SO_LINGER 0) and keep
+//              resetting new ones until the mode changes -- "RST mid-line"
+//   trickle    slow-loris: deliver trickle_bytes every trickle_interval
+//   half_open  requests flow upstream, responses are dropped -- the gray
+//              failure where a shard does the work and nobody hears it
+//
+// Determinism: every random draw (corruption bytes, latency jitter) comes
+// from a SplitMix64 stream seeded from (config seed, link index, flow
+// serial, direction), so a regime replays byte-for-byte under the same
+// seed and input -- chaosnet_test asserts it.  The relay itself is ONE
+// thread running a rebuilt poll() set per pass: interest depends on shaped
+// queue state and chunk release times, which a static epoll interest set
+// cannot express, and the fault matrix tops out at tens of sockets.  The
+// admin port stays on the epoll front door: ChaosProxy is a LineBackend,
+// so wfc_chaosnet serves its JSONL admin protocol through the same
+// net::Server machinery as every other tier:
+//
+//   {"op":"fault","link":"s1","mode":"latency","ms":200,"jitter_ms":50}
+//   {"op":"fault","link":"*","mode":"none"}         ("*" = every link)
+//   {"op":"chaos_stats"}                            per-link counters
+//   {"op":"info"}                                   identity/links/seed
+//
+// Fault flips take effect on the next relay pass (the admin thread pokes
+// the relay's wake pipe): bytes already shaped keep their stamps, new
+// bytes are shaped under the new spec, and `rst` tears existing flows down
+// immediately.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "net/backend.hpp"
+#include "net/socket.hpp"
+
+namespace wfc::net {
+
+enum class FaultMode {
+  kNone,
+  kLatency,
+  kBandwidth,
+  kCorrupt,
+  kBlackhole,
+  kRst,
+  kTrickle,
+  kHalfOpen,
+};
+
+/// "latency" <-> FaultMode::kLatency etc.; parse returns false on an
+/// unknown name (the admin op answers invalid_argument).
+[[nodiscard]] const char* fault_mode_name(FaultMode mode);
+[[nodiscard]] bool parse_fault_mode(std::string_view name, FaultMode* out);
+
+struct FaultSpec {
+  FaultMode mode = FaultMode::kNone;
+  /// kLatency: per-chunk hold, +/- uniform jitter.
+  std::chrono::milliseconds latency{0};
+  std::chrono::milliseconds jitter{0};
+  /// kBandwidth: delivered-byte cap per direction.
+  std::size_t bytes_per_sec = 0;
+  /// kCorrupt: per-byte flip probability.
+  double corrupt_prob = 0.0;
+  /// kTrickle: chunk size / cadence of the slow-loris drip.
+  std::size_t trickle_bytes = 1;
+  std::chrono::milliseconds trickle_interval{20};
+};
+
+struct ChaosLinkSpec {
+  std::string id;
+  /// Port 0 binds ephemeral; read the result back with port(id).
+  Endpoint listen;
+  Endpoint upstream;
+};
+
+struct ChaosProxyConfig {
+  std::vector<ChaosLinkSpec> links;
+  /// Seed for every deterministic draw; same seed + same input bytes =
+  /// same output bytes.
+  std::uint64_t seed = 1;
+  /// Per-direction shaped-buffer cap; past it the proxy stops reading the
+  /// source socket (backpressure propagates, the proxy never balloons).
+  std::size_t max_buffer = 8u << 20;
+  /// Upstream connect bound per new flow.
+  std::chrono::milliseconds connect_timeout{1'000};
+  std::function<void(const std::string&)> log;
+};
+
+class ChaosProxy : public LineBackend {
+ public:
+  /// Binds every link's listener (so ports are known); throws
+  /// std::system_error when a bind fails.
+  explicit ChaosProxy(ChaosProxyConfig config);
+  ~ChaosProxy() override;
+
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  /// Spawns the relay thread.  Idempotent.
+  void start();
+  /// Tears every flow down and joins the relay.  Idempotent.
+  void stop();
+
+  /// The bound port of `link` (0 for an unknown id).
+  [[nodiscard]] std::uint16_t port(const std::string& link) const;
+
+  /// Sets the fault regime on one link ("*" = all).  False on an unknown
+  /// link.  Tests call this directly; the wire path is the fault op.
+  bool set_fault(const std::string& link, const FaultSpec& spec);
+  [[nodiscard]] FaultSpec fault(const std::string& link) const;
+
+  struct LinkStats {
+    std::uint64_t accepted = 0;           // downstream connections taken
+    std::uint64_t upstream_failures = 0;  // connects to the shard that failed
+    std::uint64_t bytes_up = 0;           // delivered downstream -> upstream
+    std::uint64_t bytes_down = 0;         // delivered upstream -> downstream
+    std::uint64_t corrupted_bytes = 0;
+    std::uint64_t dropped_bytes = 0;      // blackhole / half_open discards
+    std::uint64_t rsts = 0;               // connections hard-reset
+  };
+  [[nodiscard]] LinkStats link_stats(const std::string& link) const;
+
+  // -- net::LineBackend (the JSONL admin port) --------------------------
+  // Every admin op answers immediately (kRespond): the proxy holds no
+  // inflight work of its own, so nothing needs the control-op gating.
+  Outcome on_line(std::string_view line, int line_no, Done done) override;
+  std::string control(std::string_view line, int line_no) override;
+  [[nodiscard]] std::size_t max_line_bytes() const override {
+    return 1u << 16;
+  }
+
+ private:
+  struct Link;
+  struct Flow;
+  struct Pipe;
+
+  std::string handle_fault(const svc::Fields& fields, const std::string& id);
+  std::string render_chaos_stats(const std::string& id);
+  std::string render_info(const std::string& id);
+
+  void relay_thread();
+  void accept_on(Link& link);
+  /// Reads from pipe.src and shapes the bytes under the link's current
+  /// spec; returns false when the flow must die (error on the socket).
+  bool pump_read(Link& link, Pipe& pipe);
+  /// Writes due chunks to pipe.dst; returns false when the flow must die.
+  bool pump_write(Link& link, Pipe& pipe,
+                  std::chrono::steady_clock::time_point now);
+  void hard_reset(Link& link, Flow& flow);
+  void wake();
+
+  ChaosProxyConfig config_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::vector<std::unique_ptr<Flow>> flows_;  // relay thread only
+  Fd wake_r_, wake_w_;                        // self-pipe for admin flips
+  std::thread relay_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace wfc::net

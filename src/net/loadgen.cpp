@@ -37,14 +37,20 @@ struct ThreadOutcome {
   std::uint64_t duplicates = 0;
   std::uint64_t unmatched = 0;
   std::vector<std::uint64_t> latencies_us;
+  std::map<std::string, std::uint64_t> by_status;
   std::string failure;  // nonempty: the thread died on this exception
 };
 
 }  // namespace
 
-std::string strip_id_field(const std::string& line) {
+std::string strip_field(const std::string& line, std::string_view key) {
+  std::string needle;
+  needle.reserve(key.size() + 2);
+  needle += '"';
+  needle += key;
+  needle += '"';
   std::size_t pos = 0;
-  while ((pos = line.find("\"id\"", pos)) != std::string::npos) {
+  while ((pos = line.find(needle, pos)) != std::string::npos) {
     // A top-level key is preceded (modulo whitespace) by '{' or ','.
     std::size_t before = pos;
     while (before > 0 && std::isspace(static_cast<unsigned char>(
@@ -53,13 +59,13 @@ std::string strip_id_field(const std::string& line) {
     }
     const bool key_position =
         before > 0 && (line[before - 1] == '{' || line[before - 1] == ',');
-    std::size_t after = pos + 4;
+    std::size_t after = pos + needle.size();
     while (after < line.size() &&
            std::isspace(static_cast<unsigned char>(line[after]))) {
       ++after;
     }
     if (!key_position || after >= line.size() || line[after] != ':') {
-      pos += 4;  // matched inside a value; keep looking
+      pos += needle.size();  // matched inside a value; keep looking
       continue;
     }
     ++after;  // past ':'
@@ -93,6 +99,10 @@ std::string strip_id_field(const std::string& line) {
     return line.substr(0, cut_from) + line.substr(after);
   }
   return line;
+}
+
+std::string strip_id_field(const std::string& line) {
+  return strip_field(line, "id");
 }
 
 std::vector<std::string> load_corpus(std::istream& in) {
@@ -174,6 +184,7 @@ void drive_connection(const LoadgenConfig& config,
         // Unparseable response: counted as unmatched below (empty id).
       }
       if (is_error_status(status)) ++out->errors;
+      ++out->by_status[status.empty() ? "none" : status];
       auto it = outstanding.find(id);
       if (it != outstanding.end()) {
         out->latencies_us.push_back(static_cast<std::uint64_t>(
@@ -293,6 +304,9 @@ LoadgenReport run_loadgen(const std::vector<std::string>& corpus,
     report.unmatched += o.unmatched;
     latencies.insert(latencies.end(), o.latencies_us.begin(),
                      o.latencies_us.end());
+    for (const auto& [status, count] : o.by_status) {
+      report.by_status[status] += count;
+    }
     if (failure.empty() && !o.failure.empty()) failure = o.failure;
   }
   if (!failure.empty()) {
@@ -305,6 +319,7 @@ LoadgenReport run_loadgen(const std::vector<std::string>& corpus,
   report.p50_us = percentile(latencies, 0.50);
   report.p90_us = percentile(latencies, 0.90);
   report.p99_us = percentile(latencies, 0.99);
+  report.p999_us = percentile(latencies, 0.999);
   report.max_us = latencies.empty() ? 0 : latencies.back();
 
   if (config.check_metrics) {
@@ -335,7 +350,23 @@ std::string LoadgenReport::to_json() const {
   std::snprintf(buf, sizeof(buf), "%.1f", qps);
   os << ",\"qps\":" << buf;
   os << ",\"p50_us\":" << p50_us << ",\"p90_us\":" << p90_us
-     << ",\"p99_us\":" << p99_us << ",\"max_us\":" << max_us;
+     << ",\"p99_us\":" << p99_us << ",\"p999_us\":" << p999_us
+     << ",\"max_us\":" << max_us;
+  // Status tokens are [a-z_] -- but a chaos regime can corrupt one in
+  // flight, so anything else maps to '_' to keep the flat
+  // "status_<token>" keys valid, jq-addressable JSON.  Sanitized
+  // collisions merge into one key.
+  std::map<std::string, std::uint64_t> clean;
+  for (const auto& [status, count] : by_status) {
+    std::string key = status;
+    for (char& c : key) {
+      if ((c < 'a' || c > 'z') && (c < '0' || c > '9') && c != '_') c = '_';
+    }
+    clean[key] += count;
+  }
+  for (const auto& [status, count] : clean) {
+    os << ",\"status_" << status << "\":" << count;
+  }
   if (metrics_reconcile) {
     os << ",\"metrics_reconcile\":" << (*metrics_reconcile ? "true" : "false");
   }

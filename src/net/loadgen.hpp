@@ -19,8 +19,10 @@
 #include <chrono>
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "net/socket.hpp"
@@ -59,7 +61,12 @@ struct LoadgenReport {
   std::uint64_t p50_us = 0;
   std::uint64_t p90_us = 0;
   std::uint64_t p99_us = 0;
+  std::uint64_t p999_us = 0;
   std::uint64_t max_us = 0;
+  /// Responses tallied by their "status" token ("none" when the response
+  /// carried no status field) -- the per-regime breakdown a soak needs to
+  /// tell fast-fail rejections from real answers.
+  std::map<std::string, std::uint64_t> by_status;
   /// Set when LoadgenConfig::check_metrics: the server's own counters
   /// reconciled after the run.
   std::optional<bool> metrics_reconcile;
@@ -77,8 +84,12 @@ struct LoadgenReport {
 /// on a malformed line.
 std::vector<std::string> load_corpus(std::istream& in);
 
-/// Removes a top-level "id" field from a flat JSON line (no-op without
-/// one).  Exposed for tests and for the cluster router's id splice.
+/// Removes a top-level `key` field from a flat JSON line (no-op without
+/// one).  Exposed for tests, the router's id splice, and the router's
+/// deadline rewrite (timeout_ms).
+std::string strip_field(const std::string& line, std::string_view key);
+
+/// strip_field(line, "id") -- the original router id-splice entry point.
 std::string strip_id_field(const std::string& line);
 
 /// Inserts `id` (verbatim -- the caller escapes if needed) as the first

@@ -508,6 +508,48 @@ TEST(ClusterRouter, AllShardsDownAnswersOverloadedWithRetryHint) {
   EXPECT_NE(field(fields, "retry_after_ms"), "");
 }
 
+TEST(ClusterRouter, RetryHintIsJitteredAcrossRejections) {
+  // A router with NO shards rejects every submit with "no shard
+  // available"; the stamped retry_after_ms must be jittered uniformly in
+  // [base/2, base*3/2], not the fixed base that would re-herd every
+  // rejected client onto the same tick.
+  RouterConfig config = fast_config();
+  config.retry_after_ms = 100;
+  TestCluster cluster(0, std::move(config), /*wait_up=*/false);
+  net::Client client = cluster.connect();
+  std::set<std::string> distinct;
+  for (int i = 0; i < 40; ++i) {
+    const Fields fields = parse(client.roundtrip(
+        R"({"id":"j","op":"solve","task":"consensus","procs":2,"values":2})"));
+    ASSERT_EQ(field(fields, "status"), "overloaded");
+    const std::string hint = field(fields, "retry_after_ms");
+    ASSERT_NE(hint, "");
+    const int ms = std::stoi(hint);
+    EXPECT_GE(ms, 50);
+    EXPECT_LE(ms, 150);
+    distinct.insert(hint);
+  }
+  // 40 draws over 101 values: a fixed hint would give exactly 1 distinct.
+  EXPECT_GE(distinct.size(), 5u);
+}
+
+TEST(ClusterRouter, MetricsCarryHardeningCounters) {
+  TestCluster cluster(2);
+  net::Client client = cluster.connect();
+  const Fields metrics =
+      parse(client.roundtrip(R"({"id":"m","op":"metrics"})"));
+  EXPECT_EQ(field(metrics, "probe_failures"), "0");
+  EXPECT_EQ(field(metrics, "budget_exhausted"), "0");
+  EXPECT_EQ(field(metrics, "hop_deadline_expired"), "0");
+  EXPECT_EQ(field(metrics, "reconciles"), "true");
+  const Fields stats =
+      parse(client.roundtrip(R"({"id":"c","op":"cluster_stats"})"));
+  EXPECT_EQ(field(stats, "shard_s1_probe_streak"), "0");
+  EXPECT_EQ(field(stats, "shard_s1_state"), "up");
+  EXPECT_EQ(cluster.router->shard_health("s1"),
+            Router::ShardHealth::kUp);
+}
+
 TEST(ClusterRouter, BreakerRecoversWhenShardComesBack) {
   std::uint16_t port = 0;
   { net::Fd probe = net::listen_tcp(net::Endpoint{"127.0.0.1", 0}, &port); }

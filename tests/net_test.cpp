@@ -9,6 +9,7 @@
 #include <poll.h>
 #include <sys/socket.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -193,11 +194,13 @@ TEST(NetServer, PipelinedResponsesCompleteOutOfOrder) {
   client.roundtrip(
       R"({"id":"warm","op":"solve","task":"consensus","procs":2,"values":2})");
 
-  // A check sweep takes milliseconds on a worker; the memo hit answers in
-  // microseconds on the io thread, so "fast" overtakes "slow".  One write
-  // carries both lines, so the server parses them back to back.
+  // A rounds=3 check sweep takes tens of milliseconds on a worker; the
+  // memo hit answers in microseconds on the io thread, so "fast" overtakes
+  // "slow" with a wide margin (rounds=2 was only ~1 ms and lost the race
+  // on loaded machines).  One write carries both lines, so the server
+  // parses them back to back.
   client.send_line(
-      R"({"id":"slow","op":"check","target":"sds","procs":3,"rounds":2,)"
+      R"({"id":"slow","op":"check","target":"sds","procs":3,"rounds":3,)"
       R"("crashes":1})"
       "\n"
       R"({"id":"fast","op":"solve","task":"consensus","procs":2,"values":2})");
@@ -507,11 +510,12 @@ TEST(NetClient, PeerResetMidLineThrowsSystemError) {
   ClientConfig config;
   config.server = Endpoint{"127.0.0.1", peer.port};
   Client client(std::move(config));
-  client.send_line(R"({"id":"t","op":"stats"})");
   EXPECT_THROW(
       {
-        // The reset can surface on the first or a later read depending on
-        // how much of the partial line raced ahead of the RST.
+        // The reset can surface at the send (RST already arrived) or on
+        // the first or a later read, depending on how much of the partial
+        // line raced ahead of the RST.
+        client.send_line(R"({"id":"t","op":"stats"})");
         while (client.recv_line().has_value()) {
         }
       },
@@ -546,6 +550,67 @@ TEST(NetClient, HalfCloseDrainsPipelinedBatchThenEof) {
   EXPECT_TRUE(client.buffered_empty());
 }
 
+TEST(NetClient, SendRawPartialWriteCompletesUnderTinySndbuf) {
+  // A payload far bigger than the shrunken socket buffers forces send()
+  // into the EAGAIN + poll(POLLOUT) path of send_raw (the path only taken
+  // when send_timeout is set); the peer stalls first so the buffers are
+  // provably full, then drains everything and reports the byte count.
+  const std::size_t kPayload = 1u << 20;
+  std::atomic<std::size_t> peer_received{0};
+  RawPeer peer([&peer_received](Fd conn) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    char sink[4096];
+    for (;;) {
+      pollfd p{conn.get(), POLLIN, 0};
+      if (::poll(&p, 1, 5000) <= 0) return;
+      const ssize_t n = ::recv(conn.get(), sink, sizeof(sink), 0);
+      if (n <= 0) break;  // EOF: the client finished and half-closed
+      peer_received.fetch_add(static_cast<std::size_t>(n));
+    }
+    const char done[] = "done\n";
+    (void)::send(conn.get(), done, sizeof(done) - 1, MSG_NOSIGNAL);
+    drain_until_eof(conn.get());
+  });
+  ClientConfig config;
+  config.server = Endpoint{"127.0.0.1", peer.port};
+  config.send_timeout = std::chrono::seconds(5);
+  config.recv_timeout = std::chrono::seconds(5);
+  Client client(std::move(config));
+  int tiny = 4096;  // the kernel clamps/doubles; any small value works
+  ASSERT_EQ(::setsockopt(client.fd(), SOL_SOCKET, SO_SNDBUF, &tiny,
+                         sizeof(tiny)),
+            0);
+  const std::string payload(kPayload, 'x');
+  client.send_raw(payload);  // must not throw and must not truncate
+  client.shutdown_write();
+  const std::optional<std::string> ack = client.recv_line();
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_EQ(*ack, "done");
+  EXPECT_EQ(peer_received.load(), kPayload);
+}
+
+TEST(NetClient, SendRawTimesOutWhenPeerNeverDrains) {
+  // The peer accepts and never reads: once the socket buffers fill, the
+  // bounded sender must surface TimeoutError instead of wedging forever.
+  RawPeer peer([](Fd conn) {
+    pollfd p{conn.get(), POLLHUP, 0};
+    (void)::poll(&p, 1, 5000);  // hold the connection open, read nothing
+  });
+  ClientConfig config;
+  config.server = Endpoint{"127.0.0.1", peer.port};
+  config.send_timeout = std::chrono::milliseconds(200);
+  Client client(std::move(config));
+  int tiny = 4096;
+  ASSERT_EQ(::setsockopt(client.fd(), SOL_SOCKET, SO_SNDBUF, &tiny,
+                         sizeof(tiny)),
+            0);
+  const std::string payload(8u << 20, 'x');
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(client.send_raw(payload), TimeoutError);
+  EXPECT_GE(std::chrono::steady_clock::now() - start,
+            std::chrono::milliseconds(150));
+}
+
 // ---------------------------------------------------------------------------
 // Load generator.
 // ---------------------------------------------------------------------------
@@ -561,6 +626,20 @@ TEST(Loadgen, StripIdFieldHandlesEveryPosition) {
   // "id" as a VALUE is not the id field.
   EXPECT_EQ(strip_id_field(R"({"task":"id"})"), R"({"task":"id"})");
   EXPECT_EQ(strip_id_field(R"({"task":"id","id":"a"})"), R"({"task":"id"})");
+}
+
+TEST(Loadgen, StripFieldGeneralizesBeyondId) {
+  // The router's deadline rewrite strips timeout_ms with the same helper.
+  EXPECT_EQ(strip_field(R"({"timeout_ms":500,"op":"solve"})", "timeout_ms"),
+            R"({"op":"solve"})");
+  EXPECT_EQ(strip_field(R"({"op":"solve","timeout_ms":500})", "timeout_ms"),
+            R"({"op":"solve"})");
+  EXPECT_EQ(strip_field(R"({"a":1,"timeout_ms":500,"b":2})", "timeout_ms"),
+            R"({"a":1,"b":2})");
+  EXPECT_EQ(strip_field(R"({"op":"x"})", "timeout_ms"), R"({"op":"x"})");
+  // The key text as a VALUE is untouched.
+  EXPECT_EQ(strip_field(R"({"note":"timeout_ms"})", "timeout_ms"),
+            R"({"note":"timeout_ms"})");
 }
 
 TEST(Loadgen, LoadCorpusSkipsCommentsAndValidates) {
@@ -612,6 +691,17 @@ TEST(Loadgen, ConnectionStormIsExactlyOnce) {
   const std::string json = report.to_json();
   EXPECT_NE(json.find("\"exactly_once\":true"), std::string::npos);
   EXPECT_NE(json.find("\"p50_us\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p999_us\":"), std::string::npos);
+  EXPECT_NE(json.find("\"status_ok\":"), std::string::npos);
+
+  // The by_status breakdown partitions every received response.
+  std::uint64_t by_status_total = 0;
+  for (const auto& [status, count] : report.by_status) {
+    by_status_total += count;
+  }
+  EXPECT_EQ(by_status_total, report.received);
+  ASSERT_NE(report.by_status.count("ok"), 0u);
+  EXPECT_EQ(report.by_status.at("ok"), report.received);
 
   const Server::Stats wire = ts.server.stats();
   EXPECT_EQ(wire.accepted, 9u);  // 8 drivers + 1 metrics probe
