@@ -80,7 +80,16 @@ int usage() {
                "  cluster [stats]               routing/hedge counters\n"
                "  cluster drain <shard>         stop routing new keys to it\n"
                "  cluster add <shard> <H:P>     join a shard to the ring\n"
-               "  cluster remove <shard>        hard-detach a shard\n");
+               "  cluster remove <shard>        hard-detach a shard\n"
+               "Chain-store control plane (server or router):\n"
+               "  store [stats]                 store/cache gauges\n"
+               "  store warm                    admit every stored chain\n"
+               "  store shed [percent]          drop ~percent of residency\n"
+               "  store pin <fingerprint>       pin a tower against "
+               "eviction\n"
+               "  store unpin <fingerprint>     release the pin\n"
+               "  store publish                 flush resident chains to "
+               "disk\n");
   return 2;
 }
 
@@ -124,6 +133,26 @@ int connect_command(const std::string& endpoint, int argc, char** argv) {
       request = std::string(R"({"id":"cli","op":"cluster_add","shard":")") +
                 argv[3] + R"(","host":")" + addr.host + R"(","port":)" +
                 std::to_string(addr.port) + "}";
+    } else {
+      return usage();
+    }
+  } else if (name == "store") {
+    // Unified store op family (service/handler.hpp; a wfc_router fans the
+    // same line out to every shard and aggregates).
+    const std::string verb = argc > 2 ? argv[2] : "stats";
+    if (verb == "stats" || verb == "warm" || verb == "publish") {
+      request = std::string(R"({"id":"cli","op":"store","action":")") + verb +
+                R"("})";
+    } else if (verb == "shed") {
+      request = std::string(R"({"id":"cli","op":"store","action":"shed")");
+      if (argc > 3) {
+        request +=
+            R"(,"percent":)" + std::to_string(std::atoi(argv[3]));
+      }
+      request += "}";
+    } else if ((verb == "pin" || verb == "unpin") && argc > 3) {
+      request = std::string(R"({"id":"cli","op":"store","action":")") + verb +
+                R"(","fingerprint":")" + argv[3] + R"("})";
     } else {
       return usage();
     }

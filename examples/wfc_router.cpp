@@ -28,6 +28,7 @@
 #include <signal.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -51,9 +52,14 @@ int usage() {
       "                  [--probe-down-after N] [--retry-budget N]\n"
       "                  [--retry-budget-per-sec F]\n"
       "                  [--no-deadline-propagation]\n"
+      "                  [--store-dir PATH] [--store-readonly]\n"
+      "                  [--store-max-bytes N]\n"
       "Routes JSONL v2 queries to wfc_serve shards by consistent hash of\n"
       "the task fingerprint.  \"--listen :0\" binds an ephemeral port;\n"
-      "--port-file writes it once accepting.\n");
+      "--port-file writes it once accepting.\n"
+      "{\"op\":\"store\"} fans out to every shard and aggregates; the\n"
+      "--store-* flags document the cluster store posture (--store-readonly\n"
+      "makes this router refuse to forward publish).\n");
   return 2;
 }
 
@@ -135,6 +141,12 @@ int main(int argc, char** argv) {
         config.shard_retry_budget_per_sec = config.retry_budget_per_sec / 2;
       } else if (arg == "--no-deadline-propagation") {
         config.propagate_deadlines = false;
+      } else if (arg == "--store-dir" && next_str(value)) {
+        config.store_dir = value;
+      } else if (arg == "--store-readonly") {
+        config.store_readonly = true;
+      } else if (arg == "--store-max-bytes" && i + 1 < argc) {
+        config.store_max_bytes = std::strtoull(argv[++i], nullptr, 10);
       } else if (arg == "--quiet") {
         quiet = true;
       } else {

@@ -33,6 +33,7 @@
 #include <signal.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -46,7 +47,10 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: wfc_serve [--workers N] [--max-level B]\n"
-               "                 [--cache-entries N] [--cache-vertices N]\n"
+               "                 [--mem-cache-entries N] "
+               "[--mem-cache-vertices N]\n"
+               "                 [--store-dir PATH] [--store-readonly]\n"
+               "                 [--store-max-bytes N]\n"
                "                 [--quiet] [--legacy] [--no-obs]\n"
                "                 [--listen host:port] [--port-file PATH]\n"
                "                 [--io-threads N] [--idle-timeout-ms N]\n"
@@ -55,11 +59,17 @@ int usage() {
                "stdin/stdout, or over TCP with --listen.\n"
                "  --listen ADDR  serve plaintext TCP (\":0\" = ephemeral)\n"
                "  --port-file P  write the bound port to P once listening\n"
+               "  --store-dir P  persistent content-addressed chain store;\n"
+               "                 restarts (and co-located shards) start warm\n"
+               "  --store-readonly     never publish to the store\n"
+               "  --store-max-bytes N  on-disk budget (0 = unlimited)\n"
                "  --legacy       emit the legacy envelope (verdict in "
                "\"status\")\n"
                "  --no-obs       disable tracing/metrics collection\n"
                "  --shard-id S   identity echoed by {\"op\":\"info\"} "
-               "(cluster shards)\n");
+               "(cluster shards)\n"
+               "  --cache-entries/--cache-vertices are deprecated aliases of\n"
+               "  the --mem-cache-* flags.\n");
   return 2;
 }
 
@@ -154,16 +164,42 @@ int main(int argc, char** argv) {
       out = argv[++i];
       return !out.empty();
     };
+    // One-shot note for the pre-PR-9 cache knob spellings (PR-4 pattern):
+    // keep them working for one release, say the new name once.
+    static bool warned_cache_flags = false;
+    auto deprecated_cache_flag = [&](const char* old_name,
+                                     const char* new_name) {
+      if (warned_cache_flags) return;
+      warned_cache_flags = true;
+      std::fprintf(stderr, "wfc_serve: deprecated: %s; use %s\n", old_name,
+                   new_name);
+    };
     int value = 0;
     if (arg == "--workers" && next_int(value)) {
       config.service.workers = value;
     } else if (arg == "--max-level" && next_int(value)) {
       config.default_max_level = value;
-    } else if (arg == "--cache-entries" && next_int(value)) {
+    } else if ((arg == "--mem-cache-entries" || arg == "--cache-entries") &&
+               next_int(value)) {
+      if (arg == "--cache-entries") {
+        deprecated_cache_flag("--cache-entries", "--mem-cache-entries");
+      }
       config.service.cache.max_entries = static_cast<std::size_t>(value);
-    } else if (arg == "--cache-vertices" && next_int(value)) {
+    } else if ((arg == "--mem-cache-vertices" || arg == "--cache-vertices") &&
+               next_int(value)) {
+      if (arg == "--cache-vertices") {
+        deprecated_cache_flag("--cache-vertices", "--mem-cache-vertices");
+      }
       config.service.cache.max_resident_vertices =
           static_cast<std::size_t>(value);
+    } else if (arg == "--store-dir" &&
+               next_str(config.service.cache.store.dir)) {
+    } else if (arg == "--store-readonly") {
+      config.service.cache.store.readonly = true;
+    } else if (arg == "--store-max-bytes") {
+      if (i + 1 >= argc) return usage();
+      config.service.cache.store.max_bytes =
+          std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--max-line-bytes" && next_int(value)) {
       config.max_line_bytes = static_cast<std::size_t>(value);
     } else if (arg == "--quiet") {

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdlib>
+#include <map>
 #include <set>
 #include <stdexcept>
 #include <utility>
@@ -311,8 +312,8 @@ net::LineBackend::Outcome Router::on_line(std::string_view line, int line_no,
   const auto op_it = fields.find("op");
   const std::string op = op_it == fields.end() ? "solve" : op_it->second;
   if (op == "stats" || op == "metrics" || op == "trace" || op == "info" ||
-      op == "cluster_stats" || op == "cluster_add" || op == "cluster_remove" ||
-      op == "cluster_drain") {
+      op == "store" || op == "cluster_stats" || op == "cluster_add" ||
+      op == "cluster_remove" || op == "cluster_drain") {
     out.kind = Outcome::Kind::kControl;
     return out;
   }
@@ -1057,6 +1058,7 @@ std::string Router::control(std::string_view line, int line_no) {
   if (op == "cluster_stats") return render_cluster_stats(id);
   if (op == "info") return render_info(id);
   if (op == "metrics") return render_metrics(id);
+  if (op == "store") return render_store_op(fields, id, line_no);
   if (op == "stats") {
     const Stats s = stats();
     return "cluster shards=" + std::to_string(shard_count()) +
@@ -1240,6 +1242,127 @@ std::string Router::render_metrics(const std::string& id) {
       .field("hop_deadline_expired", s.hop_deadline_expired)
       .field("reconciles", reconciles);
   return w.str();
+}
+
+std::string Router::render_store_op(const svc::Fields& fields,
+                                    const std::string& id, int line_no) {
+  const auto action_it = fields.find("action");
+  const std::string action =
+      action_it == fields.end() ? "stats" : action_it->second;
+  if (action != "stats" && action != "warm" && action != "shed" &&
+      action != "pin" && action != "unpin" && action != "publish") {
+    return error_line(id, line_no,
+                      svc::to_json_token(svc::Status::kInvalidArgument),
+                      "unknown store action \"" + action + "\"");
+  }
+  if (action == "publish" && config_.store_readonly) {
+    return error_line(id, line_no,
+                      svc::to_json_token(svc::Status::kInvalidArgument),
+                      "store publish: this router treats the cluster store "
+                      "as read-only (--store-readonly)");
+  }
+  // Forward a minimal request (id stripped: shard responses are consumed
+  // here, not relayed).  Shards keep their own transport gating -- publish
+  // over TCP is refused per shard unless its operator enabled it.
+  svc::JsonWriter fwd;
+  fwd.field("op", "store").field("action", action);
+  for (const char* key : {"percent", "fingerprint"}) {
+    if (const auto it = fields.find(key); it != fields.end()) {
+      fwd.field(key, it->second);
+    }
+  }
+  const std::string wire = fwd.str();
+
+  std::vector<std::pair<std::string, std::shared_ptr<Shard>>> snapshot;
+  {
+    std::shared_lock<std::shared_mutex> ml(membership_mu_);
+    snapshot.reserve(shards_.size());
+    for (const auto& [sid, shard] : shards_) snapshot.emplace_back(sid, shard);
+  }
+
+  // Sum every counter the shard-side store op emits; per-shard rows ride
+  // on compound keys like cluster_stats' (flat JSON has no nesting).
+  static constexpr const char* kSummed[] = {
+      "lookups",   "store_hits",       "store_misses", "fallbacks",
+      "publishes", "publish_skipped",  "files",        "file_bytes",
+      "mapped_bytes", "cache_store_hits", "chain_builds", "pinned",
+      "admitted",  "evicted",          "written"};
+  std::map<std::string, std::uint64_t> totals;
+  svc::JsonWriter shard_rows;
+  std::uint64_t shards_ok = 0;
+  std::uint64_t shards_failed = 0;
+  for (const auto& [sid, shard] : snapshot) {
+    const std::string prefix = "shard_" + key_safe(sid) + "_store_";
+    std::string response;
+    try {
+      net::ClientConfig cc;
+      cc.server = shard->addr;
+      cc.connect_timeout = config_.probe_timeout;
+      cc.send_timeout = config_.probe_timeout;
+      cc.recv_timeout = config_.probe_timeout;
+      net::Client client(std::move(cc));
+      response = client.roundtrip(wire);
+    } catch (const std::exception&) {
+      ++shards_failed;
+      shard_rows.field(prefix + "status", "unreachable");
+      continue;
+    }
+    svc::Fields reply;
+    try {
+      reply = svc::parse_flat_json(response);
+    } catch (const std::exception&) {
+      ++shards_failed;
+      shard_rows.field(prefix + "status", "unparseable");
+      continue;
+    }
+    const auto status_it = reply.find("status");
+    const std::string status =
+        status_it == reply.end() ? "missing" : status_it->second;
+    shard_rows.field(prefix + "status", status);
+    if (status != svc::to_json_token(svc::Status::kOk)) {
+      ++shards_failed;
+      if (const auto err = reply.find("error"); err != reply.end()) {
+        shard_rows.field(prefix + "error", err->second);
+      }
+      continue;
+    }
+    ++shards_ok;
+    for (const char* key : kSummed) {
+      if (const auto it = reply.find(key); it != reply.end()) {
+        totals[key] += static_cast<std::uint64_t>(
+            std::strtoull(it->second.c_str(), nullptr, 10));
+      }
+    }
+  }
+
+  svc::JsonWriter w;
+  if (!id.empty()) w.field("id", id);
+  w.field("op", "store")
+      .field("action", action)
+      .field("status", svc::to_json_token(shards_failed == 0 || shards_ok > 0
+                                              ? svc::Status::kOk
+                                              : svc::Status::kInternal))
+      .field("shards", static_cast<std::uint64_t>(snapshot.size()))
+      .field("shards_ok", shards_ok)
+      .field("shards_failed", shards_failed);
+  if (!config_.store_dir.empty()) w.field("store_dir", config_.store_dir);
+  if (config_.store_readonly) w.field("store_readonly", true);
+  if (config_.store_max_bytes != 0) {
+    w.field("store_max_bytes", config_.store_max_bytes);
+  }
+  for (const char* key : kSummed) {
+    if (const auto it = totals.find(key); it != totals.end()) {
+      w.field(key, it->second);
+    }
+  }
+  std::string out = w.str();
+  // Splice the per-shard rows into the envelope (both writers emit one
+  // flat object; drop the rows' braces and join).
+  const std::string rows = shard_rows.str();
+  if (rows.size() > 2) {
+    out.insert(out.size() - 1, "," + rows.substr(1, rows.size() - 2));
+  }
+  return out;
 }
 
 std::string Router::render_membership_op(const svc::Fields& fields,

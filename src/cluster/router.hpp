@@ -166,6 +166,15 @@ struct RouterConfig {
   bool random_routing = false;
   /// Allow cluster_add/remove/drain over the wire.
   bool admin_ops = true;
+  /// Cluster-wide chain-store posture.  The router holds no store itself;
+  /// {"op":"store"} fans out to every shard and aggregates.  `store_dir`
+  /// and `store_max_bytes` are operator documentation echoed in the
+  /// aggregate (the shards own the actual directory); `store_readonly`
+  /// makes the ROUTER refuse to forward publish at all, a cluster-level
+  /// guard on top of each shard's own transport gating.
+  std::string store_dir;
+  bool store_readonly = false;
+  std::uint64_t store_max_bytes = 0;
   /// Router-local observability (counters/histograms under wfc_router_*).
   obs::ObsConfig obs{};
   /// Echoed by {"op":"info"} as server_id.
@@ -323,6 +332,11 @@ class Router : public net::LineBackend {
   std::string render_cluster_stats(const std::string& id);
   std::string render_info(const std::string& id);
   std::string render_metrics(const std::string& id);
+  /// {"op":"store"}: per-shard fan-out over fresh connections (the probe
+  /// pattern -- pooled sockets must stay dedicated to the data plane),
+  /// summing numeric store gauges and reporting per-shard status.
+  std::string render_store_op(const svc::Fields& fields,
+                              const std::string& id, int line_no);
   std::string render_membership_op(const svc::Fields& fields,
                                    const std::string& op);
 

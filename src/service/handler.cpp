@@ -2,7 +2,9 @@
 
 #include <unistd.h>
 
+#include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <numeric>
 #include <stdexcept>
@@ -203,7 +205,7 @@ RequestHandler::ParsedLine RequestHandler::parse(std::string_view line,
   }
   parsed.op = string_field(parsed.fields, "op", "solve");
   if (parsed.op == "stats" || parsed.op == "metrics" ||
-      parsed.op == "trace" || parsed.op == "info") {
+      parsed.op == "trace" || parsed.op == "info" || parsed.op == "store") {
     parsed.action = Action::kControl;
     return parsed;
   }
@@ -425,6 +427,9 @@ RequestHandler::Rendered RequestHandler::control(const ParsedLine& parsed) {
                  static_cast<std::uint64_t>(interned_tasks()));
       return {w.str(), false};
     }
+    if (parsed.op == "store") {
+      return store_control(parsed, id);
+    }
     if (parsed.op == "metrics") {
       if (!service_.observer().enabled()) {
         throw std::invalid_argument(
@@ -475,6 +480,94 @@ RequestHandler::Rendered RequestHandler::control(const ParsedLine& parsed) {
   } catch (const std::exception& e) {
     return error_record(id, parsed.line_no, e.what());
   }
+}
+
+RequestHandler::Rendered RequestHandler::store_control(const ParsedLine& parsed,
+                                                       const std::string& id) {
+  SdsCache& cache = service_.cache();
+  const std::string action = string_field(parsed.fields, "action", "stats");
+
+  JsonWriter w;
+  if (!id.empty()) w.field("id", id);
+  w.field("op", "store").field("action", action);
+
+  // Shared tail: the gauges operators (and the store-smoke CI job) read.
+  // chain_builds == cache misses + extensions is THE warm-start number: it
+  // stays 0 across a restart served entirely from the store.
+  const auto append_stats = [&] {
+    const CacheStats cs = cache.stats();
+    const StoreStats ss = cache.store_stats();
+    w.field("enabled", ss.enabled)
+        .field("readonly", ss.readonly)
+        .field("lookups", ss.lookups)
+        .field("store_hits", ss.hits)
+        .field("store_misses", ss.misses)
+        .field("fallbacks", ss.fallbacks)
+        .field("publishes", ss.publishes)
+        .field("publish_skipped", ss.publish_skipped)
+        .field("files", ss.files)
+        .field("file_bytes", ss.file_bytes)
+        .field("mapped_bytes", ss.mapped_bytes)
+        .field("cache_store_hits", cs.store_hits)
+        .field("chain_builds", cs.chain_builds())
+        .field("pinned", cs.pinned);
+  };
+
+  if (action == "stats") {
+    w.field("status", to_json_token(Status::kOk));
+    append_stats();
+    return {w.str(), false};
+  }
+  if (action == "warm") {
+    const std::uint64_t admitted = cache.warm();
+    w.field("status", to_json_token(Status::kOk)).field("admitted", admitted);
+    append_stats();
+    return {w.str(), false};
+  }
+  if (action == "shed") {
+    // frac in percent (flat-JSON fields are integers); default half.
+    const int percent = int_field(parsed.fields, "percent", 50);
+    if (percent < 0 || percent > 100) {
+      throw std::invalid_argument("store shed: \"percent\" not in [0, 100]");
+    }
+    const std::uint64_t evicted =
+        cache.shed(static_cast<double>(percent) / 100.0);
+    w.field("status", to_json_token(Status::kOk)).field("evicted", evicted);
+    append_stats();
+    return {w.str(), false};
+  }
+  if (action == "pin" || action == "unpin") {
+    const std::string hex = string_field(parsed.fields, "fingerprint");
+    if (hex.empty()) {
+      throw std::invalid_argument("store " + action +
+                                  ": missing field \"fingerprint\"");
+    }
+    char* end = nullptr;
+    errno = 0;
+    const std::uint64_t fp = std::strtoull(hex.c_str(), &end, 16);
+    if (errno != 0 || end == hex.c_str() || *end != '\0') {
+      throw std::invalid_argument("store " + action +
+                                  ": \"fingerprint\" is not a hex id: " + hex);
+    }
+    const bool ok = action == "pin" ? cache.pin(fp) : cache.unpin(fp);
+    w.field("status", to_json_token(Status::kOk))
+        .field("fingerprint", hex)
+        .field(action == "pin" ? "pinned" : "unpinned", ok);
+    return {w.str(), false};
+  }
+  if (action == "publish") {
+    // Path-bearing: publish writes files under the store directory, so it
+    // follows the metrics/trace "path" rule -- operator transports only.
+    if (!config_.allow_control_paths) {
+      throw std::invalid_argument(
+          "store publish: not allowed on this transport");
+    }
+    const std::uint64_t written = cache.publish_all();
+    w.field("status", to_json_token(Status::kOk)).field("written", written);
+    append_stats();
+    return {w.str(), false};
+  }
+  throw std::invalid_argument("unknown store action \"" + action + "\"");
 }
 
 }  // namespace wfc::svc

@@ -158,6 +158,12 @@ class RequestHandler {
   [[nodiscard]] std::size_t interned_tasks();
 
  private:
+  /// {"op":"store"} action family (stats/warm/shed/pin/unpin/publish);
+  /// publish is path-bearing and follows the allow_control_paths rule.
+  /// Throws std::invalid_argument on bad actions/arguments (control()'s
+  /// catch turns that into the shared error record).
+  [[nodiscard]] Rendered store_control(const ParsedLine& parsed,
+                                       const std::string& id);
   /// Builds the Query + ResponseMeta for a kSubmit line; throws
   /// std::invalid_argument on malformed parameters.
   [[nodiscard]] std::pair<Query, ResponseMeta> build_query(

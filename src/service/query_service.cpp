@@ -112,7 +112,16 @@ std::string ServiceStats::to_string() const {
      << " evictions=" << cache.evictions << " sheds=" << cache.sheds
      << " entries=" << cache.entries
      << " resident_vertices=" << cache.resident_vertices
-     << " | check runs=" << check.runs << " schedules=" << check.schedules
+     << " store_hits=" << cache.store_hits << " pinned=" << cache.pinned;
+  if (store.enabled) {
+    os << " | store" << (store.readonly ? " (ro)" : "")
+       << " hits=" << store.hits << " misses=" << store.misses
+       << " fallbacks=" << store.fallbacks << " publishes=" << store.publishes
+       << " skipped=" << store.publish_skipped << " files=" << store.files
+       << " file_bytes=" << store.file_bytes
+       << " mapped_bytes=" << store.mapped_bytes;
+  }
+  os << " | check runs=" << check.runs << " schedules=" << check.schedules
      << " histories=" << check.histories
      << " violations=" << check.violations
      << " max_depth=" << check.max_search_depth;
@@ -205,6 +214,32 @@ void QueryService::init_observability() {
         .set(cs.extensions);
     reg.gauge("wfc_cache_evictions", "", "Cache entries evicted")
         .set(cs.evictions);
+    reg.gauge("wfc_cache_store_hits", "",
+              "Chains adopted from the persistent store")
+        .set(cs.store_hits);
+    reg.gauge("wfc_cache_pinned", "", "Cache entries pinned by operators")
+        .set(cs.pinned);
+    const StoreStats ss = cache_.store_stats();
+    reg.gauge("wfc_store_enabled", "", "1 when a chain store is attached")
+        .set(ss.enabled ? 1 : 0);
+    reg.gauge("wfc_store_hits", "", "Store loads served from disk")
+        .set(ss.hits);
+    reg.gauge("wfc_store_misses", "", "Store lookups with no file")
+        .set(ss.misses);
+    reg.gauge("wfc_store_fallbacks", "",
+              "Unusable store files (corrupt/truncated/version-skew)")
+        .set(ss.fallbacks);
+    reg.gauge("wfc_store_publishes", "", "Chain files written").set(
+        ss.publishes);
+    reg.gauge("wfc_store_publish_skipped", "",
+              "Publishes skipped (readonly/shallower/budget)")
+        .set(ss.publish_skipped);
+    reg.gauge("wfc_store_files", "", "Chain files on disk").set(ss.files);
+    reg.gauge("wfc_store_file_bytes", "", "Bytes of chain files on disk")
+        .set(ss.file_bytes);
+    reg.gauge("wfc_store_mapped_bytes", "",
+              "Bytes in live read-only chain mappings")
+        .set(ss.mapped_bytes);
     const Watchdog::Stats wd = watchdog_.stats();
     reg.gauge("wfc_watchdog_kills", "", "Hard-timeout force-cancellations")
         .set(wd.kills);
@@ -776,6 +811,7 @@ ServiceStats QueryService::stats() const {
   out.check.violations = c[kStatCheckViolations];
   out.check.max_search_depth = check_max_depth_.value();
   out.cache = cache_.stats();
+  out.store = cache_.store_stats();
   out.queue_peak_depth = queue_.peak_depth();
   const Watchdog::Stats wd = watchdog_.stats();
   out.watchdog_kills = wd.kills;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <utility>
+#include <vector>
 
 #include "common/assert.hpp"
 #include "topology/hash.hpp"
@@ -28,11 +30,17 @@ SdsCache::SdsCache(Options options)
           .segments = 4,
           .keep_hottest = true,
           .announce_after = 8,
-      }) {}
+      }) {
+  if (!options_.store.dir.empty()) {
+    store_ = std::make_unique<store::ChainStore>(options_.store);
+  }
+}
 
 std::size_t SdsCache::chain_weight(const proto::SdsChain& chain) {
   std::size_t w = 0;
-  for (int r = 0; r <= chain.depth(); ++r) w += chain.level(r).num_vertices();
+  // level_vertex_count reads arena headers for backed levels -- weighing a
+  // warm-loaded chain must not force the materialization it avoided.
+  for (int r = 0; r <= chain.depth(); ++r) w += chain.level_vertex_count(r);
   return w;
 }
 
@@ -59,6 +67,10 @@ std::shared_ptr<const proto::SdsChain> SdsCache::chain_for(
   Cache::Handle handle =
       cache_.get_or_insert(key, [] { return std::make_shared<BuildSlot>(); });
   const std::shared_ptr<BuildSlot> slot = *handle;
+  {
+    std::lock_guard<std::mutex> reg_lock(registry_mu_);
+    registry_[key] = slot;
+  }
 
   // Build or extend under the per-entry lock: only same-input queries wait
   // here, and exactly one of them does the subdivision work.  On exception
@@ -66,12 +78,22 @@ std::shared_ptr<const proto::SdsChain> SdsCache::chain_for(
   // entry stays at its prior depth; the cache remains consistent.
   bool was_empty = false;
   bool did_build = false;
+  bool from_store = false;
   std::shared_ptr<const proto::SdsChain> chain;
   {
     std::lock_guard<std::mutex> build_lock(slot->build_mu);
     const auto build_start = trace.enabled()
                                  ? std::chrono::steady_clock::now()
                                  : std::chrono::steady_clock::time_point();
+    // First touch in this process: adopt the persisted tower before even
+    // considering a build.  An mmap'ed chain is NOT a build -- this is what
+    // keeps chain_builds == 0 across a warm restart.
+    if (slot->chain == nullptr && store_) {
+      if (auto loaded = store_->load(key)) {
+        slot->chain = std::move(loaded);
+        from_store = true;
+      }
+    }
     was_empty = slot->chain == nullptr;
     if (was_empty) {
       if (options_.build_fault_hook) options_.build_fault_hook();
@@ -82,6 +104,7 @@ std::shared_ptr<const proto::SdsChain> SdsCache::chain_for(
       slot->chain = std::make_shared<proto::SdsChain>(*slot->chain, depth);
       did_build = true;
     }
+    if (store_ && did_build) store_->publish(key, *slot->chain);
     chain = slot->chain;
     if (trace.enabled()) {
       // Span covers exactly the subdivision work (the build lock section);
@@ -103,6 +126,7 @@ std::shared_ptr<const proto::SdsChain> SdsCache::chain_for(
   } else {
     extensions_.inc();
   }
+  if (from_store) store_hits_.inc();
   // Re-weigh through our own pinned handle, then unpin BEFORE the eviction
   // pass -- matching the historical order, in which a just-finished build
   // is itself fair game for eviction (only the most recent entry is safe).
@@ -110,6 +134,81 @@ std::shared_ptr<const proto::SdsChain> SdsCache::chain_for(
   handle.release();
   cache_.maybe_evict();
   return chain;
+}
+
+std::size_t SdsCache::warm() {
+  if (!store_) return 0;
+  std::size_t admitted = 0;
+  for (const store::ChainStore::Entry& e : store_->list()) {
+    Cache::Handle handle = cache_.get_or_insert(
+        e.fingerprint, [] { return std::make_shared<BuildSlot>(); });
+    const std::shared_ptr<BuildSlot> slot = *handle;
+    {
+      std::lock_guard<std::mutex> reg_lock(registry_mu_);
+      registry_[e.fingerprint] = slot;
+    }
+    bool loaded = false;
+    {
+      std::lock_guard<std::mutex> build_lock(slot->build_mu);
+      if (slot->chain == nullptr) {
+        if (auto chain = store_->load(e.fingerprint)) {
+          slot->chain = std::move(chain);
+          loaded = true;
+        }
+      }
+    }
+    if (loaded) {
+      ++admitted;
+      store_hits_.inc();
+      // Weigh from arena headers only; admission stays O(levels), the
+      // kernel pages the tower in on first real use.
+      std::size_t w = 0;
+      {
+        std::lock_guard<std::mutex> build_lock(slot->build_mu);
+        if (slot->chain) w = chain_weight(*slot->chain);
+      }
+      cache_.update_weight(handle, w);
+    }
+    handle.release();
+  }
+  cache_.maybe_evict();
+  return admitted;
+}
+
+std::size_t SdsCache::publish_all() {
+  if (!store_) return 0;
+  std::vector<std::pair<std::uint64_t, std::shared_ptr<BuildSlot>>> live;
+  {
+    std::lock_guard<std::mutex> reg_lock(registry_mu_);
+    for (auto it = registry_.begin(); it != registry_.end();) {
+      if (auto slot = it->second.lock()) {
+        live.emplace_back(it->first, std::move(slot));
+        ++it;
+      } else {
+        it = registry_.erase(it);  // tower evicted and gone; drop the stub
+      }
+    }
+  }
+  std::size_t written = 0;
+  for (auto& [fp, slot] : live) {
+    std::lock_guard<std::mutex> build_lock(slot->build_mu);
+    if (slot->chain && store_->publish(fp, *slot->chain)) ++written;
+  }
+  return written;
+}
+
+bool SdsCache::pin(std::uint64_t fingerprint) {
+  std::lock_guard<std::mutex> lock(pins_mu_);
+  if (pins_.count(fingerprint) != 0) return false;
+  Cache::Handle handle = cache_.get(fingerprint);
+  if (!handle) return false;
+  pins_.emplace(fingerprint, std::move(handle));
+  return true;
+}
+
+bool SdsCache::unpin(std::uint64_t fingerprint) {
+  std::lock_guard<std::mutex> lock(pins_mu_);
+  return pins_.erase(fingerprint) != 0;
 }
 
 std::size_t SdsCache::shed(double frac) {
@@ -132,6 +231,29 @@ CacheStats SdsCache::stats() const {
   out.sheds = sheds_.value();
   out.entries = cache_.size();
   out.resident_vertices = cache_.weight();
+  out.store_hits = store_hits_.value();
+  {
+    std::lock_guard<std::mutex> lock(pins_mu_);
+    out.pinned = pins_.size();
+  }
+  return out;
+}
+
+StoreStats SdsCache::store_stats() const {
+  StoreStats out;
+  if (!store_) return out;
+  out.enabled = store_->enabled();
+  out.readonly = store_->options().readonly;
+  const store::StoreStats s = store_->stats();
+  out.lookups = s.lookups;
+  out.hits = s.hits;
+  out.misses = s.misses;
+  out.fallbacks = s.fallbacks;
+  out.publishes = s.publishes;
+  out.publish_skipped = s.publish_skipped;
+  out.mapped_bytes = s.mapped_bytes;
+  out.files = s.files;
+  out.file_bytes = s.file_bytes;
   return out;
 }
 

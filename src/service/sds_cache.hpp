@@ -32,15 +32,26 @@
 // shed(frac) evicts coldest-first until roughly `frac` of the resident
 // vertex weight is released, leaving hot entries in place -- graceful
 // degradation instead of clear()'s scorched earth.
+// Persistence: when Options::store names a directory, the cache fronts a
+// store::ChainStore.  A first-touch miss consults the store before
+// subdividing (an mmap'ed hit counts as a cache hit + store_hit, NOT a
+// build), and every build or extension publishes the deepened tower back,
+// so the next process -- or the next N processes, sharing the mapping
+// read-only -- start warm.  warm() admits every stored chain up front;
+// pin()/unpin() hold ClockCache pins so operator-designated towers survive
+// eviction and shed().
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 
 #include "obs/trace.hpp"
 #include "protocol/sds_chain.hpp"
 #include "service/stats.hpp"
+#include "store/chain_store.hpp"
 #include "topology/complex.hpp"
 #include "wf/clock_cache.hpp"
 #include "wf/counter.hpp"
@@ -60,6 +71,8 @@ class SdsCache {
     /// std::bad_alloc here; the exception propagates to the caller with the
     /// cache left consistent (the entry simply stays at its prior depth).
     std::function<void()> build_fault_hook;
+    /// Persistent chain store configuration; an empty dir disables it.
+    store::ChainStore::Options store;
   };
 
   SdsCache();  // default Options
@@ -90,7 +103,30 @@ class SdsCache {
   /// frac is clamped to [0, 1].  Returns entries evicted.
   std::size_t shed(double frac);
 
+  /// Admits every chain in the persistent store into the cache (lazy,
+  /// zero-copy -- admission maps headers, it does not materialize levels).
+  /// Returns chains admitted.  No-op without a store.
+  std::size_t warm();
+
+  /// Publishes every resident chain to the store (the automatic
+  /// after-build publish normally keeps the store current; this catches
+  /// chains skipped by a byte budget that has since been raised, or a
+  /// store attached in a readonly race).  Returns files written.
+  std::size_t publish_all();
+
+  /// Pins the cached entry for `fingerprint` against eviction and shed()
+  /// until unpin().  Returns false when the fingerprint is not resident or
+  /// already pinned.
+  bool pin(std::uint64_t fingerprint);
+  bool unpin(std::uint64_t fingerprint);
+
   [[nodiscard]] CacheStats stats() const;
+
+  /// Persistent-store snapshot (all-zero/disabled when no store).
+  [[nodiscard]] StoreStats store_stats() const;
+
+  /// nullptr when Options::store.dir was empty.
+  [[nodiscard]] store::ChainStore* store() noexcept { return store_.get(); }
 
   /// Drops every unpinned entry (stats counters are kept).
   void clear();
@@ -109,10 +145,21 @@ class SdsCache {
 
   Options options_;
   Cache cache_;
+  std::unique_ptr<store::ChainStore> store_;  // nullptr when disabled
   wf::Counter hits_;
   wf::Counter misses_;
   wf::Counter extensions_;
   wf::Counter sheds_;
+  wf::Counter store_hits_;
+  // Operator pins: fingerprint -> live ClockCache pin.  Orthogonal to the
+  // transient build-time pins taken inside chain_for.
+  mutable std::mutex pins_mu_;
+  std::unordered_map<std::uint64_t, Cache::Handle> pins_;
+  // Every fingerprint ever cached, for publish_all (the ClockCache has no
+  // iteration -- by design, its index is lock-free).  Weak: entries do not
+  // keep evicted towers alive.
+  std::mutex registry_mu_;
+  std::unordered_map<std::uint64_t, std::weak_ptr<BuildSlot>> registry_;
 };
 
 }  // namespace wfc::svc

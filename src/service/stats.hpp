@@ -33,6 +33,29 @@ struct CacheStats {
   std::uint64_t sheds = 0;       // shed() calls (memory-pressure responses)
   std::uint64_t entries = 0;     // live cached inputs
   std::uint64_t resident_vertices = 0;  // sum of vertex counts, all levels
+  std::uint64_t store_hits = 0;  // chains adopted from the persistent store
+  std::uint64_t pinned = 0;      // entries pinned against eviction
+  /// Towers actually subdivided in this process -- the number the
+  /// store-smoke CI job asserts is 0 after a warm restart.
+  [[nodiscard]] std::uint64_t chain_builds() const {
+    return misses + extensions;
+  }
+};
+
+/// Snapshot of the persistent chain store (store/chain_store.hpp),
+/// mirrored here so stats.hpp stays dependency-free.
+struct StoreStats {
+  bool enabled = false;
+  bool readonly = false;
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;            // mmap'ed chains served
+  std::uint64_t misses = 0;          // fingerprint not on disk
+  std::uint64_t fallbacks = 0;       // corrupt/truncated/skewed -> rebuild
+  std::uint64_t publishes = 0;       // chain files written
+  std::uint64_t publish_skipped = 0; // readonly / shallower / over budget
+  std::uint64_t mapped_bytes = 0;    // live read-only mappings
+  std::uint64_t files = 0;           // on-disk inventory
+  std::uint64_t file_bytes = 0;
 };
 
 /// Aggregates over kCheck queries (the wfc::chk model checker).
@@ -65,6 +88,7 @@ struct ServiceStats {
   std::uint64_t watchdog_kills = 0;  // hard-timeout force-cancellations
   std::uint64_t stuck_worker_reports = 0;  // no-progress detections
   CacheStats cache;
+  StoreStats store;
   CheckStats check;
 
   [[nodiscard]] std::uint64_t count(Status s) const {

@@ -1,0 +1,333 @@
+#include "store/chain_store.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string_view>
+#include <utility>
+
+#include "topology/hash.hpp"
+
+namespace wfc::store {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::uint64_t align8(std::uint64_t n) { return (n + 7) & ~7ull; }
+
+std::string fingerprint_hex(std::uint64_t fp) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fp));
+  return std::string(buf, 16);
+}
+
+/// A live read-only mapping.  Destroys with munmap and returns its bytes
+/// to the owning store's mapped-bytes gauge (the store may already be
+/// gone -- the gauge is shared).
+struct MappedFile {
+  void* base = MAP_FAILED;
+  std::size_t bytes = 0;
+  std::shared_ptr<std::atomic<std::uint64_t>> gauge;
+
+  ~MappedFile() {
+    if (base != MAP_FAILED) {
+      ::munmap(base, bytes);
+      if (gauge) gauge->fetch_sub(bytes, std::memory_order_relaxed);
+    }
+  }
+};
+
+/// ChainBacking over a verified mapping: arenas are zero-copy views whose
+/// shared backing keeps the mmap alive.
+class MappedChainBacking : public proto::ChainBacking {
+ public:
+  explicit MappedChainBacking(std::vector<topo::Arena> arenas)
+      : arenas_(std::move(arenas)) {}
+
+  [[nodiscard]] int depth() const override {
+    return static_cast<int>(arenas_.size()) - 1;
+  }
+  [[nodiscard]] topo::Arena arena(int r) const override {
+    return arenas_.at(static_cast<std::size_t>(r));
+  }
+
+ private:
+  std::vector<topo::Arena> arenas_;
+};
+
+bool write_all(int fd, const void* data, std::size_t len) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::write(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Levels stored in an existing file, or 0 when absent/unreadable; lets
+/// publish skip work without mapping the whole payload.
+std::uint32_t existing_levels(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return 0;
+  ChainFileHeader h{};
+  const ssize_t n = ::pread(fd, &h, sizeof(h), 0);
+  ::close(fd);
+  if (n != static_cast<ssize_t>(sizeof(h))) return 0;
+  if (std::memcmp(h.magic, kStoreMagic, sizeof(kStoreMagic)) != 0) return 0;
+  if (h.version != kStoreVersion) return 0;
+  return h.n_levels;
+}
+
+}  // namespace
+
+ChainStore::ChainStore(Options options) : options_(std::move(options)) {
+  if (options_.dir.empty()) return;
+  std::error_code ec;
+  if (options_.readonly) {
+    enabled_ = fs::is_directory(options_.dir, ec);
+  } else {
+    fs::create_directories(options_.dir, ec);
+    enabled_ = !ec && fs::is_directory(options_.dir, ec);
+  }
+  if (enabled_) refresh_inventory();
+}
+
+std::string ChainStore::file_path(std::uint64_t fingerprint) const {
+  return options_.dir + "/chain-" + fingerprint_hex(fingerprint) + ".wfc";
+}
+
+std::shared_ptr<const proto::SdsChain> ChainStore::load(
+    std::uint64_t fingerprint) {
+  if (!enabled_) return nullptr;
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  const std::string path = file_path(fingerprint);
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return nullptr;
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0 ||
+      static_cast<std::size_t>(st.st_size) < sizeof(ChainFileHeader)) {
+    ::close(fd);
+    fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  const std::size_t size = static_cast<std::size_t>(st.st_size);
+  auto mapping = std::make_shared<MappedFile>();
+  mapping->base = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (mapping->base == MAP_FAILED) {
+    fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  mapping->bytes = size;
+  mapping->gauge = mapped_bytes_;
+  mapped_bytes_->fetch_add(size, std::memory_order_relaxed);
+
+  // From here on any validation failure is a fallback: the file exists
+  // but cannot be trusted.  The checksum walk touches every payload page
+  // once; the pages stay in the (shared) page cache for the search.
+  const auto fail = [this]() -> std::shared_ptr<const proto::SdsChain> {
+    fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  };
+  const char* bytes = static_cast<const char*>(mapping->base);
+  ChainFileHeader header{};
+  std::memcpy(&header, bytes, sizeof(header));
+  if (std::memcmp(header.magic, kStoreMagic, sizeof(kStoreMagic)) != 0) {
+    return fail();
+  }
+  if (header.version != kStoreVersion) return fail();
+  if (header.fingerprint != fingerprint) return fail();
+  if (header.n_levels == 0 || header.n_levels > 64) return fail();
+  const std::uint64_t table_bytes = std::uint64_t{header.n_levels} * 16;
+  const std::uint64_t payload_off = align8(sizeof(ChainFileHeader) + table_bytes);
+  if (payload_off > size || header.payload_bytes != size - payload_off) {
+    return fail();
+  }
+  const std::uint64_t checksum = topo::fnv1a(
+      topo::kFnvOffset,
+      std::string_view(bytes + payload_off,
+                       static_cast<std::size_t>(header.payload_bytes)));
+  if (checksum != header.payload_checksum) return fail();
+
+  const char* table = bytes + sizeof(ChainFileHeader);
+  std::vector<topo::Arena> arenas;
+  arenas.reserve(header.n_levels);
+  for (std::uint32_t r = 0; r < header.n_levels; ++r) {
+    std::uint64_t off = 0;
+    std::uint64_t len = 0;
+    std::memcpy(&off, table + r * 16, 8);
+    std::memcpy(&len, table + r * 16 + 8, 8);
+    if (off % 8 != 0 || off > header.payload_bytes ||
+        len > header.payload_bytes - off) {
+      return fail();
+    }
+    try {
+      arenas.push_back(topo::Arena::view(
+          std::span<const std::byte>(
+              reinterpret_cast<const std::byte*>(bytes + payload_off + off),
+              static_cast<std::size_t>(len)),
+          mapping));
+    } catch (const std::exception&) {
+      return fail();
+    }
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return std::make_shared<proto::SdsChain>(
+      std::make_shared<MappedChainBacking>(std::move(arenas)));
+}
+
+bool ChainStore::publish(std::uint64_t fingerprint,
+                         const proto::SdsChain& chain) {
+  if (!enabled_ || options_.readonly) {
+    publish_skipped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  const std::string path = file_path(fingerprint);
+  const std::uint32_t n_levels = static_cast<std::uint32_t>(chain.depth()) + 1;
+  const std::uint64_t already = existing_levels(path);
+  if (already >= n_levels) {
+    publish_skipped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  // Serialize every level (zero-copy when the chain is itself backed).
+  std::vector<topo::Arena> arenas;
+  arenas.reserve(n_levels);
+  std::vector<std::uint64_t> table(std::size_t{n_levels} * 2, 0);
+  std::uint64_t payload_bytes = 0;
+  for (std::uint32_t r = 0; r < n_levels; ++r) {
+    arenas.push_back(chain.arena(static_cast<int>(r)));
+    const std::uint64_t len = arenas.back().bytes().size();
+    table[r * 2] = payload_bytes;
+    table[r * 2 + 1] = len;
+    payload_bytes = align8(payload_bytes + len);
+  }
+  const std::uint64_t payload_off =
+      align8(sizeof(ChainFileHeader) + std::uint64_t{n_levels} * 16);
+  const std::uint64_t total = payload_off + payload_bytes;
+
+  if (options_.max_bytes != 0) {
+    refresh_inventory();
+    std::error_code ec;
+    const std::uint64_t replaced =
+        already > 0 ? static_cast<std::uint64_t>(fs::file_size(path, ec)) : 0;
+    const std::uint64_t current =
+        file_bytes_.load(std::memory_order_relaxed);
+    if (current - std::min(current, replaced) + total > options_.max_bytes) {
+      publish_skipped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+  }
+
+  // Checksum over the payload exactly as laid out (including the
+  // inter-level alignment padding, which the buffer makes zero).
+  std::vector<char> payload(static_cast<std::size_t>(payload_bytes), 0);
+  for (std::uint32_t r = 0; r < n_levels; ++r) {
+    const auto blob = arenas[r].bytes();
+    std::memcpy(payload.data() + table[r * 2], blob.data(), blob.size());
+  }
+  ChainFileHeader header{};
+  std::memcpy(header.magic, kStoreMagic, sizeof(kStoreMagic));
+  header.version = kStoreVersion;
+  header.n_levels = n_levels;
+  header.fingerprint = fingerprint;
+  header.payload_bytes = payload_bytes;
+  header.payload_checksum = topo::fnv1a(
+      topo::kFnvOffset, std::string_view(payload.data(), payload.size()));
+
+  const std::string tmp = options_.dir + "/.tmp-" +
+                          std::to_string(static_cast<long>(::getpid())) + "-" +
+                          fingerprint_hex(fingerprint);
+  const int fd =
+      ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    publish_skipped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  const std::vector<char> gap(
+      static_cast<std::size_t>(payload_off) - sizeof(ChainFileHeader) -
+          std::size_t{n_levels} * 16,
+      0);
+  const bool wrote = write_all(fd, &header, sizeof(header)) &&
+                     write_all(fd, table.data(), table.size() * 8) &&
+                     (gap.empty() || write_all(fd, gap.data(), gap.size())) &&
+                     write_all(fd, payload.data(), payload.size()) &&
+                     ::fsync(fd) == 0;
+  ::close(fd);
+  if (!wrote || ::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    publish_skipped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  // Make the rename durable: fsync the directory.
+  const int dfd = ::open(options_.dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  publishes_.fetch_add(1, std::memory_order_relaxed);
+  refresh_inventory();
+  return true;
+}
+
+std::vector<ChainStore::Entry> ChainStore::list() {
+  std::vector<Entry> out;
+  if (!enabled_) return out;
+  std::error_code ec;
+  for (const auto& de : fs::directory_iterator(options_.dir, ec)) {
+    const std::string name = de.path().filename().string();
+    if (name.size() != 6 + 16 + 4 || name.rfind("chain-", 0) != 0 ||
+        name.substr(6 + 16) != ".wfc") {
+      continue;
+    }
+    Entry e;
+    char* end = nullptr;
+    e.fingerprint = std::strtoull(name.substr(6, 16).c_str(), &end, 16);
+    std::error_code sec;
+    e.bytes = static_cast<std::uint64_t>(de.file_size(sec));
+    out.push_back(e);
+  }
+  std::uint64_t total = 0;
+  for (const Entry& e : out) total += e.bytes;
+  files_.store(out.size(), std::memory_order_relaxed);
+  file_bytes_.store(total, std::memory_order_relaxed);
+  return out;
+}
+
+void ChainStore::refresh_inventory() { (void)list(); }
+
+StoreStats ChainStore::stats() const {
+  StoreStats s;
+  s.lookups = lookups_.load(std::memory_order_relaxed);
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.fallbacks = fallbacks_.load(std::memory_order_relaxed);
+  s.publishes = publishes_.load(std::memory_order_relaxed);
+  s.publish_skipped = publish_skipped_.load(std::memory_order_relaxed);
+  s.mapped_bytes = mapped_bytes_->load(std::memory_order_relaxed);
+  s.files = files_.load(std::memory_order_relaxed);
+  s.file_bytes = file_bytes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace wfc::store

@@ -1,0 +1,132 @@
+// Persistent content-addressed store of canonical SDS chains.
+//
+// SDS^k is a pure function of the input complex, so a chain is fully
+// identified by complex_fingerprint(level 0) -- the same key SdsCache
+// memoizes by.  The store keeps one file per fingerprint,
+//
+//   <dir>/chain-<%016x fingerprint>.wfc
+//
+// holding the serialized topo::Arena blob of every level behind a
+// versioned + checksummed header.  Readers mmap the file read-only and
+// hand the levels to proto::SdsChain as a ChainBacking: the kernel page
+// cache then shares ONE physical copy of the deep towers across every
+// wfc_serve shard on the box, and a restarted shard answers its first
+// deep query without building anything.
+//
+// Durability and concurrency:
+//   * publish writes <dir>/.tmp-<pid>-<fp>, fsyncs, and renames into
+//     place -- atomic on POSIX, so readers see either the old complete
+//     file or the new complete file, never a torn one.  Concurrent
+//     publishers race benignly (last rename wins; content is identical
+//     by construction).  A reader holding the old mapping keeps it:
+//     rename only unlinks the name.
+//   * load verifies magic, version, and the FNV-1a checksum over the
+//     whole payload before serving, then bounds-validates every arena
+//     header.  ANY failure -- truncation, corruption, version skew --
+//     counts a fallback and behaves as a miss (callers rebuild in
+//     memory); the store never crashes the process and never serves a
+//     bad chain.
+//   * readonly mode (shared store directories, e.g. one writer + N
+//     reader shards) turns publish into a counted no-op.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "protocol/sds_chain.hpp"
+
+namespace wfc::store {
+
+inline constexpr char kStoreMagic[8] = {'W', 'F', 'C', 'S', 'T', 'O', 'R', '1'};
+inline constexpr std::uint32_t kStoreVersion = 1;
+
+/// On-disk file header, followed by a u64 offset/size table (2 entries per
+/// level, byte offsets relative to the payload start) and the payload: the
+/// concatenated 8-byte-aligned arena blobs of levels 0..n_levels-1.
+struct ChainFileHeader {
+  char magic[8];
+  std::uint32_t version;
+  std::uint32_t n_levels;
+  std::uint64_t fingerprint;       // complex_fingerprint(level 0)
+  std::uint64_t payload_bytes;
+  std::uint64_t payload_checksum;  // FNV-1a over the payload bytes
+};
+
+struct StoreStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;            // load() served an mmap'ed chain
+  std::uint64_t misses = 0;          // no file for the fingerprint
+  std::uint64_t fallbacks = 0;       // file present but unusable
+  std::uint64_t publishes = 0;       // files written
+  std::uint64_t publish_skipped = 0; // readonly / shallower / over budget
+  std::uint64_t mapped_bytes = 0;    // bytes in currently live mappings
+  std::uint64_t files = 0;           // on-disk inventory (last refresh)
+  std::uint64_t file_bytes = 0;
+};
+
+class ChainStore {
+ public:
+  struct Options {
+    std::string dir;  // empty disables the store entirely
+    bool readonly = false;
+    /// On-disk byte budget; publishes that would exceed it are skipped
+    /// (the store never evicts -- it is an operator-managed artifact
+    /// cache).  0 = unlimited.
+    std::uint64_t max_bytes = 0;
+  };
+
+  /// Creates `dir` (one level) when writable.  Directory problems leave
+  /// the store disabled rather than throwing: serving must start even if
+  /// the store volume is missing.
+  explicit ChainStore(Options options);
+
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+  /// Opens, verifies, and mmaps the stored chain for `fingerprint`.
+  /// Returns nullptr on miss or fallback (see file comment); the returned
+  /// chain's depth is whatever was stored (callers extend if short).
+  [[nodiscard]] std::shared_ptr<const proto::SdsChain> load(
+      std::uint64_t fingerprint);
+
+  /// Serializes `chain` under `fingerprint` unless the store is readonly,
+  /// a same-or-deeper file already exists, or the byte budget would be
+  /// exceeded.  Returns true when a file was written.
+  bool publish(std::uint64_t fingerprint, const proto::SdsChain& chain);
+
+  struct Entry {
+    std::uint64_t fingerprint = 0;
+    std::uint64_t bytes = 0;
+  };
+  /// On-disk inventory (also refreshes the files/file_bytes gauges).
+  [[nodiscard]] std::vector<Entry> list();
+
+  [[nodiscard]] StoreStats stats() const;
+
+  /// Path of the chain file for a fingerprint (test/debug aid).
+  [[nodiscard]] std::string file_path(std::uint64_t fingerprint) const;
+
+ private:
+  void refresh_inventory();
+
+  Options options_;
+  bool enabled_ = false;
+
+  // Counters are plain atomics: the store sits behind SdsCache's
+  // per-entry build lock on the hot path, so contention is nil.
+  std::shared_ptr<std::atomic<std::uint64_t>> mapped_bytes_ =
+      std::make_shared<std::atomic<std::uint64_t>>(0);
+  std::atomic<std::uint64_t> lookups_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> fallbacks_{0};
+  std::atomic<std::uint64_t> publishes_{0};
+  std::atomic<std::uint64_t> publish_skipped_{0};
+  std::atomic<std::uint64_t> files_{0};
+  std::atomic<std::uint64_t> file_bytes_{0};
+};
+
+}  // namespace wfc::store

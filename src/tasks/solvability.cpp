@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/assert.hpp"
+#include "tasks/arena_search.hpp"
 
 namespace wfc::task {
 
@@ -319,8 +320,15 @@ SolveResult search_level(const Task& task, int level,
                          std::shared_ptr<const proto::SdsChain> chain,
                          const SolveOptions& options) {
   SolveResult result;
-  Search search(task, chain->level(level), options);
-  result.status = search.run(result.decision, result.nodes_explored);
+  if (options.engine == SolveEngine::kArena) {
+    // The default engine: flat spans, bitmask domains (arena_search.cpp).
+    // For store-backed chains arena(level) is a zero-copy view of the mmap.
+    result.status = arena_search(task, chain->arena(level), options,
+                                 result.decision, result.nodes_explored);
+  } else {
+    Search search(task, chain->level(level), options);
+    result.status = search.run(result.decision, result.nodes_explored);
+  }
   if (result.status == Solvability::kSolvable) {
     result.level = level;
     result.chain = chain->depth() == level

@@ -65,6 +65,17 @@ using ChainProvider =
     std::function<std::shared_ptr<const proto::SdsChain>(
         const topo::ChromaticComplex& input, int depth)>;
 
+/// Which backtracking engine runs the Prop 3.1 search.  Both explore the
+/// identical search tree (same variable/value order, same AC-3 fixpoints)
+/// and return identical verdicts, decisions, and node counts; kArena walks
+/// flat topo::Arena spans with bitmask domains and precomputed pair tables
+/// (tasks/arena_search.cpp), kLegacy walks the pointer-based
+/// ChromaticComplex and is kept as the reference/baseline engine.
+enum class SolveEngine {
+  kArena,
+  kLegacy,
+};
+
 struct SolveOptions {
   std::uint64_t node_budget = 50'000'000;  // backtracking nodes per level
   /// Absolute deadline; the search returns kCancelled once it passes.
@@ -86,6 +97,8 @@ struct SolveOptions {
   /// When set, solve/solve_at_level obtain SDS chains here instead of
   /// building privately (the provider may return an already-deeper chain).
   ChainProvider chain_provider;
+  /// Search engine; kArena unless explicitly benchmarking the baseline.
+  SolveEngine engine = SolveEngine::kArena;
 };
 
 /// Decides level-b solvability exactly (within the node budget).

@@ -1,0 +1,197 @@
+// topo::Arena -- the data-oriented SoA core behind the PR-9 solver and the
+// persistent chain store.  Three contracts are pinned here:
+//
+//   1. Round-trip fidelity: Arena::build(K).materialize() reproduces K up
+//      to canonical fingerprint (same vertices/colors/carriers/facets in
+//      the same order), and view(bytes) over a materialized blob is
+//      byte-identical to the builder's output.
+//   2. Blob validation: view() rejects truncation, bad magic, version
+//      skew, and corrupted CSR tables with std::invalid_argument instead
+//      of serving out-of-bounds spans.
+//   3. Engine equivalence: the arena search explores the IDENTICAL tree as
+//      the legacy ChromaticComplex search -- same verdicts, same decision
+//      maps, same nodes_explored, level by level, across the canonical
+//      task families.  (Same discipline as chain_reuse_test: any
+//      divergence in the exact node count means the rewrite changed the
+//      search, not just its memory layout.)
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "tasks/canonical.hpp"
+#include "tasks/solvability.hpp"
+#include "topology/arena.hpp"
+#include "topology/complex.hpp"
+#include "topology/hash.hpp"
+#include "topology/subdivision.hpp"
+
+namespace wfc::topo {
+namespace {
+
+ChromaticComplex sds_tower(int procs, int depth) {
+  ChromaticComplex k = base_simplex(procs);
+  for (int r = 0; r < depth; ++r) k = standard_chromatic_subdivision(k);
+  return k;
+}
+
+TEST(Arena, RoundTripPreservesFingerprint) {
+  for (int procs = 1; procs <= 3; ++procs) {
+    for (int depth = 0; depth <= 2; ++depth) {
+      if (procs == 3 && depth > 1) continue;  // keep the suite fast
+      SCOPED_TRACE("procs=" + std::to_string(procs) +
+                   " depth=" + std::to_string(depth));
+      const ChromaticComplex k = sds_tower(procs, depth);
+      const Arena a = Arena::build(k);
+      ASSERT_TRUE(a.valid());
+      EXPECT_EQ(a.num_vertices(), k.num_vertices());
+      EXPECT_EQ(a.num_facets(), k.facets().size());
+      const ChromaticComplex back = a.materialize();
+      EXPECT_EQ(complex_fingerprint(back), complex_fingerprint(k));
+    }
+  }
+}
+
+TEST(Arena, PerVertexDataMatchesComplex) {
+  const ChromaticComplex k = sds_tower(2, 2);
+  const Arena a = Arena::build(k);
+  for (VertexId v = 0; v < k.num_vertices(); ++v) {
+    const VertexData& data = k.vertex(v);
+    EXPECT_EQ(a.colors()[v], static_cast<std::uint8_t>(data.color));
+    EXPECT_EQ(a.carrier_masks()[v], data.carrier.mask());
+    EXPECT_EQ(a.key(v), data.key);
+    const auto bc = a.base_carrier(v);
+    ASSERT_EQ(bc.size(), data.base_carrier.size());
+    for (std::size_t i = 0; i < bc.size(); ++i) {
+      EXPECT_EQ(bc[i], data.base_carrier[i]);
+    }
+  }
+  ASSERT_EQ(a.num_facets(), k.facets().size());
+  for (std::uint32_t f = 0; f < a.num_facets(); ++f) {
+    const auto fa = a.facet(f);
+    const Simplex& fk = k.facets()[f];
+    ASSERT_EQ(fa.size(), fk.size());
+    for (std::size_t i = 0; i < fa.size(); ++i) EXPECT_EQ(fa[i], fk[i]);
+  }
+}
+
+TEST(Arena, ViewOverMaterializedBlobIsIdentical) {
+  const ChromaticComplex k = sds_tower(2, 1);
+  const Arena a = Arena::build(k);
+  const auto bytes = a.bytes();
+  auto copy = std::make_shared<std::vector<std::byte>>(bytes.begin(),
+                                                       bytes.end());
+  const Arena v = Arena::view({copy->data(), copy->size()}, copy);
+  ASSERT_TRUE(v.valid());
+  EXPECT_EQ(v.num_vertices(), a.num_vertices());
+  EXPECT_EQ(complex_fingerprint(v.materialize()), complex_fingerprint(k));
+}
+
+TEST(Arena, ViewRejectsMalformedBlobs) {
+  const ChromaticComplex k = sds_tower(2, 1);
+  const Arena a = Arena::build(k);
+  const auto bytes = a.bytes();
+  auto blob = std::make_shared<std::vector<std::byte>>(bytes.begin(),
+                                                       bytes.end());
+
+  // Truncation: every prefix strictly shorter than the blob must throw.
+  for (std::size_t cut : {std::size_t{0}, std::size_t{8},
+                          blob->size() / 2, blob->size() - 1}) {
+    EXPECT_THROW(Arena::view({blob->data(), cut}, blob),
+                 std::invalid_argument)
+        << "cut=" << cut;
+  }
+
+  // Bad magic.
+  {
+    auto bad = std::make_shared<std::vector<std::byte>>(*blob);
+    (*bad)[0] = std::byte{0xff};
+    EXPECT_THROW(Arena::view({bad->data(), bad->size()}, bad),
+                 std::invalid_argument);
+  }
+  // Version skew.
+  {
+    auto bad = std::make_shared<std::vector<std::byte>>(*blob);
+    const std::uint32_t future = kArenaVersion + 1;
+    std::memcpy(bad->data() + sizeof(std::uint32_t), &future,
+                sizeof(future));
+    EXPECT_THROW(Arena::view({bad->data(), bad->size()}, bad),
+                 std::invalid_argument);
+  }
+  // Corrupted header counts (vertex count inflated past every table).
+  {
+    auto bad = std::make_shared<std::vector<std::byte>>(*blob);
+    ArenaHeader h;
+    std::memcpy(&h, bad->data(), sizeof(h));
+    h.n_vertices *= 1000;
+    std::memcpy(bad->data(), &h, sizeof(h));
+    EXPECT_THROW(Arena::view({bad->data(), bad->size()}, bad),
+                 std::invalid_argument);
+  }
+}
+
+}  // namespace
+}  // namespace wfc::topo
+
+namespace wfc::task {
+namespace {
+
+struct Case {
+  std::shared_ptr<Task> task;
+  int max_level;
+};
+
+std::vector<Case> canonical_cases() {
+  std::vector<Case> cases;
+  cases.push_back({std::make_shared<ConsensusTask>(2, 2), 2});
+  cases.push_back({std::make_shared<KSetConsensusTask>(3, 2), 1});
+  cases.push_back({std::make_shared<RenamingTask>(2, 2), 2});
+  cases.push_back({std::make_shared<ApproxAgreementTask>(2, 3), 2});
+  cases.push_back({std::make_shared<ApproxAgreementTask>(2, 9), 2});
+  cases.push_back({std::make_shared<IdentityTask>(topo::base_simplex(3)), 1});
+  return cases;
+}
+
+TEST(ArenaSearch, MatchesLegacyEngineExactly) {
+  for (const Case& c : canonical_cases()) {
+    SCOPED_TRACE(c.task->name());
+    for (int level = 0; level <= c.max_level; ++level) {
+      SCOPED_TRACE("level=" + std::to_string(level));
+      SolveOptions arena_opts;
+      arena_opts.engine = SolveEngine::kArena;
+      SolveOptions legacy_opts;
+      legacy_opts.engine = SolveEngine::kLegacy;
+      const SolveResult a = solve_at_level(*c.task, level, arena_opts);
+      const SolveResult l = solve_at_level(*c.task, level, legacy_opts);
+      EXPECT_EQ(a.status, l.status);
+      EXPECT_EQ(a.level, l.level);
+      EXPECT_EQ(a.nodes_explored, l.nodes_explored)
+          << "engines explored different trees";
+      EXPECT_EQ(a.decision, l.decision);
+    }
+  }
+}
+
+TEST(ArenaSearch, MatchesLegacyUnderBudgetExhaustion) {
+  // A budget small enough to cut both searches off mid-tree: the kUnknown
+  // verdict AND the exact node count at which it triggers must agree.
+  ConsensusTask task(2, 2);
+  for (const std::uint64_t budget : {1ull, 7ull, 50ull}) {
+    SCOPED_TRACE("budget=" + std::to_string(budget));
+    SolveOptions arena_opts;
+    arena_opts.engine = SolveEngine::kArena;
+    arena_opts.node_budget = budget;
+    SolveOptions legacy_opts;
+    legacy_opts.engine = SolveEngine::kLegacy;
+    legacy_opts.node_budget = budget;
+    const SolveResult a = solve(task, 2, arena_opts);
+    const SolveResult l = solve(task, 2, legacy_opts);
+    EXPECT_EQ(a.status, l.status);
+    EXPECT_EQ(a.nodes_explored, l.nodes_explored);
+  }
+}
+
+}  // namespace
+}  // namespace wfc::task

@@ -1,0 +1,365 @@
+// store::ChainStore -- the persistent content-addressed chain store -- and
+// its integration with svc::SdsCache.
+//
+// The robustness contract under test: the store NEVER crashes the process
+// and NEVER serves a bad chain.  Truncated, corrupted, and version-skewed
+// files all count a fallback and behave as a miss (callers rebuild in
+// memory).  The warm-start contract: a second process (or a restart) over
+// the same --store-dir answers from the mmap with ZERO chain builds --
+// chain_builds == misses + extensions == 0 is exactly what the store-smoke
+// CI job asserts.
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "protocol/sds_chain.hpp"
+#include "service/sds_cache.hpp"
+#include "store/chain_store.hpp"
+#include "topology/complex.hpp"
+#include "topology/hash.hpp"
+
+namespace wfc::store {
+namespace {
+
+/// Fresh temp directory per test; removed on scope exit.
+struct TempDir {
+  TempDir() {
+    char tmpl[] = "/tmp/wfc_store_test_XXXXXX";
+    const char* p = ::mkdtemp(tmpl);
+    EXPECT_NE(p, nullptr);
+    path = p;
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+proto::SdsChain make_chain(int procs, int depth) {
+  return proto::SdsChain(topo::base_simplex(procs), depth);
+}
+
+std::uint64_t fp_of(int procs) {
+  return topo::complex_fingerprint(topo::base_simplex(procs));
+}
+
+TEST(ChainStore, PublishThenLoadRoundTrips) {
+  TempDir dir;
+  ChainStore store({.dir = dir.path});
+  ASSERT_TRUE(store.enabled());
+  const proto::SdsChain chain = make_chain(2, 2);
+  const std::uint64_t fp = fp_of(2);
+  ASSERT_TRUE(store.publish(fp, chain));
+
+  const auto loaded = store.load(fp);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->depth(), 2);
+  for (int r = 0; r <= 2; ++r) {
+    EXPECT_EQ(topo::complex_fingerprint(loaded->level(r)),
+              topo::complex_fingerprint(chain.level(r)))
+        << "level " << r;
+  }
+  const StoreStats s = store.stats();
+  EXPECT_EQ(s.publishes, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.fallbacks, 0u);
+  EXPECT_EQ(s.files, 1u);
+  EXPECT_GT(s.file_bytes, 0u);
+}
+
+TEST(ChainStore, MissingFingerprintIsAMiss) {
+  TempDir dir;
+  ChainStore store({.dir = dir.path});
+  EXPECT_EQ(store.load(0xdeadbeefull), nullptr);
+  EXPECT_EQ(store.stats().misses, 1u);
+  EXPECT_EQ(store.stats().fallbacks, 0u);
+}
+
+TEST(ChainStore, ShallowerPublishIsSkippedDeeperReplaces) {
+  TempDir dir;
+  ChainStore store({.dir = dir.path});
+  const std::uint64_t fp = fp_of(2);
+  ASSERT_TRUE(store.publish(fp, make_chain(2, 2)));
+  EXPECT_FALSE(store.publish(fp, make_chain(2, 1)));  // shallower: no-op
+  EXPECT_EQ(store.stats().publish_skipped, 1u);
+  EXPECT_TRUE(store.publish(fp, make_chain(2, 3)));  // deeper: replaces
+  const auto loaded = store.load(fp);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->depth(), 3);
+}
+
+TEST(ChainStore, TruncatedFileFallsBackNeverServes) {
+  TempDir dir;
+  ChainStore store({.dir = dir.path});
+  const std::uint64_t fp = fp_of(2);
+  ASSERT_TRUE(store.publish(fp, make_chain(2, 2)));
+  const std::string path = store.file_path(fp);
+
+  struct stat st{};
+  ASSERT_EQ(::stat(path.c_str(), &st), 0);
+  for (const off_t cut : {st.st_size / 2, off_t{16}, off_t{0}}) {
+    ASSERT_EQ(::truncate(path.c_str(), cut), 0);
+    EXPECT_EQ(store.load(fp), nullptr) << "cut=" << cut;
+  }
+  EXPECT_EQ(store.stats().fallbacks, 3u);
+  EXPECT_EQ(store.stats().hits, 0u);
+}
+
+TEST(ChainStore, CorruptedPayloadFailsChecksum) {
+  TempDir dir;
+  ChainStore store({.dir = dir.path});
+  const std::uint64_t fp = fp_of(2);
+  ASSERT_TRUE(store.publish(fp, make_chain(2, 2)));
+  const std::string path = store.file_path(fp);
+
+  struct stat st{};
+  ASSERT_EQ(::stat(path.c_str(), &st), 0);
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(st.st_size - 5);
+    char byte = 0;
+    f.read(&byte, 1);
+    f.seekp(st.st_size - 5);
+    byte = static_cast<char>(byte ^ 0x5a);
+    f.write(&byte, 1);
+  }
+  EXPECT_EQ(store.load(fp), nullptr);
+  EXPECT_GE(store.stats().fallbacks, 1u);
+}
+
+TEST(ChainStore, VersionSkewFallsBack) {
+  TempDir dir;
+  ChainStore store({.dir = dir.path});
+  const std::uint64_t fp = fp_of(2);
+  ASSERT_TRUE(store.publish(fp, make_chain(2, 1)));
+  const std::string path = store.file_path(fp);
+  {
+    // version is the u32 right after the 8-byte magic.
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(8);
+    const std::uint32_t future = kStoreVersion + 7;
+    f.write(reinterpret_cast<const char*>(&future), sizeof(future));
+  }
+  EXPECT_EQ(store.load(fp), nullptr);
+  EXPECT_GE(store.stats().fallbacks, 1u);
+}
+
+TEST(ChainStore, ReadonlyNeverPublishes) {
+  TempDir dir;
+  {
+    ChainStore writer({.dir = dir.path});
+    ASSERT_TRUE(writer.publish(fp_of(2), make_chain(2, 1)));
+  }
+  ChainStore ro({.dir = dir.path, .readonly = true});
+  ASSERT_TRUE(ro.enabled());
+  EXPECT_FALSE(ro.publish(fp_of(3), make_chain(3, 1)));
+  EXPECT_EQ(ro.stats().publish_skipped, 1u);
+  EXPECT_NE(ro.load(fp_of(2)), nullptr);  // reads still served
+}
+
+TEST(ChainStore, ReadonlyOverMissingDirIsDisabledNotFatal) {
+  ChainStore ro({.dir = "/nonexistent/wfc-store", .readonly = true});
+  EXPECT_FALSE(ro.enabled());
+  EXPECT_EQ(ro.load(fp_of(2)), nullptr);
+  EXPECT_FALSE(ro.publish(fp_of(2), make_chain(2, 1)));
+}
+
+TEST(ChainStore, ByteBudgetSkipsOversizedPublishes) {
+  TempDir dir;
+  ChainStore store({.dir = dir.path, .max_bytes = 64});  // < any chain file
+  EXPECT_FALSE(store.publish(fp_of(2), make_chain(2, 1)));
+  EXPECT_EQ(store.stats().publish_skipped, 1u);
+  EXPECT_EQ(store.stats().publishes, 0u);
+  EXPECT_TRUE(store.list().empty());
+}
+
+// The headline contract: a second PROCESS over the same store directory,
+// read-only, serves the tower from the shared mapping without building
+// anything.  Forked child + _exit keeps this ASan-clean.
+TEST(ChainStore, SecondProcessStartsWarmReadonly) {
+  TempDir dir;
+  {
+    ChainStore writer({.dir = dir.path});
+    ASSERT_TRUE(writer.publish(fp_of(2), make_chain(2, 2)));
+  }
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: read-only open, full verification, zero builds.  Any failure
+    // exits non-zero; gtest macros are unusable post-fork, so check by
+    // hand.
+    int rc = 0;
+    {
+      ChainStore ro({.dir = dir.path, .readonly = true});
+      const auto chain = ro.load(fp_of(2));
+      const proto::SdsChain fresh = make_chain(2, 2);
+      if (chain == nullptr || chain->depth() != 2) {
+        rc = 1;
+      } else {
+        for (int r = 0; r <= 2 && rc == 0; ++r) {
+          if (topo::complex_fingerprint(chain->level(r)) !=
+              topo::complex_fingerprint(fresh.level(r))) {
+            rc = 2;
+          }
+        }
+        if (rc == 0 && ro.stats().hits != 1) rc = 3;
+        if (rc == 0 && ro.stats().fallbacks != 0) rc = 4;
+      }
+    }
+    ::_exit(rc);
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0) << "child verification failed";
+}
+
+}  // namespace
+}  // namespace wfc::store
+
+namespace wfc::svc {
+namespace {
+
+using store::ChainStore;
+
+struct TempDir {
+  TempDir() {
+    char tmpl[] = "/tmp/wfc_store_cache_XXXXXX";
+    const char* p = ::mkdtemp(tmpl);
+    EXPECT_NE(p, nullptr);
+    path = p;
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+SdsCache::Options with_store(const std::string& dir, bool readonly = false) {
+  SdsCache::Options options;
+  options.store.dir = dir;
+  options.store.readonly = readonly;
+  return options;
+}
+
+TEST(SdsCacheStore, RestartServesFromStoreWithZeroChainBuilds) {
+  TempDir dir;
+  const topo::ChromaticComplex input = topo::base_simplex(2);
+
+  {
+    SdsCache cold(with_store(dir.path));
+    bool built = false;
+    cold.chain_for(input, 2, &built);
+    EXPECT_TRUE(built);
+    EXPECT_EQ(cold.stats().chain_builds(), 1u);
+    EXPECT_EQ(cold.store_stats().publishes, 1u);
+  }
+
+  // "Restart": a fresh cache over the same directory.
+  SdsCache warm(with_store(dir.path));
+  bool built = true;
+  const auto chain = warm.chain_for(input, 2, &built);
+  EXPECT_FALSE(built);
+  ASSERT_NE(chain, nullptr);
+  EXPECT_EQ(chain->depth(), 2);
+  const CacheStats cs = warm.stats();
+  EXPECT_EQ(cs.chain_builds(), 0u) << "warm restart must not build";
+  EXPECT_EQ(cs.misses, 0u);
+  EXPECT_EQ(cs.extensions, 0u);
+  EXPECT_EQ(cs.hits, 1u);
+  EXPECT_EQ(cs.store_hits, 1u);
+}
+
+TEST(SdsCacheStore, DeeperRequestExtendsStoredChainAndRepublishes) {
+  TempDir dir;
+  const topo::ChromaticComplex input = topo::base_simplex(2);
+  {
+    SdsCache cold(with_store(dir.path));
+    cold.chain_for(input, 1);
+  }
+  SdsCache warm(with_store(dir.path));
+  bool built = false;
+  const auto chain = warm.chain_for(input, 2, &built);
+  EXPECT_TRUE(built);  // extension beyond the stored depth is real work
+  EXPECT_EQ(chain->depth(), 2);
+  const CacheStats cs = warm.stats();
+  EXPECT_EQ(cs.misses, 0u);
+  EXPECT_EQ(cs.extensions, 1u);
+  EXPECT_EQ(cs.store_hits, 1u);
+  // The deepened tower went back to disk: a third cache starts fully warm.
+  SdsCache third(with_store(dir.path));
+  bool built3 = true;
+  third.chain_for(input, 2, &built3);
+  EXPECT_FALSE(built3);
+  EXPECT_EQ(third.stats().chain_builds(), 0u);
+}
+
+TEST(SdsCacheStore, WarmAdmitsEveryStoredChain) {
+  TempDir dir;
+  {
+    SdsCache cold(with_store(dir.path));
+    cold.chain_for(topo::base_simplex(2), 2);
+    cold.chain_for(topo::base_simplex(3), 1);
+  }
+  SdsCache warm(with_store(dir.path));
+  EXPECT_EQ(warm.warm(), 2u);
+  const CacheStats cs = warm.stats();
+  EXPECT_EQ(cs.entries, 2u);
+  EXPECT_EQ(cs.store_hits, 2u);
+  EXPECT_GT(cs.resident_vertices, 0u);
+  bool built = true;
+  warm.chain_for(topo::base_simplex(2), 2, &built);
+  EXPECT_FALSE(built);
+  EXPECT_EQ(warm.stats().chain_builds(), 0u);
+}
+
+TEST(SdsCacheStore, PinUnpinLifecycle) {
+  TempDir dir;
+  SdsCache cache(with_store(dir.path));
+  const topo::ChromaticComplex input = topo::base_simplex(2);
+  const std::uint64_t fp = topo::complex_fingerprint(input);
+
+  EXPECT_FALSE(cache.pin(fp));  // nothing resident yet
+  cache.chain_for(input, 1);
+  EXPECT_TRUE(cache.pin(fp));
+  EXPECT_FALSE(cache.pin(fp));  // double pin refused
+  EXPECT_EQ(cache.stats().pinned, 1u);
+  EXPECT_TRUE(cache.unpin(fp));
+  EXPECT_FALSE(cache.unpin(fp));
+  EXPECT_EQ(cache.stats().pinned, 0u);
+}
+
+TEST(SdsCacheStore, CorruptStoreFallsBackToInMemoryBuild) {
+  TempDir dir;
+  const topo::ChromaticComplex input = topo::base_simplex(2);
+  std::string file;
+  {
+    SdsCache cold(with_store(dir.path));
+    cold.chain_for(input, 2);
+    file = cold.store()->file_path(topo::complex_fingerprint(input));
+  }
+  ASSERT_EQ(::truncate(file.c_str(), 32), 0);
+
+  SdsCache warm(with_store(dir.path));
+  bool built = false;
+  const auto chain = warm.chain_for(input, 2, &built);
+  EXPECT_TRUE(built);  // fallback rebuilt; never served the bad file
+  ASSERT_NE(chain, nullptr);
+  EXPECT_EQ(chain->depth(), 2);
+  EXPECT_EQ(warm.store_stats().fallbacks, 1u);
+  EXPECT_EQ(warm.stats().store_hits, 0u);
+}
+
+}  // namespace
+}  // namespace wfc::svc
