@@ -5,6 +5,12 @@
 //   wfc_loadgen --connect host:port [--corpus FILE] [--connections N]
 //               [--iterations N] [--duration-ms N] [--inflight N]
 //               [--rate QPS] [--check-metrics] [--cluster] [--out FILE]
+//               [--model NAME]... [--model-mix A,B,C]
+//
+// --model NAME (repeatable) / --model-mix A,B,C add wfc::model wire names
+// to the mix: the corpus is expanded to one pass per model with "model"
+// spliced into every eligible line (solve / convergence / sds checks), and
+// the report counts sends per model ("model_<name>" keys).
 //
 // Closed loop by default: each connection keeps up to --inflight requests
 // outstanding over --iterations passes of the corpus.  --rate switches to
@@ -48,10 +54,13 @@ int usage() {
       "                   [--connections N] [--iterations N]\n"
       "                   [--duration-ms N] [--inflight N] [--rate QPS]\n"
       "                   [--check-metrics] [--cluster] [--out FILE]\n"
+      "                   [--model NAME]... [--model-mix A,B,C]\n"
       "Reads the corpus from FILE (default stdin), drives the server, and\n"
       "prints a JSON report line.  Exit 0 only on exactly-once delivery.\n"
       "  --cluster  also fetch and print {\"op\":\"cluster_stats\"} from\n"
-      "             a wfc_router front end after the run\n");
+      "             a wfc_router front end after the run\n"
+      "  --model / --model-mix  splice wfc::model names into eligible\n"
+      "             corpus lines, one corpus pass per model\n");
   return 2;
 }
 
@@ -85,6 +94,20 @@ int main(int argc, char** argv) {
       config.max_inflight = static_cast<std::size_t>(std::atol(value));
     } else if (arg == "--rate" && (value = next())) {
       config.rate = std::atof(value);
+    } else if (arg == "--model" && (value = next())) {
+      config.models.emplace_back(value);
+    } else if (arg == "--model-mix" && (value = next())) {
+      std::string mix = value;
+      std::size_t pos = 0;
+      while (pos <= mix.size()) {
+        const std::size_t comma = mix.find(',', pos);
+        const std::string name =
+            mix.substr(pos, comma == std::string::npos ? std::string::npos
+                                                       : comma - pos);
+        if (!name.empty()) config.models.push_back(name);
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
     } else if (arg == "--check-metrics") {
       config.check_metrics = true;
     } else if (arg == "--cluster") {

@@ -56,12 +56,22 @@ struct ExploreOptions {
   std::uint64_t max_executions = 0;
   /// Cooperative cancellation (service layer); checked per execution.
   const std::atomic<bool>* cancel = nullptr;
+  /// Run-subset gate (the wfc::model adapter plugs in here): a complete
+  /// execution whose (schedule, crashes) the filter rejects is counted in
+  /// ExploreStats::filtered and never reaches at_end.  Null admits every
+  /// execution.  Combining with symmetry_reduction is sound only when the
+  /// filter is color-symmetric (the built-in adversary models are; an
+  /// explicit affine window set generally is not).
+  std::function<bool(const std::vector<rt::Partition>&,
+                     const std::vector<ColorSet>&)>
+      run_filter;
 };
 
 struct ExploreStats {
   std::uint64_t executions = 0;        // complete executions emitted
   std::uint64_t crashy_executions = 0; // emitted executions with >= 1 crash
   std::uint64_t symmetry_pruned = 0;   // DFS branches cut as non-minimal
+  std::uint64_t filtered = 0;          // executions rejected by run_filter
   bool truncated = false;              // max_executions or cancel hit
 };
 
@@ -159,6 +169,10 @@ ExploreStats explore_iis(
     if (opt.max_executions != 0 && stats.executions >= opt.max_executions) {
       stats.truncated = true;
       stop = true;
+      return;
+    }
+    if (opt.run_filter && !opt.run_filter(schedule, crashes)) {
+      ++stats.filtered;
       return;
     }
     ++stats.executions;

@@ -403,14 +403,18 @@ std::uint64_t Router::make_key(const svc::Fields& fields) {
   if (config_.random_routing) {
     return mix64(seq_.load(std::memory_order_relaxed) + 1);
   }
-  // The canonical task identity: exactly the fields RequestHandler interns
-  // tasks by, so one fingerprint == one warm shard cache.
+  // The canonical (task, model) identity: the fields RequestHandler interns
+  // tasks by plus the model, so one fingerprint == one warm shard cache of
+  // that model's restricted towers.  An explicit wait_free is dropped to
+  // hash identically to omitting the field (the handler normalizes the
+  // same way).
   std::string key;
   for (const auto& [k, v] : fields) {
     if (k == "id" || k == "op" || k == "max_level" || k == "budget" ||
         k == "timeout_ms") {
       continue;
     }
+    if (k == "model" && v == "wait_free") continue;
     key += k;
     key += '=';
     key += v;

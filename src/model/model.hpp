@@ -1,0 +1,167 @@
+// wfc::model -- model-parameterized solvability (the generalized ACT view).
+//
+// The paper characterizes wait-free computability: a task is solvable iff a
+// color-preserving simplicial map exists on SDS^b(I) for some b, where the
+// quantification runs over ALL bounded IIS runs.  Gafni-Kuznetsov-Manolescu
+// observe that the same machinery characterizes any model defined as a
+// SUBSET of IIS runs, and Gafni-He-Kuznetsov-Rieutord show the canonical
+// sub-models (k-concurrency, k-set-consensus memories) are captured by
+// AFFINE TASKS -- subcomplexes of an iterated standard chromatic
+// subdivision whose iteration generates exactly the admissible runs.
+//
+// A Model here is a predicate over bounded IIS runs (RunDesc below).  The
+// admissible subcomplex of SDS^b(I) is the downward closure of the SURVIVOR
+// simplices of admissible runs: for each run, the level-b vertices of the
+// processors that took all b rounds.  Crashes and partial participation use
+// the crash embedding of chk::explore_iis -- a processor that crashes at
+// round r is indistinguishable from one scheduled alone in the last block
+// of every round >= r, so every crashy run's survivor simplex is a face of
+// an ordinary facet (restrict.hpp recovers them by walking vertex keys).
+//
+// Built-ins:
+//   wait_free            identity; admits every run.  The solver bypasses
+//                        restriction entirely for this model, so results
+//                        are bit-for-bit identical to a model-less query.
+//   t_resilient(t)       at most t failures total (non-participation +
+//                        crashes), and no process ever advances before
+//                        n - t processes have written the current round:
+//                        every round's first block has size >= n - t.  This
+//                        is the per-round fairness subset IS_{n,t} (the
+//                        IRIS rendition).  t = n-1 coincides with
+//                        wait_free; t = 0 is the fully-synchronous model.
+//                        For 0 < t < n-1 it is a STRICT sub-model of a
+//                        genuine t-resilient adversary: waiting snapshots
+//                        are nested but not immediate, so the faithful
+//                        t-resilient model is an affine task over
+//                        multi-round windows (use affine_from_windows).
+//   k_concurrency(k)     some linear extension of the run's block events
+//                        keeps at most k processes simultaneously active
+//                        (active = between first and last WriteRead;
+//                        crashes truncate the interval).  k = 1 is the
+//                        sequential / obstruction-free-like core, k = n is
+//                        wait_free on full-participation runs.
+//   k_obstruction_free(k) eventually-k-concurrent: some suffix of the run's
+//                        rounds is k-concurrent.  A bounded rendition of
+//                        the GHKR k-OF adversary -- sound as a run subset
+//                        (it contains every k-concurrent run) but bounded
+//                        executions cannot express "eventually", so only
+//                        containment properties are asserted by tests.
+//   affine(m; M)         the affine-task iteration view: a run of b rounds
+//                        is admissible iff m divides b and every m-round
+//                        window is admissible under M (windows re-rooted as
+//                        standalone runs).  With M's level-m survivor
+//                        complex as the affine task A, this is the GHKR
+//                        "iterate A" model; affine_from_windows() builds
+//                        the same thing from an explicit A given as a
+//                        topo::Arena subcomplex (restrict.hpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/color_set.hpp"
+
+namespace wfc::model {
+
+/// One executed IIS round of a run: the ordered partition of the processors
+/// that performed a WriteRead this round, plus the processors newly crashed
+/// at this round (they write neither this round nor later).
+struct RunRound {
+  std::vector<ColorSet> blocks;
+  ColorSet crashed;
+};
+
+/// A bounded IIS run over a system of n_sys processors.  Non-participation
+/// is exclusion from `participants` (a processor silenced before its first
+/// write); `rounds[r].crashed` holds participants silenced at round r >= 1.
+/// Runs whose every participant crashes have no survivors and never
+/// contribute simplices, so predicates may assume every round has at least
+/// one block.
+struct RunDesc {
+  int n_sys = 0;
+  ColorSet participants;
+  std::vector<RunRound> rounds;
+
+  /// Participants silenced during the run.
+  [[nodiscard]] ColorSet crashed() const;
+  /// participants minus crashed(): the processors that took every round.
+  [[nodiscard]] ColorSet survivors() const;
+  /// Canonical textual form; equal runs (and only equal runs) render
+  /// equally, so this doubles as the dedupe / affine-window key.
+  [[nodiscard]] std::string signature() const;
+};
+
+/// Minimum over all linear extensions of the run's block events of the
+/// maximum number of simultaneously active processors, counting only rounds
+/// >= from_round.  A processor is active from its first to its last counted
+/// event; block order within a round and per-processor round order are the
+/// only precedence constraints.  0 when the (suffix of the) run has no
+/// events.
+[[nodiscard]] int run_concurrency(const RunDesc& run, int from_round = 0);
+
+class Model {
+ public:
+  enum class Kind {
+    kWaitFree,
+    kTResilient,
+    kKConcurrency,
+    kKObstructionFree,
+    kAffine,
+  };
+
+  static std::shared_ptr<const Model> wait_free();
+  static std::shared_ptr<const Model> t_resilient(int t);
+  static std::shared_ptr<const Model> k_concurrency(int k);
+  static std::shared_ptr<const Model> k_obstruction_free(int k);
+  /// Window model: m divides the round count and every m-round window is
+  /// admissible under `inner` (see file comment).
+  static std::shared_ptr<const Model> affine(int m,
+                                             std::shared_ptr<const Model> inner);
+  /// Window model over an explicit admissible-window signature set (the
+  /// signatures of the affine task's runs; built by
+  /// model::affine_task_windows in restrict.hpp).
+  static std::shared_ptr<const Model> affine_from_windows(
+      std::string name, int m, std::set<std::string> windows);
+
+  /// Parses a wire-format model name: "wait_free", "t_resilient(T)",
+  /// "k_concurrency(K)", "k_obstruction_free(K)", or "affine(M;<inner>)".
+  /// Throws std::invalid_argument on anything else.
+  static std::shared_ptr<const Model> parse(const std::string& name);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] int param() const noexcept { return param_; }
+  [[nodiscard]] bool is_wait_free() const noexcept {
+    return kind_ == Kind::kWaitFree;
+  }
+  /// Cache / store / memo key mixer: 0 for wait_free (so model-less keys
+  /// are unchanged), FNV-1a of the canonical name otherwise.
+  [[nodiscard]] std::uint64_t tag() const noexcept { return tag_; }
+  /// Window length for affine models, 0 otherwise.
+  [[nodiscard]] int window() const noexcept { return window_; }
+
+  [[nodiscard]] bool admits(const RunDesc& run) const;
+
+ private:
+  Model(Kind kind, int param, std::string name);
+
+  Kind kind_;
+  int param_;
+  std::string name_;
+  std::uint64_t tag_ = 0;
+  int window_ = 0;
+  std::shared_ptr<const Model> inner_;        // affine(m; inner)
+  std::set<std::string> windows_;             // affine_from_windows
+  bool has_window_set_ = false;
+};
+
+/// Mixes a model tag into a complex fingerprint (splitmix64 over the xor);
+/// tag 0 -- wait_free -- returns `fingerprint` unchanged, so pre-model keys
+/// and files keep their addresses.
+[[nodiscard]] std::uint64_t mix_fingerprint(std::uint64_t fingerprint,
+                                            std::uint64_t model_tag);
+
+}  // namespace wfc::model

@@ -1,0 +1,239 @@
+#include "model/oracle.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "topology/arena.hpp"
+
+namespace wfc::model {
+
+namespace {
+
+using topo::Arena;
+using topo::Simplex;
+using topo::VertexId;
+
+ColorSet map_colors(ColorSet procs, const std::vector<Color>& colors) {
+  ColorSet out;
+  for (Color p : procs) out = out.with(colors[static_cast<std::size_t>(p)]);
+  return out;
+}
+
+}  // namespace
+
+RunDesc run_from_execution(int n_sys, const std::vector<Color>& colors,
+                           const std::vector<rt::Partition>& schedule,
+                           const std::vector<ColorSet>& crashes) {
+  WFC_REQUIRE(schedule.size() == crashes.size(),
+              "run_from_execution: schedule/crash length mismatch");
+  RunDesc run;
+  run.n_sys = n_sys;
+  ColorSet all;
+  for (Color c : colors) all = all.with(c);
+  const ColorSet nonpart =
+      crashes.empty() ? ColorSet{} : map_colors(crashes.front(), colors);
+  run.participants = all.minus(nonpart);
+  for (std::size_t r = 0; r < schedule.size(); ++r) {
+    if (schedule[r].empty()) {
+      // All-crash final round: the remaining processors are silenced with
+      // no WriteRead, i.e. they crashed at round r.
+      WFC_CHECK(r + 1 == schedule.size(),
+                "run_from_execution: empty round not last");
+      if (r == 0) break;  // nobody ever wrote
+      RunRound rr;
+      rr.crashed = map_colors(crashes[r], colors);
+      run.rounds.push_back(std::move(rr));
+      break;
+    }
+    RunRound rr;
+    for (ColorSet block : schedule[r]) {
+      rr.blocks.push_back(map_colors(block, colors));
+    }
+    if (r >= 1) rr.crashed = map_colors(crashes[r], colors);
+    run.rounds.push_back(std::move(rr));
+  }
+  // A trailing empty round keeps its crash set: dropping it would turn an
+  // all-crash execution into a phantom short run WITH survivors.  Such runs
+  // have no survivors, so no caller ever hands them to a predicate.
+  return run;
+}
+
+OracleResult oracle_survivors(const proto::SdsChain& chain, int level,
+                              const Model& model) {
+  WFC_REQUIRE(level >= 0 && level <= chain.depth(),
+              "oracle_survivors: level out of range");
+  const Arena base = chain.arena(0);
+  const int n_sys = base.n_colors();
+  OracleResult out;
+
+  std::map<std::string, bool> verdicts;
+  if (level == 0) {
+    // Zero rounds leave the explorer nothing to schedule, but level-0 runs
+    // still differ by WHO participated: enumerate participation subsets,
+    // exactly like the arena path.
+    for (std::uint32_t f = 0; f < base.num_facets(); ++f) {
+      const std::span<const VertexId> fv = base.facet(f);
+      ColorSet colors;
+      for (VertexId v : fv) {
+        colors = colors.with(static_cast<Color>(base.colors()[v]));
+      }
+      for (std::uint32_t sub = colors.mask(); sub != 0;
+           sub = (sub - 1) & colors.mask()) {
+        const ColorSet part(sub);
+        RunDesc run;
+        run.n_sys = n_sys;
+        run.participants = part;
+        auto [it, fresh] = verdicts.try_emplace(run.signature(), false);
+        if (fresh) it->second = model.admits(run);
+        if (!it->second) continue;
+        Simplex sx;
+        for (VertexId v : fv) {
+          if (part.contains(static_cast<Color>(base.colors()[v]))) {
+            sx.push_back(v);
+          }
+        }
+        out.survivors.insert(topo::make_simplex(std::move(sx)));
+        ++out.executions;
+      }
+    }
+    for (const auto& [sig, admitted] : verdicts) {
+      (admitted ? out.runs_admitted : out.runs_rejected).insert(sig);
+    }
+    return out;
+  }
+  for (std::uint32_t f = 0; f < base.num_facets(); ++f) {
+    const std::span<const VertexId> fv = base.facet(f);
+    std::vector<Color> colors;
+    std::vector<VertexId> start(static_cast<std::size_t>(kMaxColors), 0);
+    for (VertexId v : fv) {
+      colors.push_back(static_cast<Color>(base.colors()[v]));
+    }
+    std::sort(colors.begin(), colors.end());
+    for (VertexId v : fv) {
+      const Color c = static_cast<Color>(base.colors()[v]);
+      const auto it = std::find(colors.begin(), colors.end(), c);
+      start[static_cast<std::size_t>(it - colors.begin())] = v;
+    }
+
+    chk::ExploreOptions opt;
+    opt.n_procs = static_cast<int>(colors.size());
+    opt.rounds = level;
+    opt.max_crashes = opt.n_procs;
+
+    const auto stats = chk::explore_iis<VertexId>(
+        opt,
+        [&](int p) { return start[static_cast<std::size_t>(p)]; },
+        [&](int p, int round, const rt::IisSnapshot<VertexId>& snap) {
+          Simplex seen;
+          seen.reserve(snap.size());
+          for (const auto& [writer, vid] : snap) seen.push_back(vid);
+          return rt::Step<VertexId>::cont(chain.locate(
+              round + 1, colors[static_cast<std::size_t>(p)],
+              topo::make_simplex(std::move(seen))));
+        },
+        [&](const chk::Execution<VertexId>& exec) {
+          const RunDesc run =
+              run_from_execution(n_sys, colors, exec.schedule, exec.crashes);
+          if (run.survivors().empty()) return;
+          auto [it, fresh] = verdicts.try_emplace(run.signature(), false);
+          if (fresh) it->second = model.admits(run);
+          if (!it->second) return;
+          Simplex sx;
+          for (int p = 0; p < opt.n_procs; ++p) {
+            if (!exec.crashed.contains(static_cast<Color>(p))) {
+              sx.push_back(exec.value[static_cast<std::size_t>(p)]);
+            }
+          }
+          out.survivors.insert(topo::make_simplex(std::move(sx)));
+        });
+    out.executions += stats.executions;
+  }
+  for (const auto& [sig, admitted] : verdicts) {
+    (admitted ? out.runs_admitted : out.runs_rejected).insert(sig);
+  }
+  return out;
+}
+
+bool verify_restriction(const proto::SdsChain& chain, int level,
+                        const Model& model, const Restriction& restriction,
+                        std::string* detail) {
+  const OracleResult oracle = oracle_survivors(chain, level, model);
+
+  // Maximal oracle survivors.
+  std::set<Simplex> oracle_maximal;
+  for (const Simplex& s : oracle.survivors) {
+    bool covered = false;
+    for (const Simplex& t : oracle.survivors) {
+      if (t.size() > s.size() &&
+          std::includes(t.begin(), t.end(), s.begin(), s.end())) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) oracle_maximal.insert(s);
+  }
+
+  std::set<Simplex> pruned_facets;
+  if (!restriction.empty()) {
+    for (std::uint32_t f = 0; f < restriction.arena.num_facets(); ++f) {
+      Simplex mapped;
+      for (VertexId v : restriction.arena.facet(f)) {
+        mapped.push_back(restriction.to_base[v]);
+      }
+      pruned_facets.insert(topo::make_simplex(std::move(mapped)));
+    }
+  }
+
+  auto fail = [&](const std::string& msg) {
+    if (detail != nullptr) *detail = msg;
+    return false;
+  };
+  if (oracle_maximal != pruned_facets) {
+    std::ostringstream os;
+    os << "model=" << model.name() << " level=" << level
+       << ": survivor complexes disagree (oracle " << oracle_maximal.size()
+       << " maximal vs arena " << pruned_facets.size() << " facets)";
+    for (const Simplex& s : oracle_maximal) {
+      if (pruned_facets.find(s) == pruned_facets.end()) {
+        os << "; oracle-only " << topo::to_string(s);
+      }
+    }
+    for (const Simplex& s : pruned_facets) {
+      if (oracle_maximal.find(s) == oracle_maximal.end()) {
+        os << "; arena-only " << topo::to_string(s);
+      }
+    }
+    return fail(os.str());
+  }
+  if (oracle.runs_admitted.size() != restriction.runs_admitted ||
+      oracle.runs_rejected.size() != restriction.runs_rejected) {
+    std::ostringstream os;
+    os << "model=" << model.name() << " level=" << level
+       << ": run counts disagree (oracle " << oracle.runs_admitted.size()
+       << "/" << oracle.runs_rejected.size() << " vs arena "
+       << restriction.runs_admitted << "/" << restriction.runs_rejected
+       << ")";
+    return fail(os.str());
+  }
+  if (detail != nullptr) detail->clear();
+  return true;
+}
+
+std::function<bool(const std::vector<rt::Partition>&,
+                   const std::vector<ColorSet>&)>
+run_filter(std::shared_ptr<const Model> model, int n_sys) {
+  if (model == nullptr || model->is_wait_free()) return {};
+  std::vector<Color> colors;
+  colors.reserve(static_cast<std::size_t>(n_sys));
+  for (int c = 0; c < n_sys; ++c) colors.push_back(static_cast<Color>(c));
+  return [model = std::move(model), n_sys, colors = std::move(colors)](
+             const std::vector<rt::Partition>& schedule,
+             const std::vector<ColorSet>& crashes) {
+    return model->admits(
+        run_from_execution(n_sys, colors, schedule, crashes));
+  };
+}
+
+}  // namespace wfc::model

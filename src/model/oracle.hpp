@@ -1,0 +1,66 @@
+// Oracle-path derivation of the admissible subcomplex: live replay.
+//
+// Where restrict.hpp PRUNES the already-built level (parsing vertex keys
+// backwards), this path runs the full-information protocol FORWARDS through
+// chk::explore_iis -- the paper's schedule quantifier with crash injection
+// -- and interns each survivor's final view into the chain with
+// SdsChain::locate.  The two derivations share no code beyond the Model
+// predicate itself, so agreement of their maximal-simplex sets (and of
+// their admitted/rejected run-signature sets) is a strong end-to-end check
+// of the schedule recovery, the crash embedding, and the pruning.
+// verify_restriction() performs exactly that comparison; model_test runs it
+// over every instance of the separation suite.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "check/explorer.hpp"
+#include "model/model.hpp"
+#include "model/restrict.hpp"
+#include "protocol/sds_chain.hpp"
+
+namespace wfc::model {
+
+/// Builds the RunDesc of one explored execution: `colors[i]` is the system
+/// color driven by explorer processor i (pass the identity for whole-system
+/// explorations).  Round-0 crashes become non-participation; an all-crash
+/// trailing empty round is dropped.
+RunDesc run_from_execution(int n_sys, const std::vector<Color>& colors,
+                           const std::vector<rt::Partition>& schedule,
+                           const std::vector<ColorSet>& crashes);
+
+struct OracleResult {
+  /// Survivor simplices of admissible runs (level-`level` vertex ids).
+  std::set<topo::Simplex> survivors;
+  std::set<std::string> runs_admitted;   // distinct admissible signatures
+  std::set<std::string> runs_rejected;   // distinct refused signatures
+  std::uint64_t executions = 0;          // explorer executions replayed
+};
+
+/// Enumerates every crash-placed execution of `level` IIS rounds over every
+/// base facet of the chain's input complex, replays the full-information
+/// protocol, and keeps the survivor simplices of the runs `model` admits.
+OracleResult oracle_survivors(const proto::SdsChain& chain, int level,
+                              const Model& model);
+
+/// Cross-checks restrict_level() against oracle_survivors(): the maximal
+/// oracle survivor simplices must equal the restriction's facets (mapped to
+/// chain-level vertex ids via to_base), and the admitted/rejected run
+/// counts must agree.  Returns true on agreement; otherwise false with a
+/// human-readable discrepancy in *detail (if non-null).
+bool verify_restriction(const proto::SdsChain& chain, int level,
+                        const Model& model, const Restriction& restriction,
+                        std::string* detail = nullptr);
+
+/// Adapter for chk::ExploreOptions::run_filter: keeps exactly the
+/// executions of an n_sys-processor exploration that `model` admits.
+/// Null or wait_free models yield an empty function (no filtering).
+std::function<bool(const std::vector<rt::Partition>&,
+                   const std::vector<ColorSet>&)>
+run_filter(std::shared_ptr<const Model> model, int n_sys);
+
+}  // namespace wfc::model

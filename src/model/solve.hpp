@@ -1,0 +1,30 @@
+// Model-parameterized Prop 3.1: the task-solvability search restricted to
+// the admissible subcomplex of each level (generalized ACT).  wait_free (or
+// a null model) takes the unrestricted path and is bit-for-bit identical to
+// task::solve -- same verdicts, decisions, and node counts.
+#pragma once
+
+#include <memory>
+
+#include "model/model.hpp"
+#include "tasks/solvability.hpp"
+
+namespace wfc::model {
+
+/// A LevelRestrictor computing restrict_level(chain, level, *model) per
+/// level (no caching -- the service layer caches restricted towers in
+/// SdsCache instead and installs its own restrictor).  Returns an empty
+/// function for null / wait_free models.
+task::LevelRestrictor make_restrictor(std::shared_ptr<const Model> model);
+
+/// task::solve with the search confined to `model`'s admissible simplices.
+task::SolveResult solve_in_model(const task::Task& task, int max_level,
+                                 std::shared_ptr<const Model> model,
+                                 task::SolveOptions options = {});
+
+/// task::solve_at_level under `model`.
+task::SolveResult solve_at_level_in_model(const task::Task& task, int level,
+                                          std::shared_ptr<const Model> model,
+                                          task::SolveOptions options = {});
+
+}  // namespace wfc::model

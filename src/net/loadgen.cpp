@@ -38,6 +38,7 @@ struct ThreadOutcome {
   std::uint64_t unmatched = 0;
   std::vector<std::uint64_t> latencies_us;
   std::map<std::string, std::uint64_t> by_status;
+  std::map<std::string, std::uint64_t> by_model;
   std::string failure;  // nonempty: the thread died on this exception
 };
 
@@ -125,8 +126,12 @@ std::vector<std::string> load_corpus(std::istream& in) {
   return corpus;
 }
 
-/// Stamps a unique id into an id-stripped corpus line.
-std::string with_id(const std::string& stripped, const std::string& id) {
+namespace {
+
+/// Splices `field_text` (a rendered "key":value) in as the first field of a
+/// flat JSON object known not to contain that key.
+std::string splice_front(const std::string& stripped,
+                         const std::string& field_text) {
   // stripped is a validated flat object, so it starts with '{'.
   std::size_t body = 1;
   while (body < stripped.size() &&
@@ -135,19 +140,57 @@ std::string with_id(const std::string& stripped, const std::string& id) {
   }
   const bool empty_object = body < stripped.size() && stripped[body] == '}';
   std::string out;
-  out.reserve(stripped.size() + id.size() + 10);
-  out += "{\"id\":\"";
-  out += id;
-  out += '"';
+  out.reserve(stripped.size() + field_text.size() + 2);
+  out += '{';
+  out += field_text;
   if (!empty_object) out += ',';
   out.append(stripped.data() + 1, stripped.size() - 1);
   return out;
 }
 
+}  // namespace
+
+/// Stamps a unique id into an id-stripped corpus line.
+std::string with_id(const std::string& stripped, const std::string& id) {
+  return splice_front(stripped, "\"id\":\"" + id + "\"");
+}
+
+std::string with_model(const std::string& line, const std::string& model) {
+  return splice_front(strip_field(line, "model"),
+                      "\"model\":\"" + model + "\"");
+}
+
 namespace {
 
+/// Whether the handler accepts a "model" field on this request line: solve
+/// (including legacy bare {"task":...} lines), convergence, and checks of
+/// the default "sds" target do; emulate, other check targets, and control
+/// ops reject or ignore it.
+bool line_takes_model(const std::string& line) {
+  std::map<std::string, std::string> fields;
+  try {
+    fields = svc::parse_flat_json(line);
+  } catch (const std::exception&) {
+    return false;
+  }
+  const auto op_it = fields.find("op");
+  const std::string op = op_it == fields.end() ? "solve" : op_it->second;
+  if (op == "solve" || op == "convergence") return true;
+  if (op == "check") {
+    const auto target = fields.find("target");
+    return target == fields.end() || target->second == "sds";
+  }
+  return false;
+}
+
+/// One sendable corpus entry after model-mix expansion.
+struct CorpusEntry {
+  std::string line;   // id-stripped, model spliced in when applicable
+  std::string model;  // tally key ("" = no mix configured)
+};
+
 void drive_connection(const LoadgenConfig& config,
-                      const std::vector<std::string>& corpus, int thread_idx,
+                      const std::vector<CorpusEntry>& corpus, int thread_idx,
                       Clock::time_point start, ThreadOutcome* out) {
   try {
     Client client(ClientConfig{config.server});
@@ -237,8 +280,10 @@ void drive_connection(const LoadgenConfig& config,
         std::string batch;
         do {
           const std::string id = id_prefix + std::to_string(seq);
-          batch += with_id(corpus[next_line], id);
+          const CorpusEntry& entry = corpus[next_line];
+          batch += with_id(entry.line, id);
           batch += '\n';
+          if (!entry.model.empty()) ++out->by_model[entry.model];
           next_line = (next_line + 1) % corpus.size();
           outstanding.emplace(id, Clock::now());
           ++seq;
@@ -276,6 +321,26 @@ LoadgenReport run_loadgen(const std::vector<std::string>& corpus,
   if (corpus.empty()) {
     throw std::invalid_argument("loadgen: empty corpus");
   }
+  // Model-mix expansion: one pass of the corpus per model, model spliced
+  // into every line the handler accepts it on.  Ineligible lines ride each
+  // pass unchanged (tallied "none") so their share of the load is
+  // preserved.
+  std::vector<CorpusEntry> entries;
+  if (config.models.empty()) {
+    entries.reserve(corpus.size());
+    for (const std::string& line : corpus) entries.push_back({line, ""});
+  } else {
+    entries.reserve(corpus.size() * config.models.size());
+    for (const std::string& model : config.models) {
+      for (const std::string& line : corpus) {
+        if (line_takes_model(line)) {
+          entries.push_back({with_model(line, model), model});
+        } else {
+          entries.push_back({line, "none"});
+        }
+      }
+    }
+  }
   const int connections = std::max(1, config.connections);
   std::vector<ThreadOutcome> outcomes(
       static_cast<std::size_t>(connections));
@@ -283,7 +348,7 @@ LoadgenReport run_loadgen(const std::vector<std::string>& corpus,
   const Clock::time_point start = Clock::now();
   for (int i = 0; i < connections; ++i) {
     threads.emplace_back(drive_connection, std::cref(config),
-                         std::cref(corpus), i, start,
+                         std::cref(entries), i, start,
                          &outcomes[static_cast<std::size_t>(i)]);
   }
   for (std::thread& t : threads) t.join();
@@ -306,6 +371,9 @@ LoadgenReport run_loadgen(const std::vector<std::string>& corpus,
                      o.latencies_us.end());
     for (const auto& [status, count] : o.by_status) {
       report.by_status[status] += count;
+    }
+    for (const auto& [model, count] : o.by_model) {
+      report.by_model[model] += count;
     }
     if (failure.empty() && !o.failure.empty()) failure = o.failure;
   }
@@ -366,6 +434,19 @@ std::string LoadgenReport::to_json() const {
   }
   for (const auto& [status, count] : clean) {
     os << ",\"status_" << status << "\":" << count;
+  }
+  // Model names carry punctuation ("t_resilient(1)"); same sanitization so
+  // the keys stay jq-addressable.
+  std::map<std::string, std::uint64_t> clean_models;
+  for (const auto& [model, count] : by_model) {
+    std::string key = model;
+    for (char& c : key) {
+      if ((c < 'a' || c > 'z') && (c < '0' || c > '9') && c != '_') c = '_';
+    }
+    clean_models[key] += count;
+  }
+  for (const auto& [model, count] : clean_models) {
+    os << ",\"model_" << model << "\":" << count;
   }
   if (metrics_reconcile) {
     os << ",\"metrics_reconcile\":" << (*metrics_reconcile ? "true" : "false");

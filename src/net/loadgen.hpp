@@ -46,6 +46,13 @@ struct LoadgenConfig {
   /// After the run, ask the server for {"op":"metrics"} on a fresh
   /// connection and record whether its counters reconcile.
   bool check_metrics = false;
+  /// Model mix (wfc::model wire names).  Non-empty: the corpus is expanded
+  /// to one pass per model, each pass sending every eligible line (solve /
+  /// convergence / check target "sds") with that "model" field spliced in
+  /// -- any corpus model field is replaced.  Ineligible lines are sent
+  /// unchanged once per pass.  Effective corpus size becomes
+  /// corpus * models, and the report tallies sends per model.
+  std::vector<std::string> models;
 };
 
 struct LoadgenReport {
@@ -70,6 +77,10 @@ struct LoadgenReport {
   /// Set when LoadgenConfig::check_metrics: the server's own counters
   /// reconciled after the run.
   std::optional<bool> metrics_reconcile;
+  /// Requests sent per injected model (LoadgenConfig::models); lines the
+  /// mix could not apply to (emulate, non-sds checks) tally under "none".
+  /// Empty when no model mix was configured.
+  std::map<std::string, std::uint64_t> by_model;
 
   /// Every id answered exactly once.
   [[nodiscard]] bool exactly_once() const {
@@ -96,6 +107,11 @@ std::string strip_id_field(const std::string& line);
 /// field of an id-stripped flat JSON line.  The other half of the router's
 /// id splice; the load generator stamps its unique ids with it too.
 std::string with_id(const std::string& stripped, const std::string& id);
+
+/// Replaces any "model" field of a flat JSON line with `model` (wire name,
+/// inserted as the line's first field).  Exposed for tests and the model
+/// mix in run_loadgen.
+std::string with_model(const std::string& line, const std::string& model);
 
 /// Runs the generator; `corpus` must be load_corpus-shaped (no comments,
 /// ids stripped).  Throws std::system_error if connecting fails and

@@ -10,6 +10,7 @@
 #include <stdexcept>
 
 #include "common/version.hpp"
+#include "model/model.hpp"
 #include "service/jsonl.hpp"
 #include "topology/subdivision.hpp"
 
@@ -39,6 +40,26 @@ std::string string_field(const Fields& fields, const std::string& key,
                          const std::string& fallback = "") {
   auto it = fields.find(key);
   return it == fields.end() ? fallback : it->second;
+}
+
+/// Boolean field: accepts the JSON true/false tokens (parse_flat_json
+/// passes them through as bare strings) as well as 0/1 integers.
+bool bool_field(const Fields& fields, const std::string& key, bool fallback) {
+  auto it = fields.find(key);
+  if (it == fields.end()) return fallback;
+  if (it->second == "true") return true;
+  if (it->second == "false") return false;
+  return int_field(fields, key) != 0;
+}
+
+/// The optional "model" field (wfc::model wire names).  wait_free -- the
+/// default -- normalizes to null so model-less requests stay bit-for-bit
+/// on the pre-model code path.  Unknown names throw std::invalid_argument.
+std::shared_ptr<const model::Model> model_field(const Fields& fields) {
+  const std::string name = string_field(fields, "model");
+  if (name.empty()) return nullptr;
+  std::shared_ptr<const model::Model> m = model::Model::parse(name);
+  return m->is_wait_free() ? nullptr : m;
 }
 
 /// Iterated-SDS towers grow exponentially with "depth" and are constructed
@@ -232,11 +253,12 @@ RequestHandler::ParsedLine RequestHandler::parse(std::string_view line,
 std::shared_ptr<task::Task> RequestHandler::intern_task(const Fields& fields) {
   std::string key;
   for (const auto& [k, v] : fields) {
-    // Skip fields that do not affect the constructed task.  max_level and
-    // budget DO affect the verdict, but they are part of the service's
-    // memo key, not the task's.
+    // Skip fields that do not affect the constructed task.  max_level,
+    // budget, and model DO affect the verdict, but they are part of the
+    // service's memo key, not the task's -- the same task object under two
+    // models is exactly what gives the memo's model_tag separation teeth.
     if (k == "id" || k == "op" || k == "max_level" || k == "budget" ||
-        k == "timeout_ms") {
+        k == "timeout_ms" || k == "model") {
       continue;
     }
     key += k;
@@ -263,20 +285,27 @@ std::pair<Query, RequestHandler::ResponseMeta> RequestHandler::build_query(
   check_depth_cap(fields, config_.max_task_depth);
   ResponseMeta meta;
   meta.id = string_field(fields, "id");
+  std::shared_ptr<const model::Model> model = model_field(fields);
+  if (model != nullptr) meta.model = model->name();
   Query query;
   query.options = parse_query_options(fields, config_.default_max_level);
   if (parsed.op == "solve") {
     std::shared_ptr<task::Task> task = intern_task(fields);
     meta.label = task->name();
-    query.request = SolveRequest{std::move(task)};
+    query.request = SolveRequest{std::move(task), std::move(model)};
   } else if (parsed.op == "convergence") {
     const int procs = int_field(fields, "procs");
     const int depth = int_field(fields, "depth");
     auto agreement = std::make_shared<task::SimplexAgreementTask>(
         procs, topo::iterated_sds(topo::base_simplex(procs), depth));
     meta.label = agreement->name();
-    query.request = ConvergenceRequest{std::move(agreement)};
+    query.request = ConvergenceRequest{std::move(agreement), std::move(model)};
   } else if (parsed.op == "emulate") {
+    if (model != nullptr) {
+      // The §4 emulation runs a concrete adversary, not a run-set query;
+      // restricting it by model is not meaningful.
+      throw std::invalid_argument("op \"emulate\" does not take a model");
+    }
     EmulateRequest emu;
     emu.procs = int_field(fields, "procs");
     emu.shots = int_field(fields, "shots", 1);
@@ -300,7 +329,12 @@ std::pair<Query, RequestHandler::ResponseMeta> RequestHandler::build_query(
     check.rounds = int_field(fields, "rounds", 1);
     check.crashes = int_field(fields, "crashes", 0);
     check.shots = int_field(fields, "shots", 1);
-    check.symmetry = int_field(fields, "symmetry", 0) != 0;
+    check.symmetry = bool_field(fields, "symmetry", false);
+    if (model != nullptr && check.target != CheckRequest::Target::kSds) {
+      throw std::invalid_argument("check target \"" + target +
+                                  "\" does not take a model");
+    }
+    check.model = std::move(model);
     meta.label = "check(" + target + ",procs=" + std::to_string(check.procs) +
                  ",rounds=" + std::to_string(check.rounds) +
                  ",crashes=" + std::to_string(check.crashes) + ")";
@@ -348,6 +382,9 @@ RequestHandler::Rendered RequestHandler::render(
   JsonWriter w;
   if (!meta.id.empty()) w.field("id", meta.id);
   w.field("task", meta.label);
+  // Echoed only when a non-wait-free model was requested, so model-less
+  // responses stay byte-for-byte what they were before wfc::model.
+  if (!meta.model.empty()) w.field("model", meta.model);
   if (result.status != Status::kOk) {
     // Non-kOk terminal statuses use the lowercase taxonomy tokens
     // (status.hpp) in BOTH envelopes; retryable ones carry the service's

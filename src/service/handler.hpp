@@ -120,6 +120,9 @@ class RequestHandler {
   struct ResponseMeta {
     std::string id;
     std::string label;  // task name or op description
+    /// Canonical model name when a non-wait-free "model" was requested
+    /// (echoed back in the response); empty otherwise.
+    std::string model;
     bool is_emulate = false;
     bool is_check = false;
   };

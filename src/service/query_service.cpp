@@ -12,8 +12,11 @@
 #include "common/assert.hpp"
 #include "convergence/convergence.hpp"
 #include "emulation/emulator.hpp"
+#include "model/oracle.hpp"
+#include "model/restrict.hpp"
 #include "registers/atomic_snapshot.hpp"
 #include "runtime/adversary.hpp"
+#include "topology/hash.hpp"
 
 namespace wfc::svc {
 
@@ -180,6 +183,15 @@ void QueryService::init_observability() {
       "Queries run with a load-degraded node budget");
   metrics_.emu_rounds = &reg.counter("wfc_emulation_rounds_total", "",
                                      "IIS rounds executed by §4 emulations");
+  metrics_.model_queries = &reg.counter(
+      "wfc_model_queries_total", "",
+      "Queries executed under a non-wait-free model");
+  metrics_.model_runs_admitted = &reg.counter(
+      "wfc_model_runs_admitted_total", "",
+      "IIS runs admitted by model restrictions");
+  metrics_.model_runs_rejected = &reg.counter(
+      "wfc_model_runs_rejected_total", "",
+      "IIS runs rejected by model restrictions");
   metrics_.queue_wait_us = &reg.histogram(
       "wfc_queue_wait_us", obs::latency_bounds_us(), "",
       "Admission-queue wait per executed query, microseconds");
@@ -509,7 +521,8 @@ std::optional<task::SolveResult> QueryService::memo_lookup(
   const auto* solve = query.as<SolveRequest>();
   if (memo_capacity_ == 0 || solve == nullptr) return std::nullopt;
   const MemoKey key{solve->task.get(), query.options.max_level,
-                    query.options.node_budget};
+                    query.options.node_budget,
+                    solve->model ? solve->model->tag() : 0};
   MemoVal val;
   if (!memo_.lookup(key, &val)) return std::nullopt;
   return val.result;
@@ -526,11 +539,45 @@ void QueryService::memo_store(const Query& query,
     return;
   }
   const MemoKey key{solve->task.get(), query.options.max_level,
-                    query.options.node_budget};
+                    query.options.node_budget,
+                    solve->model ? solve->model->tag() : 0};
   // First writer wins; a concurrent twin's insert converges on the stored
   // value.  The insert's eviction pass keeps the memo at its bound.
   (void)memo_.get_or_insert(key,
                             [&] { return MemoVal{solve->task, result}; });
+}
+
+task::LevelRestrictor QueryService::model_restrictor(
+    std::shared_ptr<const model::Model> model, bool* any_build) {
+  if (model == nullptr || model->is_wait_free()) return nullptr;
+  // The restricted tower is itself a pure function of (input, model), so it
+  // rides the same cache/store machinery as full towers -- keyed by the
+  // MIXED fingerprint, which can never collide with the full tower's key
+  // (tag != 0) or another model's (distinct tags).
+  return [this, model = std::move(model), any_build](
+             const proto::SdsChain& chain,
+             int level) -> std::optional<task::LevelRestriction> {
+    const std::uint64_t base_fp = topo::complex_fingerprint(chain.level(0));
+    const std::uint64_t key = model::mix_fingerprint(base_fp, model->tag());
+    bool built = false;
+    auto restricted = cache_.derived_chain_for(
+        key, model->tag(), level,
+        [this, &model, &chain](std::shared_ptr<const proto::SdsChain> prior,
+                               int depth) {
+          std::uint64_t admitted = 0;
+          std::uint64_t rejected = 0;
+          auto tower = model::restricted_tower(chain, depth, *model, prior,
+                                               &admitted, &rejected);
+          if (metrics_.model_runs_admitted != nullptr) {
+            metrics_.model_runs_admitted->inc(admitted);
+            metrics_.model_runs_rejected->inc(rejected);
+          }
+          return tower;
+        },
+        &built);
+    *any_build = *any_build || built;
+    return task::LevelRestriction{restricted->arena(level), nullptr};
+  };
 }
 
 void QueryService::cancel_all() {
@@ -580,6 +627,10 @@ QueryResult QueryService::execute(
               bump(progress);  // subdivision checkpoint
               return chain;
             };
+        if (req.model != nullptr && !req.model->is_wait_free()) {
+          if (metrics_.model_queries != nullptr) metrics_.model_queries->inc();
+          opts.restrictor = model_restrictor(req.model, &any_build);
+        }
         {
           auto span = trace.span(obs::SpanKind::kSearch);
           result.solve =
@@ -592,6 +643,33 @@ QueryResult QueryService::execute(
       case Query::Kind::kConvergence: {
         const ConvergenceRequest& req =
             std::get<ConvergenceRequest>(query.request);
+        if (req.model != nullptr && !req.model->is_wait_free()) {
+          // The §5 convergence compiler assumes the full run set; under a
+          // sub-IIS model the agreement task goes through the restricted
+          // Prop 3.1 solve instead (same verdict surface).
+          if (metrics_.model_queries != nullptr) metrics_.model_queries->inc();
+          task::SolveOptions opts;
+          opts.node_budget = effective_budget;
+          opts.cancel = cancel.get();
+          opts.progress = progress;
+          opts.deadline = deadline;
+          opts.chain_provider =
+              [this, &any_build, progress, &trace](
+                  const topo::ChromaticComplex& input, int depth) {
+                bool built = false;
+                auto chain = cache_.chain_for(input, depth, &built, trace);
+                any_build = any_build || built;
+                bump(progress);
+                return chain;
+              };
+          opts.restrictor = model_restrictor(req.model, &any_build);
+          auto span = trace.span(obs::SpanKind::kSearch);
+          result.solve =
+              task::solve(*req.agreement, query.options.max_level, opts);
+          span.arg = result.solve.nodes_explored;
+          ran_to_verdict = true;
+          break;
+        }
         conv::ApproximationOptions opts;
         opts.max_level = query.options.max_level;
         bump(progress);
@@ -647,12 +725,20 @@ QueryResult QueryService::execute(
             opts.symmetry_reduction = cq.symmetry;
             opts.max_executions = effective_budget;
             opts.cancel = cancel.get();
+            opts.run_filter = model::run_filter(cq.model, cq.procs);
+            if (opts.run_filter && metrics_.model_queries != nullptr) {
+              metrics_.model_queries->inc();
+            }
             bump(progress);
             const chk::SdsCheckReport report = chk::check_views_in_sds(opts);
             result.check_ok = report.ok;
             result.check_schedules = report.explored.executions;
             result.check_histories = report.simplices_checked;
             result.check_violation = report.violation;
+            if (opts.run_filter && metrics_.model_runs_admitted != nullptr) {
+              metrics_.model_runs_admitted->inc(report.explored.executions);
+              metrics_.model_runs_rejected->inc(report.explored.filtered);
+            }
             break;
           }
           case CheckQuery::Target::kEmulation: {

@@ -79,6 +79,7 @@
 #include <variant>
 #include <vector>
 
+#include "model/model.hpp"
 #include "obs/obs.hpp"
 #include "service/admission.hpp"
 #include "service/sds_cache.hpp"
@@ -100,14 +101,21 @@ struct QueryOptions {
   std::optional<std::chrono::milliseconds> timeout;
 };
 
-/// Decide wait-free solvability of `task` (Prop 3.1 search).
+/// Decide solvability of `task` (Prop 3.1 search).  `model` restricts the
+/// admissible IIS runs (wfc::model); null or wait_free leaves the search
+/// bit-for-bit identical to the model-less query.
 struct SolveRequest {
   std::shared_ptr<const task::Task> task;
+  std::shared_ptr<const model::Model> model;
 };
 
-/// Compile a §5 convergence map for a simplex-agreement instance.
+/// Compile a §5 convergence map for a simplex-agreement instance.  With a
+/// non-wait-free `model` the convergence compiler does not apply (its maps
+/// assume the full run set); the service falls back to the restricted
+/// Prop 3.1 solve for the same agreement task.
 struct ConvergenceRequest {
   std::shared_ptr<const task::SimplexAgreementTask> agreement;
+  std::shared_ptr<const model::Model> model;
 };
 
 /// Run the §4 Figure 2 emulation of the k-shot full-information protocol.
@@ -130,6 +138,8 @@ struct CheckRequest {
   int crashes = 0;  // crash-injection budget
   int shots = 1;    // kEmulation: full-information snapshots per client
   bool symmetry = false;  // kSds: symmetry-reduced exploration
+  /// kSds: explore only the runs this model admits (null = all runs).
+  std::shared_ptr<const model::Model> model;
 };
 
 /// Deprecated spelling from the PR-2/3 API; CheckRequest is the same type.
@@ -346,6 +356,9 @@ class QueryService {
     obs::Counter* memo_hits = nullptr;
     obs::Counter* degraded = nullptr;
     obs::Counter* emu_rounds = nullptr;
+    obs::Counter* model_queries = nullptr;       // non-wait_free model set
+    obs::Counter* model_runs_admitted = nullptr; // runs kept by restriction
+    obs::Counter* model_runs_rejected = nullptr; // runs pruned by restriction
     obs::Histogram* queue_wait_us = nullptr;
     obs::Histogram* exec_us = nullptr;      // execution (dequeue -> done)
     obs::Histogram* e2e_us = nullptr;       // submission -> terminal status
@@ -354,15 +367,19 @@ class QueryService {
   };
 
   /// Result-memo key: the task instance plus every option that can change
-  /// the verdict.  Deadlines/cancellation only yield kCancelled, which is
-  /// never stored, so they are deliberately not part of the key.
+  /// the verdict -- including the model tag (wfc::model), so the same task
+  /// under distinct models never shares a memo entry.  Tag 0 is wait_free
+  /// (and a null model), keeping pre-model keys identical.  Deadlines/
+  /// cancellation only yield kCancelled, which is never stored, so they are
+  /// deliberately not part of the key.
   struct MemoKey {
     const task::Task* task;
     int max_level;
     std::uint64_t node_budget;
+    std::uint64_t model_tag;
     bool operator==(const MemoKey& o) const {
       return task == o.task && max_level == o.max_level &&
-             node_budget == o.node_budget;
+             node_budget == o.node_budget && model_tag == o.model_tag;
     }
   };
   struct MemoKeyHash {
@@ -371,6 +388,8 @@ class QueryService {
       h ^= std::hash<int>{}(k.max_level) + 0x9e3779b97f4a7c15ull + (h << 6) +
            (h >> 2);
       h ^= std::hash<std::uint64_t>{}(k.node_budget) + 0x9e3779b97f4a7c15ull +
+           (h << 6) + (h >> 2);
+      h ^= std::hash<std::uint64_t>{}(k.model_tag) + 0x9e3779b97f4a7c15ull +
            (h << 6) + (h >> 2);
       return h;
     }
@@ -430,6 +449,12 @@ class QueryService {
   std::uint32_t retry_hint();
   void acquire_inflight_slot();
   void release_inflight_slot();
+  /// Restrictor for a non-wait-free model: serves each level's admissible
+  /// subcomplex from the derived-tower cache (key = mixed fingerprint), so
+  /// repeated model queries over the same input prune once.  Null models
+  /// and wait_free return an empty function (search untouched).
+  task::LevelRestrictor model_restrictor(
+      std::shared_ptr<const model::Model> model, bool* any_build);
   /// The memoized definitive result for this query, if any.
   [[nodiscard]] std::optional<task::SolveResult> memo_lookup(
       const Query& query);

@@ -136,6 +136,60 @@ std::shared_ptr<const proto::SdsChain> SdsCache::chain_for(
   return chain;
 }
 
+std::shared_ptr<const proto::SdsChain> SdsCache::derived_chain_for(
+    std::uint64_t key, std::uint64_t model_tag, int depth,
+    const DerivedBuilder& build, bool* built) {
+  WFC_REQUIRE(depth >= 0, "SdsCache::derived_chain_for: negative depth");
+  Cache::Handle handle =
+      cache_.get_or_insert(key, [] { return std::make_shared<BuildSlot>(); });
+  const std::shared_ptr<BuildSlot> slot = *handle;
+  {
+    std::lock_guard<std::mutex> reg_lock(registry_mu_);
+    registry_[key] = slot;
+  }
+
+  bool was_empty = false;
+  bool did_build = false;
+  bool from_store = false;
+  std::shared_ptr<const proto::SdsChain> chain;
+  {
+    std::lock_guard<std::mutex> build_lock(slot->build_mu);
+    if (slot->chain == nullptr && store_) {
+      // The tag check inside load() keeps a colliding or mislabeled file
+      // from ever serving another model's tower.
+      if (auto loaded = store_->load(key, model_tag)) {
+        slot->chain = std::move(loaded);
+        from_store = true;
+      }
+    }
+    was_empty = slot->chain == nullptr;
+    slot->model_tag = model_tag;
+    if (was_empty || slot->chain->depth() < depth) {
+      if (options_.build_fault_hook) options_.build_fault_hook();
+      slot->chain = build(was_empty ? nullptr : slot->chain, depth);
+      WFC_CHECK(slot->chain != nullptr && slot->chain->depth() >= depth,
+                "derived_chain_for: builder returned a short chain");
+      did_build = true;
+    }
+    if (store_ && did_build) store_->publish(key, *slot->chain, model_tag);
+    chain = slot->chain;
+  }
+  *built = did_build;
+
+  if (!did_build) {
+    hits_.inc();
+  } else if (was_empty) {
+    misses_.inc();
+  } else {
+    extensions_.inc();
+  }
+  if (from_store) store_hits_.inc();
+  cache_.update_weight(handle, chain_weight(*chain));
+  handle.release();
+  cache_.maybe_evict();
+  return chain;
+}
+
 std::size_t SdsCache::warm() {
   if (!store_) return 0;
   std::size_t admitted = 0;
@@ -151,8 +205,11 @@ std::size_t SdsCache::warm() {
     {
       std::lock_guard<std::mutex> build_lock(slot->build_mu);
       if (slot->chain == nullptr) {
-        if (auto chain = store_->load(e.fingerprint)) {
+        // Restricted towers warm too: the inventory carries each file's
+        // recorded tag, so the load's tag guard is satisfied.
+        if (auto chain = store_->load(e.fingerprint, e.model_tag)) {
           slot->chain = std::move(chain);
+          slot->model_tag = e.model_tag;
           loaded = true;
         }
       }
@@ -192,7 +249,10 @@ std::size_t SdsCache::publish_all() {
   std::size_t written = 0;
   for (auto& [fp, slot] : live) {
     std::lock_guard<std::mutex> build_lock(slot->build_mu);
-    if (slot->chain && store_->publish(fp, *slot->chain)) ++written;
+    if (slot->chain &&
+        store_->publish(fp, *slot->chain, slot->model_tag)) {
+      ++written;
+    }
   }
   return written;
 }

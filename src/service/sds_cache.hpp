@@ -98,6 +98,26 @@ class SdsCache {
       const topo::ChromaticComplex& input, int depth, bool* built,
       const obs::TraceContext& trace);
 
+  /// Builds a non-standard (derived) tower from `prior` (the cached chain
+  /// so far, possibly null) to depth `depth`.  Must be a pure function of
+  /// (key, depth) -- the cache shares and persists the result.
+  using DerivedBuilder =
+      std::function<std::shared_ptr<const proto::SdsChain>(
+          std::shared_ptr<const proto::SdsChain> prior, int depth)>;
+
+  /// chain_for for model-restricted towers (wfc::model): the entry is
+  /// keyed by `key` -- the MIXED fingerprint, model::mix_fingerprint(
+  /// complex_fingerprint(input), model_tag) -- so towers restricted under
+  /// distinct models never collide with each other or with the full tower
+  /// (tag 0 leaves the fingerprint unchanged, i.e. IS the full tower's
+  /// key).  Store loads verify the recorded model_tag and publishes record
+  /// it; builds and extensions go through `build` instead of plain
+  /// subdivision.  Hit/miss/extension/store counters are shared with the
+  /// full-tower path.
+  std::shared_ptr<const proto::SdsChain> derived_chain_for(
+      std::uint64_t key, std::uint64_t model_tag, int depth,
+      const DerivedBuilder& build, bool* built);
+
   /// Evicts cold (unpinned) entries until at least `frac` of the current
   /// resident vertex weight is released or only pinned/hot entries remain.
   /// frac is clamped to [0, 1].  Returns entries evicted.
@@ -138,6 +158,9 @@ class SdsCache {
   struct BuildSlot {
     std::mutex build_mu;  // serializes building for one input
     std::shared_ptr<const proto::SdsChain> chain;  // guarded by build_mu
+    /// Model tag of the tower held here (0 = unrestricted); publish_all
+    /// records it so restricted files round-trip their tag.
+    std::uint64_t model_tag = 0;
   };
   using Cache = wf::ClockCache<std::uint64_t, std::shared_ptr<BuildSlot>>;
 

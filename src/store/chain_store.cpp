@@ -77,6 +77,12 @@ bool write_all(int fd, const void* data, std::size_t len) {
   return true;
 }
 
+/// Bytes of the on-disk header for a given format version (v1 predates
+/// model_tag).
+std::size_t header_bytes_for(std::uint32_t version) {
+  return version == 1 ? kHeaderBytesV1 : sizeof(ChainFileHeader);
+}
+
 /// Levels stored in an existing file, or 0 when absent/unreadable; lets
 /// publish skip work without mapping the whole payload.
 std::uint32_t existing_levels(const std::string& path) {
@@ -85,9 +91,11 @@ std::uint32_t existing_levels(const std::string& path) {
   ChainFileHeader h{};
   const ssize_t n = ::pread(fd, &h, sizeof(h), 0);
   ::close(fd);
-  if (n != static_cast<ssize_t>(sizeof(h))) return 0;
+  // A v1 file may be exactly kHeaderBytesV1 + table + payload; the version
+  // field sits inside the common 40-byte prefix either way.
+  if (n < static_cast<ssize_t>(kHeaderBytesV1)) return 0;
   if (std::memcmp(h.magic, kStoreMagic, sizeof(kStoreMagic)) != 0) return 0;
-  if (h.version != kStoreVersion) return 0;
+  if (h.version != 1 && h.version != kStoreVersion) return 0;
   return h.n_levels;
 }
 
@@ -110,7 +118,7 @@ std::string ChainStore::file_path(std::uint64_t fingerprint) const {
 }
 
 std::shared_ptr<const proto::SdsChain> ChainStore::load(
-    std::uint64_t fingerprint) {
+    std::uint64_t fingerprint, std::uint64_t expect_model_tag) {
   if (!enabled_) return nullptr;
   lookups_.fetch_add(1, std::memory_order_relaxed);
   const std::string path = file_path(fingerprint);
@@ -125,7 +133,7 @@ std::shared_ptr<const proto::SdsChain> ChainStore::load(
   }
   struct stat st{};
   if (::fstat(fd, &st) != 0 || st.st_size < 0 ||
-      static_cast<std::size_t>(st.st_size) < sizeof(ChainFileHeader)) {
+      static_cast<std::size_t>(st.st_size) < kHeaderBytesV1) {
     ::close(fd);
     fallbacks_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
@@ -151,15 +159,28 @@ std::shared_ptr<const proto::SdsChain> ChainStore::load(
   };
   const char* bytes = static_cast<const char*>(mapping->base);
   ChainFileHeader header{};
-  std::memcpy(&header, bytes, sizeof(header));
+  // Copy the v1 prefix first; the version field decides whether model_tag
+  // exists on disk.  A v1 file (pre-model) is an unrestricted tower: tag 0.
+  std::memcpy(&header, bytes, kHeaderBytesV1);
   if (std::memcmp(header.magic, kStoreMagic, sizeof(kStoreMagic)) != 0) {
     return fail();
   }
-  if (header.version != kStoreVersion) return fail();
+  if (header.version != 1 && header.version != kStoreVersion) return fail();
+  const std::size_t header_bytes = header_bytes_for(header.version);
+  if (size < header_bytes) return fail();
+  if (header.version == kStoreVersion) {
+    std::memcpy(&header.model_tag, bytes + kHeaderBytesV1, 8);
+  } else {
+    header.model_tag = 0;
+  }
   if (header.fingerprint != fingerprint) return fail();
+  // Model separation: never serve a tower restricted under a different
+  // model than the caller asked for, even if the mixed fingerprints were
+  // ever to collide.
+  if (header.model_tag != expect_model_tag) return fail();
   if (header.n_levels == 0 || header.n_levels > 64) return fail();
   const std::uint64_t table_bytes = std::uint64_t{header.n_levels} * 16;
-  const std::uint64_t payload_off = align8(sizeof(ChainFileHeader) + table_bytes);
+  const std::uint64_t payload_off = align8(header_bytes + table_bytes);
   if (payload_off > size || header.payload_bytes != size - payload_off) {
     return fail();
   }
@@ -169,7 +190,7 @@ std::shared_ptr<const proto::SdsChain> ChainStore::load(
                        static_cast<std::size_t>(header.payload_bytes)));
   if (checksum != header.payload_checksum) return fail();
 
-  const char* table = bytes + sizeof(ChainFileHeader);
+  const char* table = bytes + header_bytes;
   std::vector<topo::Arena> arenas;
   arenas.reserve(header.n_levels);
   for (std::uint32_t r = 0; r < header.n_levels; ++r) {
@@ -197,7 +218,8 @@ std::shared_ptr<const proto::SdsChain> ChainStore::load(
 }
 
 bool ChainStore::publish(std::uint64_t fingerprint,
-                         const proto::SdsChain& chain) {
+                         const proto::SdsChain& chain,
+                         std::uint64_t model_tag) {
   if (!enabled_ || options_.readonly) {
     publish_skipped_.fetch_add(1, std::memory_order_relaxed);
     return false;
@@ -254,6 +276,7 @@ bool ChainStore::publish(std::uint64_t fingerprint,
   header.payload_bytes = payload_bytes;
   header.payload_checksum = topo::fnv1a(
       topo::kFnvOffset, std::string_view(payload.data(), payload.size()));
+  header.model_tag = model_tag;
 
   const std::string tmp = options_.dir + "/.tmp-" +
                           std::to_string(static_cast<long>(::getpid())) + "-" +
@@ -305,6 +328,17 @@ std::vector<ChainStore::Entry> ChainStore::list() {
     e.fingerprint = std::strtoull(name.substr(6, 16).c_str(), &end, 16);
     std::error_code sec;
     e.bytes = static_cast<std::uint64_t>(de.file_size(sec));
+    // Recorded model tag (v2 files only; v1 towers are unrestricted).
+    const int fd = ::open(de.path().c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd >= 0) {
+      ChainFileHeader h{};
+      const ssize_t n = ::pread(fd, &h, sizeof(h), 0);
+      ::close(fd);
+      if (n >= static_cast<ssize_t>(sizeof(h)) &&
+          h.version == kStoreVersion) {
+        e.model_tag = h.model_tag;
+      }
+    }
     out.push_back(e);
   }
   std::uint64_t total = 0;

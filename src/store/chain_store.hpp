@@ -31,6 +31,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -41,19 +42,34 @@
 namespace wfc::store {
 
 inline constexpr char kStoreMagic[8] = {'W', 'F', 'C', 'S', 'T', 'O', 'R', '1'};
-inline constexpr std::uint32_t kStoreVersion = 1;
+inline constexpr std::uint32_t kStoreVersion = 2;
 
 /// On-disk file header, followed by a u64 offset/size table (2 entries per
 /// level, byte offsets relative to the payload start) and the payload: the
 /// concatenated 8-byte-aligned arena blobs of levels 0..n_levels-1.
+///
+/// Version history: v1 ends after payload_checksum (40 bytes); v2 appends
+/// model_tag.  Readers accept both -- a v1 file is by construction an
+/// unrestricted (wait-free) tower and loads with model_tag 0, no fallback
+/// counted.  Writers always emit v2.
 struct ChainFileHeader {
   char magic[8];
   std::uint32_t version;
   std::uint32_t n_levels;
-  std::uint64_t fingerprint;       // complex_fingerprint(level 0)
+  std::uint64_t fingerprint;       // complex_fingerprint(level 0); for a
+                                   // restricted tower, the MIXED fingerprint
+                                   // (model::mix_fingerprint of base + tag)
   std::uint64_t payload_bytes;
   std::uint64_t payload_checksum;  // FNV-1a over the payload bytes
+  std::uint64_t model_tag;         // v2: Model::tag() (0 = wait_free)
 };
+
+/// Bytes of the v1 header (everything before model_tag).
+inline constexpr std::size_t kHeaderBytesV1 = 40;
+
+static_assert(sizeof(ChainFileHeader) == 48 &&
+                  offsetof(ChainFileHeader, model_tag) == kHeaderBytesV1,
+              "ChainFileHeader v2 must be the v1 layout plus model_tag");
 
 struct StoreStats {
   std::uint64_t lookups = 0;
@@ -89,17 +105,24 @@ class ChainStore {
   /// Opens, verifies, and mmaps the stored chain for `fingerprint`.
   /// Returns nullptr on miss or fallback (see file comment); the returned
   /// chain's depth is whatever was stored (callers extend if short).
+  /// `expect_model_tag` guards model separation: a file whose recorded tag
+  /// differs is a fallback, never served.  v1 files carry tag 0 (they
+  /// predate models and are always unrestricted towers).
   [[nodiscard]] std::shared_ptr<const proto::SdsChain> load(
-      std::uint64_t fingerprint);
+      std::uint64_t fingerprint, std::uint64_t expect_model_tag = 0);
 
   /// Serializes `chain` under `fingerprint` unless the store is readonly,
   /// a same-or-deeper file already exists, or the byte budget would be
-  /// exceeded.  Returns true when a file was written.
-  bool publish(std::uint64_t fingerprint, const proto::SdsChain& chain);
+  /// exceeded.  `model_tag` is recorded in the v2 header (0 = unrestricted
+  /// wait-free tower).  Returns true when a file was written.
+  bool publish(std::uint64_t fingerprint, const proto::SdsChain& chain,
+               std::uint64_t model_tag = 0);
 
   struct Entry {
     std::uint64_t fingerprint = 0;
     std::uint64_t bytes = 0;
+    /// Recorded model tag (0 for v1 files and unrestricted towers).
+    std::uint64_t model_tag = 0;
   };
   /// On-disk inventory (also refreshes the files/file_bytes gauges).
   [[nodiscard]] std::vector<Entry> list();

@@ -320,6 +320,34 @@ SolveResult search_level(const Task& task, int level,
                          std::shared_ptr<const proto::SdsChain> chain,
                          const SolveOptions& options) {
   SolveResult result;
+  std::optional<LevelRestriction> restriction;
+  if (options.restrictor) restriction = options.restrictor(*chain, level);
+  if (restriction.has_value()) {
+    if (restriction->arena.num_facets() == 0) {
+      // No admissible run reaches this level; the search over an empty
+      // complex would be vacuously solvable, so short-circuit.
+      result.status = Solvability::kUnsolvable;
+      return result;
+    }
+    if (options.engine == SolveEngine::kArena) {
+      result.status = arena_search(task, restriction->arena, options,
+                                   result.decision, result.nodes_explored);
+    } else {
+      std::shared_ptr<const ChromaticComplex> complex = restriction->complex;
+      if (complex == nullptr) {
+        complex = std::make_shared<ChromaticComplex>(
+            restriction->arena.materialize());
+      }
+      Search search(task, *complex, options);
+      result.status = search.run(result.decision, result.nodes_explored);
+    }
+    if (result.status == Solvability::kSolvable) {
+      // The decision indexes the PRUNED complex; the full chain would
+      // misalign, so no chain travels with a restricted result.
+      result.level = level;
+    }
+    return result;
+  }
   if (options.engine == SolveEngine::kArena) {
     // The default engine: flat spans, bitmask domains (arena_search.cpp).
     // For store-backed chains arena(level) is a zero-copy view of the mmap.

@@ -34,6 +34,7 @@
 
 #include "protocol/sds_chain.hpp"
 #include "tasks/task.hpp"
+#include "topology/arena.hpp"
 
 namespace wfc::task {
 
@@ -64,6 +65,30 @@ struct SolveResult {
 using ChainProvider =
     std::function<std::shared_ptr<const proto::SdsChain>(
         const topo::ChromaticComplex& input, int depth)>;
+
+/// A per-level restriction of the search: the admissible subcomplex of
+/// SDS^level(I) under some sub-IIS model (wfc::model derives these by
+/// pruning the level's arena; solvability itself stays model-agnostic).
+/// Vertex colors, carriers, and base carriers are those of the original
+/// level, so Delta constraints transfer unchanged -- but vertex IDS are the
+/// pruned complex's own, so a restricted SolveResult's decision indexes the
+/// restriction, not SDS^level(I), and result.chain stays null.
+struct LevelRestriction {
+  /// What the kArena engine searches.  Zero facets = no admissible runs at
+  /// this level: the level is unsolvable by definition (a simplicial map
+  /// must exist on SOME admissible complex, and the search over an empty
+  /// complex would be vacuously solvable).
+  topo::Arena arena;
+  /// Complex form for the kLegacy engine; may be null, in which case the
+  /// arena is materialized on demand.
+  std::shared_ptr<const topo::ChromaticComplex> complex;
+};
+
+/// Supplies the restriction for one level of the (full) chain, or nullopt
+/// for "search the level unrestricted".  Must be pure per (chain, level).
+using LevelRestrictor =
+    std::function<std::optional<LevelRestriction>(
+        const proto::SdsChain& chain, int level)>;
 
 /// Which backtracking engine runs the Prop 3.1 search.  Both explore the
 /// identical search tree (same variable/value order, same AC-3 fixpoints)
@@ -99,6 +124,11 @@ struct SolveOptions {
   ChainProvider chain_provider;
   /// Search engine; kArena unless explicitly benchmarking the baseline.
   SolveEngine engine = SolveEngine::kArena;
+  /// When set, each level's search runs over restrictor(chain, level)
+  /// instead of the full level (see LevelRestriction).  Absent restrictor
+  /// -- and a restrictor returning nullopt -- leaves the search bit-for-bit
+  /// identical to an unrestricted solve.
+  LevelRestrictor restrictor;
 };
 
 /// Decides level-b solvability exactly (within the node budget).

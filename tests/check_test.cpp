@@ -101,6 +101,23 @@ TEST(Explorer, SymmetryReductionKeepsOneExecutionPerOrbit) {
   EXPECT_GT(stats.symmetry_pruned, 0u);
 }
 
+TEST(Explorer, SymmetryReductionComposesWithCrashInjection) {
+  // Crash sets join the round signature the orbit minimization acts on, so
+  // symmetric crashy branches are cut too.  Full n=3 b=1 t=1 sweep: 13
+  // crash-free + 3 * (crash one of {0,1,2}) x Fubini(2) = 13 + 9 = 22.
+  const ExploreStats full = explore_counting(
+      {.n_procs = 3, .rounds = 1, .max_crashes = 1});
+  EXPECT_EQ(full.executions, 22u);
+  const ExploreStats reduced = explore_counting(
+      {.n_procs = 3, .rounds = 1, .max_crashes = 1,
+       .symmetry_reduction = true});
+  EXPECT_LT(reduced.executions, full.executions);
+  EXPECT_GT(reduced.symmetry_pruned, 0u);
+  // Crashy orbits survive the reduction (one representative each).
+  EXPECT_GT(reduced.crashy_executions, 0u);
+  EXPECT_LT(reduced.crashy_executions, full.crashy_executions);
+}
+
 TEST(Explorer, TruncationAndCancellation) {
   const ExploreStats capped =
       explore_counting({.n_procs = 3, .rounds = 1, .max_executions = 5});
@@ -195,6 +212,21 @@ TEST(SdsMembership, SymmetryReducedSweepAgrees) {
   EXPECT_TRUE(report.ok) << report.violation;
   EXPECT_GT(report.explored.symmetry_pruned, 0u);
   EXPECT_LT(report.explored.executions, 169u);
+}
+
+TEST(SdsMembership, SymmetryReducedCrashingSweepAgrees) {
+  // The membership property must hold on the reduced CRASHY sweep too:
+  // each surviving representative stands for a whole orbit of runs, so a
+  // violation anywhere in an orbit would surface on its representative.
+  ExploreOptions opt;
+  opt.n_procs = 3;
+  opt.rounds = 2;
+  opt.max_crashes = 1;
+  opt.symmetry_reduction = true;
+  const SdsCheckReport report = check_views_in_sds(opt);
+  EXPECT_TRUE(report.ok) << report.violation;
+  EXPECT_GT(report.explored.symmetry_pruned, 0u);
+  EXPECT_GT(report.explored.crashy_executions, 0u);
 }
 
 // ---------------------------------------------------------------------------
